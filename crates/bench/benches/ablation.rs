@@ -1,0 +1,28 @@
+//! Criterion bench for the ablation experiments (design-choice costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::{ablate_coordination_phase, ablate_timeout_adaptation, ap_realism, combined_synchronous};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for l in [1usize, 4] {
+        g.bench_function(BenchmarkId::new("coordination_phase", l), |b| {
+            b.iter(|| black_box(ablate_coordination_phase(4, l, 2)))
+        });
+    }
+    g.bench_function("timeout_adaptation", |b| {
+        b.iter(|| black_box(ablate_timeout_adaptation(2, 17)))
+    });
+    g.bench_function("ap_realism_sync", |b| {
+        b.iter(|| black_box(ap_realism(true, 3)))
+    });
+    g.bench_function("combined_synchronous_any_t", |b| {
+        b.iter(|| black_box(combined_synchronous(4, 2, 3, 7)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

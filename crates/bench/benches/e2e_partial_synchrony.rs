@@ -1,0 +1,19 @@
+//! Criterion bench for the end-to-end result (Fig 6 + Fig 8 in HPS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::e2e_partial_synchrony;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_partial_synchrony");
+    g.sample_size(10);
+    for gst in [0u64, 50] {
+        g.bench_function(BenchmarkId::new("gst", gst), |b| {
+            b.iter(|| black_box(e2e_partial_synchrony(4, 2, gst, 71)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for Figures 1-2 (Σ → HΣ): full simulated runs,
+//! property checks included.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::fig12_sigma_to_hsigma;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_fig2");
+    g.sample_size(10);
+    for known in [true, false] {
+        let name = if known { "fig1_known" } else { "fig2_learned" };
+        g.bench_function(BenchmarkId::new(name, "n5c1"), |b| {
+            b.iter(|| black_box(fig12_sigma_to_hsigma(5, 1, known, 42)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

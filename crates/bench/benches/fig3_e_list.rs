@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 3 (class E in AS[∅]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::fig3_e_list;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_e_list");
+    g.sample_size(10);
+    for n in [4usize, 8, 16] {
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(fig3_e_list(n, n / 4, 7)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 4 (HΣ → Σ via class E).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::fig4_hsigma_to_sigma;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_hsigma_to_sigma");
+    g.sample_size(10);
+    for n in [4usize, 8] {
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(fig4_hsigma_to_sigma(n, 1, 11)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for Figure 5: validating the whole relation diagram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use homonym_bench::fig5_relations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_relations");
+    g.sample_size(10);
+    g.bench_function("all_arrows", |b| b.iter(|| black_box(fig5_relations(2026))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

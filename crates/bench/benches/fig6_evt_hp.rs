@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 6 (◇HP/HΩ in HPS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::fig6_evt_hp;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_evt_hp");
+    g.sample_size(10);
+    for gst in [0u64, 50] {
+        g.bench_function(BenchmarkId::new("gst", gst), |b| {
+            b.iter(|| black_box(fig6_evt_hp(4, 2, gst, 3, 1, 5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

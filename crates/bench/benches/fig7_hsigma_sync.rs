@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 7 (HΣ in HSS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::fig7_h_sigma;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_hsigma_sync");
+    g.sample_size(20);
+    for n in [4usize, 8, 12] {
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| black_box(fig7_h_sigma(n, 2, n / 3, 10, 3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

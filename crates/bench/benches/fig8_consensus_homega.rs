@@ -1,0 +1,55 @@
+//! Criterion bench for Figure 8 (consensus with HΩ, majority).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::{fig8_consensus, ConsensusVariant};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_consensus");
+    g.sample_size(10);
+    for l in [1usize, 2, 5] {
+        g.bench_function(BenchmarkId::new("homonymy", l), |b| {
+            b.iter(|| {
+                black_box(fig8_consensus(
+                    ConsensusVariant::Fig8HOmega,
+                    5,
+                    l,
+                    1,
+                    30,
+                    true,
+                    21,
+                ))
+            })
+        });
+    }
+    g.bench_function("baseline_classical_omega", |b| {
+        b.iter(|| {
+            black_box(fig8_consensus(
+                ConsensusVariant::ClassicalOmega,
+                5,
+                5,
+                1,
+                30,
+                true,
+                21,
+            ))
+        })
+    });
+    g.bench_function("baseline_anonymous_aomega", |b| {
+        b.iter(|| {
+            black_box(fig8_consensus(
+                ConsensusVariant::AnonymousAOmega,
+                5,
+                1,
+                1,
+                30,
+                true,
+                21,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for Figure 9 (consensus with HΩ + HΣ, any t).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::fig9_consensus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_consensus");
+    g.sample_size(10);
+    for crashes in [0usize, 2, 4] {
+        g.bench_function(BenchmarkId::new("crashes", crashes), |b| {
+            b.iter(|| black_box(fig9_consensus(5, 2, crashes, 30, 51)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

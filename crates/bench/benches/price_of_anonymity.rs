@@ -1,0 +1,19 @@
+//! Criterion bench for the price-of-anonymity baselines (P vs AP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use homonym_bench::price_of_anonymity;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("price_of_anonymity");
+    g.sample_size(10);
+    for t in [1usize, 2, 3] {
+        g.bench_function(BenchmarkId::new("t", t), |b| {
+            b.iter(|| black_box(price_of_anonymity(t, t, 91)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! # homonym-bench
+//!
+//! Experiment harness regenerating the behavioural content of **every
+//! figure** of *"Failure Detectors in Homonymous Distributed Systems"*:
+//!
+//! | Figure | Runner | Criterion bench | Table binary |
+//! |---|---|---|---|
+//! | Fig 1-2 (Σ→HΣ)     | [`experiments::fig12_sigma_to_hsigma`] | `fig1_fig2_sigma_to_hsigma` | `exp_fig1_fig2` |
+//! | Fig 3 (class E)    | [`experiments::fig3_e_list`]           | `fig3_e_list`               | `exp_fig3` |
+//! | Fig 4 (HΣ→Σ)       | [`experiments::fig4_hsigma_to_sigma`]  | `fig4_hsigma_to_sigma`      | `exp_fig4` |
+//! | Fig 5 (relations)  | [`experiments::fig5_relations`]        | `fig5_relations`            | `exp_fig5` |
+//! | Fig 6 (◇HP/HΩ)     | [`experiments::fig6_evt_hp`]           | `fig6_evt_hp`               | `exp_fig6` |
+//! | Fig 7 (HΣ in HSS)  | [`experiments::fig7_h_sigma`]          | `fig7_hsigma_sync`          | `exp_fig7` |
+//! | Fig 8 (consensus)  | [`experiments::fig8_consensus`]        | `fig8_consensus_homega`     | `exp_fig8` |
+//! | Fig 9 (consensus)  | [`experiments::fig9_consensus`]        | `fig9_consensus_hsigma`     | `exp_fig9` |
+//! | §1 end-to-end      | [`experiments::e2e_partial_synchrony`] | `e2e_partial_synchrony`     | `exp_e2e` |
+//! | §1 price of anon.  | [`experiments::price_of_anonymity`]    | `price_of_anonymity`        | `exp_price` |
+//!
+//! Every runner embeds the class/consensus property checkers, so each data
+//! point doubles as a correctness assertion. `EXPERIMENTS.md` at the
+//! workspace root records the resulting tables next to the paper's claims.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod json;
+
+pub use experiments::*;
+pub use json::maybe_dump;

@@ -1,0 +1,464 @@
+//! A counted multiset (bag), the paper's `I(S)` machinery.
+//!
+//! Homonymous failure detectors output **multisets** of identifiers instead
+//! of sets: the multiset `I(S) = {id(p) : p ∈ S}` of a process subset `S`
+//! may contain the same identity several times, and `|I(S)| = |S|` always
+//! holds. [`Multiset`] implements the bag algebra the algorithms and the
+//! property checkers need: multiplicity queries, inclusion, union (max),
+//! intersection (min), sum, and saturating difference.
+
+use core::cmp::Ordering;
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// An ordered multiset with per-element multiplicities.
+///
+/// # Examples
+///
+/// ```
+/// use homonym_core::multiset::Multiset;
+///
+/// let m: Multiset<char> = ['a', 'a', 'b'].into_iter().collect();
+/// assert_eq!(m.len(), 3);
+/// assert_eq!(m.multiplicity(&'a'), 2);
+/// assert!(m.is_subset(&['a', 'a', 'b', 'c'].into_iter().collect()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Multiset<T: Ord> {
+    counts: BTreeMap<T, usize>,
+    len: usize,
+}
+
+impl<T: Ord> Multiset<T> {
+    /// Creates an empty multiset.
+    #[must_use]
+    pub fn new() -> Self {
+        Multiset {
+            counts: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Total number of elements, counted with multiplicity (`|I(S)| = |S|`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the multiset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of *distinct* elements.
+    #[must_use]
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Multiplicity `mult_I(x)` of an element (0 if absent).
+    #[must_use]
+    pub fn multiplicity(&self, x: &T) -> usize {
+        self.counts.get(x).copied().unwrap_or(0)
+    }
+
+    /// Whether the element occurs at least once.
+    #[must_use]
+    pub fn contains(&self, x: &T) -> bool {
+        self.counts.contains_key(x)
+    }
+
+    /// Inserts one occurrence of `x`.
+    pub fn insert(&mut self, x: T) {
+        self.insert_n(x, 1);
+    }
+
+    /// Inserts `n` occurrences of `x` (no-op when `n == 0`).
+    pub fn insert_n(&mut self, x: T, n: usize) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(x).or_insert(0) += n;
+        self.len += n;
+    }
+
+    /// Removes one occurrence of `x`; returns whether one was present.
+    pub fn remove(&mut self, x: &T) -> bool {
+        match self.counts.get_mut(x) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                self.len -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(x);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes all occurrences of `x`; returns how many were removed.
+    pub fn remove_all(&mut self, x: &T) -> usize {
+        match self.counts.remove(x) {
+            Some(c) => {
+                self.len -= c;
+                c
+            }
+            None => 0,
+        }
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.len = 0;
+    }
+
+    /// Iterator over `(element, multiplicity)` pairs in element order.
+    pub fn counted(&self) -> impl Iterator<Item = (&T, usize)> + '_ {
+        self.counts.iter().map(|(x, &c)| (x, c))
+    }
+
+    /// Iterator over elements expanded by multiplicity, in element order.
+    ///
+    /// ```
+    /// use homonym_core::multiset::Multiset;
+    /// let m: Multiset<u8> = [2, 1, 2].into_iter().collect();
+    /// assert_eq!(m.iter().copied().collect::<Vec<_>>(), vec![1, 2, 2]);
+    /// ```
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.counts
+            .iter()
+            .flat_map(|(x, &c)| core::iter::repeat_n(x, c))
+    }
+
+    /// Iterator over the distinct elements (the *support*).
+    pub fn support(&self) -> impl Iterator<Item = &T> + '_ {
+        self.counts.keys()
+    }
+
+    /// The smallest element, if any (used by `HΩ` extraction).
+    ///
+    /// Named `min_elem` to avoid colliding with [`Ord::min`], which method
+    /// resolution would otherwise prefer.
+    #[must_use]
+    pub fn min_elem(&self) -> Option<&T> {
+        self.counts.keys().next()
+    }
+
+    /// The largest element, if any.
+    #[must_use]
+    pub fn max_elem(&self) -> Option<&T> {
+        self.counts.keys().next_back()
+    }
+
+    /// Sub-multiset test: every multiplicity in `self` is `<=` the one in
+    /// `other` (the paper's `m ⊆ m'` over bags).
+    #[must_use]
+    pub fn is_subset(&self, other: &Multiset<T>) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        self.counts
+            .iter()
+            .all(|(x, &c)| other.multiplicity(x) >= c)
+    }
+
+    /// Super-multiset test (`other ⊆ self`).
+    #[must_use]
+    pub fn is_superset(&self, other: &Multiset<T>) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Whether the supports are disjoint (no common element at all).
+    #[must_use]
+    pub fn is_disjoint(&self, other: &Multiset<T>) -> bool {
+        // Walk the smaller support, probe the larger.
+        let (small, large) = if self.distinct_len() <= other.distinct_len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        !small.support().any(|x| large.contains(x))
+    }
+}
+
+impl<T: Ord + Clone> Multiset<T> {
+    /// Multiset union: per-element **maximum** of multiplicities.
+    #[must_use]
+    pub fn union(&self, other: &Multiset<T>) -> Multiset<T> {
+        let mut out = self.clone();
+        for (x, c) in other.counted() {
+            let mine = out.multiplicity(x);
+            if c > mine {
+                out.insert_n(x.clone(), c - mine);
+            }
+        }
+        out
+    }
+
+    /// Multiset intersection: per-element **minimum** of multiplicities.
+    #[must_use]
+    pub fn intersection(&self, other: &Multiset<T>) -> Multiset<T> {
+        let mut out = Multiset::new();
+        for (x, c) in self.counted() {
+            let m = c.min(other.multiplicity(x));
+            if m > 0 {
+                out.insert_n(x.clone(), m);
+            }
+        }
+        out
+    }
+
+    /// Multiset sum: per-element **addition** of multiplicities
+    /// (`|a ⊎ b| = |a| + |b|`).
+    #[must_use]
+    pub fn sum(&self, other: &Multiset<T>) -> Multiset<T> {
+        let mut out = self.clone();
+        for (x, c) in other.counted() {
+            out.insert_n(x.clone(), c);
+        }
+        out
+    }
+
+    /// Saturating multiset difference: per-element subtraction clamped at 0.
+    #[must_use]
+    pub fn difference(&self, other: &Multiset<T>) -> Multiset<T> {
+        let mut out = Multiset::new();
+        for (x, c) in self.counted() {
+            let d = c.saturating_sub(other.multiplicity(x));
+            if d > 0 {
+                out.insert_n(x.clone(), d);
+            }
+        }
+        out
+    }
+
+    /// Converts to the underlying set (support), dropping multiplicities.
+    #[must_use]
+    pub fn to_set(&self) -> std::collections::BTreeSet<T> {
+        self.support().cloned().collect()
+    }
+}
+
+impl<T: Ord> Default for Multiset<T> {
+    fn default() -> Self {
+        Multiset::new()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for x in iter {
+            m.insert(x);
+        }
+        m
+    }
+}
+
+impl<T: Ord> FromIterator<(T, usize)> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = (T, usize)>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for (x, c) in iter {
+            m.insert_n(x, c);
+        }
+        m
+    }
+}
+
+impl<T: Ord> Extend<T> for Multiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for x in iter {
+            self.insert(x);
+        }
+    }
+}
+
+impl<T: Ord> IntoIterator for Multiset<T> {
+    type Item = (T, usize);
+    type IntoIter = std::collections::btree_map::IntoIter<T, usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.counts.into_iter()
+    }
+}
+
+impl<T: Ord + Clone> From<&[T]> for Multiset<T> {
+    fn from(slice: &[T]) -> Self {
+        slice.iter().cloned().collect()
+    }
+}
+
+impl<T: Ord, const N: usize> From<[T; N]> for Multiset<T> {
+    fn from(arr: [T; N]) -> Self {
+        arr.into_iter().collect()
+    }
+}
+
+/// Multisets are ordered lexicographically over their expanded element
+/// sequence, which gives a deterministic total order for use as map keys
+/// (e.g. Figure 7 uses the received multiset itself as a quorum label).
+impl<T: Ord> PartialOrd for Multiset<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Ord> Ord for Multiset<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.counts.iter().cmp(other.counts.iter())
+    }
+}
+
+impl<T: Ord + fmt::Debug> fmt::Debug for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (x, c) in self.counted() {
+            for _ in 0..c {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{x:?}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<T: Ord + fmt::Display> fmt::Display for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (x, c) in self.counted() {
+            for _ in 0..c {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{x}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(items: &[u32]) -> Multiset<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn len_counts_multiplicity() {
+        let m = ms(&[1, 1, 2, 3, 3, 3]);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.distinct_len(), 3);
+        assert_eq!(m.multiplicity(&3), 3);
+        assert_eq!(m.multiplicity(&9), 0);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut m = Multiset::new();
+        m.insert_n('x', 2);
+        assert!(m.remove(&'x'));
+        assert_eq!(m.multiplicity(&'x'), 1);
+        assert!(m.remove(&'x'));
+        assert!(!m.remove(&'x'));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn remove_all_drains_one_key() {
+        let mut m = ms(&[5, 5, 5, 7]);
+        assert_eq!(m.remove_all(&5), 3);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove_all(&5), 0);
+    }
+
+    #[test]
+    fn subset_respects_multiplicity() {
+        assert!(ms(&[1, 1]).is_subset(&ms(&[1, 1, 2])));
+        assert!(!ms(&[1, 1, 1]).is_subset(&ms(&[1, 1, 2])));
+        assert!(ms(&[]).is_subset(&ms(&[])));
+    }
+
+    #[test]
+    fn union_takes_max() {
+        let u = ms(&[1, 1, 2]).union(&ms(&[1, 2, 2, 3]));
+        assert_eq!(u, ms(&[1, 1, 2, 2, 3]));
+    }
+
+    #[test]
+    fn intersection_takes_min() {
+        let i = ms(&[1, 1, 2]).intersection(&ms(&[1, 2, 2, 3]));
+        assert_eq!(i, ms(&[1, 2]));
+    }
+
+    #[test]
+    fn sum_adds() {
+        let s = ms(&[1, 2]).sum(&ms(&[1, 3]));
+        assert_eq!(s, ms(&[1, 1, 2, 3]));
+    }
+
+    #[test]
+    fn difference_saturates() {
+        let d = ms(&[1, 1, 2]).difference(&ms(&[1, 2, 2]));
+        assert_eq!(d, ms(&[1]));
+    }
+
+    #[test]
+    fn disjointness_is_support_level() {
+        assert!(ms(&[1, 1]).is_disjoint(&ms(&[2, 3])));
+        assert!(!ms(&[1, 1]).is_disjoint(&ms(&[1])));
+        assert!(ms(&[]).is_disjoint(&ms(&[])));
+    }
+
+    #[test]
+    fn iter_expands_in_order() {
+        let m = ms(&[3, 1, 3]);
+        assert_eq!(m.iter().copied().collect::<Vec<_>>(), vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let a = ms(&[1, 2]);
+        let b = ms(&[1, 1, 2]);
+        assert_ne!(a.cmp(&b), Ordering::Equal);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_shows_repeats() {
+        assert_eq!(ms(&[2, 1, 2]).to_string(), "{1, 2, 2}");
+    }
+
+    #[test]
+    fn min_max() {
+        let m = ms(&[4, 2, 9]);
+        assert_eq!(m.min_elem(), Some(&2));
+        assert_eq!(m.max_elem(), Some(&9));
+        assert_eq!(Multiset::<u32>::new().min_elem(), None);
+    }
+
+    #[test]
+    fn from_array_and_counted_pairs() {
+        let a = Multiset::from([1, 1, 2]);
+        let b: Multiset<u32> = [(1u32, 2usize), (2, 1)].into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn to_set_drops_multiplicity() {
+        let s = ms(&[1, 1, 2]).to_set();
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

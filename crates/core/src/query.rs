@@ -1,0 +1,233 @@
+//! Query traits that decouple algorithms from detector implementations.
+//!
+//! The paper writes its consensus algorithms against an abstract detector
+//! (`D ∈ HΩ`, `D2 ∈ HΣ`): the algorithm reads the detector's local
+//! variables whenever it likes. These traits are the Rust rendering of that
+//! contract. An implementor may be:
+//!
+//! * an **oracle** computed from the ground-truth failure schedule
+//!   (see `homonym_detectors::oracle`), or
+//! * a **real message-passing implementation** (Figures 3, 6, 7) exposing
+//!   its current variables through a [`SharedCell`].
+//!
+//! Queries take the current global [`Time`]; implementations backed by a
+//! process-local variable simply ignore it.
+
+use std::sync::{Arc, Mutex};
+
+use crate::classes::{
+    AOmegaOutput, APOutput, ASigmaOutput, EListOutput, EvtHPOutput, HOmegaOutput, HSigmaOutput,
+    OmegaOutput, SigmaOutput,
+};
+use crate::time::Time;
+
+/// Read access to a `◇HP` detector (`h_trusted`).
+pub trait EvtHPSource {
+    /// Current value of `h_trusted_p`.
+    fn evt_hp(&self, now: Time) -> EvtHPOutput;
+}
+
+/// Read access to an `HΩ` detector (`h_leader`, `h_multiplicity`).
+pub trait HOmegaSource {
+    /// Current value of `(h_leader_p, h_multiplicity_p)`.
+    fn h_omega(&self, now: Time) -> HOmegaOutput;
+}
+
+/// Read access to an `HΣ` detector (`h_quora`, `h_labels`).
+pub trait HSigmaSource {
+    /// Current value of `(h_quora_p, h_labels_p)`.
+    fn h_sigma(&self, now: Time) -> HSigmaOutput;
+}
+
+/// Read access to a `Σ` detector (`trusted`).
+pub trait SigmaSource {
+    /// Current value of `trusted_p`.
+    fn sigma(&self, now: Time) -> SigmaOutput;
+}
+
+/// Read access to an `Ω` detector (`leader`).
+pub trait OmegaSource {
+    /// Current value of `leader_p`.
+    fn omega(&self, now: Time) -> OmegaOutput;
+}
+
+/// Read access to an `AΩ` detector (`a_leader` flag).
+pub trait AOmegaSource {
+    /// Current value of `a_leader_p`.
+    fn a_omega(&self, now: Time) -> AOmegaOutput;
+}
+
+/// Read access to an `AP` detector (`anap`).
+pub trait APSource {
+    /// Current value of `anap_p`.
+    fn ap(&self, now: Time) -> APOutput;
+}
+
+/// Read access to an `AΣ` detector (`a_sigma`).
+pub trait ASigmaSource {
+    /// Current value of `a_sigma_p`.
+    fn a_sigma(&self, now: Time) -> ASigmaOutput;
+}
+
+/// Read access to a class-`E` detector (`alive` ranked list).
+pub trait EListSource {
+    /// Current value of `alive_p`.
+    fn e_list(&self, now: Time) -> EListOutput;
+}
+
+/// A shared, mutable detector-output cell.
+///
+/// Real detector implementations run as one half of a stacked process and
+/// publish their current variables here; the consumer half (e.g. a
+/// consensus algorithm) reads them through the matching `*Source` trait.
+///
+/// # Examples
+///
+/// ```
+/// use homonym_core::query::{HOmegaSource, SharedCell};
+/// use homonym_core::classes::HOmegaOutput;
+/// use homonym_core::identity::Identity;
+/// use homonym_core::time::Time;
+///
+/// let cell = SharedCell::new(HOmegaOutput::new(Identity::new(0), 1));
+/// let reader = cell.clone();
+/// cell.set(HOmegaOutput::new(Identity::new(2), 3));
+/// assert_eq!(reader.h_omega(Time::ZERO).h_leader, Identity::new(2));
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedCell<T> {
+    inner: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for SharedCell<T> {
+    fn clone(&self) -> Self {
+        SharedCell {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone> SharedCell<T> {
+    /// Creates a cell holding `value`.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        SharedCell {
+            inner: Arc::new(Mutex::new(value)),
+        }
+    }
+
+    /// Returns a clone of the current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked.
+    #[must_use]
+    pub fn get(&self) -> T {
+        self.inner.lock().expect("cell poisoned").clone()
+    }
+
+    /// Replaces the current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked.
+    pub fn set(&self, value: T) {
+        *self.inner.lock().expect("cell poisoned") = value;
+    }
+
+    /// Mutates the current value in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked.
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.inner.lock().expect("cell poisoned"))
+    }
+}
+
+macro_rules! impl_source_for_cell {
+    ($trait_:ident, $method:ident, $out:ty) => {
+        impl $trait_ for SharedCell<$out> {
+            fn $method(&self, _now: Time) -> $out {
+                self.get()
+            }
+        }
+    };
+}
+
+impl_source_for_cell!(EvtHPSource, evt_hp, EvtHPOutput);
+impl_source_for_cell!(HOmegaSource, h_omega, HOmegaOutput);
+impl_source_for_cell!(HSigmaSource, h_sigma, HSigmaOutput);
+impl_source_for_cell!(SigmaSource, sigma, SigmaOutput);
+impl_source_for_cell!(OmegaSource, omega, OmegaOutput);
+impl_source_for_cell!(AOmegaSource, a_omega, AOmegaOutput);
+impl_source_for_cell!(APSource, ap, APOutput);
+impl_source_for_cell!(ASigmaSource, a_sigma, ASigmaOutput);
+impl_source_for_cell!(EListSource, e_list, EListOutput);
+
+macro_rules! impl_source_for_fn {
+    ($trait_:ident, $method:ident, $out:ty) => {
+        impl<F: Fn(Time) -> $out> $trait_ for F {
+            fn $method(&self, now: Time) -> $out {
+                self(now)
+            }
+        }
+    };
+}
+
+impl_source_for_fn!(EvtHPSource, evt_hp, EvtHPOutput);
+impl_source_for_fn!(HOmegaSource, h_omega, HOmegaOutput);
+impl_source_for_fn!(HSigmaSource, h_sigma, HSigmaOutput);
+impl_source_for_fn!(SigmaSource, sigma, SigmaOutput);
+impl_source_for_fn!(OmegaSource, omega, OmegaOutput);
+impl_source_for_fn!(AOmegaSource, a_omega, AOmegaOutput);
+impl_source_for_fn!(APSource, ap, APOutput);
+impl_source_for_fn!(ASigmaSource, a_sigma, ASigmaOutput);
+impl_source_for_fn!(EListSource, e_list, EListOutput);
+
+macro_rules! impl_source_for_box {
+    ($trait_:ident, $method:ident, $out:ty) => {
+        impl $trait_ for Box<dyn $trait_ + Send> {
+            fn $method(&self, now: Time) -> $out {
+                (**self).$method(now)
+            }
+        }
+    };
+}
+
+impl_source_for_box!(EvtHPSource, evt_hp, EvtHPOutput);
+impl_source_for_box!(HOmegaSource, h_omega, HOmegaOutput);
+impl_source_for_box!(HSigmaSource, h_sigma, HSigmaOutput);
+impl_source_for_box!(SigmaSource, sigma, SigmaOutput);
+impl_source_for_box!(OmegaSource, omega, OmegaOutput);
+impl_source_for_box!(AOmegaSource, a_omega, AOmegaOutput);
+impl_source_for_box!(APSource, ap, APOutput);
+impl_source_for_box!(ASigmaSource, a_sigma, ASigmaOutput);
+impl_source_for_box!(EListSource, e_list, EListOutput);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Identity;
+
+    #[test]
+    fn closure_is_a_source() {
+        let src = |now: Time| HOmegaOutput::new(Identity::new(now.ticks()), 1);
+        assert_eq!(src.h_omega(Time::from_ticks(4)).h_leader, Identity::new(4));
+    }
+
+    #[test]
+    fn cell_updates_are_visible_to_clones() {
+        let cell = SharedCell::new(APOutput::new(5));
+        let reader = cell.clone();
+        cell.update(|o| o.anap = 3);
+        assert_eq!(reader.ap(Time::ZERO).anap, 3);
+    }
+
+    #[test]
+    fn boxed_source_dispatches() {
+        let boxed: Box<dyn OmegaSource + Send> =
+            Box::new(|_: Time| OmegaOutput::new(Identity::new(7)));
+        assert_eq!(boxed.omega(Time::ZERO).leader, Identity::new(7));
+    }
+}

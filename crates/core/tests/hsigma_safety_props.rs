@@ -1,0 +1,72 @@
+//! Property-based cross-validation of the `HΣ` safety decision procedure:
+//! the per-identity counting argument must agree with brute-force subset
+//! enumeration on every small universe.
+
+use std::collections::BTreeSet;
+
+use homonym_core::identity::{Identity, IdentityAssignment};
+use homonym_core::multiset::Multiset;
+use homonym_core::properties::{disjoint_realizations_exist, disjoint_realizations_exist_brute};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct SafetyCase {
+    assign: IdentityAssignment,
+    s1: BTreeSet<usize>,
+    s2: BTreeSet<usize>,
+    m1: Multiset<Identity>,
+    m2: Multiset<Identity>,
+}
+
+fn subset(n: usize) -> impl Strategy<Value = BTreeSet<usize>> {
+    proptest::collection::btree_set(0..n, 0..=n)
+}
+
+fn case() -> impl Strategy<Value = SafetyCase> {
+    (2usize..7).prop_flat_map(|n| {
+        (1usize..=n).prop_flat_map(move |l| {
+            (subset(n), subset(n), proptest::collection::vec(0..n, 0..=n), proptest::collection::vec(0..n, 0..=n))
+                .prop_map(move |(s1, s2, picks1, picks2)| {
+                    let assign = IdentityAssignment::round_robin(n, l);
+                    // Build quorum multisets from random process picks so
+                    // they are *plausible* (drawn from real identities).
+                    let m1: Multiset<Identity> =
+                        picks1.into_iter().map(|p| assign.id_of(p)).collect();
+                    let m2: Multiset<Identity> =
+                        picks2.into_iter().map(|p| assign.id_of(p)).collect();
+                    SafetyCase { assign, s1, s2, m1, m2 }
+                })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// The O(#ids) counting decision equals the exponential enumeration.
+    #[test]
+    fn counting_matches_brute_force(c in case()) {
+        let fast = disjoint_realizations_exist(&c.m1, &c.s1, &c.m2, &c.s2, &c.assign);
+        let brute = disjoint_realizations_exist_brute(&c.m1, &c.s1, &c.m2, &c.s2, &c.assign);
+        prop_assert_eq!(fast, brute, "{:?}", c);
+    }
+
+    /// Symmetry: swapping the two pairs cannot change the verdict.
+    #[test]
+    fn decision_is_symmetric(c in case()) {
+        let ab = disjoint_realizations_exist(&c.m1, &c.s1, &c.m2, &c.s2, &c.assign);
+        let ba = disjoint_realizations_exist(&c.m2, &c.s2, &c.m1, &c.s1, &c.assign);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// A pair can never admit a disjoint realization against itself when
+    /// its realization is forced to be the full participant set.
+    #[test]
+    fn full_participation_is_self_safe(n in 1usize..7, l in 1usize..7) {
+        let l = l.min(n);
+        let assign = IdentityAssignment::round_robin(n, l);
+        let s: BTreeSet<usize> = (0..n).collect();
+        let m = assign.multiset();
+        prop_assert!(!disjoint_realizations_exist(&m, &s, &m, &s, &assign));
+    }
+}

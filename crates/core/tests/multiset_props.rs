@@ -1,0 +1,98 @@
+//! Property-based tests for the multiset algebra — the foundation every
+//! detector output in this workspace is built on.
+
+use homonym_core::multiset::Multiset;
+use proptest::prelude::*;
+
+fn ms() -> impl Strategy<Value = Multiset<u8>> {
+    proptest::collection::vec(0u8..12, 0..24).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn len_is_sum_of_multiplicities(a in ms()) {
+        let total: usize = a.counted().map(|(_, c)| c).sum();
+        prop_assert_eq!(a.len(), total);
+        prop_assert_eq!(a.iter().count(), total);
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(a in ms(), b in ms()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_idempotent(a in ms(), b in ms()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.intersection(&a), a.clone());
+    }
+
+    #[test]
+    fn sum_is_commutative_and_associative(a in ms(), b in ms(), c in ms()) {
+        prop_assert_eq!(a.sum(&b), b.sum(&a));
+        prop_assert_eq!(a.sum(&b).sum(&c), a.sum(&b.sum(&c)));
+        prop_assert_eq!(a.sum(&b).len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn inclusion_exclusion(a in ms(), b in ms()) {
+        // |a ∪ b| + |a ∩ b| = |a| + |b| for max/min multiset semantics.
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersection(&b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    #[test]
+    fn difference_then_add_back_restores(a in ms(), b in ms()) {
+        // (a − b) ⊎ (a ∩ b) = a
+        prop_assert_eq!(a.difference(&b).sum(&a.intersection(&b)), a.clone());
+    }
+
+    #[test]
+    fn subset_iff_intersection_is_self(a in ms(), b in ms()) {
+        prop_assert_eq!(a.is_subset(&b), a.intersection(&b) == a);
+        prop_assert!(a.intersection(&b).is_subset(&a));
+        prop_assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn subset_is_a_partial_order(a in ms(), b in ms(), c in ms()) {
+        if a.is_subset(&b) && b.is_subset(&c) {
+            prop_assert!(a.is_subset(&c));
+        }
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+    }
+
+    #[test]
+    fn remove_inverts_insert(mut a in ms(), x in 0u8..12) {
+        let before = a.clone();
+        a.insert(x);
+        prop_assert!(a.remove(&x));
+        prop_assert_eq!(a, before);
+    }
+
+    #[test]
+    fn disjoint_iff_empty_intersection(a in ms(), b in ms()) {
+        prop_assert_eq!(a.is_disjoint(&b), a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_eq(a in ms(), b in ms()) {
+        use core::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Equal => prop_assert_eq!(a.clone(), b.clone()),
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_counted_pairs(a in ms()) {
+        let rebuilt: Multiset<u8> = a.counted().map(|(x, c)| (*x, c)).collect();
+        prop_assert_eq!(rebuilt, a.clone());
+    }
+}

@@ -1,0 +1,451 @@
+//! Figure 6: `◇HP` in `HPS[∅]`, plus the Corollary 2 `HΩ` extraction.
+//!
+//! A polling-based detector for homonymous systems with partially
+//! synchronous processes and eventually timely links, **without membership
+//! knowledge**:
+//!
+//! * Task T1 runs in rounds: broadcast `POLLING(r, id(p))`, wait
+//!   `timeout_p`, then gather into `h_trusted_p` the multiset of sender
+//!   identifiers of `P_REPLY(r, r', id(p), id(q))` messages whose round
+//!   interval covers the current round (`r ≤ r_p ≤ r'`).
+//! * Task T2 answers a poll `POLLING(r_q, id(q))` with a **single**
+//!   `P_REPLY(latest_r_p[id(q)] + 1, r_q, id(q), id(p))` covering every
+//!   round not yet answered for that identifier — so homonymous pollers
+//!   sharing an identifier are all served by one reply, and each correct
+//!   process contributes exactly one identifier instance per round.
+//! * Receiving a reply for an already-passed round (`r < r_p`) increases
+//!   `timeout_p`, adapting to the unknown post-GST latency `δ` and process
+//!   speeds (Lemma 5).
+//!
+//! `HΩ` is extracted without extra communication (Corollary 2): after each
+//! round, `h_leader_p ← min(h_trusted_p)` and `h_multiplicity_p ←
+//! mult(h_leader_p)`.
+//!
+//! The paper's round-interval comparisons are implemented inclusively
+//! (`r ≤ r_p ≤ r'`): a reply generated for exactly the current round
+//! must count, otherwise no reply would ever match during lock-step
+//! executions.
+
+use std::collections::BTreeMap;
+
+use homonym_core::classes::{EvtHPOutput, HOmegaOutput};
+use homonym_core::identity::Identity;
+use homonym_core::multiset::Multiset;
+use homonym_core::query::SharedCell;
+use homonym_core::time::Span;
+use homonym_sim::process::{ActionSink, Process, TimerTag};
+
+/// Protocol messages of Figure 6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvtHpMsg {
+    /// `POLLING(r, id)` — the sender (some process with identifier `id`)
+    /// polls for round `r`.
+    Polling {
+        /// The poller's current round.
+        round: u64,
+        /// The poller's identifier.
+        id: Identity,
+    },
+    /// `P_REPLY(from, to, target, sender)` — one reply covering every round
+    /// in `[from, to]` for the polled identifier `target`.
+    PReply {
+        /// First round covered.
+        from: u64,
+        /// Last round covered.
+        to: u64,
+        /// The identifier that was polled.
+        target: Identity,
+        /// The replier's identifier (what `h_trusted` accumulates).
+        sender: Identity,
+    },
+}
+
+/// Returns a static class name for a message, for metrics classifiers.
+#[must_use]
+pub fn classify_evt_hp(msg: &EvtHpMsg) -> &'static str {
+    match msg {
+        EvtHpMsg::Polling { .. } => "POLLING",
+        EvtHpMsg::PReply { .. } => "P_REPLY",
+    }
+}
+
+/// Snapshot published at the end of every round: the `◇HP` output together
+/// with the `HΩ` view extracted from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvtHpSnapshot {
+    /// The `◇HP` variable `h_trusted_p`.
+    pub evt_hp: EvtHPOutput,
+    /// The Corollary 2 extraction `(h_leader_p, h_multiplicity_p)`.
+    pub h_omega: HOmegaOutput,
+    /// The round that just ended (diagnostic, not part of the class).
+    pub round: u64,
+    /// The adaptive timeout at the end of that round (diagnostic).
+    pub timeout: u64,
+}
+
+/// Splits a recorded snapshot history into the two class histories.
+#[must_use]
+pub fn split_snapshots(
+    hist: &homonym_core::properties::History<EvtHpSnapshot>,
+) -> (
+    homonym_core::properties::History<EvtHPOutput>,
+    homonym_core::properties::History<HOmegaOutput>,
+) {
+    let evt = hist.iter().map(|(t, s)| (*t, s.evt_hp.clone())).collect();
+    let omg = hist.iter().map(|(t, s)| (*t, s.h_omega)).collect();
+    (evt, omg)
+}
+
+const ROUND: TimerTag = TimerTag(0);
+
+/// The Figure 6 process.
+#[derive(Debug)]
+pub struct EvtHpProcess {
+    h_trusted: Multiset<Identity>,
+    h_omega: HOmegaOutput,
+    round: u64,
+    timeout: u64,
+    mship: BTreeMap<Identity, u64>, // identifier -> latest_r
+    /// Replies addressed to my identifier, kept while they may still cover
+    /// a future round: `(from, to, sender)`.
+    pending: Vec<(u64, u64, Identity)>,
+    evt_mirror: Option<SharedCell<EvtHPOutput>>,
+    omega_mirror: Option<SharedCell<HOmegaOutput>>,
+    adaptive: bool,
+    started: bool,
+}
+
+impl EvtHpProcess {
+    /// Creates a Figure 6 process with the paper's initial values
+    /// (`r_p = 1`, `timeout_p = 1`, empty membership).
+    #[must_use]
+    pub fn new() -> Self {
+        EvtHpProcess {
+            h_trusted: Multiset::new(),
+            // Arbitrary initial HΩ view; the class only constrains the
+            // eventual output. Set at start to (id(p), 1).
+            h_omega: HOmegaOutput::new(Identity::BOTTOM, 1),
+            round: 1,
+            timeout: 1,
+            mship: BTreeMap::new(),
+            pending: Vec::new(),
+            evt_mirror: None,
+            omega_mirror: None,
+            adaptive: true,
+            started: false,
+        }
+    }
+
+    /// **Ablation**: freezes `timeout_p` at `ticks` and disables the
+    /// lines 33-34 adaptation. With a timeout below the (unknown) round
+    /// trip the detector provably never converges — the experiment
+    /// `exp_ablation` uses this to show the adaptation is load-bearing
+    /// (Lemma 5).
+    #[must_use]
+    pub fn with_fixed_timeout(mut self, ticks: u64) -> Self {
+        self.timeout = ticks.max(1);
+        self.adaptive = false;
+        self
+    }
+
+    /// Mirrors `h_trusted` into `cell` after every round.
+    #[must_use]
+    pub fn with_evt_hp_mirror(mut self, cell: SharedCell<EvtHPOutput>) -> Self {
+        self.evt_mirror = Some(cell);
+        self
+    }
+
+    /// Mirrors the `HΩ` extraction into `cell` after every round.
+    #[must_use]
+    pub fn with_h_omega_mirror(mut self, cell: SharedCell<HOmegaOutput>) -> Self {
+        self.omega_mirror = Some(cell);
+        self
+    }
+
+    /// Current `h_trusted_p`.
+    #[must_use]
+    pub fn h_trusted(&self) -> &Multiset<Identity> {
+        &self.h_trusted
+    }
+
+    /// Current `HΩ` extraction.
+    #[must_use]
+    pub fn h_omega(&self) -> HOmegaOutput {
+        self.h_omega
+    }
+
+    /// Current round `r_p`.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Current adaptive `timeout_p` in ticks.
+    #[must_use]
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    fn poll(&self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        ctx.broadcast(EvtHpMsg::Polling {
+            round: self.round,
+            id: ctx.my_id(),
+        });
+        ctx.set_timer(Span::from_ticks(self.timeout), ROUND);
+    }
+
+    fn end_round(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        // Lines 12-17: gather one identifier instance per covering reply.
+        let r = self.round;
+        let mut tmp = Multiset::new();
+        for &(from, to, sender) in &self.pending {
+            if from <= r && r <= to {
+                tmp.insert(sender);
+            }
+        }
+        self.h_trusted = tmp;
+        // Corollary 2: HΩ extraction, no communication.
+        if let Some(&leader) = self.h_trusted.min_elem() {
+            self.h_omega = HOmegaOutput::new(leader, self.h_trusted.multiplicity(&leader));
+        }
+        if let Some(cell) = &self.evt_mirror {
+            cell.set(EvtHPOutput::new(self.h_trusted.clone()));
+        }
+        if let Some(cell) = &self.omega_mirror {
+            cell.set(self.h_omega);
+        }
+        ctx.publish(EvtHpSnapshot {
+            evt_hp: EvtHPOutput::new(self.h_trusted.clone()),
+            h_omega: self.h_omega,
+            round: r,
+            timeout: self.timeout,
+        });
+        // Replies that cannot cover any round after r are dead.
+        self.pending.retain(|&(_, to, _)| to > r);
+        self.round += 1;
+        self.poll(ctx);
+    }
+}
+
+impl Default for EvtHpProcess {
+    fn default() -> Self {
+        EvtHpProcess::new()
+    }
+}
+
+impl Process for EvtHpProcess {
+    type Msg = EvtHpMsg;
+    type Output = EvtHpSnapshot;
+
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        self.started = true;
+        self.h_omega = HOmegaOutput::new(ctx.my_id(), 1);
+        self.poll(ctx);
+    }
+
+    fn on_message(&mut self, msg: EvtHpMsg, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        match msg {
+            // Task T2, lines 22-31.
+            EvtHpMsg::Polling { round, id } => {
+                let latest = self.mship.entry(id).or_insert(0);
+                if *latest < round {
+                    ctx.broadcast(EvtHpMsg::PReply {
+                        from: *latest + 1,
+                        to: round,
+                        target: id,
+                        sender: ctx.my_id(),
+                    });
+                    *latest = round;
+                }
+            }
+            // Reply handling: lines 13-16 (gathering) + 33-34 (adaptation).
+            EvtHpMsg::PReply {
+                from,
+                to,
+                target,
+                sender,
+            } => {
+                if target != ctx.my_id() {
+                    return;
+                }
+                // Lines 33-34: a reply whose interval starts before the
+                // current round arrived late; widen the timeout.
+                if self.adaptive && from < self.round {
+                    self.timeout += 1;
+                }
+                if to >= self.round {
+                    self.pending.push((from, to, sender));
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerTag, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        debug_assert_eq!(timer, ROUND);
+        self.end_round(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::prelude::*;
+    use homonym_sim::prelude::*;
+
+    fn hps_network(gst: u64, delta: u64) -> NetworkModel {
+        NetworkModel::PartialSync {
+            gst: Time::from_ticks(gst),
+            delta: Span::from_ticks(delta),
+            pre_gst: PreGstBehavior::LossyDelay {
+                loss_percent: 40,
+                max_delay: Span::from_ticks(30),
+            },
+        }
+    }
+
+    fn run_fig6(
+        assign: IdentityAssignment,
+        sched: FailureSchedule,
+        network: NetworkModel,
+        horizon: u64,
+        seed: u64,
+    ) -> (Vec<History<EvtHPOutput>>, Vec<History<HOmegaOutput>>) {
+        let cfg = SimConfig::new(assign, sched, network).with_seed(seed);
+        let mut engine = Engine::new(cfg, |_, _| EvtHpProcess::new());
+        engine.set_classifier(classify_evt_hp);
+        engine.run_until(Time::from_ticks(horizon));
+        let mut evt = Vec::new();
+        let mut omg = Vec::new();
+        for h in engine.histories() {
+            let (e, o) = split_snapshots(h);
+            evt.push(e);
+            omg.push(o);
+        }
+        (evt, omg)
+    }
+
+    #[test]
+    fn converges_in_partial_synchrony_with_homonyms() {
+        let assign = IdentityAssignment::round_robin(5, 2); // A B A B A
+        let sched = FailureSchedule::none(5)
+            .with_crash(1, Time::from_ticks(30))
+            .with_crash(4, Time::from_ticks(80));
+        let (evt, omg) = run_fig6(assign.clone(), sched.clone(), hps_network(60, 3), 1200, 7);
+        let rep = check_evt_hp(&evt, &sched, &assign).expect("◇HP class valid");
+        assert!(rep.stabilization >= Time::from_ticks(60), "cannot converge before GST");
+        let orep = check_h_omega(&omg, &sched, &assign).expect("HΩ class valid");
+        // Correct: p0(A), p2(A), p3(B) -> leader A with multiplicity 2.
+        assert_eq!(orep.leader, Identity::new(0));
+        assert_eq!(orep.multiplicity, 2);
+    }
+
+    #[test]
+    fn converges_under_synchronous_links_immediately() {
+        let assign = IdentityAssignment::round_robin(4, 2);
+        let sched = FailureSchedule::none(4);
+        let (evt, _) = run_fig6(
+            assign.clone(),
+            sched.clone(),
+            NetworkModel::reliable(Span::TICK),
+            400,
+            3,
+        );
+        let rep = check_evt_hp(&evt, &sched, &assign).expect("◇HP class valid");
+        assert!(rep.stabilization < Time::from_ticks(100));
+    }
+
+    #[test]
+    fn anonymous_system_counts_alive_bottoms() {
+        // All processes share ⊥: h_trusted converges to ⊥^|Correct|,
+        // which is exactly the AP-style alive count.
+        let assign = IdentityAssignment::anonymous(4);
+        let sched = FailureSchedule::none(4).with_crash(0, Time::from_ticks(25));
+        let (evt, omg) = run_fig6(assign.clone(), sched.clone(), hps_network(40, 2), 900, 11);
+        check_evt_hp(&evt, &sched, &assign).expect("◇HP class valid");
+        let orep = check_h_omega(&omg, &sched, &assign).expect("HΩ class valid");
+        assert_eq!(orep.leader, Identity::BOTTOM);
+        assert_eq!(orep.multiplicity, 3);
+    }
+
+    #[test]
+    fn unique_ids_reduce_to_classical_leader_election() {
+        let assign = IdentityAssignment::unique(5);
+        let sched = FailureSchedule::none(5).with_crash(0, Time::from_ticks(10));
+        let (_, omg) = run_fig6(assign.clone(), sched.clone(), hps_network(30, 2), 900, 5);
+        let orep = check_h_omega(&omg, &sched, &assign).expect("HΩ class valid");
+        // Smallest *correct* identifier: B (p0=A crashed).
+        assert_eq!(orep.leader, Identity::new(1));
+        assert_eq!(orep.multiplicity, 1);
+    }
+
+    #[test]
+    fn timeout_adapts_and_stops_growing_after_convergence() {
+        let assign = IdentityAssignment::unique(3);
+        let sched = FailureSchedule::none(3);
+        let cfg = SimConfig::new(assign, sched, hps_network(50, 4)).with_seed(9);
+        let mut engine = Engine::new(cfg, |_, _| EvtHpProcess::new());
+        engine.run_until(Time::from_ticks(2000));
+        for p in 0..3 {
+            let hist = engine.histories()[p].clone();
+            let final_timeout = hist.last().expect("rounds ran").1.timeout;
+            assert!(final_timeout >= 1);
+            // The timeout must stop growing well before the horizon:
+            // find the last round where it changed.
+            let last_growth = hist
+                .windows(2)
+                .rev()
+                .find(|w| w[1].1.timeout != w[0].1.timeout)
+                .map(|w| w[1].0);
+            if let Some(t) = last_growth {
+                assert!(
+                    t < Time::from_ticks(1500),
+                    "timeout still growing at {t} (final {final_timeout})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_reply_serves_all_homonymous_pollers() {
+        // Two homonyms poll with the same identifier; every other process
+        // must answer each identifier-round at most once.
+        let assign = IdentityAssignment::custom(vec![
+            Identity::new(0),
+            Identity::new(0),
+            Identity::new(1),
+        ]);
+        let sched = FailureSchedule::none(3);
+        let cfg = SimConfig::new(assign, sched, NetworkModel::reliable(Span::TICK)).with_seed(1);
+        let mut engine = Engine::new(cfg, |_, _| EvtHpProcess::new());
+        engine.set_classifier(classify_evt_hp);
+        engine.run_until(Time::from_ticks(300));
+        let m = engine.metrics().by_class.clone();
+        // Each receiver answers each *identifier* (2 distinct) once per
+        // round, so P_REPLY ≈ 2 × POLLING. Without identifier-level dedup
+        // each *poller* (3 of them) would be answered: ≈ 3 × POLLING.
+        assert!(
+            m["P_REPLY"] * 10 <= m["POLLING"] * 22,
+            "reply dedup failed: {m:?}"
+        );
+        assert!(
+            m["P_REPLY"] * 10 >= m["POLLING"] * 15,
+            "replies unexpectedly scarce: {m:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let assign = IdentityAssignment::round_robin(4, 2);
+        let sched = FailureSchedule::none(4).with_crash(2, Time::from_ticks(20));
+        let run = |seed| {
+            run_fig6(
+                assign.clone(),
+                sched.clone(),
+                hps_network(30, 3),
+                500,
+                seed,
+            )
+        };
+        assert_eq!(run(21), run(21));
+    }
+}

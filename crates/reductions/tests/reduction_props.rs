@@ -1,0 +1,188 @@
+//! Property-based tests of the reductions: class validity of the target
+//! class must hold for arbitrary worlds and oracle staleness.
+
+use homonym_core::prelude::*;
+use homonym_detectors::oracle::{OracleWorld, PreStability};
+use homonym_reductions::{
+    APToEvtHP, APToHSigmaProcess, ASigmaToHSigma, EvtHPToHOmega, HSigmaToSigmaProcess,
+    SigmaToHSigmaProcess,
+};
+use homonym_sim::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct World {
+    n: usize,
+    crash_times: Vec<Option<u64>>,
+    stabilize: u64,
+    lag: u64,
+    seed: u64,
+}
+
+fn world(max_n: usize) -> impl Strategy<Value = World> {
+    (2usize..=max_n)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(proptest::option::weighted(0.3, 1u64..40), n),
+                0u64..60,
+                0u64..8,
+                any::<u64>(),
+            )
+        })
+        .prop_map(|(n, crash_times, stabilize, lag, seed)| World {
+            n,
+            crash_times,
+            stabilize,
+            lag,
+            seed,
+        })
+        .prop_filter("need one correct process", |w| {
+            w.crash_times.iter().any(Option::is_none)
+        })
+}
+
+fn build(w: &World, assign: IdentityAssignment) -> (FailureSchedule, OracleWorld) {
+    let mut sched = FailureSchedule::none(w.n);
+    for (p, c) in w.crash_times.iter().enumerate() {
+        if let Some(at) = c {
+            sched.set_crash(p, Time::from_ticks(*at));
+        }
+    }
+    let ow = OracleWorld::new(sched.clone(), assign, Time::from_ticks(w.stabilize));
+    (sched, ow)
+}
+
+fn sample_histories<T>(
+    sched: &FailureSchedule,
+    horizon: u64,
+    f: impl Fn(usize, Time) -> T,
+) -> Vec<History<T>> {
+    (0..sched.n())
+        .map(|p| {
+            (0..=horizon)
+                .map(Time::from_ticks)
+                .filter(|&t| sched.is_alive(p, t))
+                .map(|t| (t, f(p, t)))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// AP → ◇HP → HΩ (Lemma 2 + Observation 1) is class valid on any
+    /// anonymous world.
+    #[test]
+    fn ap_to_evt_hp_to_h_omega_valid(w in world(7)) {
+        let assign = IdentityAssignment::anonymous(w.n);
+        let (sched, ow) = build(&w, assign.clone());
+        let horizon = w.stabilize + 80;
+        let evt = sample_histories(&sched, horizon, |_p, t| {
+            APToEvtHP::new(ow.ap(Span::from_ticks(w.lag))).evt_hp(t)
+        });
+        check_evt_hp(&evt, &sched, &assign)
+            .map_err(|e| TestCaseError::fail(format!("{w:?}: {e}")))?;
+        let omg = sample_histories(&sched, horizon, |_p, t| {
+            EvtHPToHOmega::new(APToEvtHP::new(ow.ap(Span::from_ticks(w.lag)))).h_omega(t)
+        });
+        check_h_omega(&omg, &sched, &assign)
+            .map_err(|e| TestCaseError::fail(format!("{w:?}: {e}")))?;
+    }
+
+    /// AΣ → HΣ (Theorem 3) is class valid on any anonymous world, under
+    /// any oracle behaviour.
+    #[test]
+    fn a_sigma_to_h_sigma_valid(w in world(7)) {
+        let assign = IdentityAssignment::anonymous(w.n);
+        let (sched, ow) = build(&w, assign.clone());
+        for pre in [PreStability::Truthful, PreStability::Chaotic] {
+            let h = sample_histories(&sched, w.stabilize + 80, |p, t| {
+                ASigmaToHSigma::new(ow.a_sigma_for(p, pre)).h_sigma(t)
+            });
+            check_h_sigma(&h, &sched, &assign)
+                .map_err(|e| TestCaseError::fail(format!("{w:?} {pre:?}: {e}")))?;
+        }
+    }
+
+    /// AP → HΣ (Lemma 3) as a process is class valid and silent.
+    #[test]
+    fn ap_to_h_sigma_process_valid(w in world(6)) {
+        let assign = IdentityAssignment::anonymous(w.n);
+        let (sched, ow) = build(&w, assign.clone());
+        let cfg = SimConfig::new(assign.clone(), sched.clone(), NetworkModel::reliable(Span::TICK))
+            .with_seed(w.seed);
+        let lag = w.lag;
+        let mut engine = Engine::new(cfg, move |_, _| {
+            APToHSigmaProcess::new(ow.ap(Span::from_ticks(lag)), Span::from_ticks(2))
+        });
+        engine.run_until(Time::from_ticks(w.stabilize + 120));
+        prop_assert_eq!(engine.metrics().broadcasts, 0);
+        check_h_sigma(engine.histories(), &sched, &assign)
+            .map_err(|e| TestCaseError::fail(format!("{w:?}: {e}")))?;
+    }
+
+    /// Σ → HΣ (Figures 1-2) is class valid for unique identifiers, with
+    /// and without membership knowledge.
+    #[test]
+    fn sigma_to_h_sigma_valid(w in world(5), known in any::<bool>()) {
+        let assign = IdentityAssignment::unique(w.n);
+        let (sched, ow) = build(&w, assign.clone());
+        let membership = assign.multiset().to_set();
+        let cfg = SimConfig::new(
+            assign.clone(),
+            sched.clone(),
+            NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+                min: Span::TICK,
+                max: Span::from_ticks(4),
+            }),
+        )
+        .with_seed(w.seed);
+        let lag = w.lag;
+        let mut engine = Engine::new(cfg, move |_, _| {
+            let sigma = ow.sigma(Span::from_ticks(lag + 4));
+            if known {
+                SigmaToHSigmaProcess::with_known_membership(
+                    sigma,
+                    membership.clone(),
+                    Span::from_ticks(3),
+                )
+            } else {
+                SigmaToHSigmaProcess::learning_membership(sigma, Span::from_ticks(3))
+            }
+        });
+        engine.run_until(Time::from_ticks(200));
+        if known {
+            prop_assert_eq!(engine.metrics().broadcasts, 0);
+        }
+        check_h_sigma(engine.histories(), &sched, &assign)
+            .map_err(|e| TestCaseError::fail(format!("{w:?} known={known}: {e}")))?;
+    }
+
+    /// HΣ → Σ (Figure 4) is class valid for unique identifiers.
+    #[test]
+    fn h_sigma_to_sigma_valid(w in world(5)) {
+        let assign = IdentityAssignment::unique(w.n);
+        let (sched, ow) = build(&w, assign.clone());
+        let cfg = SimConfig::new(
+            assign.clone(),
+            sched.clone(),
+            NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+                min: Span::TICK,
+                max: Span::from_ticks(4),
+            }),
+        )
+        .with_seed(w.seed);
+        let mut engine = Engine::new(cfg, move |p, _| {
+            HSigmaToSigmaProcess::new(
+                ow.h_sigma_for(p, PreStability::Truthful),
+                ow.e_list_for(p, PreStability::Chaotic),
+                Span::from_ticks(3),
+            )
+        });
+        engine.run_until(Time::from_ticks(w.stabilize + 220));
+        check_sigma(engine.histories(), &sched, &assign)
+            .map_err(|e| TestCaseError::fail(format!("{w:?}: {e}")))?;
+    }
+}

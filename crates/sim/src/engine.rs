@@ -1,0 +1,642 @@
+//! Deterministic discrete-event engine for `HAS`/`HPS` runs.
+//!
+//! The engine owns `n` processes built from a factory (all running the same
+//! program, per the model), a [`NetworkModel`], and a [`FailureSchedule`].
+//! It delivers three kinds of callbacks — start, message, timer — in a
+//! deterministic order (time, then insertion sequence) and records
+//! everything the property checkers and experiments need: per-process
+//! output histories, decisions, and message metrics.
+//!
+//! ## Crash semantics
+//!
+//! A process with crash time `ct` takes no step at or after `ct`. Following
+//! the model ("if a process crashes while broadcasting a message, the
+//! message is received by an arbitrary subset of processes"), a broadcast
+//! performed at the process's **final step** (`now == ct - 1`) delivers
+//! each copy independently with probability ½ when
+//! [`SimConfig::partial_broadcast_on_crash`] is set.
+
+use std::collections::BTreeMap;
+
+use homonym_core::failure::FailureSchedule;
+use homonym_core::identity::IdentityAssignment;
+use homonym_core::properties::{ConsensusOutcome, History};
+use homonym_core::time::{Span, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::NetworkModel;
+use crate::process::{Action, ActionSink, Process, TimerTag};
+use crate::trace::{Trace, TraceEvent};
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The next event lies beyond the requested deadline.
+    Deadline,
+    /// No events remain (all processes idle, no timers pending).
+    Quiescent,
+    /// The caller-supplied condition became true.
+    ConditionMet,
+    /// The configured event-count safety valve tripped.
+    EventLimit,
+}
+
+/// Message and event counters for a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of `broadcast` invocations.
+    pub broadcasts: u64,
+    /// Point-to-point copies placed on links (`broadcasts × n`, minus
+    /// copies dropped by a crashing sender).
+    pub copies_sent: u64,
+    /// Copies actually delivered to an alive, non-halted process.
+    pub copies_delivered: u64,
+    /// Copies lost by the network (pre-GST in `HPS`).
+    pub copies_lost: u64,
+    /// Timer callbacks fired.
+    pub timers_fired: u64,
+    /// Total callbacks dispatched.
+    pub events: u64,
+    /// Broadcasts by message class, when a classifier is installed.
+    pub by_class: BTreeMap<&'static str, u64>,
+}
+
+/// Static configuration of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Identity of each process.
+    pub assign: IdentityAssignment,
+    /// Ground-truth crash pattern.
+    pub sched: FailureSchedule,
+    /// Timing model.
+    pub network: NetworkModel,
+    /// Seed for all engine randomness (network sampling, per-process RNGs,
+    /// crash-broadcast masks). Same config + same seed ⇒ identical run.
+    pub seed: u64,
+    /// Deliver a random subset of the copies of a broadcast performed at
+    /// the sender's final step before crashing.
+    pub partial_broadcast_on_crash: bool,
+    /// Safety valve: maximum callbacks before the run stops with
+    /// [`StopReason::EventLimit`].
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// A configuration with the given topology and model, seed 0, partial
+    /// crash broadcasts enabled, and a 50M-event valve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment and schedule disagree on `n`.
+    #[must_use]
+    pub fn new(assign: IdentityAssignment, sched: FailureSchedule, network: NetworkModel) -> Self {
+        assert_eq!(assign.n(), sched.n(), "assignment/schedule size mismatch");
+        SimConfig {
+            assign,
+            sched,
+            network,
+            seed: 0,
+            partial_broadcast_on_crash: true,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+enum Event<M> {
+    Start { dst: usize },
+    Deliver { dst: usize, msg: M },
+    Timer { dst: usize, tag: TimerTag },
+}
+
+struct ProcSlot<P: Process> {
+    proc: P,
+    rng: StdRng,
+    halted: bool,
+}
+
+/// The discrete-event engine. See the module docs for semantics.
+pub struct Engine<P: Process> {
+    config: SimConfig,
+    procs: Vec<ProcSlot<P>>,
+    queue: BTreeMap<(Time, u64), Event<P::Msg>>,
+    seq: u64,
+    now: Time,
+    net_rng: StdRng,
+    metrics: Metrics,
+    histories: Vec<History<P::Output>>,
+    decisions: Vec<Option<(Time, u64)>>,
+    classifier: Option<fn(&P::Msg) -> &'static str>,
+    trace: Option<Trace>,
+}
+
+impl<P: Process> Engine<P> {
+    /// Builds an engine, constructing process `p` via `factory(p, id(p))`.
+    ///
+    /// The factory receives the process **index** purely as a
+    /// formalization-level hook (to wire proposals or ground-truth oracles);
+    /// algorithm state must only depend on the identifier.
+    pub fn new(config: SimConfig, mut factory: impl FnMut(usize, homonym_core::Identity) -> P) -> Self {
+        let n = config.assign.n();
+        let mut procs = Vec::with_capacity(n);
+        for p in 0..n {
+            procs.push(ProcSlot {
+                proc: factory(p, config.assign.id_of(p)),
+                // Decorrelate per-process streams from the engine stream.
+                rng: StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(p as u64 + 1))),
+                halted: false,
+            });
+        }
+        let net_rng = StdRng::seed_from_u64(config.seed);
+        let mut queue = BTreeMap::new();
+        for p in 0..n {
+            queue.insert((Time::ZERO, p as u64), Event::Start { dst: p });
+        }
+        Engine {
+            seq: n as u64,
+            now: Time::ZERO,
+            net_rng,
+            metrics: Metrics::default(),
+            histories: vec![Vec::new(); n],
+            decisions: vec![None; n],
+            classifier: None,
+            trace: None,
+            config,
+            procs,
+            queue,
+        }
+    }
+
+    /// Installs a message classifier used to populate
+    /// [`Metrics::by_class`] (e.g. tagging `POLLING` vs `P_REPLY`) and to
+    /// label trace events.
+    pub fn set_classifier(&mut self, f: fn(&P::Msg) -> &'static str) {
+        self.classifier = Some(f);
+    }
+
+    /// Starts recording a [`Trace`] keeping at most `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::with_capacity(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn class_of(&self, msg: &P::Msg) -> &'static str {
+        self.classifier.map_or("msg", |f| f(msg))
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.config.assign.n()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The run's metrics so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Recorded output histories, indexed by process.
+    #[must_use]
+    pub fn histories(&self) -> &[History<P::Output>] {
+        &self.histories
+    }
+
+    /// Recorded decisions, indexed by process.
+    #[must_use]
+    pub fn decisions(&self) -> &[Option<(Time, u64)>] {
+        &self.decisions
+    }
+
+    /// Read access to a process's state (for tests and experiments).
+    #[must_use]
+    pub fn process(&self, p: usize) -> &P {
+        &self.procs[p].proc
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Whether every correct process has decided.
+    #[must_use]
+    pub fn all_correct_decided(&self) -> bool {
+        self.config
+            .sched
+            .correct_set()
+            .into_iter()
+            .all(|p| self.decisions[p].is_some())
+    }
+
+    /// Packages decisions into a [`ConsensusOutcome`] for checking.
+    #[must_use]
+    pub fn outcome(&self, proposals: Vec<u64>) -> ConsensusOutcome {
+        ConsensusOutcome {
+            proposals,
+            decisions: self.decisions.clone(),
+        }
+    }
+
+    /// Runs until the deadline (inclusive) or quiescence.
+    pub fn run_until(&mut self, deadline: Time) -> StopReason {
+        self.run_with(deadline, |_| false)
+    }
+
+    /// Runs until every correct process has decided, the deadline passes,
+    /// or the system goes quiescent.
+    pub fn run_until_all_correct_decided(&mut self, deadline: Time) -> StopReason {
+        self.run_with(deadline, Engine::all_correct_decided)
+    }
+
+    /// Runs until `cond(self)` holds (checked after every callback), the
+    /// deadline passes, or the system goes quiescent.
+    pub fn run_with(&mut self, deadline: Time, mut cond: impl FnMut(&Self) -> bool) -> StopReason {
+        if cond(self) {
+            return StopReason::ConditionMet;
+        }
+        loop {
+            let Some((&(t, _), _)) = self.queue.first_key_value() else {
+                // Quiescent: clock jumps to the deadline so final history
+                // timestamps reflect the full observation window.
+                self.now = self.now.max(deadline);
+                return StopReason::Quiescent;
+            };
+            if t > deadline {
+                self.now = deadline;
+                return StopReason::Deadline;
+            }
+            if self.metrics.events >= self.config.max_events {
+                return StopReason::EventLimit;
+            }
+            let ((t, _), ev) = self.queue.pop_first().expect("nonempty");
+            self.now = t;
+            self.dispatch(ev);
+            if cond(self) {
+                return StopReason::ConditionMet;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<P::Msg>) {
+        let dst = match &ev {
+            Event::Start { dst } | Event::Deliver { dst, .. } | Event::Timer { dst, .. } => *dst,
+        };
+        if self.procs[dst].halted || !self.config.sched.is_alive(dst, self.now) {
+            return;
+        }
+        self.metrics.events += 1;
+        if self.trace.is_some() {
+            let tev = match &ev {
+                Event::Start { .. } => TraceEvent::Started { at: self.now, process: dst },
+                Event::Deliver { msg, .. } => TraceEvent::Delivered {
+                    at: self.now,
+                    process: dst,
+                    class: self.class_of(msg),
+                },
+                Event::Timer { tag, .. } => TraceEvent::TimerFired {
+                    at: self.now,
+                    process: dst,
+                    tag: *tag,
+                },
+            };
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(tev);
+            }
+        }
+        let mut actions: Vec<Action<P::Msg, P::Output>> = Vec::new();
+        {
+            let id = self.config.assign.id_of(dst);
+            let slot = &mut self.procs[dst];
+            let mut sink = ActionSink::new(id, self.now, &mut slot.rng, &mut actions);
+            match ev {
+                Event::Start { .. } => slot.proc.on_start(&mut sink),
+                Event::Deliver { msg, .. } => {
+                    self.metrics.copies_delivered += 1;
+                    slot.proc.on_message(msg, &mut sink);
+                }
+                Event::Timer { tag, .. } => {
+                    self.metrics.timers_fired += 1;
+                    slot.proc.on_timer(tag, &mut sink);
+                }
+            }
+        }
+        self.apply(dst, actions);
+    }
+
+    fn apply(&mut self, src: usize, actions: Vec<Action<P::Msg, P::Output>>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => self.do_broadcast(src, msg),
+                Action::SetTimer(delay, tag) => {
+                    let at = self.now + Span::from_ticks(delay.ticks().max(1));
+                    self.push(at, Event::Timer { dst: src, tag });
+                }
+                Action::Publish(output) => {
+                    self.histories[src].push((self.now, output));
+                }
+                Action::Decide(v) => {
+                    if self.decisions[src].is_none() {
+                        self.decisions[src] = Some((self.now, v));
+                        if let Some(trace) = self.trace.as_mut() {
+                            trace.record(TraceEvent::Decided {
+                                at: self.now,
+                                process: src,
+                                value: v,
+                            });
+                        }
+                    }
+                }
+                Action::Halt => {
+                    self.procs[src].halted = true;
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.record(TraceEvent::Halted {
+                            at: self.now,
+                            process: src,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn do_broadcast(&mut self, src: usize, msg: P::Msg) {
+        self.metrics.broadcasts += 1;
+        if let Some(f) = self.classifier {
+            *self.metrics.by_class.entry(f(&msg)).or_insert(0) += 1;
+        }
+        if self.trace.is_some() {
+            let class = self.class_of(&msg);
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(TraceEvent::Broadcast {
+                    at: self.now,
+                    process: src,
+                    class,
+                });
+            }
+        }
+        // A broadcast at the sender's final step reaches an arbitrary
+        // subset of the processes.
+        let dying = self.config.partial_broadcast_on_crash
+            && self.config.sched.crash_time(src) == Some(self.now.next());
+        for dst in 0..self.n() {
+            if dying && self.net_rng.gen_bool(0.5) {
+                continue;
+            }
+            self.metrics.copies_sent += 1;
+            match self.config.network.route(self.now, &mut self.net_rng) {
+                Some(at) => {
+                    let msg = msg.clone();
+                    self.push(at, Event::Deliver { dst, msg });
+                }
+                None => self.metrics.copies_lost += 1,
+            }
+        }
+    }
+
+    fn push(&mut self, at: Time, ev: Event<P::Msg>) {
+        self.queue.insert((at, self.seq), ev);
+        self.seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::Identity;
+
+    /// Echo process: broadcasts a counter at start, re-broadcasts any value
+    /// below a cap, and publishes everything it hears.
+    struct Echo {
+        cap: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Ping(u64);
+
+    impl Process for Echo {
+        type Msg = Ping;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut ActionSink<'_, Ping, u64>) {
+            ctx.broadcast(Ping(0));
+        }
+
+        fn on_message(&mut self, msg: Ping, ctx: &mut ActionSink<'_, Ping, u64>) {
+            ctx.publish(msg.0);
+            if msg.0 + 1 < self.cap {
+                ctx.broadcast(Ping(msg.0 + 1));
+            }
+        }
+
+        fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, Ping, u64>) {}
+    }
+
+    fn small_config(n: usize) -> SimConfig {
+        SimConfig::new(
+            IdentityAssignment::unique(n),
+            FailureSchedule::none(n),
+            NetworkModel::reliable(Span::from_ticks(1)),
+        )
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let mut e = Engine::new(small_config(3), |_, _| Echo { cap: 1 });
+        let reason = e.run_until(Time::from_ticks(100));
+        assert_eq!(reason, StopReason::Quiescent);
+        // 3 broadcasts of Ping(0), each delivered to 3 processes.
+        assert_eq!(e.metrics().broadcasts, 3);
+        assert_eq!(e.metrics().copies_delivered, 9);
+        for p in 0..3 {
+            assert_eq!(e.histories()[p].len(), 3);
+        }
+    }
+
+    #[test]
+    fn crashed_process_stops_receiving_and_sending() {
+        let mut cfg = small_config(3);
+        cfg.sched = FailureSchedule::none(3).with_crash(2, Time::ZERO);
+        cfg.partial_broadcast_on_crash = false;
+        let mut e = Engine::new(cfg, |_, _| Echo { cap: 1 });
+        e.run_until(Time::from_ticks(100));
+        // p2 never starts: only 2 broadcasts, delivered to the 2 alive.
+        assert_eq!(e.metrics().broadcasts, 2);
+        assert_eq!(e.metrics().copies_delivered, 4);
+        assert!(e.histories()[2].is_empty());
+    }
+
+    #[test]
+    fn final_step_broadcast_reaches_a_strict_subset_sometimes() {
+        // Sender p0 crashes at t1, so its start-broadcast at t0 is its
+        // final step. Over many seeds, some copies must be dropped and
+        // some delivered.
+        let mut dropped_somewhere = false;
+        let mut delivered_somewhere = false;
+        for seed in 0..20 {
+            let mut cfg = small_config(4);
+            cfg.sched = FailureSchedule::none(4).with_crash(0, Time::from_ticks(1));
+            cfg.seed = seed;
+            let mut e = Engine::new(cfg, |_, _| Echo { cap: 1 });
+            e.run_until(Time::from_ticks(50));
+            // p0's broadcast put between 0 and 4 copies on the wire.
+            let copies_from_p0 = e.metrics().copies_sent - 3 * 4;
+            if copies_from_p0 < 4 {
+                dropped_somewhere = true;
+            }
+            if copies_from_p0 > 0 {
+                delivered_somewhere = true;
+            }
+        }
+        assert!(dropped_somewhere, "partial broadcast never dropped a copy");
+        assert!(delivered_somewhere, "partial broadcast never delivered a copy");
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let run = |seed: u64| {
+            let mut cfg = small_config(4);
+            cfg.network = NetworkModel::Asynchronous(crate::network::LatencyDistribution::Uniform {
+                min: Span::from_ticks(1),
+                max: Span::from_ticks(9),
+            });
+            cfg.seed = seed;
+            let mut e = Engine::new(cfg, |_, _| Echo { cap: 4 });
+            e.run_until(Time::from_ticks(500));
+            (e.metrics().clone(), e.histories().to_vec())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).1, run(8).1, "different seeds should reorder");
+    }
+
+    #[test]
+    fn deadline_stops_before_late_events() {
+        struct Clock;
+        impl Process for Clock {
+            type Msg = ();
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut ActionSink<'_, (), u64>) {
+                ctx.set_timer(Span::from_ticks(10), TimerTag(0));
+            }
+            fn on_message(&mut self, _m: (), _ctx: &mut ActionSink<'_, (), u64>) {}
+            fn on_timer(&mut self, _t: TimerTag, ctx: &mut ActionSink<'_, (), u64>) {
+                ctx.publish(1);
+                ctx.set_timer(Span::from_ticks(10), TimerTag(0));
+            }
+        }
+        let mut e = Engine::new(small_config(1), |_, _| Clock);
+        let reason = e.run_until(Time::from_ticks(35));
+        assert_eq!(reason, StopReason::Deadline);
+        assert_eq!(e.histories()[0].len(), 3); // t10, t20, t30
+        assert_eq!(e.now(), Time::from_ticks(35));
+    }
+
+    #[test]
+    fn decide_records_first_value_only() {
+        struct Decider;
+        impl Process for Decider {
+            type Msg = ();
+            type Output = ();
+            fn on_start(&mut self, ctx: &mut ActionSink<'_, (), ()>) {
+                ctx.decide(1);
+                ctx.decide(2);
+            }
+            fn on_message(&mut self, _m: (), _ctx: &mut ActionSink<'_, (), ()>) {}
+            fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, (), ()>) {}
+        }
+        let mut e = Engine::new(small_config(2), |_, _| Decider);
+        let reason = e.run_until_all_correct_decided(Time::from_ticks(10));
+        assert_eq!(reason, StopReason::ConditionMet);
+        assert_eq!(e.decisions()[0], Some((Time::ZERO, 1)));
+        assert!(e.all_correct_decided());
+    }
+
+    #[test]
+    fn halted_process_gets_no_more_callbacks() {
+        struct OneShot {
+            heard: u64,
+        }
+        impl Process for OneShot {
+            type Msg = u64;
+            type Output = u64;
+            fn on_start(&mut self, ctx: &mut ActionSink<'_, u64, u64>) {
+                ctx.broadcast(1);
+                ctx.broadcast(2);
+            }
+            fn on_message(&mut self, m: u64, ctx: &mut ActionSink<'_, u64, u64>) {
+                self.heard += 1;
+                ctx.publish(m);
+                ctx.halt();
+            }
+            fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, u64, u64>) {}
+        }
+        let mut e = Engine::new(small_config(1), |_, _| OneShot { heard: 0 });
+        e.run_until(Time::from_ticks(100));
+        assert_eq!(e.process(0).heard, 1);
+    }
+
+    #[test]
+    fn event_limit_trips() {
+        struct Storm;
+        impl Process for Storm {
+            type Msg = ();
+            type Output = ();
+            fn on_start(&mut self, ctx: &mut ActionSink<'_, (), ()>) {
+                ctx.broadcast(());
+            }
+            fn on_message(&mut self, _m: (), ctx: &mut ActionSink<'_, (), ()>) {
+                ctx.broadcast(());
+            }
+            fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, (), ()>) {}
+        }
+        let mut cfg = small_config(2);
+        cfg.max_events = 100;
+        let mut e = Engine::new(cfg, |_, _| Storm);
+        assert_eq!(e.run_until(Time::MAX), StopReason::EventLimit);
+    }
+
+    #[test]
+    fn classifier_counts_by_class() {
+        let mut e = Engine::new(small_config(2), |_, _| Echo { cap: 2 });
+        e.set_classifier(|m| if m.0 == 0 { "first" } else { "rest" });
+        e.run_until(Time::from_ticks(100));
+        assert_eq!(e.metrics().by_class["first"], 2);
+        assert_eq!(e.metrics().by_class["rest"], 4);
+    }
+
+    #[test]
+    fn factory_receives_index_and_identity() {
+        let mut seen = Vec::new();
+        let _ = Engine::new(small_config(3), |p, id| {
+            seen.push((p, id));
+            Echo { cap: 0 }
+        });
+        assert_eq!(
+            seen,
+            vec![
+                (0, Identity::new(0)),
+                (1, Identity::new(1)),
+                (2, Identity::new(2))
+            ]
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! # homonym-sim
+//!
+//! Deterministic discrete-event simulator for **homonymous message-passing
+//! systems** — the substrate on which this workspace reproduces the
+//! algorithms of *"Failure Detectors in Homonymous Distributed Systems"*
+//! (ICDCS 2012).
+//!
+//! The paper's three timing models are realized as:
+//!
+//! * `HAS[∅]` — [`NetworkModel::Asynchronous`] under the event-driven
+//!   [`Engine`];
+//! * `HPS[∅]` — [`NetworkModel::PartialSync`] (messages sent before an
+//!   unknown GST may be lost or delayed; afterwards delivered within `δ`);
+//! * `HSS[∅]` — the lock-step [`SyncEngine`].
+//!
+//! Processes implement [`Process`] (event-driven) or [`SyncProcess`]
+//! (lock-step); the engines inject crashes from a
+//! [`FailureSchedule`](homonym_core::FailureSchedule), including the
+//! model's "arbitrary subset" semantics for a broadcast interrupted by a
+//! crash. Runs are fully deterministic given a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use homonym_core::prelude::*;
+//! use homonym_sim::prelude::*;
+//!
+//! // One process that broadcasts a number and decides when it hears it.
+//! struct Loopback;
+//! impl Process for Loopback {
+//!     type Msg = u64;
+//!     type Output = ();
+//!     fn on_start(&mut self, ctx: &mut ActionSink<'_, u64, ()>) {
+//!         ctx.broadcast(42);
+//!     }
+//!     fn on_message(&mut self, msg: u64, ctx: &mut ActionSink<'_, u64, ()>) {
+//!         ctx.decide(msg);
+//!     }
+//!     fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, u64, ()>) {}
+//! }
+//!
+//! let cfg = SimConfig::new(
+//!     IdentityAssignment::unique(1),
+//!     FailureSchedule::none(1),
+//!     NetworkModel::reliable(Span::TICK),
+//! );
+//! let mut engine = Engine::new(cfg, |_, _| Loopback);
+//! engine.run_until_all_correct_decided(Time::from_ticks(10));
+//! assert_eq!(engine.decisions()[0].map(|(_, v)| v), Some(42));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod network;
+pub mod process;
+pub mod stack;
+pub mod sync_engine;
+pub mod trace;
+
+pub use engine::{Engine, Metrics, SimConfig, StopReason};
+pub use network::{LatencyDistribution, NetworkModel, PreGstBehavior};
+pub use process::{ActionSink, Message, Process, TimerTag};
+pub use stack::{split_history, Either, Stacked};
+pub use sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
+pub use trace::{Trace, TraceEvent};
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::engine::{Engine, Metrics, SimConfig, StopReason};
+    pub use crate::network::{LatencyDistribution, NetworkModel, PreGstBehavior};
+    pub use crate::process::{ActionSink, Message, Process, TimerTag};
+    pub use crate::stack::{split_history, Either, Stacked};
+    pub use crate::sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
+    pub use crate::trace::{Trace, TraceEvent};
+}

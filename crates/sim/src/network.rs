@@ -1,0 +1,291 @@
+//! Network timing models: the three synchrony assumptions of the paper.
+//!
+//! The network has a directed link from every process to every process
+//! (including self-links); `broadcast(m)` puts one copy of `m` on each
+//! link. A [`NetworkModel`] decides, per copy, the delivery latency — or
+//! loss, which the model only permits **before GST** in the partially
+//! synchronous case (`HPS`).
+//!
+//! * [`NetworkModel::Asynchronous`] — `HAS[∅]`: reliable links, arbitrary
+//!   finite delays.
+//! * [`NetworkModel::PartialSync`] — `HPS[∅]`: messages sent before the
+//!   (unknown to processes) global stabilization time `GST` may be lost or
+//!   arbitrarily delayed; messages sent at or after `GST` are delivered
+//!   within `δ`.
+//! * [`NetworkModel::Synchronous`] — `HSS[∅]`: known bound; every copy is
+//!   delivered in exactly one tick, which together with lock-step rounds
+//!   realizes the synchronous model.
+
+use homonym_core::time::{Span, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A distribution of message latencies, sampled per message copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatencyDistribution {
+    /// Every copy takes exactly this many ticks.
+    Fixed(Span),
+    /// Uniform in `[min, max]` ticks (inclusive).
+    Uniform {
+        /// Minimum latency.
+        min: Span,
+        /// Maximum latency.
+        max: Span,
+    },
+    /// Mostly-fast with occasional stragglers: latency is `base` with
+    /// probability `1 - slow_percent/100`, otherwise uniform in
+    /// `[base, base + tail]`. Approximates heavy-tailed asynchrony while
+    /// keeping every delay finite, as the model requires.
+    SkewedTail {
+        /// Common-case latency.
+        base: Span,
+        /// Extra delay range for stragglers.
+        tail: Span,
+        /// Percentage (0..=100) of straggler copies.
+        slow_percent: u8,
+    },
+}
+
+impl LatencyDistribution {
+    /// Samples a latency; always at least one tick so a message never
+    /// arrives at its send instant.
+    pub fn sample(&self, rng: &mut StdRng) -> Span {
+        let ticks = match self {
+            LatencyDistribution::Fixed(d) => d.ticks(),
+            LatencyDistribution::Uniform { min, max } => {
+                let (lo, hi) = (min.ticks(), max.ticks().max(min.ticks()));
+                rng.gen_range(lo..=hi)
+            }
+            LatencyDistribution::SkewedTail {
+                base,
+                tail,
+                slow_percent,
+            } => {
+                if rng.gen_range(0u8..100) < *slow_percent {
+                    base.ticks() + rng.gen_range(0..=tail.ticks())
+                } else {
+                    base.ticks()
+                }
+            }
+        };
+        Span::from_ticks(ticks.max(1))
+    }
+
+    /// An upper bound on any sample, used by tests and experiment sizing.
+    #[must_use]
+    pub fn upper_bound(&self) -> Span {
+        match self {
+            LatencyDistribution::Fixed(d) => Span::from_ticks(d.ticks().max(1)),
+            LatencyDistribution::Uniform { min, max } => {
+                Span::from_ticks(max.ticks().max(min.ticks()).max(1))
+            }
+            LatencyDistribution::SkewedTail { base, tail, .. } => {
+                Span::from_ticks((base.ticks() + tail.ticks()).max(1))
+            }
+        }
+    }
+}
+
+/// What happens to a message copy sent before GST in `HPS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreGstBehavior {
+    /// Lost with the given probability (percent), otherwise delayed
+    /// uniformly up to `max_delay` ticks past GST.
+    LossyDelay {
+        /// Percentage (0..=100) of copies lost outright.
+        loss_percent: u8,
+        /// Maximum extra delay, measured from the send time.
+        max_delay: Span,
+    },
+    /// Never lost, but delayed arbitrarily (up to `max_delay`).
+    DelayOnly {
+        /// Maximum extra delay, measured from the send time.
+        max_delay: Span,
+    },
+}
+
+/// The timing model of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkModel {
+    /// `HAS[∅]`: reliable asynchronous links.
+    Asynchronous(LatencyDistribution),
+    /// `HPS[∅]`: eventually timely links.
+    PartialSync {
+        /// Global stabilization time (unknown to processes).
+        gst: Time,
+        /// Post-GST delivery bound (unknown to processes).
+        delta: Span,
+        /// Fate of pre-GST copies.
+        pre_gst: PreGstBehavior,
+    },
+    /// `HSS[∅]`: synchronous; copies are delivered in exactly one tick.
+    Synchronous,
+}
+
+impl NetworkModel {
+    /// A convenient fully reliable fixed-latency asynchronous network.
+    #[must_use]
+    pub fn reliable(latency: Span) -> Self {
+        NetworkModel::Asynchronous(LatencyDistribution::Fixed(latency))
+    }
+
+    /// The fate of one message copy sent at `sent_at`: `Some(delivery
+    /// time)` or `None` when the copy is lost (pre-GST only).
+    pub fn route(&self, sent_at: Time, rng: &mut StdRng) -> Option<Time> {
+        match self {
+            NetworkModel::Asynchronous(dist) => Some(sent_at + dist.sample(rng)),
+            NetworkModel::Synchronous => Some(sent_at + Span::TICK),
+            NetworkModel::PartialSync {
+                gst,
+                delta,
+                pre_gst,
+            } => {
+                if sent_at >= *gst {
+                    // Timely: within delta, at least one tick.
+                    let d = rng.gen_range(1..=delta.ticks().max(1));
+                    Some(sent_at + Span::from_ticks(d))
+                } else {
+                    match pre_gst {
+                        PreGstBehavior::LossyDelay {
+                            loss_percent,
+                            max_delay,
+                        } => {
+                            if rng.gen_range(0u8..100) < *loss_percent {
+                                None
+                            } else {
+                                let d = rng.gen_range(1..=max_delay.ticks().max(1));
+                                Some(sent_at + Span::from_ticks(d))
+                            }
+                        }
+                        PreGstBehavior::DelayOnly { max_delay } => {
+                            let d = rng.gen_range(1..=max_delay.ticks().max(1));
+                            Some(sent_at + Span::from_ticks(d))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether this model guarantees delivery of every copy.
+    #[must_use]
+    pub fn is_reliable(&self) -> bool {
+        !matches!(
+            self,
+            NetworkModel::PartialSync {
+                pre_gst: PreGstBehavior::LossyDelay { .. },
+                ..
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fixed_latency_is_fixed() {
+        let m = NetworkModel::reliable(Span::from_ticks(3));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.route(Time::from_ticks(5), &mut r), Some(Time::from_ticks(8)));
+        }
+    }
+
+    #[test]
+    fn latency_is_never_zero() {
+        let dist = LatencyDistribution::Fixed(Span::ZERO);
+        let mut r = rng();
+        assert_eq!(dist.sample(&mut r), Span::TICK);
+        let m = NetworkModel::Synchronous;
+        assert_eq!(m.route(Time::ZERO, &mut r), Some(Time::from_ticks(1)));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let dist = LatencyDistribution::Uniform {
+            min: Span::from_ticks(2),
+            max: Span::from_ticks(6),
+        };
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = dist.sample(&mut r).ticks();
+            assert!((2..=6).contains(&d));
+        }
+        assert_eq!(dist.upper_bound(), Span::from_ticks(6));
+    }
+
+    #[test]
+    fn skewed_tail_stays_in_range() {
+        let dist = LatencyDistribution::SkewedTail {
+            base: Span::from_ticks(2),
+            tail: Span::from_ticks(10),
+            slow_percent: 30,
+        };
+        let mut r = rng();
+        let mut seen_slow = false;
+        for _ in 0..200 {
+            let d = dist.sample(&mut r).ticks();
+            assert!((2..=12).contains(&d));
+            if d > 2 {
+                seen_slow = true;
+            }
+        }
+        assert!(seen_slow, "tail should trigger at 30%");
+    }
+
+    #[test]
+    fn partial_sync_is_timely_after_gst() {
+        let m = NetworkModel::PartialSync {
+            gst: Time::from_ticks(100),
+            delta: Span::from_ticks(4),
+            pre_gst: PreGstBehavior::LossyDelay {
+                loss_percent: 100,
+                max_delay: Span::from_ticks(50),
+            },
+        };
+        let mut r = rng();
+        // Before GST with 100% loss: always dropped.
+        assert_eq!(m.route(Time::from_ticks(99), &mut r), None);
+        // After GST: delivered within delta.
+        for _ in 0..50 {
+            let t = m.route(Time::from_ticks(100), &mut r).expect("timely");
+            assert!(t > Time::from_ticks(100) && t <= Time::from_ticks(104));
+        }
+    }
+
+    #[test]
+    fn pre_gst_delay_only_never_loses() {
+        let m = NetworkModel::PartialSync {
+            gst: Time::from_ticks(10),
+            delta: Span::TICK,
+            pre_gst: PreGstBehavior::DelayOnly {
+                max_delay: Span::from_ticks(30),
+            },
+        };
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(m.route(Time::ZERO, &mut r).is_some());
+        }
+        assert!(m.is_reliable());
+    }
+
+    #[test]
+    fn lossy_pre_gst_is_unreliable() {
+        let m = NetworkModel::PartialSync {
+            gst: Time::from_ticks(10),
+            delta: Span::TICK,
+            pre_gst: PreGstBehavior::LossyDelay {
+                loss_percent: 50,
+                max_delay: Span::from_ticks(5),
+            },
+        };
+        assert!(!m.is_reliable());
+    }
+}

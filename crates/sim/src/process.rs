@@ -1,0 +1,214 @@
+//! The algorithm-facing process abstraction.
+//!
+//! A [`Process`] is the program run by every process of the system. Per the
+//! paper's model, homonymous processes execute the **same program**; the
+//! engine therefore runs one `Process` implementation for the whole system,
+//! constructed per process index by a factory. A process observes only:
+//!
+//! * its own identifier (`ctx.my_id()`),
+//! * the payloads of messages delivered to it (never the sender or link),
+//! * its own timers.
+//!
+//! It cannot read the global clock, the membership, or the failure pattern.
+
+use core::fmt;
+
+use homonym_core::identity::Identity;
+use homonym_core::time::{Span, Time};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Payload constraints for protocol messages.
+pub trait Message: Clone + fmt::Debug + Send + 'static {}
+impl<T: Clone + fmt::Debug + Send + 'static> Message for T {}
+
+/// An opaque timer tag chosen by the process when arming a timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerTag(pub u64);
+
+impl fmt::Display for TimerTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// A program executed by (possibly homonymous) processes.
+///
+/// All callbacks receive an [`ActionSink`] used to broadcast, arm timers,
+/// publish detector output snapshots, and decide.
+pub trait Process: Send + 'static {
+    /// Protocol message payload.
+    type Msg: Message;
+    /// Detector-output type recorded by the engine for property checking
+    /// (use `()` for processes that are not detectors).
+    type Output: Clone + fmt::Debug + Send + 'static;
+
+    /// Called once when the process starts (time 0 for all processes).
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>);
+
+    /// Called when a broadcast message is delivered to this process.
+    /// The sender and the link are unobservable, per the model.
+    fn on_message(&mut self, msg: Self::Msg, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>);
+
+    /// Called when a timer armed through [`ActionSink::set_timer`] fires.
+    fn on_timer(&mut self, timer: TimerTag, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>);
+}
+
+/// Effects a process can request during a callback.
+///
+/// Public so that alternative engines (e.g. the thread-based
+/// `homonym-runtime`) can drain and apply them; algorithm code never
+/// constructs these directly.
+#[derive(Debug)]
+pub enum Action<M, O> {
+    /// Send `m` to every process, self included.
+    Broadcast(M),
+    /// Arm a one-shot timer.
+    SetTimer(Span, TimerTag),
+    /// Record a detector-output snapshot.
+    Publish(O),
+    /// Record a consensus decision.
+    Decide(u64),
+    /// Stop delivering callbacks to this process.
+    Halt,
+}
+
+/// The process's handle to the outside world during one callback.
+///
+/// The sink records requested effects; the engine applies them when the
+/// callback returns (a crash scheduled mid-broadcast can then deliver the
+/// message to an arbitrary subset, as the model prescribes).
+pub struct ActionSink<'a, M, O> {
+    my_id: Identity,
+    now: Time,
+    rng: &'a mut StdRng,
+    actions: &'a mut Vec<Action<M, O>>,
+    halted: bool,
+}
+
+impl<'a, M, O> ActionSink<'a, M, O> {
+    /// Creates a sink collecting into `actions`. For engine implementors;
+    /// algorithm code receives sinks from its engine.
+    pub fn new(
+        my_id: Identity,
+        now: Time,
+        rng: &'a mut StdRng,
+        actions: &'a mut Vec<Action<M, O>>,
+    ) -> Self {
+        ActionSink {
+            my_id,
+            now,
+            rng,
+            actions,
+            halted: false,
+        }
+    }
+
+    /// The identifier `id(p)` of this process. Homonyms observe the same
+    /// value; it is the **only** initial knowledge a process has.
+    #[must_use]
+    pub fn my_id(&self) -> Identity {
+        self.my_id
+    }
+
+    /// The local virtual time at which this callback runs.
+    ///
+    /// Exposed for logging/adaptive timeouts relative to the process's own
+    /// events; algorithms must not use it as a synchronized global clock
+    /// (the engine offers no cross-process time agreement API).
+    #[must_use]
+    pub fn local_now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `m` to **all** processes of the system, itself included
+    /// (the paper's `broadcast` primitive).
+    pub fn broadcast(&mut self, m: M) {
+        self.actions.push(Action::Broadcast(m));
+    }
+
+    /// Arms a one-shot timer that fires after `delay` (at least one tick).
+    pub fn set_timer(&mut self, delay: Span, tag: TimerTag) {
+        self.actions.push(Action::SetTimer(delay, tag));
+    }
+
+    /// Publishes a detector-output snapshot for history recording.
+    pub fn publish(&mut self, output: O) {
+        self.actions.push(Action::Publish(output));
+    }
+
+    /// Records a consensus decision. The process keeps running (the
+    /// Figure 8/9 `Task T2` keeps relaying `DECIDE`) unless it also calls
+    /// [`ActionSink::halt`].
+    pub fn decide(&mut self, value: u64) {
+        self.actions.push(Action::Decide(value));
+    }
+
+    /// Stops the process: no further callbacks are delivered.
+    pub fn halt(&mut self) {
+        self.halted = true;
+        self.actions.push(Action::Halt);
+    }
+
+    /// Whether this callback already requested a halt.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Process-local deterministic randomness (seeded per process by the
+    /// engine). Algorithms in this repository only use it where the paper
+    /// allows non-determinism (e.g. random proposal tie-breaks in
+    /// workloads), never for correctness.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut *self.rng
+    }
+
+    /// Crate-internal access to the concrete RNG, used by
+    /// [`crate::stack::Stacked`] to hand the same stream to a sub-sink.
+    pub(crate) fn raw_rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+impl<M, O> fmt::Debug for ActionSink<'_, M, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActionSink")
+            .field("my_id", &self.my_id)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sink_records_actions_in_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut actions: Vec<Action<u32, ()>> = Vec::new();
+        let mut sink = ActionSink::new(Identity::new(0), Time::ZERO, &mut rng, &mut actions);
+        sink.broadcast(7);
+        sink.set_timer(Span::from_ticks(3), TimerTag(1));
+        sink.decide(9);
+        assert!(!sink.halted());
+        sink.halt();
+        assert!(sink.halted());
+        assert_eq!(actions.len(), 4);
+        assert!(matches!(actions[0], Action::Broadcast(7)));
+        assert!(matches!(actions[1], Action::SetTimer(d, TimerTag(1)) if d == Span::from_ticks(3)));
+        assert!(matches!(actions[2], Action::Decide(9)));
+        assert!(matches!(actions[3], Action::Halt));
+    }
+
+    #[test]
+    fn sink_exposes_identity_and_time() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut actions: Vec<Action<u32, ()>> = Vec::new();
+        let sink = ActionSink::new(Identity::new(5), Time::from_ticks(9), &mut rng, &mut actions);
+        assert_eq!(sink.my_id(), Identity::new(5));
+        assert_eq!(sink.local_now(), Time::from_ticks(9));
+    }
+}

@@ -1,0 +1,313 @@
+//! Composition of two programs inside one simulated process.
+//!
+//! The paper's consensus algorithms run *on top of* a failure detector: the
+//! detector is a separate distributed algorithm whose local variables the
+//! consensus layer reads at will. [`Stacked`] realizes exactly that: one
+//! simulated process runs a detector half `A` and a consumer half `B`,
+//! multiplexing their messages over the shared broadcast primitive and
+//! recording both halves' published outputs. The detector half exposes its
+//! variables to the consumer half through a
+//! [`SharedCell`](homonym_core::query::SharedCell) wired at construction.
+
+use core::fmt;
+
+use homonym_core::time::Span;
+
+use crate::process::{Action, ActionSink, Process, TimerTag};
+
+/// A tagged union of the two halves' messages (or outputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Either<L, R> {
+    /// Belongs to the detector half `A`.
+    L(L),
+    /// Belongs to the consumer half `B`.
+    R(R),
+}
+
+impl<L: fmt::Display, R: fmt::Display> fmt::Display for Either<L, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Either::L(l) => write!(f, "L:{l}"),
+            Either::R(r) => write!(f, "R:{r}"),
+        }
+    }
+}
+
+/// Two programs sharing one process: `A` (typically a detector
+/// implementation) and `B` (typically consensus).
+///
+/// Timer tags are remapped (`A` on even tags, `B` on odd) so the halves can
+/// use their tag spaces independently.
+pub struct Stacked<A: Process, B: Process> {
+    a: A,
+    b: B,
+}
+
+/// The action sink a [`Stacked`] process receives from its engine.
+type StackSink<'a, A, B> = ActionSink<
+    'a,
+    Either<<A as Process>::Msg, <B as Process>::Msg>,
+    Either<<A as Process>::Output, <B as Process>::Output>,
+>;
+
+impl<A: Process, B: Process> Stacked<A, B> {
+    /// Stacks `a` under `b`.
+    pub fn new(a: A, b: B) -> Self {
+        Stacked { a, b }
+    }
+
+    /// The detector half.
+    pub fn lower(&self) -> &A {
+        &self.a
+    }
+
+    /// The consumer half.
+    pub fn upper(&self) -> &B {
+        &self.b
+    }
+
+    fn relay<M0, O0>(
+        ctx: &mut StackSink<'_, A, B>,
+        run: impl FnOnce(&mut ActionSink<'_, M0, O0>),
+        mut lift_msg: impl FnMut(M0) -> Either<A::Msg, B::Msg>,
+        mut lift_out: impl FnMut(O0) -> Either<A::Output, B::Output>,
+        mut lift_tag: impl FnMut(TimerTag) -> TimerTag,
+    ) {
+        let mut actions: Vec<Action<M0, O0>> = Vec::new();
+        {
+            let mut sub = ActionSink::new(ctx.my_id(), ctx.local_now(), ctx.raw_rng(), &mut actions);
+            run(&mut sub);
+        }
+        for action in actions {
+            match action {
+                Action::Broadcast(m) => ctx.broadcast(lift_msg(m)),
+                Action::SetTimer(d, tag) => ctx.set_timer(d, lift_tag(tag)),
+                Action::Publish(o) => ctx.publish(lift_out(o)),
+                Action::Decide(v) => ctx.decide(v),
+                Action::Halt => ctx.halt(),
+            }
+        }
+    }
+
+    fn run_a(
+        &mut self,
+        ctx: &mut StackSink<'_, A, B>,
+        f: impl FnOnce(&mut A, &mut ActionSink<'_, A::Msg, A::Output>),
+    ) {
+        let a = &mut self.a;
+        Self::relay(
+            ctx,
+            |sub| f(a, sub),
+            Either::L,
+            Either::L,
+            |tag| TimerTag(tag.0 * 2),
+        );
+    }
+
+    fn run_b(
+        &mut self,
+        ctx: &mut StackSink<'_, A, B>,
+        f: impl FnOnce(&mut B, &mut ActionSink<'_, B::Msg, B::Output>),
+    ) {
+        let b = &mut self.b;
+        Self::relay(
+            ctx,
+            |sub| f(b, sub),
+            Either::R,
+            Either::R,
+            |tag| TimerTag(tag.0 * 2 + 1),
+        );
+    }
+}
+
+impl<A: Process, B: Process> Process for Stacked<A, B> {
+    type Msg = Either<A::Msg, B::Msg>;
+    type Output = Either<A::Output, B::Output>;
+
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>) {
+        self.run_a(ctx, |a, sub| a.on_start(sub));
+        self.run_b(ctx, |b, sub| b.on_start(sub));
+    }
+
+    fn on_message(&mut self, msg: Self::Msg, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>) {
+        match msg {
+            Either::L(m) => self.run_a(ctx, |a, sub| a.on_message(m, sub)),
+            Either::R(m) => self.run_b(ctx, |b, sub| b.on_message(m, sub)),
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerTag, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>) {
+        if timer.0.is_multiple_of(2) {
+            let tag = TimerTag(timer.0 / 2);
+            self.run_a(ctx, |a, sub| a.on_timer(tag, sub));
+        } else {
+            let tag = TimerTag(timer.0 / 2);
+            self.run_b(ctx, |b, sub| b.on_timer(tag, sub));
+        }
+    }
+}
+
+/// Splits the recorded history of a [`Stacked`] run back into the two
+/// halves' histories.
+#[must_use]
+pub fn split_history<OA: Clone, OB: Clone>(
+    hist: &homonym_core::properties::History<Either<OA, OB>>,
+) -> (
+    homonym_core::properties::History<OA>,
+    homonym_core::properties::History<OB>,
+) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (t, o) in hist {
+        match o {
+            Either::L(a) => left.push((*t, a.clone())),
+            Either::R(b) => right.push((*t, b.clone())),
+        }
+    }
+    (left, right)
+}
+
+/// A trivial process that does nothing; useful as a placeholder half.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Idle;
+
+impl Process for Idle {
+    type Msg = ();
+    type Output = ();
+    fn on_start(&mut self, _ctx: &mut ActionSink<'_, (), ()>) {}
+    fn on_message(&mut self, _msg: (), _ctx: &mut ActionSink<'_, (), ()>) {}
+    fn on_timer(&mut self, _timer: TimerTag, _ctx: &mut ActionSink<'_, (), ()>) {}
+}
+
+/// A process that repeatedly re-arms a tick timer; handy in tests that need
+/// periodic activity from one half.
+#[derive(Debug, Clone, Copy)]
+pub struct Ticker {
+    period: Span,
+    ticks: u64,
+}
+
+impl Ticker {
+    /// A ticker with the given period.
+    #[must_use]
+    pub fn new(period: Span) -> Self {
+        Ticker { period, ticks: 0 }
+    }
+
+    /// Number of ticks so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+impl Process for Ticker {
+    type Msg = ();
+    type Output = u64;
+
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, (), u64>) {
+        ctx.set_timer(self.period, TimerTag(0));
+    }
+
+    fn on_message(&mut self, _msg: (), _ctx: &mut ActionSink<'_, (), u64>) {}
+
+    fn on_timer(&mut self, _timer: TimerTag, ctx: &mut ActionSink<'_, (), u64>) {
+        self.ticks += 1;
+        ctx.publish(self.ticks);
+        ctx.set_timer(self.period, TimerTag(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SimConfig};
+    use crate::network::NetworkModel;
+    use homonym_core::{FailureSchedule, IdentityAssignment, Time};
+
+    /// Broadcasts a greeting at start and counts what it hears.
+    #[derive(Debug)]
+    struct Chatter {
+        word: &'static str,
+        heard: u64,
+    }
+
+    impl Process for Chatter {
+        type Msg = &'static str;
+        type Output = &'static str;
+
+        fn on_start(&mut self, ctx: &mut ActionSink<'_, &'static str, &'static str>) {
+            ctx.broadcast(self.word);
+        }
+
+        fn on_message(
+            &mut self,
+            msg: &'static str,
+            ctx: &mut ActionSink<'_, &'static str, &'static str>,
+        ) {
+            self.heard += 1;
+            ctx.publish(msg);
+        }
+
+        fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, &'static str, &'static str>) {
+        }
+    }
+
+    #[test]
+    fn both_halves_run_and_messages_do_not_cross() {
+        let cfg = SimConfig::new(
+            IdentityAssignment::unique(2),
+            FailureSchedule::none(2),
+            NetworkModel::reliable(Span::TICK),
+        );
+        let mut e = Engine::new(cfg, |_, _| {
+            Stacked::new(
+                Chatter {
+                    word: "lower",
+                    heard: 0,
+                },
+                Chatter {
+                    word: "upper",
+                    heard: 0,
+                },
+            )
+        });
+        e.run_until(Time::from_ticks(50));
+        for p in 0..2 {
+            // Each half hears exactly its own protocol: 2 copies each.
+            assert_eq!(e.process(p).lower().heard, 2);
+            assert_eq!(e.process(p).upper().heard, 2);
+            let (lo, hi) = split_history(&e.histories()[p]);
+            assert!(lo.iter().all(|(_, w)| *w == "lower"));
+            assert!(hi.iter().all(|(_, w)| *w == "upper"));
+        }
+    }
+
+    #[test]
+    fn timer_tags_are_demultiplexed() {
+        let cfg = SimConfig::new(
+            IdentityAssignment::unique(1),
+            FailureSchedule::none(1),
+            NetworkModel::reliable(Span::TICK),
+        );
+        let mut e = Engine::new(cfg, |_, _| {
+            Stacked::new(Ticker::new(Span::from_ticks(2)), Ticker::new(Span::from_ticks(3)))
+        });
+        e.run_until(Time::from_ticks(12));
+        // Lower ticks at 2,4,6,8,10,12; upper at 3,6,9,12.
+        assert_eq!(e.process(0).lower().ticks(), 6);
+        assert_eq!(e.process(0).upper().ticks(), 4);
+    }
+
+    #[test]
+    fn idle_half_is_inert() {
+        let cfg = SimConfig::new(
+            IdentityAssignment::unique(1),
+            FailureSchedule::none(1),
+            NetworkModel::reliable(Span::TICK),
+        );
+        let mut e = Engine::new(cfg, |_, _| Stacked::new(Idle, Ticker::new(Span::TICK)));
+        e.run_until(Time::from_ticks(5));
+        assert_eq!(e.process(0).upper().ticks(), 5);
+    }
+}

@@ -1,0 +1,411 @@
+//! Lock-step executor for the synchronous model `HSS[∅]`.
+//!
+//! In a synchronous step every alive process first broadcasts, then
+//! receives **all** messages sent in that same step, then computes
+//! (Figure 7's "wait for the messages sent in this synchronous step").
+//! A process whose crash time equals the step number attempts its
+//! broadcast — each copy is independently delivered or dropped — and then
+//! stops; it neither receives nor computes in that step.
+//!
+//! The split into [`SyncProcess::send`] (before delivery) and
+//! [`SyncProcess::receive`] (after delivery) makes this two-phase structure
+//! explicit, instead of hiding it in a blocking `wait`.
+
+use core::fmt;
+
+use homonym_core::failure::FailureSchedule;
+use homonym_core::identity::{Identity, IdentityAssignment};
+use homonym_core::properties::{ConsensusOutcome, History};
+use homonym_core::time::Time;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::process::Message;
+
+/// A program executed in lock-step synchronous rounds.
+pub trait SyncProcess: Send + 'static {
+    /// Protocol message payload.
+    type Msg: Message;
+    /// Detector-output type recorded per step.
+    type Output: Clone + fmt::Debug + Send + 'static;
+
+    /// Messages to broadcast at the start of step `step` (may be empty).
+    fn send(&mut self, step: u64) -> Vec<Self::Msg>;
+
+    /// Delivery of every message sent in step `step` by alive (or dying)
+    /// processes, in an arbitrary (seeded) order that hides the senders.
+    fn receive(
+        &mut self,
+        step: u64,
+        received: Vec<Self::Msg>,
+        sink: &mut SyncSink<Self::Output>,
+    );
+}
+
+/// Effects available in the receive phase of a synchronous step.
+#[derive(Debug)]
+pub struct SyncSink<O> {
+    outputs: Vec<O>,
+    decision: Option<u64>,
+    halt: bool,
+}
+
+impl<O> SyncSink<O> {
+    fn new() -> Self {
+        SyncSink {
+            outputs: Vec::new(),
+            decision: None,
+            halt: false,
+        }
+    }
+
+    /// Publishes a detector-output snapshot for this step.
+    pub fn publish(&mut self, output: O) {
+        self.outputs.push(output);
+    }
+
+    /// Records a consensus decision.
+    pub fn decide(&mut self, value: u64) {
+        if self.decision.is_none() {
+            self.decision = Some(value);
+        }
+    }
+
+    /// Stops the process after this step.
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+}
+
+/// Configuration of a synchronous run.
+#[derive(Debug, Clone)]
+pub struct SyncConfig {
+    /// Identity of each process.
+    pub assign: IdentityAssignment,
+    /// Ground-truth crash pattern; crash times are **step numbers**.
+    pub sched: FailureSchedule,
+    /// Seed for delivery shuffling and crash-broadcast masks.
+    pub seed: u64,
+    /// Deliver a random subset of a dying process's final-step broadcast.
+    pub partial_broadcast_on_crash: bool,
+}
+
+impl SyncConfig {
+    /// A configuration with seed 0 and partial crash broadcasts on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment and schedule disagree on `n`.
+    #[must_use]
+    pub fn new(assign: IdentityAssignment, sched: FailureSchedule) -> Self {
+        assert_eq!(assign.n(), sched.n(), "assignment/schedule size mismatch");
+        SyncConfig {
+            assign,
+            sched,
+            seed: 0,
+            partial_broadcast_on_crash: true,
+        }
+    }
+
+    /// Sets the seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-step message counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyncMetrics {
+    /// Broadcast invocations across the run.
+    pub broadcasts: u64,
+    /// Copies delivered across the run.
+    pub copies_delivered: u64,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+/// The lock-step engine.
+pub struct SyncEngine<P: SyncProcess> {
+    config: SyncConfig,
+    procs: Vec<P>,
+    halted: Vec<bool>,
+    step: u64,
+    rng: StdRng,
+    metrics: SyncMetrics,
+    histories: Vec<History<P::Output>>,
+    decisions: Vec<Option<(Time, u64)>>,
+}
+
+impl<P: SyncProcess> SyncEngine<P> {
+    /// Builds the engine, constructing process `p` via `factory(p, id(p))`.
+    pub fn new(config: SyncConfig, mut factory: impl FnMut(usize, Identity) -> P) -> Self {
+        let n = config.assign.n();
+        let procs = (0..n).map(|p| factory(p, config.assign.id_of(p))).collect();
+        SyncEngine {
+            rng: StdRng::seed_from_u64(config.seed),
+            procs,
+            halted: vec![false; n],
+            step: 0,
+            metrics: SyncMetrics::default(),
+            histories: vec![Vec::new(); n],
+            decisions: vec![None; n],
+            config,
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.config.assign.n()
+    }
+
+    /// The next step to execute (also the number executed so far).
+    #[must_use]
+    pub fn current_step(&self) -> u64 {
+        self.step
+    }
+
+    /// Message counters.
+    #[must_use]
+    pub fn metrics(&self) -> &SyncMetrics {
+        &self.metrics
+    }
+
+    /// Recorded output histories (timestamps are step numbers).
+    #[must_use]
+    pub fn histories(&self) -> &[History<P::Output>] {
+        &self.histories
+    }
+
+    /// Recorded decisions (timestamps are step numbers).
+    #[must_use]
+    pub fn decisions(&self) -> &[Option<(Time, u64)>] {
+        &self.decisions
+    }
+
+    /// Read access to a process (for tests and experiments).
+    #[must_use]
+    pub fn process(&self, p: usize) -> &P {
+        &self.procs[p]
+    }
+
+    /// Packages decisions into a [`ConsensusOutcome`].
+    #[must_use]
+    pub fn outcome(&self, proposals: Vec<u64>) -> ConsensusOutcome {
+        ConsensusOutcome {
+            proposals,
+            decisions: self.decisions.clone(),
+        }
+    }
+
+    /// Whether every correct process has decided.
+    #[must_use]
+    pub fn all_correct_decided(&self) -> bool {
+        self.config
+            .sched
+            .correct_set()
+            .into_iter()
+            .all(|p| self.decisions[p].is_some())
+    }
+
+    /// Executes `k` synchronous steps.
+    pub fn run_steps(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step_once();
+        }
+    }
+
+    /// Executes steps until `cond(self)` holds or `max_steps` elapse;
+    /// returns whether the condition was met.
+    pub fn run_until(&mut self, max_steps: u64, mut cond: impl FnMut(&Self) -> bool) -> bool {
+        for _ in 0..max_steps {
+            if cond(self) {
+                return true;
+            }
+            self.step_once();
+        }
+        cond(self)
+    }
+
+    /// Executes one synchronous step: send phase, delivery, receive phase.
+    pub fn step_once(&mut self) {
+        let s = self.step;
+        let now = Time::from_ticks(s);
+        let n = self.n();
+
+        // Send phase: alive processes send fully; a process crashing at
+        // exactly this step gets a partial final broadcast.
+        let mut inboxes: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
+        for p in 0..n {
+            if self.halted[p] {
+                continue;
+            }
+            let crash = self.config.sched.crash_time(p);
+            let alive = self.config.sched.is_alive(p, now);
+            let dying = crash == Some(now);
+            if !alive && !dying {
+                continue;
+            }
+            let msgs = self.procs[p].send(s);
+            for m in msgs {
+                self.metrics.broadcasts += 1;
+                for inbox in inboxes.iter_mut() {
+                    if dying && self.config.partial_broadcast_on_crash && self.rng.gen_bool(0.5) {
+                        continue;
+                    }
+                    inbox.push(m.clone());
+                    self.metrics.copies_delivered += 1;
+                }
+            }
+        }
+
+        // Receive phase: only processes alive at this step compute.
+        #[allow(clippy::needless_range_loop)] // p indexes several parallel structures
+        for p in 0..n {
+            if self.halted[p] || !self.config.sched.is_alive(p, now) {
+                continue;
+            }
+            let mut received = core::mem::take(&mut inboxes[p]);
+            received.shuffle(&mut self.rng);
+            let mut sink = SyncSink::new();
+            self.procs[p].receive(s, received, &mut sink);
+            for o in sink.outputs {
+                self.histories[p].push((now, o));
+            }
+            if let Some(v) = sink.decision {
+                if self.decisions[p].is_none() {
+                    self.decisions[p] = Some((now, v));
+                }
+            }
+            if sink.halt {
+                self.halted[p] = true;
+            }
+        }
+
+        self.metrics.steps += 1;
+        self.step += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts how many IDENT-style messages arrive each step.
+    struct Counter {
+        seen_per_step: Vec<usize>,
+    }
+
+    impl SyncProcess for Counter {
+        type Msg = Identity;
+        type Output = usize;
+
+        fn send(&mut self, _step: u64) -> Vec<Identity> {
+            vec![Identity::new(0)]
+        }
+
+        fn receive(&mut self, _step: u64, received: Vec<Identity>, sink: &mut SyncSink<usize>) {
+            self.seen_per_step.push(received.len());
+            sink.publish(received.len());
+        }
+    }
+
+    fn counter_engine(sched: FailureSchedule) -> SyncEngine<Counter> {
+        let n = sched.n();
+        let mut cfg = SyncConfig::new(IdentityAssignment::anonymous(n), sched);
+        cfg.partial_broadcast_on_crash = false;
+        SyncEngine::new(cfg, |_, _| Counter {
+            seen_per_step: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn every_alive_process_hears_everyone_each_step() {
+        let mut e = counter_engine(FailureSchedule::none(4));
+        e.run_steps(3);
+        for p in 0..4 {
+            assert_eq!(e.process(p).seen_per_step, vec![4, 4, 4]);
+        }
+        assert_eq!(e.metrics().steps, 3);
+    }
+
+    #[test]
+    fn crashed_process_drops_out_cleanly() {
+        // p1 crashes at step 1: step 0 full, step 1 it still *sends*
+        // (dying, full copies since partial is off) but does not receive.
+        let mut e = counter_engine(FailureSchedule::none(3).with_crash(1, Time::from_ticks(1)));
+        e.run_steps(3);
+        assert_eq!(e.process(0).seen_per_step, vec![3, 3, 2]);
+        assert_eq!(e.process(1).seen_per_step, vec![3]);
+        assert_eq!(e.histories()[1].len(), 1);
+    }
+
+    #[test]
+    fn dying_broadcast_is_partial_with_mask_enabled() {
+        let mut saw_partial = false;
+        for seed in 0..30 {
+            let sched = FailureSchedule::none(3).with_crash(0, Time::ZERO);
+            let cfg = SyncConfig::new(IdentityAssignment::anonymous(3), sched).with_seed(seed);
+            let mut e = SyncEngine::new(cfg, |_, _| Counter {
+                seen_per_step: Vec::new(),
+            });
+            e.run_steps(1);
+            // Receivers p1, p2 heard from themselves + each other + maybe p0.
+            for p in 1..3 {
+                let got = e.process(p).seen_per_step[0];
+                assert!((2..=3).contains(&got));
+                if got == 2 {
+                    saw_partial = true;
+                }
+            }
+        }
+        assert!(saw_partial, "partial final broadcast never dropped a copy");
+    }
+
+    #[test]
+    fn decide_and_halt_work() {
+        struct Once;
+        impl SyncProcess for Once {
+            type Msg = ();
+            type Output = ();
+            fn send(&mut self, _s: u64) -> Vec<()> {
+                vec![]
+            }
+            fn receive(&mut self, s: u64, _r: Vec<()>, sink: &mut SyncSink<()>) {
+                assert_eq!(s, 0, "no callbacks after halt");
+                sink.decide(42);
+                sink.halt();
+            }
+        }
+        let cfg = SyncConfig::new(IdentityAssignment::unique(2), FailureSchedule::none(2));
+        let mut e = SyncEngine::new(cfg, |_, _| Once);
+        e.run_steps(3);
+        assert!(e.all_correct_decided());
+        assert_eq!(e.decisions()[1], Some((Time::ZERO, 42)));
+    }
+
+    #[test]
+    fn run_until_stops_on_condition() {
+        let mut e = counter_engine(FailureSchedule::none(2));
+        let met = e.run_until(100, |e| e.current_step() == 5);
+        assert!(met);
+        assert_eq!(e.current_step(), 5);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let sched = FailureSchedule::none(4).with_crash(2, Time::from_ticks(1));
+            let cfg = SyncConfig::new(IdentityAssignment::anonymous(4), sched).with_seed(seed);
+            let mut e = SyncEngine::new(cfg, |_, _| Counter {
+                seen_per_step: Vec::new(),
+            });
+            e.run_steps(4);
+            e.histories().to_vec()
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

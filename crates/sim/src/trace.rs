@@ -1,0 +1,224 @@
+//! Run traces: an ordered record of everything the engine did.
+//!
+//! Traces serve two purposes: debugging distributed runs (what was
+//! delivered to whom, when), and *determinism auditing* — two runs of the
+//! same configuration and seed must produce identical traces, which the
+//! test suites assert across whole pipelines.
+//!
+//! Message payloads are not stored; events carry the class name produced
+//! by the engine's classifier (or `"msg"` when none is installed), which
+//! keeps traces cheap and `Eq`-comparable.
+
+use core::fmt;
+
+use homonym_core::time::Time;
+
+use crate::process::TimerTag;
+
+/// One engine-level event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A process took its start step.
+    Started {
+        /// Time of the step.
+        at: Time,
+        /// Process index.
+        process: usize,
+    },
+    /// A broadcast was initiated.
+    Broadcast {
+        /// Time of the send.
+        at: Time,
+        /// Sending process index.
+        process: usize,
+        /// Message class (classifier output).
+        class: &'static str,
+    },
+    /// A message copy was delivered.
+    Delivered {
+        /// Delivery time.
+        at: Time,
+        /// Receiving process index.
+        process: usize,
+        /// Message class (classifier output).
+        class: &'static str,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Fire time.
+        at: Time,
+        /// Process index.
+        process: usize,
+        /// The tag the process armed.
+        tag: TimerTag,
+    },
+    /// A process decided.
+    Decided {
+        /// Decision time.
+        at: Time,
+        /// Process index.
+        process: usize,
+        /// Decided value.
+        value: u64,
+    },
+    /// A process halted itself.
+    Halted {
+        /// Halt time.
+        at: Time,
+        /// Process index.
+        process: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    #[must_use]
+    pub fn at(&self) -> Time {
+        match self {
+            TraceEvent::Started { at, .. }
+            | TraceEvent::Broadcast { at, .. }
+            | TraceEvent::Delivered { at, .. }
+            | TraceEvent::TimerFired { at, .. }
+            | TraceEvent::Decided { at, .. }
+            | TraceEvent::Halted { at, .. } => *at,
+        }
+    }
+
+    /// The process the event concerns.
+    #[must_use]
+    pub fn process(&self) -> usize {
+        match self {
+            TraceEvent::Started { process, .. }
+            | TraceEvent::Broadcast { process, .. }
+            | TraceEvent::Delivered { process, .. }
+            | TraceEvent::TimerFired { process, .. }
+            | TraceEvent::Decided { process, .. }
+            | TraceEvent::Halted { process, .. } => *process,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Started { at, process } => write!(f, "{at} p{process} start"),
+            TraceEvent::Broadcast { at, process, class } => {
+                write!(f, "{at} p{process} bcast {class}")
+            }
+            TraceEvent::Delivered { at, process, class } => {
+                write!(f, "{at} p{process} recv {class}")
+            }
+            TraceEvent::TimerFired { at, process, tag } => {
+                write!(f, "{at} p{process} {tag}")
+            }
+            TraceEvent::Decided { at, process, value } => {
+                write!(f, "{at} p{process} decide {value}")
+            }
+            TraceEvent::Halted { at, process } => write!(f, "{at} p{process} halt"),
+        }
+    }
+}
+
+/// A bounded event recording.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace that keeps at most `capacity` events (older events
+    /// are never evicted; once full, later events are counted but not
+    /// stored, so prefixes stay comparable).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in engine order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were not stored because the capacity was reached.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events concerning one process, in order.
+    pub fn for_process(&self, p: usize) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.process() == p)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "... {} events dropped (capacity)", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_respected_and_counted() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(TraceEvent::Started {
+                at: Time::from_ticks(i),
+                process: 0,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let evs = [
+            TraceEvent::Started { at: Time::from_ticks(1), process: 2 },
+            TraceEvent::Broadcast { at: Time::from_ticks(2), process: 3, class: "X" },
+            TraceEvent::Delivered { at: Time::from_ticks(3), process: 4, class: "X" },
+            TraceEvent::TimerFired { at: Time::from_ticks(4), process: 5, tag: TimerTag(9) },
+            TraceEvent::Decided { at: Time::from_ticks(5), process: 6, value: 7 },
+            TraceEvent::Halted { at: Time::from_ticks(6), process: 7 },
+        ];
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.at(), Time::from_ticks(i as u64 + 1));
+            assert_eq!(e.process(), i + 2);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn for_process_filters() {
+        let mut t = Trace::with_capacity(10);
+        t.record(TraceEvent::Started { at: Time::ZERO, process: 0 });
+        t.record(TraceEvent::Started { at: Time::ZERO, process: 1 });
+        t.record(TraceEvent::Halted { at: Time::from_ticks(1), process: 0 });
+        assert_eq!(t.for_process(0).count(), 2);
+        assert_eq!(t.for_process(1).count(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the network timing models: every route
+//! decision must respect its model's contract.
+
+use homonym_core::time::{Span, Time};
+use homonym_sim::network::{LatencyDistribution, NetworkModel, PreGstBehavior};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Asynchronous latencies stay within the distribution's bounds and
+    /// are never zero.
+    #[test]
+    fn async_latency_in_bounds(
+        min in 0u64..10,
+        spread in 0u64..10,
+        sent in 0u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let dist = LatencyDistribution::Uniform {
+            min: Span::from_ticks(min),
+            max: Span::from_ticks(min + spread),
+        };
+        let model = NetworkModel::Asynchronous(dist.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let at = model
+                .route(Time::from_ticks(sent), &mut rng)
+                .expect("asynchronous links are reliable");
+            let d = at - Time::from_ticks(sent);
+            prop_assert!(d >= Span::TICK);
+            prop_assert!(d <= dist.upper_bound());
+        }
+    }
+
+    /// After GST, partially synchronous copies are always delivered and
+    /// within δ; before GST, delays stay within the configured bound when
+    /// delivered at all.
+    #[test]
+    fn partial_sync_contract(
+        gst in 0u64..200,
+        delta in 1u64..20,
+        loss in 0u8..=100,
+        max_delay in 1u64..60,
+        sent in 0u64..400,
+        seed in any::<u64>(),
+    ) {
+        let model = NetworkModel::PartialSync {
+            gst: Time::from_ticks(gst),
+            delta: Span::from_ticks(delta),
+            pre_gst: PreGstBehavior::LossyDelay {
+                loss_percent: loss,
+                max_delay: Span::from_ticks(max_delay),
+            },
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let routed = model.route(Time::from_ticks(sent), &mut rng);
+            if sent >= gst {
+                let at = routed.expect("post-GST copies are never lost");
+                let d = at - Time::from_ticks(sent);
+                prop_assert!(d >= Span::TICK && d <= Span::from_ticks(delta.max(1)));
+            } else if let Some(at) = routed {
+                let d = at - Time::from_ticks(sent);
+                prop_assert!(d >= Span::TICK && d <= Span::from_ticks(max_delay.max(1)));
+            }
+        }
+    }
+
+    /// The skewed-tail distribution respects `base..=base+tail`.
+    #[test]
+    fn skewed_tail_in_bounds(
+        base in 1u64..10,
+        tail in 0u64..30,
+        slow in 0u8..=100,
+        seed in any::<u64>(),
+    ) {
+        let dist = LatencyDistribution::SkewedTail {
+            base: Span::from_ticks(base),
+            tail: Span::from_ticks(tail),
+            slow_percent: slow,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let d = dist.sample(&mut rng);
+            prop_assert!(d.ticks() >= base.max(1));
+            prop_assert!(d <= dist.upper_bound());
+        }
+    }
+
+    /// Synchronous copies always take exactly one tick.
+    #[test]
+    fn synchronous_is_one_tick(sent in 0u64..1_000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let at = NetworkModel::Synchronous
+            .route(Time::from_ticks(sent), &mut rng)
+            .expect("synchronous links are reliable");
+        prop_assert_eq!(at, Time::from_ticks(sent + 1));
+    }
+}

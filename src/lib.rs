@@ -1,0 +1,45 @@
+//! # homonym
+//!
+//! A complete Rust reproduction of
+//!
+//! > *Failure Detectors in Homonymous Distributed Systems (with an
+//! > Application to Consensus)* — S. Arévalo, A. Fernández Anta, D. Imbs,
+//! > E. Jiménez, M. Raynal (ICDCS 2012)
+//!
+//! covering the failure-detector classes `◇HP`, `HΩ` and `HΣ`, the
+//! reductions relating them to the classical (`Σ`, `Ω`) and anonymous
+//! (`AP`, `AΩ`, `AΣ`) classes, their implementations under partial
+//! synchrony and synchrony, and the two consensus algorithms for
+//! homonymous asynchronous systems — all without initial knowledge of the
+//! membership.
+//!
+//! This meta-crate re-exports the workspace's crates:
+//!
+//! * [`core`] — identities, multisets, detector classes, property checkers;
+//! * [`sim`] — deterministic discrete-event simulator (`HAS`/`HPS`/`HSS`);
+//! * [`detectors`] — Figure 6 (`◇HP`/`HΩ`), Figure 7 (`HΣ`), Figure 3
+//!   (class `E`), plus class oracles;
+//! * [`reductions`] — Figures 1, 2, 4; Theorems 3–4; Observation 1;
+//! * [`consensus`] — Figure 8 (`HΩ`, majority) and Figure 9 (`HΩ` + `HΣ`,
+//!   any number of crashes), plus classical/anonymous baselines;
+//! * [`runtime`] — a thread-based engine running the same process code in
+//!   real time.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the per-figure reproduction results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use homonym_consensus as consensus;
+pub use homonym_core as core;
+pub use homonym_detectors as detectors;
+pub use homonym_reductions as reductions;
+pub use homonym_runtime as runtime;
+pub use homonym_sim as sim;
+
+/// One-stop import for examples and integration tests.
+pub mod prelude {
+    pub use homonym_core::prelude::*;
+    pub use homonym_sim::prelude::*;
+}

@@ -1,0 +1,176 @@
+//! Property-based testing of the consensus algorithms: validity,
+//! agreement and termination under randomized topologies, homonymy
+//! degrees, crash schedules, latencies and detector stabilization times.
+
+use homonym::consensus::{HOmegaPolicy, MajorityConsensus, QuorumConsensus};
+use homonym::detectors::oracle::{OracleWorld, PreStability};
+use homonym::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    l: usize,
+    crash_times: Vec<Option<u64>>,
+    stabilize: u64,
+    max_latency: u64,
+    heavy_tail: bool,
+    seed: u64,
+    pre: PreStability,
+}
+
+fn pre_stability() -> impl Strategy<Value = PreStability> {
+    prop_oneof![
+        Just(PreStability::Truthful),
+        Just(PreStability::Chaotic),
+        Just(PreStability::Paralyzing),
+    ]
+}
+
+/// A scenario with at most `max_crash_frac(n)` crashes.
+fn scenario(minority_only: bool) -> impl Strategy<Value = Scenario> {
+    (2usize..7)
+        .prop_flat_map(move |n| {
+            let max_crashes = if minority_only { (n - 1) / 2 } else { n - 1 };
+            (
+                Just(n),
+                1usize..=n,
+                proptest::collection::vec(proptest::option::weighted(0.35, 1u64..80), n),
+                0u64..120,
+                1u64..8,
+                any::<bool>(),
+                any::<u64>(),
+                pre_stability(),
+            )
+                .prop_map(move |(n, l, mut crashes, stabilize, max_latency, heavy_tail, seed, pre)| {
+                    // Enforce the crash budget, dropping extras.
+                    let mut budget = max_crashes;
+                    for c in crashes.iter_mut() {
+                        if c.is_some() {
+                            if budget == 0 {
+                                *c = None;
+                            } else {
+                                budget -= 1;
+                            }
+                        }
+                    }
+                    Scenario {
+                        n,
+                        l,
+                        crash_times: crashes,
+                        stabilize,
+                        max_latency,
+                        heavy_tail,
+                        seed,
+                        pre,
+                    }
+                })
+        })
+        .prop_filter("need at least one correct process", |s| {
+            s.crash_times.iter().any(Option::is_none)
+        })
+}
+
+fn build(s: &Scenario) -> (IdentityAssignment, FailureSchedule, OracleWorld, Vec<u64>) {
+    let assign = IdentityAssignment::round_robin(s.n, s.l);
+    let mut sched = FailureSchedule::none(s.n);
+    for (p, c) in s.crash_times.iter().enumerate() {
+        if let Some(t) = c {
+            sched.set_crash(p, Time::from_ticks(*t));
+        }
+    }
+    let world = OracleWorld::new(sched.clone(), assign.clone(), Time::from_ticks(s.stabilize));
+    let proposals: Vec<u64> = (0..s.n as u64).map(|i| i * 3 + 1).collect();
+    (assign, sched, world, proposals)
+}
+
+fn network(max_latency: u64, heavy_tail: bool) -> NetworkModel {
+    if heavy_tail {
+        // Severe reordering: most copies are fast, stragglers arrive up
+        // to 10× later.
+        NetworkModel::Asynchronous(LatencyDistribution::SkewedTail {
+            base: Span::TICK,
+            tail: Span::from_ticks(10 * max_latency),
+            slow_percent: 25,
+        })
+    } else {
+        NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+            min: Span::TICK,
+            max: Span::from_ticks(max_latency),
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// Figure 8 under any minority-crash scenario and any class-valid
+    /// oracle behaviour: validity + agreement + termination.
+    #[test]
+    fn fig8_holds_under_random_scenarios(s in scenario(true)) {
+        let (assign, sched, world, proposals) = build(&s);
+        let t = (s.n - 1) / 2;
+        let props = proposals.clone();
+        let cfg = SimConfig::new(assign, sched.clone(), network(s.max_latency, s.heavy_tail))
+            .with_seed(s.seed);
+        let mut engine = Engine::new(cfg, |p, _| {
+            MajorityConsensus::new(
+                props[p],
+                s.n,
+                t,
+                HOmegaPolicy(world.h_omega_for(p, s.pre)),
+            )
+        });
+        engine.run_until_all_correct_decided(Time::from_ticks(200_000));
+        check_consensus(&engine.outcome(proposals), &sched)
+            .map_err(|e| TestCaseError::fail(format!("{s:?}: {e}")))?;
+    }
+
+    /// Figure 9 under any crash count (up to n-1): validity + agreement +
+    /// termination, without n or t.
+    #[test]
+    fn fig9_holds_under_random_scenarios(s in scenario(false)) {
+        let (assign, sched, world, proposals) = build(&s);
+        let props = proposals.clone();
+        let cfg = SimConfig::new(assign, sched.clone(), network(s.max_latency, s.heavy_tail))
+            .with_seed(s.seed);
+        let mut engine = Engine::new(cfg, |p, _| {
+            QuorumConsensus::new(
+                props[p],
+                world.h_omega_for(p, s.pre),
+                world.h_sigma_for(p, s.pre),
+            )
+        });
+        engine.run_until_all_correct_decided(Time::from_ticks(200_000));
+        check_consensus(&engine.outcome(proposals), &sched)
+            .map_err(|e| TestCaseError::fail(format!("{s:?}: {e}")))?;
+    }
+
+    /// Figure 8's *safety* (validity + agreement among whoever decided)
+    /// holds even when its majority assumption is violated — only
+    /// termination may be lost.
+    #[test]
+    fn fig8_safety_survives_majority_loss(s in scenario(false)) {
+        let (assign, sched, world, proposals) = build(&s);
+        let t = (s.n - 1) / 2;
+        let props = proposals.clone();
+        let cfg = SimConfig::new(assign, sched.clone(), network(s.max_latency, s.heavy_tail))
+            .with_seed(s.seed);
+        let mut engine = Engine::new(cfg, |p, _| {
+            MajorityConsensus::new(
+                props[p],
+                s.n,
+                t,
+                HOmegaPolicy(world.h_omega_for(p, s.pre)),
+            )
+        });
+        engine.run_until_all_correct_decided(Time::from_ticks(60_000));
+        if let Err(e) = check_consensus(&engine.outcome(proposals), &sched) {
+            prop_assert_eq!(e.property, "termination", "safety violated: {}", e);
+        }
+    }
+}

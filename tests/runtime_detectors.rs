@@ -1,0 +1,64 @@
+//! Cross-crate: a real failure-detector implementation (Figure 3) running
+//! on the thread-based runtime, with wall-clock heartbeats and a
+//! wall-clock crash.
+
+use homonym::detectors::e_list::EListProcess;
+use homonym::prelude::*;
+use homonym::runtime::{run, RtConfig};
+
+#[test]
+fn fig3_e_list_on_real_threads() {
+    let n = 4;
+    let assign = IdentityAssignment::unique(n);
+    // p0 crashes 100 ms in; the run lasts 600 ms.
+    let sched = FailureSchedule::none(n).with_crash(0, Time::from_ticks(100));
+    let mut config = RtConfig::new(assign.clone(), sched.clone(), 600);
+    config.latency_ms = (1, 4);
+    config.seed = 3;
+
+    let report = run(&config, |_, _| EListProcess::new(Span::from_ticks(10)));
+
+    // Check the Definition 1 property on the wall-clock histories.
+    check_e_list(&report.histories, &sched, &assign)
+        .expect("class E valid on real threads");
+
+    // The crashed identifier must have sunk below every correct one at
+    // every correct process by the end of the run.
+    for p in sched.correct_set() {
+        let last = &report.histories[p].last().expect("heartbeats flowed").1;
+        let crashed_rank = last.rank(Identity::new(0)).expect("heard before crash");
+        for q in sched.correct_set() {
+            let correct_rank = last.rank(assign.id_of(q)).expect("correct id present");
+            assert!(
+                correct_rank < crashed_rank,
+                "p{p}: correct id rank {correct_rank} not above crashed rank {crashed_rank}"
+            );
+        }
+    }
+}
+
+#[test]
+fn detector_under_consensus_on_real_threads() {
+    use homonym::consensus::{HOmegaPolicy, MajorityConsensus};
+    use homonym::detectors::evt_hp::EvtHpProcess;
+    use homonym::sim::Stacked;
+
+    let n = 3;
+    let assign = IdentityAssignment::round_robin(n, 2);
+    let sched = FailureSchedule::none(n);
+    let mut config = RtConfig::new(assign, sched.clone(), 1_200);
+    config.latency_ms = (1, 3);
+    config.seed = 11;
+
+    let proposals = [7u64, 3, 5];
+    let report = run(&config, |p, _| {
+        let cell: SharedCell<HOmegaOutput> =
+            SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
+        let detector = EvtHpProcess::new().with_h_omega_mirror(cell.clone());
+        let consensus = MajorityConsensus::new(proposals[p], n, 1, HOmegaPolicy(cell))
+            .with_tick(Span::from_ticks(10));
+        Stacked::new(detector, consensus)
+    });
+    check_consensus(&report.outcome(proposals.to_vec()), &sched)
+        .expect("real-threads stacked pipeline reaches consensus");
+}

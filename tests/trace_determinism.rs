@@ -1,0 +1,91 @@
+//! Trace-level determinism audit of the full stacked pipeline: identical
+//! seeds must reproduce the exact engine event sequence, and the trace
+//! must tell a coherent story (decisions present, halts after decisions).
+
+use homonym::consensus::{classify_fig8, Fig8Msg, HOmegaPolicy, MajorityConsensus};
+use homonym::detectors::evt_hp::{EvtHpMsg, EvtHpProcess};
+use homonym::prelude::*;
+
+type Node = Stacked<EvtHpProcess, MajorityConsensus<HOmegaPolicy<SharedCell<HOmegaOutput>>>>;
+
+fn classify(msg: &Either<EvtHpMsg, Fig8Msg>) -> &'static str {
+    match msg {
+        Either::L(_) => "detector",
+        Either::R(m) => classify_fig8(m),
+    }
+}
+
+fn run(seed: u64) -> (Trace, Vec<Option<(Time, u64)>>) {
+    let n = 4;
+    let t = 1;
+    let assign = IdentityAssignment::round_robin(n, 2);
+    let sched = FailureSchedule::none(n).with_crash(3, Time::from_ticks(30));
+    let proposals: Vec<u64> = vec![9, 5, 7, 3];
+    let cfg = SimConfig::new(
+        assign,
+        sched,
+        NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+            min: Span::TICK,
+            max: Span::from_ticks(5),
+        }),
+    )
+    .with_seed(seed);
+    let mut engine: Engine<Node> = Engine::new(cfg, |p, _| {
+        let cell: SharedCell<HOmegaOutput> =
+            SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
+        let detector = EvtHpProcess::new().with_h_omega_mirror(cell.clone());
+        let consensus = MajorityConsensus::new(proposals[p], 4, t, HOmegaPolicy(cell))
+            .with_tick(Span::from_ticks(2));
+        Stacked::new(detector, consensus)
+    });
+    engine.set_classifier(classify);
+    engine.enable_trace(500_000);
+    engine.run_until_all_correct_decided(Time::from_ticks(100_000));
+    (
+        engine.trace().expect("enabled").clone(),
+        engine.decisions().to_vec(),
+    )
+}
+
+#[test]
+fn identical_seed_identical_trace() {
+    let (t1, d1) = run(33);
+    let (t2, d2) = run(33);
+    assert_eq!(d1, d2);
+    assert_eq!(t1, t2, "engine event sequences diverged for equal seeds");
+    assert!(t1.events().len() > 50, "trace suspiciously small");
+}
+
+#[test]
+fn different_seed_different_trace() {
+    let (t1, _) = run(33);
+    let (t2, _) = run(34);
+    assert_ne!(t1, t2);
+}
+
+#[test]
+fn trace_is_coherent() {
+    let (trace, decisions) = run(35);
+    // Every recorded decision appears in the trace and is followed (for
+    // that process) only by halt events.
+    for (p, d) in decisions.iter().enumerate() {
+        let Some((at, v)) = d else { continue };
+        let mut seen_decide = false;
+        for ev in trace.for_process(p) {
+            match ev {
+                TraceEvent::Decided { at: t, value, .. } => {
+                    assert_eq!((t, value), (at, v));
+                    seen_decide = true;
+                }
+                TraceEvent::Broadcast { .. } if seen_decide => {
+                    panic!("process {p} broadcast after deciding+halting")
+                }
+                _ => {}
+            }
+        }
+        assert!(seen_decide, "decision of p{p} missing from trace");
+    }
+    // Timestamps are monotone in engine order.
+    let times: Vec<Time> = trace.events().iter().map(TraceEvent::at).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
