@@ -1,7 +1,9 @@
 //! Criterion bench for the ablation experiments (design-choice costs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use homonym_bench::{ablate_coordination_phase, ablate_timeout_adaptation, ap_realism, combined_synchronous};
+use homonym_bench::{
+    ablate_coordination_phase, ablate_timeout_adaptation, ap_realism, combined_synchronous,
+};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,359 @@
+//! `BENCH_sim.json` generator: simulator hot-path throughput.
+//!
+//! Measures events dispatched per second on two workloads, each executed
+//! twice — once on the pre-optimization hot path
+//! (`SimConfig::legacy_hot_path`: `BTreeMap` event queue, one deep
+//! payload clone per broadcast destination) and once on the current path
+//! (tick-bucketed calendar queue, `Arc`-shared broadcast payloads) — and
+//! writes the events/sec figures plus the speedup ratio to
+//! `BENCH_sim.json` in the working directory.
+//!
+//! Workloads:
+//!
+//! * `hps_mesh_n64` — a pure broadcast mesh over `n = 64` processes in
+//!   `HPS`: every process broadcasts each tick. No algorithm logic, so
+//!   this isolates the engine hot path the tentpole reworked;
+//! * `hps_detector_n64` — the Figure 6 `◇HP`/`HΩ` detector over `n = 64`
+//!   processes in `HPS` (lossy pre-GST), the polling-heavy workload whose
+//!   broadcast fan-out dominates figure regeneration time. Its ratio is
+//!   diluted by per-event work both paths share (network sampling,
+//!   detector bookkeeping);
+//! * `fig8_consensus_sweep` — a parallel multi-seed sweep of Figure 8
+//!   consensus at `n = 24`, the shape every consensus figure uses. On
+//!   multi-core hosts the sweep additionally scales with cores (the
+//!   pre-change harness ran seeds sequentially).
+//!
+//! Both paths dispatch the identical event sequence (seeded runs are
+//! byte-for-byte equal; `tests/trace_determinism.rs` asserts this), so
+//! the ratio isolates the data-structure and allocation work.
+//!
+//! Usage: `cargo run --release -p homonym-bench --bin bench_sim`
+//! Set `BENCH_SIM_QUICK=1` for a reduced-size smoke run (CI).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use homonym_bench::{async_net, hps_lossy, parallel_seed_sweep, staggered_crashes};
+use homonym_consensus::{HOmegaPolicy, MajorityConsensus};
+use homonym_core::prelude::*;
+use homonym_detectors::evt_hp::{EvtHpMsg, EvtHpProcess, EvtHpSnapshot};
+use homonym_detectors::oracle::{OracleWorld, PreStability};
+use homonym_sim::prelude::*;
+use homonym_sim::process::Process;
+
+/// The *seed-shaped* Figure 6 detector, kept verbatim for the baseline
+/// measurement: membership in a `BTreeMap` (the pre-change layout) where
+/// the optimized detector uses a binary-searched vector. Protocol
+/// behaviour is identical — same messages, same RNG draws, same trace —
+/// so baseline and current runs dispatch the same event sequence.
+struct LegacyEvtHp {
+    /// Seed-shaped bag: the pre-change `Multiset` was a counted
+    /// `BTreeMap` under the hood.
+    h_trusted: BTreeMap<Identity, usize>,
+    round: u64,
+    timeout: u64,
+    mship: BTreeMap<Identity, u64>,
+    pending: Vec<(u64, u64, Identity)>,
+}
+
+const ROUND: TimerTag = TimerTag(0);
+
+impl LegacyEvtHp {
+    fn new() -> Self {
+        LegacyEvtHp {
+            h_trusted: BTreeMap::new(),
+            round: 1,
+            timeout: 1,
+            mship: BTreeMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn poll(&self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        ctx.broadcast(EvtHpMsg::Polling {
+            round: self.round,
+            id: ctx.my_id(),
+        });
+        ctx.set_timer(Span::from_ticks(self.timeout), ROUND);
+    }
+}
+
+impl Process for LegacyEvtHp {
+    type Msg = EvtHpMsg;
+    type Output = EvtHpSnapshot;
+
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        self.poll(ctx);
+    }
+
+    fn on_message(&mut self, msg: EvtHpMsg, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        match msg {
+            EvtHpMsg::Polling { round, id } => {
+                let latest = self.mship.entry(id).or_insert(0);
+                if *latest < round {
+                    ctx.broadcast(EvtHpMsg::PReply {
+                        from: *latest + 1,
+                        to: round,
+                        target: id,
+                        sender: ctx.my_id(),
+                    });
+                    *latest = round;
+                }
+            }
+            EvtHpMsg::PReply {
+                from,
+                to,
+                target,
+                sender,
+            } => {
+                if target != ctx.my_id() {
+                    return;
+                }
+                if from < self.round {
+                    self.timeout += 1;
+                }
+                if to >= self.round {
+                    self.pending.push((from, to, sender));
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _t: TimerTag, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        let r = self.round;
+        let mut tmp: BTreeMap<Identity, usize> = BTreeMap::new();
+        for &(from, to, sender) in &self.pending {
+            if from <= r && r <= to {
+                *tmp.entry(sender).or_insert(0) += 1;
+            }
+        }
+        self.h_trusted = tmp;
+        let h_omega = self.h_trusted.iter().next().map_or(
+            HOmegaOutput::new(Identity::BOTTOM, 1),
+            |(&leader, &mult)| HOmegaOutput::new(leader, mult),
+        );
+        ctx.publish(EvtHpSnapshot {
+            evt_hp: EvtHPOutput::new(
+                self.h_trusted
+                    .iter()
+                    .map(|(&id, &c)| (id, c))
+                    .collect::<Multiset<Identity>>(),
+            ),
+            h_omega,
+            round: r,
+            timeout: self.timeout,
+        });
+        self.pending.retain(|&(_, to, _)| to > r);
+        self.round += 1;
+        self.poll(ctx);
+    }
+}
+
+/// Pure engine workload: every process re-arms a 1-tick timer and
+/// broadcasts on every firing; receipts are counted and dropped.
+struct Mesh {
+    heard: u64,
+}
+
+impl Process for Mesh {
+    type Msg = u64;
+    type Output = ();
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, u64, ()>) {
+        ctx.set_timer(Span::TICK, TimerTag(0));
+    }
+    fn on_message(&mut self, m: u64, _ctx: &mut ActionSink<'_, u64, ()>) {
+        self.heard = self.heard.wrapping_add(m);
+    }
+    fn on_timer(&mut self, _t: TimerTag, ctx: &mut ActionSink<'_, u64, ()>) {
+        ctx.broadcast(self.heard);
+        ctx.set_timer(Span::TICK, TimerTag(0));
+    }
+}
+
+struct Sample {
+    events: u64,
+    secs: f64,
+}
+
+impl Sample {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// One full Figure-6-style detector run; returns dispatched event count.
+/// The legacy flavor runs the seed-shaped detector on the legacy engine
+/// hot path; the current flavor runs the optimized detector on the
+/// calendar-queue path.
+fn hps_detector_run(n: usize, horizon: u64, seed: u64, legacy: bool) -> u64 {
+    let assign = IdentityAssignment::round_robin(n, 16.min(n));
+    let sched = staggered_crashes(n, 2, 40);
+    let cfg = SimConfig::new(assign, sched, hps_lossy(50, 16))
+        .with_seed(seed)
+        .with_legacy_hot_path(legacy);
+    let mut engine = Engine::new(cfg, move |_, _| {
+        if legacy {
+            Node::Legacy(LegacyEvtHp::new())
+        } else {
+            Node::Current(EvtHpProcess::new())
+        }
+    });
+    engine.run_until(Time::from_ticks(horizon));
+    engine.metrics().events
+}
+
+/// Dispatch wrapper so both detector flavors share one engine type.
+enum Node {
+    Legacy(LegacyEvtHp),
+    Current(EvtHpProcess),
+}
+
+impl Process for Node {
+    type Msg = EvtHpMsg;
+    type Output = EvtHpSnapshot;
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        match self {
+            Node::Legacy(p) => p.on_start(ctx),
+            Node::Current(p) => p.on_start(ctx),
+        }
+    }
+    fn on_message(&mut self, m: EvtHpMsg, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        match self {
+            Node::Legacy(p) => p.on_message(m, ctx),
+            Node::Current(p) => p.on_message(m, ctx),
+        }
+    }
+    fn on_timer(&mut self, t: TimerTag, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+        match self {
+            Node::Legacy(p) => p.on_timer(t, ctx),
+            Node::Current(p) => p.on_timer(t, ctx),
+        }
+    }
+}
+
+/// Interleaved timed repetitions of a workload's legacy and current
+/// flavors; keeps each side's fastest run (the one least disturbed by
+/// frequency scaling and page-cache warm-up).
+fn bench_pair(reps: usize, mut run: impl FnMut(bool) -> u64) -> (Sample, Sample) {
+    let mut best: [Option<Sample>; 2] = [None, None];
+    for _ in 0..reps.max(1) {
+        for (slot, legacy) in [(0, true), (1, false)] {
+            let start = Instant::now();
+            let events = run(legacy);
+            let sample = Sample {
+                events,
+                secs: start.elapsed().as_secs_f64(),
+            };
+            if best[slot].as_ref().is_none_or(|b| sample.secs < b.secs) {
+                best[slot] = Some(sample);
+            }
+        }
+    }
+    (
+        best[0].take().expect("legacy rep"),
+        best[1].take().expect("current rep"),
+    )
+}
+
+fn hps_mesh_run(n: usize, horizon: u64, legacy: bool) -> u64 {
+    let assign = IdentityAssignment::round_robin(n, 16.min(n));
+    let sched = staggered_crashes(n, 2, 40);
+    let cfg = SimConfig::new(assign, sched, hps_lossy(50, 16))
+        .with_seed(1)
+        .with_legacy_hot_path(legacy);
+    let mut engine = Engine::new(cfg, |_, _| Mesh { heard: 0 });
+    engine.run_until(Time::from_ticks(horizon));
+    engine.metrics().events
+}
+
+/// One Figure 8 consensus run; returns dispatched event count.
+fn fig8_run(n: usize, seed: u64, legacy: bool) -> u64 {
+    let l = 4.min(n);
+    let stabilize = 40;
+    let assign = IdentityAssignment::round_robin(n, l);
+    let sched = staggered_crashes(n, 1, stabilize);
+    let t = (n - 1) / 2;
+    let w = OracleWorld::new(sched.clone(), assign.clone(), Time::from_ticks(stabilize));
+    let proposals: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+    let cfg = SimConfig::new(assign, sched.clone(), async_net(1, 5))
+        .with_seed(seed)
+        .with_legacy_hot_path(legacy);
+    let mut engine = Engine::new(cfg, |p, _| {
+        MajorityConsensus::new(
+            proposals[p],
+            n,
+            t,
+            HOmegaPolicy(w.h_omega_for(p, PreStability::Chaotic)),
+        )
+    });
+    engine.run_until_all_correct_decided(Time::from_ticks(60 * stabilize + 30_000));
+    check_consensus(&engine.outcome(proposals), &sched).expect("consensus holds");
+    engine.metrics().events
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_SIM_QUICK").is_ok();
+    let (n_hps, horizon, n_fig8, seeds, reps) = if quick {
+        (16, 400, 8, 2, 1)
+    } else {
+        (64, 2_000, 24, 8, 4)
+    };
+
+    println!("## simulator hot-path throughput\n");
+    println!("workload sizes: hps n={n_hps} horizon={horizon}, fig8 n={n_fig8} seeds={seeds}");
+
+    // Warm-up (page in code, size allocator pools) before timing.
+    let _ = hps_detector_run(n_hps.min(8), 100, 0, false);
+
+    // Interleave legacy/current repetitions so frequency drift on shared
+    // hosts cannot systematically favor one side; keep each side's best.
+    let (mesh_legacy, mesh_new) =
+        bench_pair(reps, |legacy| hps_mesh_run(n_hps, horizon.min(300), legacy));
+    let (hps_legacy, hps_new) =
+        bench_pair(reps, |legacy| hps_detector_run(n_hps, horizon, 1, legacy));
+    assert_eq!(
+        hps_legacy.events, hps_new.events,
+        "legacy and calendar paths must dispatch identical event counts"
+    );
+    assert_eq!(mesh_legacy.events, mesh_new.events);
+    let (fig8_legacy, fig8_new) = bench_pair(reps, |legacy| {
+        parallel_seed_sweep(seeds, |seed| fig8_run(n_fig8, seed, legacy))
+            .into_iter()
+            .sum()
+    });
+    assert_eq!(fig8_legacy.events, fig8_new.events);
+
+    let rows = [
+        ("hps_mesh_n64", &mesh_legacy, &mesh_new),
+        ("hps_detector_n64", &hps_legacy, &hps_new),
+        ("fig8_consensus_sweep", &fig8_legacy, &fig8_new),
+    ];
+
+    println!("\n| workload | events | legacy ev/s | current ev/s | speedup |");
+    println!("|----------|--------|-------------|--------------|---------|");
+    let mut json = String::from("{\n");
+    for (name, legacy, new) in rows {
+        let speedup = new.events_per_sec() / legacy.events_per_sec();
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:.2}x |",
+            name,
+            new.events,
+            legacy.events_per_sec(),
+            new.events_per_sec(),
+            speedup
+        );
+        json.push_str(&format!(
+            "  \"{}\": {{\"events\": {}, \"legacy_events_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}}},\n",
+            name,
+            new.events,
+            legacy.events_per_sec(),
+            new.events_per_sec(),
+            speedup
+        ));
+    }
+    json.push_str(&format!(
+        "  \"quick_mode\": {quick},\n  \"generated_by\": \"cargo run --release -p homonym-bench --bin bench_sim\"\n}}\n"
+    ));
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    eprintln!("\nwrote BENCH_sim.json");
+}

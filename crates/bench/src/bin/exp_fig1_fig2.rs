@@ -17,7 +17,11 @@ fn main() {
                 "| {} | {} | {} | t{} | {} | {} |",
                 r.n,
                 crashes,
-                if r.membership_known { "known (Fig 1)" } else { "learned (Fig 2)" },
+                if r.membership_known {
+                    "known (Fig 1)"
+                } else {
+                    "learned (Fig 2)"
+                },
                 r.liveness_by,
                 r.labels,
                 r.broadcasts,

@@ -19,7 +19,12 @@ fn main() {
         let r = fig6_evt_hp(5, 2, gst, 3, 1, 5 + gst);
         println!(
             "| {} | t{} | t{} | {} | {} | {} |",
-            r.gst, r.evt_hp_stabilization, r.h_omega_stabilization, r.final_timeout, r.polling, r.replies
+            r.gst,
+            r.evt_hp_stabilization,
+            r.h_omega_stabilization,
+            r.final_timeout,
+            r.polling,
+            r.replies
         );
         rows.push(r);
     }
@@ -29,7 +34,10 @@ fn main() {
     println!("|---|----------|---------------|");
     for &delta in &[1u64, 2, 4, 8, 16] {
         let r = fig6_evt_hp(5, 2, 50, delta, 1, 90 + delta);
-        println!("| {} | t{} | {} |", r.delta, r.evt_hp_stabilization, r.final_timeout);
+        println!(
+            "| {} | t{} | {} |",
+            r.delta, r.evt_hp_stabilization, r.final_timeout
+        );
     }
     println!("\n### homonymy sweep (n=6, GST=40, δ=3, 1 crash)\n");
     println!("| ℓ | ◇HP stab | POLLING | P_REPLY | reply ratio |");

@@ -17,7 +17,15 @@ fn main() {
     println!("|---|---------|---------------|--------|------------|");
     let mut rows = Vec::new();
     for &l in &[1usize, 2, 3, 6] {
-        let r = fig8_consensus(ConsensusVariant::Fig8HOmega, 6, l, 2, 60, true, 21 + l as u64);
+        let r = fig8_consensus(
+            ConsensusVariant::Fig8HOmega,
+            6,
+            l,
+            2,
+            60,
+            true,
+            21 + l as u64,
+        );
         println!(
             "| {} | {} | t{} | {} | {} |",
             r.l, r.decided, r.last_decision, r.rounds, r.broadcasts
@@ -30,7 +38,15 @@ fn main() {
     println!("| n | last decision | rounds | broadcasts |");
     println!("|---|---------------|--------|------------|");
     for &n in &[3usize, 5, 7, 9, 13] {
-        let r = fig8_consensus(ConsensusVariant::Fig8HOmega, n, 2, 1, 40, true, 31 + n as u64);
+        let r = fig8_consensus(
+            ConsensusVariant::Fig8HOmega,
+            n,
+            2,
+            1,
+            40,
+            true,
+            31 + n as u64,
+        );
         println!(
             "| {} | t{} | {} | {} |",
             r.n, r.last_decision, r.rounds, r.broadcasts
@@ -41,10 +57,22 @@ fn main() {
     println!("| variant | decided | last decision | rounds | broadcasts |");
     println!("|---------|---------|---------------|--------|------------|");
     let rows = [
-        ("Fig 8, ℓ=6 (≡ unique ids)", fig8_consensus(ConsensusVariant::Fig8HOmega, 6, 6, 2, 60, true, 101)),
-        ("classical Ω baseline", fig8_consensus(ConsensusVariant::ClassicalOmega, 6, 6, 2, 60, true, 101)),
-        ("Fig 8, ℓ=1 (≡ anonymous)", fig8_consensus(ConsensusVariant::Fig8HOmega, 6, 1, 2, 60, true, 102)),
-        ("anonymous AΩ baseline", fig8_consensus(ConsensusVariant::AnonymousAOmega, 6, 1, 2, 60, true, 102)),
+        (
+            "Fig 8, ℓ=6 (≡ unique ids)",
+            fig8_consensus(ConsensusVariant::Fig8HOmega, 6, 6, 2, 60, true, 101),
+        ),
+        (
+            "classical Ω baseline",
+            fig8_consensus(ConsensusVariant::ClassicalOmega, 6, 6, 2, 60, true, 101),
+        ),
+        (
+            "Fig 8, ℓ=1 (≡ anonymous)",
+            fig8_consensus(ConsensusVariant::Fig8HOmega, 6, 1, 2, 60, true, 102),
+        ),
+        (
+            "anonymous AΩ baseline",
+            fig8_consensus(ConsensusVariant::AnonymousAOmega, 6, 1, 2, 60, true, 102),
+        ),
     ];
     for (name, r) in rows {
         println!(

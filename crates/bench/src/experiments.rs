@@ -7,14 +7,13 @@
 //! every data point is also a correctness assertion.
 
 use homonym_consensus::{
-    classify_fig8, classify_fig9, AnonFloodingConsensus, AOmegaPolicy, HOmegaPolicy,
-    MajorityConsensus, OmegaPolicy, PFloodingConsensus, QuorumConsensus,
-    UncoordinatedHOmegaPolicy,
+    classify_fig8, classify_fig9, AOmegaPolicy, AnonFloodingConsensus, HOmegaPolicy,
+    MajorityConsensus, OmegaPolicy, PFloodingConsensus, QuorumConsensus, UncoordinatedHOmegaPolicy,
 };
 use homonym_core::prelude::*;
 use homonym_detectors::ap_estimator::ApEstimatorProcess;
-use homonym_detectors::evt_hp::{classify_evt_hp, split_snapshots, EvtHpProcess};
 use homonym_detectors::e_list::EListProcess;
+use homonym_detectors::evt_hp::{classify_evt_hp, split_snapshots, EvtHpProcess};
 use homonym_detectors::h_sigma_step::HSigmaStepProcess;
 use homonym_detectors::h_sigma_sync::HSigmaSyncProcess;
 use homonym_detectors::oracle::{OracleWorld, PreStability};
@@ -23,6 +22,19 @@ use homonym_reductions::{
     SigmaToHSigmaProcess,
 };
 use homonym_sim::prelude::*;
+use rayon::prelude::*;
+
+/// Runs `run` once per seed in `0..seeds`, in parallel, returning the
+/// results in seed order.
+///
+/// This is the shared scaffolding of every multi-seed sweep: workloads
+/// are independent given the seed, so they fan out across cores, and the
+/// topology values captured by `run` are borrowed rather than rebuilt —
+/// [`IdentityAssignment`]/[`FailureSchedule`] clones inside are O(1)
+/// refcount bumps, so per-run setup cost no longer scales with `n`.
+pub fn parallel_seed_sweep<R: Send>(seeds: usize, run: impl Fn(u64) -> R + Sync) -> Vec<R> {
+    (0..seeds as u64).into_par_iter().map(run).collect()
+}
 
 /// A uniformly jittered reliable asynchronous network.
 #[must_use]
@@ -303,7 +315,10 @@ pub fn fig5_relations(seed: u64) -> Vec<RelationArrow> {
             arrow: "◇HP → HΩ",
             stated_in: "Observation 1",
             valid: rep.is_ok(),
-            note: rep.map_or_else(|e| e.to_string(), |r| format!("leader {}×{}", r.leader, r.multiplicity)),
+            note: rep.map_or_else(
+                |e| e.to_string(),
+                |r| format!("leader {}×{}", r.leader, r.multiplicity),
+            ),
         });
     }
 
@@ -326,7 +341,10 @@ pub fn fig5_relations(seed: u64) -> Vec<RelationArrow> {
             arrow: "AΣ → HΣ",
             stated_in: "Theorem 3",
             valid: rep.is_ok(),
-            note: rep.map_or_else(|e| e.to_string(), |r| format!("{} labels", r.labels_observed)),
+            note: rep.map_or_else(
+                |e| e.to_string(),
+                |r| format!("{} labels", r.labels_observed),
+            ),
         });
     }
 
@@ -364,7 +382,11 @@ pub fn fig5_relations(seed: u64) -> Vec<RelationArrow> {
             } else {
                 "Σ → HΣ (membership unknown)"
             },
-            stated_in: if known { "Thm 1 / Fig 1" } else { "Thm 1 / Fig 2" },
+            stated_in: if known {
+                "Thm 1 / Fig 1"
+            } else {
+                "Thm 1 / Fig 2"
+            },
             valid: true, // fig12 panics on violation
             note: format!("{} labels, {} msgs", r.labels, r.broadcasts),
         });
@@ -456,8 +478,18 @@ pub fn fig6_evt_hp(
         evt_hp_stabilization: evt_rep.stabilization.ticks(),
         h_omega_stabilization: omg_rep.stabilization.ticks(),
         final_timeout,
-        polling: engine.metrics().by_class.get("POLLING").copied().unwrap_or(0),
-        replies: engine.metrics().by_class.get("P_REPLY").copied().unwrap_or(0),
+        polling: engine
+            .metrics()
+            .by_class
+            .get("POLLING")
+            .copied()
+            .unwrap_or(0),
+        replies: engine
+            .metrics()
+            .by_class
+            .get("P_REPLY")
+            .copied()
+            .unwrap_or(0),
     }
 }
 
@@ -566,19 +598,44 @@ pub fn fig8_consensus(
     expect_decide: bool,
     seed: u64,
 ) -> ConsensusResult {
+    let sched = staggered_crashes(n, crashes, stabilize.max(20));
+    let deadline = Time::from_ticks(60 * stabilize.max(20) + 30_000);
+    fig8_consensus_on(
+        variant,
+        n,
+        l,
+        stabilize,
+        expect_decide,
+        seed,
+        sched,
+        deadline,
+    )
+}
+
+/// Shared engine setup for every Figure 8 run: only the crash schedule
+/// and deadline vary between the public entry points.
+#[allow(clippy::too_many_arguments)]
+fn fig8_consensus_on(
+    variant: ConsensusVariant,
+    n: usize,
+    l: usize,
+    stabilize: u64,
+    expect_decide: bool,
+    seed: u64,
+    sched: FailureSchedule,
+    deadline: Time,
+) -> ConsensusResult {
     let assign = match variant {
         ConsensusVariant::Fig8HOmega => IdentityAssignment::round_robin(n, l),
         ConsensusVariant::ClassicalOmega => IdentityAssignment::unique(n),
         ConsensusVariant::AnonymousAOmega => IdentityAssignment::anonymous(n),
     };
-    let sched = staggered_crashes(n, crashes, stabilize.max(20));
     let t = (n - 1) / 2;
     let w = OracleWorld::new(sched.clone(), assign.clone(), Time::from_ticks(stabilize));
     let proposals: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
     let props = proposals.clone();
     let cfg = SimConfig::new(assign, sched.clone(), async_net(1, 5)).with_seed(seed);
 
-    let deadline = Time::from_ticks(60 * stabilize.max(20) + 30_000);
     let (decisions, rounds, broadcasts) = match variant {
         ConsensusVariant::Fig8HOmega => {
             let mut engine = Engine::new(cfg, |p, _| {
@@ -633,8 +690,18 @@ pub fn fig8_consensus(
         }
     };
 
+    let crashes = sched.num_faulty();
     finish_consensus_row(
-        variant, n, l, crashes, stabilize, expect_decide, &sched, decisions, rounds, broadcasts,
+        variant,
+        n,
+        l,
+        crashes,
+        stabilize,
+        expect_decide,
+        &sched,
+        decisions,
+        rounds,
+        broadcasts,
     )
 }
 
@@ -793,20 +860,29 @@ pub fn fig8_tracks_stabilization(n: usize, l: usize, stabilize: u64, seed: u64) 
 /// terminate (its standing assumption is violated), returning the rounds
 /// it burned before the deadline.
 ///
+/// The crashes land at `t = 1`, before any quorum can form, so blocking
+/// is guaranteed rather than a race between round latency and the crash
+/// schedule.
+///
 /// # Panics
 ///
 /// Panics if safety breaks or if it unexpectedly decides.
 #[must_use]
 pub fn fig8_blocks_beyond_majority(n: usize, crashes: usize, seed: u64) -> ConsensusResult {
     assert!(2 * crashes >= n, "this experiment needs a crashed majority");
-    fig8_consensus(
+    let mut sched = FailureSchedule::none(n);
+    for k in 0..crashes.min(n - 1) {
+        sched.set_crash(n - 1 - k, Time::from_ticks(1));
+    }
+    fig8_consensus_on(
         ConsensusVariant::Fig8HOmega,
         n,
         2.min(n),
-        crashes,
         10,
         false,
         seed,
+        sched,
+        Time::from_ticks(30_000),
     )
 }
 
@@ -888,8 +964,12 @@ pub fn price_of_anonymity(t: usize, f: usize, seed: u64) -> FloodingResult {
 
     let wu = OracleWorld::new(sched.clone(), IdentityAssignment::unique(n), Time::ZERO);
     let props = proposals.clone();
-    let cfg =
-        SimConfig::new(IdentityAssignment::unique(n), sched.clone(), async_net(1, 4)).with_seed(seed);
+    let cfg = SimConfig::new(
+        IdentityAssignment::unique(n),
+        sched.clone(),
+        async_net(1, 4),
+    )
+    .with_seed(seed);
     let mut eu = Engine::new(cfg, |p, _| {
         PFloodingConsensus::new(props[p], t, wu.sigma(Span::ZERO))
     });
@@ -952,18 +1032,20 @@ pub struct CoordinationAblationRow {
 #[must_use]
 pub fn ablate_coordination_phase(n: usize, l: usize, seeds: usize) -> CoordinationAblationRow {
     let deadline = Time::from_ticks(4_000);
-    let mut with_lc = (0usize, 0u64);
-    let mut without_lc = (0usize, 0u64);
-    for seed in 0..seeds as u64 {
-        let assign = IdentityAssignment::round_robin(n, l);
-        let sched = FailureSchedule::none(n);
-        let w = OracleWorld::new(sched.clone(), assign.clone(), Time::ZERO);
-        let proposals: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+    // The topology is seed-independent: build it once and let every
+    // parallel run borrow it (clones inside are refcount bumps).
+    let assign = IdentityAssignment::round_robin(n, l);
+    let sched = FailureSchedule::none(n);
+    let w = OracleWorld::new(sched.clone(), assign.clone(), Time::ZERO);
+    let proposals: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
 
-        for coordinated in [true, false] {
-            let props = proposals.clone();
-            let cfg = SimConfig::new(assign.clone(), sched.clone(), async_net(1, 5))
-                .with_seed(seed);
+    // Per seed: (coordinated decided, rounds), (uncoordinated ...).
+    let per_seed = parallel_seed_sweep(seeds, |seed| {
+        let mut row = [(false, 0u64); 2];
+        for (slot, coordinated) in [true, false].into_iter().enumerate() {
+            let props = &proposals;
+            let cfg =
+                SimConfig::new(assign.clone(), sched.clone(), async_net(1, 5)).with_seed(seed);
             let (outcome, rounds) = if coordinated {
                 let mut e = Engine::new(cfg, |p, _| {
                     MajorityConsensus::new(
@@ -974,7 +1056,10 @@ pub fn ablate_coordination_phase(n: usize, l: usize, seeds: usize) -> Coordinati
                     )
                 });
                 e.run_until_all_correct_decided(deadline);
-                (engine_outcome(&e, proposals.clone()), max_round(e.histories()))
+                (
+                    engine_outcome(&e, proposals.clone()),
+                    max_round(e.histories()),
+                )
             } else {
                 let mut e = Engine::new(cfg, |p, _| {
                     MajorityConsensus::new(
@@ -985,22 +1070,30 @@ pub fn ablate_coordination_phase(n: usize, l: usize, seeds: usize) -> Coordinati
                     )
                 });
                 e.run_until_all_correct_decided(deadline);
-                (engine_outcome(&e, proposals.clone()), max_round(e.histories()))
+                (
+                    engine_outcome(&e, proposals.clone()),
+                    max_round(e.histories()),
+                )
             };
             match check_consensus(&outcome, &sched) {
-                Ok(_) => {
-                    if coordinated {
-                        with_lc.0 += 1;
-                        with_lc.1 += rounds;
-                    } else {
-                        without_lc.0 += 1;
-                        without_lc.1 += rounds;
-                    }
-                }
+                Ok(_) => row[slot] = (true, rounds),
                 Err(e) => {
                     assert_eq!(e.property, "termination", "ablation broke safety: {e}");
                 }
             }
+        }
+        row
+    });
+    let mut with_lc = (0usize, 0u64);
+    let mut without_lc = (0usize, 0u64);
+    for [coordinated, uncoordinated] in per_seed {
+        if coordinated.0 {
+            with_lc.0 += 1;
+            with_lc.1 += coordinated.1;
+        }
+        if uncoordinated.0 {
+            without_lc.0 += 1;
+            without_lc.1 += uncoordinated.1;
         }
     }
     CoordinationAblationRow {
@@ -1041,8 +1134,8 @@ pub fn ablate_timeout_adaptation(delta: u64, seed: u64) -> TimeoutAblationRow {
         let n = 4;
         let assign = IdentityAssignment::round_robin(n, 2);
         let sched = FailureSchedule::none(n).with_crash(3, Time::from_ticks(20));
-        let cfg = SimConfig::new(assign.clone(), sched.clone(), hps_lossy(40, delta))
-            .with_seed(seed);
+        let cfg =
+            SimConfig::new(assign.clone(), sched.clone(), hps_lossy(40, delta)).with_seed(seed);
         let mut engine = Engine::new(cfg, |_, _| {
             if adaptive {
                 EvtHpProcess::new()
@@ -1094,37 +1187,43 @@ pub struct ApRealismRow {
 /// Panics if a violation is anything but `AP` safety.
 #[must_use]
 pub fn ap_realism(synchronous: bool, seeds: usize) -> ApRealismRow {
-    let mut valid = 0;
-    let mut violations = 0;
-    for seed in 0..seeds as u64 {
-        let n = 5;
-        let sched = staggered_crashes(n, 1, 20);
-        let network = if synchronous {
-            NetworkModel::Synchronous
-        } else {
-            NetworkModel::PartialSync {
-                gst: Time::from_ticks(60),
-                delta: Span::TICK,
-                pre_gst: PreGstBehavior::DelayOnly {
-                    max_delay: Span::from_ticks(30),
-                },
-            }
-        };
-        let mut cfg = SimConfig::new(IdentityAssignment::anonymous(n), sched.clone(), network)
-            .with_seed(seed);
+    let n = 5;
+    // Seed-independent setup, shared by every parallel run.
+    let assign = IdentityAssignment::anonymous(n);
+    let sched = staggered_crashes(n, 1, 20);
+    let network = if synchronous {
+        NetworkModel::Synchronous
+    } else {
+        NetworkModel::PartialSync {
+            gst: Time::from_ticks(60),
+            delta: Span::TICK,
+            pre_gst: PreGstBehavior::DelayOnly {
+                max_delay: Span::from_ticks(30),
+            },
+        }
+    };
+    let verdicts = parallel_seed_sweep(seeds, |seed| {
+        let mut cfg =
+            SimConfig::new(assign.clone(), sched.clone(), network.clone()).with_seed(seed);
         cfg.partial_broadcast_on_crash = false;
         let mut engine = Engine::new(cfg, |_, _| ApEstimatorProcess::new(Span::from_ticks(2)));
         engine.run_until(Time::from_ticks(250));
         match check_ap(engine.histories(), &sched) {
-            Ok(_) => valid += 1,
+            Ok(_) => true,
             Err(e) => {
                 assert_eq!(e.property, "safety", "unexpected violation: {e}");
-                violations += 1;
+                false
             }
         }
-    }
+    });
+    let valid = verdicts.iter().filter(|&&ok| ok).count();
+    let violations = seeds - valid;
     ApRealismRow {
-        network: if synchronous { "synchronous" } else { "HPS (pre-GST delays)" },
+        network: if synchronous {
+            "synchronous"
+        } else {
+            "HPS (pre-GST delays)"
+        },
         valid,
         safety_violations: violations,
         seeds,
@@ -1152,11 +1251,10 @@ pub fn combined_synchronous(n: usize, l: usize, crashes: usize, seed: u64) -> Co
         let sigma_cell: SharedCell<HSigmaOutput> = SharedCell::new(HSigmaOutput::new());
         let omega_cell: SharedCell<HOmegaOutput> =
             SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
-        let h_sigma =
-            HSigmaStepProcess::new(Span::from_ticks(2)).with_mirror(sigma_cell.clone());
+        let h_sigma = HSigmaStepProcess::new(Span::from_ticks(2)).with_mirror(sigma_cell.clone());
         let h_omega = EvtHpProcess::new().with_h_omega_mirror(omega_cell.clone());
-        let consensus = QuorumConsensus::new(props[p], omega_cell, sigma_cell)
-            .with_tick(Span::from_ticks(2));
+        let consensus =
+            QuorumConsensus::new(props[p], omega_cell, sigma_cell).with_tick(Span::from_ticks(2));
         Stacked::new(h_sigma, Stacked::new(h_omega, consensus))
     });
     engine.run_until_all_correct_decided(Time::from_ticks(300_000));

@@ -95,16 +95,46 @@ impl serde::Serializer for &mut MiniSer {
         self.out.push_str(if v { "true" } else { "false" });
         Ok(())
     }
-    fn serialize_i8(self, v: i8) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
-    fn serialize_i16(self, v: i16) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
-    fn serialize_i32(self, v: i32) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
-    fn serialize_i64(self, v: i64) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
-    fn serialize_u8(self, v: u8) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
-    fn serialize_u16(self, v: u16) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
-    fn serialize_u32(self, v: u32) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
-    fn serialize_u64(self, v: u64) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
-    fn serialize_f32(self, v: f32) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
-    fn serialize_f64(self, v: f64) -> Result<(), MiniErr> { self.out.push_str(&v.to_string()); Ok(()) }
+    fn serialize_i8(self, v: i8) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), MiniErr> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
     fn serialize_char(self, v: char) -> Result<(), MiniErr> {
         self.serialize_str(&v.to_string())
     }

@@ -207,7 +207,10 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
     /// Panics unless `t < n/2` (the algorithm's standing assumption).
     #[must_use]
     pub fn new(proposal: u64, n: usize, t: usize, policy: L) -> Self {
-        assert!(2 * t < n, "Figure 8 requires a majority of correct processes");
+        assert!(
+            2 * t < n,
+            "Figure 8 requires a majority of correct processes"
+        );
         MajorityConsensus {
             policy,
             n,
@@ -269,7 +272,11 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
         ctx.publish(r);
         // Line 9: every process broadcasts COORD, leaders or not — but the
         // single-leader baselines have no coordination phase at all.
-        if self.policy.lc_multiplicity(ctx.local_now(), ctx.my_id()).is_some() {
+        if self
+            .policy
+            .lc_multiplicity(ctx.local_now(), ctx.my_id())
+            .is_some()
+        {
             ctx.broadcast(Fig8Msg::Coord {
                 id: ctx.my_id(),
                 round: r,

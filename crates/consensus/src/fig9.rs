@@ -376,8 +376,7 @@ impl<D1: HOmegaSource, D2: HSigmaSource> QuorumConsensus<D1, D2> {
                 let empty = Vec::new();
                 let msgs = self.ph2.get(&r).unwrap_or(&empty);
                 if let Some(m_set) = Self::find_quorum(&quora, msgs) {
-                    let mut non_bottom: Vec<u64> =
-                        m_set.iter().filter_map(|m| m.est).collect();
+                    let mut non_bottom: Vec<u64> = m_set.iter().filter_map(|m| m.est).collect();
                     non_bottom.sort_unstable();
                     non_bottom.dedup();
                     let saw_bottom = m_set.iter().any(|m| m.est.is_none());
@@ -496,11 +495,7 @@ mod tests {
         let props = proposals.clone();
         let cfg = SimConfig::new(assign, sched.clone(), async_net()).with_seed(seed);
         let mut engine = Engine::new(cfg, |p, _| {
-            QuorumConsensus::new(
-                props[p],
-                w.h_omega_for(p, pre),
-                w.h_sigma_for(p, pre),
-            )
+            QuorumConsensus::new(props[p], w.h_omega_for(p, pre), w.h_sigma_for(p, pre))
         });
         engine.run_until_all_correct_decided(Time::from_ticks(50_000));
         (engine.outcome(proposals), sched)

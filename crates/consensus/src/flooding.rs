@@ -330,24 +330,16 @@ mod tests {
             let proposals: Vec<u64> = (0..n as u64).collect();
 
             let props = proposals.clone();
-            let cfg = SimConfig::new(
-                IdentityAssignment::unique(n),
-                sched.clone(),
-                async_net(),
-            )
-            .with_seed(t as u64);
+            let cfg = SimConfig::new(IdentityAssignment::unique(n), sched.clone(), async_net())
+                .with_seed(t as u64);
             let mut eu = Engine::new(cfg, |p, _| {
                 PFloodingConsensus::new(props[p], t, wu.sigma(Span::ZERO))
             });
             eu.run_until_all_correct_decided(Time::from_ticks(50_000));
 
             let props = proposals.clone();
-            let cfg = SimConfig::new(
-                IdentityAssignment::anonymous(n),
-                sched.clone(),
-                async_net(),
-            )
-            .with_seed(t as u64);
+            let cfg = SimConfig::new(IdentityAssignment::anonymous(n), sched.clone(), async_net())
+                .with_seed(t as u64);
             let mut ea = Engine::new(cfg, |p, _| {
                 AnonFloodingConsensus::new(props[p], t, wa.ap(Span::ZERO))
             });

@@ -196,12 +196,8 @@ fn buffers_stay_bounded_across_rounds() {
     let w = OracleWorld::new(sched.clone(), assign.clone(), Time::from_ticks(1_500));
     let proposals: Vec<u64> = (0..n as u64).collect();
     let props = proposals.clone();
-    let cfg = SimConfig::new(
-        assign,
-        sched.clone(),
-        NetworkModel::reliable(Span::TICK),
-    )
-    .with_seed(3);
+    let cfg =
+        SimConfig::new(assign, sched.clone(), NetworkModel::reliable(Span::TICK)).with_seed(3);
     let mut engine = Engine::new(cfg, |p, _| {
         MajorityConsensus::new(
             props[p],

@@ -443,7 +443,9 @@ mod tests {
     #[test]
     fn display_forms_are_nonempty() {
         assert!(!EvtHPOutput::default().to_string().is_empty());
-        assert!(!HOmegaOutput::new(Identity::new(0), 2).to_string().is_empty());
+        assert!(!HOmegaOutput::new(Identity::new(0), 2)
+            .to_string()
+            .is_empty());
         assert!(!HSigmaOutput::new().to_string().is_empty());
         assert!(!SigmaOutput::default().to_string().is_empty());
         assert!(!OmegaOutput::new(Identity::new(0)).to_string().is_empty());

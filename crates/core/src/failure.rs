@@ -7,6 +7,7 @@
 //! yet at `T` is *alive* at `T` (so every correct process is always alive).
 
 use core::fmt;
+use std::sync::Arc;
 
 use crate::identity::IdentityAssignment;
 use crate::multiset::Multiset;
@@ -26,10 +27,13 @@ use crate::Identity;
 /// assert!(!sched.is_alive(2, Time::from_ticks(10)));
 /// assert_eq!(sched.correct_set(), vec![0, 1, 3]);
 /// ```
+/// Cloning is O(1): the crash table is behind an [`Arc`] with
+/// copy-on-write mutation, so the per-run `sched.clone()` churn in the
+/// experiment sweeps costs a refcount bump instead of a table copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FailureSchedule {
-    crash_at: Vec<Option<Time>>,
+    crash_at: Arc<Vec<Option<Time>>>,
 }
 
 impl FailureSchedule {
@@ -42,7 +46,7 @@ impl FailureSchedule {
     pub fn none(n: usize) -> Self {
         assert!(n > 0, "a system has at least one process");
         FailureSchedule {
-            crash_at: vec![None; n],
+            crash_at: Arc::new(vec![None; n]),
         }
     }
 
@@ -63,7 +67,7 @@ impl FailureSchedule {
     ///
     /// Panics if `p >= n`.
     pub fn set_crash(&mut self, p: usize, t: Time) {
-        self.crash_at[p] = Some(t);
+        Arc::make_mut(&mut self.crash_at)[p] = Some(t);
     }
 
     /// Number of processes `n`.

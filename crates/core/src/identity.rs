@@ -8,6 +8,7 @@
 //! but never to algorithm code.
 
 use core::fmt;
+use std::sync::Arc;
 
 use crate::multiset::Multiset;
 
@@ -101,10 +102,14 @@ impl From<u64> for Identity {
 /// assert_eq!(assign.distinct_count(), 2);
 /// assert_eq!(assign.multiplicity(Identity::new(0)), 3);
 /// ```
+/// Cloning is O(1): the identifier table is behind an [`Arc`], so the
+/// experiment sweeps can hand each of thousands of runs its own
+/// assignment without copying the table (there are no mutators, so the
+/// sharing is never observable).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IdentityAssignment {
-    ids: Vec<Identity>,
+    ids: Arc<Vec<Identity>>,
 }
 
 impl IdentityAssignment {
@@ -117,7 +122,7 @@ impl IdentityAssignment {
     pub fn unique(n: usize) -> Self {
         assert!(n > 0, "a system has at least one process");
         IdentityAssignment {
-            ids: (0..n as u64).map(Identity::new).collect(),
+            ids: Arc::new((0..n as u64).map(Identity::new).collect()),
         }
     }
 
@@ -131,7 +136,7 @@ impl IdentityAssignment {
     pub fn anonymous(n: usize) -> Self {
         assert!(n > 0, "a system has at least one process");
         IdentityAssignment {
-            ids: vec![Identity::BOTTOM; n],
+            ids: Arc::new(vec![Identity::BOTTOM; n]),
         }
     }
 
@@ -146,7 +151,7 @@ impl IdentityAssignment {
         assert!(n > 0, "a system has at least one process");
         assert!(l > 0 && l <= n, "need 1 <= l <= n distinct identifiers");
         IdentityAssignment {
-            ids: (0..n).map(|p| Identity::new((p % l) as u64)).collect(),
+            ids: Arc::new((0..n).map(|p| Identity::new((p % l) as u64)).collect()),
         }
     }
 
@@ -168,7 +173,7 @@ impl IdentityAssignment {
                 ids.push(Identity::new(0));
             }
         }
-        IdentityAssignment { ids }
+        IdentityAssignment { ids: Arc::new(ids) }
     }
 
     /// An arbitrary assignment, e.g. produced by a random generator.
@@ -179,7 +184,7 @@ impl IdentityAssignment {
     #[must_use]
     pub fn custom(ids: Vec<Identity>) -> Self {
         assert!(!ids.is_empty(), "a system has at least one process");
-        IdentityAssignment { ids }
+        IdentityAssignment { ids: Arc::new(ids) }
     }
 
     /// Number of processes `n = |Π|`.

@@ -63,8 +63,8 @@ pub use time::{Span, Time};
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::classes::{
-        AOmegaOutput, APOutput, ASigmaOutput, EListOutput, EvtHPOutput, HOmegaOutput,
-        HSigmaOutput, Label, OmegaOutput, SigmaOutput,
+        AOmegaOutput, APOutput, ASigmaOutput, EListOutput, EvtHPOutput, HOmegaOutput, HSigmaOutput,
+        Label, OmegaOutput, SigmaOutput,
     };
     pub use crate::failure::FailureSchedule;
     pub use crate::identity::{Identity, IdentityAssignment};
@@ -75,8 +75,8 @@ pub mod prelude {
         PropertyViolation,
     };
     pub use crate::query::{
-        AOmegaSource, APSource, ASigmaSource, EListSource, EvtHPSource, HOmegaSource,
-        HSigmaSource, OmegaSource, SharedCell, SigmaSource,
+        AOmegaSource, APSource, ASigmaSource, EListSource, EvtHPSource, HOmegaSource, HSigmaSource,
+        OmegaSource, SharedCell, SigmaSource,
     };
     pub use crate::time::{Span, Time};
 }

@@ -6,10 +6,37 @@
 //! holds. [`Multiset`] implements the bag algebra the algorithms and the
 //! property checkers need: multiplicity queries, inclusion, union (max),
 //! intersection (min), sum, and saturating difference.
+//!
+//! # Representation
+//!
+//! Detector outputs live on the simulator's hot path and almost always
+//! range over a *small* identifier universe (the paper's homonymy degree
+//! `ℓ` is tiny compared to `n`). The bag therefore keeps up to
+//! [`INLINE_DISTINCT`] distinct elements in a sorted inline vector —
+//! binary-searched, cache-friendly, one allocation — and only spills to a
+//! `BTreeMap` beyond that. The representation is invisible to callers:
+//! equality, ordering and hashing are defined over the *content* (the
+//! ordered `(element, multiplicity)` pairs), so an inline bag and a
+//! spilled bag with the same content compare and hash identically.
 
 use core::cmp::Ordering;
 use core::fmt;
+use core::hash::{Hash, Hasher};
 use std::collections::BTreeMap;
+
+/// Distinct-element capacity of the inline representation; beyond this
+/// the bag spills to a `BTreeMap` (and never converts back, which is
+/// fine because comparisons are content-based).
+pub const INLINE_DISTINCT: usize = 16;
+
+#[derive(Clone)]
+enum Repr<T: Ord> {
+    /// Sorted by element, no zero multiplicities, at most
+    /// [`INLINE_DISTINCT`] entries.
+    Inline(Vec<(T, usize)>),
+    /// Arbitrary distinct count, no zero multiplicities.
+    Spilled(BTreeMap<T, usize>),
+}
 
 /// An ordered multiset with per-element multiplicities.
 ///
@@ -23,10 +50,9 @@ use std::collections::BTreeMap;
 /// assert_eq!(m.multiplicity(&'a'), 2);
 /// assert!(m.is_subset(&['a', 'a', 'b', 'c'].into_iter().collect()));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone)]
 pub struct Multiset<T: Ord> {
-    counts: BTreeMap<T, usize>,
+    repr: Repr<T>,
     len: usize,
 }
 
@@ -35,7 +61,7 @@ impl<T: Ord> Multiset<T> {
     #[must_use]
     pub fn new() -> Self {
         Multiset {
-            counts: BTreeMap::new(),
+            repr: Repr::Inline(Vec::new()),
             len: 0,
         }
     }
@@ -55,19 +81,28 @@ impl<T: Ord> Multiset<T> {
     /// Number of *distinct* elements.
     #[must_use]
     pub fn distinct_len(&self) -> usize {
-        self.counts.len()
+        match &self.repr {
+            Repr::Inline(v) => v.len(),
+            Repr::Spilled(m) => m.len(),
+        }
     }
 
     /// Multiplicity `mult_I(x)` of an element (0 if absent).
     #[must_use]
     pub fn multiplicity(&self, x: &T) -> usize {
-        self.counts.get(x).copied().unwrap_or(0)
+        match &self.repr {
+            Repr::Inline(v) => v.binary_search_by(|(e, _)| e.cmp(x)).map_or(0, |i| v[i].1),
+            Repr::Spilled(m) => m.get(x).copied().unwrap_or(0),
+        }
     }
 
     /// Whether the element occurs at least once.
     #[must_use]
     pub fn contains(&self, x: &T) -> bool {
-        self.counts.contains_key(x)
+        match &self.repr {
+            Repr::Inline(v) => v.binary_search_by(|(e, _)| e.cmp(x)).is_ok(),
+            Repr::Spilled(m) => m.contains_key(x),
+        }
     }
 
     /// Inserts one occurrence of `x`.
@@ -80,47 +115,83 @@ impl<T: Ord> Multiset<T> {
         if n == 0 {
             return;
         }
-        *self.counts.entry(x).or_insert(0) += n;
         self.len += n;
+        match &mut self.repr {
+            Repr::Inline(v) => match v.binary_search_by(|(e, _)| e.cmp(&x)) {
+                Ok(i) => v[i].1 += n,
+                Err(i) => {
+                    if v.len() < INLINE_DISTINCT {
+                        v.insert(i, (x, n));
+                    } else {
+                        let mut map: BTreeMap<T, usize> = std::mem::take(v).into_iter().collect();
+                        map.insert(x, n);
+                        self.repr = Repr::Spilled(map);
+                    }
+                }
+            },
+            Repr::Spilled(m) => *m.entry(x).or_insert(0) += n,
+        }
     }
 
     /// Removes one occurrence of `x`; returns whether one was present.
     pub fn remove(&mut self, x: &T) -> bool {
-        match self.counts.get_mut(x) {
-            Some(c) if *c > 1 => {
-                *c -= 1;
-                self.len -= 1;
-                true
-            }
-            Some(_) => {
-                self.counts.remove(x);
-                self.len -= 1;
-                true
-            }
-            None => false,
+        match &mut self.repr {
+            Repr::Inline(v) => match v.binary_search_by(|(e, _)| e.cmp(x)) {
+                Ok(i) => {
+                    if v[i].1 > 1 {
+                        v[i].1 -= 1;
+                    } else {
+                        v.remove(i);
+                    }
+                    self.len -= 1;
+                    true
+                }
+                Err(_) => false,
+            },
+            Repr::Spilled(m) => match m.get_mut(x) {
+                Some(c) if *c > 1 => {
+                    *c -= 1;
+                    self.len -= 1;
+                    true
+                }
+                Some(_) => {
+                    m.remove(x);
+                    self.len -= 1;
+                    true
+                }
+                None => false,
+            },
         }
     }
 
     /// Removes all occurrences of `x`; returns how many were removed.
     pub fn remove_all(&mut self, x: &T) -> usize {
-        match self.counts.remove(x) {
-            Some(c) => {
-                self.len -= c;
-                c
-            }
-            None => 0,
-        }
+        let removed = match &mut self.repr {
+            Repr::Inline(v) => match v.binary_search_by(|(e, _)| e.cmp(x)) {
+                Ok(i) => v.remove(i).1,
+                Err(_) => 0,
+            },
+            Repr::Spilled(m) => m.remove(x).unwrap_or(0),
+        };
+        self.len -= removed;
+        removed
     }
 
     /// Removes every element.
     pub fn clear(&mut self) {
-        self.counts.clear();
+        match &mut self.repr {
+            Repr::Inline(v) => v.clear(),
+            Repr::Spilled(m) => m.clear(),
+        }
         self.len = 0;
     }
 
     /// Iterator over `(element, multiplicity)` pairs in element order.
-    pub fn counted(&self) -> impl Iterator<Item = (&T, usize)> + '_ {
-        self.counts.iter().map(|(x, &c)| (x, c))
+    pub fn counted(&self) -> Counted<'_, T> {
+        match &self.repr {
+            Repr::Inline(v) => Counted::Inline(v.iter()),
+            Repr::Spilled(m) => Counted::Spilled(m.iter()),
+        }
     }
 
     /// Iterator over elements expanded by multiplicity, in element order.
@@ -131,14 +202,12 @@ impl<T: Ord> Multiset<T> {
     /// assert_eq!(m.iter().copied().collect::<Vec<_>>(), vec![1, 2, 2]);
     /// ```
     pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
-        self.counts
-            .iter()
-            .flat_map(|(x, &c)| core::iter::repeat_n(x, c))
+        self.counted().flat_map(|(x, c)| core::iter::repeat_n(x, c))
     }
 
     /// Iterator over the distinct elements (the *support*).
     pub fn support(&self) -> impl Iterator<Item = &T> + '_ {
-        self.counts.keys()
+        self.counted().map(|(x, _)| x)
     }
 
     /// The smallest element, if any (used by `HΩ` extraction).
@@ -147,13 +216,19 @@ impl<T: Ord> Multiset<T> {
     /// resolution would otherwise prefer.
     #[must_use]
     pub fn min_elem(&self) -> Option<&T> {
-        self.counts.keys().next()
+        match &self.repr {
+            Repr::Inline(v) => v.first().map(|(x, _)| x),
+            Repr::Spilled(m) => m.keys().next(),
+        }
     }
 
     /// The largest element, if any.
     #[must_use]
     pub fn max_elem(&self) -> Option<&T> {
-        self.counts.keys().next_back()
+        match &self.repr {
+            Repr::Inline(v) => v.last().map(|(x, _)| x),
+            Repr::Spilled(m) => m.keys().next_back(),
+        }
     }
 
     /// Sub-multiset test: every multiplicity in `self` is `<=` the one in
@@ -163,9 +238,7 @@ impl<T: Ord> Multiset<T> {
         if self.len > other.len {
             return false;
         }
-        self.counts
-            .iter()
-            .all(|(x, &c)| other.multiplicity(x) >= c)
+        self.counted().all(|(x, c)| other.multiplicity(x) >= c)
     }
 
     /// Super-multiset test (`other ⊆ self`).
@@ -188,60 +261,113 @@ impl<T: Ord> Multiset<T> {
 }
 
 impl<T: Ord + Clone> Multiset<T> {
+    /// Builds a bag from `(element, multiplicity)` pairs already in
+    /// strictly increasing element order with nonzero counts.
+    fn from_sorted_pairs(pairs: Vec<(T, usize)>) -> Multiset<T> {
+        let len = pairs.iter().map(|(_, c)| c).sum();
+        let repr = if pairs.len() <= INLINE_DISTINCT {
+            Repr::Inline(pairs)
+        } else {
+            Repr::Spilled(pairs.into_iter().collect())
+        };
+        Multiset { repr, len }
+    }
+
+    /// Merges the ordered counted streams of two bags; `combine` maps the
+    /// per-element multiplicity pair to the output multiplicity (zero
+    /// drops the element).
+    fn merge_with(
+        &self,
+        other: &Multiset<T>,
+        combine: impl Fn(usize, usize) -> usize,
+    ) -> Multiset<T> {
+        let mut out = Vec::with_capacity(self.distinct_len() + other.distinct_len());
+        let mut a = self.counted().peekable();
+        let mut b = other.counted().peekable();
+        loop {
+            let ord = match (a.peek(), b.peek()) {
+                (Some((x, _)), Some((y, _))) => x.cmp(y),
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => break,
+            };
+            let (x, ca, cb) = match ord {
+                Ordering::Less => {
+                    let (x, c) = a.next().expect("peeked");
+                    (x, c, 0)
+                }
+                Ordering::Greater => {
+                    let (y, c) = b.next().expect("peeked");
+                    (y, 0, c)
+                }
+                Ordering::Equal => {
+                    let (x, ca) = a.next().expect("peeked");
+                    let (_, cb) = b.next().expect("peeked");
+                    (x, ca, cb)
+                }
+            };
+            let c = combine(ca, cb);
+            if c > 0 {
+                out.push((x.clone(), c));
+            }
+        }
+        Multiset::from_sorted_pairs(out)
+    }
+
     /// Multiset union: per-element **maximum** of multiplicities.
     #[must_use]
     pub fn union(&self, other: &Multiset<T>) -> Multiset<T> {
-        let mut out = self.clone();
-        for (x, c) in other.counted() {
-            let mine = out.multiplicity(x);
-            if c > mine {
-                out.insert_n(x.clone(), c - mine);
-            }
-        }
-        out
+        self.merge_with(other, usize::max)
     }
 
     /// Multiset intersection: per-element **minimum** of multiplicities.
     #[must_use]
     pub fn intersection(&self, other: &Multiset<T>) -> Multiset<T> {
-        let mut out = Multiset::new();
-        for (x, c) in self.counted() {
-            let m = c.min(other.multiplicity(x));
-            if m > 0 {
-                out.insert_n(x.clone(), m);
-            }
-        }
-        out
+        self.merge_with(other, usize::min)
     }
 
     /// Multiset sum: per-element **addition** of multiplicities
     /// (`|a ⊎ b| = |a| + |b|`).
     #[must_use]
     pub fn sum(&self, other: &Multiset<T>) -> Multiset<T> {
-        let mut out = self.clone();
-        for (x, c) in other.counted() {
-            out.insert_n(x.clone(), c);
-        }
-        out
+        self.merge_with(other, |a, b| a + b)
     }
 
     /// Saturating multiset difference: per-element subtraction clamped at 0.
     #[must_use]
     pub fn difference(&self, other: &Multiset<T>) -> Multiset<T> {
-        let mut out = Multiset::new();
-        for (x, c) in self.counted() {
-            let d = c.saturating_sub(other.multiplicity(x));
-            if d > 0 {
-                out.insert_n(x.clone(), d);
-            }
-        }
-        out
+        self.merge_with(other, usize::saturating_sub)
     }
 
     /// Converts to the underlying set (support), dropping multiplicities.
     #[must_use]
     pub fn to_set(&self) -> std::collections::BTreeSet<T> {
         self.support().cloned().collect()
+    }
+}
+
+/// Iterator over `(element, multiplicity)` pairs; see [`Multiset::counted`].
+pub enum Counted<'a, T> {
+    /// Inline representation walk.
+    Inline(core::slice::Iter<'a, (T, usize)>),
+    /// Spilled representation walk.
+    Spilled(std::collections::btree_map::Iter<'a, T, usize>),
+}
+
+impl<'a, T> Iterator for Counted<'a, T> {
+    type Item = (&'a T, usize);
+    fn next(&mut self) -> Option<(&'a T, usize)> {
+        match self {
+            Counted::Inline(it) => it.next().map(|(x, c)| (x, *c)),
+            Counted::Spilled(it) => it.next().map(|(x, &c)| (x, c)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Counted::Inline(it) => it.size_hint(),
+            Counted::Spilled(it) => it.size_hint(),
+        }
     }
 }
 
@@ -279,11 +405,32 @@ impl<T: Ord> Extend<T> for Multiset<T> {
     }
 }
 
+/// Owning `(element, multiplicity)` iterator; see [`Multiset::into_iter`].
+pub enum IntoIter<T> {
+    /// Inline representation walk.
+    Inline(std::vec::IntoIter<(T, usize)>),
+    /// Spilled representation walk.
+    Spilled(std::collections::btree_map::IntoIter<T, usize>),
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = (T, usize);
+    fn next(&mut self) -> Option<(T, usize)> {
+        match self {
+            IntoIter::Inline(it) => it.next(),
+            IntoIter::Spilled(it) => it.next(),
+        }
+    }
+}
+
 impl<T: Ord> IntoIterator for Multiset<T> {
     type Item = (T, usize);
-    type IntoIter = std::collections::btree_map::IntoIter<T, usize>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.counts.into_iter()
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        match self.repr {
+            Repr::Inline(v) => IntoIter::Inline(v.into_iter()),
+            Repr::Spilled(m) => IntoIter::Spilled(m.into_iter()),
+        }
     }
 }
 
@@ -299,9 +446,31 @@ impl<T: Ord, const N: usize> From<[T; N]> for Multiset<T> {
     }
 }
 
-/// Multisets are ordered lexicographically over their expanded element
-/// sequence, which gives a deterministic total order for use as map keys
-/// (e.g. Figure 7 uses the received multiset itself as a quorum label).
+// Equality, ordering and hashing are content-based so that an inline bag
+// and a spilled bag holding the same elements are indistinguishable.
+
+impl<T: Ord> PartialEq for Multiset<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.counted().eq(other.counted())
+    }
+}
+
+impl<T: Ord> Eq for Multiset<T> {}
+
+impl<T: Ord + Hash> Hash for Multiset<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.distinct_len());
+        for (x, c) in self.counted() {
+            x.hash(state);
+            state.write_usize(c);
+        }
+    }
+}
+
+/// Multisets are ordered lexicographically over their ordered
+/// `(element, multiplicity)` pairs, which gives a deterministic total
+/// order for use as map keys (e.g. Figure 7 uses the received multiset
+/// itself as a quorum label).
 impl<T: Ord> PartialOrd for Multiset<T> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -310,9 +479,27 @@ impl<T: Ord> PartialOrd for Multiset<T> {
 
 impl<T: Ord> Ord for Multiset<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.counts.iter().cmp(other.counts.iter())
+        self.counted().cmp(other.counted())
     }
 }
+
+#[cfg(feature = "serde")]
+impl<T: Ord + serde::Serialize> serde::Serialize for Multiset<T> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeSeq;
+        let mut seq = serializer.serialize_seq(Some(self.distinct_len()))?;
+        for (x, c) in self.counted() {
+            seq.serialize_element(&(x, c))?;
+        }
+        seq.end()
+    }
+}
+
+/// Marker impl matching the offline serde stand-in (which carries no
+/// deserializer machinery); present so `#[derive(serde::Deserialize)]`
+/// on types containing bags compiles under the `serde` feature.
+#[cfg(feature = "serde")]
+impl<'de, T: Ord> serde::Deserialize<'de> for Multiset<T> {}
 
 impl<T: Ord + fmt::Debug> fmt::Debug for Multiset<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -460,5 +647,84 @@ mod tests {
     fn to_set_drops_multiplicity() {
         let s = ms(&[1, 1, 2]).to_set();
         assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    // --- representation-boundary coverage ---
+
+    fn is_spilled(m: &Multiset<u32>) -> bool {
+        matches!(m.repr, Repr::Spilled(_))
+    }
+
+    #[test]
+    fn spills_beyond_inline_capacity_and_back_compares_equal() {
+        let mut big: Multiset<u32> = (0..INLINE_DISTINCT as u32 + 4).collect();
+        assert!(is_spilled(&big));
+        // Shrink back under the threshold: stays spilled, but must stay
+        // indistinguishable from a freshly built inline bag.
+        for x in 4..INLINE_DISTINCT as u32 + 4 {
+            assert_eq!(big.remove_all(&x), 1);
+        }
+        let small: Multiset<u32> = (0..4).collect();
+        assert!(!is_spilled(&small));
+        assert!(is_spilled(&big));
+        assert_eq!(big, small);
+        assert_eq!(big.cmp(&small), Ordering::Equal);
+        assert_eq!(hash_of(&big), hash_of(&small));
+    }
+
+    fn hash_of(m: &Multiset<u32>) -> u64 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        m.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn exactly_at_capacity_stays_inline() {
+        let m: Multiset<u32> = (0..INLINE_DISTINCT as u32).collect();
+        assert!(!is_spilled(&m));
+        let mut over = m.clone();
+        over.insert(INLINE_DISTINCT as u32);
+        assert!(is_spilled(&over));
+        assert_eq!(over.len(), INLINE_DISTINCT + 1);
+    }
+
+    #[test]
+    fn algebra_crosses_the_boundary() {
+        let a: Multiset<u32> = (0..12).collect();
+        let b: Multiset<u32> = (8..24).collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 24);
+        assert!(is_spilled(&u));
+        let i = a.intersection(&b);
+        assert_eq!(i, (8..12).collect::<Multiset<u32>>());
+        assert!(!is_spilled(&i));
+        assert_eq!(u.difference(&b), (0..8).collect::<Multiset<u32>>());
+        assert_eq!(a.sum(&b).len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn mixed_representation_ops_agree() {
+        let mut spilled: Multiset<u32> = (0..20).collect();
+        for x in 3..20 {
+            spilled.remove_all(&x);
+        }
+        let inline = ms(&[0, 1, 2]);
+        assert!(is_spilled(&spilled) && !is_spilled(&inline));
+        assert!(spilled.is_subset(&inline) && inline.is_subset(&spilled));
+        assert_eq!(spilled.union(&inline), inline);
+        assert_eq!(spilled.intersection(&inline), inline);
+        assert_eq!(spilled.difference(&inline), Multiset::new());
+    }
+
+    #[test]
+    fn into_iter_yields_counted_pairs_in_order() {
+        let small = ms(&[2, 1, 2]);
+        assert_eq!(small.into_iter().collect::<Vec<_>>(), vec![(1, 1), (2, 2)]);
+        let big: Multiset<u32> = (0..20).rev().collect();
+        assert_eq!(
+            big.into_iter().map(|(x, _)| x).collect::<Vec<_>>(),
+            (0..20).collect::<Vec<_>>()
+        );
     }
 }

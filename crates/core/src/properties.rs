@@ -54,7 +54,11 @@ impl PropertyViolation {
 
 impl fmt::Display for PropertyViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} violated: {}", self.class, self.property, self.detail)
+        write!(
+            f,
+            "{} {} violated: {}",
+            self.class, self.property, self.detail
+        )
     }
 }
 
@@ -83,11 +87,7 @@ fn require_history<T>(
         return Err(PropertyViolation::new(
             class,
             "input",
-            format!(
-                "{} histories for {} processes",
-                histories.len(),
-                sched.n()
-            ),
+            format!("{} histories for {} processes", histories.len(), sched.n()),
         ));
     }
     for p in sched.correct_set() {
@@ -285,10 +285,7 @@ pub fn disjoint_realizations_exist(
         let a2 = m2.multiplicity(&id);
         let in1 = s1.iter().filter(|&&p| assign.id_of(p) == id).count();
         let in2 = s2.iter().filter(|&&p| assign.id_of(p) == id).count();
-        let in_union = s1
-            .union(s2)
-            .filter(|&&p| assign.id_of(p) == id)
-            .count();
+        let in_union = s1.union(s2).filter(|&&p| assign.id_of(p) == id).count();
         if a1 > in1 || a2 > in2 || a1 + a2 > in_union {
             return false;
         }
@@ -330,8 +327,7 @@ pub fn disjoint_realizations_exist_brute(
     };
     let q1s = realizations(m1, s1);
     let q2s = realizations(m2, s2);
-    q1s.iter()
-        .any(|q1| q2s.iter().any(|q2| q1.is_disjoint(q2)))
+    q1s.iter().any(|q1| q2s.iter().any(|q2| q1.is_disjoint(q2)))
 }
 
 /// Checks all four `HΣ` properties (§3.2) over recorded histories.
@@ -355,7 +351,10 @@ pub fn check_h_sigma(
                 return Err(PropertyViolation::new(
                     "HΣ",
                     "monotonicity",
-                    format!("process {p}: h_labels shrank between {} and {}", w[0].0, w[1].0),
+                    format!(
+                        "process {p}: h_labels shrank between {} and {}",
+                        w[0].0, w[1].0
+                    ),
                 ));
             }
             for (x, m) in &prev.h_quora {
@@ -401,7 +400,9 @@ pub fn check_h_sigma(
                 return Err(PropertyViolation::new(
                     "HΣ",
                     "liveness",
-                    format!("process {p}: final h_quora has no pair (x,m) with m ⊆ I(S(x) ∩ Correct)"),
+                    format!(
+                        "process {p}: final h_quora has no pair (x,m) with m ⊆ I(S(x) ∩ Correct)"
+                    ),
                 ));
             }
         }
@@ -541,7 +542,10 @@ pub fn check_omega(
             return Err(PropertyViolation::new(
                 "Ω",
                 "election",
-                format!("p{} ends with {} but p{} ends with {}", correct[0], elected, p, f),
+                format!(
+                    "p{} ends with {} but p{} ends with {}",
+                    correct[0], elected, p, f
+                ),
             ));
         }
     }
@@ -642,7 +646,10 @@ pub fn check_ap(
                 return Err(PropertyViolation::new(
                     "AP",
                     "safety",
-                    format!("process {p} output anap={} at {t} but {alive} were alive", snap.anap),
+                    format!(
+                        "process {p} output anap={} at {t} but {alive} were alive",
+                        snap.anap
+                    ),
                 ));
             }
         }
@@ -734,7 +741,9 @@ pub fn check_a_sigma(
                 return Err(PropertyViolation::new(
                     "AΣ",
                     "liveness",
-                    format!("process {p}: no pair (x,y) with y live-correct participants at the end"),
+                    format!(
+                        "process {p}: no pair (x,y) with y live-correct participants at the end"
+                    ),
                 ));
             }
         }
@@ -928,10 +937,7 @@ mod tests {
     }
 
     fn two_proc_setup() -> (FailureSchedule, IdentityAssignment) {
-        (
-            FailureSchedule::none(2),
-            IdentityAssignment::unique(2),
-        )
+        (FailureSchedule::none(2), IdentityAssignment::unique(2))
     }
 
     #[test]
@@ -940,7 +946,10 @@ mod tests {
         let target = sched.i_correct(&assign);
         let wrong: Multiset<Identity> = [Identity::new(9)].into_iter().collect();
         let histories = vec![
-            hist(vec![(0, EvtHPOutput::new(wrong.clone())), (5, EvtHPOutput::new(target.clone()))]),
+            hist(vec![
+                (0, EvtHPOutput::new(wrong.clone())),
+                (5, EvtHPOutput::new(target.clone())),
+            ]),
             hist(vec![(0, EvtHPOutput::new(target.clone()))]),
         ];
         let rep = check_evt_hp(&histories, &sched, &assign).expect("valid");
@@ -1001,8 +1010,12 @@ mod tests {
 
         // Whole multiset {A,A,B,B}: only one realization, intersects itself.
         let whole = assign.multiset();
-        assert!(!disjoint_realizations_exist(&whole, &all, &whole, &all, &assign));
-        assert!(!disjoint_realizations_exist_brute(&whole, &all, &whole, &all, &assign));
+        assert!(!disjoint_realizations_exist(
+            &whole, &all, &whole, &all, &assign
+        ));
+        assert!(!disjoint_realizations_exist_brute(
+            &whole, &all, &whole, &all, &assign
+        ));
     }
 
     #[test]

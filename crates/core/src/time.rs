@@ -164,12 +164,18 @@ mod tests {
 
     #[test]
     fn add_span_advances_time() {
-        assert_eq!(Time::from_ticks(2) + Span::from_ticks(3), Time::from_ticks(5));
+        assert_eq!(
+            Time::from_ticks(2) + Span::from_ticks(3),
+            Time::from_ticks(5)
+        );
     }
 
     #[test]
     fn sub_yields_span() {
-        assert_eq!(Time::from_ticks(9) - Time::from_ticks(4), Span::from_ticks(5));
+        assert_eq!(
+            Time::from_ticks(9) - Time::from_ticks(4),
+            Span::from_ticks(5)
+        );
     }
 
     #[test]
@@ -202,6 +208,9 @@ mod tests {
     #[test]
     fn overflow_saturates() {
         assert_eq!(Time::MAX + Span::TICK, Time::MAX);
-        assert_eq!(Span::from_ticks(u64::MAX).saturating_mul(2), Span::from_ticks(u64::MAX));
+        assert_eq!(
+            Span::from_ticks(u64::MAX).saturating_mul(2),
+            Span::from_ticks(u64::MAX)
+        );
     }
 }

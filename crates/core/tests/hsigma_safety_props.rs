@@ -25,7 +25,12 @@ fn subset(n: usize) -> impl Strategy<Value = BTreeSet<usize>> {
 fn case() -> impl Strategy<Value = SafetyCase> {
     (2usize..7).prop_flat_map(|n| {
         (1usize..=n).prop_flat_map(move |l| {
-            (subset(n), subset(n), proptest::collection::vec(0..n, 0..=n), proptest::collection::vec(0..n, 0..=n))
+            (
+                subset(n),
+                subset(n),
+                proptest::collection::vec(0..n, 0..=n),
+                proptest::collection::vec(0..n, 0..=n),
+            )
                 .prop_map(move |(s1, s2, picks1, picks2)| {
                     let assign = IdentityAssignment::round_robin(n, l);
                     // Build quorum multisets from random process picks so
@@ -34,7 +39,13 @@ fn case() -> impl Strategy<Value = SafetyCase> {
                         picks1.into_iter().map(|p| assign.id_of(p)).collect();
                     let m2: Multiset<Identity> =
                         picks2.into_iter().map(|p| assign.id_of(p)).collect();
-                    SafetyCase { assign, s1, s2, m1, m2 }
+                    SafetyCase {
+                        assign,
+                        s1,
+                        s2,
+                        m1,
+                        m2,
+                    }
                 })
         })
     })

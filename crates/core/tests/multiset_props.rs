@@ -1,11 +1,183 @@
 //! Property-based tests for the multiset algebra — the foundation every
 //! detector output in this workspace is built on.
+//!
+//! Two layers of properties:
+//!
+//! * algebraic laws of the bag operations (commutativity, inclusion,
+//!   inclusion-exclusion, ...), generated over a *small* universe so the
+//!   inline representation is exercised;
+//! * equivalence of the inline and spilled representations against a
+//!   plain `BTreeMap<T, usize>` reference model, generated over a
+//!   universe wide enough to cross the `INLINE_DISTINCT` spill boundary
+//!   in both directions.
 
-use homonym_core::multiset::Multiset;
+use std::collections::BTreeMap;
+
+use homonym_core::multiset::{Multiset, INLINE_DISTINCT};
 use proptest::prelude::*;
 
 fn ms() -> impl Strategy<Value = Multiset<u8>> {
     proptest::collection::vec(0u8..12, 0..24).prop_map(|v| v.into_iter().collect())
+}
+
+/// The reference implementation: a counted map with no fast path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct RefBag(BTreeMap<u8, usize>);
+
+impl RefBag {
+    fn insert_n(&mut self, x: u8, n: usize) {
+        if n > 0 {
+            *self.0.entry(x).or_insert(0) += n;
+        }
+    }
+
+    fn mult(&self, x: u8) -> usize {
+        self.0.get(&x).copied().unwrap_or(0)
+    }
+
+    fn len(&self) -> usize {
+        self.0.values().sum()
+    }
+
+    fn merged(&self, other: &RefBag, combine: impl Fn(usize, usize) -> usize) -> RefBag {
+        let mut out = RefBag::default();
+        for &x in self.0.keys().chain(other.0.keys()) {
+            let c = combine(self.mult(x), other.mult(x));
+            if c > 0 {
+                out.0.insert(x, c);
+            }
+        }
+        out
+    }
+
+    fn is_subset(&self, other: &RefBag) -> bool {
+        self.0.iter().all(|(x, &c)| other.mult(*x) >= c)
+    }
+}
+
+fn to_ref(m: &Multiset<u8>) -> RefBag {
+    RefBag(m.counted().map(|(&x, c)| (x, c)).collect())
+}
+
+fn from_ref(r: &RefBag) -> Multiset<u8> {
+    r.0.iter().map(|(&x, &c)| (x, c)).collect()
+}
+
+/// Operation scripts over a universe wide enough (0..40) that bags cross
+/// the `INLINE_DISTINCT` boundary both ways (inserts spill, removals
+/// shrink a spilled bag back under the threshold).
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, usize),
+    Remove(u8),
+    RemoveAll(u8),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..40, 1usize..4).prop_map(|(x, n)| Op::Insert(x, n)),
+            (0u8..40).prop_map(Op::Remove),
+            (0u8..40).prop_map(Op::RemoveAll),
+        ],
+        0..120,
+    )
+}
+
+fn wide() -> impl Strategy<Value = Multiset<u8>> {
+    proptest::collection::vec(0u8..40, 0..64).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Mutation scripts drive the bag through spills and shrinks; every
+    /// observable must match the reference model at every step.
+    #[test]
+    fn scripted_mutations_match_reference_model(script in ops()) {
+        let mut bag: Multiset<u8> = Multiset::new();
+        let mut reference = RefBag::default();
+        for op in script {
+            match op {
+                Op::Insert(x, n) => {
+                    bag.insert_n(x, n);
+                    reference.insert_n(x, n);
+                }
+                Op::Remove(x) => {
+                    let removed = bag.remove(&x);
+                    prop_assert_eq!(removed, reference.mult(x) > 0);
+                    if removed {
+                        if reference.mult(x) == 1 {
+                            reference.0.remove(&x);
+                        } else {
+                            *reference.0.get_mut(&x).expect("present") -= 1;
+                        }
+                    }
+                }
+                Op::RemoveAll(x) => {
+                    let removed = bag.remove_all(&x);
+                    prop_assert_eq!(removed, reference.mult(x));
+                    reference.0.remove(&x);
+                }
+            }
+            prop_assert_eq!(bag.len(), reference.len());
+            prop_assert_eq!(bag.distinct_len(), reference.0.len());
+            prop_assert_eq!(to_ref(&bag), reference.clone());
+            prop_assert_eq!(bag.min_elem().copied(), reference.0.keys().next().copied());
+            prop_assert_eq!(bag.max_elem().copied(), reference.0.keys().next_back().copied());
+        }
+        // A rebuilt bag (guaranteed minimal representation) must be
+        // fully interchangeable with the mutated one, whatever internal
+        // representation each ended up with.
+        let rebuilt = from_ref(&reference);
+        prop_assert_eq!(&bag, &rebuilt);
+        prop_assert!(bag.cmp(&rebuilt).is_eq());
+        prop_assert!(bag.is_subset(&rebuilt) && rebuilt.is_subset(&bag));
+    }
+
+    /// The full bag algebra agrees with the reference model across the
+    /// spill boundary.
+    #[test]
+    fn algebra_matches_reference_model(a in wide(), b in wide()) {
+        let (ra, rb) = (to_ref(&a), to_ref(&b));
+        prop_assert_eq!(to_ref(&a.union(&b)), ra.merged(&rb, usize::max));
+        prop_assert_eq!(to_ref(&a.intersection(&b)), ra.merged(&rb, usize::min));
+        prop_assert_eq!(to_ref(&a.sum(&b)), ra.merged(&rb, |x, y| x + y));
+        prop_assert_eq!(to_ref(&a.difference(&b)), ra.merged(&rb, usize::saturating_sub));
+        prop_assert_eq!(a.is_subset(&b), ra.is_subset(&rb));
+        prop_assert_eq!(a.is_superset(&b), rb.is_subset(&ra));
+        prop_assert_eq!(
+            a.is_disjoint(&b),
+            ra.0.keys().all(|x| rb.mult(*x) == 0)
+        );
+    }
+
+    /// Ordering and equality are content-based: rebuilding through the
+    /// reference model (fresh minimal representation) never changes how
+    /// two bags compare.
+    #[test]
+    fn comparisons_are_representation_independent(a in wide(), b in wide()) {
+        let (a2, b2) = (from_ref(&to_ref(&a)), from_ref(&to_ref(&b)));
+        prop_assert_eq!(a.cmp(&b), a2.cmp(&b2));
+        prop_assert_eq!(a == b, a2 == b2);
+        prop_assert_eq!(a.len(), a2.len());
+    }
+
+    /// Bags sitting exactly at the spill threshold behave identically to
+    /// the model (the off-by-one zone of the inline capacity).
+    #[test]
+    fn spill_threshold_boundary(extra in 0usize..4, mult in 1usize..3) {
+        let mut bag: Multiset<u8> = Multiset::new();
+        let mut reference = RefBag::default();
+        let distinct = INLINE_DISTINCT + extra;
+        for x in 0..distinct as u8 {
+            bag.insert_n(x, mult);
+            reference.insert_n(x, mult);
+        }
+        prop_assert_eq!(bag.distinct_len(), distinct);
+        prop_assert_eq!(bag.len(), distinct * mult);
+        prop_assert_eq!(to_ref(&bag), reference);
+    }
 }
 
 proptest! {

@@ -102,8 +102,8 @@ mod tests {
         horizon: u64,
         seed: u64,
     ) -> Vec<History<APOutput>> {
-        let mut cfg = SimConfig::new(IdentityAssignment::anonymous(n), sched, network)
-            .with_seed(seed);
+        let mut cfg =
+            SimConfig::new(IdentityAssignment::anonymous(n), sched, network).with_seed(seed);
         // Keep final-step broadcasts whole so the synchronous-soundness
         // argument (every alive sender's copy arrives) is exact.
         cfg.partial_broadcast_on_crash = false;

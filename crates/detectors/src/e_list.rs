@@ -107,7 +107,11 @@ mod tests {
         sched: FailureSchedule,
         horizon: u64,
         seed: u64,
-    ) -> (Vec<History<EListOutput>>, FailureSchedule, IdentityAssignment) {
+    ) -> (
+        Vec<History<EListOutput>>,
+        FailureSchedule,
+        IdentityAssignment,
+    ) {
         let assign = IdentityAssignment::unique(n);
         let cfg = SimConfig::new(
             assign.clone(),

@@ -26,8 +26,6 @@
 //! must count, otherwise no reply would ever match during lock-step
 //! executions.
 
-use std::collections::BTreeMap;
-
 use homonym_core::classes::{EvtHPOutput, HOmegaOutput};
 use homonym_core::identity::Identity;
 use homonym_core::multiset::Multiset;
@@ -105,7 +103,10 @@ pub struct EvtHpProcess {
     h_omega: HOmegaOutput,
     round: u64,
     timeout: u64,
-    mship: BTreeMap<Identity, u64>, // identifier -> latest_r
+    /// `identifier -> latest_r`, a sorted small-universe map: the key
+    /// space is the ℓ distinct identifiers, so a binary-searched vector
+    /// beats a tree on every lookup the polling hot path makes.
+    mship: Vec<(Identity, u64)>,
     /// Replies addressed to my identifier, kept while they may still cover
     /// a future round: `(from, to, sender)`.
     pending: Vec<(u64, u64, Identity)>,
@@ -127,7 +128,7 @@ impl EvtHpProcess {
             h_omega: HOmegaOutput::new(Identity::BOTTOM, 1),
             round: 1,
             timeout: 1,
-            mship: BTreeMap::new(),
+            mship: Vec::new(),
             pending: Vec::new(),
             evt_mirror: None,
             omega_mirror: None,
@@ -195,14 +196,19 @@ impl EvtHpProcess {
     }
 
     fn end_round(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
-        // Lines 12-17: gather one identifier instance per covering reply.
+        // Lines 12-17: gather one identifier instance per covering reply,
+        // and drop replies that cannot cover any later round, in one pass
+        // over the pending list.
         let r = self.round;
-        let mut tmp = Multiset::new();
-        for &(from, to, sender) in &self.pending {
+        // Recycle the outgoing bag's buffer for the new gathering.
+        let mut tmp = std::mem::take(&mut self.h_trusted);
+        tmp.clear();
+        self.pending.retain(|&(from, to, sender)| {
             if from <= r && r <= to {
                 tmp.insert(sender);
             }
-        }
+            to > r
+        });
         self.h_trusted = tmp;
         // Corollary 2: HΩ extraction, no communication.
         if let Some(&leader) = self.h_trusted.min_elem() {
@@ -220,8 +226,6 @@ impl EvtHpProcess {
             round: r,
             timeout: self.timeout,
         });
-        // Replies that cannot cover any round after r are dead.
-        self.pending.retain(|&(_, to, _)| to > r);
         self.round += 1;
         self.poll(ctx);
     }
@@ -247,7 +251,14 @@ impl Process for EvtHpProcess {
         match msg {
             // Task T2, lines 22-31.
             EvtHpMsg::Polling { round, id } => {
-                let latest = self.mship.entry(id).or_insert(0);
+                let slot = match self.mship.binary_search_by_key(&id, |&(i, _)| i) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        self.mship.insert(i, (id, 0));
+                        i
+                    }
+                };
+                let latest = &mut self.mship[slot].1;
                 if *latest < round {
                     ctx.broadcast(EvtHpMsg::PReply {
                         from: *latest + 1,
@@ -332,7 +343,10 @@ mod tests {
             .with_crash(4, Time::from_ticks(80));
         let (evt, omg) = run_fig6(assign.clone(), sched.clone(), hps_network(60, 3), 1200, 7);
         let rep = check_evt_hp(&evt, &sched, &assign).expect("◇HP class valid");
-        assert!(rep.stabilization >= Time::from_ticks(60), "cannot converge before GST");
+        assert!(
+            rep.stabilization >= Time::from_ticks(60),
+            "cannot converge before GST"
+        );
         let orep = check_h_omega(&omg, &sched, &assign).expect("HΩ class valid");
         // Correct: p0(A), p2(A), p3(B) -> leader A with multiplicity 2.
         assert_eq!(orep.leader, Identity::new(0));
@@ -409,11 +423,8 @@ mod tests {
     fn one_reply_serves_all_homonymous_pollers() {
         // Two homonyms poll with the same identifier; every other process
         // must answer each identifier-round at most once.
-        let assign = IdentityAssignment::custom(vec![
-            Identity::new(0),
-            Identity::new(0),
-            Identity::new(1),
-        ]);
+        let assign =
+            IdentityAssignment::custom(vec![Identity::new(0), Identity::new(0), Identity::new(1)]);
         let sched = FailureSchedule::none(3);
         let cfg = SimConfig::new(assign, sched, NetworkModel::reliable(Span::TICK)).with_seed(1);
         let mut engine = Engine::new(cfg, |_, _| EvtHpProcess::new());
@@ -437,15 +448,7 @@ mod tests {
     fn deterministic_per_seed() {
         let assign = IdentityAssignment::round_robin(4, 2);
         let sched = FailureSchedule::none(4).with_crash(2, Time::from_ticks(20));
-        let run = |seed| {
-            run_fig6(
-                assign.clone(),
-                sched.clone(),
-                hps_network(30, 3),
-                500,
-                seed,
-            )
-        };
+        let run = |seed| run_fig6(assign.clone(), sched.clone(), hps_network(30, 3), 500, seed);
         assert_eq!(run(21), run(21));
     }
 }

@@ -76,7 +76,11 @@ impl Process for HSigmaStepProcess {
         ctx.set_timer(self.period, STEP);
     }
 
-    fn on_message(&mut self, msg: StepIdentMsg, _ctx: &mut ActionSink<'_, StepIdentMsg, HSigmaOutput>) {
+    fn on_message(
+        &mut self,
+        msg: StepIdentMsg,
+        _ctx: &mut ActionSink<'_, StepIdentMsg, HSigmaOutput>,
+    ) {
         self.window.push(msg.0);
     }
 

@@ -72,13 +72,12 @@ impl OracleWorld {
     /// detector of these classes is not defined for runs where everyone
     /// crashes).
     #[must_use]
-    pub fn new(
-        sched: FailureSchedule,
-        assign: IdentityAssignment,
-        stabilize_at: Time,
-    ) -> Self {
+    pub fn new(sched: FailureSchedule, assign: IdentityAssignment, stabilize_at: Time) -> Self {
         assert_eq!(sched.n(), assign.n(), "size mismatch");
-        assert!(sched.num_correct() > 0, "at least one process must be correct");
+        assert!(
+            sched.num_correct() > 0,
+            "at least one process must be correct"
+        );
         let epochs = sched.epoch_starts();
         OracleWorld {
             inner: Arc::new(WorldInner {
@@ -292,7 +291,8 @@ impl HOmegaSource for HOmegaOracle {
                 let ids = w.inner.assign.multiset();
                 let k = (OracleWorld::mix(now, self.salt) as usize) % ids.distinct_len();
                 let id = *ids.support().nth(k).expect("nonempty system");
-                let mult = 1 + (OracleWorld::mix(now, self.salt ^ 13) as usize) % w.inner.assign.n();
+                let mult =
+                    1 + (OracleWorld::mix(now, self.salt ^ 13) as usize) % w.inner.assign.n();
                 HOmegaOutput::new(id, mult)
             }
             // An identifier nobody carries: no process considers itself a
@@ -542,7 +542,10 @@ mod tests {
         });
         // Chaos: before stabilization two processes should disagree somewhere.
         let early: Vec<_> = (0..w.sched().n())
-            .map(|p| w.h_omega_for(p, PreStability::Chaotic).h_omega(Time::from_ticks(3)))
+            .map(|p| {
+                w.h_omega_for(p, PreStability::Chaotic)
+                    .h_omega(Time::from_ticks(3))
+            })
             .collect();
         assert!(
             early.windows(2).any(|w2| w2[0] != w2[1]),

@@ -3,9 +3,9 @@
 //! crash schedules.
 
 use homonym_core::prelude::*;
+use homonym_detectors::e_list::EListProcess;
 use homonym_detectors::evt_hp::{split_snapshots, EvtHpProcess};
 use homonym_detectors::h_sigma_sync::HSigmaSyncProcess;
-use homonym_detectors::e_list::EListProcess;
 use homonym_sim::prelude::*;
 use proptest::prelude::*;
 
@@ -23,10 +23,7 @@ fn topology(max_n: usize, crash_horizon: u64) -> impl Strategy<Value = Topology>
             (
                 Just(n),
                 1usize..=n,
-                proptest::collection::vec(
-                    proptest::option::weighted(0.3, 1u64..crash_horizon),
-                    n,
-                ),
+                proptest::collection::vec(proptest::option::weighted(0.3, 1u64..crash_horizon), n),
                 any::<u64>(),
             )
         })

@@ -118,7 +118,11 @@ mod tests {
             APToHSigmaProcess::new(world.ap(Span::from_ticks(lag)), Span::from_ticks(2))
         });
         engine.run_until(Time::from_ticks(horizon));
-        assert_eq!(engine.metrics().broadcasts, 0, "Lemma 3 must not communicate");
+        assert_eq!(
+            engine.metrics().broadcasts,
+            0,
+            "Lemma 3 must not communicate"
+        );
         (engine.histories().to_vec(), w)
     }
 

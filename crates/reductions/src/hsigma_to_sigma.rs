@@ -229,7 +229,10 @@ mod tests {
         let (hist, _) = run_fig4(3, &[], 0, 60, 3);
         for h in &hist {
             if let Some((t, _)) = h.first() {
-                assert!(*t > Time::ZERO, "trusted assigned before any LABELS arrived");
+                assert!(
+                    *t > Time::ZERO,
+                    "trusted assigned before any LABELS arrived"
+                );
             }
         }
     }

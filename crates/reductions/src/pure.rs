@@ -136,14 +136,18 @@ impl<S: ASigmaSource> HSigmaSource for ASigmaToHSigma<S> {
 mod tests {
     use super::*;
     use homonym_core::prelude::*;
-    use homonym_detectors::oracle::{OracleWorld, PreStability};
     use homonym_core::properties::History;
+    use homonym_detectors::oracle::{OracleWorld, PreStability};
 
     fn anonymous_world() -> OracleWorld {
         let sched = FailureSchedule::none(5)
             .with_crash(0, Time::from_ticks(6))
             .with_crash(2, Time::from_ticks(14));
-        OracleWorld::new(sched, IdentityAssignment::anonymous(5), Time::from_ticks(20))
+        OracleWorld::new(
+            sched,
+            IdentityAssignment::anonymous(5),
+            Time::from_ticks(20),
+        )
     }
 
     fn sample<T>(w: &OracleWorld, horizon: u64, f: impl Fn(usize, Time) -> T) -> Vec<History<T>> {

@@ -82,11 +82,7 @@ impl<S: SigmaSource> SigmaToHSigmaProcess<S> {
     /// **Figure 1**: the membership `I(Π)` is known initially; the label
     /// set is computed once and no message is ever sent.
     #[must_use]
-    pub fn with_known_membership(
-        sigma: S,
-        membership: BTreeSet<Identity>,
-        period: Span,
-    ) -> Self {
+    pub fn with_known_membership(sigma: S, membership: BTreeSet<Identity>, period: Span) -> Self {
         SigmaToHSigmaProcess {
             sigma,
             output: HSigmaOutput::new(),
@@ -158,7 +154,11 @@ impl<S: SigmaSource + Send + 'static> Process for SigmaToHSigmaProcess<S> {
         ctx.set_timer(self.period, SAMPLE);
     }
 
-    fn on_message(&mut self, msg: MembershipMsg, ctx: &mut ActionSink<'_, MembershipMsg, HSigmaOutput>) {
+    fn on_message(
+        &mut self,
+        msg: MembershipMsg,
+        ctx: &mut ActionSink<'_, MembershipMsg, HSigmaOutput>,
+    ) {
         let MembershipMsg::Ident(i) = msg;
         debug_assert!(!self.known_membership, "Figure 1 sends no messages");
         if self.mship.insert(i) {
@@ -192,12 +192,7 @@ mod tests {
         OracleWorld::new(sched, IdentityAssignment::unique(n), Time::ZERO)
     }
 
-    fn run(
-        w: &OracleWorld,
-        known: bool,
-        horizon: u64,
-        seed: u64,
-    ) -> Vec<History<HSigmaOutput>> {
+    fn run(w: &OracleWorld, known: bool, horizon: u64, seed: u64) -> Vec<History<HSigmaOutput>> {
         let cfg = SimConfig::new(
             w.assign().clone(),
             w.sched().clone(),
@@ -224,7 +219,11 @@ mod tests {
         engine.set_classifier(classify_membership);
         engine.run_until(Time::from_ticks(horizon));
         if known {
-            assert_eq!(engine.metrics().broadcasts, 0, "Figure 1 must not communicate");
+            assert_eq!(
+                engine.metrics().broadcasts,
+                0,
+                "Figure 1 must not communicate"
+            );
         } else {
             assert!(engine.metrics().broadcasts > 0);
         }

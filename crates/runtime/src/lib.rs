@@ -207,7 +207,10 @@ impl<P: Process> Worker<P> {
             if let Some(limit) = self.crash_after {
                 timeout = timeout.min(limit.saturating_sub(self.start.elapsed()));
             }
-            match self.inbox.recv_timeout(timeout.max(StdDuration::from_micros(100))) {
+            match self
+                .inbox
+                .recv_timeout(timeout.max(StdDuration::from_micros(100)))
+            {
                 Ok(m) => self.dispatch(Callback::Message(m)),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -259,12 +262,13 @@ where
                 delayed.pop();
                 let _ = router_inboxes[dst].send(stash[key as usize].clone());
             }
-            let timeout = delayed
-                .peek()
-                .map_or(StdDuration::from_millis(5), |&(Reverse(due), _, _)| {
-                    due.saturating_duration_since(Instant::now())
-                        .max(StdDuration::from_micros(100))
-                });
+            let timeout =
+                delayed
+                    .peek()
+                    .map_or(StdDuration::from_millis(5), |&(Reverse(due), _, _)| {
+                        due.saturating_duration_since(Instant::now())
+                            .max(StdDuration::from_micros(100))
+                    });
             match router_rx.recv_timeout(timeout) {
                 Ok(m) => {
                     let key = stash.len() as u64;
@@ -416,11 +420,7 @@ mod tests {
                 ctx.set_timer(Span::from_ticks(20), TimerTag(0));
             }
         }
-        let config = RtConfig::new(
-            IdentityAssignment::unique(1),
-            FailureSchedule::none(1),
-            250,
-        );
+        let config = RtConfig::new(IdentityAssignment::unique(1), FailureSchedule::none(1), 250);
         let report = run(&config, |_, _| Clock { fired: 0 });
         let fired = report.histories[0].len();
         // ~250ms at a 20ms period; allow generous scheduling slack.

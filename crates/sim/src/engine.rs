@@ -17,6 +17,7 @@
 //! [`SimConfig::partial_broadcast_on_crash`] is set.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use homonym_core::failure::FailureSchedule;
 use homonym_core::identity::IdentityAssignment;
@@ -27,6 +28,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::network::NetworkModel;
 use crate::process::{Action, ActionSink, Process, TimerTag};
+use crate::queue::EventQueue;
 use crate::trace::{Trace, TraceEvent};
 
 /// Why a run loop returned.
@@ -80,6 +82,13 @@ pub struct SimConfig {
     /// Safety valve: maximum callbacks before the run stops with
     /// [`StopReason::EventLimit`].
     pub max_events: u64,
+    /// Run on the pre-optimization hot path (`BTreeMap` event queue and
+    /// one deep payload clone per broadcast destination) instead of the
+    /// calendar queue + shared-payload path. Dispatch order and RNG
+    /// streams are identical either way — this switch exists so the
+    /// throughput benchmark can measure the speedup and the determinism
+    /// tests can assert trace equality between the two implementations.
+    pub legacy_hot_path: bool,
 }
 
 impl SimConfig {
@@ -99,6 +108,7 @@ impl SimConfig {
             seed: 0,
             partial_broadcast_on_crash: true,
             max_events: 50_000_000,
+            legacy_hot_path: false,
         }
     }
 
@@ -108,25 +118,65 @@ impl SimConfig {
         self.seed = seed;
         self
     }
+
+    /// Selects the pre-optimization hot path (builder style); see
+    /// [`SimConfig::legacy_hot_path`].
+    #[must_use]
+    pub fn with_legacy_hot_path(mut self, legacy: bool) -> Self {
+        self.legacy_hot_path = legacy;
+        self
+    }
 }
 
 enum Event<M> {
-    Start { dst: usize },
-    Deliver { dst: usize, msg: M },
-    Timer { dst: usize, tag: TimerTag },
+    Start {
+        dst: usize,
+    },
+    /// Legacy-path delivery: the payload was deep-cloned per destination
+    /// at broadcast time and is stored inline, exactly as the
+    /// pre-optimization engine did.
+    Deliver {
+        dst: usize,
+        msg: M,
+    },
+    /// Current-path delivery: every copy of a broadcast shares one
+    /// [`Arc`]'d payload; the clone needed to hand the process an owned
+    /// message happens at dispatch (and the last copy is unwrapped, not
+    /// cloned), so copies routed to crashed or halted processes never
+    /// pay for a deep clone.
+    DeliverShared {
+        dst: usize,
+        msg: Arc<M>,
+    },
+    Timer {
+        dst: usize,
+        tag: TimerTag,
+    },
+}
+
+/// Whether `M` is delivered by inline copy rather than `Arc` sharing:
+/// true for payloads that own no heap state (nothing to drop) and are at
+/// most a cache line wide. Resolves to a compile-time constant per
+/// message type.
+fn plain_payload<M>() -> bool {
+    !std::mem::needs_drop::<M>() && std::mem::size_of::<M>() <= 64
 }
 
 struct ProcSlot<P: Process> {
     proc: P,
     rng: StdRng,
     halted: bool,
+    /// Cached `id(p)` — avoids an assignment-table chase per callback.
+    id: homonym_core::Identity,
+    /// Cached crash time — avoids a schedule-table chase per callback.
+    crash_at: Option<Time>,
 }
 
 /// The discrete-event engine. See the module docs for semantics.
 pub struct Engine<P: Process> {
     config: SimConfig,
     procs: Vec<ProcSlot<P>>,
-    queue: BTreeMap<(Time, u64), Event<P::Msg>>,
+    queue: EventQueue<Event<P::Msg>>,
     seq: u64,
     now: Time,
     net_rng: StdRng,
@@ -135,6 +185,13 @@ pub struct Engine<P: Process> {
     decisions: Vec<Option<(Time, u64)>>,
     classifier: Option<fn(&P::Msg) -> &'static str>,
     trace: Option<Trace>,
+    /// Reused per-callback action buffer: one allocation per engine, not
+    /// one per dispatched event.
+    scratch_actions: Vec<Action<P::Msg, P::Output>>,
+    /// Correct processes that have not decided yet, kept incrementally so
+    /// `all_correct_decided` — polled after every event by the consensus
+    /// run loops — is O(1) instead of an allocation plus an O(n) scan.
+    undecided_correct: usize,
 }
 
 impl<P: Process> Engine<P> {
@@ -143,21 +200,28 @@ impl<P: Process> Engine<P> {
     /// The factory receives the process **index** purely as a
     /// formalization-level hook (to wire proposals or ground-truth oracles);
     /// algorithm state must only depend on the identifier.
-    pub fn new(config: SimConfig, mut factory: impl FnMut(usize, homonym_core::Identity) -> P) -> Self {
+    pub fn new(
+        config: SimConfig,
+        mut factory: impl FnMut(usize, homonym_core::Identity) -> P,
+    ) -> Self {
         let n = config.assign.n();
         let mut procs = Vec::with_capacity(n);
         for p in 0..n {
             procs.push(ProcSlot {
                 proc: factory(p, config.assign.id_of(p)),
                 // Decorrelate per-process streams from the engine stream.
-                rng: StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(p as u64 + 1))),
+                rng: StdRng::seed_from_u64(
+                    config.seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(p as u64 + 1)),
+                ),
                 halted: false,
+                id: config.assign.id_of(p),
+                crash_at: config.sched.crash_time(p),
             });
         }
         let net_rng = StdRng::seed_from_u64(config.seed);
-        let mut queue = BTreeMap::new();
+        let mut queue = EventQueue::new(config.legacy_hot_path);
         for p in 0..n {
-            queue.insert((Time::ZERO, p as u64), Event::Start { dst: p });
+            queue.push(Time::ZERO, p as u64, Event::Start { dst: p });
         }
         Engine {
             seq: n as u64,
@@ -168,6 +232,8 @@ impl<P: Process> Engine<P> {
             decisions: vec![None; n],
             classifier: None,
             trace: None,
+            scratch_actions: Vec::new(),
+            undecided_correct: config.sched.num_correct(),
             config,
             procs,
             queue,
@@ -214,6 +280,13 @@ impl<P: Process> Engine<P> {
         &self.metrics
     }
 
+    /// Number of events currently waiting in the queue (diagnostics and
+    /// load instrumentation; not part of the model).
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Recorded output histories, indexed by process.
     #[must_use]
     pub fn histories(&self) -> &[History<P::Output>] {
@@ -238,14 +311,11 @@ impl<P: Process> Engine<P> {
         &self.config
     }
 
-    /// Whether every correct process has decided.
+    /// Whether every correct process has decided (O(1): maintained
+    /// incrementally as decisions are recorded).
     #[must_use]
     pub fn all_correct_decided(&self) -> bool {
-        self.config
-            .sched
-            .correct_set()
-            .into_iter()
-            .all(|p| self.decisions[p].is_some())
+        self.undecided_correct == 0
     }
 
     /// Packages decisions into a [`ConsensusOutcome`] for checking.
@@ -275,20 +345,32 @@ impl<P: Process> Engine<P> {
             return StopReason::ConditionMet;
         }
         loop {
-            let Some((&(t, _), _)) = self.queue.first_key_value() else {
+            if self.metrics.events >= self.config.max_events {
+                // Quiescence and the deadline take precedence over the
+                // valve, matching the pre-fusion check order.
+                match self.queue.peek_time() {
+                    None => {
+                        self.now = self.now.max(deadline);
+                        return StopReason::Quiescent;
+                    }
+                    Some(t) if t > deadline => {
+                        self.now = deadline;
+                        return StopReason::Deadline;
+                    }
+                    Some(_) => return StopReason::EventLimit,
+                }
+            }
+            let Some((t, _, ev)) = self.queue.pop_at_or_before(deadline) else {
+                if self.queue.peek_time().is_some() {
+                    // Deadline: the next event lies beyond the window.
+                    self.now = deadline;
+                    return StopReason::Deadline;
+                }
                 // Quiescent: clock jumps to the deadline so final history
                 // timestamps reflect the full observation window.
                 self.now = self.now.max(deadline);
                 return StopReason::Quiescent;
             };
-            if t > deadline {
-                self.now = deadline;
-                return StopReason::Deadline;
-            }
-            if self.metrics.events >= self.config.max_events {
-                return StopReason::EventLimit;
-            }
-            let ((t, _), ev) = self.queue.pop_first().expect("nonempty");
             self.now = t;
             self.dispatch(ev);
             if cond(self) {
@@ -299,16 +381,36 @@ impl<P: Process> Engine<P> {
 
     fn dispatch(&mut self, ev: Event<P::Msg>) {
         let dst = match &ev {
-            Event::Start { dst } | Event::Deliver { dst, .. } | Event::Timer { dst, .. } => *dst,
+            Event::Start { dst }
+            | Event::Deliver { dst, .. }
+            | Event::DeliverShared { dst, .. }
+            | Event::Timer { dst, .. } => *dst,
         };
-        if self.procs[dst].halted || !self.config.sched.is_alive(dst, self.now) {
+        let slot = &self.procs[dst];
+        // The legacy baseline consults the schedule table per event, as
+        // the pre-optimization engine did; the current path uses the
+        // crash time cached in the process slot.
+        let crashed = if self.config.legacy_hot_path {
+            !self.config.sched.is_alive(dst, self.now)
+        } else {
+            slot.crash_at.is_some_and(|c| self.now >= c)
+        };
+        if slot.halted || crashed {
             return;
         }
         self.metrics.events += 1;
         if self.trace.is_some() {
             let tev = match &ev {
-                Event::Start { .. } => TraceEvent::Started { at: self.now, process: dst },
+                Event::Start { .. } => TraceEvent::Started {
+                    at: self.now,
+                    process: dst,
+                },
                 Event::Deliver { msg, .. } => TraceEvent::Delivered {
+                    at: self.now,
+                    process: dst,
+                    class: self.class_of(msg),
+                },
+                Event::DeliverShared { msg, .. } => TraceEvent::Delivered {
                     at: self.now,
                     process: dst,
                     class: self.class_of(msg),
@@ -323,15 +425,28 @@ impl<P: Process> Engine<P> {
                 trace.record(tev);
             }
         }
-        let mut actions: Vec<Action<P::Msg, P::Output>> = Vec::new();
+        // The legacy baseline allocates a fresh action buffer per
+        // callback, as the pre-optimization engine did; the current path
+        // reuses one buffer for the whole run.
+        let mut actions = if self.config.legacy_hot_path {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.scratch_actions)
+        };
+        debug_assert!(actions.is_empty());
         {
-            let id = self.config.assign.id_of(dst);
             let slot = &mut self.procs[dst];
-            let mut sink = ActionSink::new(id, self.now, &mut slot.rng, &mut actions);
+            let mut sink = ActionSink::new(slot.id, self.now, &mut slot.rng, &mut actions);
             match ev {
                 Event::Start { .. } => slot.proc.on_start(&mut sink),
                 Event::Deliver { msg, .. } => {
                     self.metrics.copies_delivered += 1;
+                    slot.proc.on_message(msg, &mut sink);
+                }
+                Event::DeliverShared { msg, .. } => {
+                    self.metrics.copies_delivered += 1;
+                    // Last copy standing is moved out; earlier copies clone.
+                    let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
                     slot.proc.on_message(msg, &mut sink);
                 }
                 Event::Timer { tag, .. } => {
@@ -340,11 +455,15 @@ impl<P: Process> Engine<P> {
                 }
             }
         }
-        self.apply(dst, actions);
+        self.apply(dst, &mut actions);
+        if !self.config.legacy_hot_path {
+            actions.clear();
+            self.scratch_actions = actions;
+        }
     }
 
-    fn apply(&mut self, src: usize, actions: Vec<Action<P::Msg, P::Output>>) {
-        for action in actions {
+    fn apply(&mut self, src: usize, actions: &mut Vec<Action<P::Msg, P::Output>>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Broadcast(msg) => self.do_broadcast(src, msg),
                 Action::SetTimer(delay, tag) => {
@@ -357,6 +476,9 @@ impl<P: Process> Engine<P> {
                 Action::Decide(v) => {
                     if self.decisions[src].is_none() {
                         self.decisions[src] = Some((self.now, v));
+                        if self.config.sched.is_correct(src) {
+                            self.undecided_correct -= 1;
+                        }
                         if let Some(trace) = self.trace.as_mut() {
                             trace.record(TraceEvent::Decided {
                                 at: self.now,
@@ -397,24 +519,51 @@ impl<P: Process> Engine<P> {
         // A broadcast at the sender's final step reaches an arbitrary
         // subset of the processes.
         let dying = self.config.partial_broadcast_on_crash
-            && self.config.sched.crash_time(src) == Some(self.now.next());
-        for dst in 0..self.n() {
-            if dying && self.net_rng.gen_bool(0.5) {
-                continue;
-            }
-            self.metrics.copies_sent += 1;
-            match self.config.network.route(self.now, &mut self.net_rng) {
-                Some(at) => {
-                    let msg = msg.clone();
-                    self.push(at, Event::Deliver { dst, msg });
+            && self.procs[src].crash_at == Some(self.now.next());
+        if self.config.legacy_hot_path || plain_payload::<P::Msg>() {
+            // One owned payload per queued copy. On the legacy baseline
+            // this is the pre-optimization deep clone per destination; on
+            // the current path it is taken only for payloads with no
+            // owned heap state (scalar-only enums and structs), which
+            // are cheaper to copy inline than to share: an Arc costs an
+            // allocation plus two atomic ops per copy, a plain <=64-byte
+            // memcpy costs neither.
+            for dst in 0..self.n() {
+                if dying && self.net_rng.gen_bool(0.5) {
+                    continue;
                 }
-                None => self.metrics.copies_lost += 1,
+                self.metrics.copies_sent += 1;
+                match self.config.network.route(self.now, &mut self.net_rng) {
+                    Some(at) => {
+                        let msg = msg.clone();
+                        self.push(at, Event::Deliver { dst, msg });
+                    }
+                    None => self.metrics.copies_lost += 1,
+                }
+            }
+        } else {
+            // Zero-copy: every queued copy shares one heap payload, so a
+            // broadcast costs one allocation instead of one deep clone
+            // per destination.
+            let shared = Arc::new(msg);
+            for dst in 0..self.n() {
+                if dying && self.net_rng.gen_bool(0.5) {
+                    continue;
+                }
+                self.metrics.copies_sent += 1;
+                match self.config.network.route(self.now, &mut self.net_rng) {
+                    Some(at) => {
+                        let msg = Arc::clone(&shared);
+                        self.push(at, Event::DeliverShared { dst, msg });
+                    }
+                    None => self.metrics.copies_lost += 1,
+                }
             }
         }
     }
 
     fn push(&mut self, at: Time, ev: Event<P::Msg>) {
-        self.queue.insert((at, self.seq), ev);
+        self.queue.push(at, self.seq, ev);
         self.seq += 1;
     }
 }
@@ -508,17 +657,21 @@ mod tests {
             }
         }
         assert!(dropped_somewhere, "partial broadcast never dropped a copy");
-        assert!(delivered_somewhere, "partial broadcast never delivered a copy");
+        assert!(
+            delivered_somewhere,
+            "partial broadcast never delivered a copy"
+        );
     }
 
     #[test]
     fn same_seed_same_run() {
         let run = |seed: u64| {
             let mut cfg = small_config(4);
-            cfg.network = NetworkModel::Asynchronous(crate::network::LatencyDistribution::Uniform {
-                min: Span::from_ticks(1),
-                max: Span::from_ticks(9),
-            });
+            cfg.network =
+                NetworkModel::Asynchronous(crate::network::LatencyDistribution::Uniform {
+                    min: Span::from_ticks(1),
+                    max: Span::from_ticks(9),
+                });
             cfg.seed = seed;
             let mut e = Engine::new(cfg, |_, _| Echo { cap: 4 });
             e.run_until(Time::from_ticks(500));

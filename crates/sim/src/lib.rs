@@ -55,6 +55,7 @@
 pub mod engine;
 pub mod network;
 pub mod process;
+mod queue;
 pub mod stack;
 pub mod sync_engine;
 pub mod trace;

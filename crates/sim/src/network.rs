@@ -41,7 +41,9 @@ pub enum LatencyDistribution {
         base: Span,
         /// Extra delay range for stragglers.
         tail: Span,
-        /// Percentage (0..=100) of straggler copies.
+        /// Percentage of straggler copies, clamped to `0..=100` when
+        /// sampling: `0` never delays, `100` (or any larger value)
+        /// delays every copy.
         slow_percent: u8,
     },
 }
@@ -61,7 +63,12 @@ impl LatencyDistribution {
                 tail,
                 slow_percent,
             } => {
-                if rng.gen_range(0u8..100) < *slow_percent {
+                // The draw is uniform over 0..=99, so `p` hits with
+                // probability exactly p/100: 0 never, 100 always. Values
+                // above 100 already behaved as 100 (every draw compares
+                // below them); the clamp makes that saturation explicit
+                // rather than an accident of the comparison.
+                if rng.gen_range(0u8..100) < (*slow_percent).min(100) {
                     base.ticks() + rng.gen_range(0..=tail.ticks())
                 } else {
                     base.ticks()
@@ -150,7 +157,9 @@ impl NetworkModel {
                             loss_percent,
                             max_delay,
                         } => {
-                            if rng.gen_range(0u8..100) < *loss_percent {
+                            // Same clamped-boundary handling as
+                            // `LatencyDistribution::SkewedTail`.
+                            if rng.gen_range(0u8..100) < (*loss_percent).min(100) {
                                 None
                             } else {
                                 let d = rng.gen_range(1..=max_delay.ticks().max(1));
@@ -194,7 +203,10 @@ mod tests {
         let m = NetworkModel::reliable(Span::from_ticks(3));
         let mut r = rng();
         for _ in 0..10 {
-            assert_eq!(m.route(Time::from_ticks(5), &mut r), Some(Time::from_ticks(8)));
+            assert_eq!(
+                m.route(Time::from_ticks(5), &mut r),
+                Some(Time::from_ticks(8))
+            );
         }
     }
 
@@ -238,6 +250,37 @@ mod tests {
             }
         }
         assert!(seen_slow, "tail should trigger at 30%");
+    }
+
+    #[test]
+    fn skewed_tail_percentage_boundaries() {
+        let mut r = rng();
+        let dist = |slow_percent| LatencyDistribution::SkewedTail {
+            base: Span::from_ticks(2),
+            tail: Span::from_ticks(10),
+            slow_percent,
+        };
+        // 0%: never a straggler.
+        let never = dist(0);
+        assert!((0..200).all(|_| never.sample(&mut r) == Span::from_ticks(2)));
+        // 100%: always a straggler draw (delay may still equal base when
+        // the uniform tail lands on 0, so probe the RNG consumption
+        // instead: two draws per sample means streams diverge from 0%).
+        let always = dist(100);
+        let mut seen_tail = false;
+        for _ in 0..200 {
+            let d = always.sample(&mut r).ticks();
+            assert!((2..=12).contains(&d));
+            if d > 2 {
+                seen_tail = true;
+            }
+        }
+        assert!(seen_tail, "100% straggler rate never drew from the tail");
+        // Out-of-range percentages clamp to 100 instead of overshooting.
+        let clamped = dist(250);
+        for _ in 0..50 {
+            assert!((2..=12).contains(&clamped.sample(&mut r).ticks()));
+        }
     }
 
     #[test]

@@ -207,7 +207,12 @@ mod tests {
     fn sink_exposes_identity_and_time() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut actions: Vec<Action<u32, ()>> = Vec::new();
-        let sink = ActionSink::new(Identity::new(5), Time::from_ticks(9), &mut rng, &mut actions);
+        let sink = ActionSink::new(
+            Identity::new(5),
+            Time::from_ticks(9),
+            &mut rng,
+            &mut actions,
+        );
         assert_eq!(sink.my_id(), Identity::new(5));
         assert_eq!(sink.local_now(), Time::from_ticks(9));
     }

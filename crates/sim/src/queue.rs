@@ -1,0 +1,468 @@
+//! The engine's event queue: a tick-bucketed calendar queue with a
+//! binary-heap overflow, plus the legacy `BTreeMap` queue it replaced.
+//!
+//! Dispatch order is the deterministic `(time, insertion sequence)` order
+//! the engine has always used; the calendar queue reproduces it
+//! byte-for-byte (a property the equivalence tests and
+//! `tests/trace_determinism.rs` assert) while turning the dominant
+//! push/pop pattern — deliveries a small bounded latency ahead of `now` —
+//! into O(1) array operations instead of `BTreeMap` node traffic.
+//!
+//! # Design
+//!
+//! * A ring of [`WHEEL_TICKS`] buckets indexed by `tick % WHEEL_TICKS`
+//!   covers the sliding window `[window, window + WHEEL_TICKS)`. Network
+//!   latencies and timer delays are small bounded spans, so almost every
+//!   event lands here. Each bucket is a `Vec` kept in insertion-sequence
+//!   order (a binary search protects the rare out-of-order migration).
+//! * An occupancy bitmap (one bit per bucket) finds the next nonempty
+//!   tick with word-level scans instead of walking empty buckets.
+//! * Events beyond the window go to a `BinaryHeap` keyed by
+//!   `(time, seq)` and migrate into the ring when the window reaches
+//!   them, so cross-structure ordering can never interleave wrongly.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use homonym_core::time::Time;
+
+/// Ring capacity in ticks. Power of two so the bucket index is a mask.
+const WHEEL_TICKS: u64 = 1024;
+/// Words of the occupancy bitmap.
+const WHEEL_WORDS: usize = (WHEEL_TICKS / 64) as usize;
+
+/// An event too far in the future for the ring.
+struct FarEvent<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for FarEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl<E> Eq for FarEvent<E> {}
+impl<E> PartialOrd for FarEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for FarEvent<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A ring bucket: `(seq, event)` entries sorted by `seq`, popped from
+/// `head` so dequeuing is O(1) without shifting. Popped slots hold
+/// `None`; the bucket is cleared once fully drained.
+struct Bucket<E> {
+    head: usize,
+    items: Vec<(u64, Option<E>)>,
+}
+
+impl<E> Bucket<E> {
+    const fn new() -> Self {
+        Bucket {
+            head: 0,
+            items: Vec::new(),
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.head >= self.items.len()
+    }
+}
+
+/// Calendar queue dispatching in exact `(time, seq)` order.
+pub(crate) struct CalendarQueue<E> {
+    buckets: Vec<Bucket<E>>,
+    occupied: [u64; WHEEL_WORDS],
+    /// Events currently stored in the ring.
+    ring_len: usize,
+    /// Lowest tick the ring can currently hold; advances monotonically.
+    window: u64,
+    /// Memoized next-event tick, so the engine's peek-then-pop pattern
+    /// scans the occupancy bitmap once per event instead of twice.
+    next_tick: Option<u64>,
+    overflow: BinaryHeap<Reverse<FarEvent<E>>>,
+}
+
+impl<E> CalendarQueue<E> {
+    pub(crate) fn new() -> Self {
+        CalendarQueue {
+            buckets: (0..WHEEL_TICKS).map(|_| Bucket::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            ring_len: 0,
+            window: 0,
+            next_tick: None,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ring_len == 0 && self.overflow.is_empty()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.ring_len + self.overflow.len()
+    }
+
+    fn set_occupied(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+    }
+
+    fn clear_occupied(&mut self, idx: usize) {
+        self.occupied[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    /// Inserts an event; `at` must be `>= window` (the engine only
+    /// schedules at or after the current time, which the window trails).
+    #[inline]
+    pub(crate) fn push(&mut self, at: Time, seq: u64, event: E) {
+        let at = at.ticks();
+        debug_assert!(at >= self.window, "event scheduled before the window");
+        if at - self.window < WHEEL_TICKS {
+            let idx = (at % WHEEL_TICKS) as usize;
+            let bucket = &mut self.buckets[idx];
+            // In-order fast path: sequences are handed out monotonically,
+            // so appends keep the bucket sorted by seq.
+            match bucket.items.last() {
+                Some(&(last_seq, _)) if last_seq > seq => {
+                    let pos = bucket
+                        .items
+                        .partition_point(|(s, _)| *s < seq)
+                        .max(bucket.head);
+                    bucket.items.insert(pos, (seq, Some(event)));
+                }
+                _ => bucket.items.push((seq, Some(event))),
+            }
+            self.set_occupied(idx);
+            self.ring_len += 1;
+            if self.next_tick.is_some_and(|next| at < next) {
+                self.next_tick = Some(at);
+            }
+        } else {
+            // Overflow events sit at or beyond `window + WHEEL_TICKS`,
+            // which a memoized ring tick never exceeds, so the memo
+            // stays valid.
+            self.overflow.push(Reverse(FarEvent { at, seq, event }));
+        }
+    }
+
+    /// Moves overflow events that now fit the window into the ring.
+    fn migrate_overflow(&mut self) {
+        while let Some(Reverse(far)) = self.overflow.peek() {
+            if far.at - self.window >= WHEEL_TICKS {
+                break;
+            }
+            let Reverse(far) = self.overflow.pop().expect("peeked");
+            // Ring pushes bypass `push` to avoid re-checking the window.
+            let idx = (far.at % WHEEL_TICKS) as usize;
+            let bucket = &mut self.buckets[idx];
+            let pos = bucket
+                .items
+                .partition_point(|(s, _)| *s < far.seq)
+                .max(bucket.head);
+            bucket.items.insert(pos, (far.seq, Some(far.event)));
+            self.set_occupied(idx);
+            self.ring_len += 1;
+        }
+    }
+
+    /// The tick of the earliest ring event, scanning the occupancy
+    /// bitmap from `window` forward (with wraparound).
+    fn earliest_ring_tick(&self) -> Option<u64> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let start = (self.window % WHEEL_TICKS) as usize;
+        let mut best: Option<u64> = None;
+        for step in 0..=WHEEL_WORDS {
+            // Scan words starting at `start`'s word; the first and last
+            // word need partial masks to respect the window rotation.
+            let word_idx = (start / 64 + step) % WHEEL_WORDS;
+            let mut word = self.occupied[word_idx];
+            if step == 0 {
+                word &= !0u64 << (start % 64);
+            } else if step == WHEEL_WORDS {
+                word &= !(!0u64 << (start % 64));
+            }
+            if word != 0 {
+                let bit = word_idx * 64 + word.trailing_zeros() as usize;
+                let offset = (bit as u64 + WHEEL_TICKS - start as u64) % WHEEL_TICKS;
+                best = Some(self.window + offset);
+                break;
+            }
+        }
+        best
+    }
+
+    /// Time of the next event without removing it.
+    #[inline]
+    pub(crate) fn peek_time(&mut self) -> Option<Time> {
+        if let Some(next) = self.next_tick {
+            return Some(Time::from_ticks(next));
+        }
+        if self.ring_len == 0 {
+            // Jump the window straight to the overflow's earliest event.
+            let far_at = self.overflow.peek().map(|Reverse(f)| f.at)?;
+            self.window = far_at;
+        }
+        self.migrate_overflow();
+        self.next_tick = self.earliest_ring_tick();
+        self.next_tick.map(Time::from_ticks)
+    }
+
+    /// Removes and returns the earliest event as `(time, seq, event)`.
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(Time, u64, E)> {
+        let at = self.peek_time()?.ticks();
+        if self.window < at {
+            self.window = at;
+            // Advancing the window may have pulled more overflow events
+            // into range at this same tick.
+            self.migrate_overflow();
+        }
+        let idx = (at % WHEEL_TICKS) as usize;
+        let bucket = &mut self.buckets[idx];
+        debug_assert!(!bucket.is_drained(), "occupancy bit without items");
+        let head = bucket.head;
+        bucket.head += 1;
+        let slot = &mut bucket.items[head];
+        let seq = slot.0;
+        let event = slot.1.take().expect("slot popped twice");
+        if bucket.is_drained() {
+            bucket.items.clear();
+            bucket.head = 0;
+            self.clear_occupied(idx);
+            self.next_tick = None;
+        }
+        self.ring_len -= 1;
+        Some((Time::from_ticks(at), seq, event))
+    }
+}
+
+/// The engine-facing queue: the calendar queue, or the legacy
+/// `BTreeMap<(Time, seq), E>` kept for baseline benchmarking and
+/// equivalence testing (see `SimConfig::legacy_hot_path`).
+pub(crate) enum EventQueue<E> {
+    /// Tick-bucketed calendar queue (the default).
+    Calendar(CalendarQueue<E>),
+    /// The pre-optimization queue, byte-for-byte the old dispatch order.
+    Legacy(BTreeMap<(Time, u64), E>),
+}
+
+impl<E> EventQueue<E> {
+    pub(crate) fn new(legacy: bool) -> Self {
+        if legacy {
+            EventQueue::Legacy(BTreeMap::new())
+        } else {
+            EventQueue::Calendar(CalendarQueue::new())
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: Time, seq: u64, event: E) {
+        match self {
+            EventQueue::Calendar(q) => q.push(at, seq, event),
+            EventQueue::Legacy(q) => {
+                q.insert((at, seq), event);
+            }
+        }
+    }
+
+    pub(crate) fn peek_time(&mut self) -> Option<Time> {
+        match self {
+            EventQueue::Calendar(q) => q.peek_time(),
+            EventQueue::Legacy(q) => q.first_key_value().map(|(&(t, _), _)| t),
+        }
+    }
+
+    /// Unconditional pop (used by tests; the engine's run loop uses
+    /// [`EventQueue::pop_at_or_before`]).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn pop(&mut self) -> Option<(Time, u64, E)> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Legacy(q) => q.pop_first().map(|((t, s), e)| (t, s, e)),
+        }
+    }
+
+    /// Pops the earliest event only when it is at or before `deadline` —
+    /// the engine's run-loop pattern, fused so the calendar queue resolves
+    /// its memoized next tick once per event. The legacy arm keeps the
+    /// pre-optimization peek-then-pop double descent.
+    pub(crate) fn pop_at_or_before(&mut self, deadline: Time) -> Option<(Time, u64, E)> {
+        match self {
+            EventQueue::Calendar(q) => {
+                if q.peek_time()? > deadline {
+                    return None;
+                }
+                q.pop()
+            }
+            EventQueue::Legacy(q) => {
+                let (&(t, _), _) = q.first_key_value()?;
+                if t > deadline {
+                    return None;
+                }
+                q.pop_first().map(|((t, s), e)| (t, s, e))
+            }
+        }
+    }
+
+    /// Whether no events remain (used by tests; the engine's run loop
+    /// detects quiescence through `peek_time`).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Calendar(q) => q.is_empty(),
+            EventQueue::Legacy(q) => q.is_empty(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len(),
+            EventQueue::Legacy(q) => q.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(Time::from_ticks(5), 2, "b");
+        q.push(Time::from_ticks(5), 1, "a");
+        q.push(Time::from_ticks(3), 3, "c");
+        assert_eq!(q.peek_time(), Some(Time::from_ticks(3)));
+        assert_eq!(q.pop(), Some((Time::from_ticks(3), 3, "c")));
+        assert_eq!(q.pop(), Some((Time::from_ticks(5), 1, "a")));
+        assert_eq!(q.pop(), Some((Time::from_ticks(5), 2, "b")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_events_merge_in_order() {
+        let mut q = CalendarQueue::new();
+        // Far event first (small seq), near event later (large seq).
+        q.push(Time::from_ticks(WHEEL_TICKS * 3), 1, "far");
+        q.push(Time::from_ticks(2), 2, "near");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Time::from_ticks(2), 2, "near")));
+        assert_eq!(q.pop(), Some((Time::from_ticks(WHEEL_TICKS * 3), 1, "far")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_across_ring_and_overflow_respects_seq() {
+        let mut q = CalendarQueue::new();
+        let t = WHEEL_TICKS + 7;
+        // Goes to overflow (beyond the initial window)...
+        q.push(Time::from_ticks(t), 1, "overflowed");
+        // ...advance the window by draining an early event...
+        q.push(Time::from_ticks(WHEEL_TICKS - 1), 2, "early");
+        assert_eq!(q.pop().unwrap().2, "early");
+        // ...now the same tick is in the window: ring insert, larger seq.
+        q.push(Time::from_ticks(t), 3, "ringed");
+        assert_eq!(q.pop(), Some((Time::from_ticks(t), 1, "overflowed")));
+        assert_eq!(q.pop(), Some((Time::from_ticks(t), 3, "ringed")));
+    }
+
+    #[test]
+    fn window_jumps_over_long_gaps() {
+        let mut q = CalendarQueue::new();
+        q.push(Time::from_ticks(10), 1, 'x');
+        assert_eq!(q.pop(), Some((Time::from_ticks(10), 1, 'x')));
+        q.push(Time::from_ticks(500_000), 2, 'y');
+        assert_eq!(q.peek_time(), Some(Time::from_ticks(500_000)));
+        assert_eq!(q.pop(), Some((Time::from_ticks(500_000), 2, 'y')));
+    }
+
+    #[test]
+    fn wraparound_keeps_ordering() {
+        let mut q = CalendarQueue::new();
+        let mut seq = 0;
+        // Drive the window through several full wheel revolutions.
+        let mut expected = Vec::new();
+        for round in 0..5u64 {
+            for offset in [1u64, 13, 700, 1023] {
+                let t = round * WHEEL_TICKS + offset;
+                q.push(Time::from_ticks(t), seq, (t, seq));
+                expected.push((t, seq));
+                seq += 1;
+            }
+            // Drain this round before scheduling the next (mirrors the
+            // engine, whose pushes never precede `now`).
+            while q
+                .peek_time()
+                .is_some_and(|t| t.ticks() <= (round + 1) * WHEEL_TICKS)
+            {
+                let (t, s, payload) = q.pop().unwrap();
+                assert_eq!(payload, (t.ticks(), s));
+            }
+        }
+        while let Some((t, s, payload)) = q.pop() {
+            assert_eq!(payload, (t.ticks(), s));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_with_partially_drained_bucket_is_sound() {
+        let mut q = CalendarQueue::new();
+        q.push(Time::from_ticks(1), 0, String::from("a"));
+        q.push(Time::from_ticks(1), 1, String::from("b"));
+        q.push(Time::from_ticks(9), 2, String::from("c"));
+        assert_eq!(q.pop().unwrap().2, "a");
+        drop(q); // must not double-drop "a"
+    }
+
+    #[test]
+    fn legacy_and_calendar_agree_on_random_workloads() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut cal = EventQueue::new(false);
+            let mut leg = EventQueue::new(true);
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            let mut ops = 0;
+            while ops < 2_000 {
+                ops += 1;
+                // Mixed pushes near and far, interleaved with pops.
+                if rng.gen_bool(0.6) || cal.is_empty() {
+                    let horizon: u64 = if rng.gen_bool(0.9) {
+                        rng.gen_range(0..64)
+                    } else {
+                        rng.gen_range(0..WHEEL_TICKS * 4)
+                    };
+                    let at = Time::from_ticks(now + horizon);
+                    cal.push(at, seq, seq);
+                    leg.push(at, seq, seq);
+                    seq += 1;
+                } else {
+                    assert_eq!(cal.peek_time(), leg.peek_time());
+                    let a = cal.pop();
+                    let b = leg.pop();
+                    assert_eq!(a, b, "diverged at op {ops} of seed {seed}");
+                    if let Some((t, _, _)) = a {
+                        now = t.ticks();
+                    }
+                }
+            }
+            while !leg.is_empty() {
+                assert_eq!(cal.pop(), leg.pop());
+            }
+            assert!(cal.is_empty());
+        }
+    }
+}

@@ -75,7 +75,8 @@ impl<A: Process, B: Process> Stacked<A, B> {
     ) {
         let mut actions: Vec<Action<M0, O0>> = Vec::new();
         {
-            let mut sub = ActionSink::new(ctx.my_id(), ctx.local_now(), ctx.raw_rng(), &mut actions);
+            let mut sub =
+                ActionSink::new(ctx.my_id(), ctx.local_now(), ctx.raw_rng(), &mut actions);
             run(&mut sub);
         }
         for action in actions {
@@ -249,7 +250,11 @@ mod tests {
             ctx.publish(msg);
         }
 
-        fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, &'static str, &'static str>) {
+        fn on_timer(
+            &mut self,
+            _t: TimerTag,
+            _ctx: &mut ActionSink<'_, &'static str, &'static str>,
+        ) {
         }
     }
 
@@ -291,7 +296,10 @@ mod tests {
             NetworkModel::reliable(Span::TICK),
         );
         let mut e = Engine::new(cfg, |_, _| {
-            Stacked::new(Ticker::new(Span::from_ticks(2)), Ticker::new(Span::from_ticks(3)))
+            Stacked::new(
+                Ticker::new(Span::from_ticks(2)),
+                Ticker::new(Span::from_ticks(3)),
+            )
         });
         e.run_until(Time::from_ticks(12));
         // Lower ticks at 2,4,6,8,10,12; upper at 3,6,9,12.

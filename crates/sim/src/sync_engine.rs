@@ -35,12 +35,7 @@ pub trait SyncProcess: Send + 'static {
 
     /// Delivery of every message sent in step `step` by alive (or dying)
     /// processes, in an arbitrary (seeded) order that hides the senders.
-    fn receive(
-        &mut self,
-        step: u64,
-        received: Vec<Self::Msg>,
-        sink: &mut SyncSink<Self::Output>,
-    );
+    fn receive(&mut self, step: u64, received: Vec<Self::Msg>, sink: &mut SyncSink<Self::Output>);
 }
 
 /// Effects available in the receive phase of a synchronous step.
@@ -121,7 +116,10 @@ impl SyncConfig {
 pub struct SyncMetrics {
     /// Broadcast invocations across the run.
     pub broadcasts: u64,
-    /// Copies delivered across the run.
+    /// Copies delivered to a process that computes in the receiving
+    /// step. Copies addressed to crashed or halted processes are not
+    /// counted (nor materialized): they could never be observed, and the
+    /// send phase skips cloning for them.
     pub copies_delivered: u64,
     /// Steps executed.
     pub steps: u64,
@@ -238,7 +236,15 @@ impl<P: SyncProcess> SyncEngine<P> {
 
         // Send phase: alive processes send fully; a process crashing at
         // exactly this step gets a partial final broadcast.
+        //
+        // Copies are placed only into inboxes that will actually compute
+        // this step, and the last recipient receives the original message
+        // instead of a clone — one deep clone fewer per broadcast, and
+        // none at all for copies that would land on crashed or halted
+        // processes. The crash-mask RNG draws stay one-per-destination so
+        // seeded runs are unchanged.
         let mut inboxes: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
+        let mut recipients: Vec<usize> = Vec::with_capacity(n);
         for p in 0..n {
             if self.halted[p] {
                 continue;
@@ -252,12 +258,22 @@ impl<P: SyncProcess> SyncEngine<P> {
             let msgs = self.procs[p].send(s);
             for m in msgs {
                 self.metrics.broadcasts += 1;
-                for inbox in inboxes.iter_mut() {
+                recipients.clear();
+                for dst in 0..n {
                     if dying && self.config.partial_broadcast_on_crash && self.rng.gen_bool(0.5) {
                         continue;
                     }
-                    inbox.push(m.clone());
-                    self.metrics.copies_delivered += 1;
+                    if self.halted[dst] || !self.config.sched.is_alive(dst, now) {
+                        continue;
+                    }
+                    recipients.push(dst);
+                }
+                self.metrics.copies_delivered += recipients.len() as u64;
+                if let Some((&last, rest)) = recipients.split_last() {
+                    for &dst in rest {
+                        inboxes[dst].push(m.clone());
+                    }
+                    inboxes[last].push(m);
                 }
             }
         }

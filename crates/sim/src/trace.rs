@@ -198,12 +198,34 @@ mod tests {
     #[test]
     fn accessors_cover_all_variants() {
         let evs = [
-            TraceEvent::Started { at: Time::from_ticks(1), process: 2 },
-            TraceEvent::Broadcast { at: Time::from_ticks(2), process: 3, class: "X" },
-            TraceEvent::Delivered { at: Time::from_ticks(3), process: 4, class: "X" },
-            TraceEvent::TimerFired { at: Time::from_ticks(4), process: 5, tag: TimerTag(9) },
-            TraceEvent::Decided { at: Time::from_ticks(5), process: 6, value: 7 },
-            TraceEvent::Halted { at: Time::from_ticks(6), process: 7 },
+            TraceEvent::Started {
+                at: Time::from_ticks(1),
+                process: 2,
+            },
+            TraceEvent::Broadcast {
+                at: Time::from_ticks(2),
+                process: 3,
+                class: "X",
+            },
+            TraceEvent::Delivered {
+                at: Time::from_ticks(3),
+                process: 4,
+                class: "X",
+            },
+            TraceEvent::TimerFired {
+                at: Time::from_ticks(4),
+                process: 5,
+                tag: TimerTag(9),
+            },
+            TraceEvent::Decided {
+                at: Time::from_ticks(5),
+                process: 6,
+                value: 7,
+            },
+            TraceEvent::Halted {
+                at: Time::from_ticks(6),
+                process: 7,
+            },
         ];
         for (i, e) in evs.iter().enumerate() {
             assert_eq!(e.at(), Time::from_ticks(i as u64 + 1));
@@ -215,9 +237,18 @@ mod tests {
     #[test]
     fn for_process_filters() {
         let mut t = Trace::with_capacity(10);
-        t.record(TraceEvent::Started { at: Time::ZERO, process: 0 });
-        t.record(TraceEvent::Started { at: Time::ZERO, process: 1 });
-        t.record(TraceEvent::Halted { at: Time::from_ticks(1), process: 0 });
+        t.record(TraceEvent::Started {
+            at: Time::ZERO,
+            process: 0,
+        });
+        t.record(TraceEvent::Started {
+            at: Time::ZERO,
+            process: 1,
+        });
+        t.record(TraceEvent::Halted {
+            at: Time::from_ticks(1),
+            process: 0,
+        });
         assert_eq!(t.for_process(0).count(), 2);
         assert_eq!(t.for_process(1).count(), 1);
     }

@@ -36,8 +36,8 @@ fn classify(msg: &Either<EvtHpMsg, Fig8Msg>) -> &'static str {
 fn node(proposal: u64, n: usize, t: usize) -> Node {
     let cell: SharedCell<HOmegaOutput> = SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
     let detector = EvtHpProcess::new().with_h_omega_mirror(cell.clone());
-    let consensus = MajorityConsensus::new(proposal, n, t, HOmegaPolicy(cell))
-        .with_tick(Span::from_ticks(2));
+    let consensus =
+        MajorityConsensus::new(proposal, n, t, HOmegaPolicy(cell)).with_tick(Span::from_ticks(2));
     Stacked::new(detector, consensus)
 }
 
@@ -71,7 +71,10 @@ fn run_cluster(n: usize, l: usize, seed: u64) -> (u64, Time, u64) {
 fn main() {
     let n = 6;
     println!("cluster of {n} nodes, Figure 6 detector + Figure 8 consensus\n");
-    println!("{:>3} {:>22} {:>10} {:>14} {:>12}", "ℓ", "identities", "decided", "last decision", "broadcasts");
+    println!(
+        "{:>3} {:>22} {:>10} {:>14} {:>12}",
+        "ℓ", "identities", "decided", "last decision", "broadcasts"
+    );
     for l in 1..=n {
         let assign = IdentityAssignment::round_robin(n, l);
         let (value, last, broadcasts) = run_cluster(n, l, 7 + l as u64);

@@ -49,5 +49,8 @@ fn main() {
     }
     let rep = check_consensus(&report.outcome(proposals), &sched)
         .expect("validity, agreement and termination hold on real threads too");
-    println!("\nagreed on {} — same algorithm, real concurrency", rep.value);
+    println!(
+        "\nagreed on {} — same algorithm, real concurrency",
+        rep.value
+    );
 }

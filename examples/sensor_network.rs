@@ -20,10 +20,10 @@
 //! Run with: `cargo run --example sensor_network`
 
 use homonym::consensus::QuorumConsensus;
+use homonym::detectors::oracle::APOracle;
 use homonym::detectors::oracle::OracleWorld;
 use homonym::prelude::*;
 use homonym::reductions::{APToEvtHP, APToHSigmaProcess, EvtHPToHOmega};
-use homonym::detectors::oracle::APOracle;
 
 type Mote = Stacked<
     APToHSigmaProcess<APOracle>,

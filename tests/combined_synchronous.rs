@@ -77,8 +77,7 @@ fn failure_free_run_decides_quickly() {
     let sched = FailureSchedule::none(n);
     let proposals = vec![50, 10, 40, 20, 30];
     let props = proposals.clone();
-    let cfg =
-        SimConfig::new(assign, sched.clone(), NetworkModel::Synchronous).with_seed(5);
+    let cfg = SimConfig::new(assign, sched.clone(), NetworkModel::Synchronous).with_seed(5);
     let mut engine: Engine<Node> = Engine::new(cfg, |p, _| node(props[p]));
     engine.run_until_all_correct_decided(Time::from_ticks(300_000));
     let rep = check_consensus(&engine.outcome(proposals), &sched).expect("consensus holds");

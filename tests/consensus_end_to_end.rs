@@ -29,8 +29,7 @@ fn fig6_plus_fig8_solves_consensus_in_hps() {
         let sched = FailureSchedule::none(n).with_crash(4, Time::from_ticks(gst / 2 + 5));
         let proposals: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
         let props = proposals.clone();
-        let cfg =
-            SimConfig::new(assign, sched.clone(), hps_delay_only(gst, 3)).with_seed(seed);
+        let cfg = SimConfig::new(assign, sched.clone(), hps_delay_only(gst, 3)).with_seed(seed);
         let mut engine = Engine::new(cfg, |p, _| {
             let cell: SharedCell<HOmegaOutput> =
                 SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
@@ -74,8 +73,8 @@ fn anonymous_ap_pipeline_feeds_fig9_beyond_majority() {
     let mut engine = Engine::new(cfg, |p, _| {
         let ap = world.ap(Span::from_ticks(5));
         let cell: SharedCell<HSigmaOutput> = SharedCell::new(HSigmaOutput::new());
-        let h_sigma = APToHSigmaProcess::new(ap.clone(), Span::from_ticks(2))
-            .with_mirror(cell.clone());
+        let h_sigma =
+            APToHSigmaProcess::new(ap.clone(), Span::from_ticks(2)).with_mirror(cell.clone());
         let h_omega = EvtHPToHOmega::new(APToEvtHP::new(ap));
         let consensus =
             QuorumConsensus::new(props[p], h_omega, cell).with_tick(Span::from_ticks(2));
@@ -98,12 +97,8 @@ fn paralyzed_then_stabilized_detector_is_safe_and_live() {
         let world = OracleWorld::new(sched.clone(), assign.clone(), Time::from_ticks(stab));
         let proposals = vec![4, 3, 2, 1];
         let props = proposals.clone();
-        let cfg = SimConfig::new(
-            assign,
-            sched.clone(),
-            NetworkModel::reliable(Span::TICK),
-        )
-        .with_seed(stab);
+        let cfg = SimConfig::new(assign, sched.clone(), NetworkModel::reliable(Span::TICK))
+            .with_seed(stab);
         let mut engine = Engine::new(cfg, |p, _| {
             MajorityConsensus::new(
                 props[p],

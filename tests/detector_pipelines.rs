@@ -2,9 +2,9 @@
 //! reduction algorithms (no oracles in the data path).
 
 use homonym::detectors::e_list::EListProcess;
+use homonym::detectors::oracle::{OracleWorld, PreStability};
 use homonym::prelude::*;
 use homonym::reductions::HSigmaToSigmaProcess;
-use homonym::detectors::oracle::{OracleWorld, PreStability};
 
 /// Figure 3 (class `E`, real implementation) stacked under Figure 4
 /// (`HΣ → Σ`): the ranked-alive list the transformation consults is
@@ -59,7 +59,10 @@ fn fig3_e_list_feeds_fig4_reduction() {
     let i_correct = sched.i_correct(&assign);
     for p in sched.correct_set() {
         let last = &sigma_hist[p].last().expect("assigned").1;
-        assert!(last.trusted.is_subset(&i_correct), "process {p} trusts a ghost");
+        assert!(
+            last.trusted.is_subset(&i_correct),
+            "process {p} trusts a ghost"
+        );
     }
 }
 

@@ -42,29 +42,31 @@ fn scenario(minority_only: bool) -> impl Strategy<Value = Scenario> {
                 any::<u64>(),
                 pre_stability(),
             )
-                .prop_map(move |(n, l, mut crashes, stabilize, max_latency, heavy_tail, seed, pre)| {
-                    // Enforce the crash budget, dropping extras.
-                    let mut budget = max_crashes;
-                    for c in crashes.iter_mut() {
-                        if c.is_some() {
-                            if budget == 0 {
-                                *c = None;
-                            } else {
-                                budget -= 1;
+                .prop_map(
+                    move |(n, l, mut crashes, stabilize, max_latency, heavy_tail, seed, pre)| {
+                        // Enforce the crash budget, dropping extras.
+                        let mut budget = max_crashes;
+                        for c in crashes.iter_mut() {
+                            if c.is_some() {
+                                if budget == 0 {
+                                    *c = None;
+                                } else {
+                                    budget -= 1;
+                                }
                             }
                         }
-                    }
-                    Scenario {
-                        n,
-                        l,
-                        crash_times: crashes,
-                        stabilize,
-                        max_latency,
-                        heavy_tail,
-                        seed,
-                        pre,
-                    }
-                })
+                        Scenario {
+                            n,
+                            l,
+                            crash_times: crashes,
+                            stabilize,
+                            max_latency,
+                            heavy_tail,
+                            seed,
+                            pre,
+                        }
+                    },
+                )
         })
         .prop_filter("need at least one correct process", |s| {
             s.crash_times.iter().any(Option::is_none)

@@ -19,8 +19,7 @@ fn fig3_e_list_on_real_threads() {
     let report = run(&config, |_, _| EListProcess::new(Span::from_ticks(10)));
 
     // Check the Definition 1 property on the wall-clock histories.
-    check_e_list(&report.histories, &sched, &assign)
-        .expect("class E valid on real threads");
+    check_e_list(&report.histories, &sched, &assign).expect("class E valid on real threads");
 
     // The crashed identifier must have sunk below every correct one at
     // every correct process by the end of the run.

@@ -16,20 +16,29 @@ fn classify(msg: &Either<EvtHpMsg, Fig8Msg>) -> &'static str {
 }
 
 fn run(seed: u64) -> (Trace, Vec<Option<(Time, u64)>>) {
+    run_on(
+        seed,
+        NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+            min: Span::TICK,
+            max: Span::from_ticks(5),
+        }),
+        false,
+    )
+}
+
+fn run_on(
+    seed: u64,
+    network: NetworkModel,
+    legacy_hot_path: bool,
+) -> (Trace, Vec<Option<(Time, u64)>>) {
     let n = 4;
     let t = 1;
     let assign = IdentityAssignment::round_robin(n, 2);
     let sched = FailureSchedule::none(n).with_crash(3, Time::from_ticks(30));
     let proposals: Vec<u64> = vec![9, 5, 7, 3];
-    let cfg = SimConfig::new(
-        assign,
-        sched,
-        NetworkModel::Asynchronous(LatencyDistribution::Uniform {
-            min: Span::TICK,
-            max: Span::from_ticks(5),
-        }),
-    )
-    .with_seed(seed);
+    let cfg = SimConfig::new(assign, sched, network)
+        .with_seed(seed)
+        .with_legacy_hot_path(legacy_hot_path);
     let mut engine: Engine<Node> = Engine::new(cfg, |p, _| {
         let cell: SharedCell<HOmegaOutput> =
             SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
@@ -45,6 +54,64 @@ fn run(seed: u64) -> (Trace, Vec<Option<(Time, u64)>>) {
         engine.trace().expect("enabled").clone(),
         engine.decisions().to_vec(),
     )
+}
+
+/// The calendar-queue + shared-payload hot path must dispatch the exact
+/// event sequence of the pre-optimization hot path (`BTreeMap` queue,
+/// per-destination payload clones): same trace, byte for byte, for fixed
+/// seeds across all three network models. This is the guarantee that the
+/// hot-path overhaul changed no figure output.
+#[test]
+fn calendar_queue_matches_legacy_dispatch_order() {
+    let models: [NetworkModel; 3] = [
+        NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+            min: Span::TICK,
+            max: Span::from_ticks(5),
+        }),
+        NetworkModel::PartialSync {
+            gst: Time::from_ticks(40),
+            delta: Span::from_ticks(3),
+            pre_gst: PreGstBehavior::DelayOnly {
+                max_delay: Span::from_ticks(25),
+            },
+        },
+        NetworkModel::Synchronous,
+    ];
+    for model in models {
+        for seed in [1u64, 33, 77] {
+            let (trace_new, decisions_new) = run_on(seed, model.clone(), false);
+            let (trace_legacy, decisions_legacy) = run_on(seed, model.clone(), true);
+            assert_eq!(
+                decisions_new, decisions_legacy,
+                "decisions diverged for seed {seed} on {model:?}"
+            );
+            assert_eq!(
+                trace_new, trace_legacy,
+                "dispatch order diverged for seed {seed} on {model:?}"
+            );
+            assert!(
+                !trace_new.events().is_empty(),
+                "degenerate run for seed {seed} on {model:?}"
+            );
+        }
+    }
+}
+
+/// The skewed-tail distribution (with its clamped straggler boundary)
+/// also dispatches identically on both hot paths.
+#[test]
+fn calendar_queue_matches_legacy_on_skewed_tail() {
+    let model = NetworkModel::Asynchronous(LatencyDistribution::SkewedTail {
+        base: Span::from_ticks(2),
+        tail: Span::from_ticks(9),
+        slow_percent: 30,
+    });
+    for seed in [5u64, 6] {
+        assert_eq!(
+            run_on(seed, model.clone(), false),
+            run_on(seed, model.clone(), true)
+        );
+    }
 }
 
 #[test]

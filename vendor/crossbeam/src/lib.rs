@@ -1,0 +1,129 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the [`channel`] subset `homonym-runtime` uses is provided,
+//! implemented over `std::sync::mpsc`. A single [`channel::Sender`] type
+//! fronts both the bounded and unbounded flavors (like upstream), so
+//! senders of either kind can share one field type.
+
+#![warn(rust_2018_idioms)]
+
+/// Multi-producer channels (upstream `crossbeam-channel` subset).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of a channel (clonable).
+    pub enum Sender<T> {
+        /// From [`unbounded`].
+        Unbounded(mpsc::Sender<T>),
+        /// From [`bounded`]; sends block when the buffer is full.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded buffer is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value when the receiving half has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(value),
+                Sender::Bounded(tx) => tx.send(value),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value or disconnection.
+        ///
+        /// # Errors
+        ///
+        /// Returns an error when every sender has disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks up to `timeout` for a value.
+        ///
+        /// # Errors
+        ///
+        /// `Timeout` when nothing arrived in time, `Disconnected` when
+        /// every sender has gone away.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// `Empty` when no value is ready, `Disconnected` when every
+        /// sender has gone away.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// A channel with unlimited buffering.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// A channel holding at most `cap` in-flight values.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_roundtrip_and_timeout() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv().unwrap(), 5);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn bounded_clones_share_the_buffer() {
+            let (tx, rx) = bounded::<u32>(4);
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(7).unwrap())
+                .join()
+                .unwrap();
+            tx.send(8).unwrap();
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![7, 8]);
+        }
+    }
+}

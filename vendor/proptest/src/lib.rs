@@ -1,0 +1,628 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use: integer-range strategies, [`prelude::Just`],
+//! `any::<T>()`, tuples, [`collection::vec`], [`collection::btree_set`],
+//! [`option::weighted`], `prop_map` / `prop_flat_map` / `prop_filter`,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! per-case seed (fully deterministic across runs, no persisted failure
+//! files) and there is **no shrinking** — a failing case reports the
+//! exact generated inputs instead.
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The deterministic source of test-case randomness.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Generator for case number `case` of a run.
+    #[must_use]
+    pub fn for_case(case: u32) -> Self {
+        TestRng(StdRng::seed_from_u64(0xC0FFEE ^ (u64::from(case) << 20)))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    fn gen_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    fn gen_usize(&mut self, lo: usize, hi_incl: usize) -> usize {
+        self.0.gen_range(lo..=hi_incl)
+    }
+}
+
+/// A failed test case (produced by `prop_assert!`-style macros).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // field names mirror upstream proptest
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+    /// Give-up threshold for `prop_filter` rejections per case.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and draws
+    /// from the produced strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values failing `pred`, resampling until one
+    /// passes (up to a fixed retry budget).
+    fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+    where
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe strategy view used by [`BoxedStrategy`] and `prop_oneof!`.
+trait DynStrategy {
+    type Value;
+    fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<Value = V>>);
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..4096 {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 4096 rejects: {}", self.reason);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An unconstrained value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{fmt, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Accepted size arguments for [`vec`] and [`btree_set`].
+    pub trait IntoSizeRange {
+        /// The inclusive `(min, max)` size bounds.
+        fn size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Vectors whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// See [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.size_bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_usize(self.min, self.max);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Sets with between `size.min` and `size.max` elements (the drawn
+    /// size is a target; duplicates shrink the set, as in upstream).
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// See [`BTreeSetStrategy`].
+    pub fn btree_set<S>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        let (min, max) = size.size_bounds();
+        BTreeSetStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord + fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_usize(self.min, self.max);
+            let mut out = BTreeSet::new();
+            // Bounded top-up: duplicates may leave the set short, which
+            // upstream handles the same way for saturated domains.
+            for _ in 0..target * 4 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.new_value(rng));
+            }
+            out
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `Some(value)` with probability `p`, `None` otherwise.
+    pub struct Weighted<S> {
+        p: f64,
+        inner: S,
+    }
+
+    /// See [`Weighted`].
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> Weighted<S> {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        Weighted { p, inner }
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Draw the coin first so the element stream stays aligned.
+            let hit = rng.gen_f64() < self.p;
+            let v = self.inner.new_value(rng);
+            hit.then_some(v)
+        }
+    }
+}
+
+/// Internal support for the `prop_oneof!` macro.
+#[doc(hidden)]
+pub mod union {
+    use super::{fmt, BoxedStrategy, Strategy, TestRng};
+
+    /// Uniform choice between type-erased alternatives.
+    pub struct Union<V> {
+        alternatives: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        #[must_use]
+        pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs an option");
+            Union { alternatives }
+        }
+    }
+
+    impl<V: fmt::Debug> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_usize(0, self.alternatives.len() - 1);
+            self.alternatives[i].new_value(rng)
+        }
+    }
+}
+
+/// Everything a property test module usually imports.
+pub mod prelude {
+    /// Upstream-compatible alias: `proptest::prelude::prop` is the crate.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::union::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the enclosing property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assert_eq failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assert_eq failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the enclosing property when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assert_ne failed: both {:?}", l);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assert_ne failed: both {:?}: {}", l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Declares deterministic property tests over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)) => {};
+    (@cfg ($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategies = ($($strategy,)+);
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(case);
+                let values = $crate::Strategy::new_value(&strategies, &mut rng);
+                let description = format!("{values:#?}");
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        let ($($pat,)+) = values;
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })
+                );
+                match outcome {
+                    Err(panic) => {
+                        eprintln!(
+                            "proptest case {case}/{} panicked; inputs:\n{description}",
+                            config.cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                    Ok(Err(e)) => panic!(
+                        "proptest case {case}/{} failed: {e}\ninputs:\n{description}",
+                        config.cases
+                    ),
+                    Ok(Ok(())) => {}
+                }
+            }
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tri {
+        A,
+        B,
+        C,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn maps_and_filters_compose(
+            v in prop::collection::vec(0u8..50, 1..8).prop_filter("nonempty", |v| !v.is_empty()),
+            flag in any::<bool>(),
+        ) {
+            let doubled: Vec<u16> = v.iter().map(|&x| u16::from(x) * 2).collect();
+            prop_assert_eq!(doubled.len(), v.len());
+            if flag {
+                prop_assert!(doubled.iter().all(|&x| x < 100));
+            }
+        }
+
+        #[test]
+        fn oneof_hits_every_variant(t in prop_oneof![Just(Tri::A), Just(Tri::B), Just(Tri::C)]) {
+            prop_assert!(matches!(t, Tri::A | Tri::B | Tri::C));
+        }
+
+        #[test]
+        fn flat_map_respects_outer(pair in (1usize..5).prop_flat_map(|n| (Just(n), 0..n))) {
+            let (n, k) = pair;
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn weighted_option_types_check(o in prop::option::weighted(0.5, 1u64..9)) {
+            if let Some(v) = o {
+                prop_assert!((1..9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let draw = || {
+            let mut rng = crate::TestRng::for_case(7);
+            crate::Strategy::new_value(&(0u64..1000), &mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0u8..10) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

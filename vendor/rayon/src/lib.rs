@@ -1,0 +1,175 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the `par_iter()` / `into_par_iter()` → `map` → `collect`
+//! pipeline the experiment sweeps use, over scoped OS threads: the input
+//! is split into one contiguous chunk per worker, each worker maps its
+//! chunk, and results are reassembled in input order. On single-core
+//! machines this degrades gracefully to a sequential map.
+
+#![warn(rust_2018_idioms)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call fans out to.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// Runs `items` through `f` on up to [`current_num_threads`] scoped
+/// threads, preserving input order in the output.
+fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: F) -> Vec<U> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(chunk.min(items.len()));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParMap<T, F> {
+    /// Materializes the mapped results, in input order.
+    pub fn collect<C: FromParallelIterator<U>>(self) -> C {
+        C::from_ordered_results(parallel_map(self.items, self.f))
+    }
+}
+
+/// Collection types `ParMap::collect` can produce.
+pub trait FromParallelIterator<U> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_results(results: Vec<U>) -> Self;
+}
+
+impl<U> FromParallelIterator<U> for Vec<U> {
+    fn from_ordered_results(results: Vec<U>) -> Self {
+        results
+    }
+}
+
+/// Types convertible into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter {
+                    items: self.collect(),
+                }
+            }
+        }
+    )*};
+}
+range_par_iter!(u32, u64, usize);
+
+/// Borrowing parallel iteration (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send;
+    /// Parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u64, 2, 3];
+        let out: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

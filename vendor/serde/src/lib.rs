@@ -1,0 +1,720 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! exactly the serialization surface the workspace consumes: the
+//! [`Serialize`]/[`Serializer`] traits (shaped like upstream serde's, so
+//! `homonym-bench`'s hand-written JSON serializer compiles unchanged), a
+//! [`Deserialize`] marker trait for feature-gated type annotations, and —
+//! behind the `derive` feature — `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` for plain named-field structs and fieldless
+//! enums.
+
+#![warn(rust_2018_idioms)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub use ser::{Serialize, Serializer};
+
+/// Serialization traits, mirrored from upstream `serde::ser`.
+pub mod ser {
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    /// Errors produced by a [`Serializer`].
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A data structure that can be serialized.
+    pub trait Serialize {
+        /// Feeds `self` into `serializer`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates any error the serializer reports.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+
+    /// A data format that can serialize values (upstream serde's shape,
+    /// minus the 128-bit and rarely used default methods).
+    pub trait Serializer: Sized {
+        /// Output produced on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Sequence sub-serializer.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple sub-serializer.
+        type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple-struct sub-serializer.
+        type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Tuple-variant sub-serializer.
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+        /// Map sub-serializer.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct sub-serializer.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Struct-variant sub-serializer.
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a `bool`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i8`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i16`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i32`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i64`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u8`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u16`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u32`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u64`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f32`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f64`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `char`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a string slice.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes raw bytes.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `None`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Some(value)`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `()`.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit struct.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a fieldless enum variant.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype struct.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype enum variant.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Begins a sequence.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begins a tuple.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+        /// Begins a tuple struct.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_tuple_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+        /// Begins a tuple variant.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+        /// Begins a map.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begins a struct.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Begins a struct variant.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    }
+
+    macro_rules! sub_serializer {
+        ($(#[$doc:meta])* $name:ident, $method:ident $(, $key:ident)?) => {
+            $(#[$doc])*
+            pub trait $name {
+                /// Output produced on success.
+                type Ok;
+                /// Error type.
+                type Error: Error;
+                /// Adds one element/field.
+                ///
+                /// # Errors
+                ///
+                /// Implementation-defined.
+                fn $method<T: Serialize + ?Sized>(
+                    &mut self,
+                    $($key: &'static str,)?
+                    value: &T,
+                ) -> Result<(), Self::Error>;
+                /// Finishes the aggregate.
+                ///
+                /// # Errors
+                ///
+                /// Implementation-defined.
+                fn end(self) -> Result<Self::Ok, Self::Error>;
+            }
+        };
+    }
+
+    sub_serializer!(
+        /// Sequence serialization.
+        SerializeSeq,
+        serialize_element
+    );
+    sub_serializer!(
+        /// Tuple serialization.
+        SerializeTuple,
+        serialize_element
+    );
+    sub_serializer!(
+        /// Tuple-struct serialization.
+        SerializeTupleStruct,
+        serialize_field
+    );
+    sub_serializer!(
+        /// Tuple-variant serialization.
+        SerializeTupleVariant,
+        serialize_field
+    );
+    sub_serializer!(
+        /// Struct serialization.
+        SerializeStruct,
+        serialize_field,
+        key
+    );
+    sub_serializer!(
+        /// Struct-variant serialization.
+        SerializeStructVariant,
+        serialize_field,
+        key
+    );
+
+    /// Map serialization.
+    pub trait SerializeMap {
+        /// Output produced on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+        /// Adds a key.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+        /// Adds the value for the last key.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+        /// Finishes the map.
+        ///
+        /// # Errors
+        ///
+        /// Implementation-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    // --- Serialize implementations for the primitives the workspace uses ---
+
+    macro_rules! primitive {
+        ($($t:ty => $m:ident),*) => {$(
+            impl Serialize for $t {
+                fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                    s.$m(*self)
+                }
+            }
+        )*};
+    }
+    primitive!(
+        bool => serialize_bool,
+        i8 => serialize_i8, i16 => serialize_i16, i32 => serialize_i32, i64 => serialize_i64,
+        u8 => serialize_u8, u16 => serialize_u16, u32 => serialize_u32, u64 => serialize_u64,
+        f32 => serialize_f32, f64 => serialize_f64,
+        char => serialize_char
+    );
+
+    impl Serialize for usize {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_u64(*self as u64)
+        }
+    }
+
+    impl Serialize for isize {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_i64(*self as i64)
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_str(self)
+        }
+    }
+
+    impl Serialize for () {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_unit()
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            match self {
+                Some(v) => s.serialize_some(v),
+                None => s.serialize_none(),
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut seq = s.serialize_seq(Some(self.len()))?;
+            for item in self {
+                seq.serialize_element(item)?;
+            }
+            seq.end()
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            self.as_slice().serialize(s)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            (**self).serialize(s)
+        }
+    }
+
+    impl<T: Serialize> Serialize for BTreeSet<T> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut seq = s.serialize_seq(Some(self.len()))?;
+            for item in self {
+                seq.serialize_element(item)?;
+            }
+            seq.end()
+        }
+    }
+
+    impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut map = s.serialize_map(Some(self.len()))?;
+            for (k, v) in self {
+                map.serialize_key(k)?;
+                map.serialize_value(v)?;
+            }
+            map.end()
+        }
+    }
+
+    impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut t = s.serialize_tuple(2)?;
+            t.serialize_element(&self.0)?;
+            t.serialize_element(&self.1)?;
+            t.end()
+        }
+    }
+}
+
+/// Deserialization marker, present so feature-gated
+/// `#[cfg_attr(feature = "serde", derive(serde::Deserialize))]`
+/// annotations compile; this offline stand-in has no deserializer
+/// implementations.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    use super::ser::{SerializeStruct, Serializer};
+    use super::Serialize;
+
+    /// A tiny line-protocol serializer exercising the trait plumbing.
+    #[derive(Default)]
+    struct Flat(String);
+
+    #[derive(Debug)]
+    struct Never;
+    impl std::fmt::Display for Never {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "never")
+        }
+    }
+    impl std::error::Error for Never {}
+    impl super::ser::Error for Never {
+        fn custom<T: std::fmt::Display>(_: T) -> Self {
+            Never
+        }
+    }
+
+    struct Sub<'a>(&'a mut Flat);
+    macro_rules! unsupported {
+        ($($m:ident($($a:ty),*)),*) => {$(
+            fn $m(self, $(_: $a),*) -> Result<(), Never> { Err(Never) }
+        )*};
+    }
+
+    impl<'a> Serializer for &'a mut Flat {
+        type Ok = ();
+        type Error = Never;
+        type SerializeSeq = Sub<'a>;
+        type SerializeTuple = Sub<'a>;
+        type SerializeTupleStruct = Sub<'a>;
+        type SerializeTupleVariant = Sub<'a>;
+        type SerializeMap = Sub<'a>;
+        type SerializeStruct = Sub<'a>;
+        type SerializeStructVariant = Sub<'a>;
+
+        fn serialize_u64(self, v: u64) -> Result<(), Never> {
+            self.0.push_str(&v.to_string());
+            Ok(())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Never> {
+            self.0.push_str(v);
+            Ok(())
+        }
+        fn serialize_struct(self, _n: &'static str, _l: usize) -> Result<Sub<'a>, Never> {
+            Ok(Sub(self))
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Never> {
+            v.serialize(self)
+        }
+        fn serialize_none(self) -> Result<(), Never> {
+            Ok(())
+        }
+        unsupported!(
+            serialize_bool(bool),
+            serialize_i8(i8),
+            serialize_i16(i16),
+            serialize_i32(i32),
+            serialize_i64(i64),
+            serialize_u8(u8),
+            serialize_u16(u16),
+            serialize_u32(u32),
+            serialize_f32(f32),
+            serialize_f64(f64),
+            serialize_char(char),
+            serialize_bytes(&[u8]),
+            serialize_unit(),
+            serialize_unit_struct(&'static str)
+        );
+        fn serialize_unit_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            v: &'static str,
+        ) -> Result<(), Never> {
+            self.serialize_str(v)
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _n: &'static str,
+            v: &T,
+        ) -> Result<(), Never> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _n: &'static str,
+            _i: u32,
+            _v: &'static str,
+            value: &T,
+        ) -> Result<(), Never> {
+            value.serialize(self)
+        }
+        fn serialize_seq(self, _l: Option<usize>) -> Result<Sub<'a>, Never> {
+            Ok(Sub(self))
+        }
+        fn serialize_tuple(self, _l: usize) -> Result<Sub<'a>, Never> {
+            Ok(Sub(self))
+        }
+        fn serialize_tuple_struct(self, _n: &'static str, _l: usize) -> Result<Sub<'a>, Never> {
+            Ok(Sub(self))
+        }
+        fn serialize_tuple_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            _v: &'static str,
+            _l: usize,
+        ) -> Result<Sub<'a>, Never> {
+            Ok(Sub(self))
+        }
+        fn serialize_map(self, _l: Option<usize>) -> Result<Sub<'a>, Never> {
+            Ok(Sub(self))
+        }
+        fn serialize_struct_variant(
+            self,
+            _n: &'static str,
+            _i: u32,
+            _v: &'static str,
+            _l: usize,
+        ) -> Result<Sub<'a>, Never> {
+            Ok(Sub(self))
+        }
+    }
+
+    macro_rules! sub_impl {
+        ($t:path, $m:ident) => {
+            impl $t for Sub<'_> {
+                type Ok = ();
+                type Error = Never;
+                fn $m<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Never> {
+                    v.serialize(&mut *self.0)?;
+                    self.0 .0.push(' ');
+                    Ok(())
+                }
+                fn end(self) -> Result<(), Never> {
+                    Ok(())
+                }
+            }
+        };
+    }
+    sub_impl!(super::ser::SerializeSeq, serialize_element);
+    sub_impl!(super::ser::SerializeTuple, serialize_element);
+    sub_impl!(super::ser::SerializeTupleStruct, serialize_field);
+    sub_impl!(super::ser::SerializeTupleVariant, serialize_field);
+
+    impl super::ser::SerializeMap for Sub<'_> {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, k: &T) -> Result<(), Never> {
+            k.serialize(&mut *self.0)
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Never> {
+            v.serialize(&mut *self.0)
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+
+    impl SerializeStruct for Sub<'_> {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Never> {
+            self.0 .0.push_str(key);
+            self.0 .0.push('=');
+            v.serialize(&mut *self.0)?;
+            self.0 .0.push(' ');
+            Ok(())
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+
+    impl super::ser::SerializeStructVariant for Sub<'_> {
+        type Ok = ();
+        type Error = Never;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Never> {
+            self.0 .0.push_str(key);
+            self.0 .0.push('=');
+            v.serialize(&mut *self.0)?;
+            Ok(())
+        }
+        fn end(self) -> Result<(), Never> {
+            Ok(())
+        }
+    }
+
+    struct Row {
+        n: usize,
+        label: &'static str,
+        time: Option<u64>,
+    }
+
+    impl Serialize for Row {
+        fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            let mut st = s.serialize_struct("Row", 3)?;
+            st.serialize_field("n", &self.n)?;
+            st.serialize_field("label", &self.label)?;
+            st.serialize_field("time", &self.time)?;
+            st.end()
+        }
+    }
+
+    #[test]
+    fn plumbing_round_trips() {
+        let mut f = Flat::default();
+        Row {
+            n: 3,
+            label: "x",
+            time: Some(9),
+        }
+        .serialize(&mut f)
+        .unwrap();
+        assert_eq!(f.0, "n=3 label=x time=9 ");
+    }
+}

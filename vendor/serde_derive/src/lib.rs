@@ -1,0 +1,265 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) covering
+//! the shapes this workspace derives on: plain non-generic structs with
+//! named fields, tuple structs, and fieldless enums. Anything fancier
+//! produces a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    Tuple(usize),
+    /// Enum: variant identifiers with per-variant tuple-field counts
+    /// (0 = unit variant, 1 = newtype variant), in declaration order.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "offline serde_derive cannot handle generic type `{name}`; write a manual impl"
+        ));
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => return Err(format!("expected item body, got {other:?}")),
+    };
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Struct(named_fields(body.stream())?),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::Enum(enum_variants(body.stream())?),
+        _ => return Err(format!("unsupported item shape for `{name}`")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Field identifiers of a named-field struct body, in order.
+fn named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            return Err(format!("expected field name, got {tt:?}"));
+        };
+        fields.push(field.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, got {other:?}")),
+        }
+        // Consume the type up to the next comma outside angle brackets.
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields of a tuple-struct body (trailing comma tolerated).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut pending = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    count + usize::from(pending)
+}
+
+/// Variant identifiers of an enum body with their tuple-field counts
+/// (unit and newtype/tuple variants only), in order.
+fn enum_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            return Err(format!("expected variant name, got {tt:?}"));
+        };
+        let mut fields = 0usize;
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    fields = count_tuple_fields(g.stream());
+                    iter.next();
+                }
+                _ => {
+                    return Err(format!(
+                        "offline serde_derive cannot handle struct variant `{variant}`"
+                    ))
+                }
+            }
+        }
+        variants.push((variant.to_string(), fields));
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => return Err(format!("expected `,` after variant, got {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` for plain structs and fieldless enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut b = format!(
+                "let mut st = serde::Serializer::serialize_struct(serializer, {name:?}, {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                b.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut st, {f:?}, &self.{f})?;\n"
+                ));
+            }
+            b.push_str("serde::ser::SerializeStruct::end(st)\n");
+            b
+        }
+        Shape::Tuple(1) => {
+            format!("serde::Serializer::serialize_newtype_struct(serializer, {name:?}, &self.0)\n")
+        }
+        Shape::Tuple(n) => {
+            let mut b = format!(
+                "let mut st = serde::Serializer::serialize_tuple_struct(serializer, {name:?}, {n})?;\n"
+            );
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut st, &self.{i})?;\n"
+                ));
+            }
+            b.push_str("serde::ser::SerializeTupleStruct::end(st)\n");
+            b
+        }
+        Shape::Enum(variants) => {
+            let mut b = String::from("match self {\n");
+            for (i, (v, fields)) in variants.iter().enumerate() {
+                match fields {
+                    0 => b.push_str(&format!(
+                        "{name}::{v} => serde::Serializer::serialize_unit_variant(serializer, {name:?}, {i}u32, {v:?}),\n"
+                    )),
+                    1 => b.push_str(&format!(
+                        "{name}::{v}(inner) => serde::Serializer::serialize_newtype_variant(serializer, {name:?}, {i}u32, {v:?}, inner),\n"
+                    )),
+                    n => {
+                        return compile_error(&format!(
+                            "offline serde_derive cannot serialize {n}-field tuple variant `{name}::{v}`"
+                        ))
+                    }
+                }
+            }
+            b.push_str("}\n");
+            b
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+         {body}\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the marker `serde::Deserialize` (the offline stand-in has no
+/// deserializer implementations, so the trait carries no methods).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    format!("impl<'de> serde::Deserialize<'de> for {} {{}}", item.name)
+        .parse()
+        .unwrap()
+}
