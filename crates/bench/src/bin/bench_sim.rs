@@ -21,7 +21,12 @@
 //! * `fig8_consensus_sweep` — a parallel multi-seed sweep of Figure 8
 //!   consensus at `n = 24`, the shape every consensus figure uses. On
 //!   multi-core hosts the sweep additionally scales with cores (the
-//!   pre-change harness ran seeds sequentially).
+//!   pre-change harness ran seeds sequentially);
+//! * `chaos_sweep` — a multi-seed sweep of Figure 8 consensus under
+//!   generated split-brain scenarios (the `exp_chaos` falsification
+//!   workload): measures the adversary hook's per-copy routing cost,
+//!   and re-verifies at benchmark scale that both hot paths dispatch
+//!   the identical event sequence under an active fault script.
 //!
 //! Both paths dispatch the identical event sequence (seeded runs are
 //! byte-for-byte equal; `tests/trace_determinism.rs` asserts this), so
@@ -33,7 +38,8 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use homonym_bench::{async_net, hps_lossy, parallel_seed_sweep, staggered_crashes};
+use homonym_bench::{async_net, hps_delay_only, hps_lossy, parallel_seed_sweep, staggered_crashes};
+use homonym_chaos::generators::split_brain;
 use homonym_consensus::{HOmegaPolicy, MajorityConsensus};
 use homonym_core::prelude::*;
 use homonym_detectors::evt_hp::{EvtHpMsg, EvtHpProcess, EvtHpSnapshot};
@@ -291,6 +297,44 @@ fn fig8_run(n: usize, seed: u64, legacy: bool) -> u64 {
     engine.metrics().events
 }
 
+/// One Figure 8 consensus run under a generated split-brain scenario —
+/// the `chaos_sweep` workload. No property check here (a drop-mode
+/// scenario legitimately prevents termination); the outer harness
+/// asserts that both hot paths dispatch identical event counts, which is
+/// the determinism contract the adversary hook must keep.
+fn chaos_run(n: usize, seed: u64, legacy: bool) -> u64 {
+    let scenario = split_brain(n, seed);
+    let l = 4.min(n);
+    let assign = IdentityAssignment::round_robin(n, l);
+    let cfg = SimConfig::new(
+        assign.clone(),
+        FailureSchedule::none(n),
+        hps_delay_only(1, 3),
+    )
+    .with_seed(seed)
+    .with_legacy_hot_path(legacy);
+    let cfg = scenario.install(cfg).expect("generated scenarios validate");
+    let sched = cfg.sched.clone();
+    let gst = match cfg.network {
+        NetworkModel::PartialSync { gst, .. } => gst,
+        _ => Time::ZERO,
+    };
+    let clean = scenario.last_fault_end().max(gst);
+    let t = (n - 1) / 2;
+    let w = OracleWorld::new(sched, assign, clean);
+    let proposals: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
+    let mut engine = Engine::new(cfg, |p, _| {
+        MajorityConsensus::new(
+            proposals[p],
+            n,
+            t,
+            HOmegaPolicy(w.h_omega_for(p, PreStability::Chaotic)),
+        )
+    });
+    engine.run_until_all_correct_decided(clean + Span::from_ticks(30_000));
+    engine.metrics().events
+}
+
 fn main() {
     let quick = std::env::var("BENCH_SIM_QUICK").is_ok();
     let (n_hps, horizon, n_fig8, seeds, reps) = if quick {
@@ -322,16 +366,28 @@ fn main() {
             .sum()
     });
     assert_eq!(fig8_legacy.events, fig8_new.events);
+    let (chaos_legacy, chaos_new) = bench_pair(reps, |legacy| {
+        parallel_seed_sweep(seeds, |seed| chaos_run(n_fig8, seed, legacy))
+            .into_iter()
+            .sum()
+    });
+    assert_eq!(
+        chaos_legacy.events, chaos_new.events,
+        "hot paths must dispatch identically under an active fault script"
+    );
 
     let rows = [
         ("hps_mesh_n64", &mesh_legacy, &mesh_new),
         ("hps_detector_n64", &hps_legacy, &hps_new),
         ("fig8_consensus_sweep", &fig8_legacy, &fig8_new),
+        ("chaos_sweep", &chaos_legacy, &chaos_new),
     ];
 
     println!("\n| workload | events | legacy ev/s | current ev/s | speedup |");
     println!("|----------|--------|-------------|--------------|---------|");
-    let mut json = String::from("{\n");
+    // Bump `schema_version` whenever the JSON shape changes (new or
+    // renamed fields/rows); see BENCHMARKS.md for the version history.
+    let mut json = String::from("{\n  \"schema_version\": 2,\n");
     for (name, legacy, new) in rows {
         let speedup = new.events_per_sec() / legacy.events_per_sec();
         println!(

@@ -22,19 +22,10 @@ use homonym_reductions::{
     SigmaToHSigmaProcess,
 };
 use homonym_sim::prelude::*;
-use rayon::prelude::*;
-
-/// Runs `run` once per seed in `0..seeds`, in parallel, returning the
-/// results in seed order.
-///
-/// This is the shared scaffolding of every multi-seed sweep: workloads
-/// are independent given the seed, so they fan out across cores, and the
-/// topology values captured by `run` are borrowed rather than rebuilt —
-/// [`IdentityAssignment`]/[`FailureSchedule`] clones inside are O(1)
-/// refcount bumps, so per-run setup cost no longer scales with `n`.
-pub fn parallel_seed_sweep<R: Send>(seeds: usize, run: impl Fn(u64) -> R + Sync) -> Vec<R> {
-    (0..seeds as u64).into_par_iter().map(run).collect()
-}
+// The shared scaffolding of every multi-seed sweep now lives in
+// `homonym_sim::sweep` (the chaos falsification harness builds on it
+// too); re-exported here so existing callers keep working.
+pub use homonym_sim::sweep::parallel_seed_sweep;
 
 /// A uniformly jittered reliable asynchronous network.
 #[must_use]

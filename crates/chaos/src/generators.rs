@@ -1,0 +1,234 @@
+//! Seeded random scenario **family** generators.
+//!
+//! Each generator is a pure function of its inputs and the seed: the same
+//! `(topology, seed)` pair always yields the same [`Scenario`], which is
+//! what makes a falsification counterexample replayable from its
+//! `(family, seed)` coordinates alone.
+//!
+//! The families (see the crate docs' scenario catalogue):
+//!
+//! * [`split_brain`] — one partition cutting the system in half;
+//! * [`flapping_minority`] — a minority that repeatedly drops off and
+//!   rejoins;
+//! * [`homonym_group_isolation`] — all carriers of one identifier cut
+//!   off together.
+
+use homonym_core::identity::IdentityAssignment;
+use homonym_core::time::{Span, Time};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::scenario::{FaultClause, GstPlacement, PartitionMode, Scenario};
+
+fn rng_for(family: &str, seed: u64) -> StdRng {
+    // Decorrelate families sharing a seed.
+    StdRng::seed_from_u64(seed ^ crate::scenario::fnv1a(family))
+}
+
+fn adversarial_gst(rng: &mut StdRng) -> GstPlacement {
+    GstPlacement::AfterLastFault {
+        margin: Span::from_ticks(rng.gen_range(5..=25)),
+    }
+}
+
+/// A split-brain partition: the processes are shuffled and cut into two
+/// halves of size `⌊n/2⌋` and `⌈n/2⌉` for a window placed early in the
+/// run. Mostly queue-mode (reliable); a fraction of seeds produce
+/// drop-mode splits, and a fraction add a one-process crash inside the
+/// window (still leaving a correct majority for `n ≥ 4`). Stresses: `HΩ`
+/// election (co-leaders on both sides), Figure 8's majority wait, and
+/// consensus agreement under conflicting leader views.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn split_brain(n: usize, seed: u64) -> Scenario {
+    assert!(n >= 2, "split-brain needs at least two processes");
+    let mut rng = rng_for("split-brain", seed);
+    let mut procs: Vec<usize> = (0..n).collect();
+    procs.shuffle(&mut rng);
+    let (left, right) = procs.split_at(n / 2);
+    let start = Time::from_ticks(rng.gen_range(5..=30));
+    let heal_at = start + Span::from_ticks(rng.gen_range(30..=120));
+    let mode = if rng.gen_range(0u8..100) < 70 {
+        PartitionMode::QueueUntilHeal
+    } else {
+        PartitionMode::DropWhilePartitioned
+    };
+    let mut scenario = Scenario::new(format!("split-brain#{seed}"), n)
+        .with_clause(FaultClause::Partition {
+            groups: vec![left.to_vec(), right.to_vec()],
+            start,
+            heal_at,
+            mode,
+        })
+        .with_gst(adversarial_gst(&mut rng));
+    if n >= 4 && rng.gen_range(0u8..100) < 30 {
+        let victim = procs[rng.gen_range(0..n)];
+        let at = Time::from_ticks(rng.gen_range(start.ticks()..heal_at.ticks()));
+        scenario = scenario.with_clause(FaultClause::Crash {
+            process: victim,
+            at,
+        });
+    }
+    scenario
+}
+
+/// A flapping minority: a random minority (`1..=⌈n/2⌉-1` processes) is
+/// partitioned away and healed again in 2–4 cycles with randomized
+/// down-times and gaps, always queue-mode so the run stays reliable.
+/// Stresses: detector timeout adaptation (each flap inflates `◇HP`
+/// round-trip estimates), monotonicity of `HΣ` outputs across
+/// membership flicker, and liveness recovery after repeated disruption.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn flapping_minority(n: usize, seed: u64) -> Scenario {
+    assert!(n >= 3, "a flapping minority needs at least three processes");
+    let mut rng = rng_for("flapping-minority", seed);
+    let minority_size = rng.gen_range(1..=(n - 1) / 2);
+    let mut procs: Vec<usize> = (0..n).collect();
+    procs.shuffle(&mut rng);
+    let minority: Vec<usize> = procs[..minority_size].to_vec();
+    let rest: Vec<usize> = procs[minority_size..].to_vec();
+    let mut scenario = Scenario::new(format!("flapping-minority#{seed}"), n);
+    let mut at = rng.gen_range(5..=20);
+    for _ in 0..rng.gen_range(2u32..=4) {
+        let down = rng.gen_range(10..=30);
+        scenario = scenario.with_clause(FaultClause::Partition {
+            groups: vec![minority.clone(), rest.clone()],
+            start: Time::from_ticks(at),
+            heal_at: Time::from_ticks(at + down),
+            mode: PartitionMode::QueueUntilHeal,
+        });
+        at += down + rng.gen_range(5..=20);
+    }
+    scenario.with_gst(adversarial_gst(&mut rng))
+}
+
+/// Targeted homonym-group isolation: every carrier of one (randomly
+/// chosen) identifier is cut off from everyone else for one window —
+/// the adversary exploiting the fact that homonyms are
+/// indistinguishable to attack an entire identifier class at once.
+/// Stresses: `HΩ` multiplicity accounting (the elected identifier's
+/// whole multiplicity can vanish and return), `◇HP` convergence to
+/// `I(Correct)` as a *multiset*, and Figure 8's Leaders' Coordination
+/// Phase when all co-leaders disappear together.
+///
+/// Falls back to isolating process 0 when the chosen identifier covers
+/// the whole system (fully anonymous assignments).
+///
+/// # Panics
+///
+/// Panics if the assignment has fewer than two processes.
+#[must_use]
+pub fn homonym_group_isolation(assign: &IdentityAssignment, seed: u64) -> Scenario {
+    let n = assign.n();
+    assert!(n >= 2, "isolation needs at least two processes");
+    let mut rng = rng_for("homonym-isolation", seed);
+    let mut distinct: Vec<homonym_core::Identity> = Vec::new();
+    for p in 0..n {
+        let id = assign.id_of(p);
+        if !distinct.contains(&id) {
+            distinct.push(id);
+        }
+    }
+    let target = distinct[rng.gen_range(0..distinct.len())];
+    let mut group = assign.processes_with(target);
+    if group.len() == n {
+        group = vec![0];
+    }
+    let rest: Vec<usize> = (0..n).filter(|p| !group.contains(p)).collect();
+    let start = Time::from_ticks(rng.gen_range(5..=30));
+    let heal_at = start + Span::from_ticks(rng.gen_range(25..=100));
+    Scenario::new(format!("homonym-isolation#{seed}"), n)
+        .with_clause(FaultClause::Partition {
+            groups: vec![group, rest],
+            start,
+            heal_at,
+            mode: PartitionMode::QueueUntilHeal,
+        })
+        .with_gst(adversarial_gst(&mut rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_valid() {
+        let assign = IdentityAssignment::round_robin(8, 3);
+        for seed in 0..200 {
+            for s in [
+                split_brain(8, seed),
+                flapping_minority(8, seed),
+                homonym_group_isolation(&assign, seed),
+            ] {
+                s.validate()
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e} in {s}"));
+                assert!(s.network_clean_after() > Time::ZERO);
+            }
+            assert_eq!(split_brain(8, seed), split_brain(8, seed));
+            assert_eq!(
+                homonym_group_isolation(&assign, seed),
+                homonym_group_isolation(&assign, seed)
+            );
+        }
+        assert_ne!(split_brain(8, 1), split_brain(8, 2));
+    }
+
+    #[test]
+    fn split_brain_halves_are_disjoint_and_cover_when_even() {
+        let s = split_brain(8, 42);
+        let FaultClause::Partition { groups, .. } = &s.clauses()[0] else {
+            panic!("first clause must be the split");
+        };
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 4);
+        assert_eq!(groups[1].len(), 4);
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn isolation_targets_a_whole_identity_class() {
+        let assign = IdentityAssignment::round_robin(9, 3);
+        for seed in 0..50 {
+            let s = homonym_group_isolation(&assign, seed);
+            let FaultClause::Partition { groups, .. } = &s.clauses()[0] else {
+                panic!("first clause must be the isolation");
+            };
+            // The isolated group is exactly the carrier set of one id.
+            let isolated = &groups[0];
+            let id = assign.id_of(isolated[0]);
+            assert_eq!(isolated, &assign.processes_with(id));
+        }
+        // Anonymous fallback isolates a single process instead.
+        let anon = IdentityAssignment::anonymous(4);
+        let s = homonym_group_isolation(&anon, 7);
+        let FaultClause::Partition { groups, .. } = &s.clauses()[0] else {
+            panic!()
+        };
+        assert_eq!(groups[0], vec![0]);
+    }
+
+    #[test]
+    fn flapping_windows_are_ordered_and_disjoint() {
+        for seed in 0..50 {
+            let s = flapping_minority(6, seed);
+            let mut prev_end = 0;
+            for c in s.clauses() {
+                let FaultClause::Partition { start, heal_at, .. } = c else {
+                    panic!("flaps are partitions");
+                };
+                assert!(start.ticks() > prev_end, "windows must not overlap");
+                prev_end = heal_at.ticks();
+            }
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The falsification sweep harness: thousands of generated scenarios,
+//! safety asserted universally, liveness asserted exactly on the
+//! eventually-clean subset.
+//!
+//! Built on [`parallel_seed_sweep`], the same fan-out scaffolding the
+//! experiment harness uses: each scenario run is a pure function of
+//! `(stack, topology, family, seed)`, so the sweep parallelizes freely
+//! and every counterexample is replayable from its report line alone —
+//! the [`Counterexample`] carries the seed and the full scenario script.
+//!
+//! # What counts as a counterexample
+//!
+//! * a **safety** violation (consensus validity/agreement, `HΣ` quorum
+//!   intersection, monotonicity) in *any* run, however adversarial;
+//! * a **liveness** violation (termination, `◇HP` convergence, `HΩ`
+//!   election) in a run whose environment was eventually clean — all
+//!   network faults healed, GST passed, and the configured decision
+//!   margin still ahead.
+//!
+//! Liveness failures on runs that never became clean (lossy scenarios
+//! under reliable-link consensus models, truncated pre-heal probes) are
+//! recorded as **excused**, exactly as the paper's definitions permit —
+//! and the pre-heal probes double as the demonstration that liveness
+//! *correctly* fails while a partition is up and holds once it heals.
+
+use homonym_consensus::{HOmegaPolicy, MajorityConsensus, QuorumConsensus};
+use homonym_core::classes::HOmegaOutput;
+use homonym_core::failure::FailureSchedule;
+use homonym_core::identity::{Identity, IdentityAssignment};
+use homonym_core::properties::{
+    check_consensus, check_evt_hp, check_h_omega, classify_run, PropertyViolation, RunCondition,
+    RunVerdict,
+};
+use homonym_core::query::SharedCell;
+use homonym_core::time::{Span, Time};
+use homonym_detectors::evt_hp::{split_snapshots, EvtHpProcess};
+use homonym_detectors::oracle::{OracleWorld, PreStability};
+use homonym_sim::engine::{Engine, SimConfig};
+use homonym_sim::network::{NetworkModel, PreGstBehavior};
+use homonym_sim::stack::Stacked;
+use homonym_sim::sweep::parallel_seed_sweep;
+
+use crate::generators::{flapping_minority, homonym_group_isolation, split_brain};
+use crate::scenario::{FaultClause, Scenario};
+
+/// A scenario family the sweep can draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// [`split_brain`].
+    SplitBrain,
+    /// [`flapping_minority`].
+    FlappingMinority,
+    /// [`homonym_group_isolation`].
+    HomonymIsolation,
+}
+
+impl Family {
+    /// Every family, in sweep rotation order.
+    pub const ALL: [Family; 3] = [
+        Family::SplitBrain,
+        Family::FlappingMinority,
+        Family::HomonymIsolation,
+    ];
+
+    /// The family's report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::SplitBrain => "split-brain",
+            Family::FlappingMinority => "flapping-minority",
+            Family::HomonymIsolation => "homonym-isolation",
+        }
+    }
+
+    /// Generates this family's scenario for `(topology, seed)`.
+    #[must_use]
+    pub fn generate(self, assign: &IdentityAssignment, seed: u64) -> Scenario {
+        match self {
+            Family::SplitBrain => split_brain(assign.n(), seed),
+            Family::FlappingMinority => flapping_minority(assign.n(), seed),
+            Family::HomonymIsolation => homonym_group_isolation(assign, seed),
+        }
+    }
+}
+
+/// Which detector/consensus stack the sweep drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackKind {
+    /// The full Figure 6 + Figure 8 stack: a real message-passing `◇HP`
+    /// detector mirrored into `HΩ` under Figure 8 majority consensus, in
+    /// `HPS`. Safety = consensus validity + agreement; liveness =
+    /// termination.
+    Fig8EvtHp,
+    /// Figure 9 quorum consensus over oracle `HΩ`/`HΣ` (the detector is
+    /// correct by construction, so every surviving violation indicts the
+    /// consensus algorithm), in `HAS`. Safety = validity + agreement
+    /// (resting on `HΣ` quorum intersection); liveness = termination.
+    Fig9OracleQuorum,
+    /// The Figure 6 detector alone in `HPS`: no safety properties (`◇HP`
+    /// has none), liveness = `◇HP` convergence and `HΩ` election.
+    EvtHpDetector,
+}
+
+impl StackKind {
+    /// The stack's report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StackKind::Fig8EvtHp => "fig8-evt-hp",
+            StackKind::Fig9OracleQuorum => "fig9-oracle-quorum",
+            StackKind::EvtHpDetector => "evt-hp-detector",
+        }
+    }
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// System size.
+    pub n: usize,
+    /// Homonymy degree (distinct identifiers; see
+    /// [`IdentityAssignment::round_robin`]).
+    pub l: usize,
+    /// Number of generated scenarios.
+    pub scenarios: usize,
+    /// The stack under test.
+    pub stack: StackKind,
+    /// Families to rotate through.
+    pub families: Vec<Family>,
+    /// Base seed; scenario `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// How long after the environment is clean a consensus stack gets to
+    /// terminate before a missing decision counts as a liveness
+    /// violation.
+    pub decision_margin: Span,
+    /// Observation window granted to detector-only runs after the
+    /// environment is clean.
+    pub detector_margin: Span,
+    /// Run a truncated **pre-heal probe** for every `probe_every`-th
+    /// scenario (0 disables): the same run cut off just before the first
+    /// heal, expected to be blocked — the demonstration that liveness
+    /// correctly fails pre-heal. Consensus stacks only.
+    pub probe_every: usize,
+}
+
+impl SweepConfig {
+    /// Defaults: `n = 8`, `ℓ = 3`, rotation over all families, a
+    /// generous post-clean margin, and a probe every 8th scenario.
+    #[must_use]
+    pub fn new(stack: StackKind, scenarios: usize) -> Self {
+        SweepConfig {
+            n: 8,
+            l: 3,
+            scenarios,
+            stack,
+            families: Family::ALL.to_vec(),
+            base_seed: 1,
+            decision_margin: Span::from_ticks(30_000),
+            detector_margin: Span::from_ticks(2_500),
+            probe_every: 8,
+        }
+    }
+}
+
+/// A falsifying (or excused) run, replayable from `seed` + the script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The scenario seed (`family.generate(assign, seed)` rebuilds it).
+    pub seed: u64,
+    /// The family that generated the scenario.
+    pub family: &'static str,
+    /// The full scenario script (`Scenario`'s `Display`).
+    pub script: String,
+    /// The violated property.
+    pub violation: PropertyViolation,
+}
+
+/// Aggregated sweep results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Scenarios executed (excluding pre-heal probes).
+    pub runs: usize,
+    /// Safety violations — must be empty for a correct implementation.
+    pub safety_counterexamples: Vec<Counterexample>,
+    /// Liveness violations on eventually-clean runs — must be empty.
+    pub liveness_counterexamples: Vec<Counterexample>,
+    /// Runs on which liveness was required and held.
+    pub liveness_held: usize,
+    /// Runs on which a liveness failure was excused (environment never
+    /// clean inside the window).
+    pub liveness_excused: usize,
+    /// Pre-heal probes executed.
+    pub probes: usize,
+    /// Probes correctly blocked before the heal **whose full run then
+    /// terminated** — the pre-heal/post-heal liveness demonstration.
+    pub probe_demonstrations: usize,
+    /// Probes that decided even before the heal (possible when the cut
+    /// leaves a deciding majority).
+    pub probe_decided_early: usize,
+}
+
+impl SweepReport {
+    /// The first falsifying run, if any (safety first — a safety
+    /// counterexample always outranks a liveness one).
+    #[must_use]
+    pub fn first_counterexample(&self) -> Option<&Counterexample> {
+        self.safety_counterexamples
+            .first()
+            .or(self.liveness_counterexamples.first())
+    }
+
+    /// Whether the sweep falsified the stack.
+    #[must_use]
+    pub fn falsified(&self) -> bool {
+        self.first_counterexample().is_some()
+    }
+}
+
+/// One scenario run's contribution to the report.
+struct RunOutcome {
+    family: &'static str,
+    seed: u64,
+    script: String,
+    verdict: RunVerdict<()>,
+    /// `Some(blocked)` when a pre-heal probe ran: `true` if the probe
+    /// failed to terminate before the heal (the expected outcome).
+    probe_blocked: Option<bool>,
+}
+
+/// Runs the falsification sweep.
+///
+/// # Panics
+///
+/// Panics if the config names no families or a generated scenario fails
+/// to validate (a generator bug, not a property violation).
+#[must_use]
+pub fn falsification_sweep(cfg: &SweepConfig) -> SweepReport {
+    assert!(!cfg.families.is_empty(), "sweep needs at least one family");
+    let assign = IdentityAssignment::round_robin(cfg.n, cfg.l);
+    let outcomes = parallel_seed_sweep(cfg.scenarios, |i| run_one(cfg, &assign, i));
+    let mut report = SweepReport {
+        runs: outcomes.len(),
+        ..SweepReport::default()
+    };
+    for o in outcomes {
+        let cex = |v: &PropertyViolation| Counterexample {
+            seed: o.seed,
+            family: o.family,
+            script: o.script.clone(),
+            violation: v.clone(),
+        };
+        match &o.verdict {
+            RunVerdict::Pass(()) => report.liveness_held += 1,
+            RunVerdict::SafetyViolated(v) => report.safety_counterexamples.push(cex(v)),
+            RunVerdict::LivenessViolated(v) => report.liveness_counterexamples.push(cex(v)),
+            RunVerdict::LivenessExcused(_) => report.liveness_excused += 1,
+        }
+        if let Some(blocked) = o.probe_blocked {
+            report.probes += 1;
+            if blocked {
+                if matches!(o.verdict, RunVerdict::Pass(())) {
+                    report.probe_demonstrations += 1;
+                }
+            } else {
+                report.probe_decided_early += 1;
+            }
+        }
+    }
+    report
+}
+
+fn run_one(cfg: &SweepConfig, assign: &IdentityAssignment, i: u64) -> RunOutcome {
+    let seed = cfg.base_seed + i;
+    let family = cfg.families[i as usize % cfg.families.len()];
+    let scenario = family.generate(assign, seed);
+    let probe_at = (cfg.probe_every > 0 && i.is_multiple_of(cfg.probe_every as u64))
+        .then(|| first_heal(&scenario))
+        .flatten();
+    let (verdict, probe_blocked) = match cfg.stack {
+        StackKind::Fig8EvtHp => run_fig8(cfg, assign, &scenario, seed, probe_at),
+        StackKind::Fig9OracleQuorum => run_fig9(cfg, assign, &scenario, seed, probe_at),
+        StackKind::EvtHpDetector => (run_detector(cfg, assign, &scenario, seed), None),
+    };
+    RunOutcome {
+        family: family.name(),
+        seed,
+        script: scenario.to_string(),
+        verdict,
+        probe_blocked,
+    }
+}
+
+/// The instant just before the earliest network fault ends — the
+/// pre-heal probe's deadline. `None` when the scenario has no network
+/// fault (nothing to heal) or it ends at the very first tick.
+fn first_heal(scenario: &Scenario) -> Option<Time> {
+    scenario
+        .clauses()
+        .iter()
+        .filter_map(|c| match c {
+            FaultClause::Partition { heal_at, .. } => Some(*heal_at),
+            FaultClause::LinkOverlay { end, .. } => Some(*end),
+            FaultClause::Churn { up, .. } => Some(*up),
+            FaultClause::Crash { .. } => None,
+        })
+        .min()
+        .filter(|t| t.ticks() > 1)
+        .map(|t| Time::from_ticks(t.ticks() - 1))
+}
+
+/// The instant from which an installed config's environment is clean:
+/// every fault over and (for `HPS`) GST passed.
+fn clean_instant(cfg: &SimConfig, scenario: &Scenario) -> Time {
+    let gst = match cfg.network {
+        NetworkModel::PartialSync { gst, .. } => gst,
+        _ => Time::ZERO,
+    };
+    scenario.last_fault_end().max(gst)
+}
+
+/// The canonical full stack: the Figure 6 `◇HP`/`HΩ` detector mirrored
+/// into Figure 8 majority consensus through a shared cell.
+pub type Fig8Node =
+    Stacked<EvtHpProcess, MajorityConsensus<HOmegaPolicy<SharedCell<HOmegaOutput>>>>;
+
+/// Builds one [`Fig8Node`] — the exact stack the falsification sweep
+/// drives, exported so tests and examples exercise the same shape (same
+/// consensus tick, same wiring) instead of hand-rolling a drifting copy.
+#[must_use]
+pub fn fig8_node(proposal: u64, n: usize, t: usize) -> Fig8Node {
+    let cell: SharedCell<HOmegaOutput> = SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
+    let detector = EvtHpProcess::new().with_h_omega_mirror(cell.clone());
+    let consensus =
+        MajorityConsensus::new(proposal, n, t, HOmegaPolicy(cell)).with_tick(Span::from_ticks(2));
+    Stacked::new(detector, consensus)
+}
+
+/// Base `HPS` network for scenario runs: pre-GST copies delayed but
+/// never lost by the *network* (loss, if any, is the scenario's move),
+/// so reliability is exactly what the scenario says it is. The GST here
+/// is a placeholder the scenario's [`GstPlacement`](crate::GstPlacement)
+/// overwrites at install time.
+#[must_use]
+pub fn hps_base() -> NetworkModel {
+    NetworkModel::PartialSync {
+        gst: Time::ZERO, // overwritten by the scenario's GST placement
+        delta: Span::from_ticks(3),
+        pre_gst: PreGstBehavior::DelayOnly {
+            max_delay: Span::from_ticks(20),
+        },
+    }
+}
+
+fn run_fig8(
+    cfg: &SweepConfig,
+    assign: &IdentityAssignment,
+    scenario: &Scenario,
+    seed: u64,
+    probe_at: Option<Time>,
+) -> (RunVerdict<()>, Option<bool>) {
+    let n = cfg.n;
+    let t = (n - 1) / 2;
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    let build = || {
+        let sim =
+            SimConfig::new(assign.clone(), FailureSchedule::none(n), hps_base()).with_seed(seed);
+        scenario.install(sim).expect("generated scenarios validate")
+    };
+    let sim = build();
+    let sched = sim.sched.clone();
+    let clean = clean_instant(&sim, scenario);
+    let deadline = clean + cfg.decision_margin;
+    let props = proposals.clone();
+    let mut engine = Engine::new(sim, |p, _| fig8_node(props[p], n, t));
+    engine.run_until_all_correct_decided(deadline);
+    let result = check_consensus(&engine.outcome(proposals.clone()), &sched).map(|_| ());
+    // Figure 8 is written for reliable links (`HAS`-style): a scenario
+    // that permanently loses copies leaves its model, so termination is
+    // only required of loss-free scenarios.
+    let condition = if scenario.is_lossy() {
+        RunCondition::never_clean()
+    } else {
+        RunCondition::clean_from(clean)
+    };
+    let verdict = classify_run(condition, result);
+
+    let probe_blocked = probe_at.map(|cut| {
+        let props = proposals.clone();
+        let mut probe = Engine::new(build(), |p, _| fig8_node(props[p], n, t));
+        probe.run_until_all_correct_decided(cut);
+        check_consensus(&probe.outcome(proposals.clone()), &sched).is_err()
+    });
+    (verdict, probe_blocked)
+}
+
+fn run_fig9(
+    cfg: &SweepConfig,
+    assign: &IdentityAssignment,
+    scenario: &Scenario,
+    seed: u64,
+    probe_at: Option<Time>,
+) -> (RunVerdict<()>, Option<bool>) {
+    let n = cfg.n;
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    let network = NetworkModel::Asynchronous(homonym_sim::network::LatencyDistribution::Uniform {
+        min: Span::TICK,
+        max: Span::from_ticks(5),
+    });
+    let sim = SimConfig::new(assign.clone(), FailureSchedule::none(n), network).with_seed(seed);
+    let sim = scenario.install(sim).expect("generated scenarios validate");
+    let sched = sim.sched.clone();
+    let clean = clean_instant(&sim, scenario);
+    let deadline = clean + cfg.decision_margin;
+    // Oracle detectors stabilize once the environment is clean; before
+    // that they may churn arbitrarily (PreStability::Chaotic for HΩ).
+    let world = OracleWorld::new(sched.clone(), assign.clone(), clean);
+    let build_engine = |sim: SimConfig| {
+        let props = proposals.clone();
+        let w = &world;
+        Engine::new(sim, move |p, _| {
+            QuorumConsensus::new(
+                props[p],
+                w.h_omega_for(p, PreStability::Chaotic),
+                w.h_sigma_for(p, PreStability::Truthful),
+            )
+        })
+    };
+    let mut engine = build_engine(sim.clone());
+    engine.run_until_all_correct_decided(deadline);
+    let result = check_consensus(&engine.outcome(proposals.clone()), &sched).map(|_| ());
+    let condition = if scenario.is_lossy() {
+        RunCondition::never_clean()
+    } else {
+        RunCondition::clean_from(clean)
+    };
+    let verdict = classify_run(condition, result);
+
+    let probe_blocked = probe_at.map(|cut| {
+        let mut probe = build_engine(sim.clone());
+        probe.run_until_all_correct_decided(cut);
+        check_consensus(&probe.outcome(proposals.clone()), &sched).is_err()
+    });
+    (verdict, probe_blocked)
+}
+
+fn run_detector(
+    cfg: &SweepConfig,
+    assign: &IdentityAssignment,
+    scenario: &Scenario,
+    seed: u64,
+) -> RunVerdict<()> {
+    let n = cfg.n;
+    let sim = SimConfig::new(assign.clone(), FailureSchedule::none(n), hps_base()).with_seed(seed);
+    let sim = scenario.install(sim).expect("generated scenarios validate");
+    let sched = sim.sched.clone();
+    let clean = clean_instant(&sim, scenario);
+    let horizon = clean + cfg.detector_margin;
+    let mut engine = Engine::new(sim, |_, _| EvtHpProcess::new());
+    engine.run_until(horizon);
+    let mut evt = Vec::with_capacity(n);
+    let mut omg = Vec::with_capacity(n);
+    for hist in engine.histories() {
+        let (e, o) = split_snapshots(hist);
+        evt.push(e);
+        omg.push(o);
+    }
+    let result = check_evt_hp(&evt, &sched, assign)
+        .map(|_| ())
+        .and_then(|()| check_h_omega(&omg, &sched, assign).map(|_| ()));
+    // `◇HP` lives in `HPS`, which tolerates arbitrary pre-GST behaviour
+    // — lossy scenarios included — so liveness is required of every
+    // scenario the generators produce (all faults end before GST).
+    classify_run(RunCondition::clean_from(clean), result)
+}

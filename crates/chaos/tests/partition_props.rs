@@ -1,0 +1,213 @@
+//! Property tests for partition semantics: rejection of ill-formed
+//! clauses, and deterministic release of queued copies on **both**
+//! engines when a partition heals.
+
+use homonym_chaos::{FaultClause, PartitionMode, Scenario, ScenarioError};
+use homonym_core::failure::FailureSchedule;
+use homonym_core::identity::{Identity, IdentityAssignment};
+use homonym_core::time::{Span, Time};
+use homonym_sim::engine::{Engine, SimConfig};
+use homonym_sim::network::NetworkModel;
+use homonym_sim::process::{ActionSink, Process, TimerTag};
+use homonym_sim::sync_engine::{SyncConfig, SyncEngine, SyncProcess, SyncSink};
+use proptest::prelude::*;
+
+/// Broadcasts its index once at start and publishes every sender index
+/// it hears.
+struct Beacon {
+    me: u64,
+}
+
+impl Process for Beacon {
+    type Msg = u64;
+    type Output = u64;
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, u64, u64>) {
+        ctx.broadcast(self.me);
+    }
+    fn on_message(&mut self, m: u64, ctx: &mut ActionSink<'_, u64, u64>) {
+        ctx.publish(m);
+    }
+    fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, u64, u64>) {}
+}
+
+/// Sends one message per step and publishes how many arrived.
+struct StepCounter;
+
+impl SyncProcess for StepCounter {
+    type Msg = Identity;
+    type Output = usize;
+    fn send(&mut self, _step: u64) -> Vec<Identity> {
+        vec![Identity::new(0)]
+    }
+    fn receive(&mut self, _step: u64, received: Vec<Identity>, sink: &mut SyncSink<usize>) {
+        sink.publish(received.len());
+    }
+}
+
+fn two_groups(n: usize, k: usize) -> Vec<Vec<usize>> {
+    vec![(0..k).collect(), (k..n).collect()]
+}
+
+proptest! {
+    /// A partition clause whose heal time is not strictly after its
+    /// start is rejected, whatever the window.
+    #[test]
+    fn heal_at_or_before_start_is_rejected(start in 0u64..1_000, back in 0u64..1_000) {
+        let heal = start.saturating_sub(back); // heal <= start, hits == often
+        let s = Scenario::new("bad-window", 4).with_clause(FaultClause::Partition {
+            groups: two_groups(4, 2),
+            start: Time::from_ticks(start),
+            heal_at: Time::from_ticks(heal),
+            mode: PartitionMode::QueueUntilHeal,
+        });
+        prop_assert_eq!(
+            s.validate(),
+            Err(ScenarioError::HealsBeforeStart {
+                start: Time::from_ticks(start),
+                heal_at: Time::from_ticks(heal),
+            })
+        );
+        prop_assert!(s.compile().is_err());
+        prop_assert!(s.install(SimConfig::new(
+            IdentityAssignment::unique(4),
+            FailureSchedule::none(4),
+            NetworkModel::reliable(Span::TICK),
+        )).is_err());
+    }
+
+    /// Event engine: a healed queue-mode partition loses nothing — every
+    /// cross-group copy is delivered at exactly the heal instant, in
+    /// `(time, seq)` order (ascending sender index, since starts are
+    /// enqueued in index order), identically on both hot paths.
+    #[test]
+    fn healed_partition_releases_queued_copies_in_order_event_engine(
+        n in 2usize..6,
+        split in 1usize..5,
+        heal in 2u64..40,
+        seed in any::<u64>(),
+    ) {
+        let k = split.min(n - 1);
+        let scenario = Scenario::new("prop-split", n).with_clause(FaultClause::Partition {
+            groups: two_groups(n, k),
+            start: Time::ZERO,
+            heal_at: Time::from_ticks(heal),
+            mode: PartitionMode::QueueUntilHeal,
+        });
+        let run = |legacy: bool| {
+            let cfg = SimConfig::new(
+                IdentityAssignment::unique(n),
+                FailureSchedule::none(n),
+                NetworkModel::reliable(Span::TICK),
+            )
+            .with_seed(seed)
+            .with_legacy_hot_path(legacy);
+            let cfg = scenario.install(cfg).expect("valid");
+            let mut engine = Engine::new(cfg, |p, _| Beacon { me: p as u64 });
+            engine.enable_trace(10_000);
+            engine.run_until(Time::from_ticks(heal + 10));
+            (
+                engine.histories().to_vec(),
+                engine.metrics().clone(),
+                engine.trace().expect("enabled").clone(),
+            )
+        };
+        let (histories, metrics, trace) = run(false);
+        let (histories_legacy, metrics_legacy, trace_legacy) = run(true);
+
+        // Byte-identical on both hot paths under the scenario.
+        prop_assert_eq!(&histories, &histories_legacy);
+        prop_assert_eq!(&metrics, &metrics_legacy);
+        prop_assert_eq!(trace, trace_legacy);
+
+        // Nothing lost: every copy of every broadcast arrives.
+        prop_assert_eq!(metrics.copies_delivered, (n * n) as u64);
+        prop_assert_eq!(metrics.copies_blocked, 0);
+        prop_assert_eq!(metrics.copies_lost, 0);
+
+        // Same-side copies at t1; cross copies at exactly the heal
+        // instant, ascending by sender (the `(time, seq)` order).
+        for (p, hist) in histories.iter().enumerate() {
+            let my_side = p < k;
+            let same: Vec<u64> = hist
+                .iter()
+                .filter(|(t, _)| *t == Time::from_ticks(1))
+                .map(|(_, m)| *m)
+                .collect();
+            let cross: Vec<u64> = hist
+                .iter()
+                .filter(|(t, _)| *t == Time::from_ticks(heal))
+                .map(|(_, m)| *m)
+                .collect();
+            prop_assert_eq!(hist.len(), same.len() + cross.len(), "no stray times");
+            for &m in &same {
+                prop_assert_eq!((m as usize) < k, my_side, "same-side only at t1");
+            }
+            let expected_cross: Vec<u64> = (0..n as u64)
+                .filter(|&m| ((m as usize) < k) != my_side)
+                .collect();
+            prop_assert_eq!(cross, expected_cross, "heal releases in sender order");
+        }
+    }
+
+    /// Lock-step engine: a healed queue-mode partition delivers the full
+    /// backlog at the heal step — per-step counts are exact and two runs
+    /// of the same seed agree.
+    #[test]
+    fn healed_partition_releases_backlog_sync_engine(
+        n in 3usize..6,
+        split in 1usize..5,
+        start in 1u64..5,
+        len in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let k = split.min(n - 1);
+        let heal = start + len;
+        let scenario = Scenario::new("prop-sync-split", n).with_clause(FaultClause::Partition {
+            groups: two_groups(n, k),
+            start: Time::from_ticks(start),
+            heal_at: Time::from_ticks(heal),
+            mode: PartitionMode::QueueUntilHeal,
+        });
+        let run = || {
+            let cfg = SyncConfig::new(IdentityAssignment::anonymous(n), FailureSchedule::none(n))
+                .with_seed(seed);
+            let cfg = scenario.install_sync(cfg).expect("valid");
+            let mut engine = SyncEngine::new(cfg, |_, _| StepCounter);
+            engine.run_steps(heal + 2);
+            (engine.histories().to_vec(), engine.metrics().clone())
+        };
+        let (histories, metrics) = run();
+        prop_assert_eq!(&histories, &run().0, "same seed, same run");
+
+        // Nothing lost across the whole run.
+        let steps = heal + 2;
+        prop_assert_eq!(metrics.copies_delivered, (n as u64) * (n as u64) * steps);
+        prop_assert_eq!(metrics.copies_blocked, 0);
+
+        for (p, hist) in histories.iter().enumerate() {
+            let my_side_size = if p < k { k } else { n - k };
+            let other_side = n - my_side_size;
+            for (s, (at, count)) in hist.iter().enumerate() {
+                let s = s as u64;
+                prop_assert_eq!(*at, Time::from_ticks(s));
+                let expected = if s < start || s > heal {
+                    n // full mesh
+                } else if s < heal {
+                    my_side_size // partitioned: own side only
+                } else {
+                    // Heal step: this step's n plus the whole backlog.
+                    n + (heal - start) as usize * other_side
+                };
+                prop_assert_eq!(
+                    *count,
+                    expected,
+                    "p{} step {}: got {}, expected {}",
+                    p,
+                    s,
+                    count,
+                    expected
+                );
+            }
+        }
+    }
+}

@@ -52,6 +52,25 @@ impl PropertyViolation {
     }
 }
 
+impl PropertyViolation {
+    /// Whether the violated property is a **liveness** property — one the
+    /// paper only requires of eventually-well-behaved runs (`◇HP`
+    /// convergence, `HΩ`/`Ω` election, `Σ`-family liveness, consensus
+    /// termination). Safety properties (quorum intersection, validity,
+    /// agreement, monotonicity) must hold in *every* run, however
+    /// adversarial; this split is what [`classify_run`] keys on.
+    ///
+    /// The classification matches on the `property` name, so a checker
+    /// introducing a new liveness property **must** add its name here;
+    /// an unlisted name is conservatively treated as safety, which makes
+    /// the falsification sweep fail loudly (a spurious counterexample)
+    /// rather than silently excuse a real violation.
+    #[must_use]
+    pub fn is_liveness(&self) -> bool {
+        matches!(self.property, "liveness" | "termination" | "election")
+    }
+}
+
 impl fmt::Display for PropertyViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -63,6 +82,103 @@ impl fmt::Display for PropertyViolation {
 }
 
 impl std::error::Error for PropertyViolation {}
+
+/// How well-behaved a run's environment was, as established by whoever
+/// scheduled its faults (the chaos scenario layer, an oracle world, or a
+/// hand-written test) — never by algorithm code.
+///
+/// The paper splits every detector class into safety (required of every
+/// run) and liveness (required only of runs whose environment eventually
+/// becomes clean: partitions heal, loss stops, GST passes, and enough of
+/// the observation window remains). This struct carries that judgement
+/// alongside a run so [`classify_run`] can turn a checker verdict into a
+/// scenario-conditional one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunCondition {
+    /// Whether the run's environment became (and stayed) clean early
+    /// enough that liveness properties are required of it.
+    pub eventually_clean: bool,
+    /// The instant from which the environment was clean, when known
+    /// (`None` for runs that never stabilized inside the window).
+    pub clean_from: Option<Time>,
+}
+
+impl RunCondition {
+    /// A run whose environment was clean from `t` onward.
+    #[must_use]
+    pub fn clean_from(t: Time) -> Self {
+        RunCondition {
+            eventually_clean: true,
+            clean_from: Some(t),
+        }
+    }
+
+    /// A run whose environment never became clean inside the window.
+    #[must_use]
+    pub fn never_clean() -> Self {
+        RunCondition {
+            eventually_clean: false,
+            clean_from: None,
+        }
+    }
+}
+
+/// The scenario-conditional verdict on one run: safety violations
+/// falsify unconditionally, liveness violations only on eventually-clean
+/// runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunVerdict<R> {
+    /// Every checked property held (carries the checker's report).
+    Pass(R),
+    /// A safety property failed — a counterexample in **any** run.
+    SafetyViolated(PropertyViolation),
+    /// A liveness property failed on an eventually-clean run — a
+    /// counterexample.
+    LivenessViolated(PropertyViolation),
+    /// A liveness property failed on a run whose environment never
+    /// became clean — correctly excused, exactly as the definitions
+    /// permit.
+    LivenessExcused(PropertyViolation),
+}
+
+impl<R> RunVerdict<R> {
+    /// Whether this verdict falsifies the implementation (safety broken
+    /// anywhere, or liveness broken on a clean run).
+    #[must_use]
+    pub fn is_falsifying(&self) -> bool {
+        matches!(
+            self,
+            RunVerdict::SafetyViolated(_) | RunVerdict::LivenessViolated(_)
+        )
+    }
+
+    /// The violation carried by a non-passing verdict.
+    #[must_use]
+    pub fn violation(&self) -> Option<&PropertyViolation> {
+        match self {
+            RunVerdict::Pass(_) => None,
+            RunVerdict::SafetyViolated(v)
+            | RunVerdict::LivenessViolated(v)
+            | RunVerdict::LivenessExcused(v) => Some(v),
+        }
+    }
+}
+
+/// Turns a property checker's result into a scenario-conditional
+/// [`RunVerdict`]: safety failures are counterexamples regardless of the
+/// run's condition, liveness failures only when the environment was
+/// [`RunCondition::eventually_clean`].
+pub fn classify_run<R>(
+    condition: RunCondition,
+    result: Result<R, PropertyViolation>,
+) -> RunVerdict<R> {
+    match result {
+        Ok(report) => RunVerdict::Pass(report),
+        Err(v) if !v.is_liveness() => RunVerdict::SafetyViolated(v),
+        Err(v) if condition.eventually_clean => RunVerdict::LivenessViolated(v),
+        Err(v) => RunVerdict::LivenessExcused(v),
+    }
+}
 
 /// Finds the earliest snapshot index from which `pred` holds through the end
 /// of the history (inclusive), returning its time. `None` when the final
@@ -938,6 +1054,45 @@ mod tests {
 
     fn two_proc_setup() -> (FailureSchedule, IdentityAssignment) {
         (FailureSchedule::none(2), IdentityAssignment::unique(2))
+    }
+
+    #[test]
+    fn classify_run_splits_safety_from_liveness() {
+        let live = PropertyViolation::new("◇HP", "liveness", "never converged".into());
+        let safe = PropertyViolation::new("consensus", "agreement", "two values".into());
+        assert!(live.is_liveness());
+        assert!(!safe.is_liveness());
+        let clean = RunCondition::clean_from(Time::from_ticks(10));
+        let dirty = RunCondition::never_clean();
+
+        // Safety failures falsify regardless of the run's condition.
+        for cond in [clean, dirty] {
+            let v = classify_run::<()>(cond, Err(safe.clone()));
+            assert_eq!(v, RunVerdict::SafetyViolated(safe.clone()));
+            assert!(v.is_falsifying());
+            assert_eq!(v.violation(), Some(&safe));
+        }
+        // Liveness failures falsify only eventually-clean runs.
+        let required = classify_run::<()>(clean, Err(live.clone()));
+        assert_eq!(required, RunVerdict::LivenessViolated(live.clone()));
+        assert!(required.is_falsifying());
+        let excused = classify_run::<()>(dirty, Err(live.clone()));
+        assert_eq!(excused, RunVerdict::LivenessExcused(live.clone()));
+        assert!(!excused.is_falsifying());
+        // Passing runs pass.
+        let pass = classify_run(dirty, Ok(7u64));
+        assert_eq!(pass, RunVerdict::Pass(7));
+        assert!(!pass.is_falsifying() && pass.violation().is_none());
+    }
+
+    #[test]
+    fn termination_and_election_count_as_liveness() {
+        for prop in ["termination", "election", "liveness"] {
+            assert!(PropertyViolation::new("x", prop, String::new()).is_liveness());
+        }
+        for prop in ["safety", "validity", "agreement", "monotonicity", "input"] {
+            assert!(!PropertyViolation::new("x", prop, String::new()).is_liveness());
+        }
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! Link-level adversary consulted by both engines at copy-routing time.
+//!
+//! A [`LinkFaultScript`] is the **lowered, engine-facing** form of an
+//! adversarial scenario: a list of [`LinkClause`]s, each active during a
+//! half-open time window and matching a set of (source, destination)
+//! process pairs, that decide the fate of individual message copies
+//! *after* the [`NetworkModel`](crate::network::NetworkModel) has routed
+//! them. The declarative layer that composes partitions, overlays and
+//! churn into these clauses lives in the `homonym-chaos` crate; keeping
+//! only the lowered form here leaves `homonym-sim` dependency-free and
+//! the hot path branch-predictable.
+//!
+//! # Determinism contract
+//!
+//! The adversary preserves the engine's two standing guarantees:
+//!
+//! * **`(time, seq)` dispatch order** — clauses never reorder copies;
+//!   they only drop a copy or move its delivery time forward, and the
+//!   rewritten copy re-enters the queue with its original insertion
+//!   sequence, so ties still break by send order.
+//! * **Legacy hot-path trace equality** — the script is evaluated in
+//!   [`Engine::do_broadcast`](crate::engine::Engine) code shared by the
+//!   calendar-queue and `legacy_hot_path` configurations, and it draws
+//!   from a dedicated RNG stream (seeded from the run seed and the
+//!   script's [`salt`](LinkFaultScript::salt)), so installing a script
+//!   perturbs neither the network nor the per-process streams. A run
+//!   with no script is byte-identical to a run of an engine that never
+//!   had the hook.
+//!
+//! Clauses are evaluated **in order** and compose: deferrals and delays
+//! accumulate, and a drop is terminal. Whether a clause applies is judged
+//! at **send time** (the model routes each copy when it is broadcast), so
+//! a window `[from, until)` affects copies *sent* inside it.
+
+use homonym_core::time::{Span, Time};
+use rand::rngs::StdRng;
+
+use crate::network::percent_roll;
+
+/// A set of process indices, stored as a bitmap (`n` is small and known
+/// when the script is lowered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcSet {
+    words: Vec<u64>,
+}
+
+impl ProcSet {
+    /// The empty set over a system of `n` processes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        ProcSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The full set `{0, …, n-1}`.
+    #[must_use]
+    pub fn all(n: usize) -> Self {
+        let mut s = ProcSet::empty(n);
+        for p in 0..n {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Builds a set from process indices (all must be `< n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some index is `>= n`.
+    #[must_use]
+    pub fn from_indices<I: IntoIterator<Item = usize>>(n: usize, procs: I) -> Self {
+        let mut s = ProcSet::empty(n);
+        for p in procs {
+            assert!(p < n, "process {p} out of range for n={n}");
+            s.insert(p);
+        }
+        s
+    }
+
+    fn insert(&mut self, p: usize) {
+        self.words[p / 64] |= 1 << (p % 64);
+    }
+
+    /// Whether `p` is in the set (indices beyond the universe are not).
+    #[must_use]
+    pub fn contains(&self, p: usize) -> bool {
+        self.words
+            .get(p / 64)
+            .is_some_and(|w| w & (1 << (p % 64)) != 0)
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// What an active clause does to a matching copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEffect {
+    /// The copy is lost.
+    Drop,
+    /// The copy is held and delivered no earlier than the given instant
+    /// (a partition healing at that time releasing its queued traffic).
+    /// Copies already routed later than it are unaffected.
+    DeferUntil(Time),
+    /// The copy is delayed by a fixed extra span.
+    Delay(Span),
+    /// The copy is lost with the given probability (percent, saturating
+    /// at 100), drawn from the adversary's own RNG stream.
+    Lose(u8),
+}
+
+/// One fault clause: an effect applied to copies sent during
+/// `[from, until)` from a process in `src` to a process in `dst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkClause {
+    /// First instant (inclusive) at which the clause is active.
+    pub from: Time,
+    /// First instant at which the clause is no longer active (use
+    /// [`Time::MAX`] for a clause that never deactivates).
+    pub until: Time,
+    /// Matching senders.
+    pub src: ProcSet,
+    /// Matching receivers.
+    pub dst: ProcSet,
+    /// Effect on matching copies.
+    pub effect: LinkEffect,
+}
+
+impl LinkClause {
+    fn matches(&self, sent_at: Time, src: usize, dst: usize) -> bool {
+        self.from <= sent_at
+            && sent_at < self.until
+            && self.src.contains(src)
+            && self.dst.contains(dst)
+    }
+}
+
+/// An ordered list of [`LinkClause`]s plus the salt that decorrelates the
+/// adversary RNG stream from the engine streams.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkFaultScript {
+    clauses: Vec<LinkClause>,
+    salt: u64,
+}
+
+impl LinkFaultScript {
+    /// An empty script with the given RNG salt (mixed into the run seed
+    /// for the adversary's dedicated stream, so two scripts with
+    /// different salts draw decorrelated loss masks).
+    #[must_use]
+    pub fn new(salt: u64) -> Self {
+        LinkFaultScript {
+            clauses: Vec::new(),
+            salt,
+        }
+    }
+
+    /// Appends a clause (builder style). Clause order is evaluation
+    /// order.
+    #[must_use]
+    pub fn with_clause(mut self, clause: LinkClause) -> Self {
+        self.clauses.push(clause);
+        self
+    }
+
+    /// Appends a clause.
+    pub fn push_clause(&mut self, clause: LinkClause) {
+        self.clauses.push(clause);
+    }
+
+    /// The clauses, in evaluation order.
+    #[must_use]
+    pub fn clauses(&self) -> &[LinkClause] {
+        &self.clauses
+    }
+
+    /// The RNG salt.
+    #[must_use]
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// Whether the script has no clauses at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The first instant from which no clause is active anymore, or
+    /// `None` when some clause never deactivates. An empty script is
+    /// quiescent from [`Time::ZERO`].
+    #[must_use]
+    pub fn quiescent_after(&self) -> Option<Time> {
+        let mut end = Time::ZERO;
+        for c in &self.clauses {
+            if c.until == Time::MAX {
+                return None;
+            }
+            end = end.max(c.until);
+        }
+        Some(end)
+    }
+
+    /// The fate of one copy sent at `sent_at` from `src` to `dst` that
+    /// the network already routed to arrive at `base`: the (possibly
+    /// deferred) delivery time, or `None` when a clause drops the copy.
+    ///
+    /// Only [`LinkEffect::Lose`] draws from `rng`, and only for copies
+    /// that match its clause and are still live — the draw sequence is a
+    /// deterministic function of the run seed and the broadcast order.
+    pub fn fate(
+        &self,
+        sent_at: Time,
+        src: usize,
+        dst: usize,
+        base: Time,
+        rng: &mut StdRng,
+    ) -> Option<Time> {
+        let mut at = base;
+        for clause in &self.clauses {
+            if !clause.matches(sent_at, src, dst) {
+                continue;
+            }
+            match clause.effect {
+                LinkEffect::Drop => return None,
+                LinkEffect::DeferUntil(t) => at = at.max(t),
+                LinkEffect::Delay(d) => at += d,
+                LinkEffect::Lose(percent) => {
+                    if percent_roll(rng, percent) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn clause(
+        from: u64,
+        until: u64,
+        src: &[usize],
+        dst: &[usize],
+        effect: LinkEffect,
+    ) -> LinkClause {
+        LinkClause {
+            from: Time::from_ticks(from),
+            until: Time::from_ticks(until),
+            src: ProcSet::from_indices(8, src.iter().copied()),
+            dst: ProcSet::from_indices(8, dst.iter().copied()),
+            effect,
+        }
+    }
+
+    #[test]
+    fn proc_set_membership_and_size() {
+        let s = ProcSet::from_indices(100, [0, 63, 64, 99]);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(99));
+        assert!(!s.contains(1) && !s.contains(100) && !s.contains(640));
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(ProcSet::empty(3).is_empty());
+        assert_eq!(ProcSet::all(70).len(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn proc_set_rejects_out_of_range() {
+        let _ = ProcSet::from_indices(4, [4]);
+    }
+
+    #[test]
+    fn empty_script_is_transparent_and_quiescent() {
+        let s = LinkFaultScript::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.quiescent_after(), Some(Time::ZERO));
+        assert_eq!(
+            s.fate(Time::from_ticks(3), 0, 1, Time::from_ticks(5), &mut rng()),
+            Some(Time::from_ticks(5))
+        );
+    }
+
+    #[test]
+    fn window_is_half_open_on_send_time() {
+        let s = LinkFaultScript::new(0).with_clause(clause(10, 20, &[0], &[1], LinkEffect::Drop));
+        let mut r = rng();
+        let base = Time::from_ticks(100);
+        assert!(s.fate(Time::from_ticks(9), 0, 1, base, &mut r).is_some());
+        assert!(s.fate(Time::from_ticks(10), 0, 1, base, &mut r).is_none());
+        assert!(s.fate(Time::from_ticks(19), 0, 1, base, &mut r).is_none());
+        assert!(s.fate(Time::from_ticks(20), 0, 1, base, &mut r).is_some());
+        // Non-matching link or direction: unaffected.
+        assert!(s.fate(Time::from_ticks(15), 1, 0, base, &mut r).is_some());
+        assert!(s.fate(Time::from_ticks(15), 0, 2, base, &mut r).is_some());
+    }
+
+    #[test]
+    fn defer_takes_max_of_base_and_heal() {
+        let s = LinkFaultScript::new(0).with_clause(clause(
+            0,
+            50,
+            &[0],
+            &[1],
+            LinkEffect::DeferUntil(Time::from_ticks(50)),
+        ));
+        let mut r = rng();
+        // Base before heal: pushed to heal.
+        assert_eq!(
+            s.fate(Time::from_ticks(5), 0, 1, Time::from_ticks(7), &mut r),
+            Some(Time::from_ticks(50))
+        );
+        // Base after heal: untouched.
+        assert_eq!(
+            s.fate(Time::from_ticks(5), 0, 1, Time::from_ticks(60), &mut r),
+            Some(Time::from_ticks(60))
+        );
+    }
+
+    #[test]
+    fn clauses_compose_in_order() {
+        let s = LinkFaultScript::new(0)
+            .with_clause(clause(
+                0,
+                100,
+                &[0],
+                &[1],
+                LinkEffect::DeferUntil(Time::from_ticks(40)),
+            ))
+            .with_clause(clause(
+                0,
+                100,
+                &[0],
+                &[1],
+                LinkEffect::Delay(Span::from_ticks(3)),
+            ));
+        let mut r = rng();
+        assert_eq!(
+            s.fate(Time::from_ticks(1), 0, 1, Time::from_ticks(2), &mut r),
+            Some(Time::from_ticks(43))
+        );
+    }
+
+    #[test]
+    fn lose_percent_boundaries() {
+        let never =
+            LinkFaultScript::new(0).with_clause(clause(0, 100, &[0], &[1], LinkEffect::Lose(0)));
+        let always =
+            LinkFaultScript::new(0).with_clause(clause(0, 100, &[0], &[1], LinkEffect::Lose(100)));
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(never
+                .fate(Time::ZERO, 0, 1, Time::from_ticks(1), &mut r)
+                .is_some());
+            assert!(always
+                .fate(Time::ZERO, 0, 1, Time::from_ticks(1), &mut r)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn quiescence_tracks_latest_window() {
+        let s = LinkFaultScript::new(0)
+            .with_clause(clause(0, 10, &[0], &[1], LinkEffect::Drop))
+            .with_clause(clause(5, 30, &[1], &[0], LinkEffect::Delay(Span::TICK)));
+        assert_eq!(s.quiescent_after(), Some(Time::from_ticks(30)));
+        let open = s.with_clause(LinkClause {
+            from: Time::ZERO,
+            until: Time::MAX,
+            src: ProcSet::all(2),
+            dst: ProcSet::all(2),
+            effect: LinkEffect::Lose(1),
+        });
+        assert_eq!(open.quiescent_after(), None);
+    }
+}

@@ -26,6 +26,7 @@ use homonym_core::time::{Span, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::adversary::LinkFaultScript;
 use crate::network::NetworkModel;
 use crate::process::{Action, ActionSink, Process, TimerTag};
 use crate::queue::EventQueue;
@@ -56,6 +57,9 @@ pub struct Metrics {
     pub copies_delivered: u64,
     /// Copies lost by the network (pre-GST in `HPS`).
     pub copies_lost: u64,
+    /// Copies dropped by an installed [`LinkFaultScript`] (partitions,
+    /// adversarial loss). Zero when no adversary is installed.
+    pub copies_blocked: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
     /// Total callbacks dispatched.
@@ -89,6 +93,11 @@ pub struct SimConfig {
     /// throughput benchmark can measure the speedup and the determinism
     /// tests can assert trace equality between the two implementations.
     pub legacy_hot_path: bool,
+    /// Adversarial link faults consulted per copy after the network
+    /// routes it (see [`crate::adversary`]). `None` leaves every RNG
+    /// stream and the dispatch order byte-identical to an engine without
+    /// the hook; the same script yields the same run on both hot paths.
+    pub adversary: Option<Arc<LinkFaultScript>>,
 }
 
 impl SimConfig {
@@ -109,6 +118,7 @@ impl SimConfig {
             partial_broadcast_on_crash: true,
             max_events: 50_000_000,
             legacy_hot_path: false,
+            adversary: None,
         }
     }
 
@@ -124,6 +134,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_legacy_hot_path(mut self, legacy: bool) -> Self {
         self.legacy_hot_path = legacy;
+        self
+    }
+
+    /// Installs an adversarial link-fault script (builder style); see
+    /// [`SimConfig::adversary`].
+    #[must_use]
+    pub fn with_adversary(mut self, script: LinkFaultScript) -> Self {
+        self.adversary = Some(Arc::new(script));
         self
     }
 }
@@ -180,6 +198,9 @@ pub struct Engine<P: Process> {
     seq: u64,
     now: Time,
     net_rng: StdRng,
+    /// Dedicated stream for adversary draws so installing a script does
+    /// not perturb the network or per-process streams.
+    adv_rng: StdRng,
     metrics: Metrics,
     histories: Vec<History<P::Output>>,
     decisions: Vec<Option<(Time, u64)>>,
@@ -219,6 +240,8 @@ impl<P: Process> Engine<P> {
             });
         }
         let net_rng = StdRng::seed_from_u64(config.seed);
+        let adv_salt = config.adversary.as_ref().map_or(0, |s| s.salt());
+        let adv_rng = StdRng::seed_from_u64(config.seed ^ adv_salt ^ 0xD1B5_4A32_D192_ED03_u64);
         let mut queue = EventQueue::new(config.legacy_hot_path);
         for p in 0..n {
             queue.push(Time::ZERO, p as u64, Event::Start { dst: p });
@@ -227,6 +250,7 @@ impl<P: Process> Engine<P> {
             seq: n as u64,
             now: Time::ZERO,
             net_rng,
+            adv_rng,
             metrics: Metrics::default(),
             histories: vec![Vec::new(); n],
             decisions: vec![None; n],
@@ -533,12 +557,9 @@ impl<P: Process> Engine<P> {
                     continue;
                 }
                 self.metrics.copies_sent += 1;
-                match self.config.network.route(self.now, &mut self.net_rng) {
-                    Some(at) => {
-                        let msg = msg.clone();
-                        self.push(at, Event::Deliver { dst, msg });
-                    }
-                    None => self.metrics.copies_lost += 1,
+                if let Some(at) = self.route_copy(src, dst) {
+                    let msg = msg.clone();
+                    self.push(at, Event::Deliver { dst, msg });
                 }
             }
         } else {
@@ -551,13 +572,35 @@ impl<P: Process> Engine<P> {
                     continue;
                 }
                 self.metrics.copies_sent += 1;
-                match self.config.network.route(self.now, &mut self.net_rng) {
-                    Some(at) => {
-                        let msg = Arc::clone(&shared);
-                        self.push(at, Event::DeliverShared { dst, msg });
-                    }
-                    None => self.metrics.copies_lost += 1,
+                if let Some(at) = self.route_copy(src, dst) {
+                    let msg = Arc::clone(&shared);
+                    self.push(at, Event::DeliverShared { dst, msg });
                 }
+            }
+        }
+    }
+
+    /// The fate of one copy: the network routes it, then the adversary
+    /// (when installed) may defer, delay or drop it. Shared by both
+    /// payload branches of [`Engine::do_broadcast`] and therefore by both
+    /// hot paths, which is what keeps the legacy-vs-calendar trace
+    /// equality intact under any script.
+    fn route_copy(&mut self, src: usize, dst: usize) -> Option<Time> {
+        let base = match self.config.network.route(self.now, &mut self.net_rng) {
+            Some(at) => at,
+            None => {
+                self.metrics.copies_lost += 1;
+                return None;
+            }
+        };
+        let Some(script) = &self.config.adversary else {
+            return Some(base);
+        };
+        match script.fate(self.now, src, dst, base, &mut self.adv_rng) {
+            Some(at) => Some(at),
+            None => {
+                self.metrics.copies_blocked += 1;
+                None
             }
         }
     }

@@ -20,6 +20,24 @@ use homonym_core::time::{Span, Time};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+/// Draws whether an event with probability `percent`/100 occurs: one
+/// uniform draw over `0..100`, so `0` never hits and `100` always does;
+/// larger values saturate to 100. This is the single clamped-boundary
+/// rule shared by [`LatencyDistribution::SkewedTail`] stragglers,
+/// [`PreGstBehavior::LossyDelay`] losses, and the adversary's
+/// probabilistic clauses ([`crate::adversary::LinkEffect::Lose`]).
+pub(crate) fn percent_roll(rng: &mut StdRng, percent: u8) -> bool {
+    rng.gen_range(0u8..100) < percent.min(100)
+}
+
+/// Samples a delay uniformly in `[1, bound]` ticks. A zero bound clamps
+/// to the one-tick minimum every delivery pays (a message never arrives
+/// at its send instant). This is the single clamp shared by the post-GST
+/// `δ` window and both pre-GST delay paths.
+pub(crate) fn sample_delay(rng: &mut StdRng, bound: Span) -> Span {
+    Span::from_ticks(rng.gen_range(1..=bound.ticks().max(1)))
+}
+
 /// A distribution of message latencies, sampled per message copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LatencyDistribution {
@@ -63,12 +81,7 @@ impl LatencyDistribution {
                 tail,
                 slow_percent,
             } => {
-                // The draw is uniform over 0..=99, so `p` hits with
-                // probability exactly p/100: 0 never, 100 always. Values
-                // above 100 already behaved as 100 (every draw compares
-                // below them); the clamp makes that saturation explicit
-                // rather than an accident of the comparison.
-                if rng.gen_range(0u8..100) < (*slow_percent).min(100) {
+                if percent_roll(rng, *slow_percent) {
                     base.ticks() + rng.gen_range(0..=tail.ticks())
                 } else {
                     base.ticks()
@@ -149,26 +162,21 @@ impl NetworkModel {
             } => {
                 if sent_at >= *gst {
                     // Timely: within delta, at least one tick.
-                    let d = rng.gen_range(1..=delta.ticks().max(1));
-                    Some(sent_at + Span::from_ticks(d))
+                    Some(sent_at + sample_delay(rng, *delta))
                 } else {
                     match pre_gst {
                         PreGstBehavior::LossyDelay {
                             loss_percent,
                             max_delay,
                         } => {
-                            // Same clamped-boundary handling as
-                            // `LatencyDistribution::SkewedTail`.
-                            if rng.gen_range(0u8..100) < (*loss_percent).min(100) {
+                            if percent_roll(rng, *loss_percent) {
                                 None
                             } else {
-                                let d = rng.gen_range(1..=max_delay.ticks().max(1));
-                                Some(sent_at + Span::from_ticks(d))
+                                Some(sent_at + sample_delay(rng, *max_delay))
                             }
                         }
                         PreGstBehavior::DelayOnly { max_delay } => {
-                            let d = rng.gen_range(1..=max_delay.ticks().max(1));
-                            Some(sent_at + Span::from_ticks(d))
+                            Some(sent_at + sample_delay(rng, *max_delay))
                         }
                     }
                 }
@@ -280,6 +288,30 @@ mod tests {
         let clamped = dist(250);
         for _ in 0..50 {
             assert!((2..=12).contains(&clamped.sample(&mut r).ticks()));
+        }
+    }
+
+    /// Pins the shared clamp helpers at their boundaries: these two
+    /// functions are the single implementation behind every percentage
+    /// draw and bounded-delay sample in this module, so their edge
+    /// behaviour is the edge behaviour of all three network models.
+    #[test]
+    fn clamp_helpers_pin_boundary_values() {
+        let mut r = rng();
+        // percent 0: never hits; percent 100: always hits; above 100
+        // saturates to 100 instead of overshooting.
+        for _ in 0..200 {
+            assert!(!percent_roll(&mut r, 0));
+            assert!(percent_roll(&mut r, 100));
+            assert!(percent_roll(&mut r, 250));
+        }
+        // A zero (or one-tick) bound clamps to exactly one tick — the
+        // "never arrives at the send instant" floor.
+        for _ in 0..200 {
+            assert_eq!(sample_delay(&mut r, Span::ZERO), Span::TICK);
+            assert_eq!(sample_delay(&mut r, Span::TICK), Span::TICK);
+            let d = sample_delay(&mut r, Span::from_ticks(5)).ticks();
+            assert!((1..=5).contains(&d));
         }
     }
 

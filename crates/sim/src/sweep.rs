@@ -1,0 +1,25 @@
+//! Multi-seed sweep plumbing shared by the experiment harness and the
+//! chaos falsification harness.
+
+use rayon::prelude::*;
+
+/// Runs `run(seed)` for seeds `0..seeds` across all cores, preserving
+/// result order. Each run must be independent (the engines are: a run is
+/// a pure function of its config and seed).
+pub fn parallel_seed_sweep<R: Send>(seeds: usize, run: impl Fn(u64) -> R + Sync) -> Vec<R> {
+    (0..seeds as u64).into_par_iter().map(run).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_seed_order() {
+        let out = parallel_seed_sweep(100, |seed| seed * 2);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! explicit, instead of hiding it in a blocking `wait`.
 
 use core::fmt;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use homonym_core::failure::FailureSchedule;
 use homonym_core::identity::{Identity, IdentityAssignment};
@@ -21,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::adversary::LinkFaultScript;
 use crate::process::Message;
 
 /// A program executed in lock-step synchronous rounds.
@@ -84,6 +87,13 @@ pub struct SyncConfig {
     pub seed: u64,
     /// Deliver a random subset of a dying process's final-step broadcast.
     pub partial_broadcast_on_crash: bool,
+    /// Adversarial link faults (see [`crate::adversary`]). Times in the
+    /// script are **step numbers**. A copy a clause defers is held and
+    /// injected into its destination's inbox at the deferred step, in
+    /// the order the copies were queued (then shuffled with that step's
+    /// fresh deliveries, as every synchronous delivery is). `None`
+    /// leaves the engine byte-identical to one without the hook.
+    pub adversary: Option<Arc<LinkFaultScript>>,
 }
 
 impl SyncConfig {
@@ -100,6 +110,7 @@ impl SyncConfig {
             sched,
             seed: 0,
             partial_broadcast_on_crash: true,
+            adversary: None,
         }
     }
 
@@ -107,6 +118,14 @@ impl SyncConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs an adversarial link-fault script (builder style); see
+    /// [`SyncConfig::adversary`].
+    #[must_use]
+    pub fn with_adversary(mut self, script: LinkFaultScript) -> Self {
+        self.adversary = Some(Arc::new(script));
         self
     }
 }
@@ -121,6 +140,9 @@ pub struct SyncMetrics {
     /// counted (nor materialized): they could never be observed, and the
     /// send phase skips cloning for them.
     pub copies_delivered: u64,
+    /// Copies dropped by an installed [`LinkFaultScript`]. Zero when no
+    /// adversary is installed.
+    pub copies_blocked: u64,
     /// Steps executed.
     pub steps: u64,
 }
@@ -132,6 +154,11 @@ pub struct SyncEngine<P: SyncProcess> {
     halted: Vec<bool>,
     step: u64,
     rng: StdRng,
+    /// Dedicated stream for adversary draws so installing a script does
+    /// not perturb the shuffle/crash-mask stream.
+    adv_rng: StdRng,
+    /// Copies a clause deferred, keyed by delivery step, in queue order.
+    deferred: BTreeMap<u64, Vec<(usize, P::Msg)>>,
     metrics: SyncMetrics,
     histories: Vec<History<P::Output>>,
     decisions: Vec<Option<(Time, u64)>>,
@@ -142,8 +169,11 @@ impl<P: SyncProcess> SyncEngine<P> {
     pub fn new(config: SyncConfig, mut factory: impl FnMut(usize, Identity) -> P) -> Self {
         let n = config.assign.n();
         let procs = (0..n).map(|p| factory(p, config.assign.id_of(p))).collect();
+        let adv_salt = config.adversary.as_ref().map_or(0, |s| s.salt());
         SyncEngine {
             rng: StdRng::seed_from_u64(config.seed),
+            adv_rng: StdRng::seed_from_u64(config.seed ^ adv_salt ^ 0xD1B5_4A32_D192_ED03_u64),
+            deferred: BTreeMap::new(),
             procs,
             halted: vec![false; n],
             step: 0,
@@ -234,6 +264,22 @@ impl<P: SyncProcess> SyncEngine<P> {
         let now = Time::from_ticks(s);
         let n = self.n();
 
+        // Copies a clause deferred to this step (a healed partition
+        // releasing its queued traffic) are injected first, in the order
+        // they were queued; they join the step's fresh deliveries in the
+        // seeded shuffle like any other synchronous delivery.
+        let mut inboxes: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
+        if let Some(batch) = self.deferred.remove(&s) {
+            for (dst, m) in batch {
+                if self.halted[dst] || !self.config.sched.is_alive(dst, now) {
+                    continue;
+                }
+                self.metrics.copies_delivered += 1;
+                inboxes[dst].push(m);
+            }
+        }
+        let script = self.config.adversary.clone();
+
         // Send phase: alive processes send fully; a process crashing at
         // exactly this step gets a partial final broadcast.
         //
@@ -243,7 +289,6 @@ impl<P: SyncProcess> SyncEngine<P> {
         // none at all for copies that would land on crashed or halted
         // processes. The crash-mask RNG draws stay one-per-destination so
         // seeded runs are unchanged.
-        let mut inboxes: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
         let mut recipients: Vec<usize> = Vec::with_capacity(n);
         for p in 0..n {
             if self.halted[p] {
@@ -268,8 +313,27 @@ impl<P: SyncProcess> SyncEngine<P> {
                     }
                     recipients.push(dst);
                 }
-                self.metrics.copies_delivered += recipients.len() as u64;
-                if let Some((&last, rest)) = recipients.split_last() {
+                if let Some(script) = &script {
+                    // Adversary path: each copy's fate individually. A
+                    // deferred copy is held for the step the clause
+                    // names; times in the script are step numbers and
+                    // the base delivery step is the sending step itself.
+                    for &dst in &recipients {
+                        match script.fate(now, p, dst, now, &mut self.adv_rng) {
+                            None => self.metrics.copies_blocked += 1,
+                            Some(at) if at <= now => {
+                                self.metrics.copies_delivered += 1;
+                                inboxes[dst].push(m.clone());
+                            }
+                            Some(at) => self
+                                .deferred
+                                .entry(at.ticks())
+                                .or_default()
+                                .push((dst, m.clone())),
+                        }
+                    }
+                } else if let Some((&last, rest)) = recipients.split_last() {
+                    self.metrics.copies_delivered += recipients.len() as u64;
                     for &dst in rest {
                         inboxes[dst].push(m.clone());
                     }

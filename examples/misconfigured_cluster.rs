@@ -8,21 +8,27 @@
 //! Leaders' Coordination Phase handles exactly this: co-leaders first
 //! agree among themselves, then lead together.
 //!
-//! This example runs both halves of that story:
+//! The failure pattern is expressed as a declarative chaos
+//! [`Scenario`] rather than a hand-rolled crash schedule: one node
+//! crashes mid-run, the network briefly wedges into a split-brain
+//! partition that heals, and GST is placed adversarially right after the
+//! last fault. This example runs both halves of the story:
 //! 1. the cluster reaches consensus with Figure 8 under `HΩ`, duplicated
-//!    ids and all — the `◇HP` implementation of Figure 6 is stacked
-//!    underneath, so even the failure detector is "real" (message-passing,
-//!    no membership knowledge, partial synchrony);
-//! 2. the run is repeated at every homonymy degree `ℓ = 1..=n` to show the
-//!    algorithm is insensitive to how badly the configuration collided.
+//!    ids, a crash and a partition and all — the `◇HP` implementation of
+//!    Figure 6 is stacked underneath, so even the failure detector is
+//!    "real" (message-passing, no membership knowledge, partial
+//!    synchrony);
+//! 2. the run is repeated at every homonymy degree `ℓ = 1..=n` to show
+//!    the algorithm is insensitive to how badly the configuration
+//!    collided — and **asserts** the expected outcome at each degree, so
+//!    the example fails loudly if semantics drift.
 //!
 //! Run with: `cargo run --example misconfigured_cluster`
 
-use homonym::consensus::{classify_fig8, Fig8Msg, HOmegaPolicy, MajorityConsensus};
-use homonym::detectors::evt_hp::{EvtHpMsg, EvtHpProcess};
+use homonym::chaos::{fig8_node, hps_base, FaultClause, GstPlacement, PartitionMode, Scenario};
+use homonym::consensus::{classify_fig8, Fig8Msg};
+use homonym::detectors::evt_hp::EvtHpMsg;
 use homonym::prelude::*;
-
-type Node = Stacked<EvtHpProcess, MajorityConsensus<HOmegaPolicy<SharedCell<HOmegaOutput>>>>;
 
 fn classify(msg: &Either<EvtHpMsg, Fig8Msg>) -> &'static str {
     match msg {
@@ -31,36 +37,66 @@ fn classify(msg: &Either<EvtHpMsg, Fig8Msg>) -> &'static str {
     }
 }
 
-/// Builds a cluster node: the Figure 6 `◇HP`/`HΩ` detector stacked under
-/// Figure 8 consensus, wired through a shared cell.
-fn node(proposal: u64, n: usize, t: usize) -> Node {
-    let cell: SharedCell<HOmegaOutput> = SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
-    let detector = EvtHpProcess::new().with_h_omega_mirror(cell.clone());
-    let consensus =
-        MajorityConsensus::new(proposal, n, t, HOmegaPolicy(cell)).with_tick(Span::from_ticks(2));
-    Stacked::new(detector, consensus)
+/// The cluster's failure pattern, declared once: one crash (tolerated by
+/// the majority assumption), a transient split-brain that heals, and GST
+/// placed adversarially after everything bad has happened.
+fn outage(n: usize) -> Scenario {
+    Scenario::new("misconfigured-cluster-outage", n)
+        .with_clause(FaultClause::Partition {
+            groups: vec![(0..n / 2).collect(), (n / 2..n).collect()],
+            start: Time::from_ticks(20),
+            heal_at: Time::from_ticks(45),
+            mode: PartitionMode::QueueUntilHeal,
+        })
+        .with_clause(FaultClause::Crash {
+            process: n - 1,
+            at: Time::from_ticks(50),
+        })
+        .with_gst(GstPlacement::AfterLastFault {
+            margin: Span::from_ticks(10),
+        })
 }
 
 fn run_cluster(n: usize, l: usize, seed: u64) -> (u64, Time, u64) {
     let assign = IdentityAssignment::round_robin(n, l);
     let t = (n - 1) / 2;
-    // One crash, tolerated by the majority assumption.
-    let sched = FailureSchedule::none(n).with_crash(n - 1, Time::from_ticks(50));
-    let network = NetworkModel::PartialSync {
-        gst: Time::from_ticks(60),
-        delta: Span::from_ticks(3),
-        pre_gst: PreGstBehavior::DelayOnly {
-            max_delay: Span::from_ticks(20),
-        },
-    };
+    let scenario = outage(n);
     let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
     let props = proposals.clone();
-    let cfg = SimConfig::new(assign, sched.clone(), network).with_seed(seed);
-    let mut engine = Engine::new(cfg, |p, _| node(props[p], n, t));
+    let cfg = SimConfig::new(assign, FailureSchedule::none(n), hps_base()).with_seed(seed);
+    let cfg = scenario
+        .install(cfg)
+        .expect("the outage scenario validates");
+    let sched = cfg.sched.clone();
+
+    // Expected semantics, asserted so drift fails loudly.
+    assert_eq!(sched.crash_time(n - 1), Some(Time::from_ticks(50)));
+    assert!(sched.has_correct_majority(), "one crash keeps a majority");
+    let gst = match cfg.network {
+        NetworkModel::PartialSync { gst, .. } => gst,
+        ref other => panic!("scenario must keep the HPS model, got {other:?}"),
+    };
+    assert_eq!(
+        gst,
+        scenario.last_fault_end() + Span::from_ticks(10),
+        "GST must land right after the last fault"
+    );
+
+    let mut engine = Engine::new(cfg, |p, _| fig8_node(props[p], n, t));
     engine.set_classifier(classify);
     engine.run_until_all_correct_decided(Time::from_ticks(400_000));
-    let report = check_consensus(&engine.outcome(proposals), &sched)
+    let report = check_consensus(&engine.outcome(proposals.clone()), &sched)
         .expect("validity, agreement and termination hold");
+    assert!(
+        proposals.contains(&report.value),
+        "decided value {} must be someone's proposal",
+        report.value
+    );
+    assert!(
+        report.first_decision >= gst,
+        "no decision can precede GST here: the split wedges the majority \
+         wait until the heal, and the detector stabilizes only after GST"
+    );
     (
         report.value,
         report.last_decision,
@@ -70,7 +106,8 @@ fn run_cluster(n: usize, l: usize, seed: u64) -> (u64, Time, u64) {
 
 fn main() {
     let n = 6;
-    println!("cluster of {n} nodes, Figure 6 detector + Figure 8 consensus\n");
+    println!("cluster of {n} nodes, Figure 6 detector + Figure 8 consensus");
+    println!("outage script: {}\n", outage(n));
     println!(
         "{:>3} {:>22} {:>10} {:>14} {:>12}",
         "ℓ", "identities", "decided", "last decision", "broadcasts"
@@ -86,6 +123,7 @@ fn main() {
     }
     println!(
         "\nEvery homonymy degree — from fully anonymous (ℓ=1) to unique ids \
-         (ℓ={n}) — reaches agreement on a proposed value."
+         (ℓ={n}) — survives the scripted outage and reaches agreement on a \
+         proposed value."
     );
 }

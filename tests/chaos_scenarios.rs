@@ -1,0 +1,185 @@
+//! Full-stack integration of the chaos subsystem: adversarial scenarios
+//! driving the real Figure 6 + Figure 8 pipeline, under the same
+//! determinism guarantees as fault-free runs.
+
+use homonym::chaos::sweep::{falsification_sweep, StackKind, SweepConfig};
+use homonym::chaos::{
+    fig8_node, hps_base, FaultClause, Fig8Node, GstPlacement, PartitionMode, Scenario,
+};
+use homonym::consensus::{classify_fig8, Fig8Msg};
+use homonym::detectors::evt_hp::EvtHpMsg;
+use homonym::prelude::*;
+
+fn classify(msg: &Either<EvtHpMsg, Fig8Msg>) -> &'static str {
+    match msg {
+        Either::L(_) => "detector",
+        Either::R(m) => classify_fig8(m),
+    }
+}
+
+/// An 8-process 4/4 split-brain: neither half can gather the `n − t = 5`
+/// replies Figure 8 waits for, so termination is impossible before the
+/// heal.
+fn even_split(n: usize, heal: u64) -> Scenario {
+    Scenario::new("even-split", n)
+        .with_clause(FaultClause::Partition {
+            groups: vec![(0..n / 2).collect(), (n / 2..n).collect()],
+            start: Time::from_ticks(10),
+            heal_at: Time::from_ticks(heal),
+            mode: PartitionMode::QueueUntilHeal,
+        })
+        .with_gst(GstPlacement::AfterLastFault {
+            margin: Span::from_ticks(15),
+        })
+}
+
+fn run_stack(
+    scenario: &Scenario,
+    n: usize,
+    seed: u64,
+    deadline: Time,
+    legacy: bool,
+) -> (Trace, Vec<Option<(Time, u64)>>, FailureSchedule) {
+    let t = (n - 1) / 2;
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    let cfg = SimConfig::new(
+        IdentityAssignment::round_robin(n, 3),
+        FailureSchedule::none(n),
+        hps_base(),
+    )
+    .with_seed(seed)
+    .with_legacy_hot_path(legacy);
+    let cfg = scenario.install(cfg).expect("scenario validates");
+    let sched = cfg.sched.clone();
+    let mut engine: Engine<Fig8Node> = Engine::new(cfg, |p, _| fig8_node(proposals[p], n, t));
+    engine.set_classifier(classify);
+    engine.enable_trace(500_000);
+    engine.run_until_all_correct_decided(deadline);
+    (
+        engine.trace().expect("enabled").clone(),
+        engine.decisions().to_vec(),
+        sched,
+    )
+}
+
+/// The hot-path trace-equality guarantee extends to adversarial runs:
+/// same seed + same scenario script ⇒ byte-identical trace on the
+/// calendar-queue and legacy paths, across scenario shapes (queued
+/// partition, drop partition + crash, churn + overlay).
+#[test]
+fn scenario_runs_dispatch_identically_on_both_hot_paths() {
+    let n = 8;
+    let scenarios = [
+        even_split(n, 120),
+        Scenario::new("drop-split-crash", n)
+            .with_clause(FaultClause::Partition {
+                groups: vec![vec![0, 1, 2], (3..n).collect()],
+                start: Time::from_ticks(5),
+                heal_at: Time::from_ticks(90),
+                mode: PartitionMode::DropWhilePartitioned,
+            })
+            .with_clause(FaultClause::Crash {
+                process: 7,
+                at: Time::from_ticks(40),
+            })
+            .with_gst(GstPlacement::AfterLastFault {
+                margin: Span::from_ticks(10),
+            }),
+        Scenario::new("churn-overlay", n)
+            .with_clause(FaultClause::Churn {
+                process: 2,
+                down: Time::from_ticks(15),
+                up: Time::from_ticks(60),
+            })
+            .with_clause(FaultClause::LinkOverlay {
+                from: vec![0, 1],
+                to: vec![4, 5],
+                start: Time::from_ticks(10),
+                end: Time::from_ticks(80),
+                loss_percent: 40,
+                extra_delay: Span::from_ticks(6),
+            })
+            .with_gst(GstPlacement::At(Time::from_ticks(100))),
+    ];
+    for scenario in &scenarios {
+        for seed in [3u64, 19] {
+            let deadline = Time::from_ticks(40_000);
+            let (trace_new, decisions_new, _) = run_stack(scenario, n, seed, deadline, false);
+            let (trace_legacy, decisions_legacy, _) = run_stack(scenario, n, seed, deadline, true);
+            assert_eq!(
+                decisions_new, decisions_legacy,
+                "decisions diverged for seed {seed} under {scenario}"
+            );
+            assert_eq!(
+                trace_new, trace_legacy,
+                "dispatch order diverged for seed {seed} under {scenario}"
+            );
+            assert!(!trace_new.events().is_empty());
+        }
+    }
+}
+
+/// Liveness correctly fails pre-heal and holds post-heal: the truncated
+/// run violates termination (excused — the environment was never clean
+/// inside the window), the full run satisfies every consensus property.
+#[test]
+fn liveness_fails_pre_heal_and_holds_post_heal() {
+    let n = 8;
+    let heal = 150;
+    let scenario = even_split(n, heal);
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+
+    // Truncated run: cut just before the heal.
+    let (_, decisions_pre, sched) = run_stack(&scenario, n, 5, Time::from_ticks(heal - 1), false);
+    let pre = check_consensus(
+        &ConsensusOutcome {
+            proposals: proposals.clone(),
+            decisions: decisions_pre,
+        },
+        &sched,
+    );
+    let pre_verdict = classify_run(RunCondition::never_clean(), pre);
+    match &pre_verdict {
+        RunVerdict::LivenessExcused(v) => {
+            assert_eq!(v.property, "termination");
+        }
+        other => panic!("expected an excused termination failure pre-heal, got {other:?}"),
+    }
+
+    // Full run: generous post-heal window.
+    let (_, decisions_full, sched) = run_stack(&scenario, n, 5, Time::from_ticks(40_000), false);
+    let full = check_consensus(
+        &ConsensusOutcome {
+            proposals,
+            decisions: decisions_full,
+        },
+        &sched,
+    );
+    let clean = scenario.last_fault_end() + Span::from_ticks(15);
+    let full_verdict = classify_run(RunCondition::clean_from(clean), full);
+    assert!(
+        matches!(full_verdict, RunVerdict::Pass(_)),
+        "post-heal run must satisfy all consensus properties, got {full_verdict:?}"
+    );
+}
+
+/// A small end-to-end falsification sweep through the meta-crate: no
+/// safety violations, no liveness violations on clean runs, and at least
+/// one pre-heal/post-heal demonstration.
+#[test]
+fn falsification_sweep_smoke() {
+    let mut cfg = SweepConfig::new(StackKind::Fig8EvtHp, 24);
+    cfg.probe_every = 4;
+    let report = falsification_sweep(&cfg);
+    assert_eq!(report.runs, 24);
+    assert!(
+        !report.falsified(),
+        "sweep falsified the stack: {:?}",
+        report.first_counterexample()
+    );
+    assert!(
+        report.probe_demonstrations >= 1,
+        "expected at least one pre-heal blocked → post-heal decided demonstration: {report:?}"
+    );
+    assert!(report.liveness_held > 0);
+}
