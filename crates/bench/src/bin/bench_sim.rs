@@ -1,158 +1,513 @@
 //! `BENCH_sim.json` generator: simulator hot-path throughput.
 //!
-//! Measures events dispatched per second on two workloads, each executed
-//! twice — once on the pre-optimization hot path
-//! (`SimConfig::legacy_hot_path`: `BTreeMap` event queue, one deep
-//! payload clone per broadcast destination) and once on the current path
-//! (tick-bucketed calendar queue, `Arc`-shared broadcast payloads) — and
-//! writes the events/sec figures plus the speedup ratio to
-//! `BENCH_sim.json` in the working directory.
+//! Measures events dispatched per second on four workloads, each executed
+//! twice — once on the **legacy** path (the PR 1 hot path, re-baselined:
+//! calendar event queue, `Arc`-shared payloads, per-event pops, one
+//! network-model match and RNG route per copy, per-message dispatch, plus
+//! in-tree copies of the PR 1-shaped detector/consensus/oracle
+//! components) and once on the **current** path (batched tick draining,
+//! same-`(time, dest)` delivery batches through `Process::on_messages`,
+//! fused per-broadcast RNG sampling with precomputed distributions,
+//! incremental `◇HP` rounds, ring-window consensus buckets, cached
+//! oracles, arena-reused runs) — and writes the events/sec figures plus
+//! the speedup ratio to `BENCH_sim.json` (`schema_version = 3`) in the
+//! working directory.
 //!
 //! Workloads:
 //!
 //! * `hps_mesh_n64` — a pure broadcast mesh over `n = 64` processes in
 //!   `HPS`: every process broadcasts each tick. No algorithm logic, so
-//!   this isolates the engine hot path the tentpole reworked;
+//!   this isolates the engine hot path (queue + delivery + sampling);
 //! * `hps_detector_n64` — the Figure 6 `◇HP`/`HΩ` detector over `n = 64`
 //!   processes in `HPS` (lossy pre-GST), the polling-heavy workload whose
-//!   broadcast fan-out dominates figure regeneration time. Its ratio is
-//!   diluted by per-event work both paths share (network sampling,
-//!   detector bookkeeping);
+//!   broadcast fan-out dominates figure regeneration time;
 //! * `fig8_consensus_sweep` — a parallel multi-seed sweep of Figure 8
-//!   consensus at `n = 24`, the shape every consensus figure uses. On
-//!   multi-core hosts the sweep additionally scales with cores (the
-//!   pre-change harness ran seeds sequentially);
+//!   consensus at `n = 24`, the shape every consensus figure uses;
 //! * `chaos_sweep` — a multi-seed sweep of Figure 8 consensus under
 //!   generated split-brain scenarios (the `exp_chaos` falsification
-//!   workload): measures the adversary hook's per-copy routing cost,
-//!   and re-verifies at benchmark scale that both hot paths dispatch
-//!   the identical event sequence under an active fault script.
+//!   workload): measures the adversary hook's routing cost plus the
+//!   oracle/round-buffer work, and re-verifies at benchmark scale that
+//!   both paths dispatch identical event counts under an active script.
 //!
 //! Both paths dispatch the identical event sequence (seeded runs are
 //! byte-for-byte equal; `tests/trace_determinism.rs` asserts this), so
-//! the ratio isolates the data-structure and allocation work.
+//! the ratio isolates the data-structure, sampling and allocation work.
+//! The current-path single-run rows execute arena-warm (the sweep-worker
+//! shape every real workload uses); the legacy rows rebuild their world
+//! per run, as PR 1 did.
 //!
-//! Usage: `cargo run --release -p homonym-bench --bin bench_sim`
-//! Set `BENCH_SIM_QUICK=1` for a reduced-size smoke run (CI).
+//! Usage: `cargo run --release -p homonym-bench --bin bench_sim
+//! [-- --only <row>[,<row>...]] [-- --side legacy|current]`
+//!
+//! * `--only <row>` restricts the run to the named row(s);
+//! * `--side` pins one flavor (for profiling a single implementation
+//!   under a sampler) — see the profiling guide in `BENCHMARKS.md`;
+//! * `BENCH_SIM_QUICK=1` runs a reduced-size smoke configuration (CI);
+//! * `BENCH_SIM_REPS=<k>` overrides the repetition count (long runs for
+//!   profilers, 1 for a fast sanity pass);
+//! * building with `--features alloc-count` adds allocations-per-event
+//!   columns (a counting global allocator; counts are exact, timings
+//!   slightly perturbed by the counter's atomics).
 
-use std::collections::BTreeMap;
 use std::time::Instant;
 
-use homonym_bench::{async_net, hps_delay_only, hps_lossy, parallel_seed_sweep, staggered_crashes};
+use homonym_bench::{async_net, hps_delay_only, hps_lossy, staggered_crashes};
 use homonym_chaos::generators::split_brain;
 use homonym_consensus::{HOmegaPolicy, MajorityConsensus};
 use homonym_core::prelude::*;
 use homonym_detectors::evt_hp::{EvtHpMsg, EvtHpProcess, EvtHpSnapshot};
-use homonym_detectors::oracle::{OracleWorld, PreStability};
+use homonym_detectors::oracle::{HOmegaOracle, OracleWorld, PreStability};
+use homonym_sim::engine::EngineArena;
 use homonym_sim::prelude::*;
 use homonym_sim::process::Process;
 
-/// The *seed-shaped* Figure 6 detector, kept verbatim for the baseline
-/// measurement: membership in a `BTreeMap` (the pre-change layout) where
-/// the optimized detector uses a binary-searched vector. Protocol
-/// behaviour is identical — same messages, same RNG draws, same trace —
-/// so baseline and current runs dispatch the same event sequence.
-struct LegacyEvtHp {
-    /// Seed-shaped bag: the pre-change `Multiset` was a counted
-    /// `BTreeMap` under the hood.
-    h_trusted: BTreeMap<Identity, usize>,
-    round: u64,
-    timeout: u64,
-    mship: BTreeMap<Identity, u64>,
-    pending: Vec<(u64, u64, Identity)>,
-}
+/// Counting global allocator behind the `alloc-count` feature: every
+/// `alloc`/`realloc` bumps a relaxed atomic, letting the harness report
+/// allocations per dispatched event next to the throughput columns.
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
-const ROUND: TimerTag = TimerTag(0);
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
-impl LegacyEvtHp {
-    fn new() -> Self {
-        LegacyEvtHp {
-            h_trusted: BTreeMap::new(),
-            round: 1,
-            timeout: 1,
-            mship: BTreeMap::new(),
-            pending: Vec::new(),
+    struct Counting;
+
+    // SAFETY: delegates verbatim to `System`; the counter has no effect
+    // on the returned memory.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
         }
     }
 
-    fn poll(&self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
-        ctx.broadcast(EvtHpMsg::Polling {
-            round: self.round,
-            id: ctx.my_id(),
-        });
-        ctx.set_timer(Span::from_ticks(self.timeout), ROUND);
+    #[global_allocator]
+    static COUNTER: Counting = Counting;
+
+    pub const ENABLED: bool = true;
+
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
     }
 }
 
-impl Process for LegacyEvtHp {
-    type Msg = EvtHpMsg;
-    type Output = EvtHpSnapshot;
+#[cfg(not(feature = "alloc-count"))]
+mod alloc_count {
+    pub const ENABLED: bool = false;
 
-    fn on_start(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
-        self.poll(ctx);
+    pub fn allocations() -> u64 {
+        0
+    }
+}
+
+/// In-tree copies of the PR 1-shaped components, frozen as the baseline
+/// the `legacy` columns measure. Protocol behaviour is identical to the
+/// optimized components — same messages, same RNG draws, same dispatch
+/// sequence (the harness asserts equal event counts) — so the ratio
+/// isolates the data-structure and allocation work:
+///
+/// * [`pr1::EvtHp`] rebuilds its `◇HP` bag and wraps a fresh snapshot
+///   clone every round (the current detector diffs against the previous
+///   round's membership and publishes a cached snapshot);
+/// * [`pr1::Fig8`] buffers every protocol message in per-round
+///   `BTreeMap<u64, Vec<_>>` buckets and recounts them per guard
+///   re-evaluation (the current one aggregates at arrival in recycled
+///   ring windows);
+/// * [`pr1::HOmega`] recomputes the rotating-leader junk — a fresh
+///   identifier multiset per query — that `OracleWorld` now precomputes.
+mod pr1 {
+    use std::collections::BTreeMap;
+
+    use homonym_core::prelude::*;
+    use homonym_detectors::evt_hp::{EvtHpMsg, EvtHpSnapshot};
+    use homonym_sim::prelude::*;
+
+    const ROUND: TimerTag = TimerTag(0);
+
+    /// The PR 1-shaped Figure 6 detector.
+    pub struct EvtHp {
+        h_trusted: Multiset<Identity>,
+        h_omega: HOmegaOutput,
+        round: u64,
+        timeout: u64,
+        mship: Vec<(Identity, u64)>,
+        pending: Vec<(u64, u64, Identity)>,
     }
 
-    fn on_message(&mut self, msg: EvtHpMsg, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
-        match msg {
-            EvtHpMsg::Polling { round, id } => {
-                let latest = self.mship.entry(id).or_insert(0);
-                if *latest < round {
-                    ctx.broadcast(EvtHpMsg::PReply {
-                        from: *latest + 1,
-                        to: round,
-                        target: id,
-                        sender: ctx.my_id(),
-                    });
-                    *latest = round;
+    impl EvtHp {
+        pub fn new() -> Self {
+            EvtHp {
+                h_trusted: Multiset::new(),
+                h_omega: HOmegaOutput::new(Identity::BOTTOM, 1),
+                round: 1,
+                timeout: 1,
+                mship: Vec::new(),
+                pending: Vec::new(),
+            }
+        }
+
+        fn poll(&self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+            ctx.broadcast(EvtHpMsg::Polling {
+                round: self.round,
+                id: ctx.my_id(),
+            });
+            ctx.set_timer(Span::from_ticks(self.timeout), ROUND);
+        }
+    }
+
+    impl Process for EvtHp {
+        type Msg = EvtHpMsg;
+        type Output = EvtHpSnapshot;
+
+        fn on_start(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+            self.h_omega = HOmegaOutput::new(ctx.my_id(), 1);
+            self.poll(ctx);
+        }
+
+        fn on_message(&mut self, msg: EvtHpMsg, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+            match msg {
+                EvtHpMsg::Polling { round, id } => {
+                    let slot = match self.mship.binary_search_by_key(&id, |&(i, _)| i) {
+                        Ok(i) => i,
+                        Err(i) => {
+                            self.mship.insert(i, (id, 0));
+                            i
+                        }
+                    };
+                    let latest = &mut self.mship[slot].1;
+                    if *latest < round {
+                        ctx.broadcast(EvtHpMsg::PReply {
+                            from: *latest + 1,
+                            to: round,
+                            target: id,
+                            sender: ctx.my_id(),
+                        });
+                        *latest = round;
+                    }
+                }
+                EvtHpMsg::PReply {
+                    from,
+                    to,
+                    target,
+                    sender,
+                } => {
+                    if target != ctx.my_id() {
+                        return;
+                    }
+                    if from < self.round {
+                        self.timeout += 1;
+                    }
+                    if to >= self.round {
+                        self.pending.push((from, to, sender));
+                    }
                 }
             }
-            EvtHpMsg::PReply {
-                from,
-                to,
-                target,
-                sender,
-            } => {
-                if target != ctx.my_id() {
+        }
+
+        fn on_timer(&mut self, _t: TimerTag, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
+            // The PR 1 shape: rebuild the bag every round, then wrap a
+            // fresh snapshot clone.
+            let r = self.round;
+            let mut tmp = std::mem::take(&mut self.h_trusted);
+            tmp.clear();
+            self.pending.retain(|&(from, to, sender)| {
+                if from <= r && r <= to {
+                    tmp.insert(sender);
+                }
+                to > r
+            });
+            self.h_trusted = tmp;
+            if let Some(&leader) = self.h_trusted.min_elem() {
+                self.h_omega = HOmegaOutput::new(leader, self.h_trusted.multiplicity(&leader));
+            }
+            ctx.publish(EvtHpSnapshot {
+                evt_hp: EvtHPOutput::new(self.h_trusted.clone()),
+                h_omega: self.h_omega,
+                round: r,
+                timeout: self.timeout,
+            });
+            self.round += 1;
+            self.poll(ctx);
+        }
+    }
+
+    /// The PR 1-shaped `HΩ` oracle: recomputes its output from the
+    /// schedule/assignment on every query (same values as the cached
+    /// [`homonym_detectors::oracle::HOmegaOracle`], query by query).
+    #[derive(Clone)]
+    pub struct HOmega {
+        sched: FailureSchedule,
+        assign: IdentityAssignment,
+        stabilize_at: Time,
+        salt: u64,
+    }
+
+    impl HOmega {
+        pub fn new(
+            sched: FailureSchedule,
+            assign: IdentityAssignment,
+            stabilize_at: Time,
+            salt: u64,
+        ) -> Self {
+            HOmega {
+                sched,
+                assign,
+                stabilize_at,
+                salt,
+            }
+        }
+
+        /// `OracleWorld`'s per-(time, salt) mixer, duplicated so the junk
+        /// phase rotates identically to the cached oracle.
+        fn mix(now: Time, salt: u64) -> u64 {
+            let x = now
+                .ticks()
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            (x ^ (x >> 31)).wrapping_mul(0x94D0_49BB_1331_11EB)
+        }
+    }
+
+    impl HOmegaSource for HOmega {
+        fn h_omega(&self, now: Time) -> HOmegaOutput {
+            if now >= self.stabilize_at {
+                let correct = self.sched.i_correct(&self.assign);
+                let leader = *correct.min_elem().expect("some process is correct");
+                return HOmegaOutput::new(leader, correct.multiplicity(&leader));
+            }
+            // Chaotic pre-stability junk, recomputed per query.
+            let ids = self.assign.multiset();
+            let k = (Self::mix(now, self.salt) as usize) % ids.distinct_len();
+            let id = *ids.support().nth(k).expect("nonempty system");
+            let mult = 1 + (Self::mix(now, self.salt ^ 13) as usize) % self.assign.n();
+            HOmegaOutput::new(id, mult)
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Phase {
+        LeadersCoordination,
+        Zero,
+        One,
+        Two,
+    }
+
+    const TICK: TimerTag = TimerTag(0);
+
+    /// The PR 1-shaped Figure 8 process over a [`HOmega`] oracle:
+    /// per-round `BTreeMap` buckets, per-eval recounting.
+    pub struct Fig8 {
+        d: HOmega,
+        n: usize,
+        t: usize,
+        est1: u64,
+        est2: Option<u64>,
+        round: u64,
+        phase: Phase,
+        coord: BTreeMap<u64, Vec<(Identity, u64)>>,
+        ph0: BTreeMap<u64, Vec<u64>>,
+        ph1: BTreeMap<u64, Vec<u64>>,
+        ph2: BTreeMap<u64, Vec<Option<u64>>>,
+        decided: bool,
+    }
+
+    impl Fig8 {
+        pub fn new(proposal: u64, n: usize, t: usize, d: HOmega) -> Self {
+            assert!(2 * t < n);
+            Fig8 {
+                d,
+                n,
+                t,
+                est1: proposal,
+                est2: None,
+                round: 0,
+                phase: Phase::Two,
+                coord: BTreeMap::new(),
+                ph0: BTreeMap::new(),
+                ph1: BTreeMap::new(),
+                ph2: BTreeMap::new(),
+                decided: false,
+            }
+        }
+
+        fn wait_threshold(&self) -> usize {
+            self.n - self.t
+        }
+
+        fn next_round(&mut self, ctx: &mut ActionSink<'_, Fig8Msg, u64>) {
+            self.round += 1;
+            self.phase = Phase::LeadersCoordination;
+            let r = self.round;
+            self.coord.retain(|&k, _| k >= r);
+            self.ph0.retain(|&k, _| k >= r);
+            self.ph1.retain(|&k, _| k >= r);
+            self.ph2.retain(|&k, _| k >= r);
+            ctx.publish(r);
+            ctx.broadcast(Fig8Msg::Coord {
+                id: ctx.my_id(),
+                round: r,
+                est: self.est1,
+            });
+        }
+
+        fn decide(&mut self, v: u64, ctx: &mut ActionSink<'_, Fig8Msg, u64>) {
+            ctx.broadcast(Fig8Msg::Decide { value: v });
+            ctx.decide(v);
+            self.decided = true;
+            ctx.halt();
+        }
+
+        fn eval(&mut self, ctx: &mut ActionSink<'_, Fig8Msg, u64>) -> bool {
+            let now = ctx.local_now();
+            let my_id = ctx.my_id();
+            let r = self.round;
+            match self.phase {
+                Phase::LeadersCoordination => {
+                    let d = self.d.h_omega(now);
+                    let received = self.coord.get(&r).map_or(0, Vec::len);
+                    let pass = d.h_leader != my_id || received >= d.h_multiplicity;
+                    if !pass {
+                        return false;
+                    }
+                    if let Some(ests) = self.coord.get(&r) {
+                        if let Some(&(_, min_est)) = ests.iter().min_by_key(|(_, e)| *e) {
+                            self.est1 = min_est;
+                        }
+                    }
+                    self.phase = Phase::Zero;
+                    true
+                }
+                Phase::Zero => {
+                    let received = self.ph0.get(&r).and_then(|v| v.first()).copied();
+                    if self.d.h_omega(now).h_leader != my_id && received.is_none() {
+                        return false;
+                    }
+                    if let Some(v) = received {
+                        self.est1 = v;
+                    }
+                    ctx.broadcast(Fig8Msg::Ph0 {
+                        round: r,
+                        est: self.est1,
+                    });
+                    ctx.broadcast(Fig8Msg::Ph1 {
+                        round: r,
+                        est: self.est1,
+                    });
+                    self.phase = Phase::One;
+                    true
+                }
+                Phase::One => {
+                    let Some(ests) = self.ph1.get(&r) else {
+                        return false;
+                    };
+                    if ests.len() < self.wait_threshold() {
+                        return false;
+                    }
+                    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+                    for &v in ests {
+                        *counts.entry(v).or_insert(0) += 1;
+                    }
+                    self.est2 = counts
+                        .iter()
+                        .find(|(_, &c)| 2 * c > self.n)
+                        .map(|(&v, _)| v);
+                    ctx.broadcast(Fig8Msg::Ph2 {
+                        round: r,
+                        est2: self.est2,
+                    });
+                    self.phase = Phase::Two;
+                    true
+                }
+                Phase::Two => {
+                    let Some(vals) = self.ph2.get(&r) else {
+                        return false;
+                    };
+                    if vals.len() < self.wait_threshold() {
+                        return false;
+                    }
+                    let mut non_bottom: Vec<u64> = vals.iter().flatten().copied().collect();
+                    non_bottom.sort_unstable();
+                    non_bottom.dedup();
+                    let saw_bottom = vals.iter().any(Option::is_none);
+                    match (non_bottom.first().copied(), saw_bottom) {
+                        (Some(v), false) => self.decide(v, ctx),
+                        (Some(v), true) => {
+                            self.est1 = v;
+                            self.next_round(ctx);
+                        }
+                        (None, _) => self.next_round(ctx),
+                    }
+                    true
+                }
+            }
+        }
+
+        fn try_advance(&mut self, ctx: &mut ActionSink<'_, Fig8Msg, u64>) {
+            while !self.decided && self.eval(ctx) {}
+        }
+    }
+
+    impl Process for Fig8 {
+        type Msg = Fig8Msg;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut ActionSink<'_, Fig8Msg, u64>) {
+            self.next_round(ctx);
+            ctx.set_timer(Span::TICK, TICK);
+            self.try_advance(ctx);
+        }
+
+        fn on_message(&mut self, msg: Fig8Msg, ctx: &mut ActionSink<'_, Fig8Msg, u64>) {
+            if self.decided {
+                return;
+            }
+            match msg {
+                Fig8Msg::Coord { id, round, est } => {
+                    if id == ctx.my_id() && round >= self.round {
+                        self.coord.entry(round).or_default().push((id, est));
+                    }
+                }
+                Fig8Msg::Ph0 { round, est } => {
+                    if round >= self.round {
+                        self.ph0.entry(round).or_default().push(est);
+                    }
+                }
+                Fig8Msg::Ph1 { round, est } => {
+                    if round >= self.round {
+                        self.ph1.entry(round).or_default().push(est);
+                    }
+                }
+                Fig8Msg::Ph2 { round, est2 } => {
+                    if round >= self.round {
+                        self.ph2.entry(round).or_default().push(est2);
+                    }
+                }
+                Fig8Msg::Decide { value } => {
+                    self.decide(value, ctx);
                     return;
                 }
-                if from < self.round {
-                    self.timeout += 1;
-                }
-                if to >= self.round {
-                    self.pending.push((from, to, sender));
-                }
             }
+            self.try_advance(ctx);
+        }
+
+        fn on_timer(&mut self, _t: TimerTag, ctx: &mut ActionSink<'_, Fig8Msg, u64>) {
+            if self.decided {
+                return;
+            }
+            self.try_advance(ctx);
+            ctx.set_timer(Span::TICK, TICK);
         }
     }
 
-    fn on_timer(&mut self, _t: TimerTag, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
-        let r = self.round;
-        let mut tmp: BTreeMap<Identity, usize> = BTreeMap::new();
-        for &(from, to, sender) in &self.pending {
-            if from <= r && r <= to {
-                *tmp.entry(sender).or_insert(0) += 1;
-            }
-        }
-        self.h_trusted = tmp;
-        let h_omega = self.h_trusted.iter().next().map_or(
-            HOmegaOutput::new(Identity::BOTTOM, 1),
-            |(&leader, &mult)| HOmegaOutput::new(leader, mult),
-        );
-        ctx.publish(EvtHpSnapshot {
-            evt_hp: EvtHPOutput::new(
-                self.h_trusted
-                    .iter()
-                    .map(|(&id, &c)| (id, c))
-                    .collect::<Multiset<Identity>>(),
-            ),
-            h_omega,
-            round: r,
-            timeout: self.timeout,
-        });
-        self.pending.retain(|&(_, to, _)| to > r);
-        self.round += 1;
-        self.poll(ctx);
-    }
+    pub use homonym_consensus::Fig8Msg;
 }
 
 /// Pure engine workload: every process re-arms a 1-tick timer and
@@ -179,38 +534,22 @@ impl Process for Mesh {
 struct Sample {
     events: u64,
     secs: f64,
+    allocs: u64,
 }
 
 impl Sample {
     fn events_per_sec(&self) -> f64 {
         self.events as f64 / self.secs.max(1e-9)
     }
-}
 
-/// One full Figure-6-style detector run; returns dispatched event count.
-/// The legacy flavor runs the seed-shaped detector on the legacy engine
-/// hot path; the current flavor runs the optimized detector on the
-/// calendar-queue path.
-fn hps_detector_run(n: usize, horizon: u64, seed: u64, legacy: bool) -> u64 {
-    let assign = IdentityAssignment::round_robin(n, 16.min(n));
-    let sched = staggered_crashes(n, 2, 40);
-    let cfg = SimConfig::new(assign, sched, hps_lossy(50, 16))
-        .with_seed(seed)
-        .with_legacy_hot_path(legacy);
-    let mut engine = Engine::new(cfg, move |_, _| {
-        if legacy {
-            Node::Legacy(LegacyEvtHp::new())
-        } else {
-            Node::Current(EvtHpProcess::new())
-        }
-    });
-    engine.run_until(Time::from_ticks(horizon));
-    engine.metrics().events
+    fn allocs_per_event(&self) -> f64 {
+        self.allocs as f64 / self.events.max(1) as f64
+    }
 }
 
 /// Dispatch wrapper so both detector flavors share one engine type.
 enum Node {
-    Legacy(LegacyEvtHp),
+    Legacy(pr1::EvtHp),
     Current(EvtHpProcess),
 }
 
@@ -237,179 +576,430 @@ impl Process for Node {
     }
 }
 
+/// One full Figure-6-style detector run; returns dispatched event count.
+/// The legacy flavor runs the PR 1-shaped detector on the per-event hot
+/// path; the current flavor runs the incremental detector on the batched
+/// path, arena-warm (`Some(arena)`).
+fn hps_detector_run(
+    n: usize,
+    horizon: u64,
+    seed: u64,
+    legacy: bool,
+    arena: Option<&mut EngineArena<Node>>,
+) -> u64 {
+    let assign = IdentityAssignment::round_robin(n, 16.min(n));
+    let sched = staggered_crashes(n, 2, 40);
+    let cfg = SimConfig::new(assign, sched, hps_lossy(50, 16))
+        .with_seed(seed)
+        .with_legacy_hot_path(legacy);
+    let factory = move |_: usize, _: Identity| {
+        if legacy {
+            Node::Legacy(pr1::EvtHp::new())
+        } else {
+            Node::Current(EvtHpProcess::new())
+        }
+    };
+    match arena {
+        Some(arena) => {
+            let mut engine = Engine::new_in(cfg, factory, std::mem::take(arena));
+            engine.run_until(Time::from_ticks(horizon));
+            let events = engine.metrics().events;
+            *arena = engine.into_arena();
+            events
+        }
+        None => {
+            let mut engine = Engine::new(cfg, factory);
+            engine.run_until(Time::from_ticks(horizon));
+            engine.metrics().events
+        }
+    }
+}
+
+fn hps_mesh_run(
+    n: usize,
+    horizon: u64,
+    legacy: bool,
+    arena: Option<&mut EngineArena<Mesh>>,
+) -> u64 {
+    let assign = IdentityAssignment::round_robin(n, 16.min(n));
+    let sched = staggered_crashes(n, 2, 40);
+    let cfg = SimConfig::new(assign, sched, hps_lossy(50, 16))
+        .with_seed(1)
+        .with_legacy_hot_path(legacy);
+    let factory = |_: usize, _: Identity| Mesh { heard: 0 };
+    match arena {
+        Some(arena) => {
+            let mut engine = Engine::new_in(cfg, factory, std::mem::take(arena));
+            engine.run_until(Time::from_ticks(horizon));
+            let events = engine.metrics().events;
+            *arena = engine.into_arena();
+            events
+        }
+        None => {
+            let mut engine = Engine::new(cfg, factory);
+            engine.run_until(Time::from_ticks(horizon));
+            engine.metrics().events
+        }
+    }
+}
+
+/// The shared shape of one Figure 8 run for the sweep rows; `chaos`
+/// installs a split-brain scenario (the `chaos_sweep` flavor).
+struct Fig8Shape {
+    cfg: SimConfig,
+    sched: FailureSchedule,
+    assign: IdentityAssignment,
+    stabilize: Time,
+    proposals: Vec<u64>,
+    t: usize,
+    deadline: Time,
+}
+
+fn fig8_shape(n: usize, seed: u64, chaos: bool, legacy: bool) -> Fig8Shape {
+    let l = 4.min(n);
+    let assign = IdentityAssignment::round_robin(n, l);
+    if chaos {
+        let scenario = split_brain(n, seed);
+        let cfg = SimConfig::new(
+            assign.clone(),
+            FailureSchedule::none(n),
+            hps_delay_only(1, 3),
+        )
+        .with_seed(seed)
+        .with_legacy_hot_path(legacy);
+        let cfg = scenario.install(cfg).expect("generated scenarios validate");
+        let sched = cfg.sched.clone();
+        let gst = match cfg.network {
+            NetworkModel::PartialSync { gst, .. } => gst,
+            _ => Time::ZERO,
+        };
+        let clean = scenario.last_fault_end().max(gst);
+        Fig8Shape {
+            cfg,
+            sched,
+            assign,
+            stabilize: clean,
+            proposals: (0..n as u64).map(|i| i * 10).collect(),
+            t: (n - 1) / 2,
+            deadline: clean + Span::from_ticks(30_000),
+        }
+    } else {
+        let stabilize = 40;
+        let sched = staggered_crashes(n, 1, stabilize);
+        let cfg = SimConfig::new(assign.clone(), sched.clone(), async_net(1, 5))
+            .with_seed(seed)
+            .with_legacy_hot_path(legacy);
+        Fig8Shape {
+            cfg,
+            sched,
+            assign,
+            stabilize: Time::from_ticks(stabilize),
+            proposals: (0..n as u64).map(|i| i * 10).collect(),
+            t: (n - 1) / 2,
+            deadline: Time::from_ticks(60 * stabilize + 30_000),
+        }
+    }
+}
+
+/// One Figure 8 run on the legacy flavor: PR 1-shaped consensus process
+/// and uncached oracle, per-event engine path, fresh world per seed.
+fn fig8_run_legacy(n: usize, seed: u64, chaos: bool) -> u64 {
+    let s = fig8_shape(n, seed, chaos, true);
+    let props = s.proposals.clone();
+    let mut engine = Engine::new(s.cfg, |p, _| {
+        let d = pr1::HOmega::new(s.sched.clone(), s.assign.clone(), s.stabilize, p as u64);
+        pr1::Fig8::new(props[p], n, s.t, d)
+    });
+    engine.run_until_all_correct_decided(s.deadline);
+    if !chaos {
+        check_consensus(&engine.outcome(s.proposals), &s.sched).expect("consensus holds");
+    }
+    engine.metrics().events
+}
+
+/// The engine type of the current-flavor Figure 8 rows (for the sweep
+/// arenas).
+type Fig8Node = MajorityConsensus<HOmegaPolicy<HOmegaOracle>>;
+
+/// One Figure 8 run on the current flavor: ring-window consensus, cached
+/// oracle, batched engine path, arena-recycled allocations.
+fn fig8_run_current(n: usize, seed: u64, chaos: bool, arena: &mut EngineArena<Fig8Node>) -> u64 {
+    let s = fig8_shape(n, seed, chaos, false);
+    let w = OracleWorld::new(s.sched.clone(), s.assign.clone(), s.stabilize);
+    let props = s.proposals.clone();
+    let mut engine = Engine::new_in(
+        s.cfg,
+        |p, _| {
+            MajorityConsensus::new(
+                props[p],
+                n,
+                s.t,
+                HOmegaPolicy(w.h_omega_for(p, PreStability::Chaotic)),
+            )
+        },
+        std::mem::take(arena),
+    );
+    engine.run_until_all_correct_decided(s.deadline);
+    if !chaos {
+        check_consensus(&engine.outcome(s.proposals), &s.sched).expect("consensus holds");
+    }
+    let events = engine.metrics().events;
+    *arena = engine.into_arena();
+    events
+}
+
 /// Interleaved timed repetitions of a workload's legacy and current
 /// flavors; keeps each side's fastest run (the one least disturbed by
-/// frequency scaling and page-cache warm-up).
-fn bench_pair(reps: usize, mut run: impl FnMut(bool) -> u64) -> (Sample, Sample) {
+/// frequency scaling and page-cache warm-up). Allocation counts come
+/// from the kept run (they are deterministic per flavor).
+fn bench_pair(
+    reps: usize,
+    side: Option<bool>,
+    mut run: impl FnMut(bool) -> u64,
+) -> (Sample, Sample) {
     let mut best: [Option<Sample>; 2] = [None, None];
     for _ in 0..reps.max(1) {
         for (slot, legacy) in [(0, true), (1, false)] {
+            // `--side` pins one flavor; the other reports a dummy sample.
+            if side.is_some_and(|s| s != legacy) {
+                continue;
+            }
+            let allocs_before = alloc_count::allocations();
             let start = Instant::now();
             let events = run(legacy);
             let sample = Sample {
                 events,
                 secs: start.elapsed().as_secs_f64(),
+                allocs: alloc_count::allocations() - allocs_before,
             };
             if best[slot].as_ref().is_none_or(|b| sample.secs < b.secs) {
                 best[slot] = Some(sample);
             }
         }
     }
-    (
-        best[0].take().expect("legacy rep"),
-        best[1].take().expect("current rep"),
-    )
-}
-
-fn hps_mesh_run(n: usize, horizon: u64, legacy: bool) -> u64 {
-    let assign = IdentityAssignment::round_robin(n, 16.min(n));
-    let sched = staggered_crashes(n, 2, 40);
-    let cfg = SimConfig::new(assign, sched, hps_lossy(50, 16))
-        .with_seed(1)
-        .with_legacy_hot_path(legacy);
-    let mut engine = Engine::new(cfg, |_, _| Mesh { heard: 0 });
-    engine.run_until(Time::from_ticks(horizon));
-    engine.metrics().events
-}
-
-/// One Figure 8 consensus run; returns dispatched event count.
-fn fig8_run(n: usize, seed: u64, legacy: bool) -> u64 {
-    let l = 4.min(n);
-    let stabilize = 40;
-    let assign = IdentityAssignment::round_robin(n, l);
-    let sched = staggered_crashes(n, 1, stabilize);
-    let t = (n - 1) / 2;
-    let w = OracleWorld::new(sched.clone(), assign.clone(), Time::from_ticks(stabilize));
-    let proposals: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
-    let cfg = SimConfig::new(assign, sched.clone(), async_net(1, 5))
-        .with_seed(seed)
-        .with_legacy_hot_path(legacy);
-    let mut engine = Engine::new(cfg, |p, _| {
-        MajorityConsensus::new(
-            proposals[p],
-            n,
-            t,
-            HOmegaPolicy(w.h_omega_for(p, PreStability::Chaotic)),
-        )
-    });
-    engine.run_until_all_correct_decided(Time::from_ticks(60 * stabilize + 30_000));
-    check_consensus(&engine.outcome(proposals), &sched).expect("consensus holds");
-    engine.metrics().events
-}
-
-/// One Figure 8 consensus run under a generated split-brain scenario —
-/// the `chaos_sweep` workload. No property check here (a drop-mode
-/// scenario legitimately prevents termination); the outer harness
-/// asserts that both hot paths dispatch identical event counts, which is
-/// the determinism contract the adversary hook must keep.
-fn chaos_run(n: usize, seed: u64, legacy: bool) -> u64 {
-    let scenario = split_brain(n, seed);
-    let l = 4.min(n);
-    let assign = IdentityAssignment::round_robin(n, l);
-    let cfg = SimConfig::new(
-        assign.clone(),
-        FailureSchedule::none(n),
-        hps_delay_only(1, 3),
-    )
-    .with_seed(seed)
-    .with_legacy_hot_path(legacy);
-    let cfg = scenario.install(cfg).expect("generated scenarios validate");
-    let sched = cfg.sched.clone();
-    let gst = match cfg.network {
-        NetworkModel::PartialSync { gst, .. } => gst,
-        _ => Time::ZERO,
+    let dummy = || Sample {
+        events: 0,
+        secs: 1.0,
+        allocs: 0,
     };
-    let clean = scenario.last_fault_end().max(gst);
-    let t = (n - 1) / 2;
-    let w = OracleWorld::new(sched, assign, clean);
-    let proposals: Vec<u64> = (0..n as u64).map(|i| i * 10).collect();
-    let mut engine = Engine::new(cfg, |p, _| {
-        MajorityConsensus::new(
-            proposals[p],
-            n,
-            t,
-            HOmegaPolicy(w.h_omega_for(p, PreStability::Chaotic)),
-        )
-    });
-    engine.run_until_all_correct_decided(clean + Span::from_ticks(30_000));
-    engine.metrics().events
+    (
+        best[0].take().unwrap_or_else(dummy),
+        best[1].take().unwrap_or_else(dummy),
+    )
 }
 
 fn main() {
     let quick = std::env::var("BENCH_SIM_QUICK").is_ok();
-    let (n_hps, horizon, n_fig8, seeds, reps) = if quick {
+    let (n_hps, horizon, n_fig8, seeds, mut reps) = if quick {
         (16, 400, 8, 2, 1)
     } else {
         (64, 2_000, 24, 8, 4)
     };
+    // `BENCH_SIM_REPS=<k>` overrides the repetition count — long runs for
+    // profiling a row under a sampler, 1 for a fast sanity pass.
+    if let Some(k) = std::env::var("BENCH_SIM_REPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        reps = k.max(1);
+    }
+
+    // `--only <row>[,<row>...]` (repeatable) restricts the rows measured;
+    // `--side legacy|current` pins one flavor for profiling.
+    let mut only: Vec<String> = Vec::new();
+    let mut side: Option<bool> = None; // Some(true) = legacy only
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only" => {
+                let rows = args.expect_value("--only");
+                only.extend(rows.split(',').map(|r| r.trim().to_string()));
+            }
+            "--side" => {
+                side = match args.expect_value("--side").as_str() {
+                    "legacy" => Some(true),
+                    "current" => Some(false),
+                    other => {
+                        eprintln!("--side must be legacy or current, got {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_sim [--only <row>[,<row>...]] [--side legacy|current]");
+                std::process::exit(2);
+            }
+        }
+    }
+    const ROW_NAMES: [&str; 4] = [
+        "hps_mesh_n64",
+        "hps_detector_n64",
+        "fig8_consensus_sweep",
+        "chaos_sweep",
+    ];
+    for row in &only {
+        assert!(
+            ROW_NAMES.contains(&row.as_str()),
+            "unknown row {row:?}; rows: {ROW_NAMES:?}"
+        );
+    }
+    let enabled = |name: &str| only.is_empty() || only.iter().any(|o| o == name);
 
     println!("## simulator hot-path throughput\n");
     println!("workload sizes: hps n={n_hps} horizon={horizon}, fig8 n={n_fig8} seeds={seeds}");
 
     // Warm-up (page in code, size allocator pools) before timing.
-    let _ = hps_detector_run(n_hps.min(8), 100, 0, false);
+    let _ = hps_detector_run(n_hps.min(8), 100, 0, false, None);
 
     // Interleave legacy/current repetitions so frequency drift on shared
     // hosts cannot systematically favor one side; keep each side's best.
-    let (mesh_legacy, mesh_new) =
-        bench_pair(reps, |legacy| hps_mesh_run(n_hps, horizon.min(300), legacy));
-    let (hps_legacy, hps_new) =
-        bench_pair(reps, |legacy| hps_detector_run(n_hps, horizon, 1, legacy));
-    assert_eq!(
-        hps_legacy.events, hps_new.events,
-        "legacy and calendar paths must dispatch identical event counts"
-    );
-    assert_eq!(mesh_legacy.events, mesh_new.events);
-    let (fig8_legacy, fig8_new) = bench_pair(reps, |legacy| {
-        parallel_seed_sweep(seeds, |seed| fig8_run(n_fig8, seed, legacy))
-            .into_iter()
-            .sum()
-    });
-    assert_eq!(fig8_legacy.events, fig8_new.events);
-    let (chaos_legacy, chaos_new) = bench_pair(reps, |legacy| {
-        parallel_seed_sweep(seeds, |seed| chaos_run(n_fig8, seed, legacy))
-            .into_iter()
-            .sum()
-    });
-    assert_eq!(
-        chaos_legacy.events, chaos_new.events,
-        "hot paths must dispatch identically under an active fault script"
-    );
-
-    let rows = [
-        ("hps_mesh_n64", &mesh_legacy, &mesh_new),
-        ("hps_detector_n64", &hps_legacy, &hps_new),
-        ("fig8_consensus_sweep", &fig8_legacy, &fig8_new),
-        ("chaos_sweep", &chaos_legacy, &chaos_new),
-    ];
-
-    println!("\n| workload | events | legacy ev/s | current ev/s | speedup |");
-    println!("|----------|--------|-------------|--------------|---------|");
-    // Bump `schema_version` whenever the JSON shape changes (new or
-    // renamed fields/rows); see BENCHMARKS.md for the version history.
-    let mut json = String::from("{\n  \"schema_version\": 2,\n");
-    for (name, legacy, new) in rows {
-        let speedup = new.events_per_sec() / legacy.events_per_sec();
-        println!(
-            "| {} | {} | {:.0} | {:.0} | {:.2}x |",
-            name,
-            new.events,
-            legacy.events_per_sec(),
-            new.events_per_sec(),
-            speedup
+    let mut rows: Vec<(&'static str, Sample, Sample)> = Vec::new();
+    let assert_counts = |a: &Sample, b: &Sample, what: &str| {
+        if side.is_none() {
+            assert_eq!(a.events, b.events, "{what}");
+        }
+    };
+    if enabled("hps_mesh_n64") {
+        let mut arena = EngineArena::new();
+        let (legacy, new) = bench_pair(reps, side, |legacy| {
+            let arena = (!legacy).then_some(&mut arena);
+            hps_mesh_run(n_hps, horizon.min(300), legacy, arena)
+        });
+        assert_counts(&legacy, &new, "mesh event counts diverged");
+        rows.push(("hps_mesh_n64", legacy, new));
+    }
+    if enabled("hps_detector_n64") {
+        let mut arena = EngineArena::new();
+        let (legacy, new) = bench_pair(reps, side, |legacy| {
+            let arena = (!legacy).then_some(&mut arena);
+            hps_detector_run(n_hps, horizon, 1, legacy, arena)
+        });
+        assert_counts(
+            &legacy,
+            &new,
+            "legacy and batched paths must dispatch identical event counts",
         );
-        json.push_str(&format!(
-            "  \"{}\": {{\"events\": {}, \"legacy_events_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}}},\n",
+        rows.push(("hps_detector_n64", legacy, new));
+    }
+    if enabled("fig8_consensus_sweep") {
+        let (legacy, new) = bench_pair(reps, side, |legacy| {
+            if legacy {
+                parallel_seed_sweep(seeds, |seed| fig8_run_legacy(n_fig8, seed, false))
+                    .into_iter()
+                    .sum()
+            } else {
+                parallel_seed_sweep_with(seeds, EngineArena::new, |arena, seed| {
+                    fig8_run_current(n_fig8, seed, false, arena)
+                })
+                .into_iter()
+                .sum()
+            }
+        });
+        assert_counts(&legacy, &new, "fig8 sweep event counts diverged");
+        rows.push(("fig8_consensus_sweep", legacy, new));
+    }
+    if enabled("chaos_sweep") {
+        let (legacy, new) = bench_pair(reps, side, |legacy| {
+            if legacy {
+                parallel_seed_sweep(seeds, |seed| fig8_run_legacy(n_fig8, seed, true))
+                    .into_iter()
+                    .sum()
+            } else {
+                parallel_seed_sweep_with(seeds, EngineArena::new, |arena, seed| {
+                    fig8_run_current(n_fig8, seed, true, arena)
+                })
+                .into_iter()
+                .sum()
+            }
+        });
+        assert_counts(
+            &legacy,
+            &new,
+            "hot paths must dispatch identically under an active fault script",
+        );
+        rows.push(("chaos_sweep", legacy, new));
+    }
+
+    let alloc_header = if alloc_count::ENABLED {
+        " legacy alloc/ev | alloc/ev |"
+    } else {
+        ""
+    };
+    println!("\n| workload | events | legacy ev/s | current ev/s | speedup |{alloc_header}");
+    println!(
+        "|----------|--------|-------------|--------------|---------|{}",
+        if alloc_count::ENABLED {
+            "-----------------|----------|"
+        } else {
+            ""
+        }
+    );
+    // Bump `schema_version` whenever the JSON shape changes (new or
+    // renamed fields/rows, or a re-baselined legacy column); see
+    // BENCHMARKS.md for the version history.
+    let mut json = String::from("{\n  \"schema_version\": 3,\n");
+    for (name, legacy, new) in &rows {
+        let speedup = new.events_per_sec() / legacy.events_per_sec();
+        let alloc_cols = if alloc_count::ENABLED {
+            format!(
+                " {:.2} | {:.2} |",
+                legacy.allocs_per_event(),
+                new.allocs_per_event()
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:.2}x |{}",
             name,
             new.events,
             legacy.events_per_sec(),
             new.events_per_sec(),
-            speedup
+            speedup,
+            alloc_cols,
+        );
+        let alloc_json = if alloc_count::ENABLED {
+            format!(
+                ", \"legacy_allocs_per_event\": {:.3}, \"allocs_per_event\": {:.3}",
+                legacy.allocs_per_event(),
+                new.allocs_per_event()
+            )
+        } else {
+            ", \"legacy_allocs_per_event\": null, \"allocs_per_event\": null".to_string()
+        };
+        json.push_str(&format!(
+            "  \"{}\": {{\"events\": {}, \"legacy_events_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}{}}},\n",
+            name,
+            new.events,
+            legacy.events_per_sec(),
+            new.events_per_sec(),
+            speedup,
+            alloc_json,
         ));
     }
     json.push_str(&format!(
-        "  \"quick_mode\": {quick},\n  \"generated_by\": \"cargo run --release -p homonym-bench --bin bench_sim\"\n}}\n"
+        "  \"legacy_baseline\": \"pr1-hot-path\",\n  \"quick_mode\": {quick},\n  \"generated_by\": \"cargo run --release -p homonym-bench --bin bench_sim\"\n}}\n"
     ));
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
-    eprintln!("\nwrote BENCH_sim.json");
+    if only.is_empty() && side.is_none() {
+        std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+        eprintln!("\nwrote BENCH_sim.json");
+    } else {
+        // Partial runs are for profiling; don't clobber the full table.
+        eprintln!("\n--only/--side given: BENCH_sim.json left untouched");
+    }
+}
+
+/// Small helper: pull the value of a flag or die with usage.
+trait ExpectValue {
+    fn expect_value(&mut self, flag: &str) -> String;
+}
+
+impl<I: Iterator<Item = String>> ExpectValue for I {
+    fn expect_value(&mut self, flag: &str) -> String {
+        self.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    }
 }

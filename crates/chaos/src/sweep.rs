@@ -2,11 +2,14 @@
 //! safety asserted universally, liveness asserted exactly on the
 //! eventually-clean subset.
 //!
-//! Built on [`parallel_seed_sweep`], the same fan-out scaffolding the
-//! experiment harness uses: each scenario run is a pure function of
+//! Built on [`parallel_seed_sweep_with`], the fan-out scaffolding the
+//! experiment harness shares: each scenario run is a pure function of
 //! `(stack, topology, family, seed)`, so the sweep parallelizes freely
 //! and every counterexample is replayable from its report line alone —
 //! the [`Counterexample`] carries the seed and the full scenario script.
+//! Each worker threads a reusable [`EngineArena`] through its block of
+//! scenarios, so the thousandth run reuses the first run's queue ring,
+//! history tables and scratch buffers instead of rebuilding a world.
 //!
 //! # What counts as a counterexample
 //!
@@ -34,11 +37,11 @@ use homonym_core::properties::{
 use homonym_core::query::SharedCell;
 use homonym_core::time::{Span, Time};
 use homonym_detectors::evt_hp::{split_snapshots, EvtHpProcess};
-use homonym_detectors::oracle::{OracleWorld, PreStability};
-use homonym_sim::engine::{Engine, SimConfig};
+use homonym_detectors::oracle::{HOmegaOracle, HSigmaOracle, OracleWorld, PreStability};
+use homonym_sim::engine::{Engine, EngineArena, SimConfig};
 use homonym_sim::network::{NetworkModel, PreGstBehavior};
 use homonym_sim::stack::Stacked;
-use homonym_sim::sweep::parallel_seed_sweep;
+use homonym_sim::sweep::parallel_seed_sweep_with;
 
 use crate::generators::{flapping_minority, homonym_group_isolation, split_brain};
 use crate::scenario::{FaultClause, Scenario};
@@ -216,6 +219,28 @@ impl SweepReport {
     }
 }
 
+/// Per-worker recycled engine allocations, one arena per stack shape the
+/// sweep can drive (see [`EngineArena`]). Arenas change allocation
+/// traffic only — every run remains a pure function of its config and
+/// seed (the engine's `arena_reuse_reproduces_fresh_runs` test pins the
+/// mechanism; `sweep_report_is_deterministic` in
+/// `tests/chaos_scenarios.rs` pins it at sweep scale).
+struct WorkerArenas {
+    fig8: EngineArena<Fig8Node>,
+    fig9: EngineArena<QuorumConsensus<HOmegaOracle, HSigmaOracle>>,
+    detector: EngineArena<EvtHpProcess>,
+}
+
+impl WorkerArenas {
+    fn new() -> Self {
+        WorkerArenas {
+            fig8: EngineArena::new(),
+            fig9: EngineArena::new(),
+            detector: EngineArena::new(),
+        }
+    }
+}
+
 /// One scenario run's contribution to the report.
 struct RunOutcome {
     family: &'static str,
@@ -237,7 +262,9 @@ struct RunOutcome {
 pub fn falsification_sweep(cfg: &SweepConfig) -> SweepReport {
     assert!(!cfg.families.is_empty(), "sweep needs at least one family");
     let assign = IdentityAssignment::round_robin(cfg.n, cfg.l);
-    let outcomes = parallel_seed_sweep(cfg.scenarios, |i| run_one(cfg, &assign, i));
+    let outcomes = parallel_seed_sweep_with(cfg.scenarios, WorkerArenas::new, |arenas, i| {
+        run_one(cfg, &assign, arenas, i)
+    });
     let mut report = SweepReport {
         runs: outcomes.len(),
         ..SweepReport::default()
@@ -269,7 +296,12 @@ pub fn falsification_sweep(cfg: &SweepConfig) -> SweepReport {
     report
 }
 
-fn run_one(cfg: &SweepConfig, assign: &IdentityAssignment, i: u64) -> RunOutcome {
+fn run_one(
+    cfg: &SweepConfig,
+    assign: &IdentityAssignment,
+    arenas: &mut WorkerArenas,
+    i: u64,
+) -> RunOutcome {
     let seed = cfg.base_seed + i;
     let family = cfg.families[i as usize % cfg.families.len()];
     let scenario = family.generate(assign, seed);
@@ -277,9 +309,14 @@ fn run_one(cfg: &SweepConfig, assign: &IdentityAssignment, i: u64) -> RunOutcome
         .then(|| first_heal(&scenario))
         .flatten();
     let (verdict, probe_blocked) = match cfg.stack {
-        StackKind::Fig8EvtHp => run_fig8(cfg, assign, &scenario, seed, probe_at),
-        StackKind::Fig9OracleQuorum => run_fig9(cfg, assign, &scenario, seed, probe_at),
-        StackKind::EvtHpDetector => (run_detector(cfg, assign, &scenario, seed), None),
+        StackKind::Fig8EvtHp => run_fig8(cfg, assign, &mut arenas.fig8, &scenario, seed, probe_at),
+        StackKind::Fig9OracleQuorum => {
+            run_fig9(cfg, assign, &mut arenas.fig9, &scenario, seed, probe_at)
+        }
+        StackKind::EvtHpDetector => (
+            run_detector(cfg, assign, &mut arenas.detector, &scenario, seed),
+            None,
+        ),
     };
     RunOutcome {
         family: family.name(),
@@ -354,6 +391,7 @@ pub fn hps_base() -> NetworkModel {
 fn run_fig8(
     cfg: &SweepConfig,
     assign: &IdentityAssignment,
+    arena: &mut EngineArena<Fig8Node>,
     scenario: &Scenario,
     seed: u64,
     probe_at: Option<Time>,
@@ -371,9 +409,10 @@ fn run_fig8(
     let clean = clean_instant(&sim, scenario);
     let deadline = clean + cfg.decision_margin;
     let props = proposals.clone();
-    let mut engine = Engine::new(sim, |p, _| fig8_node(props[p], n, t));
+    let mut engine = Engine::new_in(sim, |p, _| fig8_node(props[p], n, t), std::mem::take(arena));
     engine.run_until_all_correct_decided(deadline);
     let result = check_consensus(&engine.outcome(proposals.clone()), &sched).map(|_| ());
+    *arena = engine.into_arena();
     // Figure 8 is written for reliable links (`HAS`-style): a scenario
     // that permanently loses copies leaves its model, so termination is
     // only required of loss-free scenarios.
@@ -386,9 +425,15 @@ fn run_fig8(
 
     let probe_blocked = probe_at.map(|cut| {
         let props = proposals.clone();
-        let mut probe = Engine::new(build(), |p, _| fig8_node(props[p], n, t));
+        let mut probe = Engine::new_in(
+            build(),
+            |p, _| fig8_node(props[p], n, t),
+            std::mem::take(arena),
+        );
         probe.run_until_all_correct_decided(cut);
-        check_consensus(&probe.outcome(proposals.clone()), &sched).is_err()
+        let blocked = check_consensus(&probe.outcome(proposals.clone()), &sched).is_err();
+        *arena = probe.into_arena();
+        blocked
     });
     (verdict, probe_blocked)
 }
@@ -396,6 +441,7 @@ fn run_fig8(
 fn run_fig9(
     cfg: &SweepConfig,
     assign: &IdentityAssignment,
+    arena: &mut EngineArena<QuorumConsensus<HOmegaOracle, HSigmaOracle>>,
     scenario: &Scenario,
     seed: u64,
     probe_at: Option<Time>,
@@ -414,20 +460,26 @@ fn run_fig9(
     // Oracle detectors stabilize once the environment is clean; before
     // that they may churn arbitrarily (PreStability::Chaotic for HΩ).
     let world = OracleWorld::new(sched.clone(), assign.clone(), clean);
-    let build_engine = |sim: SimConfig| {
-        let props = proposals.clone();
-        let w = &world;
-        Engine::new(sim, move |p, _| {
-            QuorumConsensus::new(
-                props[p],
-                w.h_omega_for(p, PreStability::Chaotic),
-                w.h_sigma_for(p, PreStability::Truthful),
+    let build_engine =
+        |sim: SimConfig, arena: EngineArena<QuorumConsensus<HOmegaOracle, HSigmaOracle>>| {
+            let props = proposals.clone();
+            let w = &world;
+            Engine::new_in(
+                sim,
+                move |p, _| {
+                    QuorumConsensus::new(
+                        props[p],
+                        w.h_omega_for(p, PreStability::Chaotic),
+                        w.h_sigma_for(p, PreStability::Truthful),
+                    )
+                },
+                arena,
             )
-        })
-    };
-    let mut engine = build_engine(sim.clone());
+        };
+    let mut engine = build_engine(sim.clone(), std::mem::take(arena));
     engine.run_until_all_correct_decided(deadline);
     let result = check_consensus(&engine.outcome(proposals.clone()), &sched).map(|_| ());
+    *arena = engine.into_arena();
     let condition = if scenario.is_lossy() {
         RunCondition::never_clean()
     } else {
@@ -436,9 +488,11 @@ fn run_fig9(
     let verdict = classify_run(condition, result);
 
     let probe_blocked = probe_at.map(|cut| {
-        let mut probe = build_engine(sim.clone());
+        let mut probe = build_engine(sim.clone(), std::mem::take(arena));
         probe.run_until_all_correct_decided(cut);
-        check_consensus(&probe.outcome(proposals.clone()), &sched).is_err()
+        let blocked = check_consensus(&probe.outcome(proposals.clone()), &sched).is_err();
+        *arena = probe.into_arena();
+        blocked
     });
     (verdict, probe_blocked)
 }
@@ -446,6 +500,7 @@ fn run_fig9(
 fn run_detector(
     cfg: &SweepConfig,
     assign: &IdentityAssignment,
+    arena: &mut EngineArena<EvtHpProcess>,
     scenario: &Scenario,
     seed: u64,
 ) -> RunVerdict<()> {
@@ -455,7 +510,7 @@ fn run_detector(
     let sched = sim.sched.clone();
     let clean = clean_instant(&sim, scenario);
     let horizon = clean + cfg.detector_margin;
-    let mut engine = Engine::new(sim, |_, _| EvtHpProcess::new());
+    let mut engine = Engine::new_in(sim, |_, _| EvtHpProcess::new(), std::mem::take(arena));
     engine.run_until(horizon);
     let mut evt = Vec::with_capacity(n);
     let mut omg = Vec::with_capacity(n);
@@ -467,6 +522,7 @@ fn run_detector(
     let result = check_evt_hp(&evt, &sched, assign)
         .map(|_| ())
         .and_then(|()| check_h_omega(&omg, &sched, assign).map(|_| ()));
+    *arena = engine.into_arena();
     // `◇HP` lives in `HPS`, which tolerates arbitrary pre-GST behaviour
     // — lossy scenarios included — so liveness is required of every
     // scenario the generators produce (all faults end before GST).

@@ -36,10 +36,10 @@ struct StepCounter;
 impl SyncProcess for StepCounter {
     type Msg = Identity;
     type Output = usize;
-    fn send(&mut self, _step: u64) -> Vec<Identity> {
-        vec![Identity::new(0)]
+    fn send(&mut self, _step: u64, out: &mut Vec<Identity>) {
+        out.push(Identity::new(0));
     }
-    fn receive(&mut self, _step: u64, received: Vec<Identity>, sink: &mut SyncSink<usize>) {
+    fn receive(&mut self, _step: u64, received: &mut Vec<Identity>, sink: &mut SyncSink<usize>) {
         sink.publish(received.len());
     }
 }

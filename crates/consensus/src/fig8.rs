@@ -27,12 +27,12 @@
 //! `AΩ` the Leaders' Coordination Phase is removed and the Phase 0 guard
 //! queries the respective detector.
 
-use std::collections::BTreeMap;
-
 use homonym_core::identity::Identity;
 use homonym_core::query::{AOmegaSource, HOmegaSource, OmegaSource};
 use homonym_core::time::{Span, Time};
 use homonym_sim::process::{ActionSink, Process, TimerTag};
+
+use crate::round_window::{RoundRing, ValueCounts, Window};
 
 /// Protocol messages of Figure 8 (and of the derived baselines, which
 /// simply never send `Coord`).
@@ -176,6 +176,43 @@ enum Phase {
 
 const TICK: TimerTag = TimerTag(0);
 
+/// One round's buffered protocol state, aggregated at arrival so every
+/// guard re-evaluation is O(distinct estimates) with no per-message
+/// storage: `COORD` keeps a count and a running minimum (lines 10-14
+/// need nothing else), `PH0` keeps the first value (line 17 adopts only
+/// that), `PH1`/`PH2` keep per-value counts (the majority scan of lines
+/// 22-26 and the `{v} / {v, ⊥} / {⊥}` case split of lines 30-34 are
+/// functions of the counts). A window costs O(1) memory per resident
+/// round regardless of how many messages arrived.
+#[derive(Debug, Default)]
+struct Fig8Window {
+    /// `COORD`s carrying my identifier: how many, and their minimum
+    /// estimate (meaningful iff `coord_count > 0`).
+    coord_count: usize,
+    coord_min: u64,
+    /// First `PH0` value received, plus the received count (accounting).
+    ph0_first: Option<u64>,
+    ph0_count: usize,
+    /// `PH1` estimates, counted per distinct value.
+    ph1: ValueCounts,
+    /// `PH2` non-`⊥` estimates counted per distinct value, plus how many
+    /// `⊥` arrived.
+    ph2: ValueCounts,
+    ph2_bottoms: usize,
+}
+
+impl Window for Fig8Window {
+    fn reset(&mut self) {
+        self.coord_count = 0;
+        self.coord_min = 0;
+        self.ph0_first = None;
+        self.ph0_count = 0;
+        self.ph1.clear();
+        self.ph2.clear();
+        self.ph2_bottoms = 0;
+    }
+}
+
 /// The Figure 8 consensus process (and its single-leader baselines),
 /// parameterized by a [`LeaderPolicy`].
 ///
@@ -190,10 +227,7 @@ pub struct MajorityConsensus<L> {
     est2: Option<u64>,
     round: u64,
     phase: Phase,
-    coord: BTreeMap<u64, Vec<(Identity, u64)>>,
-    ph0: BTreeMap<u64, Vec<u64>>,
-    ph1: BTreeMap<u64, Vec<u64>>,
-    ph2: BTreeMap<u64, Vec<Option<u64>>>,
+    rounds: RoundRing<Fig8Window>,
     decided: bool,
     tick: Span,
 }
@@ -219,10 +253,7 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
             est2: None,
             round: 0,
             phase: Phase::Two, // overwritten by the first next_round()
-            coord: BTreeMap::new(),
-            ph0: BTreeMap::new(),
-            ph1: BTreeMap::new(),
-            ph2: BTreeMap::new(),
+            rounds: RoundRing::new(),
             decided: false,
             tick: Span::TICK,
         }
@@ -248,13 +279,22 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
     }
 
     /// Number of protocol messages currently buffered (all phases).
-    /// Stays bounded because every round advance prunes past rounds.
+    /// Stays bounded because every round advance prunes past rounds —
+    /// and each resident round costs O(1) memory (counts, not copies).
     #[must_use]
     pub fn buffered_messages(&self) -> usize {
-        self.coord.values().map(Vec::len).sum::<usize>()
-            + self.ph0.values().map(Vec::len).sum::<usize>()
-            + self.ph1.values().map(Vec::len).sum::<usize>()
-            + self.ph2.values().map(Vec::len).sum::<usize>()
+        self.rounds
+            .iter()
+            .map(|w| w.coord_count + w.ph0_count + w.ph1.total() + w.ph2.total() + w.ph2_bottoms)
+            .sum()
+    }
+
+    /// Number of rounds currently holding buffered state: the process's
+    /// lookahead window, recycled as rounds expire (see
+    /// `crate::round_window`).
+    #[must_use]
+    pub fn resident_rounds(&self) -> usize {
+        self.rounds.resident()
     }
 
     fn wait_threshold(&self) -> usize {
@@ -265,10 +305,7 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
         self.round += 1;
         self.phase = Phase::LeadersCoordination;
         let r = self.round;
-        self.coord.retain(|&k, _| k >= r);
-        self.ph0.retain(|&k, _| k >= r);
-        self.ph1.retain(|&k, _| k >= r);
-        self.ph2.retain(|&k, _| k >= r);
+        self.rounds.advance_to(r);
         ctx.publish(r);
         // Line 9: every process broadcasts COORD, leaders or not — but the
         // single-leader baselines have no coordination phase at all.
@@ -302,7 +339,10 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
             Phase::LeadersCoordination => {
                 // Lines 10-11: wait until not leader, or enough COORDs from
                 // my homonyms.
-                let received = self.coord.get(&r).map_or(0, Vec::len);
+                let (received, coord_min) = self
+                    .rounds
+                    .get(r)
+                    .map_or((0, None), |w| (w.coord_count, Some(w.coord_min)));
                 let pass = match self.policy.lc_multiplicity(now, my_id) {
                     None => true,
                     Some(mult) => !self.policy.is_leader(now, my_id) || received >= mult,
@@ -311,17 +351,15 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
                     return false;
                 }
                 // Lines 12-14: adopt the minimum homonym estimate.
-                if let Some(ests) = self.coord.get(&r) {
-                    if let Some(&(_, min_est)) = ests.iter().min_by_key(|(_, e)| *e) {
-                        self.est1 = min_est;
-                    }
+                if received > 0 {
+                    self.est1 = coord_min.expect("count > 0 implies a minimum");
                 }
                 self.phase = Phase::Zero;
                 true
             }
             Phase::Zero => {
                 // Line 16: wait until leader, or a PH0 of this round.
-                let received = self.ph0.get(&r).and_then(|v| v.first()).copied();
+                let received = self.rounds.get(r).and_then(|w| w.ph0_first);
                 if !self.policy.is_leader(now, my_id) && received.is_none() {
                     return false;
                 }
@@ -343,21 +381,20 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
             }
             Phase::One => {
                 // Line 21: wait for n − t PH1 messages of this round.
-                let Some(ests) = self.ph1.get(&r) else {
+                let Some(w) = self.rounds.get(r) else {
                     return false;
                 };
-                if ests.len() < self.wait_threshold() {
+                if w.ph1.total() < self.wait_threshold() {
                     return false;
                 }
-                // Lines 22-26: majority value or ⊥.
-                let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
-                for &v in ests {
-                    *counts.entry(v).or_insert(0) += 1;
-                }
-                self.est2 = counts
+                // Lines 22-26: majority value or ⊥ (counts were
+                // aggregated at arrival; nothing is allocated here).
+                self.est2 = w
+                    .ph1
+                    .counted()
                     .iter()
-                    .find(|(_, &c)| 2 * c > self.n)
-                    .map(|(&v, _)| v);
+                    .find(|&&(_, c)| 2 * c > self.n)
+                    .map(|&(v, _)| v);
                 ctx.broadcast(Fig8Msg::Ph2 {
                     round: r,
                     est2: self.est2,
@@ -367,22 +404,20 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
             }
             Phase::Two => {
                 // Line 29: wait for n − t PH2 messages of this round.
-                let Some(vals) = self.ph2.get(&r) else {
+                let Some(w) = self.rounds.get(r) else {
                     return false;
                 };
-                if vals.len() < self.wait_threshold() {
+                if w.ph2.total() + w.ph2_bottoms < self.wait_threshold() {
                     return false;
                 }
-                // Lines 30-34.
-                let mut non_bottom: Vec<u64> = vals.iter().flatten().copied().collect();
-                non_bottom.sort_unstable();
-                non_bottom.dedup();
-                let saw_bottom = vals.iter().any(Option::is_none);
+                // Lines 30-34: the per-value counts aggregated at arrival
+                // are already the distinct non-⊥ values in order.
+                let saw_bottom = w.ph2_bottoms > 0;
                 debug_assert!(
-                    non_bottom.len() <= 1,
+                    w.ph2.counted().len() <= 1,
                     "two distinct non-⊥ estimates in PH2 — impossible under majority quorums"
                 );
-                match (non_bottom.first().copied(), saw_bottom) {
+                match (w.ph2.counted().first().map(|&(v, _)| v), saw_bottom) {
                     (Some(v), false) => {
                         self.decide(v, ctx);
                     }
@@ -423,22 +458,34 @@ impl<L: LeaderPolicy> Process for MajorityConsensus<L> {
                 // Only COORDs carrying my identifier matter (lines 11-14),
                 // and only for rounds not yet finished.
                 if id == ctx.my_id() && round >= self.round {
-                    self.coord.entry(round).or_default().push((id, est));
+                    let w = self.rounds.get_mut(round);
+                    w.coord_min = if w.coord_count == 0 {
+                        est
+                    } else {
+                        w.coord_min.min(est)
+                    };
+                    w.coord_count += 1;
                 }
             }
             Fig8Msg::Ph0 { round, est } => {
                 if round >= self.round {
-                    self.ph0.entry(round).or_default().push(est);
+                    let w = self.rounds.get_mut(round);
+                    w.ph0_first.get_or_insert(est);
+                    w.ph0_count += 1;
                 }
             }
             Fig8Msg::Ph1 { round, est } => {
                 if round >= self.round {
-                    self.ph1.entry(round).or_default().push(est);
+                    self.rounds.get_mut(round).ph1.add(est);
                 }
             }
             Fig8Msg::Ph2 { round, est2 } => {
                 if round >= self.round {
-                    self.ph2.entry(round).or_default().push(est2);
+                    let w = self.rounds.get_mut(round);
+                    match est2 {
+                        Some(v) => w.ph2.add(v),
+                        None => w.ph2_bottoms += 1,
+                    }
                 }
             }
             Fig8Msg::Decide { value } => {

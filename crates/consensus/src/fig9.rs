@@ -33,6 +33,8 @@ use homonym_core::query::{HOmegaSource, HSigmaSource};
 use homonym_core::time::Span;
 use homonym_sim::process::{ActionSink, Process, TimerTag};
 
+use crate::round_window::{RoundRing, Window};
+
 /// A `PH1`/`PH2` payload: sender identifier, round, sub-round, labels,
 /// estimate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +103,41 @@ enum Phase {
 
 const TICK: TimerTag = TimerTag(0);
 
+/// One round's buffered protocol state. `COORD`/`PH0` aggregate at
+/// arrival (the guards only need a count, a minimum and a first value);
+/// the quorum phases must keep the full [`QuorumMsg`]s — identifiers,
+/// sub-rounds and label sets all feed `find_quorum` — so those live in
+/// vectors whose allocations the round ring recycles as rounds expire.
+#[derive(Debug, Default)]
+struct Fig9Window {
+    /// Whether *any* `COORD` of this round was seen (the Phase 2
+    /// next-round short-cut, lines 43-44).
+    coord_seen: bool,
+    /// `COORD`s carrying my identifier: how many, and their minimum
+    /// estimate (meaningful iff `coord_mine_count > 0`).
+    coord_mine_count: usize,
+    coord_mine_min: u64,
+    /// First `PH0` value received, plus the received count (accounting).
+    ph0_first: Option<u64>,
+    ph0_count: usize,
+    /// `PH1` quorum messages of this round.
+    ph1: Vec<QuorumMsg>,
+    /// `PH2` quorum messages of this round.
+    ph2: Vec<QuorumMsg>,
+}
+
+impl Window for Fig9Window {
+    fn reset(&mut self) {
+        self.coord_seen = false;
+        self.coord_mine_count = 0;
+        self.coord_mine_min = 0;
+        self.ph0_first = None;
+        self.ph0_count = 0;
+        self.ph1.clear();
+        self.ph2.clear();
+    }
+}
+
 /// The Figure 9 consensus process, generic over its detectors
 /// `D1 ∈ HΩ` and `D2 ∈ HΣ`.
 #[derive(Debug)]
@@ -113,13 +150,7 @@ pub struct QuorumConsensus<D1, D2> {
     sr: u64,
     current_labels: BTreeSet<Label>,
     phase: Phase,
-    /// COORD estimates carrying **my** identifier, per round (LC guard).
-    coord_mine: BTreeMap<u64, Vec<u64>>,
-    /// Rounds for which *any* COORD was seen (Phase 2 short-cut).
-    coord_rounds: BTreeSet<u64>,
-    ph0: BTreeMap<u64, Vec<u64>>,
-    ph1: BTreeMap<u64, Vec<QuorumMsg>>,
-    ph2: BTreeMap<u64, Vec<QuorumMsg>>,
+    rounds: RoundRing<Fig9Window>,
     decided: bool,
     tick: Span,
 }
@@ -138,11 +169,7 @@ impl<D1: HOmegaSource, D2: HSigmaSource> QuorumConsensus<D1, D2> {
             sr: 1,
             current_labels: BTreeSet::new(),
             phase: Phase::Two, // overwritten by the first next_round()
-            coord_mine: BTreeMap::new(),
-            coord_rounds: BTreeSet::new(),
-            ph0: BTreeMap::new(),
-            ph1: BTreeMap::new(),
-            ph2: BTreeMap::new(),
+            rounds: RoundRing::new(),
             decided: false,
             tick: Span::TICK,
         }
@@ -171,21 +198,25 @@ impl<D1: HOmegaSource, D2: HSigmaSource> QuorumConsensus<D1, D2> {
     /// Stays bounded because every round advance prunes past rounds.
     #[must_use]
     pub fn buffered_messages(&self) -> usize {
-        self.coord_mine.values().map(Vec::len).sum::<usize>()
-            + self.ph0.values().map(Vec::len).sum::<usize>()
-            + self.ph1.values().map(Vec::len).sum::<usize>()
-            + self.ph2.values().map(Vec::len).sum::<usize>()
+        self.rounds
+            .iter()
+            .map(|w| w.coord_mine_count + w.ph0_count + w.ph1.len() + w.ph2.len())
+            .sum()
+    }
+
+    /// Number of rounds currently holding buffered state: the process's
+    /// lookahead window, recycled as rounds expire (see
+    /// `crate::round_window`).
+    #[must_use]
+    pub fn resident_rounds(&self) -> usize {
+        self.rounds.resident()
     }
 
     fn next_round(&mut self, ctx: &mut ActionSink<'_, Fig9Msg, u64>) {
         self.round += 1;
         self.phase = Phase::LeadersCoordination;
         let r = self.round;
-        self.coord_mine.retain(|&k, _| k >= r);
-        self.coord_rounds.retain(|&k| k >= r);
-        self.ph0.retain(|&k, _| k >= r);
-        self.ph1.retain(|&k, _| k >= r);
-        self.ph2.retain(|&k, _| k >= r);
+        self.rounds.advance_to(r);
         ctx.publish(r);
         ctx.broadcast(Fig9Msg::Coord {
             id: ctx.my_id(),
@@ -311,20 +342,21 @@ impl<D1: HOmegaSource, D2: HSigmaSource> QuorumConsensus<D1, D2> {
         match self.phase {
             Phase::LeadersCoordination => {
                 let d = self.d1.h_omega(now);
-                let received = self.coord_mine.get(&r).map_or(0, Vec::len);
+                let (received, coord_min) = self
+                    .rounds
+                    .get(r)
+                    .map_or((0, None), |w| (w.coord_mine_count, Some(w.coord_mine_min)));
                 if d.h_leader == my_id && received < d.h_multiplicity {
                     return false;
                 }
-                if let Some(ests) = self.coord_mine.get(&r) {
-                    if let Some(&min_est) = ests.iter().min() {
-                        self.est1 = min_est;
-                    }
+                if received > 0 {
+                    self.est1 = coord_min.expect("count > 0 implies a minimum");
                 }
                 self.phase = Phase::Zero;
                 true
             }
             Phase::Zero => {
-                let received = self.ph0.get(&r).and_then(|v| v.first()).copied();
+                let received = self.rounds.get(r).and_then(|w| w.ph0_first);
                 if self.d1.h_omega(now).h_leader != my_id && received.is_none() {
                     return false;
                 }
@@ -340,17 +372,15 @@ impl<D1: HOmegaSource, D2: HSigmaSource> QuorumConsensus<D1, D2> {
             }
             Phase::One => {
                 // Lines 23-24: any PH2 of this round short-cuts the phase.
-                if let Some(ph2s) = self.ph2.get(&r) {
-                    if let Some(m) = ph2s.first() {
-                        self.est2 = m.est;
-                        self.enter_phase2(ctx);
-                        return true;
-                    }
+                if let Some(m) = self.rounds.get(r).and_then(|w| w.ph2.first()) {
+                    self.est2 = m.est;
+                    self.enter_phase2(ctx);
+                    return true;
                 }
                 // Lines 25-31: quorum formation.
                 let quora = self.d2.h_sigma(now).h_quora;
                 let empty = Vec::new();
-                let msgs = self.ph1.get(&r).unwrap_or(&empty);
+                let msgs = self.rounds.get(r).map_or(&empty, |w| &w.ph1);
                 if let Some(m_set) = Self::find_quorum(&quora, msgs) {
                     let ests: BTreeSet<Option<u64>> = m_set.iter().map(|m| m.est).collect();
                     self.est2 = if ests.len() == 1 {
@@ -367,14 +397,14 @@ impl<D1: HOmegaSource, D2: HSigmaSource> QuorumConsensus<D1, D2> {
             }
             Phase::Two => {
                 // Lines 43-44: a COORD of the next round short-cuts.
-                if self.coord_rounds.contains(&(r + 1)) {
+                if self.rounds.get(r + 1).is_some_and(|w| w.coord_seen) {
                     self.next_round(ctx);
                     return true;
                 }
                 // Lines 45-54: quorum formation and decision.
                 let quora = self.d2.h_sigma(now).h_quora;
                 let empty = Vec::new();
-                let msgs = self.ph2.get(&r).unwrap_or(&empty);
+                let msgs = self.rounds.get(r).map_or(&empty, |w| &w.ph2);
                 if let Some(m_set) = Self::find_quorum(&quora, msgs) {
                     let mut non_bottom: Vec<u64> = m_set.iter().filter_map(|m| m.est).collect();
                     non_bottom.sort_unstable();
@@ -430,25 +460,33 @@ where
                 // current round) and the Phase 2 next-round short-cut
                 // (any identifier).
                 if round >= self.round {
-                    self.coord_rounds.insert(round);
+                    let w = self.rounds.get_mut(round);
+                    w.coord_seen = true;
                     if id == ctx.my_id() {
-                        self.coord_mine.entry(round).or_default().push(est);
+                        w.coord_mine_min = if w.coord_mine_count == 0 {
+                            est
+                        } else {
+                            w.coord_mine_min.min(est)
+                        };
+                        w.coord_mine_count += 1;
                     }
                 }
             }
             Fig9Msg::Ph0 { round, est } => {
                 if round >= self.round {
-                    self.ph0.entry(round).or_default().push(est);
+                    let w = self.rounds.get_mut(round);
+                    w.ph0_first.get_or_insert(est);
+                    w.ph0_count += 1;
                 }
             }
             Fig9Msg::Ph1(m) => {
                 if m.round >= self.round {
-                    self.ph1.entry(m.round).or_default().push(m);
+                    self.rounds.get_mut(m.round).ph1.push(m);
                 }
             }
             Fig9Msg::Ph2(m) => {
                 if m.round >= self.round {
-                    self.ph2.entry(m.round).or_default().push(m);
+                    self.rounds.get_mut(m.round).ph2.push(m);
                 }
             }
             Fig9Msg::Decide { value } => {

@@ -48,6 +48,7 @@
 pub mod fig8;
 pub mod fig9;
 pub mod flooding;
+mod round_window;
 
 pub use fig8::{
     classify_fig8, AOmegaPolicy, Fig8Msg, HOmegaPolicy, LeaderPolicy, MajorityConsensus,

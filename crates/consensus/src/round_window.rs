@@ -1,0 +1,201 @@
+//! Reusable per-round message windows for the Figure 8/9 round machines.
+//!
+//! Both consensus skeletons buffer protocol messages per round: a message
+//! of round `R ≥ r` (the process's current round) must be kept until the
+//! process reaches `R`, while everything below `r` can never matter
+//! again. The pre-refactor implementation kept one
+//! `BTreeMap<u64, Vec<_>>` per message kind, which allocated a map node
+//! plus a vector per `(kind, round)` and rebuilt them every round — and
+//! in long adversarial runs (a partitioned process catching up on a
+//! thousand-round backlog) the per-round vectors made the resident
+//! footprint grow with the backlog's *message* count even for kinds that
+//! only need an aggregate.
+//!
+//! [`RoundRing`] replaces the maps: a deque of windows covering the
+//! contiguous round range `[base, base + len)`, indexed by `round - base`
+//! in O(1). Advancing to a new round recycles the expired windows —
+//! *reset*, not dropped — into a spare pool, so a window's interior
+//! allocations (the Figure 9 quorum-message vectors) are reused across
+//! rounds instead of reallocated, and the per-round footprint of the
+//! aggregated Figure 8 windows is a small constant. The regression test
+//! `tests/consensus_round_bounds.rs` pins the bounded-residency claim on
+//! a long adversarial run.
+
+use std::collections::VecDeque;
+
+/// One round's reusable buffer state.
+pub(crate) trait Window: Default {
+    /// Clears the window for reuse, keeping interior allocations.
+    fn reset(&mut self);
+}
+
+/// A contiguous ring of per-round windows `[base, base + len)` with a
+/// recycling pool for expired rounds.
+#[derive(Debug, Default)]
+pub(crate) struct RoundRing<W: Window> {
+    base: u64,
+    live: VecDeque<W>,
+    spare: Vec<W>,
+}
+
+impl<W: Window> RoundRing<W> {
+    pub(crate) fn new() -> Self {
+        RoundRing {
+            base: 0,
+            live: VecDeque::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// The window of `round`, if one has been touched and not yet
+    /// expired.
+    pub(crate) fn get(&self, round: u64) -> Option<&W> {
+        let idx = round.checked_sub(self.base)?;
+        self.live.get(idx as usize)
+    }
+
+    /// The window of `round`, growing the ring (from the spare pool
+    /// first) as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` has already been advanced past — callers gate
+    /// on `round >= self.round` before buffering, exactly as the
+    /// pre-refactor maps pruned with `retain(k >= r)`.
+    pub(crate) fn get_mut(&mut self, round: u64) -> &mut W {
+        let idx = round
+            .checked_sub(self.base)
+            .expect("message buffered for an expired round") as usize;
+        while self.live.len() <= idx {
+            self.live.push_back(self.spare.pop().unwrap_or_default());
+        }
+        &mut self.live[idx]
+    }
+
+    /// Expires every round below `round`, recycling their windows.
+    pub(crate) fn advance_to(&mut self, round: u64) {
+        while self.base < round {
+            if let Some(mut w) = self.live.pop_front() {
+                w.reset();
+                self.spare.push(w);
+            }
+            self.base += 1;
+        }
+        self.base = round;
+    }
+
+    /// Number of rounds currently holding live buffered state. Bounded
+    /// by the process's maximal lookahead (how far ahead of it any
+    /// sender ever got), not by run length.
+    pub(crate) fn resident(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Iterates the live windows (for footprint accounting).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &W> {
+        self.live.iter()
+    }
+}
+
+/// A per-value counter over a small value set (the distinct estimates in
+/// flight, bounded by the distinct proposals), kept sorted by value.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ValueCounts {
+    counts: Vec<(u64, usize)>,
+    total: usize,
+}
+
+impl ValueCounts {
+    pub(crate) fn add(&mut self, v: u64) {
+        match self.counts.binary_search_by_key(&v, |&(x, _)| x) {
+            Ok(i) => self.counts[i].1 += 1,
+            Err(i) => self.counts.insert(i, (v, 1)),
+        }
+        self.total += 1;
+    }
+
+    /// Messages counted so far.
+    pub(crate) fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `(value, count)` pairs in ascending value order.
+    pub(crate) fn counted(&self) -> &[(u64, usize)] {
+        &self.counts
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Buf(Vec<u64>);
+    impl Window for Buf {
+        fn reset(&mut self) {
+            self.0.clear();
+        }
+    }
+
+    #[test]
+    fn indexes_by_round_and_grows() {
+        let mut r: RoundRing<Buf> = RoundRing::new();
+        r.get_mut(3).0.push(30);
+        r.get_mut(1).0.push(10);
+        assert_eq!(r.get(1).unwrap().0, vec![10]);
+        assert_eq!(r.get(3).unwrap().0, vec![30]);
+        assert!(r.get(2).unwrap().0.is_empty());
+        assert!(r.get(4).is_none());
+        assert_eq!(r.resident(), 4); // rounds 0..=3
+    }
+
+    #[test]
+    fn advance_recycles_windows_with_capacity() {
+        let mut r: RoundRing<Buf> = RoundRing::new();
+        r.get_mut(0).0.extend([1, 2, 3]);
+        r.get_mut(1).0.push(9);
+        let cap_before = r.get(0).unwrap().0.capacity();
+        r.advance_to(2);
+        assert_eq!(r.resident(), 0);
+        assert!(r.get(0).is_none() && r.get(1).is_none());
+        // The recycled window comes back with its old capacity.
+        let w = r.get_mut(2);
+        assert!(w.0.is_empty());
+        assert!(w.0.capacity() >= cap_before.min(1));
+    }
+
+    #[test]
+    fn advance_past_untouched_rounds_is_fine() {
+        let mut r: RoundRing<Buf> = RoundRing::new();
+        r.advance_to(100);
+        assert!(r.get(99).is_none());
+        r.get_mut(100).0.push(1);
+        assert_eq!(r.resident(), 1);
+        assert_eq!(r.iter().map(|w| w.0.len()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expired round")]
+    fn buffering_an_expired_round_panics() {
+        let mut r: RoundRing<Buf> = RoundRing::new();
+        r.advance_to(5);
+        let _ = r.get_mut(4);
+    }
+
+    #[test]
+    fn value_counts_aggregate_in_order() {
+        let mut c = ValueCounts::default();
+        for v in [5, 3, 5, 5, 3, 9] {
+            c.add(v);
+        }
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.counted(), &[(3, 2), (5, 3), (9, 1)]);
+        c.clear();
+        assert_eq!(c.total(), 0);
+    }
+}

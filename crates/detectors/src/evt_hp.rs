@@ -96,6 +96,9 @@ pub fn split_snapshots(
 
 const ROUND: TimerTag = TimerTag(0);
 
+/// Identifiers below this use the direct-indexed membership table.
+const MSHIP_DENSE: u64 = 256;
+
 /// The Figure 6 process.
 #[derive(Debug)]
 pub struct EvtHpProcess {
@@ -103,15 +106,33 @@ pub struct EvtHpProcess {
     h_omega: HOmegaOutput,
     round: u64,
     timeout: u64,
-    /// `identifier -> latest_r`, a sorted small-universe map: the key
-    /// space is the ℓ distinct identifiers, so a binary-searched vector
-    /// beats a tree on every lookup the polling hot path makes.
+    /// `identifier -> latest_r` for small dense identifiers
+    /// (`raw < MSHIP_DENSE`): a direct-indexed table, since the paper's
+    /// homonymy degree ℓ is tiny and identifiers are usually `0..ℓ`.
+    /// Entry `0` doubles as "never answered" — exactly the initial
+    /// `latest_r` the sparse path would insert.
+    mship_dense: Vec<u64>,
+    /// `identifier -> latest_r` fallback for large/`⊥` identifiers: a
+    /// sorted, binary-searched vector (still cheaper than a tree).
     mship: Vec<(Identity, u64)>,
     /// Replies addressed to my identifier, kept while they may still cover
     /// a future round: `(from, to, sender)`.
     pending: Vec<(u64, u64, Identity)>,
+    /// Scratch: this round's covering senders, sorted (reused each round).
+    gather: Vec<Identity>,
+    /// The previous round's sorted covering senders: `end_round` diffs
+    /// against it instead of rebuilding `h_trusted`, so a stabilized
+    /// detector (same membership every round) does no bag work at all.
+    prev_gather: Vec<Identity>,
+    /// Cached `◇HP` output snapshot, rebuilt only when the membership
+    /// actually changes; publishing clones this instead of re-wrapping
+    /// the bag every round.
+    snapshot: EvtHPOutput,
     evt_mirror: Option<SharedCell<EvtHPOutput>>,
     omega_mirror: Option<SharedCell<HOmegaOutput>>,
+    /// Whether the mirror cells may lag the local state (set at start,
+    /// cleared by the first mirror store).
+    mirrors_dirty: bool,
     adaptive: bool,
     started: bool,
 }
@@ -128,10 +149,15 @@ impl EvtHpProcess {
             h_omega: HOmegaOutput::new(Identity::BOTTOM, 1),
             round: 1,
             timeout: 1,
+            mship_dense: Vec::new(),
             mship: Vec::new(),
             pending: Vec::new(),
+            gather: Vec::new(),
+            prev_gather: Vec::new(),
+            snapshot: EvtHPOutput::default(),
             evt_mirror: None,
             omega_mirror: None,
+            mirrors_dirty: true,
             adaptive: true,
             started: false,
         }
@@ -200,28 +226,53 @@ impl EvtHpProcess {
         // and drop replies that cannot cover any later round, in one pass
         // over the pending list.
         let r = self.round;
-        // Recycle the outgoing bag's buffer for the new gathering.
-        let mut tmp = std::mem::take(&mut self.h_trusted);
-        tmp.clear();
+        let mut gather = std::mem::take(&mut self.gather);
+        gather.clear();
         self.pending.retain(|&(from, to, sender)| {
             if from <= r && r <= to {
-                tmp.insert(sender);
+                gather.push(sender);
             }
             to > r
         });
-        self.h_trusted = tmp;
-        // Corollary 2: HΩ extraction, no communication.
-        if let Some(&leader) = self.h_trusted.min_elem() {
-            self.h_omega = HOmegaOutput::new(leader, self.h_trusted.multiplicity(&leader));
+        gather.sort_unstable();
+        // Incremental update: once the detector has converged every round
+        // gathers the same membership, so the common case skips the bag
+        // rebuild, the HΩ extraction, the mirror stores and the snapshot
+        // re-wrap entirely — the round then allocates nothing but the
+        // published clone.
+        let changed = gather != self.prev_gather;
+        if changed {
+            self.h_trusted.clear();
+            let mut i = 0;
+            while i < gather.len() {
+                let id = gather[i];
+                let run = gather[i..].iter().take_while(|&&x| x == id).count();
+                self.h_trusted.insert_n(id, run);
+                i += run;
+            }
+            // Corollary 2: HΩ extraction, no communication.
+            if let Some(&leader) = self.h_trusted.min_elem() {
+                self.h_omega = HOmegaOutput::new(leader, self.h_trusted.multiplicity(&leader));
+            }
+            self.snapshot = EvtHPOutput::new(self.h_trusted.clone());
+            std::mem::swap(&mut self.prev_gather, &mut gather);
         }
-        if let Some(cell) = &self.evt_mirror {
-            cell.set(EvtHPOutput::new(self.h_trusted.clone()));
+        // Mirrors are skipped only when they provably already hold the
+        // current values (`mirrors_dirty` covers the start-step HΩ
+        // re-initialization, which changes `h_omega` without a gather
+        // change).
+        if changed || self.mirrors_dirty {
+            if let Some(cell) = &self.evt_mirror {
+                cell.set(self.snapshot.clone());
+            }
+            if let Some(cell) = &self.omega_mirror {
+                cell.set(self.h_omega);
+            }
+            self.mirrors_dirty = false;
         }
-        if let Some(cell) = &self.omega_mirror {
-            cell.set(self.h_omega);
-        }
+        self.gather = gather;
         ctx.publish(EvtHpSnapshot {
-            evt_hp: EvtHPOutput::new(self.h_trusted.clone()),
+            evt_hp: self.snapshot.clone(),
             h_omega: self.h_omega,
             round: r,
             timeout: self.timeout,
@@ -244,6 +295,7 @@ impl Process for EvtHpProcess {
     fn on_start(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
         self.started = true;
         self.h_omega = HOmegaOutput::new(ctx.my_id(), 1);
+        self.mirrors_dirty = true;
         self.poll(ctx);
     }
 
@@ -251,14 +303,22 @@ impl Process for EvtHpProcess {
         match msg {
             // Task T2, lines 22-31.
             EvtHpMsg::Polling { round, id } => {
-                let slot = match self.mship.binary_search_by_key(&id, |&(i, _)| i) {
-                    Ok(i) => i,
-                    Err(i) => {
-                        self.mship.insert(i, (id, 0));
-                        i
+                let latest: &mut u64 = if id.raw() < MSHIP_DENSE {
+                    let idx = id.raw() as usize;
+                    if self.mship_dense.len() <= idx {
+                        self.mship_dense.resize(idx + 1, 0);
                     }
+                    &mut self.mship_dense[idx]
+                } else {
+                    let slot = match self.mship.binary_search_by_key(&id, |&(i, _)| i) {
+                        Ok(i) => i,
+                        Err(i) => {
+                            self.mship.insert(i, (id, 0));
+                            i
+                        }
+                    };
+                    &mut self.mship[slot].1
                 };
-                let latest = &mut self.mship[slot].1;
                 if *latest < round {
                     ctx.broadcast(EvtHpMsg::PReply {
                         from: *latest + 1,

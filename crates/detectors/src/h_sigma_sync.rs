@@ -60,12 +60,17 @@ impl SyncProcess for HSigmaSyncProcess {
     type Msg = IdentMsg;
     type Output = HSigmaOutput;
 
-    fn send(&mut self, _step: u64) -> Vec<IdentMsg> {
-        vec![IdentMsg(self.my_id)]
+    fn send(&mut self, _step: u64, out: &mut Vec<IdentMsg>) {
+        out.push(IdentMsg(self.my_id));
     }
 
-    fn receive(&mut self, _step: u64, received: Vec<IdentMsg>, sink: &mut SyncSink<HSigmaOutput>) {
-        let mset: Multiset<Identity> = received.into_iter().map(|m| m.0).collect();
+    fn receive(
+        &mut self,
+        _step: u64,
+        received: &mut Vec<IdentMsg>,
+        sink: &mut SyncSink<HSigmaOutput>,
+    ) {
+        let mset: Multiset<Identity> = received.drain(..).map(|m| m.0).collect();
         let label = Label::id_multiset(mset.clone());
         self.output.insert_quorum(label.clone(), mset);
         self.output.insert_label(label);

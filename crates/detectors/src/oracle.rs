@@ -60,6 +60,46 @@ struct WorldInner {
     assign: IdentityAssignment,
     stabilize_at: Time,
     epochs: Vec<Time>,
+    // --- query caches ---------------------------------------------------
+    // A failure-pattern oracle's output is a pure function of (time,
+    // salt, pre-stability mode), and every time-dependent ingredient is
+    // constant within an alive-set epoch. Everything an oracle can be
+    // asked for is therefore precomputed here once per world: consensus
+    // eval loops query leader/quorum oracles several times per message,
+    // so recomputing rotating-leader junk or re-scanning the schedule on
+    // every call dominated the chaos-sweep profile.
+    /// `I(Π)`.
+    ids: Multiset<Identity>,
+    /// Distinct identifiers, ascending (the chaotic rotation wheel).
+    support: Vec<Identity>,
+    /// `I(Correct)`.
+    i_correct: Multiset<Identity>,
+    /// The post-stabilization `HΩ` output.
+    stable_h_omega: HOmegaOutput,
+    /// Smallest-index correct process (the `AΩ` stable leader).
+    first_correct: usize,
+    /// `I(Alive(epoch start))` per epoch.
+    alive_per_epoch: Vec<Multiset<Identity>>,
+    /// `|Alive(epoch start)|` per epoch.
+    alive_count_per_epoch: Vec<usize>,
+    /// `HΣ` output prefixes per epoch: labels + quora (the visible
+    /// flavor) and labels only (the withholding flavor).
+    h_sigma_full: Vec<HSigmaOutput>,
+    h_sigma_labels_only: Vec<HSigmaOutput>,
+    /// `AΣ` output prefixes per epoch (visible flavor; the withholding
+    /// flavor is the empty output).
+    a_sigma_full: Vec<ASigmaOutput>,
+    /// Class-`E` base lists per epoch: correct identifiers first, then
+    /// the still-alive faulty ones.
+    e_list_per_epoch: Vec<Vec<Identity>>,
+}
+
+impl WorldInner {
+    /// The index of the alive-set epoch containing `now`.
+    fn epoch_idx(&self, now: Time) -> usize {
+        // epochs[0] == Time::ZERO <= now always holds.
+        self.epochs.partition_point(|&start| start <= now) - 1
+    }
 }
 
 impl OracleWorld {
@@ -79,12 +119,66 @@ impl OracleWorld {
             "at least one process must be correct"
         );
         let epochs = sched.epoch_starts();
+        let ids = assign.multiset();
+        let support: Vec<Identity> = ids.support().copied().collect();
+        let i_correct = sched.i_correct(&assign);
+        let leader = *i_correct.min_elem().expect("some process is correct");
+        let stable_h_omega = HOmegaOutput::new(leader, i_correct.multiplicity(&leader));
+        let first_correct = sched.correct_set()[0];
+        let alive_per_epoch: Vec<Multiset<Identity>> = epochs
+            .iter()
+            .map(|&t| sched.i_alive_at(t, &assign))
+            .collect();
+        let alive_count_per_epoch: Vec<usize> =
+            epochs.iter().map(|&t| sched.alive_at(t).len()).collect();
+        let mut h_sigma_full = Vec::with_capacity(epochs.len());
+        let mut h_sigma_labels_only = Vec::with_capacity(epochs.len());
+        let mut a_sigma_full = Vec::with_capacity(epochs.len());
+        let mut full = HSigmaOutput::new();
+        let mut labels_only = HSigmaOutput::new();
+        let mut asig = ASigmaOutput::new();
+        for e in 0..epochs.len() {
+            let label = Label::opaque(e as u64);
+            labels_only.insert_label(label.clone());
+            full.insert_label(label.clone());
+            full.insert_quorum(label.clone(), alive_per_epoch[e].clone());
+            asig.insert(label, alive_count_per_epoch[e]);
+            h_sigma_full.push(full.clone());
+            h_sigma_labels_only.push(labels_only.clone());
+            a_sigma_full.push(asig.clone());
+        }
+        let e_list_per_epoch: Vec<Vec<Identity>> = epochs
+            .iter()
+            .map(|&start| {
+                let mut list: Vec<Identity> = Vec::new();
+                for p in sched.correct_set() {
+                    list.push(assign.id_of(p));
+                }
+                for p in sched.alive_at(start) {
+                    if !sched.is_correct(p) {
+                        list.push(assign.id_of(p));
+                    }
+                }
+                list
+            })
+            .collect();
         OracleWorld {
             inner: Arc::new(WorldInner {
                 sched,
                 assign,
                 stabilize_at,
                 epochs,
+                ids,
+                support,
+                i_correct,
+                stable_h_omega,
+                first_correct,
+                alive_per_epoch,
+                alive_count_per_epoch,
+                h_sigma_full,
+                h_sigma_labels_only,
+                a_sigma_full,
+                e_list_per_epoch,
             }),
         }
     }
@@ -112,7 +206,7 @@ impl OracleWorld {
     }
 
     fn i_correct(&self) -> Multiset<Identity> {
-        self.inner.sched.i_correct(&self.inner.assign)
+        self.inner.i_correct.clone()
     }
 
     /// Deterministic per-(time, salt) mixer for chaotic outputs.
@@ -231,8 +325,10 @@ impl EvtHPSource for EvtHPOracle {
         let w = &self.world;
         if w.stable(now) || self.pre == PreStability::Truthful {
             if self.pre == PreStability::Truthful && !w.stable(now) {
-                // Natural pre-stability truth: the currently alive multiset.
-                return EvtHPOutput::new(w.inner.sched.i_alive_at(now, &w.inner.assign));
+                // Natural pre-stability truth: the currently alive
+                // multiset (cached per epoch).
+                let e = w.inner.epoch_idx(now);
+                return EvtHPOutput::new(w.inner.alive_per_epoch[e].clone());
             }
             return EvtHPOutput::new(w.i_correct());
         }
@@ -242,11 +338,11 @@ impl EvtHPSource for EvtHPOracle {
         // Chaotic: rotate between stale views, per process.
         match OracleWorld::mix(now, self.salt) % 3 {
             0 => EvtHPOutput::new(Multiset::new()),
-            1 => EvtHPOutput::new(w.inner.assign.multiset()),
+            1 => EvtHPOutput::new(w.inner.ids.clone()),
             _ => {
-                let ids = w.inner.assign.multiset();
-                let k = (OracleWorld::mix(now, self.salt ^ 7) as usize) % ids.distinct_len().max(1);
-                let id = ids.support().nth(k).copied().unwrap_or(Identity::BOTTOM);
+                let k =
+                    (OracleWorld::mix(now, self.salt ^ 7) as usize) % w.inner.support.len().max(1);
+                let id = w.inner.support.get(k).copied().unwrap_or(Identity::BOTTOM);
                 EvtHPOutput::new([id].into_iter().collect())
             }
         }
@@ -267,9 +363,7 @@ impl HOmegaOracle {
     /// multiplicity among correct processes.
     #[must_use]
     pub fn stable_output(&self) -> HOmegaOutput {
-        let correct = self.world.i_correct();
-        let leader = *correct.min_elem().expect("some process is correct");
-        HOmegaOutput::new(leader, correct.multiplicity(&leader))
+        self.world.inner.stable_h_omega
     }
 }
 
@@ -283,14 +377,13 @@ impl HOmegaSource for HOmegaOracle {
             PreStability::Truthful => {
                 // Truth about the *currently alive* multiset: converges to
                 // the stable output once the last faulty process crashed.
-                let alive = w.inner.sched.i_alive_at(now, &w.inner.assign);
+                let alive = &w.inner.alive_per_epoch[w.inner.epoch_idx(now)];
                 let leader = *alive.min_elem().expect("someone is alive");
                 HOmegaOutput::new(leader, alive.multiplicity(&leader))
             }
             PreStability::Chaotic => {
-                let ids = w.inner.assign.multiset();
-                let k = (OracleWorld::mix(now, self.salt) as usize) % ids.distinct_len();
-                let id = *ids.support().nth(k).expect("nonempty system");
+                let k = (OracleWorld::mix(now, self.salt) as usize) % w.inner.support.len();
+                let id = w.inner.support[k];
                 let mult =
                     1 + (OracleWorld::mix(now, self.salt ^ 13) as usize) % w.inner.assign.n();
                 HOmegaOutput::new(id, mult)
@@ -317,26 +410,21 @@ pub struct HSigmaOracle {
 impl HSigmaSource for HSigmaOracle {
     fn h_sigma(&self, now: Time) -> HSigmaOutput {
         let w = &self.world;
-        let mut out = HSigmaOutput::new();
-        for (e, &start) in w.inner.epochs.iter().enumerate() {
-            if start > now {
-                break;
-            }
-            let label = Label::opaque(e as u64);
-            // Labels are visible from the epoch start (the queried process
-            // is alive now, hence was alive at every earlier epoch start).
-            out.insert_label(label.clone());
-            // Chaotic oracles withhold quorum pairs until stabilization;
-            // monotonicity forbids emitting anything false instead.
-            let visible = match self.pre {
-                PreStability::Truthful => true,
-                PreStability::Chaotic | PreStability::Paralyzing => w.stable(now),
-            };
-            if visible {
-                out.insert_quorum(label, w.inner.sched.i_alive_at(start, &w.inner.assign));
-            }
+        // Labels are visible from their epoch start (the queried process
+        // is alive now, hence was alive at every earlier epoch start);
+        // chaotic oracles withhold quorum pairs until stabilization —
+        // monotonicity forbids emitting anything false instead. Both
+        // flavors are precomputed per epoch prefix.
+        let e = w.inner.epoch_idx(now);
+        let visible = match self.pre {
+            PreStability::Truthful => true,
+            PreStability::Chaotic | PreStability::Paralyzing => w.stable(now),
+        };
+        if visible {
+            w.inner.h_sigma_full[e].clone()
+        } else {
+            w.inner.h_sigma_labels_only[e].clone()
         }
-        out
     }
 }
 
@@ -352,7 +440,7 @@ impl SigmaSource for SigmaOracle {
     fn sigma(&self, now: Time) -> SigmaOutput {
         let w = &self.world;
         let t = Time::from_ticks(now.ticks().saturating_sub(self.lag.ticks()));
-        SigmaOutput::new(w.inner.sched.i_alive_at(t, &w.inner.assign))
+        SigmaOutput::new(w.inner.alive_per_epoch[w.inner.epoch_idx(t)].clone())
     }
 }
 
@@ -369,19 +457,16 @@ impl OmegaSource for OmegaOracle {
     fn omega(&self, now: Time) -> OmegaOutput {
         let w = &self.world;
         if w.stable(now) {
-            let leader = *w.i_correct().min_elem().expect("some process is correct");
-            return OmegaOutput::new(leader);
+            return OmegaOutput::new(w.inner.stable_h_omega.h_leader);
         }
         match self.pre {
             PreStability::Truthful => {
-                let alive = w.inner.sched.i_alive_at(now, &w.inner.assign);
+                let alive = &w.inner.alive_per_epoch[w.inner.epoch_idx(now)];
                 OmegaOutput::new(*alive.min_elem().expect("someone is alive"))
             }
             PreStability::Chaotic => {
-                let ids = w.inner.assign.multiset();
-                let k = (OracleWorld::mix(now, self.salt) as usize) % ids.distinct_len();
-                let id = *ids.support().nth(k).expect("nonempty system");
-                OmegaOutput::new(id)
+                let k = (OracleWorld::mix(now, self.salt) as usize) % w.inner.support.len();
+                OmegaOutput::new(w.inner.support[k])
             }
             PreStability::Paralyzing => OmegaOutput::new(Identity::new(u64::MAX - 1)),
         }
@@ -400,7 +485,7 @@ pub struct AOmegaOracle {
 impl AOmegaSource for AOmegaOracle {
     fn a_omega(&self, now: Time) -> AOmegaOutput {
         let w = &self.world;
-        let stable_leader = w.inner.sched.correct_set()[0];
+        let stable_leader = w.inner.first_correct;
         if w.stable(now) || self.pre == PreStability::Truthful {
             return AOmegaOutput::new(self.p == stable_leader);
         }
@@ -423,7 +508,7 @@ impl APSource for APOracle {
     fn ap(&self, now: Time) -> APOutput {
         let w = &self.world;
         let t = Time::from_ticks(now.ticks().saturating_sub(self.lag.ticks()));
-        APOutput::new(w.inner.sched.alive_at(t).len())
+        APOutput::new(w.inner.alive_count_per_epoch[w.inner.epoch_idx(t)])
     }
 }
 
@@ -437,20 +522,15 @@ pub struct ASigmaOracle {
 impl ASigmaSource for ASigmaOracle {
     fn a_sigma(&self, now: Time) -> ASigmaOutput {
         let w = &self.world;
-        let mut out = ASigmaOutput::new();
-        for (e, &start) in w.inner.epochs.iter().enumerate() {
-            if start > now {
-                break;
-            }
-            let visible = match self.pre {
-                PreStability::Truthful => true,
-                PreStability::Chaotic | PreStability::Paralyzing => w.stable(now),
-            };
-            if visible {
-                out.insert(Label::opaque(e as u64), w.inner.sched.alive_at(start).len());
-            }
+        let visible = match self.pre {
+            PreStability::Truthful => true,
+            PreStability::Chaotic | PreStability::Paralyzing => w.stable(now),
+        };
+        if visible {
+            w.inner.a_sigma_full[w.inner.epoch_idx(now)].clone()
+        } else {
+            ASigmaOutput::new()
         }
-        out
     }
 }
 
@@ -467,15 +547,7 @@ pub struct EListOracle {
 impl EListSource for EListOracle {
     fn e_list(&self, now: Time) -> EListOutput {
         let w = &self.world;
-        let mut list: Vec<Identity> = Vec::new();
-        for p in w.inner.sched.correct_set() {
-            list.push(w.inner.assign.id_of(p));
-        }
-        for p in w.inner.sched.alive_at(now) {
-            if !w.inner.sched.is_correct(p) {
-                list.push(w.inner.assign.id_of(p));
-            }
-        }
+        let mut list = w.inner.e_list_per_epoch[w.inner.epoch_idx(now)].clone();
         if !w.stable(now) && self.pre != PreStability::Truthful && !list.is_empty() {
             let k = (OracleWorld::mix(now, self.salt) as usize) % list.len();
             list.rotate_left(k);

@@ -7,6 +7,25 @@
 //! everything the property checkers and experiments need: per-process
 //! output histories, decisions, and message metrics.
 //!
+//! ## Hot paths
+//!
+//! The engine runs in one of two configurations, which dispatch the
+//! **byte-identical** `(time, seq)` event sequence for a given config and
+//! seed (asserted by `tests/trace_determinism.rs` and the batched-path
+//! proptests):
+//!
+//! * the **batched** path (default): the queue drains a whole tick per
+//!   call (see `queue.rs`), maximal same-`(time, dest)` runs of message
+//!   deliveries are handed to the process through the slice-based
+//!   [`Process::on_messages`] API (one slot lookup, one crash check and
+//!   one action-sink per run), and broadcasts sample all per-copy
+//!   latencies through [`NetworkModel::route_each`] (the model match,
+//!   GST comparison and sampler setup hoisted out of the copy loop);
+//! * the **legacy** path ([`SimConfig::legacy_hot_path`]): the per-event
+//!   pop / per-copy sampling shape this engine had before the batching
+//!   overhaul, kept as the benchmark baseline and as the differential
+//!   oracle the determinism tests compare against.
+//!
 //! ## Crash semantics
 //!
 //! A process with crash time `ct` takes no step at or after `ct`. Following
@@ -14,7 +33,9 @@
 //! message is received by an arbitrary subset of processes"), a broadcast
 //! performed at the process's **final step** (`now == ct - 1`) delivers
 //! each copy independently with probability ½ when
-//! [`SimConfig::partial_broadcast_on_crash`] is set.
+//! [`SimConfig::partial_broadcast_on_crash`] is set. Final-step broadcasts
+//! interleave the mask draws with the routing draws per copy, so both hot
+//! paths take the per-copy sampling route there.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -28,8 +49,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::adversary::LinkFaultScript;
 use crate::network::NetworkModel;
-use crate::process::{Action, ActionSink, Process, TimerTag};
-use crate::queue::EventQueue;
+use crate::process::{Action, ActionSink, BatchFeed, Process, TimerTag};
+use crate::queue::CalendarQueue;
 use crate::trace::{Trace, TraceEvent};
 
 /// Why a run loop returned.
@@ -86,12 +107,13 @@ pub struct SimConfig {
     /// Safety valve: maximum callbacks before the run stops with
     /// [`StopReason::EventLimit`].
     pub max_events: u64,
-    /// Run on the pre-optimization hot path (`BTreeMap` event queue and
-    /// one deep payload clone per broadcast destination) instead of the
-    /// calendar queue + shared-payload path. Dispatch order and RNG
-    /// streams are identical either way — this switch exists so the
-    /// throughput benchmark can measure the speedup and the determinism
-    /// tests can assert trace equality between the two implementations.
+    /// Run on the pre-batching hot path: per-event queue pops, one
+    /// network-model match and RNG route per copy, one callback + action
+    /// sink per delivered message. Dispatch order and RNG streams are
+    /// identical to the batched default — this switch exists so the
+    /// throughput benchmark can measure the batching speedup and the
+    /// determinism tests can assert trace equality between the two
+    /// implementations.
     pub legacy_hot_path: bool,
     /// Adversarial link faults consulted per copy after the network
     /// routes it (see [`crate::adversary`]). `None` leaves every RNG
@@ -129,7 +151,7 @@ impl SimConfig {
         self
     }
 
-    /// Selects the pre-optimization hot path (builder style); see
+    /// Selects the pre-batching hot path (builder style); see
     /// [`SimConfig::legacy_hot_path`].
     #[must_use]
     pub fn with_legacy_hot_path(mut self, legacy: bool) -> Self {
@@ -150,18 +172,18 @@ enum Event<M> {
     Start {
         dst: usize,
     },
-    /// Legacy-path delivery: the payload was deep-cloned per destination
-    /// at broadcast time and is stored inline, exactly as the
-    /// pre-optimization engine did.
+    /// Delivery of a payload stored inline: taken for payloads that own
+    /// no heap state and fit a cache line (see [`plain_payload`]), which
+    /// are cheaper to copy per destination than to share.
     Deliver {
         dst: usize,
         msg: M,
     },
-    /// Current-path delivery: every copy of a broadcast shares one
-    /// [`Arc`]'d payload; the clone needed to hand the process an owned
-    /// message happens at dispatch (and the last copy is unwrapped, not
-    /// cloned), so copies routed to crashed or halted processes never
-    /// pay for a deep clone.
+    /// Delivery of an [`Arc`]-shared payload: every copy of a broadcast
+    /// shares one heap allocation; the clone needed to hand the process
+    /// an owned message happens at dispatch (and the last copy is
+    /// unwrapped, not cloned), so copies routed to crashed or halted
+    /// processes never pay for a deep clone.
     DeliverShared {
         dst: usize,
         msg: Arc<M>,
@@ -170,6 +192,42 @@ enum Event<M> {
         dst: usize,
         tag: TimerTag,
     },
+}
+
+impl<M> Event<M> {
+    /// The destination of a *message* event (`None` for start/timer).
+    fn message_dst(&self) -> Option<usize> {
+        match self {
+            Event::Deliver { dst, .. } | Event::DeliverShared { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// Takes the message payload out of a delivery event.
+    fn into_msg(self) -> M
+    where
+        M: Clone,
+    {
+        match self {
+            Event::Deliver { msg, .. } => msg,
+            Event::DeliverShared { msg, .. } => {
+                // Last copy standing is moved out; earlier copies clone.
+                Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone())
+            }
+            _ => unreachable!("into_msg on a non-message event"),
+        }
+    }
+}
+
+/// Whether the event at `pos` of the current tick is a message delivery
+/// to `dst` (the same-destination run continuation test of the batched
+/// run loop).
+#[inline]
+fn run_continues<M>(batch: &[(u64, Option<Event<M>>)], pos: usize, dst: usize) -> bool {
+    batch
+        .get(pos)
+        .and_then(|(_, e)| e.as_ref())
+        .is_some_and(|e| e.message_dst() == Some(dst))
 }
 
 /// Whether `M` is delivered by inline copy rather than `Arc` sharing:
@@ -183,18 +241,67 @@ fn plain_payload<M>() -> bool {
 struct ProcSlot<P: Process> {
     proc: P,
     rng: StdRng,
-    halted: bool,
     /// Cached `id(p)` — avoids an assignment-table chase per callback.
     id: homonym_core::Identity,
-    /// Cached crash time — avoids a schedule-table chase per callback.
-    crash_at: Option<Time>,
+}
+
+/// Recycled engine allocations, so a multi-seed sweep can run thousands
+/// of seeds through one warm set of buffers instead of building a fresh
+/// world per seed: the calendar queue's bucket ring, the history and
+/// decision tables, the tick batch, and every scratch buffer survive
+/// from run to run with their capacities intact.
+///
+/// Obtain one from [`Engine::into_arena`] after a run and hand it to
+/// [`Engine::new_in`] for the next; see
+/// [`parallel_seed_sweep_with`](crate::sweep::parallel_seed_sweep_with)
+/// for the per-worker plumbing.
+pub struct EngineArena<P: Process> {
+    queue: CalendarQueue<Event<P::Msg>>,
+    procs: Vec<ProcSlot<P>>,
+    dead_from: Vec<u64>,
+    histories: Vec<History<P::Output>>,
+    decisions: Vec<Option<(Time, u64)>>,
+    tick_batch: Vec<(u64, Option<Event<P::Msg>>)>,
+    scratch_actions: Vec<Action<P::Msg, P::Output>>,
+    scratch_cuts: Vec<(usize, &'static str)>,
+    feed: BatchFeed<P::Msg>,
+}
+
+impl<P: Process> EngineArena<P> {
+    /// An empty arena (all buffers start cold).
+    #[must_use]
+    pub fn new() -> Self {
+        EngineArena {
+            queue: CalendarQueue::new(),
+            procs: Vec::new(),
+            dead_from: Vec::new(),
+            histories: Vec::new(),
+            decisions: Vec::new(),
+            tick_batch: Vec::new(),
+            scratch_actions: Vec::new(),
+            scratch_cuts: Vec::new(),
+            feed: BatchFeed::new(),
+        }
+    }
+}
+
+impl<P: Process> Default for EngineArena<P> {
+    fn default() -> Self {
+        EngineArena::new()
+    }
 }
 
 /// The discrete-event engine. See the module docs for semantics.
 pub struct Engine<P: Process> {
     config: SimConfig,
     procs: Vec<ProcSlot<P>>,
-    queue: EventQueue<Event<P::Msg>>,
+    /// Dense per-process liveness horizon: the first tick at which the
+    /// process takes no more steps — its cached crash time, `0` once it
+    /// halts, `u64::MAX` otherwise. One table, one load, one compare for
+    /// the per-event and per-copy liveness checks, kept out of the
+    /// (large) process slots so it stays cache-resident.
+    dead_from: Vec<u64>,
+    queue: CalendarQueue<Event<P::Msg>>,
     seq: u64,
     now: Time,
     net_rng: StdRng,
@@ -209,6 +316,18 @@ pub struct Engine<P: Process> {
     /// Reused per-callback action buffer: one allocation per engine, not
     /// one per dispatched event.
     scratch_actions: Vec<Action<P::Msg, P::Output>>,
+    /// Reused copy of a batch's action cut points (see `flush_batch`).
+    scratch_cuts: Vec<(usize, &'static str)>,
+    /// The current tick's events (batched path only): the earliest
+    /// bucket's storage, swapped out of the queue wholesale and consumed
+    /// front-to-back through `tick_pos`. Cleared, it becomes the
+    /// replacement storage for the next tick, so bucket capacities
+    /// circulate instead of reallocating.
+    tick_batch: Vec<(u64, Option<Event<P::Msg>>)>,
+    /// Index of the next unconsumed `tick_batch` slot.
+    tick_pos: usize,
+    /// Reused message-batch feed handed to [`Process::on_messages`].
+    feed: BatchFeed<P::Msg>,
     /// Correct processes that have not decided yet, kept incrementally so
     /// `all_correct_decided` — polled after every event by the consensus
     /// run loops — is O(1) instead of an allocation plus an O(n) scan.
@@ -221,12 +340,32 @@ impl<P: Process> Engine<P> {
     /// The factory receives the process **index** purely as a
     /// formalization-level hook (to wire proposals or ground-truth oracles);
     /// algorithm state must only depend on the identifier.
-    pub fn new(
+    pub fn new(config: SimConfig, factory: impl FnMut(usize, homonym_core::Identity) -> P) -> Self {
+        Engine::new_in(config, factory, EngineArena::new())
+    }
+
+    /// Builds an engine inside recycled allocations (see [`EngineArena`]).
+    /// Behaviour is identical to [`Engine::new`]; only the allocation
+    /// traffic differs.
+    pub fn new_in(
         config: SimConfig,
         mut factory: impl FnMut(usize, homonym_core::Identity) -> P,
+        arena: EngineArena<P>,
     ) -> Self {
+        let EngineArena {
+            mut queue,
+            mut procs,
+            mut dead_from,
+            mut histories,
+            mut decisions,
+            mut tick_batch,
+            scratch_actions,
+            scratch_cuts,
+            feed,
+        } = arena;
         let n = config.assign.n();
-        let mut procs = Vec::with_capacity(n);
+        procs.clear();
+        procs.reserve(n);
         for p in 0..n {
             procs.push(ProcSlot {
                 proc: factory(p, config.assign.id_of(p)),
@@ -234,33 +373,71 @@ impl<P: Process> Engine<P> {
                 rng: StdRng::seed_from_u64(
                     config.seed ^ (0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(p as u64 + 1)),
                 ),
-                halted: false,
                 id: config.assign.id_of(p),
-                crash_at: config.sched.crash_time(p),
             });
         }
+        dead_from.clear();
+        dead_from
+            .extend((0..n).map(|p| config.sched.crash_time(p).map_or(u64::MAX, |c| c.ticks())));
         let net_rng = StdRng::seed_from_u64(config.seed);
         let adv_salt = config.adversary.as_ref().map_or(0, |s| s.salt());
         let adv_rng = StdRng::seed_from_u64(config.seed ^ adv_salt ^ 0xD1B5_4A32_D192_ED03_u64);
-        let mut queue = EventQueue::new(config.legacy_hot_path);
+        queue.reset();
         for p in 0..n {
             queue.push(Time::ZERO, p as u64, Event::Start { dst: p });
         }
+        // Recycle history/decision rows, keeping their capacities.
+        for h in &mut histories {
+            h.clear();
+        }
+        histories.resize_with(n, Vec::new);
+        decisions.clear();
+        decisions.resize(n, None);
+        tick_batch.clear();
         Engine {
             seq: n as u64,
             now: Time::ZERO,
+            dead_from,
             net_rng,
             adv_rng,
             metrics: Metrics::default(),
-            histories: vec![Vec::new(); n],
-            decisions: vec![None; n],
+            histories,
+            decisions,
             classifier: None,
             trace: None,
-            scratch_actions: Vec::new(),
+            scratch_actions,
+            scratch_cuts,
+            tick_batch,
+            tick_pos: 0,
+            feed,
             undecided_correct: config.sched.num_correct(),
             config,
             procs,
             queue,
+        }
+    }
+
+    /// Tears the engine down into its reusable allocations, for the next
+    /// [`Engine::new_in`] of a sweep. Process state is dropped; buffers
+    /// keep their capacity.
+    #[must_use]
+    pub fn into_arena(mut self) -> EngineArena<P> {
+        self.procs.clear();
+        self.queue.reset();
+        self.tick_batch.clear();
+        self.scratch_actions.clear();
+        self.scratch_cuts.clear();
+        self.feed.recycle();
+        EngineArena {
+            queue: self.queue,
+            procs: self.procs,
+            dead_from: self.dead_from,
+            histories: self.histories,
+            decisions: self.decisions,
+            tick_batch: self.tick_batch,
+            scratch_actions: self.scratch_actions,
+            scratch_cuts: self.scratch_cuts,
+            feed: self.feed,
         }
     }
 
@@ -304,11 +481,12 @@ impl<P: Process> Engine<P> {
         &self.metrics
     }
 
-    /// Number of events currently waiting in the queue (diagnostics and
-    /// load instrumentation; not part of the model).
+    /// Number of events currently waiting (queued plus the undispatched
+    /// remainder of the current tick batch; diagnostics and load
+    /// instrumentation, not part of the model).
     #[must_use]
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + (self.tick_batch.len() - self.tick_pos)
     }
 
     /// Recorded output histories, indexed by process.
@@ -362,12 +540,34 @@ impl<P: Process> Engine<P> {
         self.run_with(deadline, Engine::all_correct_decided)
     }
 
-    /// Runs until `cond(self)` holds (checked after every callback), the
-    /// deadline passes, or the system goes quiescent.
+    /// Runs until `cond(self)` holds, the deadline passes, or the system
+    /// goes quiescent.
+    ///
+    /// The condition is evaluated after every dispatched callback on the
+    /// legacy path and after every dispatched *batch* on the batched path
+    /// (a batch spans one same-`(time, dest)` run). The two paths can
+    /// only be told apart by a condition that becomes true mid-batch
+    /// while the receiving process keeps consuming — the in-tree
+    /// consumers all halt when they decide, which ends the batch at the
+    /// same message either way.
     pub fn run_with(&mut self, deadline: Time, mut cond: impl FnMut(&Self) -> bool) -> StopReason {
         if cond(self) {
             return StopReason::ConditionMet;
         }
+        if self.config.legacy_hot_path {
+            self.run_with_legacy(deadline, cond)
+        } else {
+            self.run_with_batched(deadline, cond)
+        }
+    }
+
+    /// The pre-batching run loop: one queue pop, one callback, one
+    /// condition check per event.
+    fn run_with_legacy(
+        &mut self,
+        deadline: Time,
+        mut cond: impl FnMut(&Self) -> bool,
+    ) -> StopReason {
         loop {
             if self.metrics.events >= self.config.max_events {
                 // Quiescence and the deadline take precedence over the
@@ -403,6 +603,216 @@ impl<P: Process> Engine<P> {
         }
     }
 
+    /// The batched run loop: the queue is drained a tick at a time, and
+    /// maximal same-destination runs of deliveries dispatch as one batch.
+    fn run_with_batched(
+        &mut self,
+        deadline: Time,
+        mut cond: impl FnMut(&Self) -> bool,
+    ) -> StopReason {
+        // A caller may shrink the deadline below a tick buffered by a
+        // previous call; within one call `now` is constant per tick, so
+        // this needs checking only here and at refills. Guard on
+        // *unconsumed* events — a fully consumed batch keeps its storage
+        // until the next refill and must not mask quiescence.
+        if self.tick_pos < self.tick_batch.len() && self.now > deadline {
+            return StopReason::Deadline;
+        }
+        loop {
+            if self.tick_pos >= self.tick_batch.len() {
+                // Refill: all per-tick queue work happens here, once, and
+                // the bucket handoff is an O(1) storage swap.
+                self.tick_batch.clear();
+                if self.metrics.events >= self.config.max_events {
+                    match self.queue.peek_time() {
+                        None => {
+                            self.now = self.now.max(deadline);
+                            return StopReason::Quiescent;
+                        }
+                        Some(t) if t > deadline => {
+                            self.now = deadline;
+                            return StopReason::Deadline;
+                        }
+                        Some(_) => return StopReason::EventLimit,
+                    }
+                }
+                let Some((t, head)) = self.queue.take_tick(deadline, &mut self.tick_batch) else {
+                    if self.queue.peek_time().is_some() {
+                        self.now = deadline;
+                        return StopReason::Deadline;
+                    }
+                    self.now = self.now.max(deadline);
+                    return StopReason::Quiescent;
+                };
+                self.tick_pos = head;
+                self.now = t;
+            } else if self.metrics.events >= self.config.max_events {
+                // Buffered events are at `now <= deadline`: valve trips.
+                return StopReason::EventLimit;
+            }
+            let ev = self.tick_batch[self.tick_pos]
+                .1
+                .take()
+                .expect("slot consumed twice");
+            self.tick_pos += 1;
+            // A maximal same-destination run of deliveries dispatches as
+            // one batch, capped so the event valve can still trip between
+            // messages exactly where the per-event path would stop.
+            // Singleton runs (the common case in broadcast meshes, where
+            // a tick interleaves destinations) skip the batch plumbing
+            // entirely and dispatch like any other event.
+            match ev.message_dst() {
+                Some(dst) if run_continues(&self.tick_batch, self.tick_pos, dst) => {
+                    let headroom = (self.config.max_events - self.metrics.events).max(1);
+                    if headroom > 1 {
+                        let msgs = self.feed.load(if self.trace.is_some() {
+                            Some(self.classifier.unwrap_or(|_| "msg"))
+                        } else {
+                            None
+                        });
+                        msgs.push(ev.into_msg());
+                        while (msgs.len() as u64) < headroom
+                            && run_continues(&self.tick_batch, self.tick_pos, dst)
+                        {
+                            let next = self.tick_batch[self.tick_pos]
+                                .1
+                                .take()
+                                .expect("slot consumed twice");
+                            self.tick_pos += 1;
+                            msgs.push(next.into_msg());
+                        }
+                        // The feed pops from the back: reverse into
+                        // delivery order.
+                        msgs.reverse();
+                        self.dispatch_message_batch(dst);
+                    } else {
+                        self.dispatch_message_single(dst, ev.into_msg());
+                    }
+                }
+                Some(dst) => self.dispatch_message_single(dst, ev.into_msg()),
+                None => self.dispatch(ev),
+            }
+            if cond(self) {
+                return StopReason::ConditionMet;
+            }
+        }
+    }
+
+    /// Dispatches one message whose destination the run loop already
+    /// extracted — the singleton-run fast path (no batch feed, no event
+    /// re-match), with a zero-action short-circuit: most deliveries in
+    /// polling-style protocols buffer or discard without acting, so the
+    /// action-buffer take/drain/restore cycle is skipped entirely unless
+    /// the callback actually recorded something.
+    fn dispatch_message_single(&mut self, dst: usize, msg: P::Msg) {
+        if self.skips_step(dst) {
+            return;
+        }
+        self.metrics.events += 1;
+        self.metrics.copies_delivered += 1;
+        if self.trace.is_some() {
+            let class = self.class_of(&msg);
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(TraceEvent::Delivered {
+                    at: self.now,
+                    process: dst,
+                    class,
+                });
+            }
+        }
+        debug_assert!(self.scratch_actions.is_empty());
+        {
+            // `procs` and `scratch_actions` are disjoint fields, so the
+            // callback can write straight into the engine's buffer.
+            let slot = &mut self.procs[dst];
+            let mut sink =
+                ActionSink::new(slot.id, self.now, &mut slot.rng, &mut self.scratch_actions);
+            slot.proc.on_message(msg, &mut sink);
+        }
+        if !self.scratch_actions.is_empty() {
+            let mut actions = std::mem::take(&mut self.scratch_actions);
+            for action in actions.drain(..) {
+                self.apply_one(dst, action);
+            }
+            actions.clear();
+            self.scratch_actions = actions;
+        }
+    }
+
+    /// Whether `dst` takes no step at the current instant.
+    #[inline]
+    fn skips_step(&self, dst: usize) -> bool {
+        self.now.ticks() >= self.dead_from[dst]
+    }
+
+    /// Dispatches one loaded message batch to `dst` through
+    /// [`Process::on_messages`], then replays the recorded action stream
+    /// message by message so traces, metrics and side effects are
+    /// byte-identical to per-message dispatch.
+    fn dispatch_message_batch(&mut self, dst: usize) {
+        if self.skips_step(dst) {
+            self.feed.recycle();
+            return;
+        }
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        debug_assert!(actions.is_empty());
+        {
+            let slot = &mut self.procs[dst];
+            let mut sink = ActionSink::with_feed(
+                slot.id,
+                self.now,
+                &mut slot.rng,
+                &mut actions,
+                &mut self.feed,
+            );
+            slot.proc.on_messages(&mut sink);
+        }
+        self.flush_batch(dst, &mut actions);
+        actions.clear();
+        self.scratch_actions = actions;
+    }
+
+    /// Replays a batch: for every consumed message, the `Delivered` trace
+    /// event, the metrics, then that message's actions — the exact order
+    /// the per-message path produces.
+    fn flush_batch(&mut self, dst: usize, actions: &mut Vec<Action<P::Msg, P::Output>>) {
+        let mut cuts = std::mem::take(&mut self.scratch_cuts);
+        cuts.extend_from_slice(self.feed.cuts());
+        self.feed.recycle();
+        let total = actions.len();
+        let mut drained = actions.drain(..);
+        // Actions recorded before the first pull (a custom `on_messages`
+        // acting before consuming — a contract violation, but one whose
+        // effects must not be silently dropped) apply ahead of any
+        // delivery; when nothing was pulled at all, that is every action.
+        let first = cuts.first().map_or(total, |&(f, _)| f);
+        debug_assert_eq!(first, 0, "on_messages acted before pulling a message");
+        for action in drained.by_ref().take(first) {
+            self.apply_one(dst, action);
+        }
+        for i in 0..cuts.len() {
+            let (start, class) = cuts[i];
+            self.metrics.events += 1;
+            self.metrics.copies_delivered += 1;
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(TraceEvent::Delivered {
+                    at: self.now,
+                    process: dst,
+                    class,
+                });
+            }
+            let end = cuts.get(i + 1).map_or(total, |&(e, _)| e);
+            for action in drained.by_ref().take(end - start) {
+                self.apply_one(dst, action);
+            }
+        }
+        drop(drained);
+        cuts.clear();
+        self.scratch_cuts = cuts;
+    }
+
+    /// Dispatches one event (start, timer, or a single message on the
+    /// legacy path).
     fn dispatch(&mut self, ev: Event<P::Msg>) {
         let dst = match &ev {
             Event::Start { dst }
@@ -410,16 +820,7 @@ impl<P: Process> Engine<P> {
             | Event::DeliverShared { dst, .. }
             | Event::Timer { dst, .. } => *dst,
         };
-        let slot = &self.procs[dst];
-        // The legacy baseline consults the schedule table per event, as
-        // the pre-optimization engine did; the current path uses the
-        // crash time cached in the process slot.
-        let crashed = if self.config.legacy_hot_path {
-            !self.config.sched.is_alive(dst, self.now)
-        } else {
-            slot.crash_at.is_some_and(|c| self.now >= c)
-        };
-        if slot.halted || crashed {
+        if self.skips_step(dst) {
             return;
         }
         self.metrics.events += 1;
@@ -449,29 +850,16 @@ impl<P: Process> Engine<P> {
                 trace.record(tev);
             }
         }
-        // The legacy baseline allocates a fresh action buffer per
-        // callback, as the pre-optimization engine did; the current path
-        // reuses one buffer for the whole run.
-        let mut actions = if self.config.legacy_hot_path {
-            Vec::new()
-        } else {
-            std::mem::take(&mut self.scratch_actions)
-        };
+        let mut actions = std::mem::take(&mut self.scratch_actions);
         debug_assert!(actions.is_empty());
         {
             let slot = &mut self.procs[dst];
             let mut sink = ActionSink::new(slot.id, self.now, &mut slot.rng, &mut actions);
             match ev {
                 Event::Start { .. } => slot.proc.on_start(&mut sink),
-                Event::Deliver { msg, .. } => {
+                Event::Deliver { .. } | Event::DeliverShared { .. } => {
                     self.metrics.copies_delivered += 1;
-                    slot.proc.on_message(msg, &mut sink);
-                }
-                Event::DeliverShared { msg, .. } => {
-                    self.metrics.copies_delivered += 1;
-                    // Last copy standing is moved out; earlier copies clone.
-                    let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
-                    slot.proc.on_message(msg, &mut sink);
+                    slot.proc.on_message(ev.into_msg(), &mut sink);
                 }
                 Event::Timer { tag, .. } => {
                     self.metrics.timers_fired += 1;
@@ -479,47 +867,44 @@ impl<P: Process> Engine<P> {
                 }
             }
         }
-        self.apply(dst, &mut actions);
-        if !self.config.legacy_hot_path {
-            actions.clear();
-            self.scratch_actions = actions;
+        for action in actions.drain(..) {
+            self.apply_one(dst, action);
         }
+        self.scratch_actions = actions;
     }
 
-    fn apply(&mut self, src: usize, actions: &mut Vec<Action<P::Msg, P::Output>>) {
-        for action in actions.drain(..) {
-            match action {
-                Action::Broadcast(msg) => self.do_broadcast(src, msg),
-                Action::SetTimer(delay, tag) => {
-                    let at = self.now + Span::from_ticks(delay.ticks().max(1));
-                    self.push(at, Event::Timer { dst: src, tag });
-                }
-                Action::Publish(output) => {
-                    self.histories[src].push((self.now, output));
-                }
-                Action::Decide(v) => {
-                    if self.decisions[src].is_none() {
-                        self.decisions[src] = Some((self.now, v));
-                        if self.config.sched.is_correct(src) {
-                            self.undecided_correct -= 1;
-                        }
-                        if let Some(trace) = self.trace.as_mut() {
-                            trace.record(TraceEvent::Decided {
-                                at: self.now,
-                                process: src,
-                                value: v,
-                            });
-                        }
+    fn apply_one(&mut self, src: usize, action: Action<P::Msg, P::Output>) {
+        match action {
+            Action::Broadcast(msg) => self.do_broadcast(src, msg),
+            Action::SetTimer(delay, tag) => {
+                let at = self.now + Span::from_ticks(delay.ticks().max(1));
+                self.push(at, Event::Timer { dst: src, tag });
+            }
+            Action::Publish(output) => {
+                self.histories[src].push((self.now, output));
+            }
+            Action::Decide(v) => {
+                if self.decisions[src].is_none() {
+                    self.decisions[src] = Some((self.now, v));
+                    if self.config.sched.is_correct(src) {
+                        self.undecided_correct -= 1;
                     }
-                }
-                Action::Halt => {
-                    self.procs[src].halted = true;
                     if let Some(trace) = self.trace.as_mut() {
-                        trace.record(TraceEvent::Halted {
+                        trace.record(TraceEvent::Decided {
                             at: self.now,
                             process: src,
+                            value: v,
                         });
                     }
+                }
+            }
+            Action::Halt => {
+                self.dead_from[src] = 0;
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(TraceEvent::Halted {
+                        at: self.now,
+                        process: src,
+                    });
                 }
             }
         }
@@ -541,17 +926,22 @@ impl<P: Process> Engine<P> {
             }
         }
         // A broadcast at the sender's final step reaches an arbitrary
-        // subset of the processes.
+        // subset of the processes; its mask draws interleave with the
+        // routing draws per copy, so it must take the per-copy path on
+        // both configurations to keep the network stream identical.
         let dying = self.config.partial_broadcast_on_crash
-            && self.procs[src].crash_at == Some(self.now.next());
-        if self.config.legacy_hot_path || plain_payload::<P::Msg>() {
-            // One owned payload per queued copy. On the legacy baseline
-            // this is the pre-optimization deep clone per destination; on
-            // the current path it is taken only for payloads with no
-            // owned heap state (scalar-only enums and structs), which
-            // are cheaper to copy inline than to share: an Arc costs an
-            // allocation plus two atomic ops per copy, a plain <=64-byte
-            // memcpy costs neither.
+            && self.dead_from[src] == self.now.next().ticks();
+        if self.config.legacy_hot_path || dying {
+            self.broadcast_per_copy(src, msg, dying);
+        } else {
+            self.broadcast_batched(src, msg);
+        }
+    }
+
+    /// The pre-batching broadcast: one network-model match and route per
+    /// copy, interleaved with the dying-sender mask draws.
+    fn broadcast_per_copy(&mut self, src: usize, msg: P::Msg, dying: bool) {
+        if plain_payload::<P::Msg>() {
             for dst in 0..self.n() {
                 if dying && self.net_rng.gen_bool(0.5) {
                     continue;
@@ -580,10 +970,60 @@ impl<P: Process> Engine<P> {
         }
     }
 
+    /// The batched broadcast: all `n` copies' fates stream out of
+    /// [`NetworkModel::route_each`] (identical draws in identical order;
+    /// the per-copy model match, GST compare and sampler setup are
+    /// hoisted per broadcast) straight into adversary consultation and
+    /// queue insertion — one fused pass, no intermediate fate buffer.
+    fn broadcast_batched(&mut self, src: usize, msg: P::Msg) {
+        let n = self.n();
+        let now = self.now;
+        // The network stream is drawn inside the fused closure while the
+        // engine is mutably borrowed, so the RNG steps out for the loop
+        // (a 32-byte swap per broadcast).
+        let network = self.config.network.clone();
+        let mut rng = std::mem::replace(&mut self.net_rng, StdRng::seed_from_u64(0));
+        self.metrics.copies_sent += n as u64;
+        if plain_payload::<P::Msg>() {
+            network.route_each(now, n, &mut rng, |dst, fate| match fate {
+                None => self.metrics.copies_lost += 1,
+                Some(base) => {
+                    if let Some(at) = self.adversary_fate(src, dst, base) {
+                        if self.deliverable(dst, at) {
+                            let msg = msg.clone();
+                            self.queue
+                                .push_in_order(at, self.seq, Event::Deliver { dst, msg });
+                            self.seq += 1;
+                        }
+                    }
+                }
+            });
+        } else {
+            let shared = Arc::new(msg);
+            network.route_each(now, n, &mut rng, |dst, fate| match fate {
+                None => self.metrics.copies_lost += 1,
+                Some(base) => {
+                    if let Some(at) = self.adversary_fate(src, dst, base) {
+                        if self.deliverable(dst, at) {
+                            let msg = Arc::clone(&shared);
+                            self.queue.push_in_order(
+                                at,
+                                self.seq,
+                                Event::DeliverShared { dst, msg },
+                            );
+                            self.seq += 1;
+                        }
+                    }
+                }
+            });
+        }
+        self.net_rng = rng;
+    }
+
     /// The fate of one copy: the network routes it, then the adversary
     /// (when installed) may defer, delay or drop it. Shared by both
-    /// payload branches of [`Engine::do_broadcast`] and therefore by both
-    /// hot paths, which is what keeps the legacy-vs-calendar trace
+    /// payload branches of the per-copy broadcast and therefore by both
+    /// hot paths, which is what keeps the legacy-vs-batched trace
     /// equality intact under any script.
     fn route_copy(&mut self, src: usize, dst: usize) -> Option<Time> {
         let base = match self.config.network.route(self.now, &mut self.net_rng) {
@@ -593,6 +1033,12 @@ impl<P: Process> Engine<P> {
                 return None;
             }
         };
+        self.adversary_fate(src, dst, base)
+    }
+
+    /// The adversary's verdict on an already-routed copy (transparent
+    /// when no script is installed).
+    fn adversary_fate(&mut self, src: usize, dst: usize, base: Time) -> Option<Time> {
         let Some(script) = &self.config.adversary else {
             return Some(base);
         };
@@ -606,8 +1052,26 @@ impl<P: Process> Engine<P> {
     }
 
     fn push(&mut self, at: Time, ev: Event<P::Msg>) {
-        self.queue.push(at, self.seq, ev);
+        // Engine pushes are always seq-monotone; the batched path takes
+        // the append-only insert, the legacy path keeps the PR 1 shape
+        // (guarded insert).
+        if self.config.legacy_hot_path {
+            self.queue.push(at, self.seq, ev);
+        } else {
+            self.queue.push_in_order(at, self.seq, ev);
+        }
         self.seq += 1;
+    }
+
+    /// Whether a copy arriving at `at` could ever be observed by `dst`:
+    /// false once `dst` is halted (permanent) or its crash time is at or
+    /// before the delivery instant. The batched broadcast elides queuing
+    /// such copies — dispatch would skip them without a trace event, a
+    /// metric or a callback, so eliding them changes nothing observable
+    /// (the per-event legacy path queues them, as PR 1 did).
+    #[inline]
+    fn deliverable(&self, dst: usize, at: Time) -> bool {
+        at.ticks() < self.dead_from[dst]
     }
 }
 
@@ -725,6 +1189,53 @@ mod tests {
     }
 
     #[test]
+    fn batched_and_legacy_paths_agree_end_to_end() {
+        let run = |seed: u64, legacy: bool| {
+            let mut cfg = small_config(5);
+            cfg.network =
+                NetworkModel::Asynchronous(crate::network::LatencyDistribution::Uniform {
+                    min: Span::from_ticks(1),
+                    max: Span::from_ticks(6),
+                });
+            cfg.sched = FailureSchedule::none(5).with_crash(1, Time::from_ticks(7));
+            cfg.seed = seed;
+            cfg.legacy_hot_path = legacy;
+            let mut e = Engine::new(cfg, |_, _| Echo { cap: 6 });
+            e.enable_trace(1_000_000);
+            e.run_until(Time::from_ticks(400));
+            (
+                e.metrics().clone(),
+                e.histories().to_vec(),
+                e.trace().expect("enabled").clone(),
+            )
+        };
+        for seed in 0..6 {
+            assert_eq!(run(seed, false), run(seed, true), "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn arena_reuse_reproduces_fresh_runs() {
+        let run_fresh = |seed: u64| {
+            let mut e = Engine::new(small_config(4).with_seed(seed), |_, _| Echo { cap: 5 });
+            e.run_until(Time::from_ticks(300));
+            (e.metrics().clone(), e.histories().to_vec())
+        };
+        let mut arena = EngineArena::new();
+        for seed in 0..8 {
+            let mut e = Engine::new_in(
+                small_config(4).with_seed(seed),
+                |_, _| Echo { cap: 5 },
+                arena,
+            );
+            e.run_until(Time::from_ticks(300));
+            let got = (e.metrics().clone(), e.histories().to_vec());
+            assert_eq!(got, run_fresh(seed), "arena run diverged for seed {seed}");
+            arena = e.into_arena();
+        }
+    }
+
+    #[test]
     fn deadline_stops_before_late_events() {
         struct Clock;
         impl Process for Clock {
@@ -785,9 +1296,17 @@ mod tests {
             }
             fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, u64, u64>) {}
         }
-        let mut e = Engine::new(small_config(1), |_, _| OneShot { heard: 0 });
-        e.run_until(Time::from_ticks(100));
-        assert_eq!(e.process(0).heard, 1);
+        // n = 1 with two broadcasts at t0: both copies arrive at t1 as one
+        // same-(time, dest) batch, so this also pins the mid-batch halt
+        // semantics (the second message is dropped unseen on both paths).
+        for legacy in [false, true] {
+            let mut cfg = small_config(1);
+            cfg.legacy_hot_path = legacy;
+            let mut e = Engine::new(cfg, |_, _| OneShot { heard: 0 });
+            e.run_until(Time::from_ticks(100));
+            assert_eq!(e.process(0).heard, 1, "legacy={legacy}");
+            assert_eq!(e.metrics().copies_delivered, 1, "legacy={legacy}");
+        }
     }
 
     #[test]
@@ -804,10 +1323,14 @@ mod tests {
             }
             fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, (), ()>) {}
         }
-        let mut cfg = small_config(2);
-        cfg.max_events = 100;
-        let mut e = Engine::new(cfg, |_, _| Storm);
-        assert_eq!(e.run_until(Time::MAX), StopReason::EventLimit);
+        for legacy in [false, true] {
+            let mut cfg = small_config(2);
+            cfg.max_events = 100;
+            cfg.legacy_hot_path = legacy;
+            let mut e = Engine::new(cfg, |_, _| Storm);
+            assert_eq!(e.run_until(Time::MAX), StopReason::EventLimit);
+            assert_eq!(e.metrics().events, 100, "legacy={legacy}");
+        }
     }
 
     #[test]

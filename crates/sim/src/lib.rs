@@ -63,22 +63,22 @@ pub mod sync_engine;
 pub mod trace;
 
 pub use adversary::{LinkClause, LinkEffect, LinkFaultScript, ProcSet};
-pub use engine::{Engine, Metrics, SimConfig, StopReason};
+pub use engine::{Engine, EngineArena, Metrics, SimConfig, StopReason};
 pub use network::{LatencyDistribution, NetworkModel, PreGstBehavior};
 pub use process::{ActionSink, Message, Process, TimerTag};
 pub use stack::{split_history, Either, Stacked};
-pub use sweep::parallel_seed_sweep;
+pub use sweep::{parallel_seed_sweep, parallel_seed_sweep_with};
 pub use sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
 pub use trace::{Trace, TraceEvent};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::adversary::{LinkClause, LinkEffect, LinkFaultScript, ProcSet};
-    pub use crate::engine::{Engine, Metrics, SimConfig, StopReason};
+    pub use crate::engine::{Engine, EngineArena, Metrics, SimConfig, StopReason};
     pub use crate::network::{LatencyDistribution, NetworkModel, PreGstBehavior};
     pub use crate::process::{ActionSink, Message, Process, TimerTag};
     pub use crate::stack::{split_history, Either, Stacked};
-    pub use crate::sweep::parallel_seed_sweep;
+    pub use crate::sweep::{parallel_seed_sweep, parallel_seed_sweep_with};
     pub use crate::sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
     pub use crate::trace::{Trace, TraceEvent};
 }

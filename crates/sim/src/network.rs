@@ -17,6 +17,7 @@
 //!   realizes the synchronous model.
 
 use homonym_core::time::{Span, Time};
+use rand::distributions::Uniform;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -184,6 +185,119 @@ impl NetworkModel {
         }
     }
 
+    /// Routes all `copies` copies of one broadcast sent at `sent_at`,
+    /// appending each copy's fate to `out` in destination order — the
+    /// buffer-filling form of [`NetworkModel::route_each`], sharing its
+    /// implementation (and therefore its stream contract: draw-for-draw
+    /// identical to `copies` successive [`NetworkModel::route`] calls,
+    /// asserted by `route_batch_matches_per_copy_route`).
+    pub fn route_batch(
+        &self,
+        sent_at: Time,
+        copies: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<Option<Time>>,
+    ) {
+        out.reserve(copies);
+        self.route_each(sent_at, copies, rng, |_, fate| out.push(fate));
+    }
+
+    /// Streaming form of [`NetworkModel::route_batch`]: routes `copies`
+    /// copies with the same hoisted per-broadcast setup, but hands each
+    /// copy's fate to `sink(dst, fate)` as it is drawn instead of filling
+    /// a buffer — the engine's broadcast loop fuses routing, adversary
+    /// consultation and queue insertion into one pass this way.
+    ///
+    /// Same stream contract as `route_batch`: draw-for-draw identical to
+    /// `copies` successive [`NetworkModel::route`] calls.
+    #[inline]
+    pub fn route_each(
+        &self,
+        sent_at: Time,
+        copies: usize,
+        rng: &mut StdRng,
+        mut sink: impl FnMut(usize, Option<Time>),
+    ) {
+        let delay_dist = |lo: u64, hi: u64| Uniform::new_inclusive(lo, hi.max(lo));
+        match self {
+            NetworkModel::Asynchronous(LatencyDistribution::Fixed(d)) => {
+                let at = sent_at + Span::from_ticks(d.ticks().max(1));
+                for dst in 0..copies {
+                    sink(dst, Some(at));
+                }
+            }
+            NetworkModel::Synchronous => {
+                let at = sent_at + Span::TICK;
+                for dst in 0..copies {
+                    sink(dst, Some(at));
+                }
+            }
+            NetworkModel::Asynchronous(LatencyDistribution::Uniform { min, max }) => {
+                let dist = delay_dist(min.ticks(), max.ticks());
+                for dst in 0..copies {
+                    sink(
+                        dst,
+                        Some(sent_at + Span::from_ticks(dist.sample(rng).max(1))),
+                    );
+                }
+            }
+            NetworkModel::Asynchronous(LatencyDistribution::SkewedTail {
+                base,
+                tail,
+                slow_percent,
+            }) => {
+                let roll = Uniform::new_inclusive(0, 99);
+                let tail_dist = Uniform::new_inclusive(0, tail.ticks());
+                let percent = u64::from((*slow_percent).min(100));
+                for dst in 0..copies {
+                    let ticks = if roll.sample(rng) < percent {
+                        base.ticks() + tail_dist.sample(rng)
+                    } else {
+                        base.ticks()
+                    };
+                    sink(dst, Some(sent_at + Span::from_ticks(ticks.max(1))));
+                }
+            }
+            NetworkModel::PartialSync {
+                gst,
+                delta,
+                pre_gst,
+            } => {
+                if sent_at >= *gst {
+                    let dist = delay_dist(1, delta.ticks());
+                    for dst in 0..copies {
+                        sink(dst, Some(sent_at + Span::from_ticks(dist.sample(rng))));
+                    }
+                } else {
+                    match pre_gst {
+                        PreGstBehavior::LossyDelay {
+                            loss_percent,
+                            max_delay,
+                        } => {
+                            let roll = Uniform::new_inclusive(0, 99);
+                            let percent = u64::from((*loss_percent).min(100));
+                            let dist = delay_dist(1, max_delay.ticks());
+                            for dst in 0..copies {
+                                let fate = if roll.sample(rng) < percent {
+                                    None
+                                } else {
+                                    Some(sent_at + Span::from_ticks(dist.sample(rng)))
+                                };
+                                sink(dst, fate);
+                            }
+                        }
+                        PreGstBehavior::DelayOnly { max_delay } => {
+                            let dist = delay_dist(1, max_delay.ticks());
+                            for dst in 0..copies {
+                                sink(dst, Some(sent_at + Span::from_ticks(dist.sample(rng))));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Whether this model guarantees delivery of every copy.
     #[must_use]
     pub fn is_reliable(&self) -> bool {
@@ -312,6 +426,60 @@ mod tests {
             assert_eq!(sample_delay(&mut r, Span::TICK), Span::TICK);
             let d = sample_delay(&mut r, Span::from_ticks(5)).ticks();
             assert!((1..=5).contains(&d));
+        }
+    }
+
+    /// The batched route must consume the RNG stream exactly as the
+    /// per-copy route does, for every model shape, so switching the
+    /// engine between the two paths cannot perturb a seeded run.
+    #[test]
+    fn route_batch_matches_per_copy_route() {
+        let models = [
+            NetworkModel::reliable(Span::from_ticks(3)),
+            NetworkModel::Synchronous,
+            NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+                min: Span::from_ticks(2),
+                max: Span::from_ticks(9),
+            }),
+            NetworkModel::Asynchronous(LatencyDistribution::SkewedTail {
+                base: Span::from_ticks(1),
+                tail: Span::from_ticks(7),
+                slow_percent: 35,
+            }),
+            NetworkModel::PartialSync {
+                gst: Time::from_ticks(50),
+                delta: Span::from_ticks(4),
+                pre_gst: PreGstBehavior::LossyDelay {
+                    loss_percent: 40,
+                    max_delay: Span::from_ticks(20),
+                },
+            },
+            NetworkModel::PartialSync {
+                gst: Time::from_ticks(50),
+                delta: Span::from_ticks(4),
+                pre_gst: PreGstBehavior::DelayOnly {
+                    max_delay: Span::from_ticks(20),
+                },
+            },
+        ];
+        for model in &models {
+            for seed in 0..5u64 {
+                // Pre- and post-GST send instants, interleaved sends: the
+                // streams must stay aligned across successive broadcasts.
+                let mut a = StdRng::seed_from_u64(seed);
+                let mut b = StdRng::seed_from_u64(seed);
+                let mut batched = Vec::new();
+                for &sent in &[0u64, 49, 50, 51, 200] {
+                    let sent = Time::from_ticks(sent);
+                    batched.clear();
+                    model.route_batch(sent, 16, &mut a, &mut batched);
+                    let per_copy: Vec<Option<Time>> =
+                        (0..16).map(|_| model.route(sent, &mut b)).collect();
+                    assert_eq!(batched, per_copy, "diverged on {model:?} seed {seed}");
+                }
+                // And the engines' states must agree afterwards.
+                assert_eq!(a.gen_range(0..u64::MAX), b.gen_range(0..u64::MAX));
+            }
         }
     }
 

@@ -50,8 +50,77 @@ pub trait Process: Send + 'static {
     /// The sender and the link are unobservable, per the model.
     fn on_message(&mut self, msg: Self::Msg, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>);
 
+    /// Batched delivery: called once for a maximal run of messages that
+    /// arrive at this process at the same instant with consecutive
+    /// insertion sequences (the engine's batched hot path; see
+    /// `SimConfig::legacy_hot_path` for the per-message baseline).
+    /// Messages are pulled in delivery order through
+    /// [`ActionSink::next_message`].
+    ///
+    /// The default implementation replays the messages one by one through
+    /// [`Process::on_message`], which is **exactly** equivalent to the
+    /// per-message dispatch path: the engine stamps the action stream at
+    /// every pull, so effects are attributed (and applied) per message in
+    /// the original order. Overriding implementations must preserve that
+    /// equivalence — process each pulled message fully before pulling the
+    /// next, and stop pulling once [`ActionSink::halted`] (the sink
+    /// enforces the latter by returning `None` after a halt).
+    fn on_messages(&mut self, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>) {
+        while let Some(msg) = ctx.next_message() {
+            self.on_message(msg, ctx);
+        }
+    }
+
     /// Called when a timer armed through [`ActionSink::set_timer`] fires.
     fn on_timer(&mut self, timer: TimerTag, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>);
+}
+
+/// Engine-side state backing one batched same-`(time, dest)` delivery:
+/// the pending messages plus, per consumed message, the cut point in the
+/// action buffer (so the engine can attribute actions to the message that
+/// produced them) and the message's class label for the trace.
+#[derive(Debug)]
+pub(crate) struct BatchFeed<M> {
+    /// Pending messages in **reverse** delivery order, so consuming the
+    /// next message is an O(1) pop from the back.
+    msgs: Vec<M>,
+    /// `(actions.len() at hand-out, class)` per consumed message.
+    cuts: Vec<(usize, &'static str)>,
+    /// Classifier for trace labels; `None` skips classification (no
+    /// trace is being recorded).
+    classifier: Option<fn(&M) -> &'static str>,
+}
+
+impl<M> BatchFeed<M> {
+    pub(crate) fn new() -> Self {
+        BatchFeed {
+            msgs: Vec::new(),
+            cuts: Vec::new(),
+            classifier: None,
+        }
+    }
+
+    /// Prepares the feed for one batch: `msgs` must already be in reverse
+    /// delivery order. `classifier` is `Some` only when trace labels are
+    /// needed.
+    pub(crate) fn load(&mut self, classifier: Option<fn(&M) -> &'static str>) -> &mut Vec<M> {
+        debug_assert!(self.msgs.is_empty() && self.cuts.is_empty());
+        self.classifier = classifier;
+        &mut self.msgs
+    }
+
+    /// The per-consumed-message cut points recorded during the callback.
+    pub(crate) fn cuts(&self) -> &[(usize, &'static str)] {
+        &self.cuts
+    }
+
+    /// Clears the feed for reuse; unconsumed messages (a mid-batch halt)
+    /// are dropped, exactly as the per-message path would skip them.
+    pub(crate) fn recycle(&mut self) {
+        self.msgs.clear();
+        self.cuts.clear();
+        self.classifier = None;
+    }
 }
 
 /// Effects a process can request during a callback.
@@ -84,6 +153,9 @@ pub struct ActionSink<'a, M, O> {
     rng: &'a mut StdRng,
     actions: &'a mut Vec<Action<M, O>>,
     halted: bool,
+    /// Pending batched delivery, when the engine dispatched a message
+    /// batch (see [`Process::on_messages`]).
+    feed: Option<&'a mut BatchFeed<M>>,
 }
 
 impl<'a, M, O> ActionSink<'a, M, O> {
@@ -101,7 +173,47 @@ impl<'a, M, O> ActionSink<'a, M, O> {
             rng,
             actions,
             halted: false,
+            feed: None,
         }
+    }
+
+    /// Creates a sink for a batched delivery, feeding messages out of
+    /// `feed` (engine-internal).
+    pub(crate) fn with_feed(
+        my_id: Identity,
+        now: Time,
+        rng: &'a mut StdRng,
+        actions: &'a mut Vec<Action<M, O>>,
+        feed: &'a mut BatchFeed<M>,
+    ) -> Self {
+        ActionSink {
+            my_id,
+            now,
+            rng,
+            actions,
+            halted: false,
+            feed: Some(feed),
+        }
+    }
+
+    /// Pulls the next message of the current delivery batch, or `None`
+    /// when the batch is exhausted, this callback is not a batched
+    /// delivery, or the process has already requested a halt (a halted
+    /// process receives nothing more, matching the per-message path's
+    /// skip of events addressed to a halted process).
+    ///
+    /// Each pull stamps the action stream, which is how the engine
+    /// attributes actions — and orders trace events — per message even
+    /// though the whole batch runs inside one callback.
+    pub fn next_message(&mut self) -> Option<M> {
+        if self.halted {
+            return None;
+        }
+        let feed = self.feed.as_deref_mut()?;
+        let msg = feed.msgs.pop()?;
+        let class = feed.classifier.map_or("msg", |f| f(&msg));
+        feed.cuts.push((self.actions.len(), class));
+        Some(msg)
     }
 
     /// The identifier `id(p)` of this process. Homonyms observe the same

@@ -1,5 +1,5 @@
 //! The engine's event queue: a tick-bucketed calendar queue with a
-//! binary-heap overflow, plus the legacy `BTreeMap` queue it replaced.
+//! binary-heap overflow.
 //!
 //! Dispatch order is the deterministic `(time, insertion sequence)` order
 //! the engine has always used; the calendar queue reproduces it
@@ -7,6 +7,16 @@
 //! `tests/trace_determinism.rs` assert) while turning the dominant
 //! push/pop pattern — deliveries a small bounded latency ahead of `now` —
 //! into O(1) array operations instead of `BTreeMap` node traffic.
+//!
+//! Two dequeue shapes are offered: the per-event
+//! [`CalendarQueue::pop_at_or_before`] (the pre-batching hot path, kept
+//! for the `SimConfig::legacy_hot_path` baseline), and the batched
+//! [`CalendarQueue::take_tick`], which hands over **every** event of the
+//! earliest tick in one bucket-storage swap so the engine pays the window-advance,
+//! overflow-migration and occupancy-scan costs once per tick instead of
+//! once per event. Both dequeue in exactly the same `(time, seq)` order;
+//! the queue tests prove them equivalent against a `BTreeMap` reference
+//! model.
 //!
 //! # Design
 //!
@@ -22,7 +32,7 @@
 //!   them, so cross-structure ordering can never interleave wrongly.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use homonym_core::time::Time;
 
@@ -102,6 +112,9 @@ impl<E> CalendarQueue<E> {
         }
     }
 
+    /// Whether no events remain (used by the queue tests; the engines
+    /// detect quiescence through `peek_time`).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn is_empty(&self) -> bool {
         self.ring_len == 0 && self.overflow.is_empty()
     }
@@ -148,6 +161,35 @@ impl<E> CalendarQueue<E> {
             // Overflow events sit at or beyond `window + WHEEL_TICKS`,
             // which a memoized ring tick never exceeds, so the memo
             // stays valid.
+            self.overflow.push(Reverse(FarEvent { at, seq, event }));
+        }
+    }
+
+    /// Append-only insert for callers that push in globally increasing
+    /// `seq` order (the engine always does: sequences are handed out
+    /// monotonically and a bucket never holds two ticks at once, so the
+    /// out-of-order guard in [`CalendarQueue::push`] can never fire).
+    /// Skips the tail-sequence load and compare on the hottest store of
+    /// the simulator; the batched engine path uses this, the legacy path
+    /// keeps the guarded [`CalendarQueue::push`] shape.
+    #[inline]
+    pub(crate) fn push_in_order(&mut self, at: Time, seq: u64, event: E) {
+        let at = at.ticks();
+        debug_assert!(at >= self.window, "event scheduled before the window");
+        if at - self.window < WHEEL_TICKS {
+            let idx = (at % WHEEL_TICKS) as usize;
+            let bucket = &mut self.buckets[idx];
+            debug_assert!(
+                bucket.items.last().is_none_or(|&(last, _)| last < seq),
+                "push_in_order caller violated seq monotonicity"
+            );
+            bucket.items.push((seq, Some(event)));
+            self.set_occupied(idx);
+            self.ring_len += 1;
+            if self.next_tick.is_some_and(|next| at < next) {
+                self.next_tick = Some(at);
+            }
+        } else {
             self.overflow.push(Reverse(FarEvent { at, seq, event }));
         }
     }
@@ -243,90 +285,82 @@ impl<E> CalendarQueue<E> {
         self.ring_len -= 1;
         Some((Time::from_ticks(at), seq, event))
     }
-}
-
-/// The engine-facing queue: the calendar queue, or the legacy
-/// `BTreeMap<(Time, seq), E>` kept for baseline benchmarking and
-/// equivalence testing (see `SimConfig::legacy_hot_path`).
-pub(crate) enum EventQueue<E> {
-    /// Tick-bucketed calendar queue (the default).
-    Calendar(CalendarQueue<E>),
-    /// The pre-optimization queue, byte-for-byte the old dispatch order.
-    Legacy(BTreeMap<(Time, u64), E>),
-}
-
-impl<E> EventQueue<E> {
-    pub(crate) fn new(legacy: bool) -> Self {
-        if legacy {
-            EventQueue::Legacy(BTreeMap::new())
-        } else {
-            EventQueue::Calendar(CalendarQueue::new())
-        }
-    }
-
-    pub(crate) fn push(&mut self, at: Time, seq: u64, event: E) {
-        match self {
-            EventQueue::Calendar(q) => q.push(at, seq, event),
-            EventQueue::Legacy(q) => {
-                q.insert((at, seq), event);
-            }
-        }
-    }
-
-    pub(crate) fn peek_time(&mut self) -> Option<Time> {
-        match self {
-            EventQueue::Calendar(q) => q.peek_time(),
-            EventQueue::Legacy(q) => q.first_key_value().map(|(&(t, _), _)| t),
-        }
-    }
-
-    /// Unconditional pop (used by tests; the engine's run loop uses
-    /// [`EventQueue::pop_at_or_before`]).
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn pop(&mut self) -> Option<(Time, u64, E)> {
-        match self {
-            EventQueue::Calendar(q) => q.pop(),
-            EventQueue::Legacy(q) => q.pop_first().map(|((t, s), e)| (t, s, e)),
-        }
-    }
 
     /// Pops the earliest event only when it is at or before `deadline` —
-    /// the engine's run-loop pattern, fused so the calendar queue resolves
-    /// its memoized next tick once per event. The legacy arm keeps the
-    /// pre-optimization peek-then-pop double descent.
+    /// the per-event run-loop pattern, fused so the queue resolves its
+    /// memoized next tick once per event. This is the
+    /// `SimConfig::legacy_hot_path` dequeue shape.
+    #[inline]
     pub(crate) fn pop_at_or_before(&mut self, deadline: Time) -> Option<(Time, u64, E)> {
-        match self {
-            EventQueue::Calendar(q) => {
-                if q.peek_time()? > deadline {
-                    return None;
-                }
-                q.pop()
-            }
-            EventQueue::Legacy(q) => {
-                let (&(t, _), _) = q.first_key_value()?;
-                if t > deadline {
-                    return None;
-                }
-                q.pop_first().map(|((t, s), e)| (t, s, e))
-            }
+        if self.peek_time()? > deadline {
+            return None;
         }
+        self.pop()
     }
 
-    /// Whether no events remain (used by tests; the engine's run loop
-    /// detects quiescence through `peek_time`).
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn is_empty(&self) -> bool {
-        match self {
-            EventQueue::Calendar(q) => q.is_empty(),
-            EventQueue::Legacy(q) => q.is_empty(),
+    /// Takes **every** event of the earliest tick at or before `deadline`
+    /// by swapping the tick's bucket storage into `out` (entries in
+    /// `(seq)` order; popped slots are `None`), and returns that tick's
+    /// time; `None` when the queue is empty or the earliest event lies
+    /// beyond the deadline (`out` is untouched then).
+    ///
+    /// `out` must arrive empty: it becomes the bucket's replacement
+    /// storage, so the caller hands its (cleared) buffer back on the next
+    /// call and bucket capacities circulate between the queue and the
+    /// caller without reallocation.
+    ///
+    /// This is the batched dequeue: window advance, overflow migration
+    /// and the occupancy-bitmap scan happen once per *tick*, the handoff
+    /// is an O(1) pointer swap, and each event is moved exactly once (by
+    /// the caller, out of the swapped buffer). No event can be scheduled
+    /// *at* the tick being drained (the engine only schedules strictly
+    /// after `now`), so the drain can never miss a same-tick straggler.
+    ///
+    /// Returns the index of the first live slot (`> 0` only if per-event
+    /// pops already consumed a prefix of the tick) along with the time.
+    pub(crate) fn take_tick(
+        &mut self,
+        deadline: Time,
+        out: &mut Vec<(u64, Option<E>)>,
+    ) -> Option<(Time, usize)> {
+        debug_assert!(out.is_empty());
+        let at = self.peek_time()?;
+        if at > deadline {
+            return None;
         }
+        let at = at.ticks();
+        if self.window < at {
+            self.window = at;
+            // Advancing the window may pull more overflow events into
+            // range at this same tick.
+            self.migrate_overflow();
+        }
+        let idx = (at % WHEEL_TICKS) as usize;
+        let bucket = &mut self.buckets[idx];
+        debug_assert!(!bucket.is_drained(), "occupancy bit without items");
+        let live = bucket.items.len() - bucket.head;
+        std::mem::swap(&mut bucket.items, out);
+        let head = bucket.head;
+        bucket.head = 0;
+        self.clear_occupied(idx);
+        self.next_tick = None;
+        self.ring_len -= live;
+        Some((Time::from_ticks(at), head))
     }
 
-    pub(crate) fn len(&self) -> usize {
-        match self {
-            EventQueue::Calendar(q) => q.len(),
-            EventQueue::Legacy(q) => q.len(),
+    /// Returns the queue to its freshly-constructed state while keeping
+    /// every bucket's allocation, so a sweep can reuse one queue across
+    /// runs (see `EngineArena`).
+    pub(crate) fn reset(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.items.clear();
+            bucket.head = 0;
         }
+        self.occupied = [0; WHEEL_WORDS];
+        self.ring_len = 0;
+        self.window = 0;
+        self.next_tick = None;
+        self.overflow.clear();
     }
 }
 
@@ -425,14 +459,15 @@ mod tests {
     }
 
     #[test]
-    fn legacy_and_calendar_agree_on_random_workloads() {
+    fn reference_model_and_calendar_agree_on_random_workloads() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
+        use std::collections::BTreeMap;
 
         for seed in 0..20 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut cal = EventQueue::new(false);
-            let mut leg = EventQueue::new(true);
+            let mut cal = CalendarQueue::new();
+            let mut reference: BTreeMap<(Time, u64), u64> = BTreeMap::new();
             let mut seq = 0u64;
             let mut now = 0u64;
             let mut ops = 0;
@@ -447,22 +482,105 @@ mod tests {
                     };
                     let at = Time::from_ticks(now + horizon);
                     cal.push(at, seq, seq);
-                    leg.push(at, seq, seq);
+                    reference.insert((at, seq), seq);
                     seq += 1;
                 } else {
-                    assert_eq!(cal.peek_time(), leg.peek_time());
+                    assert_eq!(
+                        cal.peek_time(),
+                        reference.first_key_value().map(|(&(t, _), _)| t)
+                    );
                     let a = cal.pop();
-                    let b = leg.pop();
+                    let b = reference.pop_first().map(|((t, s), e)| (t, s, e));
                     assert_eq!(a, b, "diverged at op {ops} of seed {seed}");
                     if let Some((t, _, _)) = a {
                         now = t.ticks();
                     }
                 }
             }
-            while !leg.is_empty() {
-                assert_eq!(cal.pop(), leg.pop());
+            while !reference.is_empty() {
+                assert_eq!(
+                    cal.pop(),
+                    reference.pop_first().map(|((t, s), e)| (t, s, e))
+                );
             }
             assert!(cal.is_empty());
         }
+    }
+
+    /// The batched tick drain must hand back exactly what repeated
+    /// per-event pops would, in the same order, across random workloads
+    /// that exercise the ring, the overflow heap and window jumps.
+    #[test]
+    fn pop_tick_into_matches_per_event_pops() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+            let mut batched = CalendarQueue::new();
+            let mut single = CalendarQueue::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            let mut buf: Vec<(u64, Option<u64>)> = Vec::new();
+            for _ in 0..400 {
+                // Respect the engine contract (never schedule before the
+                // window): peeking may jump the window to the overflow
+                // head, so follow it before pushing relative to `now`.
+                if let Some(t) = batched.peek_time() {
+                    assert_eq!(single.peek_time(), Some(t));
+                    now = now.max(t.ticks());
+                }
+                // A burst of pushes at assorted horizons...
+                for _ in 0..rng.gen_range(1..8u32) {
+                    let horizon: u64 = if rng.gen_bool(0.85) {
+                        rng.gen_range(1..32)
+                    } else {
+                        rng.gen_range(1..WHEEL_TICKS * 3)
+                    };
+                    let at = Time::from_ticks(now + horizon);
+                    batched.push(at, seq, seq);
+                    single.push(at, seq, seq);
+                    seq += 1;
+                }
+                // ...then drain one tick both ways and compare.
+                let deadline = Time::from_ticks(now + rng.gen_range(0..64));
+                buf.clear();
+                let tick = batched.take_tick(deadline, &mut buf);
+                match tick {
+                    None => {
+                        assert!(single.pop_at_or_before(deadline).is_none());
+                    }
+                    Some((t, head)) => {
+                        assert_eq!(head, 0, "no per-event pops interleaved");
+                        for (s, e) in buf.drain(..).map(|(s, e)| (s, e.expect("live slot"))) {
+                            assert_eq!(single.pop_at_or_before(deadline), Some((t, s, e)));
+                        }
+                        // The single-pop side must agree the tick is done.
+                        assert_ne!(
+                            single.peek_time(),
+                            Some(t),
+                            "batched drain missed a same-tick event (seed {seed})"
+                        );
+                        now = t.ticks();
+                    }
+                }
+                assert_eq!(batched.len(), single.len());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_recycles_to_empty_state() {
+        let mut q = CalendarQueue::new();
+        q.push(Time::from_ticks(3), 0, "a");
+        q.push(Time::from_ticks(WHEEL_TICKS * 5), 1, "far");
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("a"));
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        // Usable from scratch after the reset.
+        q.push(Time::from_ticks(2), 7, "b");
+        assert_eq!(q.pop(), Some((Time::from_ticks(2), 7, "b")));
     }
 }

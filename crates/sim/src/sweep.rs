@@ -10,6 +10,25 @@ pub fn parallel_seed_sweep<R: Send>(seeds: usize, run: impl Fn(u64) -> R + Sync)
     (0..seeds as u64).into_par_iter().map(run).collect()
 }
 
+/// Like [`parallel_seed_sweep`], but threads a per-worker **context**
+/// through each worker's contiguous block of seeds: `init()` runs once
+/// per worker thread, and `run(&mut ctx, seed)` reuses that context for
+/// every seed the worker owns.
+///
+/// This is the sweep-arena hook: the context typically holds recycled
+/// engine allocations ([`EngineArena`](crate::engine::EngineArena)) so a
+/// thousand-seed sweep pays engine construction costs once per core
+/// instead of once per seed. The context must not change run *results* —
+/// a run stays a pure function of its config and seed (the arena-reuse
+/// tests assert exactly that).
+pub fn parallel_seed_sweep_with<C, R: Send>(
+    seeds: usize,
+    init: impl Fn() -> C + Sync,
+    run: impl Fn(&mut C, u64) -> R + Sync,
+) -> Vec<R> {
+    (0..seeds as u64).into_par_iter().map_init(init, run)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -21,5 +40,33 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as u64 * 2);
         }
+    }
+
+    #[test]
+    fn with_context_preserves_seed_order_and_reuses_contexts() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let contexts = AtomicUsize::new(0);
+        let out = parallel_seed_sweep_with(
+            200,
+            || {
+                contexts.fetch_add(1, Ordering::Relaxed);
+                Vec::<u64>::new()
+            },
+            |scratch, seed| {
+                // A context that leaks state across seeds would corrupt
+                // the result; a correct run clears it first (the arena
+                // discipline).
+                scratch.clear();
+                scratch.extend(0..=seed % 7);
+                scratch.iter().sum::<u64>() + seed * 10
+            },
+        );
+        assert_eq!(out.len(), 200);
+        for (i, v) in out.iter().enumerate() {
+            let seed = i as u64;
+            assert_eq!(*v, (0..=seed % 7).sum::<u64>() + seed * 10);
+        }
+        // One context per worker, not per seed.
+        assert!(contexts.load(Ordering::Relaxed) <= rayon::current_num_threads());
     }
 }

@@ -9,7 +9,12 @@
 //!
 //! The split into [`SyncProcess::send`] (before delivery) and
 //! [`SyncProcess::receive`] (after delivery) makes this two-phase structure
-//! explicit, instead of hiding it in a blocking `wait`.
+//! explicit, instead of hiding it in a blocking `wait`. Both phases speak
+//! buffers the engine owns and recycles: `send` appends into a reused
+//! outbox and `receive` drains a reused inbox, so a steady-state step
+//! allocates nothing. [`SyncConfig::legacy_hot_path`] switches back to
+//! the pre-batching shape (fresh buffers every step) — behaviour is
+//! byte-identical either way, which the batched-path proptests assert.
 
 use core::fmt;
 use std::collections::BTreeMap;
@@ -33,12 +38,21 @@ pub trait SyncProcess: Send + 'static {
     /// Detector-output type recorded per step.
     type Output: Clone + fmt::Debug + Send + 'static;
 
-    /// Messages to broadcast at the start of step `step` (may be empty).
-    fn send(&mut self, step: u64) -> Vec<Self::Msg>;
+    /// Appends the messages to broadcast at the start of step `step` into
+    /// `out` (may append none). `out` arrives empty; the engine owns and
+    /// recycles the buffer.
+    fn send(&mut self, step: u64, out: &mut Vec<Self::Msg>);
 
     /// Delivery of every message sent in step `step` by alive (or dying)
     /// processes, in an arbitrary (seeded) order that hides the senders.
-    fn receive(&mut self, step: u64, received: Vec<Self::Msg>, sink: &mut SyncSink<Self::Output>);
+    /// The process should consume `received` (typically by draining it);
+    /// the engine clears and recycles the buffer afterwards either way.
+    fn receive(
+        &mut self,
+        step: u64,
+        received: &mut Vec<Self::Msg>,
+        sink: &mut SyncSink<Self::Output>,
+    );
 }
 
 /// Effects available in the receive phase of a synchronous step.
@@ -56,6 +70,13 @@ impl<O> SyncSink<O> {
             decision: None,
             halt: false,
         }
+    }
+
+    /// Clears the sink for reuse, keeping the output buffer's capacity.
+    fn reset(&mut self) {
+        self.outputs.clear();
+        self.decision = None;
+        self.halt = false;
     }
 
     /// Publishes a detector-output snapshot for this step.
@@ -87,6 +108,11 @@ pub struct SyncConfig {
     pub seed: u64,
     /// Deliver a random subset of a dying process's final-step broadcast.
     pub partial_broadcast_on_crash: bool,
+    /// Run with the pre-batching per-step buffer discipline (fresh inbox
+    /// and sink allocations every step) instead of the recycled-buffer
+    /// default. Byte-identical behaviour; exists so the batched-path
+    /// tests can differentially check the buffer recycling.
+    pub legacy_hot_path: bool,
     /// Adversarial link faults (see [`crate::adversary`]). Times in the
     /// script are **step numbers**. A copy a clause defers is held and
     /// injected into its destination's inbox at the deferred step, in
@@ -110,6 +136,7 @@ impl SyncConfig {
             sched,
             seed: 0,
             partial_broadcast_on_crash: true,
+            legacy_hot_path: false,
             adversary: None,
         }
     }
@@ -118,6 +145,14 @@ impl SyncConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the pre-batching buffer discipline (builder style); see
+    /// [`SyncConfig::legacy_hot_path`].
+    #[must_use]
+    pub fn with_legacy_hot_path(mut self, legacy: bool) -> Self {
+        self.legacy_hot_path = legacy;
         self
     }
 
@@ -162,6 +197,14 @@ pub struct SyncEngine<P: SyncProcess> {
     metrics: SyncMetrics,
     histories: Vec<History<P::Output>>,
     decisions: Vec<Option<(Time, u64)>>,
+    /// Recycled per-destination inboxes (batched path).
+    inboxes: Vec<Vec<P::Msg>>,
+    /// Recycled send-phase outbox (batched path).
+    outbox: Vec<P::Msg>,
+    /// Recycled receive-phase sink (batched path).
+    sink: SyncSink<P::Output>,
+    /// Recycled recipient list.
+    recipients: Vec<usize>,
 }
 
 impl<P: SyncProcess> SyncEngine<P> {
@@ -180,6 +223,10 @@ impl<P: SyncProcess> SyncEngine<P> {
             metrics: SyncMetrics::default(),
             histories: vec![Vec::new(); n],
             decisions: vec![None; n],
+            inboxes: Vec::new(),
+            outbox: Vec::new(),
+            sink: SyncSink::new(),
+            recipients: Vec::new(),
             config,
         }
     }
@@ -263,12 +310,23 @@ impl<P: SyncProcess> SyncEngine<P> {
         let s = self.step;
         let now = Time::from_ticks(s);
         let n = self.n();
+        let legacy = self.config.legacy_hot_path;
+
+        // The step's inboxes: fresh buffers on the legacy path (the
+        // pre-batching shape), the engine's recycled buffers otherwise.
+        let mut inboxes: Vec<Vec<P::Msg>> = if legacy {
+            vec![Vec::new(); n]
+        } else {
+            let mut b = std::mem::take(&mut self.inboxes);
+            debug_assert!(b.iter().all(Vec::is_empty));
+            b.resize_with(n, Vec::new);
+            b
+        };
 
         // Copies a clause deferred to this step (a healed partition
         // releasing its queued traffic) are injected first, in the order
         // they were queued; they join the step's fresh deliveries in the
         // seeded shuffle like any other synchronous delivery.
-        let mut inboxes: Vec<Vec<P::Msg>> = vec![Vec::new(); n];
         if let Some(batch) = self.deferred.remove(&s) {
             for (dst, m) in batch {
                 if self.halted[dst] || !self.config.sched.is_alive(dst, now) {
@@ -289,7 +347,8 @@ impl<P: SyncProcess> SyncEngine<P> {
         // none at all for copies that would land on crashed or halted
         // processes. The crash-mask RNG draws stay one-per-destination so
         // seeded runs are unchanged.
-        let mut recipients: Vec<usize> = Vec::with_capacity(n);
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut recipients = std::mem::take(&mut self.recipients);
         for p in 0..n {
             if self.halted[p] {
                 continue;
@@ -300,8 +359,9 @@ impl<P: SyncProcess> SyncEngine<P> {
             if !alive && !dying {
                 continue;
             }
-            let msgs = self.procs[p].send(s);
-            for m in msgs {
+            outbox.clear();
+            self.procs[p].send(s, &mut outbox);
+            for m in outbox.drain(..) {
                 self.metrics.broadcasts += 1;
                 recipients.clear();
                 for dst in 0..n {
@@ -341,18 +401,29 @@ impl<P: SyncProcess> SyncEngine<P> {
                 }
             }
         }
+        self.outbox = outbox;
+        self.recipients = recipients;
 
         // Receive phase: only processes alive at this step compute.
         #[allow(clippy::needless_range_loop)] // p indexes several parallel structures
         for p in 0..n {
             if self.halted[p] || !self.config.sched.is_alive(p, now) {
+                inboxes[p].clear();
                 continue;
             }
-            let mut received = core::mem::take(&mut inboxes[p]);
-            received.shuffle(&mut self.rng);
-            let mut sink = SyncSink::new();
-            self.procs[p].receive(s, received, &mut sink);
-            for o in sink.outputs {
+            inboxes[p].shuffle(&mut self.rng);
+            // Legacy path: a fresh sink per process, as before batching.
+            let mut fresh_sink;
+            let sink = if legacy {
+                fresh_sink = SyncSink::new();
+                &mut fresh_sink
+            } else {
+                self.sink.reset();
+                &mut self.sink
+            };
+            self.procs[p].receive(s, &mut inboxes[p], sink);
+            inboxes[p].clear();
+            for o in sink.outputs.drain(..) {
                 self.histories[p].push((now, o));
             }
             if let Some(v) = sink.decision {
@@ -363,6 +434,9 @@ impl<P: SyncProcess> SyncEngine<P> {
             if sink.halt {
                 self.halted[p] = true;
             }
+        }
+        if !legacy {
+            self.inboxes = inboxes;
         }
 
         self.metrics.steps += 1;
@@ -383,11 +457,16 @@ mod tests {
         type Msg = Identity;
         type Output = usize;
 
-        fn send(&mut self, _step: u64) -> Vec<Identity> {
-            vec![Identity::new(0)]
+        fn send(&mut self, _step: u64, out: &mut Vec<Identity>) {
+            out.push(Identity::new(0));
         }
 
-        fn receive(&mut self, _step: u64, received: Vec<Identity>, sink: &mut SyncSink<usize>) {
+        fn receive(
+            &mut self,
+            _step: u64,
+            received: &mut Vec<Identity>,
+            sink: &mut SyncSink<usize>,
+        ) {
             self.seen_per_step.push(received.len());
             sink.publish(received.len());
         }
@@ -451,10 +530,8 @@ mod tests {
         impl SyncProcess for Once {
             type Msg = ();
             type Output = ();
-            fn send(&mut self, _s: u64) -> Vec<()> {
-                vec![]
-            }
-            fn receive(&mut self, s: u64, _r: Vec<()>, sink: &mut SyncSink<()>) {
+            fn send(&mut self, _s: u64, _out: &mut Vec<()>) {}
+            fn receive(&mut self, s: u64, _r: &mut Vec<()>, sink: &mut SyncSink<()>) {
                 assert_eq!(s, 0, "no callbacks after halt");
                 sink.decide(42);
                 sink.halt();
@@ -487,5 +564,23 @@ mod tests {
             e.histories().to_vec()
         };
         assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn recycled_buffers_match_legacy_buffers() {
+        let run = |legacy: bool| {
+            let sched = FailureSchedule::none(5)
+                .with_crash(1, Time::from_ticks(2))
+                .with_crash(3, Time::from_ticks(5));
+            let cfg = SyncConfig::new(IdentityAssignment::round_robin(5, 2), sched)
+                .with_seed(11)
+                .with_legacy_hot_path(legacy);
+            let mut e = SyncEngine::new(cfg, |_, _| Counter {
+                seen_per_step: Vec::new(),
+            });
+            e.run_steps(8);
+            (e.histories().to_vec(), e.metrics().clone())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -1,0 +1,192 @@
+//! Property tests for the batched hot path: across random seeds, network
+//! models and adversarial link-fault scripts, the batched configuration
+//! (tick-drained queue, same-`(time, dest)` delivery batches through
+//! `Process::on_messages`, fused per-broadcast RNG sampling) must be
+//! **byte-identical** to the per-event `legacy_hot_path` configuration on
+//! both engines — same traces, same histories, same metrics, same
+//! decisions.
+
+use homonym::chaos::sweep::fig8_node;
+use homonym::chaos::{FaultClause, PartitionMode, Scenario};
+use homonym::prelude::*;
+use homonym::sim::sync_engine::{SyncConfig, SyncEngine, SyncProcess, SyncSink};
+use proptest::prelude::*;
+
+/// Chatty process: broadcasts at start and echoes every value once,
+/// so same-`(time, dest)` runs with actions occur.
+struct Echo {
+    cap: u64,
+}
+
+impl Process for Echo {
+    type Msg = u64;
+    type Output = u64;
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, u64, u64>) {
+        ctx.broadcast(0);
+    }
+    fn on_message(&mut self, m: u64, ctx: &mut ActionSink<'_, u64, u64>) {
+        ctx.publish(m);
+        if m + 1 < self.cap {
+            ctx.broadcast(m + 1);
+        }
+    }
+    fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, u64, u64>) {}
+}
+
+/// Lock-step counter used for the sync-engine comparison.
+struct StepCounter;
+
+impl SyncProcess for StepCounter {
+    type Msg = u64;
+    type Output = usize;
+    fn send(&mut self, step: u64, out: &mut Vec<u64>) {
+        out.push(step);
+    }
+    fn receive(&mut self, _step: u64, received: &mut Vec<u64>, sink: &mut SyncSink<usize>) {
+        sink.publish(received.len());
+    }
+}
+
+fn model(kind: u8) -> NetworkModel {
+    match kind % 4 {
+        0 => NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+            min: Span::TICK,
+            max: Span::from_ticks(6),
+        }),
+        1 => NetworkModel::Synchronous,
+        2 => NetworkModel::PartialSync {
+            gst: Time::from_ticks(25),
+            delta: Span::from_ticks(4),
+            pre_gst: PreGstBehavior::LossyDelay {
+                loss_percent: 30,
+                max_delay: Span::from_ticks(15),
+            },
+        },
+        _ => NetworkModel::Asynchronous(LatencyDistribution::SkewedTail {
+            base: Span::TICK,
+            tail: Span::from_ticks(8),
+            slow_percent: 25,
+        }),
+    }
+}
+
+/// A two-group partition plus a probabilistic loss overlay — the script
+/// shapes that drive both adversary RNG draws and deferred deliveries.
+fn scenario(n: usize, split: usize, heal: u64, lose: u8) -> Scenario {
+    let k = split.clamp(1, n - 1);
+    Scenario::new("batched-props", n)
+        .with_clause(FaultClause::Partition {
+            groups: vec![(0..k).collect(), (k..n).collect()],
+            start: Time::from_ticks(2),
+            heal_at: Time::from_ticks(2 + heal),
+            mode: PartitionMode::QueueUntilHeal,
+        })
+        .with_clause(FaultClause::LinkOverlay {
+            from: (0..n).collect(),
+            to: (0..n).collect(),
+            start: Time::ZERO,
+            end: Time::from_ticks(10),
+            loss_percent: lose.min(60),
+            extra_delay: Span::ZERO,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Event engine, plain process: batched and legacy paths agree byte
+    /// for byte under random models, seeds, crash times and scripts.
+    #[test]
+    fn batched_equals_legacy_event_engine(
+        seed in any::<u64>(),
+        kind in 0u8..4,
+        n in 2usize..6,
+        split in 1usize..5,
+        heal in 1u64..30,
+        lose in 0u8..60,
+        crash in proptest::option::weighted(0.4, 0u64..20),
+    ) {
+        let scenario = scenario(n, split, heal, lose);
+        let run = |legacy: bool| {
+            let mut sched = FailureSchedule::none(n);
+            if let Some(c) = crash {
+                sched = sched.with_crash(n - 1, Time::from_ticks(c));
+            }
+            let cfg = SimConfig::new(IdentityAssignment::round_robin(n, 2), sched, model(kind))
+                .with_seed(seed)
+                .with_legacy_hot_path(legacy);
+            let cfg = scenario.install(cfg).expect("valid scenario");
+            let mut engine = Engine::new(cfg, |_, _| Echo { cap: 4 });
+            engine.enable_trace(200_000);
+            engine.run_until(Time::from_ticks(400));
+            (
+                engine.trace().expect("enabled").clone(),
+                engine.histories().to_vec(),
+                engine.metrics().clone(),
+                engine.now(),
+            )
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// Event engine, full Figure 6 + Figure 8 stack (the shape the chaos
+    /// sweeps drive): batched and legacy paths agree byte for byte, with
+    /// decisions included.
+    #[test]
+    fn batched_equals_legacy_consensus_stack(
+        seed in any::<u64>(),
+        kind in 0u8..4,
+        heal in 1u64..25,
+        lose in 0u8..50,
+    ) {
+        let n = 4;
+        let scenario = scenario(n, 2, heal, lose);
+        let run = |legacy: bool| {
+            let cfg = SimConfig::new(
+                IdentityAssignment::round_robin(n, 2),
+                FailureSchedule::none(n),
+                model(kind),
+            )
+            .with_seed(seed)
+            .with_legacy_hot_path(legacy);
+            let cfg = scenario.install(cfg).expect("valid scenario");
+            let mut engine = Engine::new(cfg, |p, _| fig8_node(100 + p as u64, n, 1));
+            engine.enable_trace(500_000);
+            engine.run_until_all_correct_decided(Time::from_ticks(5_000));
+            (
+                engine.trace().expect("enabled").clone(),
+                engine.decisions().to_vec(),
+                engine.metrics().clone(),
+            )
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// Lock-step engine: the recycled-buffer discipline matches the
+    /// fresh-buffer legacy discipline byte for byte under scripts.
+    #[test]
+    fn batched_equals_legacy_sync_engine(
+        seed in any::<u64>(),
+        n in 2usize..6,
+        split in 1usize..5,
+        heal in 2u64..12,
+        lose in 0u8..60,
+        crash in proptest::option::weighted(0.4, 0u64..8),
+    ) {
+        let scenario = scenario(n, split, heal, lose);
+        let run = |legacy: bool| {
+            let mut sched = FailureSchedule::none(n);
+            if let Some(c) = crash {
+                sched = sched.with_crash(0, Time::from_ticks(c));
+            }
+            let cfg = SyncConfig::new(IdentityAssignment::anonymous(n), sched)
+                .with_seed(seed)
+                .with_legacy_hot_path(legacy);
+            let cfg = scenario.install_sync(cfg).expect("valid scenario");
+            let mut engine = SyncEngine::new(cfg, |_, _| StepCounter);
+            engine.run_steps(heal + 6);
+            (engine.histories().to_vec(), engine.metrics().clone())
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}

@@ -183,3 +183,20 @@ fn falsification_sweep_smoke() {
     );
     assert!(report.liveness_held > 0);
 }
+
+/// Two executions of the same sweep produce identical reports: the
+/// per-worker engine arenas recycle allocations only — every scenario
+/// run stays a pure function of its config and seed, however the seeds
+/// are sliced across workers.
+#[test]
+fn sweep_report_is_deterministic() {
+    for stack in [StackKind::Fig9OracleQuorum, StackKind::EvtHpDetector] {
+        let mut cfg = SweepConfig::new(stack, 12);
+        cfg.probe_every = 3;
+        assert_eq!(
+            falsification_sweep(&cfg),
+            falsification_sweep(&cfg),
+            "sweep nondeterminism on {stack:?}"
+        );
+    }
+}

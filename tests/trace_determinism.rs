@@ -56,14 +56,16 @@ fn run_on(
     )
 }
 
-/// The calendar-queue + shared-payload hot path must dispatch the exact
-/// event sequence of the pre-optimization hot path (`BTreeMap` queue,
-/// per-destination payload clones): same trace, byte for byte, for fixed
-/// seeds across all three network models. This is the guarantee that the
-/// hot-path overhaul changed no figure output.
+/// The batched hot path (tick-drained queue, same-`(time, dest)`
+/// delivery batches, fused per-broadcast RNG sampling) must dispatch the
+/// exact event sequence of the per-event legacy path: same trace, byte
+/// for byte, for fixed seeds across all network models — including the
+/// lossy pre-GST `HPS` flavor, whose per-copy loss draws exercise the
+/// batched sampler's stream contract. This is the guarantee that the
+/// batching overhaul changed no figure output.
 #[test]
-fn calendar_queue_matches_legacy_dispatch_order() {
-    let models: [NetworkModel; 3] = [
+fn batched_path_matches_legacy_dispatch_order() {
+    let models: [NetworkModel; 4] = [
         NetworkModel::Asynchronous(LatencyDistribution::Uniform {
             min: Span::TICK,
             max: Span::from_ticks(5),
@@ -73,6 +75,14 @@ fn calendar_queue_matches_legacy_dispatch_order() {
             delta: Span::from_ticks(3),
             pre_gst: PreGstBehavior::DelayOnly {
                 max_delay: Span::from_ticks(25),
+            },
+        },
+        NetworkModel::PartialSync {
+            gst: Time::from_ticks(60),
+            delta: Span::from_ticks(4),
+            pre_gst: PreGstBehavior::LossyDelay {
+                loss_percent: 35,
+                max_delay: Span::from_ticks(20),
             },
         },
         NetworkModel::Synchronous,
@@ -100,7 +110,7 @@ fn calendar_queue_matches_legacy_dispatch_order() {
 /// The skewed-tail distribution (with its clamped straggler boundary)
 /// also dispatches identically on both hot paths.
 #[test]
-fn calendar_queue_matches_legacy_on_skewed_tail() {
+fn batched_path_matches_legacy_on_skewed_tail() {
     let model = NetworkModel::Asynchronous(LatencyDistribution::SkewedTail {
         base: Span::from_ticks(2),
         tail: Span::from_ticks(9),

@@ -157,6 +157,70 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
+/// Precomputed distributions (the subset of upstream `rand`'s
+/// `distributions` module this workspace uses).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A uniform integer distribution over `lo..=hi` with the Lemire
+    /// rejection threshold — a 64-bit division — hoisted out of the
+    /// per-draw loop. Sampling consumes the engine stream **exactly** as
+    /// [`super::Rng::gen_range`] over the same range does (same words,
+    /// same rejection decisions), so a caller can precompute the
+    /// distribution once per batch and fill many draws without changing
+    /// any seeded run.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Uniform {
+        lo: u64,
+        /// `hi - lo + 1`; `0` encodes the full `u64` domain.
+        span: u64,
+        /// `2^64 mod span` — the rejection threshold.
+        threshold: u64,
+    }
+
+    impl Uniform {
+        /// The distribution over `lo..=hi`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `lo > hi`.
+        #[must_use]
+        pub fn new_inclusive(lo: u64, hi: u64) -> Self {
+            assert!(lo <= hi, "cannot sample empty range");
+            let span = hi.wrapping_sub(lo).wrapping_add(1);
+            let threshold = if span == 0 {
+                0
+            } else {
+                span.wrapping_neg() % span
+            };
+            Uniform {
+                lo,
+                span,
+                threshold,
+            }
+        }
+
+        /// Draws one value.
+        #[inline]
+        pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            if self.span == 0 {
+                return rng.next_u64();
+            }
+            // Debiased multiply-shift (Lemire); rejection keeps it
+            // exact. Identical to `gen_range`, minus the per-draw
+            // threshold division.
+            loop {
+                let x = rng.next_u64();
+                let m = (x as u128).wrapping_mul(self.span as u128);
+                let lowpart = m as u64;
+                if lowpart >= self.threshold {
+                    return self.lo.wrapping_add((m >> 64) as u64);
+                }
+            }
+        }
+    }
+}
+
 /// Named generator engines.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -240,6 +304,20 @@ mod tests {
         fn next_u64_pub(&mut self) -> u64 {
             use super::RngCore;
             self.next_u64()
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_matches_gen_range_stream() {
+        use super::distributions::Uniform;
+        for &(lo, hi) in &[(0u64, 0u64), (1, 16), (0, 99), (5, 6), (0, u64::MAX)] {
+            let dist = Uniform::new_inclusive(lo, hi);
+            let mut a = StdRng::seed_from_u64(lo ^ hi ^ 42);
+            let mut b = a.clone();
+            for _ in 0..500 {
+                assert_eq!(dist.sample(&mut a), b.gen_range(lo..=hi));
+            }
+            assert_eq!(a, b, "stream positions diverged for {lo}..={hi}");
         }
     }
 

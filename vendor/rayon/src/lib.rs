@@ -42,6 +42,51 @@ impl<T: Send> ParIter<T> {
     pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
         self.map(f).collect::<Vec<()>>();
     }
+
+    /// Applies `f` to every item in parallel, threading a per-worker
+    /// context built by `init` through each worker's items (upstream
+    /// rayon's `map_init`). Each of the [`current_num_threads`] chunk
+    /// workers calls `init` exactly once and reuses the context across
+    /// its whole contiguous chunk — the hook sweeps use to recycle run
+    /// arenas across seeds. Output order matches input order.
+    pub fn map_init<C, U, I, F>(self, init: I, f: F) -> Vec<U>
+    where
+        U: Send,
+        I: Fn() -> C + Sync,
+        F: Fn(&mut C, T) -> U + Sync,
+    {
+        let items = self.items;
+        let threads = current_num_threads().min(items.len().max(1));
+        if threads <= 1 || items.len() <= 1 {
+            let mut ctx = init();
+            return items.into_iter().map(|x| f(&mut ctx, x)).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(chunk.min(items.len()));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let init = &init;
+        let f = &f;
+        let mut out: Vec<Vec<U>> = Vec::with_capacity(chunks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mut ctx = init();
+                        c.into_iter().map(|x| f(&mut ctx, x)).collect::<Vec<U>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("rayon stand-in worker panicked"));
+            }
+        });
+        out.into_iter().flatten().collect()
+    }
 }
 
 /// Runs `items` through `f` on up to [`current_num_threads`] scoped
