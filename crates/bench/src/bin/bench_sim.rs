@@ -1,6 +1,6 @@
 //! `BENCH_sim.json` generator: simulator hot-path throughput.
 //!
-//! Measures events dispatched per second on four workloads, each executed
+//! Measures events dispatched per second on six workloads, each executed
 //! twice — once on the **legacy** path (the PR 1 hot path, re-baselined:
 //! calendar event queue, `Arc`-shared payloads, per-event pops, one
 //! network-model match and RNG route per copy, per-message dispatch, plus
@@ -10,7 +10,7 @@
 //! fused per-broadcast RNG sampling with precomputed distributions,
 //! incremental `◇HP` rounds, ring-window consensus buckets, cached
 //! oracles, arena-reused runs) — and writes the events/sec figures plus
-//! the speedup ratio to `BENCH_sim.json` (`schema_version = 3`) in the
+//! the speedup ratio to `BENCH_sim.json` (`schema_version = 4`) in the
 //! working directory.
 //!
 //! Workloads:
@@ -27,14 +27,26 @@
 //!   generated split-brain scenarios (the `exp_chaos` falsification
 //!   workload): measures the adversary hook's routing cost plus the
 //!   oracle/round-buffer work, and re-verifies at benchmark scale that
-//!   both paths dispatch identical event counts under an active script.
+//!   both paths dispatch identical event counts under an active script;
+//! * `fig8_sweep_forked` — shared-prefix variant families (late
+//!   split-brain, redrawn heal times and GST margins) of the full
+//!   Figure 6 + Figure 8 stack: the **flat** executor (legacy column)
+//!   runs every variant from tick 0, the **prefix-sharing** executor
+//!   (current column) snapshots at each family's computed divergence
+//!   point and restores per variant — identical per-variant decisions
+//!   and event counts asserted;
+//! * `chaos_sweep_forked` — the same flat-vs-forked comparison on the
+//!   `◇HP` detector stack (fixed observation horizons, so the sharing
+//!   win is purely structural), identical per-variant verdict inputs
+//!   asserted.
 //!
-//! Both paths dispatch the identical event sequence (seeded runs are
-//! byte-for-byte equal; `tests/trace_determinism.rs` asserts this), so
-//! the ratio isolates the data-structure, sampling and allocation work.
-//! The current-path single-run rows execute arena-warm (the sweep-worker
-//! shape every real workload uses); the legacy rows rebuild their world
-//! per run, as PR 1 did.
+//! Both flavors of every row dispatch the identical event sequence
+//! (seeded runs are byte-for-byte equal; `tests/trace_determinism.rs`
+//! and `tests/snapshot_restore_props.rs` assert this), so each ratio
+//! isolates data-structure, sampling, allocation — or, for the forked
+//! rows, re-execution — work. The current-path single-run rows execute
+//! arena-warm (the sweep-worker shape every real workload uses); the
+//! legacy rows rebuild their world per run, as PR 1 did.
 //!
 //! Usage: `cargo run --release -p homonym-bench --bin bench_sim
 //! [-- --only <row>[,<row>...]] [-- --side legacy|current]`
@@ -45,14 +57,18 @@
 //! * `BENCH_SIM_QUICK=1` runs a reduced-size smoke configuration (CI);
 //! * `BENCH_SIM_REPS=<k>` overrides the repetition count (long runs for
 //!   profilers, 1 for a fast sanity pass);
-//! * building with `--features alloc-count` adds allocations-per-event
-//!   columns (a counting global allocator; counts are exact, timings
-//!   slightly perturbed by the counter's atomics).
+//! * the `alloc-count` feature (**on by default**) reports
+//!   allocations-per-event columns next to the throughput figures via a
+//!   counting global allocator; build with `--no-default-features` for
+//!   counter-free timings (counts are exact either way, timings are
+//!   perturbed only marginally by the counter's relaxed atomics).
 
 use std::time::Instant;
 
 use homonym_bench::{async_net, hps_delay_only, hps_lossy, staggered_crashes};
-use homonym_chaos::generators::split_brain;
+use homonym_chaos::generators::{fault_window_variants, split_brain};
+use homonym_chaos::sweep::{clean_instant, fig8_node, hps_base, Fig8Node as ChaosFig8Node};
+use homonym_chaos::{FaultClause, GstPlacement, PartitionMode, Scenario};
 use homonym_consensus::{HOmegaPolicy, MajorityConsensus};
 use homonym_core::prelude::*;
 use homonym_detectors::evt_hp::{EvtHpMsg, EvtHpProcess, EvtHpSnapshot};
@@ -60,6 +76,8 @@ use homonym_detectors::oracle::{HOmegaOracle, OracleWorld, PreStability};
 use homonym_sim::engine::EngineArena;
 use homonym_sim::prelude::*;
 use homonym_sim::process::Process;
+use homonym_sim::snapshot::ForkProcess;
+use homonym_sim::sweep::{PrefixItem, PrefixSweeper, RunGoal};
 
 /// Counting global allocator behind the `alloc-count` feature: every
 /// `alloc`/`realloc` bumps a relaxed atomic, letting the harness report
@@ -748,6 +766,101 @@ fn fig8_run_current(n: usize, seed: u64, chaos: bool, arena: &mut EngineArena<Fi
     events
 }
 
+/// A shared-prefix variant family for the forked rows: a split-brain
+/// partition activating at `start` (late, so the family's common prefix
+/// — detector warm-up, early consensus rounds — dominates each run),
+/// expanded into `k` variants over heal time and GST margin by the same
+/// generator the chaos sweep plans on.
+fn late_split_family(n: usize, seed: u64, start: u64, heal: u64, k: usize) -> Vec<Scenario> {
+    let base = Scenario::new(format!("late-split#{seed}"), n)
+        .with_clause(FaultClause::Partition {
+            groups: vec![(0..n / 2).collect(), (n / 2..n).collect()],
+            start: Time::from_ticks(start),
+            heal_at: Time::from_ticks(start + heal),
+            mode: PartitionMode::QueueUntilHeal,
+        })
+        .with_gst(GstPlacement::AfterLastFault {
+            margin: Span::from_ticks(12),
+        });
+    fault_window_variants(&base, seed, k)
+}
+
+/// Installs one variant into a sweep item: `HPS` base network, the
+/// variant's scenario, and the given post-clean margin under `goal`.
+fn forked_item(
+    n: usize,
+    seed: u64,
+    scenario: &Scenario,
+    margin: u64,
+    decided: bool,
+) -> PrefixItem<()> {
+    let sim = SimConfig::new(
+        IdentityAssignment::round_robin(n, 4.min(n)),
+        FailureSchedule::none(n),
+        hps_base(),
+    )
+    .with_seed(seed);
+    let sim = scenario.install(sim).expect("bench scenarios validate");
+    let deadline = clean_instant(&sim, scenario) + Span::from_ticks(margin);
+    PrefixItem {
+        config: sim,
+        goal: if decided {
+            RunGoal::UntilAllCorrectDecided(deadline)
+        } else {
+            RunGoal::Until(deadline)
+        },
+        tag: (),
+    }
+}
+
+/// The per-run signature the forked/flat equality assertion compares.
+type RunSignature = (u64, Vec<Option<(Time, u64)>>);
+
+/// One flat (from-tick-0) run of a sweep item, arena-warm.
+fn run_item_flat<P: ForkProcess>(
+    item: &PrefixItem<()>,
+    factory: impl Fn(usize, Identity) -> P,
+    arena: &mut EngineArena<P>,
+) -> RunSignature {
+    let mut engine = Engine::new_in(item.config.clone(), factory, std::mem::take(arena));
+    match item.goal {
+        RunGoal::Until(t) => engine.run_until(t),
+        RunGoal::UntilAllCorrectDecided(t) => engine.run_until_all_correct_decided(t),
+    };
+    let out = (engine.metrics().events, engine.decisions().to_vec());
+    *arena = engine.into_arena();
+    out
+}
+
+/// Executes a forked row's families on one side: flat (`legacy = true`)
+/// or prefix-sharing. Returns per-run `(events, decisions)` signatures
+/// in family-major order.
+fn run_forked_row<P: ForkProcess>(
+    families: &[Vec<PrefixItem<()>>],
+    legacy: bool,
+    factory: impl Fn(usize, Identity) -> P + Copy,
+    flat_arena: &mut EngineArena<P>,
+    sweeper: &mut PrefixSweeper<P>,
+) -> Vec<RunSignature> {
+    let mut out = Vec::new();
+    for family in families {
+        if legacy {
+            out.extend(
+                family
+                    .iter()
+                    .map(|item| run_item_flat(item, factory, flat_arena)),
+            );
+        } else {
+            out.extend(sweeper.run_family(
+                family,
+                |_, p, id| factory(p, id),
+                |engine, _| (engine.metrics().events, engine.decisions().to_vec()),
+            ));
+        }
+    }
+    out
+}
+
 /// Interleaved timed repetitions of a workload's legacy and current
 /// flavors; keeps each side's fastest run (the one least disturbed by
 /// frequency scaling and page-cache warm-up). Allocation counts come
@@ -832,11 +945,13 @@ fn main() {
             }
         }
     }
-    const ROW_NAMES: [&str; 4] = [
+    const ROW_NAMES: [&str; 6] = [
         "hps_mesh_n64",
         "hps_detector_n64",
         "fig8_consensus_sweep",
         "chaos_sweep",
+        "fig8_sweep_forked",
+        "chaos_sweep_forked",
     ];
     for row in &only {
         assert!(
@@ -920,6 +1035,78 @@ fn main() {
         );
         rows.push(("chaos_sweep", legacy, new));
     }
+    // The forked rows compare the flat executor (legacy column: every
+    // variant re-runs its full history) against the prefix-sharing
+    // executor (current column: the family's shared prefix runs once,
+    // snapshotted at the computed divergence point and restored per
+    // variant). Both sides run arena-warm; per-variant event counts and
+    // decision vectors are asserted identical before timing.
+    let (forked_fams, forked_k) = if quick { (2, 4) } else { (4, 8) };
+    if enabled("fig8_sweep_forked") {
+        let (n_f8, start, heal) = if quick { (8, 120, 50) } else { (16, 400, 80) };
+        let families: Vec<Vec<PrefixItem<()>>> = (0..forked_fams as u64)
+            .map(|f| {
+                late_split_family(n_f8, 1 + f, start, heal, forked_k)
+                    .iter()
+                    .map(|scn| forked_item(n_f8, 1 + f, scn, 30_000, true))
+                    .collect()
+            })
+            .collect();
+        let t = (n_f8 - 1) / 2;
+        let factory = move |p: usize, _: Identity| fig8_node(100 + p as u64, n_f8, t);
+        let mut flat_arena: EngineArena<ChaosFig8Node> = EngineArena::new();
+        let mut sweeper: PrefixSweeper<ChaosFig8Node> = PrefixSweeper::new();
+        if side.is_none() {
+            assert_eq!(
+                run_forked_row(&families, true, factory, &mut flat_arena, &mut sweeper),
+                run_forked_row(&families, false, factory, &mut flat_arena, &mut sweeper),
+                "forked and flat executors must produce identical per-variant \
+                 decisions and event counts (fig8 stack)",
+            );
+        }
+        let (legacy, new) = bench_pair(reps, side, |legacy| {
+            run_forked_row(&families, legacy, factory, &mut flat_arena, &mut sweeper)
+                .iter()
+                .map(|(events, _)| events)
+                .sum()
+        });
+        assert_counts(&legacy, &new, "fig8 forked-sweep event counts diverged");
+        rows.push(("fig8_sweep_forked", legacy, new));
+    }
+    if enabled("chaos_sweep_forked") {
+        let (n_det, start, heal, margin) = if quick {
+            (8, 300, 40, 400)
+        } else {
+            (24, 2_500, 60, 600)
+        };
+        let families: Vec<Vec<PrefixItem<()>>> = (0..forked_fams as u64)
+            .map(|f| {
+                late_split_family(n_det, 11 + f, start, heal, forked_k)
+                    .iter()
+                    .map(|scn| forked_item(n_det, 11 + f, scn, margin, false))
+                    .collect()
+            })
+            .collect();
+        let factory = move |_: usize, _: Identity| EvtHpProcess::new();
+        let mut flat_arena: EngineArena<EvtHpProcess> = EngineArena::new();
+        let mut sweeper: PrefixSweeper<EvtHpProcess> = PrefixSweeper::new();
+        if side.is_none() {
+            assert_eq!(
+                run_forked_row(&families, true, factory, &mut flat_arena, &mut sweeper),
+                run_forked_row(&families, false, factory, &mut flat_arena, &mut sweeper),
+                "forked and flat executors must produce identical per-variant \
+                 event counts (detector stack)",
+            );
+        }
+        let (legacy, new) = bench_pair(reps, side, |legacy| {
+            run_forked_row(&families, legacy, factory, &mut flat_arena, &mut sweeper)
+                .iter()
+                .map(|(events, _)| events)
+                .sum()
+        });
+        assert_counts(&legacy, &new, "detector forked-sweep event counts diverged");
+        rows.push(("chaos_sweep_forked", legacy, new));
+    }
 
     let alloc_header = if alloc_count::ENABLED {
         " legacy alloc/ev | alloc/ev |"
@@ -938,7 +1125,7 @@ fn main() {
     // Bump `schema_version` whenever the JSON shape changes (new or
     // renamed fields/rows, or a re-baselined legacy column); see
     // BENCHMARKS.md for the version history.
-    let mut json = String::from("{\n  \"schema_version\": 3,\n");
+    let mut json = String::from("{\n  \"schema_version\": 4,\n");
     for (name, legacy, new) in &rows {
         let speedup = new.events_per_sec() / legacy.events_per_sec();
         let alloc_cols = if alloc_count::ENABLED {

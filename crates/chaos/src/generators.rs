@@ -155,6 +155,97 @@ pub fn homonym_group_isolation(assign: &IdentityAssignment, seed: u64) -> Scenar
         .with_gst(adversarial_gst(&mut rng))
 }
 
+/// Expands a base scenario into a **shared-prefix variant family**: `k`
+/// scenarios (index 0 is the base itself) agreeing on everything up to
+/// the base's fault activations — same name (hence the same adversary
+/// RNG salt), same topology, same fault *starts* and same crash clauses
+/// — and differing only in the redrawn fault **durations** (partition
+/// heal times, overlay ends, churn recoveries) and, for
+/// [`GstPlacement::AfterLastFault`] scenarios, the redrawn GST margin.
+///
+/// This is the family metadata the prefix-sharing sweep executor plans
+/// on: because the variants differ only in when faults *end*, their
+/// [`config_divergence`](homonym_sim::sweep::config_divergence) lands at
+/// the fault activation (or the earlier heal, for drop-mode faults), so
+/// the whole pre-fault prefix — detector warm-up, early consensus
+/// rounds — runs once per family instead of once per variant.
+///
+/// Deterministic: the same `(base, seed, k)` always yields the same
+/// family, keeping every variant replayable from its coordinates.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn fault_window_variants(base: &Scenario, seed: u64, k: usize) -> Vec<Scenario> {
+    assert!(k >= 1, "a family has at least its base scenario");
+    let mut out = Vec::with_capacity(k);
+    out.push(base.clone());
+    for v in 1..k as u64 {
+        let mut rng = rng_for(
+            "fault-window-variants",
+            seed ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut s = Scenario::new(base.name().to_string(), base.n());
+        for clause in base.clauses() {
+            s = s.with_clause(match clause.clone() {
+                FaultClause::Partition {
+                    groups,
+                    start,
+                    heal_at,
+                    mode,
+                } => FaultClause::Partition {
+                    groups,
+                    start,
+                    heal_at: start + redraw_duration(&mut rng, heal_at.ticks() - start.ticks()),
+                    mode,
+                },
+                FaultClause::LinkOverlay {
+                    from,
+                    to,
+                    start,
+                    end,
+                    loss_percent,
+                    extra_delay,
+                } => FaultClause::LinkOverlay {
+                    from,
+                    to,
+                    start,
+                    end: start + redraw_duration(&mut rng, end.ticks() - start.ticks()),
+                    loss_percent,
+                    extra_delay,
+                },
+                FaultClause::Churn { process, down, up } => FaultClause::Churn {
+                    process,
+                    down,
+                    up: down + redraw_duration(&mut rng, up.ticks() - down.ticks()),
+                },
+                // Crash clauses stay fixed across the family: varying
+                // them would change the correct set, which forfeits
+                // sharing for decision-gated runs (see
+                // `item_divergence`).
+                crash @ FaultClause::Crash { .. } => crash,
+            });
+        }
+        let gst = match base.gst() {
+            GstPlacement::AfterLastFault { .. } => GstPlacement::AfterLastFault {
+                margin: Span::from_ticks(rng.gen_range(5..=25)),
+            },
+            other => other,
+        };
+        out.push(s.with_gst(gst));
+    }
+    out
+}
+
+/// Redraws a fault duration between half and double the base duration
+/// (at least one tick), keeping variants in the base's regime.
+fn redraw_duration(rng: &mut StdRng, base: u64) -> Span {
+    let lo = (base / 2).max(1);
+    let hi = (base * 2).max(lo + 1);
+    Span::from_ticks(rng.gen_range(lo..=hi))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +306,54 @@ mod tests {
             panic!()
         };
         assert_eq!(groups[0], vec![0]);
+    }
+
+    #[test]
+    fn variant_families_share_starts_and_names_but_not_ends() {
+        for seed in 0..40 {
+            let base = split_brain(8, seed);
+            let family = fault_window_variants(&base, seed, 6);
+            assert_eq!(family.len(), 6);
+            assert_eq!(family[0], base);
+            let mut distinct_ends = std::collections::BTreeSet::new();
+            for variant in &family {
+                variant.validate().expect("variants stay valid");
+                // Same name ⇒ same lowered RNG salt ⇒ shareable.
+                assert_eq!(variant.name(), base.name());
+                assert_eq!(variant.salt(), base.salt());
+                assert_eq!(variant.clauses().len(), base.clauses().len());
+                for (vc, bc) in variant.clauses().iter().zip(base.clauses()) {
+                    match (vc, bc) {
+                        (
+                            FaultClause::Partition {
+                                groups: vg,
+                                start: vs,
+                                heal_at,
+                                mode: vm,
+                            },
+                            FaultClause::Partition {
+                                groups: bg,
+                                start: bs,
+                                mode: bm,
+                                ..
+                            },
+                        ) => {
+                            assert_eq!((vg, vs, vm), (bg, bs, bm));
+                            distinct_ends.insert(heal_at.ticks());
+                        }
+                        (FaultClause::Crash { .. }, FaultClause::Crash { .. }) => {
+                            assert_eq!(vc, bc, "crash clauses stay fixed");
+                        }
+                        _ => panic!("clause kinds must not change"),
+                    }
+                }
+            }
+            assert!(
+                distinct_ends.len() > 1,
+                "seed {seed}: variants never moved the heal"
+            );
+            assert_eq!(family, fault_window_variants(&base, seed, 6));
+        }
     }
 
     #[test]

@@ -2,14 +2,35 @@
 //! safety asserted universally, liveness asserted exactly on the
 //! eventually-clean subset.
 //!
-//! Built on [`parallel_seed_sweep_with`], the fan-out scaffolding the
-//! experiment harness shares: each scenario run is a pure function of
+//! Built on the sweep plumbing of [`homonym_sim::sweep`] — the **single**
+//! implementation module for seed fan-out, worker arenas and the
+//! prefix-sharing executor, re-exported from here so chaos users import
+//! one coherent surface: each scenario run is a pure function of
 //! `(stack, topology, family, seed)`, so the sweep parallelizes freely
 //! and every counterexample is replayable from its report line alone —
 //! the [`Counterexample`] carries the seed and the full scenario script.
-//! Each worker threads a reusable [`EngineArena`] through its block of
+//! Each worker threads reusable [`EngineArena`]s through its block of
 //! scenarios, so the thousandth run reuses the first run's queue ring,
 //! history tables and scratch buffers instead of rebuilding a world.
+//!
+//! # Two executors, one verdict set
+//!
+//! * [`falsification_sweep`] — the **flat** executor: every run
+//!   re-executes its full history from tick 0. This is the differential
+//!   baseline.
+//! * [`falsification_sweep_forked`] — the **prefix-sharing** executor:
+//!   when [`SweepConfig::variants`] expands each generated scenario into
+//!   a [`fault_window_variants`] family (same seed, same fault starts,
+//!   different heal times / GST margins), the family's shared prefix is
+//!   run **once**, snapshotted at the computed divergence point, and
+//!   restored per variant ([`PrefixSweeper`]). The verdict sets of the
+//!   two executors are **identical** — `tests/chaos_scenarios.rs` and
+//!   the `chaos_sweep_forked` bench row assert report equality and
+//!   per-run event-count equality. Stacks whose process construction
+//!   embeds per-variant parameters (the oracle-backed Figure 9 stack:
+//!   its `OracleWorld` stabilization instant differs per variant) take
+//!   the flat path inside the forked executor — the documented worst
+//!   case, no shared prefix.
 //!
 //! # What counts as a counterexample
 //!
@@ -41,9 +62,18 @@ use homonym_detectors::oracle::{HOmegaOracle, HSigmaOracle, OracleWorld, PreStab
 use homonym_sim::engine::{Engine, EngineArena, SimConfig};
 use homonym_sim::network::{NetworkModel, PreGstBehavior};
 use homonym_sim::stack::Stacked;
-use homonym_sim::sweep::parallel_seed_sweep_with;
 
-use crate::generators::{flapping_minority, homonym_group_isolation, split_brain};
+// The shared sweep plumbing lives in `homonym_sim::sweep`; re-exported
+// here so the chaos crate presents one import surface (and so the bench
+// harness can keep importing everything from one place).
+pub use homonym_sim::sweep::{
+    config_divergence, item_divergence, parallel_seed_sweep, parallel_seed_sweep_with, ForkStats,
+    PrefixItem, PrefixSweeper, PrefixTree, RunGoal,
+};
+
+use crate::generators::{
+    fault_window_variants, flapping_minority, homonym_group_isolation, split_brain,
+};
 use crate::scenario::{FaultClause, Scenario};
 
 /// A scenario family the sweep can draw from.
@@ -124,8 +154,13 @@ pub struct SweepConfig {
     /// Homonymy degree (distinct identifiers; see
     /// [`IdentityAssignment::round_robin`]).
     pub l: usize,
-    /// Number of generated scenarios.
+    /// Number of generated base scenarios.
     pub scenarios: usize,
+    /// Shared-prefix variants per base scenario (see
+    /// [`fault_window_variants`]); `1` leaves the historical behaviour —
+    /// every generated scenario stands alone. Total runs =
+    /// `scenarios × variants`.
+    pub variants: usize,
     /// The stack under test.
     pub stack: StackKind,
     /// Families to rotate through.
@@ -140,21 +175,24 @@ pub struct SweepConfig {
     /// environment is clean.
     pub detector_margin: Span,
     /// Run a truncated **pre-heal probe** for every `probe_every`-th
-    /// scenario (0 disables): the same run cut off just before the first
-    /// heal, expected to be blocked — the demonstration that liveness
-    /// correctly fails pre-heal. Consensus stacks only.
+    /// base scenario (0 disables): the same run cut off just before the
+    /// first heal, expected to be blocked — the demonstration that
+    /// liveness correctly fails pre-heal. Consensus stacks only; probes
+    /// attach to the base variant of a family.
     pub probe_every: usize,
 }
 
 impl SweepConfig {
-    /// Defaults: `n = 8`, `ℓ = 3`, rotation over all families, a
-    /// generous post-clean margin, and a probe every 8th scenario.
+    /// Defaults: `n = 8`, `ℓ = 3`, rotation over all families, no
+    /// variant expansion, a generous post-clean margin, and a probe
+    /// every 8th scenario.
     #[must_use]
     pub fn new(stack: StackKind, scenarios: usize) -> Self {
         SweepConfig {
             n: 8,
             l: 3,
             scenarios,
+            variants: 1,
             stack,
             families: Family::ALL.to_vec(),
             base_seed: 1,
@@ -163,12 +201,21 @@ impl SweepConfig {
             probe_every: 8,
         }
     }
+
+    /// Sets the per-scenario variant count (builder style); see
+    /// [`SweepConfig::variants`].
+    #[must_use]
+    pub fn with_variants(mut self, variants: usize) -> Self {
+        self.variants = variants.max(1);
+        self
+    }
 }
 
 /// A falsifying (or excused) run, replayable from `seed` + the script.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counterexample {
-    /// The scenario seed (`family.generate(assign, seed)` rebuilds it).
+    /// The scenario seed (`family.generate(assign, seed)` rebuilds the
+    /// base; the script pins the exact variant).
     pub seed: u64,
     /// The family that generated the scenario.
     pub family: &'static str,
@@ -181,7 +228,7 @@ pub struct Counterexample {
 /// Aggregated sweep results.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SweepReport {
-    /// Scenarios executed (excluding pre-heal probes).
+    /// Scenario runs executed (excluding pre-heal probes).
     pub runs: usize,
     /// Safety violations — must be empty for a correct implementation.
     pub safety_counterexamples: Vec<Counterexample>,
@@ -219,12 +266,13 @@ impl SweepReport {
     }
 }
 
-/// Per-worker recycled engine allocations, one arena per stack shape the
-/// sweep can drive (see [`EngineArena`]). Arenas change allocation
-/// traffic only — every run remains a pure function of its config and
-/// seed (the engine's `arena_reuse_reproduces_fresh_runs` test pins the
-/// mechanism; `sweep_report_is_deterministic` in
-/// `tests/chaos_scenarios.rs` pins it at sweep scale).
+/// Per-worker recycled engine allocations for the flat executor, one
+/// arena per stack shape the sweep can drive (see [`EngineArena`]).
+/// Arenas change allocation traffic only — every run remains a pure
+/// function of its config and seed (the engine's
+/// `arena_reuse_reproduces_fresh_runs` test pins the mechanism;
+/// `sweep_report_is_deterministic` in `tests/chaos_scenarios.rs` pins it
+/// at sweep scale).
 struct WorkerArenas {
     fig8: EngineArena<Fig8Node>,
     fig9: EngineArena<QuorumConsensus<HOmegaOracle, HSigmaOracle>>,
@@ -241,6 +289,25 @@ impl WorkerArenas {
     }
 }
 
+/// Per-worker state of the forked executor: prefix sweepers for the
+/// stacks whose process construction is variant-invariant, plus flat
+/// arenas for probes and the oracle-backed fallback.
+struct ForkedWorkers {
+    fig8: PrefixSweeper<Fig8Node>,
+    detector: PrefixSweeper<EvtHpProcess>,
+    flat: WorkerArenas,
+}
+
+impl ForkedWorkers {
+    fn new() -> Self {
+        ForkedWorkers {
+            fig8: PrefixSweeper::new(),
+            detector: PrefixSweeper::new(),
+            flat: WorkerArenas::new(),
+        }
+    }
+}
+
 /// One scenario run's contribution to the report.
 struct RunOutcome {
     family: &'static str,
@@ -252,19 +319,46 @@ struct RunOutcome {
     probe_blocked: Option<bool>,
 }
 
-/// Runs the falsification sweep.
-///
-/// # Panics
-///
-/// Panics if the config names no families or a generated scenario fails
-/// to validate (a generator bug, not a property violation).
-#[must_use]
-pub fn falsification_sweep(cfg: &SweepConfig) -> SweepReport {
-    assert!(!cfg.families.is_empty(), "sweep needs at least one family");
-    let assign = IdentityAssignment::round_robin(cfg.n, cfg.l);
-    let outcomes = parallel_seed_sweep_with(cfg.scenarios, WorkerArenas::new, |arenas, i| {
-        run_one(cfg, &assign, arenas, i)
-    });
+/// One planned scenario run: the expanded (family, seed, variant)
+/// coordinates both executors consume, so flat and forked sweeps run the
+/// byte-identical scenario list.
+struct PlannedRun {
+    family: &'static str,
+    seed: u64,
+    scenario: Scenario,
+    /// Whether this run also executes the truncated pre-heal probe.
+    probe: bool,
+}
+
+/// Expands the sweep configuration into its full run list: base
+/// scenarios in rotation order, each followed by its shared-prefix
+/// variants (variant 0 *is* the base).
+fn plan_runs(cfg: &SweepConfig, assign: &IdentityAssignment) -> Vec<PlannedRun> {
+    let variants = cfg.variants.max(1);
+    let mut runs = Vec::with_capacity(cfg.scenarios * variants);
+    for i in 0..cfg.scenarios as u64 {
+        let seed = cfg.base_seed + i;
+        let family = cfg.families[i as usize % cfg.families.len()];
+        let base = family.generate(assign, seed);
+        let probe_base = cfg.probe_every > 0 && i.is_multiple_of(cfg.probe_every as u64);
+        for (v, scenario) in fault_window_variants(&base, seed, variants)
+            .into_iter()
+            .enumerate()
+        {
+            runs.push(PlannedRun {
+                family: family.name(),
+                seed,
+                scenario,
+                probe: probe_base && v == 0,
+            });
+        }
+    }
+    runs
+}
+
+/// Folds per-run outcomes into the aggregate report (shared by both
+/// executors, so report equality reduces to outcome equality).
+fn aggregate(outcomes: Vec<RunOutcome>) -> SweepReport {
     let mut report = SweepReport {
         runs: outcomes.len(),
         ..SweepReport::default()
@@ -296,35 +390,240 @@ pub fn falsification_sweep(cfg: &SweepConfig) -> SweepReport {
     report
 }
 
-fn run_one(
+/// Runs the falsification sweep on the **flat** executor: every run
+/// re-executes its full history from tick 0 (the differential baseline
+/// of [`falsification_sweep_forked`]).
+///
+/// # Panics
+///
+/// Panics if the config names no families or a generated scenario fails
+/// to validate (a generator bug, not a property violation).
+#[must_use]
+pub fn falsification_sweep(cfg: &SweepConfig) -> SweepReport {
+    assert!(!cfg.families.is_empty(), "sweep needs at least one family");
+    let assign = IdentityAssignment::round_robin(cfg.n, cfg.l);
+    let runs = plan_runs(cfg, &assign);
+    let outcomes = parallel_seed_sweep_with(runs.len(), WorkerArenas::new, |arenas, i| {
+        run_flat(cfg, &assign, arenas, &runs[i as usize])
+    });
+    aggregate(outcomes)
+}
+
+/// Runs the falsification sweep on the **prefix-sharing** executor:
+/// each base scenario's variant family is planned through the divergence
+/// computation and executed with snapshot-at-branch-point +
+/// restore-per-child, on worker-local arenas. Produces the identical
+/// report to [`falsification_sweep`]; with `variants == 1` (or a stack
+/// that cannot share) every family is a single fresh run and the two
+/// executors coincide exactly.
+///
+/// # Panics
+///
+/// Panics if the config names no families or a generated scenario fails
+/// to validate.
+#[must_use]
+pub fn falsification_sweep_forked(cfg: &SweepConfig) -> SweepReport {
+    assert!(!cfg.families.is_empty(), "sweep needs at least one family");
+    let assign = IdentityAssignment::round_robin(cfg.n, cfg.l);
+    let runs = plan_runs(cfg, &assign);
+    let variants = cfg.variants.max(1);
+    let per_family = parallel_seed_sweep_with(cfg.scenarios, ForkedWorkers::new, |workers, g| {
+        let group = &runs[g as usize * variants..(g as usize + 1) * variants];
+        run_family_forked(cfg, &assign, workers, group)
+    });
+    aggregate(per_family.into_iter().flatten().collect())
+}
+
+fn run_flat(
     cfg: &SweepConfig,
     assign: &IdentityAssignment,
     arenas: &mut WorkerArenas,
-    i: u64,
+    run: &PlannedRun,
 ) -> RunOutcome {
-    let seed = cfg.base_seed + i;
-    let family = cfg.families[i as usize % cfg.families.len()];
-    let scenario = family.generate(assign, seed);
-    let probe_at = (cfg.probe_every > 0 && i.is_multiple_of(cfg.probe_every as u64))
-        .then(|| first_heal(&scenario))
-        .flatten();
     let (verdict, probe_blocked) = match cfg.stack {
-        StackKind::Fig8EvtHp => run_fig8(cfg, assign, &mut arenas.fig8, &scenario, seed, probe_at),
-        StackKind::Fig9OracleQuorum => {
-            run_fig9(cfg, assign, &mut arenas.fig9, &scenario, seed, probe_at)
-        }
+        StackKind::Fig8EvtHp => run_fig8(
+            cfg,
+            assign,
+            &mut arenas.fig8,
+            &run.scenario,
+            run.seed,
+            run.probe.then(|| first_heal(&run.scenario)).flatten(),
+        ),
+        StackKind::Fig9OracleQuorum => run_fig9(
+            cfg,
+            assign,
+            &mut arenas.fig9,
+            &run.scenario,
+            run.seed,
+            run.probe.then(|| first_heal(&run.scenario)).flatten(),
+        ),
         StackKind::EvtHpDetector => (
-            run_detector(cfg, assign, &mut arenas.detector, &scenario, seed),
+            run_detector(cfg, assign, &mut arenas.detector, &run.scenario, run.seed),
             None,
         ),
     };
     RunOutcome {
-        family: family.name(),
-        seed,
-        script: scenario.to_string(),
+        family: run.family,
+        seed: run.seed,
+        script: run.scenario.to_string(),
         verdict,
         probe_blocked,
     }
+}
+
+/// Executes one variant family on the prefix-sharing executor. Probes
+/// and the oracle-backed Figure 9 stack run flat (the former are
+/// truncated separate runs by definition, the latter builds per-variant
+/// oracle worlds — construction is not prefix-invariant, the documented
+/// no-sharing worst case).
+fn run_family_forked(
+    cfg: &SweepConfig,
+    assign: &IdentityAssignment,
+    workers: &mut ForkedWorkers,
+    group: &[PlannedRun],
+) -> Vec<RunOutcome> {
+    match cfg.stack {
+        StackKind::Fig9OracleQuorum => group
+            .iter()
+            .map(|run| run_flat(cfg, assign, &mut workers.flat, run))
+            .collect(),
+        StackKind::Fig8EvtHp => run_fig8_family_forked(cfg, assign, workers, group),
+        StackKind::EvtHpDetector => run_detector_family_forked(cfg, assign, workers, group),
+    }
+}
+
+fn run_fig8_family_forked(
+    cfg: &SweepConfig,
+    assign: &IdentityAssignment,
+    workers: &mut ForkedWorkers,
+    group: &[PlannedRun],
+) -> Vec<RunOutcome> {
+    let n = cfg.n;
+    let t = (n - 1) / 2;
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    let mut cleans = Vec::with_capacity(group.len());
+    let items: Vec<PrefixItem<()>> = group
+        .iter()
+        .map(|run| {
+            let sim = SimConfig::new(assign.clone(), FailureSchedule::none(n), hps_base())
+                .with_seed(run.seed);
+            let sim = run
+                .scenario
+                .install(sim)
+                .expect("generated scenarios validate");
+            let clean = clean_instant(&sim, &run.scenario);
+            cleans.push(clean);
+            PrefixItem {
+                goal: RunGoal::UntilAllCorrectDecided(clean + cfg.decision_margin),
+                config: sim,
+                tag: (),
+            }
+        })
+        .collect();
+    let props = proposals.clone();
+    let verdicts = workers.fig8.run_family(
+        &items,
+        |_, p, _| fig8_node(props[p], n, t),
+        |engine, j| {
+            let sched = engine.config().sched.clone();
+            let result = check_consensus(&engine.outcome(proposals.clone()), &sched).map(|_| ());
+            let condition = if group[j].scenario.is_lossy() {
+                RunCondition::never_clean()
+            } else {
+                RunCondition::clean_from(cleans[j])
+            };
+            classify_run(condition, result)
+        },
+    );
+    group
+        .iter()
+        .zip(verdicts)
+        .enumerate()
+        .map(|(j, (run, verdict))| {
+            let probe_blocked = run
+                .probe
+                .then(|| first_heal(&run.scenario))
+                .flatten()
+                .map(|cut| {
+                    let props = proposals.clone();
+                    let sched = items[j].config.sched.clone();
+                    let mut probe = Engine::new_in(
+                        items[j].config.clone(),
+                        |p, _| fig8_node(props[p], n, t),
+                        std::mem::take(&mut workers.flat.fig8),
+                    );
+                    probe.run_until_all_correct_decided(cut);
+                    let blocked =
+                        check_consensus(&probe.outcome(proposals.clone()), &sched).is_err();
+                    workers.flat.fig8 = probe.into_arena();
+                    blocked
+                });
+            RunOutcome {
+                family: run.family,
+                seed: run.seed,
+                script: run.scenario.to_string(),
+                verdict,
+                probe_blocked,
+            }
+        })
+        .collect()
+}
+
+fn run_detector_family_forked(
+    cfg: &SweepConfig,
+    assign: &IdentityAssignment,
+    workers: &mut ForkedWorkers,
+    group: &[PlannedRun],
+) -> Vec<RunOutcome> {
+    let n = cfg.n;
+    let mut cleans = Vec::with_capacity(group.len());
+    let items: Vec<PrefixItem<()>> = group
+        .iter()
+        .map(|run| {
+            let sim = SimConfig::new(assign.clone(), FailureSchedule::none(n), hps_base())
+                .with_seed(run.seed);
+            let sim = run
+                .scenario
+                .install(sim)
+                .expect("generated scenarios validate");
+            let clean = clean_instant(&sim, &run.scenario);
+            cleans.push(clean);
+            PrefixItem {
+                goal: RunGoal::Until(clean + cfg.detector_margin),
+                config: sim,
+                tag: (),
+            }
+        })
+        .collect();
+    let verdicts = workers.detector.run_family(
+        &items,
+        |_, _, _| EvtHpProcess::new(),
+        |engine, j| {
+            let sched = engine.config().sched.clone();
+            let mut evt = Vec::with_capacity(n);
+            let mut omg = Vec::with_capacity(n);
+            for hist in engine.histories() {
+                let (e, o) = split_snapshots(hist);
+                evt.push(e);
+                omg.push(o);
+            }
+            let result = check_evt_hp(&evt, &sched, assign)
+                .map(|_| ())
+                .and_then(|()| check_h_omega(&omg, &sched, assign).map(|_| ()));
+            classify_run(RunCondition::clean_from(cleans[j]), result)
+        },
+    );
+    group
+        .iter()
+        .zip(verdicts)
+        .map(|(run, verdict)| RunOutcome {
+            family: run.family,
+            seed: run.seed,
+            script: run.scenario.to_string(),
+            verdict,
+            probe_blocked: None,
+        })
+        .collect()
 }
 
 /// The instant just before the earliest network fault ends — the
@@ -346,8 +645,12 @@ fn first_heal(scenario: &Scenario) -> Option<Time> {
 }
 
 /// The instant from which an installed config's environment is clean:
-/// every fault over and (for `HPS`) GST passed.
-fn clean_instant(cfg: &SimConfig, scenario: &Scenario) -> Time {
+/// every fault over and (for `HPS`) GST passed. Exported because every
+/// consumer of the sweep's verdict semantics (the bench harness's
+/// forked rows, the atlas example) must anchor deadlines to the same
+/// definition.
+#[must_use]
+pub fn clean_instant(cfg: &SimConfig, scenario: &Scenario) -> Time {
     let gst = match cfg.network {
         NetworkModel::PartialSync { gst, .. } => gst,
         _ => Time::ZERO,

@@ -27,10 +27,12 @@
 //! `AΩ` the Leaders' Coordination Phase is removed and the Phase 0 guard
 //! queries the respective detector.
 
+use homonym_core::fork::{ForkSpace, ForkState};
 use homonym_core::identity::Identity;
 use homonym_core::query::{AOmegaSource, HOmegaSource, OmegaSource};
 use homonym_core::time::{Span, Time};
 use homonym_sim::process::{ActionSink, Process, TimerTag};
+use homonym_sim::snapshot::ForkProcess;
 
 use crate::round_window::{RoundRing, ValueCounts, Window};
 
@@ -166,6 +168,25 @@ impl<D: AOmegaSource + Send + 'static> LeaderPolicy for AOmegaPolicy<D> {
     }
 }
 
+/// Snapshot support for the leader policies: the wrapped detector
+/// forks, preserving shared-cell wiring within the owning stack.
+macro_rules! impl_fork_state_for_policy {
+    ($($policy:ident),+ $(,)?) => {
+        $(impl<D: ForkState> ForkState for $policy<D> {
+            fn fork_in(&self, space: &mut ForkSpace) -> Self {
+                $policy(self.0.fork_in(space))
+            }
+        })+
+    };
+}
+
+impl_fork_state_for_policy!(
+    HOmegaPolicy,
+    UncoordinatedHOmegaPolicy,
+    OmegaPolicy,
+    AOmegaPolicy,
+);
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     LeadersCoordination,
@@ -184,7 +205,7 @@ const TICK: TimerTag = TimerTag(0);
 /// 22-26 and the `{v} / {v, ⊥} / {⊥}` case split of lines 30-34 are
 /// functions of the counts). A window costs O(1) memory per resident
 /// round regardless of how many messages arrived.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Fig8Window {
     /// `COORD`s carrying my identifier: how many, and their minimum
     /// estimate (meaningful iff `coord_count > 0`).
@@ -436,6 +457,27 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
 
     fn try_advance(&mut self, ctx: &mut ActionSink<'_, Fig8Msg, u64>) {
         while !self.decided && self.eval(ctx) {}
+    }
+}
+
+/// Snapshot support: estimates, phase, and the live round windows are
+/// duplicated; the policy's detector forks through the [`ForkSpace`], so
+/// a policy backed by the owning stack's shared cell is re-seated onto
+/// the forked stack's duplicate.
+impl<L: LeaderPolicy + ForkState> ForkProcess for MajorityConsensus<L> {
+    fn fork_in(&self, space: &mut ForkSpace) -> Self {
+        MajorityConsensus {
+            policy: self.policy.fork_in(space),
+            n: self.n,
+            t: self.t,
+            est1: self.est1,
+            est2: self.est2,
+            round: self.round,
+            phase: self.phase,
+            rounds: self.rounds.clone(),
+            decided: self.decided,
+            tick: self.tick,
+        }
     }
 }
 

@@ -27,11 +27,13 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use homonym_core::classes::Label;
+use homonym_core::fork::{ForkSpace, ForkState};
 use homonym_core::identity::Identity;
 use homonym_core::multiset::Multiset;
 use homonym_core::query::{HOmegaSource, HSigmaSource};
 use homonym_core::time::Span;
 use homonym_sim::process::{ActionSink, Process, TimerTag};
+use homonym_sim::snapshot::ForkProcess;
 
 use crate::round_window::{RoundRing, Window};
 
@@ -108,7 +110,7 @@ const TICK: TimerTag = TimerTag(0);
 /// the quorum phases must keep the full [`QuorumMsg`]s — identifiers,
 /// sub-rounds and label sets all feed `find_quorum` — so those live in
 /// vectors whose allocations the round ring recycles as rounds expire.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Fig9Window {
     /// Whether *any* `COORD` of this round was seen (the Phase 2
     /// next-round short-cut, lines 43-44).
@@ -433,6 +435,32 @@ impl<D1: HOmegaSource, D2: HSigmaSource> QuorumConsensus<D1, D2> {
 
     fn try_advance(&mut self, ctx: &mut ActionSink<'_, Fig9Msg, u64>) {
         while !self.decided && self.eval(ctx) {}
+    }
+}
+
+/// Snapshot support: round/sub-round state and the live windows are
+/// duplicated; both detectors fork through the [`ForkSpace`] (oracle
+/// detectors `Arc`-share their precomputed tables, cell-backed ones are
+/// re-seated onto the owning stack's duplicates).
+impl<D1, D2> ForkProcess for QuorumConsensus<D1, D2>
+where
+    D1: HOmegaSource + ForkState + Send + 'static,
+    D2: HSigmaSource + ForkState + Send + 'static,
+{
+    fn fork_in(&self, space: &mut ForkSpace) -> Self {
+        QuorumConsensus {
+            d1: self.d1.fork_in(space),
+            d2: self.d2.fork_in(space),
+            est1: self.est1,
+            est2: self.est2,
+            round: self.round,
+            sr: self.sr,
+            current_labels: self.current_labels.clone(),
+            phase: self.phase,
+            rounds: self.rounds.clone(),
+            decided: self.decided,
+            tick: self.tick,
+        }
     }
 }
 

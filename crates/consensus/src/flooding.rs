@@ -21,10 +21,12 @@
 
 use std::collections::BTreeMap;
 
+use homonym_core::fork::{ForkSpace, ForkState};
 use homonym_core::identity::Identity;
 use homonym_core::query::{APSource, SigmaSource};
 use homonym_core::time::Span;
 use homonym_sim::process::{ActionSink, Process, TimerTag};
+use homonym_sim::snapshot::ForkProcess;
 
 /// Flooding protocol message: round, sender identifier (absent in the
 /// anonymous variant), estimate.
@@ -120,6 +122,21 @@ impl<D: SigmaSource> PFloodingConsensus<D> {
                 return;
             }
             self.start_round(ctx);
+        }
+    }
+}
+
+/// Snapshot support (see `homonym_sim::snapshot`).
+impl<D: SigmaSource + ForkState + Send + 'static> ForkProcess for PFloodingConsensus<D> {
+    fn fork_in(&self, space: &mut ForkSpace) -> Self {
+        PFloodingConsensus {
+            detector: self.detector.fork_in(space),
+            t: self.t,
+            est: self.est,
+            round: self.round,
+            inbox: self.inbox.clone(),
+            decided: self.decided,
+            tick: self.tick,
         }
     }
 }
@@ -221,6 +238,21 @@ impl<D: APSource> AnonFloodingConsensus<D> {
                 return;
             }
             self.start_round(ctx);
+        }
+    }
+}
+
+/// Snapshot support (see `homonym_sim::snapshot`).
+impl<D: APSource + ForkState + Send + 'static> ForkProcess for AnonFloodingConsensus<D> {
+    fn fork_in(&self, space: &mut ForkSpace) -> Self {
+        AnonFloodingConsensus {
+            detector: self.detector.fork_in(space),
+            t: self.t,
+            est: self.est,
+            round: self.round,
+            inbox: self.inbox.clone(),
+            decided: self.decided,
+            tick: self.tick,
         }
     }
 }

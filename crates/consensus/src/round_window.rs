@@ -38,6 +38,19 @@ pub(crate) struct RoundRing<W: Window> {
     spare: Vec<W>,
 }
 
+/// Snapshot support: only the live windows matter for future behaviour;
+/// the spare pool is an allocation cache, so a fork starts with a cold
+/// one rather than deep-copying recycled buffers.
+impl<W: Window + Clone> Clone for RoundRing<W> {
+    fn clone(&self) -> Self {
+        RoundRing {
+            base: self.base,
+            live: self.live.clone(),
+            spare: Vec::new(),
+        }
+    }
+}
+
 impl<W: Window> RoundRing<W> {
     pub(crate) fn new() -> Self {
         RoundRing {

@@ -1,0 +1,125 @@
+//! Structural forking of per-run state, the foundation of the engine
+//! snapshot layer.
+//!
+//! A *fork* of a piece of run state is an independent copy whose future
+//! behaviour is byte-identical to the original's: mutable state is
+//! duplicated, immutable payloads (precomputed oracle tables, frozen
+//! configuration) may stay `Arc`-shared, and **aliasing is preserved
+//! structurally** — two handles to the same shared cell fork into two
+//! handles to the same *new* cell, never to the original.
+//!
+//! That last point is why plain [`Clone`] is not enough. A
+//! [`SharedCell`] clones by aliasing (that is its purpose: a detector
+//! half and a consensus half of one simulated process share it), so a
+//! naive clone of a process would leave the copy writing into the
+//! original's cell and vice versa — the fork would not be independent.
+//! [`ForkSpace`] fixes this: it maps each *original* shared allocation
+//! (by pointer identity) to the single fresh duplicate made for the fork
+//! in progress, so every handle that aliased the original ends up
+//! aliasing the duplicate.
+//!
+//! Types opt in through [`ForkState`]; whole simulated processes opt in
+//! through `homonym_sim::snapshot::ForkProcess`, which threads one
+//! `ForkSpace` through all of a process's state.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use crate::query::SharedCell;
+
+/// The alias-preserving workspace of one fork operation.
+///
+/// Create one per fork (e.g. per engine snapshot), thread it through
+/// every [`ForkState::fork_in`] call of that fork, and drop it when the
+/// fork is complete. Reusing a space across *independent* forks would
+/// incorrectly alias them to each other.
+#[derive(Debug, Default)]
+pub struct ForkSpace {
+    /// Original allocation address → the duplicate handle made for this
+    /// fork, type-erased (each entry is downcast by the handle type that
+    /// inserted it).
+    map: HashMap<usize, Box<dyn Any + Send>>,
+}
+
+impl ForkSpace {
+    /// An empty space.
+    #[must_use]
+    pub fn new() -> Self {
+        ForkSpace::default()
+    }
+
+    /// Returns the duplicate registered for the original allocation at
+    /// `key`, making it with `make` (and registering it) on first sight.
+    /// Every caller that passes the same `key` within one space receives
+    /// handles aliasing the same duplicate.
+    pub fn dedup<T: Clone + Send + 'static>(&mut self, key: usize, make: impl FnOnce() -> T) -> T {
+        if let Some(found) = self.map.get(&key).and_then(|b| b.downcast_ref::<T>()) {
+            return found.clone();
+        }
+        let fresh = make();
+        self.map.insert(key, Box::new(fresh.clone()));
+        fresh
+    }
+}
+
+/// State that can fork itself into an independent copy.
+///
+/// Implementations must guarantee the copy's future behaviour is
+/// byte-identical to the original's while sharing no mutable state with
+/// it. Immutable interior payloads may stay `Arc`-shared; handles to
+/// shared mutable state must be re-seated through the [`ForkSpace`].
+pub trait ForkState {
+    /// Forks this value inside `space` (see the module docs).
+    fn fork_in(&self, space: &mut ForkSpace) -> Self;
+}
+
+impl<T: Clone + Send + 'static> ForkState for SharedCell<T> {
+    /// Forks the cell: the first handle to reach the space duplicates the
+    /// current value into a fresh cell; every further handle aliasing the
+    /// same original receives that same fresh cell.
+    fn fork_in(&self, space: &mut ForkSpace) -> Self {
+        space.dedup(self.alias_key(), || SharedCell::new(self.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::HOmegaOutput;
+    use crate::identity::Identity;
+
+    #[test]
+    fn forked_cell_is_independent_of_the_original() {
+        let cell = SharedCell::new(HOmegaOutput::new(Identity::new(1), 2));
+        let mut space = ForkSpace::new();
+        let fork = cell.fork_in(&mut space);
+        assert_eq!(fork.get(), cell.get());
+        cell.set(HOmegaOutput::new(Identity::new(9), 9));
+        assert_eq!(fork.get(), HOmegaOutput::new(Identity::new(1), 2));
+    }
+
+    #[test]
+    fn aliasing_handles_fork_to_one_duplicate() {
+        let writer = SharedCell::new(7u64);
+        let reader = writer.clone();
+        let mut space = ForkSpace::new();
+        let writer_fork = writer.fork_in(&mut space);
+        let reader_fork = reader.fork_in(&mut space);
+        writer_fork.set(42);
+        // The two forks alias each other (one duplicate)...
+        assert_eq!(reader_fork.get(), 42);
+        // ...but not the originals.
+        assert_eq!(writer.get(), 7);
+    }
+
+    #[test]
+    fn distinct_cells_fork_to_distinct_duplicates() {
+        let a = SharedCell::new(1u64);
+        let b = SharedCell::new(2u64);
+        let mut space = ForkSpace::new();
+        let fa = a.fork_in(&mut space);
+        let fb = b.fork_in(&mut space);
+        fa.set(10);
+        assert_eq!(fb.get(), 2);
+    }
+}

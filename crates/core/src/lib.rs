@@ -45,6 +45,7 @@
 
 pub mod classes;
 pub mod failure;
+pub mod fork;
 pub mod identity;
 pub mod multiset;
 pub mod properties;
@@ -56,6 +57,7 @@ pub use classes::{
     Label, OmegaOutput, SigmaOutput,
 };
 pub use failure::FailureSchedule;
+pub use fork::{ForkSpace, ForkState};
 pub use identity::{Identity, IdentityAssignment};
 pub use multiset::Multiset;
 pub use time::{Span, Time};
@@ -67,6 +69,7 @@ pub mod prelude {
         Label, OmegaOutput, SigmaOutput,
     };
     pub use crate::failure::FailureSchedule;
+    pub use crate::fork::{ForkSpace, ForkState};
     pub use crate::identity::{Identity, IdentityAssignment};
     pub use crate::multiset::Multiset;
     pub use crate::properties::{

@@ -145,6 +145,16 @@ impl<T: Clone> SharedCell<T> {
     }
 }
 
+impl<T> SharedCell<T> {
+    /// The identity of the underlying shared allocation: equal exactly
+    /// for handles that alias the same cell. Used by the fork layer
+    /// ([`crate::fork`]) to re-seat aliasing handles onto one duplicate.
+    #[must_use]
+    pub fn alias_key(&self) -> usize {
+        Arc::as_ptr(&self.inner).cast::<()>() as usize
+    }
+}
+
 macro_rules! impl_source_for_cell {
     ($trait_:ident, $method:ident, $out:ty) => {
         impl $trait_ for SharedCell<$out> {

@@ -27,11 +27,13 @@
 //! executions.
 
 use homonym_core::classes::{EvtHPOutput, HOmegaOutput};
+use homonym_core::fork::{ForkSpace, ForkState};
 use homonym_core::identity::Identity;
 use homonym_core::multiset::Multiset;
 use homonym_core::query::SharedCell;
 use homonym_core::time::Span;
 use homonym_sim::process::{ActionSink, Process, TimerTag};
+use homonym_sim::snapshot::ForkProcess;
 
 /// Protocol messages of Figure 6.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -285,6 +287,32 @@ impl EvtHpProcess {
 impl Default for EvtHpProcess {
     fn default() -> Self {
         EvtHpProcess::new()
+    }
+}
+
+/// Snapshot support: all round/membership/timeout state is duplicated,
+/// while the mirror cells are re-seated through the [`ForkSpace`] so a
+/// forked detector publishes into its *own* stack's cells (shared with
+/// the forked consensus half, never with the original run).
+impl ForkProcess for EvtHpProcess {
+    fn fork_in(&self, space: &mut ForkSpace) -> Self {
+        EvtHpProcess {
+            h_trusted: self.h_trusted.clone(),
+            h_omega: self.h_omega,
+            round: self.round,
+            timeout: self.timeout,
+            mship_dense: self.mship_dense.clone(),
+            mship: self.mship.clone(),
+            pending: self.pending.clone(),
+            gather: self.gather.clone(),
+            prev_gather: self.prev_gather.clone(),
+            snapshot: self.snapshot.clone(),
+            evt_mirror: self.evt_mirror.as_ref().map(|c| c.fork_in(space)),
+            omega_mirror: self.omega_mirror.as_ref().map(|c| c.fork_in(space)),
+            mirrors_dirty: self.mirrors_dirty,
+            adaptive: self.adaptive,
+            started: self.started,
+        }
     }
 }
 

@@ -56,6 +56,19 @@ impl HSigmaSyncProcess {
     }
 }
 
+/// Snapshot support: the output state is duplicated and the mirror cell
+/// re-seated through the fork space (see `homonym_sim::snapshot`).
+impl homonym_sim::snapshot::ForkSyncProcess for HSigmaSyncProcess {
+    fn fork_in(&self, space: &mut homonym_core::fork::ForkSpace) -> Self {
+        use homonym_core::fork::ForkState;
+        HSigmaSyncProcess {
+            my_id: self.my_id,
+            output: self.output.clone(),
+            mirror: self.mirror.as_ref().map(|c| c.fork_in(space)),
+        }
+    }
+}
+
 impl SyncProcess for HSigmaSyncProcess {
     type Msg = IdentMsg;
     type Output = HSigmaOutput;

@@ -556,6 +556,32 @@ impl EListSource for EListOracle {
     }
 }
 
+// Snapshot support: an oracle is a pure function of `(time, salt, pre)`
+// over the world's precomputed tables, so a fork is a plain clone — the
+// tables stay `Arc`-shared (never deep-copied per fork) and there is no
+// mutable state to duplicate.
+macro_rules! impl_fork_state_by_clone {
+    ($($oracle:ident),+ $(,)?) => {
+        $(impl homonym_core::fork::ForkState for $oracle {
+            fn fork_in(&self, _space: &mut homonym_core::fork::ForkSpace) -> Self {
+                self.clone()
+            }
+        })+
+    };
+}
+
+impl_fork_state_by_clone!(
+    EvtHPOracle,
+    HOmegaOracle,
+    HSigmaOracle,
+    SigmaOracle,
+    OmegaOracle,
+    AOmegaOracle,
+    APOracle,
+    ASigmaOracle,
+    EListOracle,
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;

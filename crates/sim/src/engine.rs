@@ -41,6 +41,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use homonym_core::failure::FailureSchedule;
+use homonym_core::fork::ForkSpace;
 use homonym_core::identity::IdentityAssignment;
 use homonym_core::properties::{ConsensusOutcome, History};
 use homonym_core::time::{Span, Time};
@@ -51,6 +52,7 @@ use crate::adversary::LinkFaultScript;
 use crate::network::NetworkModel;
 use crate::process::{Action, ActionSink, BatchFeed, Process, TimerTag};
 use crate::queue::CalendarQueue;
+use crate::snapshot::{EngineSnapshot, ForkProcess};
 use crate::trace::{Trace, TraceEvent};
 
 /// Why a run loop returned.
@@ -168,7 +170,11 @@ impl SimConfig {
     }
 }
 
-enum Event<M> {
+/// Cloning (snapshot support) keeps `DeliverShared` copies `Arc`-shared:
+/// a snapshotted broadcast costs one refcount bump per queued copy,
+/// never a deep payload copy.
+#[derive(Clone)]
+pub(crate) enum Event<M> {
     Start {
         dst: usize,
     },
@@ -238,11 +244,11 @@ fn plain_payload<M>() -> bool {
     !std::mem::needs_drop::<M>() && std::mem::size_of::<M>() <= 64
 }
 
-struct ProcSlot<P: Process> {
-    proc: P,
-    rng: StdRng,
+pub(crate) struct ProcSlot<P: Process> {
+    pub(crate) proc: P,
+    pub(crate) rng: StdRng,
     /// Cached `id(p)` — avoids an assignment-table chase per callback.
-    id: homonym_core::Identity,
+    pub(crate) id: homonym_core::Identity,
 }
 
 /// Recycled engine allocations, so a multi-seed sweep can run thousands
@@ -1063,6 +1069,44 @@ impl<P: Process> Engine<P> {
         self.seq += 1;
     }
 
+    /// Whether `p` has halted itself (as opposed to being crashed by the
+    /// schedule): `Halt` zeroes the liveness horizon, which a crash at
+    /// `t0` also does — but a process crashed at `t0` never takes the
+    /// step a `Halt` would need, so the two cases are separable against
+    /// the schedule.
+    fn halted_flag(&self, p: usize) -> bool {
+        self.dead_from[p] == 0
+            && self
+                .config
+                .sched
+                .crash_time(p)
+                .is_none_or(|c| c.ticks() > 0)
+    }
+
+    /// Rebuilds the liveness-horizon table from this engine's own
+    /// schedule plus a snapshot's halt flags, and recounts the undecided
+    /// correct processes from the restored decisions — the two pieces of
+    /// restored state that must follow the *adopting* configuration (its
+    /// post-divergence crash times may differ from the snapshotted
+    /// run's; see [`crate::sweep::config_divergence`]).
+    fn rebuild_schedule_state(&mut self, halted: &[bool]) {
+        let n = self.config.assign.n();
+        self.dead_from.clear();
+        self.dead_from.extend((0..n).map(|p| {
+            if halted[p] {
+                0
+            } else {
+                self.config
+                    .sched
+                    .crash_time(p)
+                    .map_or(u64::MAX, |c| c.ticks())
+            }
+        }));
+        self.undecided_correct = (0..n)
+            .filter(|&p| self.config.sched.is_correct(p) && self.decisions[p].is_none())
+            .count();
+    }
+
     /// Whether a copy arriving at `at` could ever be observed by `dst`:
     /// false once `dst` is halted (permanent) or its crash time is at or
     /// before the delivery instant. The batched broadcast elides queuing
@@ -1072,6 +1116,180 @@ impl<P: Process> Engine<P> {
     #[inline]
     fn deliverable(&self, dst: usize, at: Time) -> bool {
         at.ticks() < self.dead_from[dst]
+    }
+}
+
+impl<P: ForkProcess> Engine<P> {
+    /// Captures the engine's complete deterministic state — queue
+    /// contents (including a partially consumed tick batch), process
+    /// states and RNG streams, network/adversary streams, metrics,
+    /// histories, decisions and the trace — as an independent
+    /// [`EngineSnapshot`]. Restoring it (into this engine or a fresh one
+    /// with an agreeing configuration) reproduces the byte-identical
+    /// `(time, seq)` event sequence an uninterrupted run would produce
+    /// from this instant; see [`crate::snapshot`] for the contract.
+    ///
+    /// Must be called between run calls, never from inside a callback.
+    #[must_use]
+    pub fn snapshot(&self) -> EngineSnapshot<P> {
+        debug_assert!(self.scratch_actions.is_empty() && self.scratch_cuts.is_empty());
+        let mut space = ForkSpace::new();
+        EngineSnapshot {
+            procs: self
+                .procs
+                .iter()
+                .map(|s| ProcSlot {
+                    proc: s.proc.fork_in(&mut space),
+                    rng: s.rng.clone(),
+                    id: s.id,
+                })
+                .collect(),
+            halted: (0..self.n()).map(|p| self.halted_flag(p)).collect(),
+            queue: self.queue.clone(),
+            seq: self.seq,
+            now: self.now,
+            net_rng: self.net_rng.clone(),
+            adv_rng: self.adv_rng.clone(),
+            metrics: self.metrics.clone(),
+            histories: self.histories.clone(),
+            decisions: self.decisions.clone(),
+            trace: self.trace.clone(),
+            tick_batch: self.tick_batch.clone(),
+            tick_pos: self.tick_pos,
+        }
+    }
+
+    /// Like [`Engine::snapshot`], but refills an existing snapshot
+    /// through `clone_from`, reusing its bucket ring, history rows and
+    /// batch buffers — the arena path of the prefix-sharing executor,
+    /// which snapshots at every branch point and would otherwise pay a
+    /// full queue allocation per fork.
+    pub fn snapshot_into(&self, snap: &mut EngineSnapshot<P>) {
+        debug_assert!(self.scratch_actions.is_empty() && self.scratch_cuts.is_empty());
+        let mut space = ForkSpace::new();
+        snap.procs.clear();
+        snap.procs.extend(self.procs.iter().map(|s| ProcSlot {
+            proc: s.proc.fork_in(&mut space),
+            rng: s.rng.clone(),
+            id: s.id,
+        }));
+        snap.halted.clear();
+        snap.halted
+            .extend((0..self.n()).map(|p| self.halted_flag(p)));
+        snap.queue.clone_from(&self.queue);
+        snap.seq = self.seq;
+        snap.now = self.now;
+        snap.net_rng = self.net_rng.clone();
+        snap.adv_rng = self.adv_rng.clone();
+        snap.metrics.clone_from(&self.metrics);
+        snap.histories.clone_from(&self.histories);
+        snap.decisions.clone_from(&self.decisions);
+        snap.trace.clone_from(&self.trace);
+        snap.tick_batch.clone_from(&self.tick_batch);
+        snap.tick_pos = self.tick_pos;
+    }
+
+    /// Restores this engine to the snapshotted state, keeping its own
+    /// configuration and classifier. With the same configuration the
+    /// continuation is byte-identical to the uninterrupted run; the
+    /// prefix-sharing executor also restores under configurations that
+    /// agree with the snapshotted one on everything consumed so far
+    /// (crash horizons and decision counters are rebuilt from this
+    /// engine's own schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's system size differs from this engine's.
+    pub fn restore_from(&mut self, snap: &EngineSnapshot<P>) {
+        assert_eq!(self.n(), snap.procs.len(), "snapshot size mismatch");
+        let mut space = ForkSpace::new();
+        self.procs.clear();
+        self.procs.extend(snap.procs.iter().map(|s| ProcSlot {
+            proc: s.proc.fork_in(&mut space),
+            rng: s.rng.clone(),
+            id: s.id,
+        }));
+        self.queue.clone_from(&snap.queue);
+        self.seq = snap.seq;
+        self.now = snap.now;
+        self.net_rng = snap.net_rng.clone();
+        self.adv_rng = snap.adv_rng.clone();
+        self.metrics.clone_from(&snap.metrics);
+        self.histories.clone_from(&snap.histories);
+        self.decisions.clone_from(&snap.decisions);
+        self.trace.clone_from(&snap.trace);
+        self.tick_batch.clone_from(&snap.tick_batch);
+        self.tick_pos = snap.tick_pos;
+        self.scratch_actions.clear();
+        self.scratch_cuts.clear();
+        self.feed.recycle();
+        self.rebuild_schedule_state(&snap.halted);
+    }
+
+    /// Builds an engine for `config` directly from a snapshot, inside
+    /// recycled arena allocations — the restore-per-child step of the
+    /// prefix-sharing executor. No process factory runs: the processes
+    /// are forked out of the snapshot. `config` must agree with the
+    /// snapshotted run's configuration on everything consumed up to the
+    /// snapshot instant (the planner's divergence computation guarantees
+    /// this; same-config resumption trivially qualifies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` disagrees with the snapshot on system size.
+    #[must_use]
+    pub fn resume_in(config: SimConfig, snap: &EngineSnapshot<P>, arena: EngineArena<P>) -> Self {
+        let EngineArena {
+            mut queue,
+            mut procs,
+            dead_from,
+            mut histories,
+            mut decisions,
+            mut tick_batch,
+            mut scratch_actions,
+            mut scratch_cuts,
+            mut feed,
+        } = arena;
+        assert_eq!(
+            config.assign.n(),
+            snap.procs.len(),
+            "snapshot size mismatch"
+        );
+        procs.clear();
+        queue.reset();
+        // Recycle history rows before `clone_from` so capacities carry
+        // over even when the row count changed between runs.
+        for h in &mut histories {
+            h.clear();
+        }
+        tick_batch.clear();
+        scratch_actions.clear();
+        scratch_cuts.clear();
+        feed.recycle();
+        decisions.clear();
+        let mut engine = Engine {
+            seq: 0,
+            now: Time::ZERO,
+            dead_from,
+            net_rng: StdRng::seed_from_u64(0),
+            adv_rng: StdRng::seed_from_u64(0),
+            metrics: Metrics::default(),
+            histories,
+            decisions,
+            classifier: None,
+            trace: None,
+            scratch_actions,
+            scratch_cuts,
+            tick_batch,
+            tick_pos: 0,
+            feed,
+            undecided_correct: 0,
+            config,
+            procs,
+            queue,
+        };
+        engine.restore_from(snap);
+        engine
     }
 }
 
@@ -1105,6 +1323,12 @@ mod tests {
         }
 
         fn on_timer(&mut self, _t: TimerTag, _ctx: &mut ActionSink<'_, Ping, u64>) {}
+    }
+
+    impl ForkProcess for Echo {
+        fn fork_in(&self, _space: &mut ForkSpace) -> Self {
+            Echo { cap: self.cap }
+        }
     }
 
     fn small_config(n: usize) -> SimConfig {
@@ -1233,6 +1457,81 @@ mod tests {
             assert_eq!(got, run_fresh(seed), "arena run diverged for seed {seed}");
             arena = e.into_arena();
         }
+    }
+
+    #[test]
+    fn snapshot_restore_continues_byte_identically() {
+        let mk = |legacy: bool| {
+            let mut cfg = small_config(5);
+            cfg.network =
+                NetworkModel::Asynchronous(crate::network::LatencyDistribution::Uniform {
+                    min: Span::from_ticks(1),
+                    max: Span::from_ticks(7),
+                });
+            cfg.sched = FailureSchedule::none(5).with_crash(3, Time::from_ticks(60));
+            cfg.seed = 11;
+            cfg.legacy_hot_path = legacy;
+            let mut e = Engine::new(cfg, |_, _| Echo { cap: 9 });
+            e.enable_trace(1_000_000);
+            e
+        };
+        let state = |e: &Engine<Echo>| {
+            (
+                e.metrics().clone(),
+                e.histories().to_vec(),
+                e.trace().expect("enabled").clone(),
+            )
+        };
+        for legacy in [false, true] {
+            let mut baseline = mk(legacy);
+            baseline.run_until(Time::from_ticks(400));
+            let expected = state(&baseline);
+
+            // Snapshot mid-run, keep running, then rewind and re-run.
+            let mut e = mk(legacy);
+            e.run_until(Time::from_ticks(150));
+            let snap = e.snapshot();
+            e.run_until(Time::from_ticks(400));
+            assert_eq!(
+                state(&e),
+                expected,
+                "pre-restore run diverged (legacy={legacy})"
+            );
+            e.restore_from(&snap);
+            e.run_until(Time::from_ticks(400));
+            assert_eq!(
+                state(&e),
+                expected,
+                "restored run diverged (legacy={legacy})"
+            );
+
+            // Resume into a fresh arena-backed engine.
+            let mut resumed =
+                Engine::resume_in(mk(legacy).config().clone(), &snap, EngineArena::new());
+            resumed.run_until(Time::from_ticks(400));
+            assert_eq!(
+                state(&resumed),
+                expected,
+                "resumed run diverged (legacy={legacy})"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_into_reuses_and_matches_fresh_snapshots() {
+        let mut e = Engine::new(small_config(4), |_, _| Echo { cap: 6 });
+        e.run_until(Time::from_ticks(2));
+        let mut recycled = e.snapshot();
+        e.run_until(Time::from_ticks(4));
+        e.snapshot_into(&mut recycled);
+        let fresh = e.snapshot();
+        // Both snapshots must drive an identical continuation.
+        let run_out = |snap: &EngineSnapshot<Echo>| {
+            let mut r = Engine::resume_in(e.config().clone(), snap, EngineArena::new());
+            r.run_until(Time::from_ticks(200));
+            (r.metrics().clone(), r.histories().to_vec())
+        };
+        assert_eq!(run_out(&recycled), run_out(&fresh));
     }
 
     #[test]

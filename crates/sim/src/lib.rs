@@ -57,6 +57,7 @@ pub mod engine;
 pub mod network;
 pub mod process;
 mod queue;
+pub mod snapshot;
 pub mod stack;
 pub mod sweep;
 pub mod sync_engine;
@@ -66,8 +67,12 @@ pub use adversary::{LinkClause, LinkEffect, LinkFaultScript, ProcSet};
 pub use engine::{Engine, EngineArena, Metrics, SimConfig, StopReason};
 pub use network::{LatencyDistribution, NetworkModel, PreGstBehavior};
 pub use process::{ActionSink, Message, Process, TimerTag};
+pub use snapshot::{EngineSnapshot, ForkProcess, ForkSyncProcess, SyncSnapshot};
 pub use stack::{split_history, Either, Stacked};
-pub use sweep::{parallel_seed_sweep, parallel_seed_sweep_with};
+pub use sweep::{
+    config_divergence, item_divergence, parallel_seed_sweep, parallel_seed_sweep_with, ForkStats,
+    PrefixItem, PrefixSweeper, PrefixTree, RunGoal,
+};
 pub use sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
 pub use trace::{Trace, TraceEvent};
 
@@ -77,8 +82,12 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineArena, Metrics, SimConfig, StopReason};
     pub use crate::network::{LatencyDistribution, NetworkModel, PreGstBehavior};
     pub use crate::process::{ActionSink, Message, Process, TimerTag};
+    pub use crate::snapshot::{EngineSnapshot, ForkProcess, ForkSyncProcess, SyncSnapshot};
     pub use crate::stack::{split_history, Either, Stacked};
-    pub use crate::sweep::{parallel_seed_sweep, parallel_seed_sweep_with};
+    pub use crate::sweep::{
+        config_divergence, item_divergence, parallel_seed_sweep, parallel_seed_sweep_with,
+        ForkStats, PrefixItem, PrefixSweeper, PrefixTree, RunGoal,
+    };
     pub use crate::sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
     pub use crate::trace::{Trace, TraceEvent};
 }

@@ -42,6 +42,7 @@ const WHEEL_TICKS: u64 = 1024;
 const WHEEL_WORDS: usize = (WHEEL_TICKS / 64) as usize;
 
 /// An event too far in the future for the ring.
+#[derive(Clone)]
 struct FarEvent<E> {
     at: u64,
     seq: u64,
@@ -73,6 +74,20 @@ struct Bucket<E> {
     items: Vec<(u64, Option<E>)>,
 }
 
+impl<E: Clone> Clone for Bucket<E> {
+    fn clone(&self) -> Self {
+        Bucket {
+            head: self.head,
+            items: self.items.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.head = source.head;
+        self.items.clone_from(&source.items);
+    }
+}
+
 impl<E> Bucket<E> {
     const fn new() -> Self {
         Bucket {
@@ -98,6 +113,37 @@ pub(crate) struct CalendarQueue<E> {
     /// scans the occupancy bitmap once per event instead of twice.
     next_tick: Option<u64>,
     overflow: BinaryHeap<Reverse<FarEvent<E>>>,
+}
+
+/// Snapshot support: the queue clones bucket by bucket, preserving its
+/// exact internal state (window position, partially drained buckets,
+/// overflow heap), so a restored engine replays the identical `(time,
+/// seq)` dequeue sequence. `clone_from` reuses the destination's bucket
+/// allocations — the snapshot/restore hot path of the prefix-sharing
+/// sweep executor goes through it so repeated snapshots recycle one set
+/// of buffers instead of reallocating 1024 buckets per fork.
+impl<E: Clone> Clone for CalendarQueue<E> {
+    fn clone(&self) -> Self {
+        CalendarQueue {
+            buckets: self.buckets.clone(),
+            occupied: self.occupied,
+            ring_len: self.ring_len,
+            window: self.window,
+            next_tick: self.next_tick,
+            overflow: self.overflow.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        for (dst, src) in self.buckets.iter_mut().zip(&source.buckets) {
+            dst.clone_from(src);
+        }
+        self.occupied = source.occupied;
+        self.ring_len = source.ring_len;
+        self.window = source.window;
+        self.next_tick = source.next_tick;
+        self.overflow.clone_from(&source.overflow);
+    }
 }
 
 impl<E> CalendarQueue<E> {

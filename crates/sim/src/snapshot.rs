@@ -1,0 +1,159 @@
+//! Snapshot/fork support: capture the complete deterministic state of a
+//! running engine and restore it later — the substrate of the
+//! prefix-sharing sweep executor (see [`crate::sweep`]).
+//!
+//! # Contract
+//!
+//! A snapshot captures **everything** a run's future depends on: the
+//! calendar queue's contents (including a partially consumed tick batch),
+//! every process's algorithm state and private RNG stream, the network
+//! and adversary RNG streams, the insertion-sequence counter, metrics,
+//! histories, decisions and the trace cursor. Restoring it into an
+//! engine with the same configuration therefore produces the
+//! **byte-identical `(time, seq)` event sequence** an uninterrupted run
+//! would from that point — the property `tests/snapshot_restore_props.rs`
+//! asserts across engines, network models and random fault scripts,
+//! including forks of forks.
+//!
+//! The prefix-sharing executor additionally restores snapshots under a
+//! *different* configuration that provably agrees with the snapshotted
+//! one on everything consumed so far (see
+//! [`config_divergence`](crate::sweep::config_divergence)); crash tables
+//! and decision counters are recomputed from the adopting engine's own
+//! configuration on restore to keep that sound.
+//!
+//! # Why forking is not `Clone`
+//!
+//! Process state may contain [`SharedCell`](homonym_core::query::SharedCell)
+//! handles wiring a detector half to a consensus half *within one
+//! simulated process* (see [`crate::stack::Stacked`]). Cells clone by
+//! aliasing, so a plain clone of the process would leave the copy
+//! writing into the original's cell. [`ForkProcess`] threads a
+//! [`ForkSpace`] through the process's state instead: each shared
+//! allocation is duplicated exactly once per fork and every aliasing
+//! handle is re-seated onto the duplicate, while immutable payloads
+//! (precomputed oracle tables, frozen topology) stay `Arc`-shared —
+//! snapshots are cheap because only mutable state is copied.
+//!
+//! # Allocation discipline
+//!
+//! Snapshots participate in the sweep arenas:
+//! [`Engine::snapshot_into`](crate::engine::Engine::snapshot_into)
+//! refills an existing [`EngineSnapshot`] through `clone_from`, reusing
+//! its bucket ring, history rows and batch buffers, and
+//! [`Engine::resume_in`](crate::engine::Engine::resume_in) rebuilds an
+//! engine from a snapshot inside recycled
+//! [`EngineArena`](crate::engine::EngineArena) allocations —
+//! a branch-heavy sweep forks thousands of times through one warm set of
+//! buffers instead of touching the global allocator per fork.
+
+use std::collections::BTreeMap;
+
+use homonym_core::fork::ForkSpace;
+use homonym_core::properties::History;
+use homonym_core::time::Time;
+use rand::rngs::StdRng;
+
+use crate::engine::Metrics;
+use crate::process::Process;
+use crate::sync_engine::{SyncMetrics, SyncProcess};
+use crate::trace::Trace;
+
+/// A process whose state can be forked into an independent copy with
+/// byte-identical future behaviour (see the module docs).
+///
+/// Implementations must duplicate all mutable state, re-seat internal
+/// [`SharedCell`](homonym_core::query::SharedCell) wiring through the
+/// [`ForkSpace`], and may `Arc`-share immutable payloads. The engine's
+/// snapshot methods are available exactly for processes implementing
+/// this trait.
+pub trait ForkProcess: Process {
+    /// Forks this process inside `space`.
+    fn fork_in(&self, space: &mut ForkSpace) -> Self;
+}
+
+/// The lock-step counterpart of [`ForkProcess`], for
+/// [`SyncEngine`](crate::sync_engine::SyncEngine) snapshots.
+pub trait ForkSyncProcess: SyncProcess {
+    /// Forks this process inside `space`.
+    fn fork_in(&self, space: &mut ForkSpace) -> Self;
+}
+
+/// Captured state of an event-driven [`Engine`](crate::engine::Engine);
+/// see the module docs for the restore contract. Obtain one from
+/// [`Engine::snapshot`](crate::engine::Engine::snapshot), refresh it with
+/// [`Engine::snapshot_into`](crate::engine::Engine::snapshot_into), and
+/// restore it with [`Engine::restore_from`](crate::engine::Engine::restore_from)
+/// or [`Engine::resume_in`](crate::engine::Engine::resume_in).
+pub struct EngineSnapshot<P: Process> {
+    pub(crate) procs: Vec<crate::engine::ProcSlot<P>>,
+    /// Which processes have *halted themselves* (as opposed to being
+    /// crashed by the schedule): restore rebuilds the liveness-horizon
+    /// table from the adopting engine's own failure schedule plus these
+    /// flags, so a snapshot can be adopted by a configuration whose
+    /// post-divergence crash times differ.
+    pub(crate) halted: Vec<bool>,
+    pub(crate) queue: crate::queue::CalendarQueue<crate::engine::Event<P::Msg>>,
+    pub(crate) seq: u64,
+    pub(crate) now: Time,
+    pub(crate) net_rng: StdRng,
+    pub(crate) adv_rng: StdRng,
+    pub(crate) metrics: Metrics,
+    pub(crate) histories: Vec<History<P::Output>>,
+    pub(crate) decisions: Vec<Option<(Time, u64)>>,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) tick_batch: Vec<(u64, Option<crate::engine::Event<P::Msg>>)>,
+    pub(crate) tick_pos: usize,
+}
+
+impl<P: Process> EngineSnapshot<P> {
+    /// The virtual time at which the snapshot was taken.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Callbacks dispatched up to the snapshot instant.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.metrics.events
+    }
+
+    /// Number of processes in the snapshotted system.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+}
+
+/// Captured state of a lock-step [`SyncEngine`](crate::sync_engine::SyncEngine).
+///
+/// The restore contract mirrors [`EngineSnapshot`]'s: restoring into an
+/// engine with the same configuration reproduces the uninterrupted run's
+/// behaviour step for step (histories, metrics, decisions, shuffle
+/// order).
+pub struct SyncSnapshot<P: SyncProcess> {
+    pub(crate) procs: Vec<P>,
+    pub(crate) halted: Vec<bool>,
+    pub(crate) step: u64,
+    pub(crate) rng: StdRng,
+    pub(crate) adv_rng: StdRng,
+    pub(crate) deferred: BTreeMap<u64, Vec<(usize, P::Msg)>>,
+    pub(crate) metrics: SyncMetrics,
+    pub(crate) histories: Vec<History<P::Output>>,
+    pub(crate) decisions: Vec<Option<(Time, u64)>>,
+}
+
+impl<P: SyncProcess> SyncSnapshot<P> {
+    /// The step at which the snapshot was taken (the next one to run).
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Number of processes in the snapshotted system.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+}

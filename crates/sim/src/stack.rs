@@ -11,9 +11,11 @@
 
 use core::fmt;
 
+use homonym_core::fork::ForkSpace;
 use homonym_core::time::Span;
 
 use crate::process::{Action, ActionSink, Process, TimerTag};
+use crate::snapshot::ForkProcess;
 
 /// A tagged union of the two halves' messages (or outputs).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +150,20 @@ impl<A: Process, B: Process> Process for Stacked<A, B> {
     }
 }
 
+/// Forking a stack forks both halves inside **one** [`ForkSpace`]: a
+/// [`SharedCell`](homonym_core::query::SharedCell) wiring the detector
+/// half to the consumer half is duplicated exactly once, and both forked
+/// halves come out re-seated onto the duplicate — the forked stack keeps
+/// its internal wiring but shares no mutable state with the original.
+impl<A: ForkProcess, B: ForkProcess> ForkProcess for Stacked<A, B> {
+    fn fork_in(&self, space: &mut ForkSpace) -> Self {
+        Stacked {
+            a: self.a.fork_in(space),
+            b: self.b.fork_in(space),
+        }
+    }
+}
+
 /// Splits the recorded history of a [`Stacked`] run back into the two
 /// halves' histories.
 #[must_use]
@@ -180,6 +196,12 @@ impl Process for Idle {
     fn on_timer(&mut self, _timer: TimerTag, _ctx: &mut ActionSink<'_, (), ()>) {}
 }
 
+impl ForkProcess for Idle {
+    fn fork_in(&self, _space: &mut ForkSpace) -> Self {
+        Idle
+    }
+}
+
 /// A process that repeatedly re-arms a tick timer; handy in tests that need
 /// periodic activity from one half.
 #[derive(Debug, Clone, Copy)]
@@ -199,6 +221,12 @@ impl Ticker {
     #[must_use]
     pub fn ticks(&self) -> u64 {
         self.ticks
+    }
+}
+
+impl ForkProcess for Ticker {
+    fn fork_in(&self, _space: &mut ForkSpace) -> Self {
+        *self
     }
 }
 

@@ -1,7 +1,46 @@
 //! Multi-seed sweep plumbing shared by the experiment harness and the
-//! chaos falsification harness.
+//! chaos falsification harness — **the single implementation module**;
+//! `homonym_chaos::sweep` and the bench harness re-export from here
+//! rather than growing drifting copies.
+//!
+//! Two executors live here:
+//!
+//! * the **flat** executors [`parallel_seed_sweep`] /
+//!   [`parallel_seed_sweep_with`]: every run re-executes its full
+//!   history from tick 0 (cost `O(scenarios × run length)`);
+//! * the **prefix-sharing** executor ([`PrefixTree`] planning +
+//!   [`PrefixSweeper`] execution): sweep families built from a common
+//!   base — same seed and topology, faults injected at different times,
+//!   GST placements, heal times — share long identical prefixes *by
+//!   construction*, so the executor runs each shared prefix **once**,
+//!   snapshots the engine at the branch point
+//!   ([`Engine::snapshot`](crate::engine::Engine::snapshot)) and
+//!   restores per child ([`Engine::resume_in`](crate::engine::Engine::resume_in)),
+//!   turning sweep cost into `O(tree size)`.
+//!
+//! Sharing is **computed, never guessed**: [`config_divergence`] derives,
+//! from two [`SimConfig`]s alone, the first tick at which their runs
+//! could possibly differ (seeds and RNG salts, crash schedules, GST
+//! placements, adversary clause windows — each contributes a sound
+//! bound). Two runs of agreeing configurations are byte-identical up to
+//! that tick, so restoring one's snapshot under the other's
+//! configuration is exact, and the differential tests assert exactly
+//! that: identical per-scenario verdicts, histories, decisions and event
+//! counts between the forked and flat executors. The worst case —
+//! no shared prefix (divergence 0) — degrades gracefully to the flat
+//! executor's behaviour, one fresh run per item.
 
+use std::ops::Range;
+
+use homonym_core::failure::FailureSchedule;
+use homonym_core::identity::Identity;
+use homonym_core::time::Time;
 use rayon::prelude::*;
+
+use crate::adversary::{LinkClause, LinkEffect, LinkFaultScript};
+use crate::engine::{Engine, EngineArena, SimConfig, StopReason};
+use crate::network::NetworkModel;
+use crate::snapshot::{EngineSnapshot, ForkProcess};
 
 /// Runs `run(seed)` for seeds `0..seeds` across all cores, preserving
 /// result order. Each run must be independent (the engines are: a run is
@@ -16,7 +55,7 @@ pub fn parallel_seed_sweep<R: Send>(seeds: usize, run: impl Fn(u64) -> R + Sync)
 /// every seed the worker owns.
 ///
 /// This is the sweep-arena hook: the context typically holds recycled
-/// engine allocations ([`EngineArena`](crate::engine::EngineArena)) so a
+/// engine allocations ([`EngineArena`]) so a
 /// thousand-seed sweep pays engine construction costs once per core
 /// instead of once per seed. The context must not change run *results* —
 /// a run stays a pure function of its config and seed (the arena-reuse
@@ -29,9 +68,518 @@ pub fn parallel_seed_sweep_with<C, R: Send>(
     (0..seeds as u64).into_par_iter().map_init(init, run)
 }
 
+// ---------------------------------------------------------------------------
+// Divergence-time planning
+// ---------------------------------------------------------------------------
+
+/// The first tick at which runs of `a` and `b` could differ — runs of
+/// the two configurations are **byte-identical on every event strictly
+/// before** the returned instant. [`Time::MAX`] means the
+/// configurations can never diverge (they are behaviourally identical);
+/// [`Time::ZERO`] means no prefix is shared.
+///
+/// The bound is sound, not tight: each ingredient contributes its
+/// earliest possible observable difference —
+///
+/// * different seeds, topologies, hot paths or event valves: zero;
+/// * crash schedules: one tick before the earliest differing crash (the
+///   dying sender's partial-broadcast mask draws interleave there);
+/// * `HPS` networks differing in GST or `δ`: the earlier GST (pre-GST
+///   routing is identical; treatment differs from the instant one side
+///   considers itself stabilized);
+/// * adversary scripts: the earliest activation among differing clauses,
+///   refined to the earlier *deactivation* for clauses identical except
+///   their window end; differing RNG salts forfeit sharing as soon as
+///   either script contains a probabilistic clause (their draw streams
+///   are decorrelated from the start).
+#[must_use]
+pub fn config_divergence(a: &SimConfig, b: &SimConfig) -> Time {
+    // Exhaustive destructuring: a field added to `SimConfig` fails to
+    // compile here until someone decides how it bounds divergence —
+    // silently ignoring a new behavioural knob would make the planner
+    // unsound, not just loose.
+    let SimConfig {
+        assign,
+        sched,
+        network,
+        seed,
+        partial_broadcast_on_crash,
+        max_events,
+        legacy_hot_path,
+        adversary,
+    } = a;
+    if *assign != b.assign
+        || *seed != b.seed
+        || *partial_broadcast_on_crash != b.partial_broadcast_on_crash
+        || *max_events != b.max_events
+        || *legacy_hot_path != b.legacy_hot_path
+    {
+        return Time::ZERO;
+    }
+    let d = network_divergence(network, &b.network);
+    let d = d.min(sched_divergence(sched, &b.sched));
+    d.min(script_divergence(
+        adversary.as_deref(),
+        b.adversary.as_deref(),
+    ))
+}
+
+fn network_divergence(a: &NetworkModel, b: &NetworkModel) -> Time {
+    if a == b {
+        return Time::MAX;
+    }
+    match (a, b) {
+        (
+            NetworkModel::PartialSync {
+                gst: ga,
+                pre_gst: pa,
+                ..
+            },
+            NetworkModel::PartialSync {
+                gst: gb,
+                pre_gst: pb,
+                ..
+            },
+        ) if pa == pb => {
+            // Identical pre-GST behaviour: every copy sent before the
+            // earlier GST is routed identically (a `δ` difference only
+            // shows post-GST, which the same bound covers).
+            *ga.min(gb)
+        }
+        _ => Time::ZERO,
+    }
+}
+
+fn sched_divergence(a: &FailureSchedule, b: &FailureSchedule) -> Time {
+    let mut d = Time::MAX;
+    for p in 0..a.n() {
+        let (ca, cb) = (a.crash_time(p), b.crash_time(p));
+        if ca == cb {
+            continue;
+        }
+        let first = match (ca, cb) {
+            (Some(x), Some(y)) => x.min(y),
+            (Some(x), None) | (None, Some(x)) => x,
+            (None, None) => unreachable!("covered by ca == cb"),
+        };
+        d = d.min(Time::from_ticks(first.ticks().saturating_sub(1)));
+    }
+    d
+}
+
+/// Earliest activation of any clause that draws from the adversary RNG.
+fn first_draw(clauses: &[LinkClause]) -> Option<Time> {
+    clauses
+        .iter()
+        .filter(|c| matches!(c.effect, LinkEffect::Lose(_)))
+        .map(|c| c.from)
+        .min()
+}
+
+fn clause_pair_divergence(x: &LinkClause, y: &LinkClause) -> Time {
+    if x == y {
+        return Time::MAX;
+    }
+    // Same window start, links and effect: only the deactivation instant
+    // differs, so copies sent before the earlier end are treated
+    // identically — the refinement that lets fault-duration families
+    // share their pre-fault *and* in-fault prefix up to the first heal.
+    if x.from == y.from && x.src == y.src && x.dst == y.dst && x.effect == y.effect {
+        return x.until.min(y.until);
+    }
+    x.from.min(y.from)
+}
+
+fn script_divergence(a: Option<&LinkFaultScript>, b: Option<&LinkFaultScript>) -> Time {
+    let ca = a.map_or(&[][..], LinkFaultScript::clauses);
+    let cb = b.map_or(&[][..], LinkFaultScript::clauses);
+    if ca.is_empty() && cb.is_empty() {
+        return Time::MAX;
+    }
+    // Different salts decorrelate the adversary streams from their very
+    // first draw; with any probabilistic clause in play nothing is
+    // shareable.
+    let (sa, sb) = (
+        a.map_or(0, LinkFaultScript::salt),
+        b.map_or(0, LinkFaultScript::salt),
+    );
+    if sa != sb && (first_draw(ca).is_some() || first_draw(cb).is_some()) {
+        return Time::ZERO;
+    }
+    let mut d = Time::MAX;
+    for i in 0..ca.len().max(cb.len()) {
+        match (ca.get(i), cb.get(i)) {
+            (Some(x), Some(y)) => d = d.min(clause_pair_divergence(x, y)),
+            (Some(x), None) | (None, Some(x)) => d = d.min(x.from),
+            (None, None) => unreachable!("loop bounded by max length"),
+        }
+    }
+    d
+}
+
+// ---------------------------------------------------------------------------
+// The prefix-sharing executor
+// ---------------------------------------------------------------------------
+
+/// How far one sweep item's run goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunGoal {
+    /// Run to the deadline (detector-style observation windows).
+    Until(Time),
+    /// Run until every correct process decided, at most to the deadline
+    /// (consensus-style runs).
+    UntilAllCorrectDecided(Time),
+}
+
+impl RunGoal {
+    /// The goal's deadline.
+    #[must_use]
+    pub fn deadline(self) -> Time {
+        match self {
+            RunGoal::Until(t) | RunGoal::UntilAllCorrectDecided(t) => t,
+        }
+    }
+
+    /// Drives `engine` toward this goal, but no further than `cap` (the
+    /// branch-point deadline of a shared prefix).
+    fn run<P: ForkProcess>(self, engine: &mut Engine<P>, cap: Time) -> StopReason {
+        match self {
+            RunGoal::Until(t) => engine.run_until(t.min(cap)),
+            RunGoal::UntilAllCorrectDecided(t) => engine.run_until_all_correct_decided(t.min(cap)),
+        }
+    }
+}
+
+/// One unit of a prefix-sharing sweep: the fully installed configuration
+/// plus how far to run it and an arbitrary caller payload (the scenario,
+/// its clean instant, report coordinates, …).
+#[derive(Debug, Clone)]
+pub struct PrefixItem<C> {
+    /// The installed run configuration.
+    pub config: SimConfig,
+    /// How far this item's run goes.
+    pub goal: RunGoal,
+    /// Caller payload, untouched by the executor.
+    pub tag: C,
+}
+
+/// The first tick at which runs of two sweep items could differ — the
+/// [`config_divergence`] of their configurations, tightened by the run
+/// goals: items with different goal kinds share nothing, and
+/// decided-gated items share nothing unless their correct sets agree
+/// (the stop condition reads the correct set from tick 0, so a fresh run
+/// of one could stop where the other keeps going).
+#[must_use]
+pub fn item_divergence<C>(a: &PrefixItem<C>, b: &PrefixItem<C>) -> Time {
+    match (a.goal, b.goal) {
+        (RunGoal::Until(_), RunGoal::Until(_)) => {}
+        (RunGoal::UntilAllCorrectDecided(_), RunGoal::UntilAllCorrectDecided(_)) => {
+            let (sa, sb) = (&a.config.sched, &b.config.sched);
+            if (0..sa.n()).any(|p| sa.is_correct(p) != sb.is_correct(p)) {
+                return Time::ZERO;
+            }
+        }
+        _ => return Time::ZERO,
+    }
+    config_divergence(&a.config, &b.config)
+}
+
+/// Execution counters of a prefix-sharing sweep, for reporting
+/// tree-vs-flat cost (see `examples/scenario_atlas.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForkStats {
+    /// Items executed (leaves of the tree — equals the flat run count).
+    pub runs: u64,
+    /// Items that started from a restored snapshot instead of tick 0.
+    pub forked: u64,
+    /// Snapshots taken at branch points.
+    pub snapshots: u64,
+    /// Ticks of shared prefix **not** re-executed, summed over all
+    /// forked items — the flat executor would have replayed these.
+    pub shared_ticks: u64,
+}
+
+/// A branch-point snapshot on the sweeper's DFS stack.
+struct StackSnap<P: ForkProcess> {
+    /// Items diverging at or after this tick may restore from here.
+    covers_to: u64,
+    /// The tick the snapshotted run actually reached — the run's clock
+    /// when it stopped at the branch cap, its own deadline, its goal
+    /// condition or quiescence, whichever came first. Children with an
+    /// earlier deadline must not restore from it, and restoring saves
+    /// exactly this many ticks of re-execution.
+    processed_to: u64,
+    snap: EngineSnapshot<P>,
+}
+
+/// The worker-local prefix-sharing executor: a DFS over a family's
+/// implicit prefix tree, carrying a stack of branch-point snapshots and
+/// one recycled [`EngineArena`]. Feed it families through
+/// [`PrefixSweeper::run_family`]; for whole-batch planning plus
+/// parallelism over independent families use [`PrefixTree`].
+///
+/// Snapshots and engines circulate through the sweeper's pools:
+/// snapshots are refilled in place
+/// ([`Engine::snapshot_into`](crate::engine::Engine::snapshot_into)) and
+/// every engine is rebuilt inside the recycled arena, so steady-state
+/// forking performs no queue/history (re)allocation.
+pub struct PrefixSweeper<P: ForkProcess> {
+    arena: EngineArena<P>,
+    stack: Vec<StackSnap<P>>,
+    spare: Vec<EngineSnapshot<P>>,
+    /// Counters accumulated across every family this sweeper ran.
+    pub stats: ForkStats,
+}
+
+impl<P: ForkProcess> PrefixSweeper<P> {
+    /// A sweeper with cold pools.
+    #[must_use]
+    pub fn new() -> Self {
+        PrefixSweeper {
+            arena: EngineArena::new(),
+            stack: Vec::new(),
+            spare: Vec::new(),
+            stats: ForkStats::default(),
+        }
+    }
+
+    /// Executes one family of items in order, sharing prefixes between
+    /// consecutive items per [`item_divergence`], and returns each
+    /// item's extracted result in input order.
+    ///
+    /// `factory(item, p, id)` builds process `p` for a fresh run of
+    /// `items[item]`; within a family it must construct identical
+    /// processes for items that share a prefix (guaranteed when the
+    /// construction depends only on prefix-invariant inputs — proposals,
+    /// topology — which is what makes a family a family). `extract` is
+    /// called once per item on its finished engine.
+    ///
+    /// Sharing structure: consecutive divergences induce a tree (item
+    /// `i+1` may reuse any snapshot taken at or before its divergence
+    /// from item `i`, because agreement-up-to-`t` composes through the
+    /// chain), and the sweeper walks that tree depth-first — exactly one
+    /// engine live at a time, snapshots only on the current root-to-leaf
+    /// path. Order families so that similar items are adjacent; a
+    /// divergence of zero simply falls back to a fresh flat run.
+    pub fn run_family<C, R>(
+        &mut self,
+        items: &[PrefixItem<C>],
+        factory: impl Fn(usize, usize, Identity) -> P,
+        mut extract: impl FnMut(&mut Engine<P>, usize) -> R,
+    ) -> Vec<R> {
+        // Branch points never carry over between families.
+        while let Some(s) = self.stack.pop() {
+            self.spare.push(s.snap);
+        }
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                let d = item_divergence(&items[i - 1], item).ticks();
+                while self.stack.last().is_some_and(|s| s.covers_to > d) {
+                    self.spare.push(self.stack.pop().expect("guarded").snap);
+                }
+            }
+            // A snapshot that ran past this item's own deadline cannot
+            // seed it (the fresh run would have stopped earlier).
+            let deadline = item.goal.deadline().ticks();
+            while self.stack.last().is_some_and(|s| s.processed_to > deadline) {
+                self.spare.push(self.stack.pop().expect("guarded").snap);
+            }
+            let mut engine = match self.stack.last() {
+                Some(top) => {
+                    self.stats.forked += 1;
+                    self.stats.shared_ticks += top.processed_to;
+                    Engine::resume_in(
+                        item.config.clone(),
+                        &top.snap,
+                        std::mem::take(&mut self.arena),
+                    )
+                }
+                None => Engine::new_in(
+                    item.config.clone(),
+                    |p, id| factory(i, p, id),
+                    std::mem::take(&mut self.arena),
+                ),
+            };
+            // Snapshot at the next item's branch point, if it lies
+            // deeper than everything already on the stack.
+            if let Some(next) = items.get(i + 1) {
+                let d = item_divergence(item, next).ticks();
+                let covered = self.stack.last().map_or(0, |s| s.covers_to);
+                if d > covered {
+                    let cap = d.saturating_sub(1).min(deadline);
+                    item.goal.run(&mut engine, Time::from_ticks(cap));
+                    let snap = match self.spare.pop() {
+                        Some(mut s) => {
+                            engine.snapshot_into(&mut s);
+                            s
+                        }
+                        None => engine.snapshot(),
+                    };
+                    self.stats.snapshots += 1;
+                    self.stack.push(StackSnap {
+                        covers_to: d,
+                        // The clock the run actually reached, not the
+                        // cap: a decided-gated prefix can stop well
+                        // before it, and both the deadline pop-guard
+                        // and the shared-ticks accounting must see the
+                        // real stopping point.
+                        processed_to: engine.now().ticks().min(cap),
+                        snap,
+                    });
+                }
+            }
+            item.goal.run(&mut engine, Time::MAX);
+            self.stats.runs += 1;
+            out.push(extract(&mut engine, i));
+            self.arena = engine.into_arena();
+        }
+        out
+    }
+}
+
+impl<P: ForkProcess> Default for PrefixSweeper<P> {
+    fn default() -> Self {
+        PrefixSweeper::new()
+    }
+}
+
+/// A planned prefix-sharing sweep over a batch of items: divergence
+/// times are computed up front, the batch is split into independent
+/// subtrees (at zero-divergence boundaries), and execution fans the
+/// subtrees out across cores — each on a worker-local [`PrefixSweeper`]
+/// with its own [`EngineArena`], the same per-worker discipline as
+/// [`parallel_seed_sweep_with`].
+pub struct PrefixTree<C> {
+    items: Vec<PrefixItem<C>>,
+    /// `div[i]` = divergence tick between items `i − 1` and `i`
+    /// (`div[0] = 0`).
+    div: Vec<u64>,
+}
+
+impl<C: Sync> PrefixTree<C> {
+    /// Plans a batch: computes every consecutive divergence. Items are
+    /// executed in the given order — keep families contiguous (the
+    /// generators emit them that way).
+    #[must_use]
+    pub fn plan(items: Vec<PrefixItem<C>>) -> Self {
+        let div = std::iter::once(0)
+            .chain(
+                items
+                    .windows(2)
+                    .map(|w| item_divergence(&w[0], &w[1]).ticks()),
+            )
+            .collect();
+        PrefixTree { items, div }
+    }
+
+    /// The planned items, in execution order.
+    #[must_use]
+    pub fn items(&self) -> &[PrefixItem<C>] {
+        &self.items
+    }
+
+    /// Number of planned items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the plan is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Consecutive divergence ticks (`[0]` is always zero).
+    #[must_use]
+    pub fn divergences(&self) -> &[u64] {
+        &self.div
+    }
+
+    /// The planner's sharing estimate: ticks of shared prefix across
+    /// consecutive items (capped at each item's deadline). Zero means
+    /// the tree degenerates to the flat executor.
+    #[must_use]
+    pub fn planned_shared_ticks(&self) -> u64 {
+        self.items
+            .iter()
+            .zip(&self.div)
+            .map(|(item, &d)| d.saturating_sub(1).min(item.goal.deadline().ticks()))
+            .sum()
+    }
+
+    /// The independent subtrees: maximal runs of consecutive items with
+    /// nonzero divergence between neighbours.
+    #[must_use]
+    pub fn groups(&self) -> Vec<Range<usize>> {
+        let mut groups = Vec::new();
+        let mut start = 0;
+        for i in 1..self.items.len() {
+            if self.div[i] == 0 {
+                groups.push(start..i);
+                start = i;
+            }
+        }
+        if start < self.items.len() {
+            groups.push(start..self.items.len());
+        }
+        groups
+    }
+
+    /// Executes the plan: independent subtrees in parallel, each DFS'd
+    /// on a worker-local [`PrefixSweeper`]. Results come back in item
+    /// order, alongside the accumulated [`ForkStats`].
+    pub fn execute<P, R>(
+        &self,
+        factory: impl Fn(&PrefixItem<C>, usize, Identity) -> P + Sync,
+        extract: impl Fn(&mut Engine<P>, &PrefixItem<C>) -> R + Sync,
+    ) -> (Vec<R>, ForkStats)
+    where
+        P: ForkProcess,
+        R: Send,
+    {
+        let groups = self.groups();
+        let per_group: Vec<(Vec<R>, ForkStats)> = groups.into_par_iter().map_init(
+            PrefixSweeper::new,
+            |sweeper: &mut PrefixSweeper<P>, range: Range<usize>| {
+                let slice = &self.items[range.clone()];
+                let before = sweeper.stats;
+                let results = sweeper.run_family(
+                    slice,
+                    |i, p, id| factory(&slice[i], p, id),
+                    |engine, i| extract(engine, &slice[i]),
+                );
+                let after = sweeper.stats;
+                let delta = ForkStats {
+                    runs: after.runs - before.runs,
+                    forked: after.forked - before.forked,
+                    snapshots: after.snapshots - before.snapshots,
+                    shared_ticks: after.shared_ticks - before.shared_ticks,
+                };
+                (results, delta)
+            },
+        );
+        let mut out = Vec::with_capacity(self.items.len());
+        let mut stats = ForkStats::default();
+        for (results, delta) in per_group {
+            out.extend(results);
+            stats.runs += delta.runs;
+            stats.forked += delta.forked;
+            stats.snapshots += delta.snapshots;
+            stats.shared_ticks += delta.shared_ticks;
+        }
+        (out, stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::ProcSet;
+    use crate::network::PreGstBehavior;
+    use homonym_core::identity::IdentityAssignment;
+    use homonym_core::time::Span;
 
     #[test]
     fn preserves_seed_order() {
@@ -68,5 +616,113 @@ mod tests {
         }
         // One context per worker, not per seed.
         assert!(contexts.load(Ordering::Relaxed) <= rayon::current_num_threads());
+    }
+
+    fn base_config(seed: u64) -> SimConfig {
+        SimConfig::new(
+            IdentityAssignment::round_robin(4, 2),
+            FailureSchedule::none(4),
+            NetworkModel::PartialSync {
+                gst: Time::from_ticks(100),
+                delta: Span::from_ticks(3),
+                pre_gst: PreGstBehavior::DelayOnly {
+                    max_delay: Span::from_ticks(10),
+                },
+            },
+        )
+        .with_seed(seed)
+    }
+
+    fn defer_clause(from: u64, until: u64) -> LinkClause {
+        LinkClause {
+            from: Time::from_ticks(from),
+            until: Time::from_ticks(until),
+            src: ProcSet::from_indices(4, [0, 1]),
+            dst: ProcSet::from_indices(4, [2, 3]),
+            effect: LinkEffect::DeferUntil(Time::from_ticks(until)),
+        }
+    }
+
+    #[test]
+    fn identical_configs_never_diverge() {
+        assert_eq!(
+            config_divergence(&base_config(3), &base_config(3)),
+            Time::MAX
+        );
+    }
+
+    #[test]
+    fn seed_difference_forfeits_sharing() {
+        assert_eq!(
+            config_divergence(&base_config(3), &base_config(4)),
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    fn gst_difference_diverges_at_the_earlier_gst() {
+        let a = base_config(1);
+        let mut b = base_config(1);
+        b.network = NetworkModel::PartialSync {
+            gst: Time::from_ticks(60),
+            delta: Span::from_ticks(3),
+            pre_gst: PreGstBehavior::DelayOnly {
+                max_delay: Span::from_ticks(10),
+            },
+        };
+        assert_eq!(config_divergence(&a, &b), Time::from_ticks(60));
+    }
+
+    #[test]
+    fn crash_difference_diverges_one_tick_before_the_earlier_crash() {
+        let a = base_config(1);
+        let mut b = base_config(1);
+        b.sched = FailureSchedule::none(4).with_crash(2, Time::from_ticks(40));
+        assert_eq!(config_divergence(&a, &b), Time::from_ticks(39));
+    }
+
+    #[test]
+    fn heal_variants_diverge_at_the_earlier_heal_for_drop_clauses() {
+        // Identical clause except the window end: shared until the
+        // earlier deactivation.
+        let mut x = defer_clause(20, 50);
+        let mut y = defer_clause(20, 70);
+        x.effect = LinkEffect::Drop;
+        y.effect = LinkEffect::Drop;
+        assert_eq!(clause_pair_divergence(&x, &y), Time::from_ticks(50));
+        // DeferUntil embeds the heal instant in the effect, so the
+        // queued copies differ from the activation onward.
+        assert_eq!(
+            clause_pair_divergence(&defer_clause(20, 50), &defer_clause(20, 70)),
+            Time::from_ticks(20)
+        );
+    }
+
+    #[test]
+    fn salted_probabilistic_scripts_do_not_share() {
+        let mk = |salt: u64| {
+            LinkFaultScript::new(salt).with_clause(LinkClause {
+                from: Time::from_ticks(30),
+                until: Time::from_ticks(60),
+                src: ProcSet::all(4),
+                dst: ProcSet::all(4),
+                effect: LinkEffect::Lose(10),
+            })
+        };
+        assert_eq!(script_divergence(Some(&mk(1)), Some(&mk(2))), Time::ZERO);
+        assert_eq!(script_divergence(Some(&mk(1)), Some(&mk(1))), Time::MAX);
+    }
+
+    #[test]
+    fn groups_split_at_zero_divergence() {
+        let item = |seed: u64| PrefixItem {
+            config: base_config(seed),
+            goal: RunGoal::Until(Time::from_ticks(500)),
+            tag: (),
+        };
+        // Two families: seeds {1, 1} then {2, 2}.
+        let tree = PrefixTree::plan(vec![item(1), item(1), item(2), item(2)]);
+        assert_eq!(tree.groups(), vec![0..2, 2..4]);
+        assert_eq!(tree.divergences()[2], 0);
     }
 }

@@ -28,8 +28,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use homonym_core::fork::ForkSpace;
+
 use crate::adversary::LinkFaultScript;
 use crate::process::Message;
+use crate::snapshot::{ForkSyncProcess, SyncSnapshot};
 
 /// A program executed in lock-step synchronous rounds.
 pub trait SyncProcess: Send + 'static {
@@ -441,6 +444,57 @@ impl<P: SyncProcess> SyncEngine<P> {
 
         self.metrics.steps += 1;
         self.step += 1;
+    }
+}
+
+impl<P: ForkSyncProcess> SyncEngine<P> {
+    /// Captures the engine's complete deterministic state between steps
+    /// — process states, halt flags, the shuffle and adversary RNG
+    /// streams, deferred (partition-held) copies, metrics, histories and
+    /// decisions. Restoring it reproduces the uninterrupted run step for
+    /// step; see [`crate::snapshot`] for the contract.
+    #[must_use]
+    pub fn snapshot(&self) -> SyncSnapshot<P> {
+        let mut space = ForkSpace::new();
+        SyncSnapshot {
+            procs: self.procs.iter().map(|p| p.fork_in(&mut space)).collect(),
+            halted: self.halted.clone(),
+            step: self.step,
+            rng: self.rng.clone(),
+            adv_rng: self.adv_rng.clone(),
+            deferred: self.deferred.clone(),
+            metrics: self.metrics.clone(),
+            histories: self.histories.clone(),
+            decisions: self.decisions.clone(),
+        }
+    }
+
+    /// Restores this engine to the snapshotted state, keeping its own
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's system size differs from this engine's.
+    pub fn restore_from(&mut self, snap: &SyncSnapshot<P>) {
+        assert_eq!(self.n(), snap.procs.len(), "snapshot size mismatch");
+        let mut space = ForkSpace::new();
+        self.procs.clear();
+        self.procs
+            .extend(snap.procs.iter().map(|p| p.fork_in(&mut space)));
+        self.halted.clone_from(&snap.halted);
+        self.step = snap.step;
+        self.rng = snap.rng.clone();
+        self.adv_rng = snap.adv_rng.clone();
+        self.deferred.clone_from(&snap.deferred);
+        self.metrics.clone_from(&snap.metrics);
+        self.histories.clone_from(&snap.histories);
+        self.decisions.clone_from(&snap.decisions);
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        self.outbox.clear();
+        self.sink.reset();
+        self.recipients.clear();
     }
 }
 

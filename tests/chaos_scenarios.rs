@@ -2,7 +2,9 @@
 //! driving the real Figure 6 + Figure 8 pipeline, under the same
 //! determinism guarantees as fault-free runs.
 
-use homonym::chaos::sweep::{falsification_sweep, StackKind, SweepConfig};
+use homonym::chaos::sweep::{
+    falsification_sweep, falsification_sweep_forked, StackKind, SweepConfig,
+};
 use homonym::chaos::{
     fig8_node, hps_base, FaultClause, Fig8Node, GstPlacement, PartitionMode, Scenario,
 };
@@ -199,4 +201,44 @@ fn sweep_report_is_deterministic() {
             "sweep nondeterminism on {stack:?}"
         );
     }
+}
+
+/// The prefix-sharing executor is **verdict-identical** to the flat
+/// executor on every stack: shared-prefix variant families run through
+/// snapshot-at-branch-point + restore-per-child must classify exactly
+/// the runs the one-engine-per-scenario baseline classifies — same
+/// safety violations, same liveness verdicts, same excusals, same probe
+/// outcomes, scenario for scenario.
+#[test]
+fn forked_and_flat_executors_produce_identical_reports() {
+    for stack in [
+        StackKind::Fig8EvtHp,
+        StackKind::EvtHpDetector,
+        StackKind::Fig9OracleQuorum,
+    ] {
+        let mut cfg = SweepConfig::new(stack, 6).with_variants(4);
+        cfg.probe_every = 3;
+        let flat = falsification_sweep(&cfg);
+        let forked = falsification_sweep_forked(&cfg);
+        assert_eq!(flat.runs, 24, "{}", stack.name());
+        assert_eq!(flat, forked, "executors diverged on {}", stack.name());
+        assert!(
+            !flat.falsified(),
+            "{}: {:?}",
+            stack.name(),
+            flat.first_counterexample()
+        );
+    }
+}
+
+/// Variant expansion preserves the flat executor's semantics: with
+/// `variants == 1` the planned run list (and therefore the report) is
+/// exactly the historical single-scenario sweep, on both executors.
+#[test]
+fn single_variant_sweeps_match_on_both_executors() {
+    let mut cfg = SweepConfig::new(StackKind::EvtHpDetector, 9);
+    cfg.probe_every = 0;
+    let flat = falsification_sweep(&cfg);
+    assert_eq!(flat.runs, 9);
+    assert_eq!(flat, falsification_sweep_forked(&cfg));
 }
