@@ -1,6 +1,6 @@
 //! `BENCH_sim.json` generator: simulator hot-path throughput.
 //!
-//! Measures events dispatched per second on six workloads, each executed
+//! Measures events dispatched per second on seven workloads, each executed
 //! twice — once on the **legacy** path (the PR 1 hot path, re-baselined:
 //! calendar event queue, `Arc`-shared payloads, per-event pops, one
 //! network-model match and RNG route per copy, per-message dispatch, plus
@@ -10,7 +10,7 @@
 //! fused per-broadcast RNG sampling with precomputed distributions,
 //! incremental `◇HP` rounds, ring-window consensus buckets, cached
 //! oracles, arena-reused runs) — and writes the events/sec figures plus
-//! the speedup ratio to `BENCH_sim.json` (`schema_version = 4`) in the
+//! the speedup ratio to `BENCH_sim.json` (`schema_version = 5`) in the
 //! working directory.
 //!
 //! Workloads:
@@ -28,6 +28,11 @@
 //!   workload): measures the adversary hook's routing cost plus the
 //!   oracle/round-buffer work, and re-verifies at benchmark scale that
 //!   both paths dispatch identical event counts under an active script;
+//! * `byz_sweep` — the same sweep shape under generated
+//!   hidden-equivocator attacks: the Byzantine payload-mutation hook
+//!   live on the hot path (per-broadcast planning, per-copy forging),
+//!   with the same both-paths event-count equality asserted under the
+//!   active Byzantine script;
 //! * `fig8_sweep_forked` — shared-prefix variant families (late
 //!   split-brain, redrawn heal times and GST margins) of the full
 //!   Figure 6 + Figure 8 stack: the **flat** executor (legacy column)
@@ -66,7 +71,7 @@
 use std::time::Instant;
 
 use homonym_bench::{async_net, hps_delay_only, hps_lossy, staggered_crashes};
-use homonym_chaos::generators::{fault_window_variants, split_brain};
+use homonym_chaos::generators::{fault_window_variants, hidden_equivocator, split_brain};
 use homonym_chaos::sweep::{clean_instant, fig8_node, hps_base, Fig8Node as ChaosFig8Node};
 use homonym_chaos::{FaultClause, GstPlacement, PartitionMode, Scenario};
 use homonym_consensus::{HOmegaPolicy, MajorityConsensus};
@@ -184,6 +189,12 @@ mod pr1 {
     impl Process for EvtHp {
         type Msg = EvtHpMsg;
         type Output = EvtHpSnapshot;
+
+        fn mutate_payload(msg: &EvtHpMsg, entropy: u64) -> Option<EvtHpMsg> {
+            // Same forgery as the current detector, so the byz_sweep row
+            // compares identical attacks on both flavors.
+            Some(homonym_detectors::evt_hp::mutate_evt_hp_msg(msg, entropy))
+        }
 
         fn on_start(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
             self.h_omega = HOmegaOutput::new(ctx.my_id(), 1);
@@ -477,6 +488,10 @@ mod pr1 {
         type Msg = Fig8Msg;
         type Output = u64;
 
+        fn mutate_payload(msg: &Fig8Msg, entropy: u64) -> Option<Fig8Msg> {
+            Some(homonym_consensus::mutate_fig8_msg(msg, entropy))
+        }
+
         fn on_start(&mut self, ctx: &mut ActionSink<'_, Fig8Msg, u64>) {
             self.next_round(ctx);
             ctx.set_timer(Span::TICK, TICK);
@@ -661,8 +676,20 @@ fn hps_mesh_run(
     }
 }
 
-/// The shared shape of one Figure 8 run for the sweep rows; `chaos`
-/// installs a split-brain scenario (the `chaos_sweep` flavor).
+/// Which Figure 8 sweep flavor a run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fig8Workload {
+    /// Fault-free staggered-crash sweep (`fig8_consensus_sweep`).
+    Plain,
+    /// Generated split-brain scenarios (`chaos_sweep`).
+    Chaos,
+    /// Generated hidden-equivocator attacks (`byz_sweep`): the
+    /// payload-mutation hook live on the hot path, verdicts left to the
+    /// falsification harness (violations are the *point*).
+    Byzantine,
+}
+
+/// The shared shape of one Figure 8 run for the sweep rows.
 struct Fig8Shape {
     cfg: SimConfig,
     sched: FailureSchedule,
@@ -673,63 +700,75 @@ struct Fig8Shape {
     deadline: Time,
 }
 
-fn fig8_shape(n: usize, seed: u64, chaos: bool, legacy: bool) -> Fig8Shape {
+fn fig8_shape(n: usize, seed: u64, kind: Fig8Workload, legacy: bool) -> Fig8Shape {
     let l = 4.min(n);
     let assign = IdentityAssignment::round_robin(n, l);
-    if chaos {
-        let scenario = split_brain(n, seed);
-        let cfg = SimConfig::new(
-            assign.clone(),
-            FailureSchedule::none(n),
-            hps_delay_only(1, 3),
-        )
-        .with_seed(seed)
-        .with_legacy_hot_path(legacy);
-        let cfg = scenario.install(cfg).expect("generated scenarios validate");
-        let sched = cfg.sched.clone();
-        let gst = match cfg.network {
-            NetworkModel::PartialSync { gst, .. } => gst,
-            _ => Time::ZERO,
-        };
-        let clean = scenario.last_fault_end().max(gst);
-        Fig8Shape {
-            cfg,
-            sched,
-            assign,
-            stabilize: clean,
-            proposals: (0..n as u64).map(|i| i * 10).collect(),
-            t: (n - 1) / 2,
-            deadline: clean + Span::from_ticks(30_000),
-        }
-    } else {
-        let stabilize = 40;
-        let sched = staggered_crashes(n, 1, stabilize);
-        let cfg = SimConfig::new(assign.clone(), sched.clone(), async_net(1, 5))
+    match kind {
+        Fig8Workload::Chaos | Fig8Workload::Byzantine => {
+            let scenario = match kind {
+                Fig8Workload::Chaos => split_brain(n, seed),
+                _ => hidden_equivocator(&assign, seed),
+            };
+            let cfg = SimConfig::new(
+                assign.clone(),
+                FailureSchedule::none(n),
+                hps_delay_only(1, 3),
+            )
             .with_seed(seed)
             .with_legacy_hot_path(legacy);
-        Fig8Shape {
-            cfg,
-            sched,
-            assign,
-            stabilize: Time::from_ticks(stabilize),
-            proposals: (0..n as u64).map(|i| i * 10).collect(),
-            t: (n - 1) / 2,
-            deadline: Time::from_ticks(60 * stabilize + 30_000),
+            let cfg = scenario.install(cfg).expect("generated scenarios validate");
+            let sched = cfg.sched.clone();
+            let gst = match cfg.network {
+                NetworkModel::PartialSync { gst, .. } => gst,
+                _ => Time::ZERO,
+            };
+            let clean = scenario.last_fault_end().max(gst);
+            // Equivocated runs usually still decide (on forged values);
+            // the tighter margin bounds the stragglers that don't.
+            let margin = match kind {
+                Fig8Workload::Chaos => 30_000,
+                _ => 10_000,
+            };
+            Fig8Shape {
+                cfg,
+                sched,
+                assign,
+                stabilize: clean,
+                proposals: (0..n as u64).map(|i| i * 10).collect(),
+                t: (n - 1) / 2,
+                deadline: clean + Span::from_ticks(margin),
+            }
+        }
+        Fig8Workload::Plain => {
+            let stabilize = 40;
+            let sched = staggered_crashes(n, 1, stabilize);
+            let cfg = SimConfig::new(assign.clone(), sched.clone(), async_net(1, 5))
+                .with_seed(seed)
+                .with_legacy_hot_path(legacy);
+            Fig8Shape {
+                cfg,
+                sched,
+                assign,
+                stabilize: Time::from_ticks(stabilize),
+                proposals: (0..n as u64).map(|i| i * 10).collect(),
+                t: (n - 1) / 2,
+                deadline: Time::from_ticks(60 * stabilize + 30_000),
+            }
         }
     }
 }
 
 /// One Figure 8 run on the legacy flavor: PR 1-shaped consensus process
 /// and uncached oracle, per-event engine path, fresh world per seed.
-fn fig8_run_legacy(n: usize, seed: u64, chaos: bool) -> u64 {
-    let s = fig8_shape(n, seed, chaos, true);
+fn fig8_run_legacy(n: usize, seed: u64, kind: Fig8Workload) -> u64 {
+    let s = fig8_shape(n, seed, kind, true);
     let props = s.proposals.clone();
     let mut engine = Engine::new(s.cfg, |p, _| {
         let d = pr1::HOmega::new(s.sched.clone(), s.assign.clone(), s.stabilize, p as u64);
         pr1::Fig8::new(props[p], n, s.t, d)
     });
     engine.run_until_all_correct_decided(s.deadline);
-    if !chaos {
+    if kind == Fig8Workload::Plain {
         check_consensus(&engine.outcome(s.proposals), &s.sched).expect("consensus holds");
     }
     engine.metrics().events
@@ -741,8 +780,13 @@ type Fig8Node = MajorityConsensus<HOmegaPolicy<HOmegaOracle>>;
 
 /// One Figure 8 run on the current flavor: ring-window consensus, cached
 /// oracle, batched engine path, arena-recycled allocations.
-fn fig8_run_current(n: usize, seed: u64, chaos: bool, arena: &mut EngineArena<Fig8Node>) -> u64 {
-    let s = fig8_shape(n, seed, chaos, false);
+fn fig8_run_current(
+    n: usize,
+    seed: u64,
+    kind: Fig8Workload,
+    arena: &mut EngineArena<Fig8Node>,
+) -> u64 {
+    let s = fig8_shape(n, seed, kind, false);
     let w = OracleWorld::new(s.sched.clone(), s.assign.clone(), s.stabilize);
     let props = s.proposals.clone();
     let mut engine = Engine::new_in(
@@ -758,7 +802,7 @@ fn fig8_run_current(n: usize, seed: u64, chaos: bool, arena: &mut EngineArena<Fi
         std::mem::take(arena),
     );
     engine.run_until_all_correct_decided(s.deadline);
-    if !chaos {
+    if kind == Fig8Workload::Plain {
         check_consensus(&engine.outcome(s.proposals), &s.sched).expect("consensus holds");
     }
     let events = engine.metrics().events;
@@ -945,11 +989,12 @@ fn main() {
             }
         }
     }
-    const ROW_NAMES: [&str; 6] = [
+    const ROW_NAMES: [&str; 7] = [
         "hps_mesh_n64",
         "hps_detector_n64",
         "fig8_consensus_sweep",
         "chaos_sweep",
+        "byz_sweep",
         "fig8_sweep_forked",
         "chaos_sweep_forked",
     ];
@@ -1000,12 +1045,14 @@ fn main() {
     if enabled("fig8_consensus_sweep") {
         let (legacy, new) = bench_pair(reps, side, |legacy| {
             if legacy {
-                parallel_seed_sweep(seeds, |seed| fig8_run_legacy(n_fig8, seed, false))
-                    .into_iter()
-                    .sum()
+                parallel_seed_sweep(seeds, |seed| {
+                    fig8_run_legacy(n_fig8, seed, Fig8Workload::Plain)
+                })
+                .into_iter()
+                .sum()
             } else {
                 parallel_seed_sweep_with(seeds, EngineArena::new, |arena, seed| {
-                    fig8_run_current(n_fig8, seed, false, arena)
+                    fig8_run_current(n_fig8, seed, Fig8Workload::Plain, arena)
                 })
                 .into_iter()
                 .sum()
@@ -1017,12 +1064,14 @@ fn main() {
     if enabled("chaos_sweep") {
         let (legacy, new) = bench_pair(reps, side, |legacy| {
             if legacy {
-                parallel_seed_sweep(seeds, |seed| fig8_run_legacy(n_fig8, seed, true))
-                    .into_iter()
-                    .sum()
+                parallel_seed_sweep(seeds, |seed| {
+                    fig8_run_legacy(n_fig8, seed, Fig8Workload::Chaos)
+                })
+                .into_iter()
+                .sum()
             } else {
                 parallel_seed_sweep_with(seeds, EngineArena::new, |arena, seed| {
-                    fig8_run_current(n_fig8, seed, true, arena)
+                    fig8_run_current(n_fig8, seed, Fig8Workload::Chaos, arena)
                 })
                 .into_iter()
                 .sum()
@@ -1034,6 +1083,29 @@ fn main() {
             "hot paths must dispatch identically under an active fault script",
         );
         rows.push(("chaos_sweep", legacy, new));
+    }
+    if enabled("byz_sweep") {
+        let (legacy, new) = bench_pair(reps, side, |legacy| {
+            if legacy {
+                parallel_seed_sweep(seeds, |seed| {
+                    fig8_run_legacy(n_fig8, seed, Fig8Workload::Byzantine)
+                })
+                .into_iter()
+                .sum()
+            } else {
+                parallel_seed_sweep_with(seeds, EngineArena::new, |arena, seed| {
+                    fig8_run_current(n_fig8, seed, Fig8Workload::Byzantine, arena)
+                })
+                .into_iter()
+                .sum()
+            }
+        });
+        assert_counts(
+            &legacy,
+            &new,
+            "hot paths must dispatch identically under an active Byzantine script",
+        );
+        rows.push(("byz_sweep", legacy, new));
     }
     // The forked rows compare the flat executor (legacy column: every
     // variant re-runs its full history) against the prefix-sharing
@@ -1125,7 +1197,7 @@ fn main() {
     // Bump `schema_version` whenever the JSON shape changes (new or
     // renamed fields/rows, or a re-baselined legacy column); see
     // BENCHMARKS.md for the version history.
-    let mut json = String::from("{\n  \"schema_version\": 4,\n");
+    let mut json = String::from("{\n  \"schema_version\": 5,\n");
     for (name, legacy, new) in &rows {
         let speedup = new.events_per_sec() / legacy.events_per_sec();
         let alloc_cols = if alloc_count::ENABLED {

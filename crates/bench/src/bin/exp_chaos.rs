@@ -2,8 +2,7 @@
 //! adversarial scenarios.
 //!
 //! Runs every stack (`fig8-evt-hp`, `fig9-oracle-quorum`,
-//! `evt-hp-detector`) against the full scenario family rotation
-//! (split-brain, flapping-minority, homonym-isolation) and asserts:
+//! `evt-hp-detector`) against the scenario family rotation and asserts:
 //!
 //! * **zero safety violations** anywhere — a safety counterexample makes
 //!   the binary print the replayable seed + scenario script and exit
@@ -15,15 +14,29 @@
 //!   run then terminated, i.e. liveness correctly fails while the
 //!   partition is up and holds once it heals.
 //!
+//! In **Byzantine mode** (`CHAOS_BYZANTINE=1`) the rotation interleaves
+//! the equivocation/corruption families with the crash families, and the
+//! contract inverts on the corrupt half: every stack must produce at
+//! least one **demonstrated counterexample** (a crash-only stack falling
+//! to a hidden equivocator — replayable as family + seed + script) while
+//! the crash-only subset keeps zero safety violations; afterwards the
+//! first Figure 8 demonstration is **replayed from mid-run** — the
+//! honest prefix snapshotted just before the equivocation window and
+//! re-forked across attack variations — and the forked verdicts are
+//! asserted identical to flat re-execution.
+//!
 //! Usage: `cargo run --release -p homonym-bench --bin exp_chaos`
 //! Environment:
 //! * `CHAOS_SWEEP_SCENARIOS=<k>` — scenarios **per stack** (default 400,
 //!   so the default run sweeps 1200 scenarios overall; CI smoke uses a
 //!   small value);
+//! * `CHAOS_BYZANTINE=1` — Byzantine mode (see above);
 //! * `HOMONYM_EXP_JSON=<dir>` — additionally dump the rows as JSON.
 
 use homonym_bench::maybe_dump;
-use homonym_chaos::{falsification_sweep, StackKind, SweepConfig, SweepReport};
+use homonym_chaos::{
+    falsification_sweep, replay_byzantine_counterexample, StackKind, SweepConfig, SweepReport,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -34,6 +47,8 @@ struct Row {
     liveness_excused: usize,
     safety_violations: usize,
     liveness_violations: usize,
+    byzantine_demonstrated: usize,
+    byzantine_survived: usize,
     probes: usize,
     probe_demonstrations: usize,
     probe_decided_early: usize,
@@ -47,6 +62,8 @@ fn report_row(stack: StackKind, report: &SweepReport) -> Row {
         liveness_excused: report.liveness_excused,
         safety_violations: report.safety_counterexamples.len(),
         liveness_violations: report.liveness_counterexamples.len(),
+        byzantine_demonstrated: report.byzantine_demonstrated.len(),
+        byzantine_survived: report.byzantine_survived,
         probes: report.probes,
         probe_demonstrations: report.probe_demonstrations,
         probe_decided_early: report.probe_decided_early,
@@ -58,12 +75,14 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
+    let byzantine = std::env::var("CHAOS_BYZANTINE").is_ok_and(|v| v != "0");
 
-    println!("## chaos falsification sweep ({per_stack} scenarios per stack)\n");
+    let mode = if byzantine { "Byzantine" } else { "crash" };
+    println!("## chaos falsification sweep ({per_stack} scenarios per stack, {mode} mode)\n");
     println!(
-        "| stack | scenarios | liveness held | excused | safety cex | liveness cex | probes | pre-heal blocked → post-heal decided |"
+        "| stack | scenarios | liveness held | excused | safety cex | liveness cex | byz demonstrated | byz survived | probes | pre-heal blocked → post-heal decided |"
     );
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
 
     let stacks = [
         StackKind::Fig8EvtHp,
@@ -72,17 +91,25 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let mut falsified = false;
+    let mut fig8_report: Option<SweepReport> = None;
     for stack in stacks {
-        let report = falsification_sweep(&SweepConfig::new(stack, per_stack));
+        let cfg = if byzantine {
+            SweepConfig::byzantine(stack, per_stack)
+        } else {
+            SweepConfig::new(stack, per_stack)
+        };
+        let report = falsification_sweep(&cfg);
         let row = report_row(stack, &report);
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             row.stack,
             row.scenarios,
             row.liveness_held,
             row.liveness_excused,
             row.safety_violations,
             row.liveness_violations,
+            row.byzantine_demonstrated,
+            row.byzantine_survived,
             row.probes,
             row.probe_demonstrations,
         );
@@ -108,17 +135,89 @@ fn main() {
                 report.probes
             );
         }
+        if byzantine && report.byzantine_demonstrated.is_empty() {
+            falsified = true;
+            eprintln!(
+                "\n{}: the Byzantine families produced no demonstrated counterexample — \
+                 a crash-only stack survived every equivocation/corruption attack",
+                stack.name()
+            );
+        }
+        if stack == StackKind::Fig8EvtHp {
+            fig8_report = Some(report);
+        }
         rows.push(row);
     }
-    maybe_dump("chaos_sweep", &rows);
+    maybe_dump(
+        if byzantine {
+            "byz_sweep"
+        } else {
+            "chaos_sweep"
+        },
+        &rows,
+    );
 
     assert!(
         !falsified,
         "falsification sweep found a counterexample (see stderr)"
     );
-    println!(
-        "\nNo counterexamples: safety held in every run; liveness held on \
-         every eventually-clean run and failed only pre-heal or on lossy \
-         scenarios, as the definitions permit."
-    );
+
+    if byzantine {
+        // Mid-run counterexample replay: rebuild the first Figure 8
+        // demonstration, snapshot just before its equivocation window,
+        // and re-fork across attack variations. The forked verdicts
+        // must equal flat re-execution, and the prefix must actually be
+        // shared (nonzero fork count).
+        let report = fig8_report.expect("fig8 stack ran");
+        let cex = report
+            .first_demonstration()
+            .expect("asserted nonempty above");
+        println!(
+            "\n### mid-run replay of the first fig8 demonstration\n\n\
+             base counterexample: family={} seed={}\n  {}",
+            cex.family, cex.seed, cex.violation
+        );
+        let cfg = SweepConfig::byzantine(StackKind::Fig8EvtHp, per_stack);
+        let replay = replay_byzantine_counterexample(&cfg, cex, 6);
+        for (script, verdict) in replay.scripts.iter().zip(&replay.forked) {
+            let outcome = match verdict.violation() {
+                Some(v) => format!("{v}"),
+                None => "all properties held (attack variation missed)".to_string(),
+            };
+            println!("- {script}\n  → {outcome}");
+        }
+        assert!(
+            replay.verdicts_match(),
+            "forked mid-run replay diverged from flat re-execution:\nforked: {:?}\nflat: {:?}",
+            replay.forked,
+            replay.flat
+        );
+        assert!(
+            replay.stats.forked > 0,
+            "the replay never restored from the honest-prefix snapshot: {:?}",
+            replay.stats
+        );
+        println!(
+            "\nforked replay == flat re-execution on all {} variations; \
+             {} forked from {} snapshot(s), {} shared ticks never re-executed; \
+             {} variation(s) still falsify the crash-only stack",
+            replay.forked.len(),
+            replay.stats.forked,
+            replay.stats.snapshots,
+            replay.stats.shared_ticks,
+            replay.still_falsified(),
+        );
+        println!(
+            "\nByzantine contract held: every stack produced demonstrated \
+             counterexamples under corrupt homonyms (crash-only algorithms \
+             fall to f < n/3 equivocators, as predicted) while safety held \
+             untouched on the crash-only subset."
+        );
+    } else {
+        println!(
+            "\nNo counterexamples: safety held in every run; liveness held on \
+             every eventually-clean run and failed only pre-heal or on lossy \
+             scenarios, as the definitions permit."
+        );
+    }
 }

@@ -11,7 +11,13 @@
 //! * [`flapping_minority`] — a minority that repeatedly drops off and
 //!   rejoins;
 //! * [`homonym_group_isolation`] — all carriers of one identifier cut
-//!   off together.
+//!   off together;
+//! * [`hidden_equivocator`] — one carrier of a multiply-assigned
+//!   identifier turns permanently Byzantine and equivocates to a victim
+//!   subset, hiding among its honest homonyms;
+//! * [`corrupt_minority_homonyms`] — an `f < n/3` minority mounts mixed
+//!   payload-corruption / replay / selective-send / equivocation
+//!   attacks.
 
 use homonym_core::identity::IdentityAssignment;
 use homonym_core::time::{Span, Time};
@@ -155,6 +161,214 @@ pub fn homonym_group_isolation(assign: &IdentityAssignment, seed: u64) -> Scenar
         .with_gst(adversarial_gst(&mut rng))
 }
 
+/// A hidden equivocator: one carrier of a multiply-assigned identifier
+/// turns **permanently** Byzantine early in the run and equivocates —
+/// every broadcast delivers a consistent alternative payload to a victim
+/// subset while everyone else (its honest homonyms included) receives
+/// the original. This is the attack the paper's model makes uniquely
+/// nasty: detector outputs are multisets of *identifiers*, so the
+/// victims' diverging view is indistinguishable from "two honest
+/// homonyms disagreeing" and no output can indict the corrupt process.
+/// Stresses: Figure 8/9 agreement and validity (forged estimates and
+/// `DECIDE` values are accepted verbatim by crash-only code), `◇HP`
+/// convergence (forged `P_REPLY` senders pollute `h_trusted` forever).
+///
+/// Falls back to an arbitrary process when no identifier has two
+/// carriers (unique-identifier assignments — nothing to hide among, but
+/// the attack itself still applies).
+///
+/// # Panics
+///
+/// Panics if the assignment has fewer than three processes.
+#[must_use]
+pub fn hidden_equivocator(assign: &IdentityAssignment, seed: u64) -> Scenario {
+    let n = assign.n();
+    assert!(n >= 3, "an equivocator needs at least three processes");
+    let mut rng = rng_for("hidden-equivocator", seed);
+    // Identifier classes with at least two carriers, in index order.
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut seen: Vec<homonym_core::Identity> = Vec::new();
+    for p in 0..n {
+        let id = assign.id_of(p);
+        if !seen.contains(&id) {
+            seen.push(id);
+            let carriers = assign.processes_with(id);
+            if carriers.len() >= 2 {
+                classes.push(carriers);
+            }
+        }
+    }
+    let equivocator = if classes.is_empty() {
+        rng.gen_range(0..n)
+    } else {
+        let class = &classes[rng.gen_range(0..classes.len())];
+        class[rng.gen_range(0..class.len())]
+    };
+    // A victim subset of the other processes: at least one, at most all
+    // but one (someone must keep hearing the honest stream for the views
+    // to diverge).
+    let mut others: Vec<usize> = (0..n).filter(|&p| p != equivocator).collect();
+    others.shuffle(&mut rng);
+    let victims: Vec<usize> = {
+        let k = rng.gen_range(1..=others.len() - 1);
+        let mut v = others[..k].to_vec();
+        v.sort_unstable();
+        v
+    };
+    let start = Time::from_ticks(rng.gen_range(10..=40));
+    Scenario::new(format!("hidden-equivocator#{seed}"), n)
+        .with_clause(FaultClause::ByzantineEquivocate {
+            sources: vec![equivocator],
+            victims,
+            start,
+            until: Time::MAX,
+        })
+        .with_gst(adversarial_gst(&mut rng))
+}
+
+/// A corrupt minority within the BFT envelope: `f` processes with
+/// `1 ≤ f` and `3f < n` (so a Byzantine-tolerant algorithm would be
+/// *obliged* to survive this) each mount one randomly drawn attack —
+/// payload corruption, replay, selective sending, or equivocation —
+/// mostly permanent, sometimes windowed. Stresses: everything at once;
+/// crash-only stacks are expected to fall, which is the demonstration
+/// the Byzantine sweep asserts.
+///
+/// # Panics
+///
+/// Panics if the assignment has fewer than four processes (`n ≤ 3`
+/// admits no corrupt process with `3f < n`).
+#[must_use]
+pub fn corrupt_minority_homonyms(assign: &IdentityAssignment, seed: u64) -> Scenario {
+    let n = assign.n();
+    assert!(n >= 4, "a corrupt minority needs n >= 4 (f >= 1, 3f < n)");
+    let mut rng = rng_for("corrupt-minority-homonyms", seed);
+    let f_max = (n - 1) / 3;
+    let f = rng.gen_range(1..=f_max);
+    let mut procs: Vec<usize> = (0..n).collect();
+    procs.shuffle(&mut rng);
+    let corrupt: Vec<usize> = procs[..f].to_vec();
+    let mut scenario = Scenario::new(format!("corrupt-minority-homonyms#{seed}"), n);
+    for &source in &corrupt {
+        let mut others: Vec<usize> = (0..n).filter(|&p| p != source).collect();
+        others.shuffle(&mut rng);
+        let k = rng.gen_range(1..=others.len() - 1);
+        let mut victims = others[..k].to_vec();
+        victims.sort_unstable();
+        let start = Time::from_ticks(rng.gen_range(5..=30));
+        let until = if rng.gen_range(0u8..100) < 70 {
+            Time::MAX
+        } else {
+            start + Span::from_ticks(rng.gen_range(40..=160))
+        };
+        let sources = vec![source];
+        scenario = scenario.with_clause(match rng.gen_range(0u8..4) {
+            0 => FaultClause::ByzantineCorrupt {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            1 => FaultClause::ByzantineReplay {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            2 => FaultClause::ByzantineSelectiveSend {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            _ => FaultClause::ByzantineEquivocate {
+                sources,
+                victims,
+                start,
+                until,
+            },
+        });
+    }
+    scenario.with_gst(adversarial_gst(&mut rng))
+}
+
+/// Expands a Byzantine base scenario into a **shared-honest-prefix
+/// attack-variation family**: `k` scenarios (index 0 is the base) with
+/// the same name (hence the same Byzantine RNG salt), the same corrupt
+/// sources, and the same non-Byzantine clauses, differing only in the
+/// attack's **victim sets** and **timings** (activation pushed later,
+/// never earlier, and bounded windows redrawn). Every variant therefore
+/// agrees with the base on everything before the base's first attack
+/// activation — the divergence the prefix-sharing executor computes —
+/// so mid-run replay of a counterexample re-forks the honest prefix
+/// across attack variations instead of re-executing it.
+///
+/// Deterministic in `(base, seed, k)`, keeping every variation
+/// replayable from its printed script.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the base has no Byzantine clause.
+#[must_use]
+pub fn byzantine_attack_variants(base: &Scenario, seed: u64, k: usize) -> Vec<Scenario> {
+    assert!(k >= 1, "a family has at least its base scenario");
+    assert!(
+        base.is_byzantine(),
+        "attack variations need a Byzantine base"
+    );
+    let n = base.n();
+    let mut out = Vec::with_capacity(k);
+    out.push(base.clone());
+    for v in 1..k as u64 {
+        let mut rng = rng_for(
+            "byzantine-attack-variants",
+            seed ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut redraw = |sources: &[usize], victims: Vec<usize>, start: Time, until: Time| {
+            let mut others: Vec<usize> = (0..n).filter(|p| !sources.contains(p)).collect();
+            let victims = if others.is_empty() {
+                victims // degenerate base: keep its victim set
+            } else {
+                others.shuffle(&mut rng);
+                let hi = if others.len() >= 2 {
+                    others.len() - 1
+                } else {
+                    1
+                };
+                let mut v = others[..rng.gen_range(1..=hi)].to_vec();
+                v.sort_unstable();
+                v
+            };
+            // Timings move later only, so the base's honest prefix stays
+            // the family's shared prefix.
+            let start = start + Span::from_ticks(rng.gen_range(0..=15));
+            let until = if until == Time::MAX {
+                Time::MAX
+            } else {
+                let span = (until.ticks().saturating_sub(start.ticks())).max(2);
+                start + Span::from_ticks(rng.gen_range(span / 2..=span * 2).max(1))
+            };
+            (victims, start, until)
+        };
+        let mut s = Scenario::new(base.name().to_string(), n);
+        for clause in base.clauses() {
+            // Kind-agnostic: a future Byzantine clause kind cannot
+            // silently fall through to the keep-as-is arm.
+            s = s.with_clause(match clause.byzantine_parts() {
+                Some((sources, victims, start, until)) => {
+                    let (victims, start, until) = redraw(sources, victims.to_vec(), start, until);
+                    clause
+                        .byzantine_with(victims, start, until)
+                        .expect("byzantine_parts matched")
+                }
+                None => clause.clone(),
+            });
+        }
+        out.push(s.with_gst(base.gst()));
+    }
+    out
+}
+
 /// Expands a base scenario into a **shared-prefix variant family**: `k`
 /// scenarios (index 0 is the base itself) agreeing on everything up to
 /// the base's fault activations — same name (hence the same adversary
@@ -220,11 +434,16 @@ pub fn fault_window_variants(base: &Scenario, seed: u64, k: usize) -> Vec<Scenar
                     down,
                     up: down + redraw_duration(&mut rng, up.ticks() - down.ticks()),
                 },
-                // Crash clauses stay fixed across the family: varying
-                // them would change the correct set, which forfeits
-                // sharing for decision-gated runs (see
-                // `item_divergence`).
-                crash @ FaultClause::Crash { .. } => crash,
+                // Crash and Byzantine clauses stay fixed across the
+                // family: varying crashes would change the correct set,
+                // which forfeits sharing for decision-gated runs (see
+                // `item_divergence`), and attack variation has its own
+                // generator ([`byzantine_attack_variants`]).
+                fixed @ (FaultClause::Crash { .. }
+                | FaultClause::ByzantineEquivocate { .. }
+                | FaultClause::ByzantineCorrupt { .. }
+                | FaultClause::ByzantineReplay { .. }
+                | FaultClause::ByzantineSelectiveSend { .. }) => fixed,
             });
         }
         let gst = match base.gst() {
@@ -353,6 +572,98 @@ mod tests {
                 "seed {seed}: variants never moved the heal"
             );
             assert_eq!(family, fault_window_variants(&base, seed, 6));
+        }
+    }
+
+    #[test]
+    fn byzantine_generators_are_deterministic_valid_and_within_envelope() {
+        let assign = IdentityAssignment::round_robin(8, 3);
+        for seed in 0..100 {
+            for s in [
+                hidden_equivocator(&assign, seed),
+                corrupt_minority_homonyms(&assign, seed),
+            ] {
+                s.validate()
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e} in {s}"));
+                assert!(s.is_byzantine());
+                let f = s.corrupt_count();
+                assert!(f >= 1 && 3 * f < 8, "seed {seed}: f={f} outside envelope");
+                assert!(s.first_byzantine_activation().is_some());
+            }
+            assert_eq!(
+                hidden_equivocator(&assign, seed),
+                hidden_equivocator(&assign, seed)
+            );
+            assert_eq!(
+                corrupt_minority_homonyms(&assign, seed),
+                corrupt_minority_homonyms(&assign, seed)
+            );
+        }
+        assert_ne!(
+            hidden_equivocator(&assign, 1),
+            hidden_equivocator(&assign, 2)
+        );
+    }
+
+    #[test]
+    fn hidden_equivocator_hides_among_homonyms() {
+        let assign = IdentityAssignment::round_robin(9, 3); // every id ×3
+        for seed in 0..50 {
+            let s = hidden_equivocator(&assign, seed);
+            let FaultClause::ByzantineEquivocate {
+                sources,
+                victims,
+                until,
+                ..
+            } = &s.clauses()[0]
+            else {
+                panic!("first clause must be the equivocation");
+            };
+            assert_eq!(sources.len(), 1, "one equivocator");
+            let equivocator = sources[0];
+            // The equivocator shares its identifier with an honest carrier.
+            assert!(
+                assign.processes_with(assign.id_of(equivocator)).len() >= 2,
+                "seed {seed}: equivocator has no homonym to hide among"
+            );
+            assert!(*until == Time::MAX, "the BFT faulty process is permanent");
+            assert!(!victims.is_empty() && victims.len() < 8);
+            assert!(!victims.contains(&equivocator));
+        }
+    }
+
+    #[test]
+    fn attack_variants_share_the_honest_prefix() {
+        for seed in 0..30 {
+            let assign = IdentityAssignment::round_robin(8, 3);
+            let base = hidden_equivocator(&assign, seed);
+            let base_start = base.first_byzantine_activation().expect("byzantine");
+            let family = byzantine_attack_variants(&base, seed, 5);
+            assert_eq!(family.len(), 5);
+            assert_eq!(family[0], base);
+            let mut distinct_victims = std::collections::BTreeSet::new();
+            for variant in &family {
+                variant.validate().expect("variants stay valid");
+                // Same name ⇒ same Byzantine RNG salt ⇒ shareable.
+                assert_eq!(variant.name(), base.name());
+                assert_eq!(variant.salt(), base.salt());
+                assert_eq!(variant.corrupt_set(), base.corrupt_set());
+                // Timings only move later: the base's honest prefix is
+                // the whole family's shared prefix.
+                assert!(
+                    variant.first_byzantine_activation().expect("byzantine") >= base_start,
+                    "seed {seed}: a variant attacked earlier than the base"
+                );
+                let FaultClause::ByzantineEquivocate { victims, .. } = &variant.clauses()[0] else {
+                    panic!("clause kinds must not change");
+                };
+                distinct_victims.insert(victims.clone());
+            }
+            assert!(
+                distinct_victims.len() > 1,
+                "seed {seed}: variants never moved the victim set"
+            );
+            assert_eq!(family, byzantine_attack_variants(&base, seed, 5));
         }
     }
 

@@ -10,9 +10,13 @@
 
 use core::fmt;
 
+use std::collections::BTreeSet;
+
 use homonym_core::failure::FailureSchedule;
 use homonym_core::time::{Span, Time};
-use homonym_sim::adversary::{LinkClause, LinkEffect, LinkFaultScript, ProcSet};
+use homonym_sim::adversary::{
+    ByzClause, ByzEffect, ByzantineScript, LinkClause, LinkEffect, LinkFaultScript, ProcSet,
+};
 use homonym_sim::engine::SimConfig;
 use homonym_sim::network::NetworkModel;
 use homonym_sim::sync_engine::SyncConfig;
@@ -98,6 +102,133 @@ pub enum FaultClause {
         /// Crash time.
         at: Time,
     },
+    /// A Byzantine **equivocation** window: every broadcast a process in
+    /// `sources` performs during `[start, until)` delivers one consistent
+    /// alternative payload to `victims` and the original to everyone else
+    /// — the corrupt homonym stays indistinguishable from its honest
+    /// namesakes outside the victim set. Use [`Time::MAX`] for a
+    /// permanently corrupt process (the BFT-model faulty process).
+    ByzantineEquivocate {
+        /// The corrupt senders (nonempty).
+        sources: Vec<usize>,
+        /// Destinations receiving the alternative payload (nonempty).
+        victims: Vec<usize>,
+        /// First instant the attack is active.
+        start: Time,
+        /// First instant the attack is over; must be after `start`.
+        until: Time,
+    },
+    /// Byzantine **payload corruption**: victim copies of every broadcast
+    /// in the window are independently corrupted.
+    ByzantineCorrupt {
+        /// The corrupt senders (nonempty).
+        sources: Vec<usize>,
+        /// Destinations receiving corrupted copies (nonempty).
+        victims: Vec<usize>,
+        /// First instant the attack is active.
+        start: Time,
+        /// First instant the attack is over; must be after `start`.
+        until: Time,
+    },
+    /// Byzantine **replay**: victim copies are replaced by the sender's
+    /// previous broadcast payload (stale state re-injected).
+    ByzantineReplay {
+        /// The corrupt senders (nonempty).
+        sources: Vec<usize>,
+        /// Destinations receiving stale payloads (nonempty).
+        victims: Vec<usize>,
+        /// First instant the attack is active.
+        start: Time,
+        /// First instant the attack is over; must be after `start`.
+        until: Time,
+    },
+    /// Byzantine **selective sending**: victim copies are silently
+    /// suppressed — the corrupt sender "forgets" part of each broadcast.
+    ByzantineSelectiveSend {
+        /// The corrupt senders (nonempty).
+        sources: Vec<usize>,
+        /// Destinations whose copies are suppressed (nonempty).
+        victims: Vec<usize>,
+        /// First instant the attack is active.
+        start: Time,
+        /// First instant the attack is over; must be after `start`.
+        until: Time,
+    },
+}
+
+impl FaultClause {
+    /// The Byzantine fields of a `Byzantine*` clause, `None` otherwise.
+    pub(crate) fn byzantine_parts(&self) -> Option<(&[usize], &[usize], Time, Time)> {
+        match self {
+            FaultClause::ByzantineEquivocate {
+                sources,
+                victims,
+                start,
+                until,
+            }
+            | FaultClause::ByzantineCorrupt {
+                sources,
+                victims,
+                start,
+                until,
+            }
+            | FaultClause::ByzantineReplay {
+                sources,
+                victims,
+                start,
+                until,
+            }
+            | FaultClause::ByzantineSelectiveSend {
+                sources,
+                victims,
+                start,
+                until,
+            } => Some((sources, victims, *start, *until)),
+            _ => None,
+        }
+    }
+
+    /// A clause of the **same Byzantine kind** as `self` (same sources)
+    /// with the given victim set and window; `None` when `self` is not
+    /// Byzantine. Lets variation generators rewrite attacks without a
+    /// per-kind match that a future clause kind could silently fall
+    /// through.
+    pub(crate) fn byzantine_with(
+        &self,
+        victims: Vec<usize>,
+        start: Time,
+        until: Time,
+    ) -> Option<FaultClause> {
+        let (sources, ..) = self.byzantine_parts()?;
+        let sources = sources.to_vec();
+        Some(match self {
+            FaultClause::ByzantineEquivocate { .. } => FaultClause::ByzantineEquivocate {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            FaultClause::ByzantineCorrupt { .. } => FaultClause::ByzantineCorrupt {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            FaultClause::ByzantineReplay { .. } => FaultClause::ByzantineReplay {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            FaultClause::ByzantineSelectiveSend { .. } => FaultClause::ByzantineSelectiveSend {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            _ => unreachable!("byzantine_parts matched"),
+        })
+    }
 }
 
 /// Where the scenario places the global stabilization time of a
@@ -356,6 +487,23 @@ impl Scenario {
                     in_range(*process)?;
                 }
                 FaultClause::Crash { process, .. } => in_range(*process)?,
+                FaultClause::ByzantineEquivocate { .. }
+                | FaultClause::ByzantineCorrupt { .. }
+                | FaultClause::ByzantineReplay { .. }
+                | FaultClause::ByzantineSelectiveSend { .. } => {
+                    let (sources, victims, start, until) = clause
+                        .byzantine_parts()
+                        .expect("matched a Byzantine clause");
+                    if until <= start {
+                        return Err(ScenarioError::WindowEndsBeforeStart { start, end: until });
+                    }
+                    if sources.is_empty() || victims.is_empty() {
+                        return Err(ScenarioError::EmptyEndpointSet);
+                    }
+                    for &p in sources.iter().chain(victims) {
+                        in_range(p)?;
+                    }
+                }
             }
         }
         Ok(())
@@ -364,7 +512,11 @@ impl Scenario {
     /// The first instant from which no **network** clause (partition,
     /// overlay, churn) is active anymore. Crashes are excluded: a
     /// crash-stop failure never un-happens and every model tolerates it,
-    /// so it does not keep the environment "dirty".
+    /// so it does not keep the environment "dirty". Byzantine clauses
+    /// are excluded for the same reason: they corrupt a *process*, not
+    /// the network — a run with a (possibly permanent) equivocator can
+    /// still have a perfectly clean network, which is exactly the
+    /// condition under which the demonstration sweeps judge the damage.
     #[must_use]
     pub fn network_clean_after(&self) -> Time {
         let mut end = Time::ZERO;
@@ -374,14 +526,22 @@ impl Scenario {
                 FaultClause::LinkOverlay { end, .. } => *end,
                 FaultClause::Churn { up, .. } => *up,
                 FaultClause::Crash { .. } => Time::ZERO,
+                FaultClause::ByzantineEquivocate { .. }
+                | FaultClause::ByzantineCorrupt { .. }
+                | FaultClause::ByzantineReplay { .. }
+                | FaultClause::ByzantineSelectiveSend { .. } => Time::ZERO,
             });
         }
         end
     }
 
-    /// The first instant after which nothing adversarial happens at all,
-    /// crashes included — the earliest sound [`GstPlacement::AfterLastFault`]
-    /// anchor.
+    /// The first instant after which nothing adversarial *starts*
+    /// anymore, crashes and Byzantine corruption included — the earliest
+    /// sound [`GstPlacement::AfterLastFault`] anchor. A Byzantine clause
+    /// contributes its **onset** (like a crash: the process's corruption
+    /// has "happened" and may persist forever, exactly as a crashed
+    /// process stays crashed), never its possibly-unbounded window end —
+    /// GST must not wait for a permanent attacker to stop.
     #[must_use]
     pub fn last_fault_end(&self) -> Time {
         let mut end = self.network_clean_after();
@@ -390,14 +550,18 @@ impl Scenario {
                 // A crash at `t` is "over" at the next instant.
                 end = end.max(*at + Span::TICK);
             }
+            if let Some((_, _, start, _)) = clause.byzantine_parts() {
+                end = end.max(start + Span::TICK);
+            }
         }
         end
     }
 
     /// Whether any clause can permanently lose a copy (drop-mode
-    /// partitions, lossy overlays, churn). Reliable-link models (`HAS`)
-    /// stay within their assumptions only for scenarios where this is
-    /// `false`; queue-mode partitions and pure delays never lose copies.
+    /// partitions, lossy overlays, churn, Byzantine selective sending).
+    /// Reliable-link models (`HAS`) stay within their assumptions only
+    /// for scenarios where this is `false`; queue-mode partitions, pure
+    /// delays and payload-rewriting Byzantine clauses never lose copies.
     #[must_use]
     pub fn is_lossy(&self) -> bool {
         self.clauses.iter().any(|c| match c {
@@ -405,7 +569,49 @@ impl Scenario {
             FaultClause::LinkOverlay { loss_percent, .. } => *loss_percent > 0,
             FaultClause::Churn { .. } => true,
             FaultClause::Crash { .. } => false,
+            FaultClause::ByzantineSelectiveSend { .. } => true,
+            FaultClause::ByzantineEquivocate { .. }
+            | FaultClause::ByzantineCorrupt { .. }
+            | FaultClause::ByzantineReplay { .. } => false,
         })
+    }
+
+    /// The set of processes some Byzantine clause names as corrupt.
+    #[must_use]
+    pub fn corrupt_set(&self) -> BTreeSet<usize> {
+        let mut corrupt = BTreeSet::new();
+        for clause in &self.clauses {
+            if let Some((sources, _, _, _)) = clause.byzantine_parts() {
+                corrupt.extend(sources.iter().copied());
+            }
+        }
+        corrupt
+    }
+
+    /// Number of corrupt processes — the `f` of the run's `f < n/3`
+    /// judgement (see
+    /// [`RunCondition::with_corrupt`](homonym_core::properties::RunCondition::with_corrupt)).
+    #[must_use]
+    pub fn corrupt_count(&self) -> usize {
+        self.corrupt_set().len()
+    }
+
+    /// Whether the scenario mounts any Byzantine attack.
+    #[must_use]
+    pub fn is_byzantine(&self) -> bool {
+        self.clauses.iter().any(|c| c.byzantine_parts().is_some())
+    }
+
+    /// The earliest Byzantine activation — the instant *just before
+    /// which* a falsified run is snapshotted for mid-run attack-variation
+    /// replay (the honest prefix ends here). `None` without Byzantine
+    /// clauses.
+    #[must_use]
+    pub fn first_byzantine_activation(&self) -> Option<Time> {
+        self.clauses
+            .iter()
+            .filter_map(|c| c.byzantine_parts().map(|(_, _, start, _)| start))
+            .min()
     }
 
     /// The deterministic RNG salt of the lowered script (a hash of the
@@ -500,7 +706,47 @@ impl Scenario {
                     }
                 }
                 FaultClause::Crash { .. } => {} // handled by `install`
+                FaultClause::ByzantineEquivocate { .. }
+                | FaultClause::ByzantineCorrupt { .. }
+                | FaultClause::ByzantineReplay { .. }
+                | FaultClause::ByzantineSelectiveSend { .. } => {} // `compile_byzantine`
             }
+        }
+        Ok(script)
+    }
+
+    /// Lowers the scenario's Byzantine clauses to the engine-facing
+    /// [`ByzantineScript`] (empty when the scenario mounts no attack —
+    /// [`Scenario::install`] then leaves the hook uninstalled, keeping
+    /// the run byte-identical to one on an engine without it).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when [`Scenario::validate`] rejects
+    /// the scenario.
+    pub fn compile_byzantine(&self) -> Result<ByzantineScript, ScenarioError> {
+        self.validate()?;
+        let n = self.n;
+        let mut script = ByzantineScript::new(self.salt());
+        for clause in &self.clauses {
+            let Some((sources, victims, start, until)) = clause.byzantine_parts() else {
+                continue;
+            };
+            let src = ProcSet::from_indices(n, sources.iter().copied());
+            let victims = ProcSet::from_indices(n, victims.iter().copied());
+            let effect = match clause {
+                FaultClause::ByzantineEquivocate { .. } => ByzEffect::Equivocate { victims },
+                FaultClause::ByzantineCorrupt { .. } => ByzEffect::CorruptPayload { victims },
+                FaultClause::ByzantineReplay { .. } => ByzEffect::Replay { victims },
+                FaultClause::ByzantineSelectiveSend { .. } => ByzEffect::SelectiveSend { victims },
+                _ => unreachable!("byzantine_parts matched"),
+            };
+            script.push_clause(ByzClause {
+                from: start,
+                until,
+                src,
+                effect,
+            });
         }
         Ok(script)
     }
@@ -562,9 +808,15 @@ impl Scenario {
     pub fn install(&self, mut cfg: SimConfig) -> Result<SimConfig, ScenarioError> {
         assert_eq!(cfg.assign.n(), self.n, "config size mismatch");
         let script = self.compile()?;
+        let byz = self.compile_byzantine()?;
         cfg.sched = self.apply_crashes(&cfg.sched);
         cfg.network = self.place_gst(cfg.network);
-        Ok(cfg.with_adversary(script))
+        let cfg = cfg.with_adversary(script);
+        Ok(if byz.is_empty() {
+            cfg
+        } else {
+            cfg.with_byzantine(byz)
+        })
     }
 
     /// Installs the scenario into a lock-step configuration (times in
@@ -581,8 +833,14 @@ impl Scenario {
     pub fn install_sync(&self, mut cfg: SyncConfig) -> Result<SyncConfig, ScenarioError> {
         assert_eq!(cfg.assign.n(), self.n, "config size mismatch");
         let script = self.compile()?;
+        let byz = self.compile_byzantine()?;
         cfg.sched = self.apply_crashes(&cfg.sched);
-        Ok(cfg.with_adversary(script))
+        let cfg = cfg.with_adversary(script);
+        Ok(if byz.is_empty() {
+            cfg
+        } else {
+            cfg.with_byzantine(byz)
+        })
     }
 }
 
@@ -629,6 +887,27 @@ impl fmt::Display for Scenario {
                     write!(f, "churn p{process} {down}..{up}")?;
                 }
                 FaultClause::Crash { process, at } => write!(f, "crash p{process}@{at}")?,
+                FaultClause::ByzantineEquivocate { .. }
+                | FaultClause::ByzantineCorrupt { .. }
+                | FaultClause::ByzantineReplay { .. }
+                | FaultClause::ByzantineSelectiveSend { .. } => {
+                    let kind = match clause {
+                        FaultClause::ByzantineEquivocate { .. } => "equivocate",
+                        FaultClause::ByzantineCorrupt { .. } => "corrupt",
+                        FaultClause::ByzantineReplay { .. } => "replay",
+                        FaultClause::ByzantineSelectiveSend { .. } => "selective-send",
+                        _ => unreachable!(),
+                    };
+                    let (sources, victims, start, until) =
+                        clause.byzantine_parts().expect("matched");
+                    write!(f, "byz[{kind}] {start}..")?;
+                    if until == Time::MAX {
+                        write!(f, "∞")?;
+                    } else {
+                        write!(f, "{until}")?;
+                    }
+                    write!(f, " {sources:?}=>{victims:?}")?;
+                }
             }
         }
         Ok(())
@@ -823,6 +1102,119 @@ mod tests {
         assert!(text.contains("\"demo\""), "{text}");
         assert!(text.contains("partition[drop] t10..t30"), "{text}");
         assert!(text.contains("gst@t50"), "{text}");
+    }
+
+    #[test]
+    fn byzantine_clauses_validate_and_lower() {
+        let s = Scenario::new("byz", 6)
+            .with_clause(FaultClause::ByzantineEquivocate {
+                sources: vec![2],
+                victims: vec![0, 1],
+                start: t(10),
+                until: Time::MAX,
+            })
+            .with_clause(FaultClause::ByzantineSelectiveSend {
+                sources: vec![3],
+                victims: vec![4],
+                start: t(5),
+                until: t(50),
+            });
+        s.validate().expect("valid");
+        assert!(s.is_byzantine());
+        assert_eq!(s.corrupt_set().into_iter().collect::<Vec<_>>(), [2, 3]);
+        assert_eq!(s.corrupt_count(), 2);
+        assert_eq!(s.first_byzantine_activation(), Some(t(5)));
+        // Byzantine clauses never dirty the *network*, but their onset
+        // anchors GST placement like a crash does.
+        assert_eq!(s.network_clean_after(), Time::ZERO);
+        assert_eq!(s.last_fault_end(), t(11));
+        assert!(s.is_lossy(), "selective sending loses copies");
+        let byz = s.compile_byzantine().expect("valid");
+        assert_eq!(byz.clauses().len(), 2);
+        assert_eq!(byz.salt(), s.salt());
+        assert!(!byz.records_replay(2), "no replay clause installed");
+        assert!(byz.draws_entropy(), "equivocation draws entropy");
+        // Lowered link script ignores the Byzantine clauses entirely.
+        assert!(s.compile().expect("valid").is_empty());
+        let text = s.to_string();
+        assert!(
+            text.contains("byz[equivocate] t10..∞ [2]=>[0, 1]"),
+            "{text}"
+        );
+        assert!(
+            text.contains("byz[selective-send] t5..t50 [3]=>[4]"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn byzantine_clauses_are_validated() {
+        let empty_window = Scenario::new("b", 4).with_clause(FaultClause::ByzantineCorrupt {
+            sources: vec![0],
+            victims: vec![1],
+            start: t(9),
+            until: t(9),
+        });
+        assert_eq!(
+            empty_window.validate(),
+            Err(ScenarioError::WindowEndsBeforeStart {
+                start: t(9),
+                end: t(9)
+            })
+        );
+        let no_victims = Scenario::new("b", 4).with_clause(FaultClause::ByzantineReplay {
+            sources: vec![0],
+            victims: vec![],
+            start: t(0),
+            until: t(9),
+        });
+        assert_eq!(no_victims.validate(), Err(ScenarioError::EmptyEndpointSet));
+        let out_of_range = Scenario::new("b", 4).with_clause(FaultClause::ByzantineEquivocate {
+            sources: vec![4],
+            victims: vec![1],
+            start: t(0),
+            until: t(9),
+        });
+        assert_eq!(
+            out_of_range.validate(),
+            Err(ScenarioError::ProcessOutOfRange { process: 4, n: 4 })
+        );
+    }
+
+    #[test]
+    fn install_wires_byzantine_hook_only_when_attacked() {
+        use homonym_core::identity::IdentityAssignment;
+        let clean = Scenario::new("c", 3).with_clause(FaultClause::Crash {
+            process: 2,
+            at: t(7),
+        });
+        let cfg = SimConfig::new(
+            IdentityAssignment::unique(3),
+            FailureSchedule::none(3),
+            NetworkModel::reliable(Span::TICK),
+        );
+        assert!(clean
+            .install(cfg.clone())
+            .expect("valid")
+            .byzantine
+            .is_none());
+        let attacked = clean.with_clause(FaultClause::ByzantineCorrupt {
+            sources: vec![0],
+            victims: vec![1],
+            start: t(3),
+            until: t(30),
+        });
+        let installed = attacked.install(cfg).expect("valid");
+        assert!(installed
+            .byzantine
+            .as_ref()
+            .is_some_and(|b| !b.is_empty() && b.draws_entropy()));
+        let sync = SyncConfig::new(IdentityAssignment::unique(3), FailureSchedule::none(3));
+        assert!(attacked
+            .install_sync(sync)
+            .expect("valid")
+            .byzantine
+            .is_some());
     }
 
     #[test]

@@ -72,7 +72,8 @@ pub use homonym_sim::sweep::{
 };
 
 use crate::generators::{
-    fault_window_variants, flapping_minority, homonym_group_isolation, split_brain,
+    byzantine_attack_variants, corrupt_minority_homonyms, fault_window_variants, flapping_minority,
+    hidden_equivocator, homonym_group_isolation, split_brain,
 };
 use crate::scenario::{FaultClause, Scenario};
 
@@ -85,12 +86,31 @@ pub enum Family {
     FlappingMinority,
     /// [`homonym_group_isolation`].
     HomonymIsolation,
+    /// [`hidden_equivocator`].
+    HiddenEquivocator,
+    /// [`corrupt_minority_homonyms`].
+    CorruptMinorityHomonyms,
 }
 
 impl Family {
-    /// Every family, in sweep rotation order.
+    /// The crash/partition families, in historical rotation order.
     pub const ALL: [Family; 3] = [
         Family::SplitBrain,
+        Family::FlappingMinority,
+        Family::HomonymIsolation,
+    ];
+
+    /// The Byzantine families.
+    pub const BYZANTINE: [Family; 2] = [Family::HiddenEquivocator, Family::CorruptMinorityHomonyms];
+
+    /// The Byzantine-mode rotation: the Byzantine families interleaved
+    /// with the crash families, so one sweep asserts both halves of the
+    /// contract — demonstrated counterexamples on the corrupt runs,
+    /// untouched safety on the crash-only (clean) subset.
+    pub const WITH_BYZANTINE: [Family; 5] = [
+        Family::HiddenEquivocator,
+        Family::SplitBrain,
+        Family::CorruptMinorityHomonyms,
         Family::FlappingMinority,
         Family::HomonymIsolation,
     ];
@@ -102,7 +122,20 @@ impl Family {
             Family::SplitBrain => "split-brain",
             Family::FlappingMinority => "flapping-minority",
             Family::HomonymIsolation => "homonym-isolation",
+            Family::HiddenEquivocator => "hidden-equivocator",
+            Family::CorruptMinorityHomonyms => "corrupt-minority-homonyms",
         }
+    }
+
+    /// The family with the given report name (the inverse of
+    /// [`Family::name`], for replaying a counterexample from its
+    /// coordinates).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Family> {
+        Family::ALL
+            .into_iter()
+            .chain(Family::BYZANTINE)
+            .find(|f| f.name() == name)
     }
 
     /// Generates this family's scenario for `(topology, seed)`.
@@ -112,6 +145,8 @@ impl Family {
             Family::SplitBrain => split_brain(assign.n(), seed),
             Family::FlappingMinority => flapping_minority(assign.n(), seed),
             Family::HomonymIsolation => homonym_group_isolation(assign, seed),
+            Family::HiddenEquivocator => hidden_equivocator(assign, seed),
+            Family::CorruptMinorityHomonyms => corrupt_minority_homonyms(assign, seed),
         }
     }
 }
@@ -209,6 +244,21 @@ impl SweepConfig {
         self.variants = variants.max(1);
         self
     }
+
+    /// The **Byzantine mode**: the same defaults as [`SweepConfig::new`]
+    /// but rotating through [`Family::WITH_BYZANTINE`], so the sweep
+    /// interleaves equivocation/corruption attacks (whose violations are
+    /// *demanded* as [`SweepReport::byzantine_demonstrated`]
+    /// counterexamples against the crash-only stacks) with the crash
+    /// families (whose safety must stay untouched — the `f < n/3` clean
+    /// subset).
+    #[must_use]
+    pub fn byzantine(stack: StackKind, scenarios: usize) -> Self {
+        SweepConfig {
+            families: Family::WITH_BYZANTINE.to_vec(),
+            ..SweepConfig::new(stack, scenarios)
+        }
+    }
 }
 
 /// A falsifying (or excused) run, replayable from `seed` + the script.
@@ -239,6 +289,16 @@ pub struct SweepReport {
     /// Runs on which a liveness failure was excused (environment never
     /// clean inside the window).
     pub liveness_excused: usize,
+    /// Violations in runs with corrupt processes against a crash-only
+    /// stack — the **demonstrated counterexamples** the Byzantine mode
+    /// requires (each replayable as family + seed + script). These do
+    /// not falsify the implementation; their *absence* falsifies the
+    /// Byzantine sweep's claim that crash-only stacks fall to a hidden
+    /// equivocator.
+    pub byzantine_demonstrated: Vec<Counterexample>,
+    /// Byzantine runs the attack failed to falsify (every property
+    /// held despite the corruption).
+    pub byzantine_survived: usize,
     /// Pre-heal probes executed.
     pub probes: usize,
     /// Probes correctly blocked before the heal **whose full run then
@@ -263,6 +323,14 @@ impl SweepReport {
     #[must_use]
     pub fn falsified(&self) -> bool {
         self.first_counterexample().is_some()
+    }
+
+    /// The first demonstrated Byzantine counterexample, if any — the
+    /// replay seed of the mid-run attack-variation fork
+    /// ([`replay_byzantine_counterexample`]).
+    #[must_use]
+    pub fn first_demonstration(&self) -> Option<&Counterexample> {
+        self.byzantine_demonstrated.first()
     }
 }
 
@@ -314,6 +382,9 @@ struct RunOutcome {
     seed: u64,
     script: String,
     verdict: RunVerdict<()>,
+    /// Number of corrupt processes in the run (splits Byzantine passes
+    /// from crash-only passes in the aggregate).
+    corrupt: usize,
     /// `Some(blocked)` when a pre-heal probe ran: `true` if the probe
     /// failed to terminate before the heal (the expected outcome).
     probe_blocked: Option<bool>,
@@ -371,10 +442,12 @@ fn aggregate(outcomes: Vec<RunOutcome>) -> SweepReport {
             violation: v.clone(),
         };
         match &o.verdict {
+            RunVerdict::Pass(()) if o.corrupt > 0 => report.byzantine_survived += 1,
             RunVerdict::Pass(()) => report.liveness_held += 1,
             RunVerdict::SafetyViolated(v) => report.safety_counterexamples.push(cex(v)),
             RunVerdict::LivenessViolated(v) => report.liveness_counterexamples.push(cex(v)),
             RunVerdict::LivenessExcused(_) => report.liveness_excused += 1,
+            RunVerdict::ByzantineExpected(v) => report.byzantine_demonstrated.push(cex(v)),
         }
         if let Some(blocked) = o.probe_blocked {
             report.probes += 1;
@@ -467,6 +540,7 @@ fn run_flat(
         seed: run.seed,
         script: run.scenario.to_string(),
         verdict,
+        corrupt: run.scenario.corrupt_count(),
         probe_blocked,
     }
 }
@@ -532,7 +606,10 @@ fn run_fig8_family_forked(
             } else {
                 RunCondition::clean_from(cleans[j])
             };
-            classify_run(condition, result)
+            classify_run(
+                condition.with_corrupt(group[j].scenario.corrupt_count()),
+                result,
+            )
         },
     );
     group
@@ -563,6 +640,7 @@ fn run_fig8_family_forked(
                 seed: run.seed,
                 script: run.scenario.to_string(),
                 verdict,
+                corrupt: run.scenario.corrupt_count(),
                 probe_blocked,
             }
         })
@@ -610,7 +688,10 @@ fn run_detector_family_forked(
             let result = check_evt_hp(&evt, &sched, assign)
                 .map(|_| ())
                 .and_then(|()| check_h_omega(&omg, &sched, assign).map(|_| ()));
-            classify_run(RunCondition::clean_from(cleans[j]), result)
+            classify_run(
+                RunCondition::clean_from(cleans[j]).with_corrupt(group[j].scenario.corrupt_count()),
+                result,
+            )
         },
     );
     group
@@ -621,6 +702,7 @@ fn run_detector_family_forked(
             seed: run.seed,
             script: run.scenario.to_string(),
             verdict,
+            corrupt: run.scenario.corrupt_count(),
             probe_blocked: None,
         })
         .collect()
@@ -637,7 +719,14 @@ fn first_heal(scenario: &Scenario) -> Option<Time> {
             FaultClause::Partition { heal_at, .. } => Some(*heal_at),
             FaultClause::LinkOverlay { end, .. } => Some(*end),
             FaultClause::Churn { up, .. } => Some(*up),
-            FaultClause::Crash { .. } => None,
+            // Crashes never heal; a Byzantine window's end is process
+            // redemption, not a network heal, and the demonstration
+            // sweeps have nothing to probe there.
+            FaultClause::Crash { .. }
+            | FaultClause::ByzantineEquivocate { .. }
+            | FaultClause::ByzantineCorrupt { .. }
+            | FaultClause::ByzantineReplay { .. }
+            | FaultClause::ByzantineSelectiveSend { .. } => None,
         })
         .min()
         .filter(|t| t.ticks() > 1)
@@ -718,13 +807,15 @@ fn run_fig8(
     *arena = engine.into_arena();
     // Figure 8 is written for reliable links (`HAS`-style): a scenario
     // that permanently loses copies leaves its model, so termination is
-    // only required of loss-free scenarios.
+    // only required of loss-free scenarios. Corrupt processes void every
+    // obligation of the crash-only stack — violations under them are
+    // demonstrations, not falsifications (`RunVerdict::ByzantineExpected`).
     let condition = if scenario.is_lossy() {
         RunCondition::never_clean()
     } else {
         RunCondition::clean_from(clean)
     };
-    let verdict = classify_run(condition, result);
+    let verdict = classify_run(condition.with_corrupt(scenario.corrupt_count()), result);
 
     let probe_blocked = probe_at.map(|cut| {
         let props = proposals.clone();
@@ -788,7 +879,7 @@ fn run_fig9(
     } else {
         RunCondition::clean_from(clean)
     };
-    let verdict = classify_run(condition, result);
+    let verdict = classify_run(condition.with_corrupt(scenario.corrupt_count()), result);
 
     let probe_blocked = probe_at.map(|cut| {
         let mut probe = build_engine(sim.clone(), std::mem::take(arena));
@@ -828,6 +919,132 @@ fn run_detector(
     *arena = engine.into_arena();
     // `◇HP` lives in `HPS`, which tolerates arbitrary pre-GST behaviour
     // — lossy scenarios included — so liveness is required of every
-    // scenario the generators produce (all faults end before GST).
-    classify_run(RunCondition::clean_from(clean), result)
+    // scenario the generators produce (all network faults end before
+    // GST); corrupt processes again turn violations into demonstrations.
+    classify_run(
+        RunCondition::clean_from(clean).with_corrupt(scenario.corrupt_count()),
+        result,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run counterexample replay
+// ---------------------------------------------------------------------------
+
+/// Result of replaying one Byzantine counterexample across attack
+/// variations (see [`replay_byzantine_counterexample`]): the per-variant
+/// verdicts of the prefix-sharing executor, the flat from-tick-0
+/// re-executions they must equal, and the fork accounting proving the
+/// honest prefix was shared rather than re-executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByzantineReplay {
+    /// Each variation's full scenario script (variant 0 is the original
+    /// counterexample), replayable verbatim.
+    pub scripts: Vec<String>,
+    /// Verdicts from the **forked** execution: the honest prefix runs
+    /// once, is snapshotted just before the earliest attack window, and
+    /// every variation restores from that snapshot.
+    pub forked: Vec<RunVerdict<()>>,
+    /// Verdicts from flat re-execution of every variation.
+    pub flat: Vec<RunVerdict<()>>,
+    /// Fork accounting of the forked execution (a nonzero
+    /// [`ForkStats::forked`] proves the prefix was actually shared on
+    /// sharable stacks).
+    pub stats: ForkStats,
+}
+
+impl ByzantineReplay {
+    /// Whether the forked replay reproduced the flat re-execution
+    /// verdict for verdict — the soundness check of mid-run replay.
+    #[must_use]
+    pub fn verdicts_match(&self) -> bool {
+        self.forked == self.flat
+    }
+
+    /// How many variations the original attack's damage survived into
+    /// (non-passing forked verdicts).
+    #[must_use]
+    pub fn still_falsified(&self) -> usize {
+        self.forked
+            .iter()
+            .filter(|v| v.violation().is_some())
+            .count()
+    }
+}
+
+/// Replays a demonstrated Byzantine counterexample **from mid-run**: the
+/// counterexample's `(family, seed)` coordinates rebuild the base
+/// scenario, [`byzantine_attack_variants`] expands it into `variants`
+/// attack variations (redrawn victim sets and timings, same corrupt
+/// sources, same honest prefix), and the prefix-sharing executor runs
+/// the family — the run is snapshotted just before the earliest
+/// equivocation window and re-forked per variation via the same
+/// [`PrefixSweeper`]/divergence machinery the falsification sweep uses,
+/// never re-executing the honest prefix. The same variations are also
+/// re-executed flat from tick 0; [`ByzantineReplay::verdicts_match`]
+/// must hold (asserted by `exp_chaos` and the chaos integration tests).
+///
+/// The oracle-backed Figure 9 stack takes its documented flat fallback
+/// inside the forked executor (per-variant oracle worlds are not
+/// prefix-invariant), so its [`ForkStats`] report no sharing.
+///
+/// # Panics
+///
+/// Panics if the counterexample's family name is unknown, or the rebuilt
+/// scenario mounts no Byzantine attack (the counterexample did not come
+/// from a Byzantine run).
+#[must_use]
+pub fn replay_byzantine_counterexample(
+    cfg: &SweepConfig,
+    cex: &Counterexample,
+    variants: usize,
+) -> ByzantineReplay {
+    let family = Family::by_name(cex.family)
+        .unwrap_or_else(|| panic!("unknown scenario family {:?}", cex.family));
+    let assign = IdentityAssignment::round_robin(cfg.n, cfg.l);
+    // A sweep with variant expansion (`cfg.variants > 1`) may have found
+    // the counterexample in a fault-window variant of the base, not the
+    // base itself; re-locate the exact falsified scenario by its printed
+    // script before expanding the attack variations.
+    let base = fault_window_variants(
+        &family.generate(&assign, cex.seed),
+        cex.seed,
+        cfg.variants.max(1),
+    )
+    .into_iter()
+    .find(|s| s.to_string() == cex.script)
+    .unwrap_or_else(|| {
+        panic!(
+            "counterexample script matches no variant of family={} seed={}: {}",
+            cex.family, cex.seed, cex.script
+        )
+    });
+    let group: Vec<PlannedRun> = byzantine_attack_variants(&base, cex.seed, variants.max(1))
+        .into_iter()
+        .map(|scenario| PlannedRun {
+            family: cex.family,
+            seed: cex.seed,
+            scenario,
+            probe: false,
+        })
+        .collect();
+    let mut workers = ForkedWorkers::new();
+    let forked = run_family_forked(cfg, &assign, &mut workers, &group);
+    let mut flat_arenas = WorkerArenas::new();
+    let flat: Vec<RunOutcome> = group
+        .iter()
+        .map(|run| run_flat(cfg, &assign, &mut flat_arenas, run))
+        .collect();
+    let stats = ForkStats {
+        runs: workers.fig8.stats.runs + workers.detector.stats.runs,
+        forked: workers.fig8.stats.forked + workers.detector.stats.forked,
+        snapshots: workers.fig8.stats.snapshots + workers.detector.stats.snapshots,
+        shared_ticks: workers.fig8.stats.shared_ticks + workers.detector.stats.shared_ticks,
+    };
+    ByzantineReplay {
+        scripts: group.iter().map(|r| r.scenario.to_string()).collect(),
+        forked: forked.into_iter().map(|o| o.verdict).collect(),
+        flat: flat.into_iter().map(|o| o.verdict).collect(),
+        stats,
+    }
 }

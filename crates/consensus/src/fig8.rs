@@ -89,6 +89,43 @@ pub fn classify_fig8(msg: &Fig8Msg) -> &'static str {
     }
 }
 
+/// The Byzantine payload mutation of a Figure 8 message (the
+/// `Process::mutate_payload` hook of every Figure 8 process): the
+/// carried **estimate / decision value** is shifted by a small
+/// entropy-derived delta while identifiers and round numbers stay
+/// intact — receivers accept the copy as in-protocol, then act on a
+/// value nobody proposed. A forged `DECIDE` is decided verbatim by its
+/// victim (Task T2 trusts it), which is exactly how an equivocator
+/// breaks agreement and validity of the crash-only algorithm.
+#[must_use]
+pub fn mutate_fig8_msg(msg: &Fig8Msg, entropy: u64) -> Fig8Msg {
+    let delta = 1 + entropy % 7;
+    match *msg {
+        Fig8Msg::Coord { id, round, est } => Fig8Msg::Coord {
+            id,
+            round,
+            est: est.wrapping_add(delta),
+        },
+        Fig8Msg::Ph0 { round, est } => Fig8Msg::Ph0 {
+            round,
+            est: est.wrapping_add(delta),
+        },
+        Fig8Msg::Ph1 { round, est } => Fig8Msg::Ph1 {
+            round,
+            est: est.wrapping_add(delta),
+        },
+        Fig8Msg::Ph2 { round, est2 } => Fig8Msg::Ph2 {
+            round,
+            // `⊥` is forged into a phantom majority value; a real value
+            // is shifted.
+            est2: Some(est2.map_or(delta, |v| v.wrapping_add(delta))),
+        },
+        Fig8Msg::Decide { value } => Fig8Msg::Decide {
+            value: value.wrapping_add(delta),
+        },
+    }
+}
+
 /// How the consensus skeleton consults its leader detector.
 ///
 /// * Figure 8 proper uses [`HOmegaPolicy`]: possibly many homonymous
@@ -432,12 +469,16 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
                     return false;
                 }
                 // Lines 30-34: the per-value counts aggregated at arrival
-                // are already the distinct non-⊥ values in order.
+                // are already the distinct non-⊥ values in order. Under
+                // the paper's crash-stop model at most one distinct non-⊥
+                // estimate can appear here (majority quorums intersect);
+                // a Byzantine equivocator can forge a second one, which
+                // crash-only code has no machinery to detect — it takes
+                // the first value in aggregation order, deterministically,
+                // and the property layer observes the resulting agreement
+                // or validity violation post-hoc (the demonstrated
+                // counterexample of the Byzantine sweep).
                 let saw_bottom = w.ph2_bottoms > 0;
-                debug_assert!(
-                    w.ph2.counted().len() <= 1,
-                    "two distinct non-⊥ estimates in PH2 — impossible under majority quorums"
-                );
                 match (w.ph2.counted().first().map(|&(v, _)| v), saw_bottom) {
                     (Some(v), false) => {
                         self.decide(v, ctx);
@@ -484,6 +525,10 @@ impl<L: LeaderPolicy + ForkState> ForkProcess for MajorityConsensus<L> {
 impl<L: LeaderPolicy> Process for MajorityConsensus<L> {
     type Msg = Fig8Msg;
     type Output = u64;
+
+    fn mutate_payload(msg: &Fig8Msg, entropy: u64) -> Option<Fig8Msg> {
+        Some(mutate_fig8_msg(msg, entropy))
+    }
 
     fn on_start(&mut self, ctx: &mut ActionSink<'_, Fig8Msg, u64>) {
         self.next_round(ctx);

@@ -95,6 +95,37 @@ pub fn classify_fig9(msg: &Fig9Msg) -> &'static str {
     }
 }
 
+/// The Byzantine payload mutation of a Figure 9 message (the
+/// `Process::mutate_payload` hook of every Figure 9 process): estimates
+/// and decision values are shifted by a small entropy-derived delta;
+/// identifiers, rounds, sub-rounds and label sets stay intact so quorum
+/// gathering accepts the forged copy and feeds the phantom value into
+/// `find_quorum`.
+#[must_use]
+pub fn mutate_fig9_msg(msg: &Fig9Msg, entropy: u64) -> Fig9Msg {
+    let delta = 1 + entropy % 7;
+    let forge_quorum = |q: &QuorumMsg| QuorumMsg {
+        est: Some(q.est.map_or(delta, |v| v.wrapping_add(delta))),
+        ..q.clone()
+    };
+    match msg {
+        Fig9Msg::Coord { id, round, est } => Fig9Msg::Coord {
+            id: *id,
+            round: *round,
+            est: est.wrapping_add(delta),
+        },
+        Fig9Msg::Ph0 { round, est } => Fig9Msg::Ph0 {
+            round: *round,
+            est: est.wrapping_add(delta),
+        },
+        Fig9Msg::Ph1(q) => Fig9Msg::Ph1(forge_quorum(q)),
+        Fig9Msg::Ph2(q) => Fig9Msg::Ph2(forge_quorum(q)),
+        Fig9Msg::Decide { value } => Fig9Msg::Decide {
+            value: value.wrapping_add(delta),
+        },
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     LeadersCoordination,
@@ -412,10 +443,12 @@ impl<D1: HOmegaSource, D2: HSigmaSource> QuorumConsensus<D1, D2> {
                     non_bottom.sort_unstable();
                     non_bottom.dedup();
                     let saw_bottom = m_set.iter().any(|m| m.est.is_none());
-                    debug_assert!(
-                        non_bottom.len() <= 1,
-                        "two distinct non-⊥ estimates inside one HΣ quorum"
-                    );
+                    // Under crash-stop faults one HΣ quorum can carry at
+                    // most one distinct non-⊥ estimate; a Byzantine
+                    // sender forging quorum messages can smuggle in a
+                    // second. Crash-only code cannot detect it — the
+                    // smallest value wins deterministically and the
+                    // property layer observes the damage post-hoc.
                     match (non_bottom.first().copied(), saw_bottom) {
                         (Some(v), false) => self.decide(v, ctx),
                         (Some(v), true) => {
@@ -471,6 +504,10 @@ where
 {
     type Msg = Fig9Msg;
     type Output = u64;
+
+    fn mutate_payload(msg: &Fig9Msg, entropy: u64) -> Option<Fig9Msg> {
+        Some(mutate_fig9_msg(msg, entropy))
+    }
 
     fn on_start(&mut self, ctx: &mut ActionSink<'_, Fig9Msg, u64>) {
         self.next_round(ctx);

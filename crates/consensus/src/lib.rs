@@ -51,8 +51,8 @@ pub mod flooding;
 mod round_window;
 
 pub use fig8::{
-    classify_fig8, AOmegaPolicy, Fig8Msg, HOmegaPolicy, LeaderPolicy, MajorityConsensus,
-    OmegaPolicy, UncoordinatedHOmegaPolicy,
+    classify_fig8, mutate_fig8_msg, AOmegaPolicy, Fig8Msg, HOmegaPolicy, LeaderPolicy,
+    MajorityConsensus, OmegaPolicy, UncoordinatedHOmegaPolicy,
 };
-pub use fig9::{classify_fig9, Fig9Msg, QuorumConsensus, QuorumMsg};
+pub use fig9::{classify_fig9, mutate_fig9_msg, Fig9Msg, QuorumConsensus, QuorumMsg};
 pub use flooding::{classify_flood, AnonFloodingConsensus, FloodMsg, PFloodingConsensus};

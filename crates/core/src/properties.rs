@@ -101,6 +101,16 @@ pub struct RunCondition {
     /// The instant from which the environment was clean, when known
     /// (`None` for runs that never stabilized inside the window).
     pub clean_from: Option<Time>,
+    /// Number of **Byzantine** (corrupt) processes in the run — processes
+    /// whose broadcasts a payload-mutation adversary may equivocate,
+    /// corrupt, replay or selectively suppress. `0` is the paper's
+    /// crash-stop model.
+    pub corrupt: usize,
+    /// Whether the algorithm under test **claims to tolerate** the run's
+    /// corrupt processes (a BFT algorithm within its `n > 3f` envelope —
+    /// the caller asserts `corrupt` satisfies `3 * corrupt < n`). The
+    /// crash-stop algorithms of the paper never claim this.
+    pub byzantine_tolerated: bool,
 }
 
 impl RunCondition {
@@ -110,6 +120,8 @@ impl RunCondition {
         RunCondition {
             eventually_clean: true,
             clean_from: Some(t),
+            corrupt: 0,
+            byzantine_tolerated: false,
         }
     }
 
@@ -119,13 +131,47 @@ impl RunCondition {
         RunCondition {
             eventually_clean: false,
             clean_from: None,
+            corrupt: 0,
+            byzantine_tolerated: false,
+        }
+    }
+
+    /// Marks `corrupt` processes of the run as Byzantine (builder style).
+    #[must_use]
+    pub fn with_corrupt(mut self, corrupt: usize) -> Self {
+        self.corrupt = corrupt;
+        self
+    }
+
+    /// Declares that the algorithm under test claims Byzantine tolerance
+    /// for this run's `corrupt` count (builder style): violations then
+    /// falsify exactly as in crash-only runs, instead of being recorded
+    /// as expected demonstrations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3 * corrupt < n` — tolerance claims outside the
+    /// standard `f < n/3` BFT envelope are vacuous and almost certainly
+    /// a harness bug.
+    #[must_use]
+    pub fn claiming_byzantine_tolerance(self, n: usize) -> Self {
+        assert!(
+            3 * self.corrupt < n,
+            "a Byzantine-tolerance claim needs f < n/3 (got f={}, n={n})",
+            self.corrupt
+        );
+        RunCondition {
+            byzantine_tolerated: true,
+            ..self
         }
     }
 }
 
 /// The scenario-conditional verdict on one run: safety violations
 /// falsify unconditionally, liveness violations only on eventually-clean
-/// runs.
+/// runs — and in Byzantine runs of an algorithm that never claimed
+/// Byzantine tolerance, any violation is an **expected demonstration**
+/// rather than a falsification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunVerdict<R> {
     /// Every checked property held (carries the checker's report).
@@ -139,11 +185,23 @@ pub enum RunVerdict<R> {
     /// became clean — correctly excused, exactly as the definitions
     /// permit.
     LivenessExcused(PropertyViolation),
+    /// A property failed in a run with corrupt processes, against an
+    /// algorithm that only claims crash tolerance — **not** a bug in the
+    /// implementation but a *demonstrated counterexample* to running the
+    /// crash-stop algorithm under Byzantine faults (the equivocator hid
+    /// among its honest homonyms and broke the stack, exactly as the
+    /// BFT literature predicts for algorithms without `n > 3f` quorum
+    /// machinery). A Byzantine-**tolerant** algorithm within `f < n/3`
+    /// never receives this verdict: its violations classify as
+    /// [`RunVerdict::SafetyViolated`] / [`RunVerdict::LivenessViolated`]
+    /// via [`RunCondition::claiming_byzantine_tolerance`].
+    ByzantineExpected(PropertyViolation),
 }
 
 impl<R> RunVerdict<R> {
     /// Whether this verdict falsifies the implementation (safety broken
-    /// anywhere, or liveness broken on a clean run).
+    /// anywhere, or liveness broken on a clean run; expected Byzantine
+    /// demonstrations do not falsify).
     #[must_use]
     pub fn is_falsifying(&self) -> bool {
         matches!(
@@ -159,7 +217,8 @@ impl<R> RunVerdict<R> {
             RunVerdict::Pass(_) => None,
             RunVerdict::SafetyViolated(v)
             | RunVerdict::LivenessViolated(v)
-            | RunVerdict::LivenessExcused(v) => Some(v),
+            | RunVerdict::LivenessExcused(v)
+            | RunVerdict::ByzantineExpected(v) => Some(v),
         }
     }
 }
@@ -167,13 +226,20 @@ impl<R> RunVerdict<R> {
 /// Turns a property checker's result into a scenario-conditional
 /// [`RunVerdict`]: safety failures are counterexamples regardless of the
 /// run's condition, liveness failures only when the environment was
-/// [`RunCondition::eventually_clean`].
+/// [`RunCondition::eventually_clean`] — except in runs with corrupt
+/// processes against a crash-only algorithm, where every violation is a
+/// [`RunVerdict::ByzantineExpected`] demonstration (the paper's
+/// algorithms assume crash-stop failures; a falsification sweep asserts
+/// these demonstrations *exist* rather than that they don't).
 pub fn classify_run<R>(
     condition: RunCondition,
     result: Result<R, PropertyViolation>,
 ) -> RunVerdict<R> {
     match result {
         Ok(report) => RunVerdict::Pass(report),
+        Err(v) if condition.corrupt > 0 && !condition.byzantine_tolerated => {
+            RunVerdict::ByzantineExpected(v)
+        }
         Err(v) if !v.is_liveness() => RunVerdict::SafetyViolated(v),
         Err(v) if condition.eventually_clean => RunVerdict::LivenessViolated(v),
         Err(v) => RunVerdict::LivenessExcused(v),
@@ -1083,6 +1149,55 @@ mod tests {
         let pass = classify_run(dirty, Ok(7u64));
         assert_eq!(pass, RunVerdict::Pass(7));
         assert!(!pass.is_falsifying() && pass.violation().is_none());
+    }
+
+    #[test]
+    fn byzantine_runs_demonstrate_rather_than_falsify_crash_only_stacks() {
+        let live = PropertyViolation::new("◇HP", "liveness", "never converged".into());
+        let safe = PropertyViolation::new("consensus", "agreement", "two values".into());
+        let cond = RunCondition::clean_from(Time::from_ticks(10)).with_corrupt(1);
+        // Any violation — safety or liveness — in a corrupt run of a
+        // crash-only algorithm is an expected demonstration.
+        for v in [&live, &safe] {
+            let verdict = classify_run::<()>(cond, Err(v.clone()));
+            assert_eq!(verdict, RunVerdict::ByzantineExpected(v.clone()));
+            assert!(!verdict.is_falsifying());
+            assert_eq!(verdict.violation(), Some(v));
+        }
+        // A clean Byzantine run that still satisfies everything passes.
+        assert_eq!(classify_run(cond, Ok(3u64)), RunVerdict::Pass(3));
+    }
+
+    #[test]
+    fn byzantine_tolerance_claims_restore_falsification() {
+        let safe = PropertyViolation::new("consensus", "agreement", "two values".into());
+        let live = PropertyViolation::new("consensus", "termination", "stuck".into());
+        let cond = RunCondition::clean_from(Time::ZERO)
+            .with_corrupt(2)
+            .claiming_byzantine_tolerance(7); // 3·2 < 7
+        assert_eq!(
+            classify_run::<()>(cond, Err(safe.clone())),
+            RunVerdict::SafetyViolated(safe)
+        );
+        assert_eq!(
+            classify_run::<()>(cond, Err(live.clone())),
+            RunVerdict::LivenessViolated(live.clone())
+        );
+        let dirty = RunCondition::never_clean()
+            .with_corrupt(1)
+            .claiming_byzantine_tolerance(4);
+        assert_eq!(
+            classify_run::<()>(dirty, Err(live.clone())),
+            RunVerdict::LivenessExcused(live)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "f < n/3")]
+    fn tolerance_claims_outside_the_bft_envelope_are_rejected() {
+        let _ = RunCondition::clean_from(Time::ZERO)
+            .with_corrupt(2)
+            .claiming_byzantine_tolerance(6); // 3·2 = 6, not < 6
     }
 
     #[test]

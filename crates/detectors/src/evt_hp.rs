@@ -69,6 +69,37 @@ pub fn classify_evt_hp(msg: &EvtHpMsg) -> &'static str {
     }
 }
 
+/// The Byzantine payload mutation of a Figure 6 message (the
+/// `Process::mutate_payload` hook of every `◇HP`-speaking process): the
+/// carried **identifier** is forged by a small deterministic
+/// perturbation — a corrupt homonym claiming a namesake's (or a
+/// phantom's) identity. Forged `P_REPLY` senders pollute the victims'
+/// `h_trusted` bags — under homonymy the forgery is indistinguishable
+/// from an honest namesake's reply — and forged `POLLING` identifiers
+/// make victims track (and answer) phantom pollers. Rounds and reply
+/// windows stay intact so receivers accept the copy as in-protocol.
+#[must_use]
+pub fn mutate_evt_hp_msg(msg: &EvtHpMsg, entropy: u64) -> EvtHpMsg {
+    let forge = |id: Identity| Identity::new(id.raw().wrapping_add(1 + entropy % 3));
+    match *msg {
+        EvtHpMsg::Polling { round, id } => EvtHpMsg::Polling {
+            round,
+            id: forge(id),
+        },
+        EvtHpMsg::PReply {
+            from,
+            to,
+            target,
+            sender,
+        } => EvtHpMsg::PReply {
+            from,
+            to,
+            target,
+            sender: forge(sender),
+        },
+    }
+}
+
 /// Snapshot published at the end of every round: the `◇HP` output together
 /// with the `HΩ` view extracted from it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -319,6 +350,10 @@ impl ForkProcess for EvtHpProcess {
 impl Process for EvtHpProcess {
     type Msg = EvtHpMsg;
     type Output = EvtHpSnapshot;
+
+    fn mutate_payload(msg: &EvtHpMsg, entropy: u64) -> Option<EvtHpMsg> {
+        Some(mutate_evt_hp_msg(msg, entropy))
+    }
 
     fn on_start(&mut self, ctx: &mut ActionSink<'_, EvtHpMsg, EvtHpSnapshot>) {
         self.started = true;

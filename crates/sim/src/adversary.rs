@@ -1,39 +1,49 @@
-//! Link-level adversary consulted by both engines at copy-routing time.
+//! Link-level and Byzantine adversaries consulted by both engines at
+//! copy-routing time.
 //!
 //! A [`LinkFaultScript`] is the **lowered, engine-facing** form of an
 //! adversarial scenario: a list of [`LinkClause`]s, each active during a
 //! half-open time window and matching a set of (source, destination)
 //! process pairs, that decide the fate of individual message copies
 //! *after* the [`NetworkModel`](crate::network::NetworkModel) has routed
-//! them. The declarative layer that composes partitions, overlays and
-//! churn into these clauses lives in the `homonym-chaos` crate; keeping
-//! only the lowered form here leaves `homonym-sim` dependency-free and
-//! the hot path branch-predictable.
+//! them. A [`ByzantineScript`] is its **payload-mutation** sibling: a
+//! list of [`ByzClause`]s turning selected *senders* corrupt during a
+//! window — equivocating to chosen victims, corrupting payloads,
+//! replaying stale broadcasts, or selectively suppressing copies. The
+//! declarative layer that composes partitions, overlays, churn and
+//! Byzantine attacks into these clauses lives in the `homonym-chaos`
+//! crate; keeping only the lowered forms here leaves `homonym-sim`
+//! dependency-free and the hot path branch-predictable.
 //!
 //! # Determinism contract
 //!
-//! The adversary preserves the engine's two standing guarantees:
+//! Both adversaries preserve the engine's two standing guarantees:
 //!
 //! * **`(time, seq)` dispatch order** — clauses never reorder copies;
-//!   they only drop a copy or move its delivery time forward, and the
-//!   rewritten copy re-enters the queue with its original insertion
-//!   sequence, so ties still break by send order.
-//! * **Legacy hot-path trace equality** — the script is evaluated in
+//!   they only drop a copy, move its delivery time forward, or rewrite
+//!   its payload in place, and the rewritten copy re-enters the queue
+//!   with its original insertion sequence, so ties still break by send
+//!   order.
+//! * **Legacy hot-path trace equality** — the scripts are evaluated in
 //!   [`Engine::do_broadcast`](crate::engine::Engine) code shared by the
-//!   calendar-queue and `legacy_hot_path` configurations, and it draws
+//!   calendar-queue and `legacy_hot_path` configurations, and each draws
 //!   from a dedicated RNG stream (seeded from the run seed and the
 //!   script's [`salt`](LinkFaultScript::salt)), so installing a script
 //!   perturbs neither the network nor the per-process streams. A run
-//!   with no script is byte-identical to a run of an engine that never
-//!   had the hook.
+//!   with no script — or an empty / never-activating one — is
+//!   byte-identical to a run of an engine that never had the hook.
 //!
-//! Clauses are evaluated **in order** and compose: deferrals and delays
-//! accumulate, and a drop is terminal. Whether a clause applies is judged
-//! at **send time** (the model routes each copy when it is broadcast), so
-//! a window `[from, until)` affects copies *sent* inside it.
+//! [`LinkClause`]s are evaluated **in order** and compose: deferrals and
+//! delays accumulate, and a drop is terminal. [`ByzClause`]s do not
+//! compose — the **first** active clause matching a broadcast's sender
+//! decides the whole broadcast's attack (one corrupt process runs one
+//! attack at a time). Whether a clause applies is judged at **send
+//! time** (the model routes each copy when it is broadcast), so a window
+//! `[from, until)` affects copies *sent* inside it.
 
 use homonym_core::time::{Span, Time};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::network::percent_roll;
 
@@ -246,6 +256,297 @@ impl LinkFaultScript {
     }
 }
 
+/// SplitMix64-style finalizer used to derive per-copy corruption entropy
+/// from a per-broadcast draw — one RNG draw per attacked broadcast, not
+/// one per copy, keeps the Byzantine stream's draw count independent of
+/// the victim set (and therefore shareable by the divergence planner).
+#[must_use]
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The attack a corrupt sender mounts while a [`ByzClause`] is active.
+///
+/// Every variant names a **victim set**: destinations whose copies are
+/// perturbed. Destinations outside it receive the sender's honest copy —
+/// which is exactly what makes equivocation nasty under homonymy: the
+/// corrupt process stays indistinguishable from its honest homonyms to
+/// everyone outside the victim set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByzEffect {
+    /// Victims receive one consistent *alternative* payload per broadcast
+    /// (a fresh deterministic variant drawn from the Byzantine stream),
+    /// everyone else the original — the classic equivocation attack.
+    Equivocate {
+        /// Destinations receiving the alternative payload.
+        victims: ProcSet,
+    },
+    /// Each victim copy is independently corrupted (per-copy entropy
+    /// derived from the broadcast's draw via [`mix64`]).
+    CorruptPayload {
+        /// Destinations receiving corrupted copies.
+        victims: ProcSet,
+    },
+    /// Victim copies are replaced by the sender's **previous** broadcast
+    /// payload (the engine keeps a one-deep replay cache per corrupt
+    /// sender). Before the sender has broadcast anything, the replayed
+    /// copy degenerates to the original.
+    Replay {
+        /// Destinations receiving stale payloads.
+        victims: ProcSet,
+    },
+    /// Victim copies are silently suppressed — the corrupt sender
+    /// "forgets" part of its broadcast.
+    SelectiveSend {
+        /// Destinations whose copies are suppressed.
+        victims: ProcSet,
+    },
+}
+
+impl ByzEffect {
+    /// The effect's victim set.
+    #[must_use]
+    pub fn victims(&self) -> &ProcSet {
+        match self {
+            ByzEffect::Equivocate { victims }
+            | ByzEffect::CorruptPayload { victims }
+            | ByzEffect::Replay { victims }
+            | ByzEffect::SelectiveSend { victims } => victims,
+        }
+    }
+
+    /// Whether planning a broadcast under this effect consumes one draw
+    /// from the Byzantine RNG stream (payload-mutating effects do; replay
+    /// and suppression are draw-free).
+    #[must_use]
+    fn draws_entropy(&self) -> bool {
+        matches!(
+            self,
+            ByzEffect::Equivocate { .. } | ByzEffect::CorruptPayload { .. }
+        )
+    }
+}
+
+/// One Byzantine clause: processes in `src` run `effect` on every
+/// broadcast they perform during `[from, until)` (use [`Time::MAX`] for a
+/// permanently corrupt process, the BFT-model faulty process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByzClause {
+    /// First instant (inclusive) at which the clause is active.
+    pub from: Time,
+    /// First instant at which the clause is no longer active.
+    pub until: Time,
+    /// The corrupt senders.
+    pub src: ProcSet,
+    /// The attack they mount.
+    pub effect: ByzEffect,
+}
+
+impl ByzClause {
+    fn matches(&self, sent_at: Time, src: usize) -> bool {
+        self.from <= sent_at && sent_at < self.until && self.src.contains(src)
+    }
+}
+
+/// The resolved attack plan for one broadcast: which clause fired and the
+/// broadcast's entropy draw (zero for draw-free effects). Obtain one from
+/// [`ByzantineScript::plan`] and query per-copy directives through
+/// [`ByzantineScript::directive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByzPlan {
+    clause: usize,
+    tweak: u64,
+}
+
+/// What happens to one routed copy under an active [`ByzPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzDirective {
+    /// The copy passes through untouched (destination outside the victim
+    /// set, or no plan at all).
+    Original,
+    /// Deliver the broadcast's consistent alternative payload, derived
+    /// from the carried entropy (same value for every victim of one
+    /// broadcast).
+    Equivocate(u64),
+    /// Deliver an independently corrupted payload derived from the
+    /// carried per-copy entropy.
+    Corrupt(u64),
+    /// Deliver the sender's previously cached broadcast payload.
+    Replay,
+    /// Suppress the copy.
+    Suppress,
+}
+
+/// An ordered list of [`ByzClause`]s plus the salt decorrelating the
+/// Byzantine RNG stream from every other engine stream.
+///
+/// The script is consulted **once per broadcast** ([`ByzantineScript::plan`],
+/// which draws at most one `u64` from the dedicated stream) and then
+/// **per routed copy** ([`ByzantineScript::directive`], draw-free), right
+/// next to the [`LinkFaultScript`] routing-fate consultation. An empty
+/// script — or one whose clauses never match — performs no draws and no
+/// payload work, which is what keeps `(time, seq)` dispatch order and
+/// `legacy_hot_path` trace equality byte-identical to an engine without
+/// the hook.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ByzantineScript {
+    clauses: Vec<ByzClause>,
+    salt: u64,
+}
+
+impl ByzantineScript {
+    /// An empty script with the given RNG salt (mixed into the run seed
+    /// for the Byzantine stream's dedicated seed).
+    #[must_use]
+    pub fn new(salt: u64) -> Self {
+        ByzantineScript {
+            clauses: Vec::new(),
+            salt,
+        }
+    }
+
+    /// Appends a clause (builder style). Clause order is evaluation
+    /// order; the first active match wins.
+    #[must_use]
+    pub fn with_clause(mut self, clause: ByzClause) -> Self {
+        self.clauses.push(clause);
+        self
+    }
+
+    /// Appends a clause.
+    pub fn push_clause(&mut self, clause: ByzClause) {
+        self.clauses.push(clause);
+    }
+
+    /// The clauses, in evaluation order.
+    #[must_use]
+    pub fn clauses(&self) -> &[ByzClause] {
+        &self.clauses
+    }
+
+    /// The RNG salt.
+    #[must_use]
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// Whether the script has no clauses at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The first instant from which no clause is active anymore, or
+    /// `None` when some clause never deactivates (a permanently corrupt
+    /// process). An empty script is quiescent from [`Time::ZERO`].
+    #[must_use]
+    pub fn quiescent_after(&self) -> Option<Time> {
+        let mut end = Time::ZERO;
+        for c in &self.clauses {
+            if c.until == Time::MAX {
+                return None;
+            }
+            end = end.max(c.until);
+        }
+        Some(end)
+    }
+
+    /// Whether any clause can draw from the Byzantine RNG stream.
+    #[must_use]
+    pub fn draws_entropy(&self) -> bool {
+        self.clauses.iter().any(|c| c.effect.draws_entropy())
+    }
+
+    /// Whether some [`ByzEffect::Replay`] clause names `src` as corrupt
+    /// (time-independent — the basis of [`ByzantineScript::replay_source_mask`]).
+    #[must_use]
+    pub fn records_replay(&self, src: usize) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| matches!(c.effect, ByzEffect::Replay { .. }) && c.src.contains(src))
+    }
+
+    /// Whether a broadcast by `src` at `sent_at` must be recorded in the
+    /// engine's replay cache: some replay clause names `src` and has not
+    /// yet permanently deactivated. Recording starts at tick 0 (so the
+    /// first in-window broadcast can replay the last pre-window one) and
+    /// continues between windows, but stops after the last window closes
+    /// — the cache can never be read again, and cloning every further
+    /// payload would be pure hot-path waste.
+    #[must_use]
+    pub fn records_replay_at(&self, sent_at: Time, src: usize) -> bool {
+        self.clauses.iter().any(|c| {
+            matches!(c.effect, ByzEffect::Replay { .. }) && c.src.contains(src) && sent_at < c.until
+        })
+    }
+
+    /// The union bitmap of every replay clause's corrupt-sender set —
+    /// exactly the senders [`ByzantineScript::records_replay`] answers
+    /// `true` for, with trailing zero words trimmed so masks built over
+    /// different universe sizes compare structurally. The divergence
+    /// planner forfeits sharing between scripts whose masks differ:
+    /// their engines fill the replay cache differently *from tick 0*,
+    /// so their prefixes are not interchangeable.
+    #[must_use]
+    pub fn replay_source_mask(&self) -> Vec<u64> {
+        let mut mask: Vec<u64> = Vec::new();
+        for c in &self.clauses {
+            if matches!(c.effect, ByzEffect::Replay { .. }) {
+                if mask.len() < c.src.words.len() {
+                    mask.resize(c.src.words.len(), 0);
+                }
+                for (m, w) in mask.iter_mut().zip(&c.src.words) {
+                    *m |= w;
+                }
+            }
+        }
+        while mask.last() == Some(&0) {
+            mask.pop();
+        }
+        mask
+    }
+
+    /// Plans one broadcast performed by `src` at `sent_at`: the first
+    /// active clause naming `src` as corrupt, with one entropy draw from
+    /// `rng` iff the effect mutates payloads. `None` (the common case)
+    /// means the broadcast is honest and costs nothing.
+    pub fn plan(&self, sent_at: Time, src: usize, rng: &mut StdRng) -> Option<ByzPlan> {
+        let (i, clause) = self
+            .clauses
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.matches(sent_at, src))?;
+        let tweak = if clause.effect.draws_entropy() {
+            rng.gen::<u64>()
+        } else {
+            0
+        };
+        Some(ByzPlan { clause: i, tweak })
+    }
+
+    /// The directive for the copy routed to `dst` under `plan`
+    /// (draw-free; per-copy corruption entropy is derived from the plan's
+    /// broadcast draw via [`mix64`]).
+    #[must_use]
+    pub fn directive(&self, plan: &ByzPlan, dst: usize) -> ByzDirective {
+        let clause = &self.clauses[plan.clause];
+        if !clause.effect.victims().contains(dst) {
+            return ByzDirective::Original;
+        }
+        match clause.effect {
+            ByzEffect::Equivocate { .. } => ByzDirective::Equivocate(plan.tweak),
+            ByzEffect::CorruptPayload { .. } => {
+                ByzDirective::Corrupt(mix64(plan.tweak, dst as u64))
+            }
+            ByzEffect::Replay { .. } => ByzDirective::Replay,
+            ByzEffect::SelectiveSend { .. } => ByzDirective::Suppress,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +675,110 @@ mod tests {
                 .fate(Time::ZERO, 0, 1, Time::from_ticks(1), &mut r)
                 .is_none());
         }
+    }
+
+    fn byz_clause(from: u64, until: u64, src: &[usize], effect: ByzEffect) -> ByzClause {
+        ByzClause {
+            from: Time::from_ticks(from),
+            until: Time::from_ticks(until),
+            src: ProcSet::from_indices(8, src.iter().copied()),
+            effect,
+        }
+    }
+
+    #[test]
+    fn byzantine_plan_matches_first_active_clause_only() {
+        let victims = |p: &[usize]| ProcSet::from_indices(8, p.iter().copied());
+        let s = ByzantineScript::new(1)
+            .with_clause(byz_clause(
+                10,
+                20,
+                &[0],
+                ByzEffect::SelectiveSend {
+                    victims: victims(&[1, 2]),
+                },
+            ))
+            .with_clause(byz_clause(
+                0,
+                100,
+                &[0],
+                ByzEffect::Equivocate {
+                    victims: victims(&[3]),
+                },
+            ));
+        let mut r = rng();
+        // Outside every window / wrong sender: no plan, no draw.
+        assert!(s.plan(Time::from_ticks(200), 0, &mut r).is_none());
+        assert!(s.plan(Time::from_ticks(15), 1, &mut r).is_none());
+        // In both windows: the first clause wins (draw-free suppression).
+        let p = s.plan(Time::from_ticks(15), 0, &mut r).expect("active");
+        assert_eq!(s.directive(&p, 1), ByzDirective::Suppress);
+        assert_eq!(s.directive(&p, 3), ByzDirective::Original);
+        // After the first window: the equivocation clause (one draw).
+        let p = s.plan(Time::from_ticks(50), 0, &mut r).expect("active");
+        assert!(matches!(s.directive(&p, 3), ByzDirective::Equivocate(_)));
+        assert_eq!(s.directive(&p, 1), ByzDirective::Original);
+    }
+
+    #[test]
+    fn byzantine_corruption_entropy_is_per_copy_but_draws_once() {
+        let s = ByzantineScript::new(0).with_clause(byz_clause(
+            0,
+            10,
+            &[0],
+            ByzEffect::CorruptPayload {
+                victims: ProcSet::all(8),
+            },
+        ));
+        let mut a = rng();
+        let mut b = rng();
+        let p1 = s.plan(Time::ZERO, 0, &mut a).expect("active");
+        let p2 = s.plan(Time::ZERO, 0, &mut b).expect("active");
+        assert_eq!(p1, p2, "same stream, same draw");
+        let (ByzDirective::Corrupt(e1), ByzDirective::Corrupt(e2)) =
+            (s.directive(&p1, 1), s.directive(&p1, 2))
+        else {
+            panic!("victims must be corrupted");
+        };
+        assert_ne!(e1, e2, "per-copy entropy must differ across victims");
+        // The plan drew exactly once: both streams stay aligned.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn byzantine_quiescence_and_bookkeeping() {
+        let victims = ProcSet::from_indices(8, [1]);
+        let s = ByzantineScript::new(3)
+            .with_clause(byz_clause(
+                5,
+                30,
+                &[2],
+                ByzEffect::Replay {
+                    victims: victims.clone(),
+                },
+            ))
+            .with_clause(byz_clause(
+                0,
+                12,
+                &[4],
+                ByzEffect::SelectiveSend { victims },
+            ));
+        assert_eq!(s.quiescent_after(), Some(Time::from_ticks(30)));
+        assert!(!s.draws_entropy(), "replay and suppression are draw-free");
+        assert!(s.records_replay(2));
+        assert!(!s.records_replay(4));
+        let open = s.clone().with_clause(ByzClause {
+            from: Time::ZERO,
+            until: Time::MAX,
+            src: ProcSet::from_indices(8, [0]),
+            effect: ByzEffect::Equivocate {
+                victims: ProcSet::all(8),
+            },
+        });
+        assert_eq!(open.quiescent_after(), None);
+        assert!(open.draws_entropy());
+        assert!(ByzantineScript::new(9).is_empty());
+        assert_eq!(ByzantineScript::new(9).quiescent_after(), Some(Time::ZERO));
     }
 
     #[test]

@@ -48,7 +48,7 @@ use homonym_core::time::{Span, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::adversary::LinkFaultScript;
+use crate::adversary::{ByzDirective, ByzPlan, ByzantineScript, LinkFaultScript};
 use crate::network::NetworkModel;
 use crate::process::{Action, ActionSink, BatchFeed, Process, TimerTag};
 use crate::queue::CalendarQueue;
@@ -83,6 +83,12 @@ pub struct Metrics {
     /// Copies dropped by an installed [`LinkFaultScript`] (partitions,
     /// adversarial loss). Zero when no adversary is installed.
     pub copies_blocked: u64,
+    /// Copies whose payload an installed [`ByzantineScript`] rewrote
+    /// (equivocation, corruption, replay). Zero without a script.
+    pub copies_forged: u64,
+    /// Copies an installed [`ByzantineScript`] suppressed (selective
+    /// sending). Zero without a script.
+    pub copies_suppressed: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
     /// Total callbacks dispatched.
@@ -122,6 +128,13 @@ pub struct SimConfig {
     /// stream and the dispatch order byte-identical to an engine without
     /// the hook; the same script yields the same run on both hot paths.
     pub adversary: Option<Arc<LinkFaultScript>>,
+    /// Byzantine payload-mutation script consulted per broadcast (one
+    /// plan, at most one RNG draw from its dedicated stream) and per
+    /// routed copy, right next to the link-fault hook. `None` — or an
+    /// empty/never-matching script — leaves every stream and the
+    /// dispatch order byte-identical to an engine without the hook.
+    /// Mutation semantics come from [`Process::mutate_payload`].
+    pub byzantine: Option<Arc<ByzantineScript>>,
 }
 
 impl SimConfig {
@@ -143,6 +156,7 @@ impl SimConfig {
             max_events: 50_000_000,
             legacy_hot_path: false,
             adversary: None,
+            byzantine: None,
         }
     }
 
@@ -166,6 +180,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_adversary(mut self, script: LinkFaultScript) -> Self {
         self.adversary = Some(Arc::new(script));
+        self
+    }
+
+    /// Installs a Byzantine payload-mutation script (builder style); see
+    /// [`SimConfig::byzantine`].
+    #[must_use]
+    pub fn with_byzantine(mut self, script: ByzantineScript) -> Self {
+        self.byzantine = Some(Arc::new(script));
         self
     }
 }
@@ -244,6 +266,37 @@ fn plain_payload<M>() -> bool {
     !std::mem::needs_drop::<M>() && std::mem::size_of::<M>() <= 64
 }
 
+/// The resolved Byzantine context of one broadcast: the script, the
+/// matched plan, and the cached payload a replay directive substitutes.
+/// Built once per attacked broadcast in `do_broadcast`, consumed per
+/// routed copy.
+struct ByzCtx<M> {
+    script: Arc<ByzantineScript>,
+    plan: ByzPlan,
+    replayed: Option<M>,
+}
+
+/// The Byzantine directive for one routed copy ([`ByzDirective::Original`]
+/// when no plan matched this broadcast — the zero-cost common case).
+#[inline]
+fn byz_directive<M>(ctx: &Option<ByzCtx<M>>, dst: usize) -> ByzDirective {
+    ctx.as_ref()
+        .map_or(ByzDirective::Original, |c| c.script.directive(&c.plan, dst))
+}
+
+/// Applies the process's payload-mutation hook, failing loudly when the
+/// program under attack defines no corruption semantics.
+fn forge<P: Process>(original: &P::Msg, entropy: u64) -> P::Msg {
+    P::mutate_payload(original, entropy).unwrap_or_else(|| {
+        panic!(
+            "a Byzantine clause matched a broadcast of {}, but its process does \
+             not override Process::mutate_payload; implement the hook for the \
+             program under attack",
+            std::any::type_name::<P::Msg>()
+        )
+    })
+}
+
 pub(crate) struct ProcSlot<P: Process> {
     pub(crate) proc: P,
     pub(crate) rng: StdRng,
@@ -271,6 +324,7 @@ pub struct EngineArena<P: Process> {
     scratch_actions: Vec<Action<P::Msg, P::Output>>,
     scratch_cuts: Vec<(usize, &'static str)>,
     feed: BatchFeed<P::Msg>,
+    byz_replay: Vec<Option<P::Msg>>,
 }
 
 impl<P: Process> EngineArena<P> {
@@ -287,6 +341,7 @@ impl<P: Process> EngineArena<P> {
             scratch_actions: Vec::new(),
             scratch_cuts: Vec::new(),
             feed: BatchFeed::new(),
+            byz_replay: Vec::new(),
         }
     }
 }
@@ -314,6 +369,14 @@ pub struct Engine<P: Process> {
     /// Dedicated stream for adversary draws so installing a script does
     /// not perturb the network or per-process streams.
     adv_rng: StdRng,
+    /// Dedicated stream for Byzantine draws (one per attacked broadcast),
+    /// decorrelated from every other stream for the same reason.
+    byz_rng: StdRng,
+    /// One-deep replay cache per process: the last payload each
+    /// [`ByzEffect::Replay`](crate::adversary::ByzEffect)-listed sender
+    /// broadcast, substituted into victim copies while a replay clause is
+    /// active. Only recorded for senders a replay clause names.
+    byz_replay: Vec<Option<P::Msg>>,
     metrics: Metrics,
     histories: Vec<History<P::Output>>,
     decisions: Vec<Option<(Time, u64)>>,
@@ -368,6 +431,7 @@ impl<P: Process> Engine<P> {
             scratch_actions,
             scratch_cuts,
             feed,
+            mut byz_replay,
         } = arena;
         let n = config.assign.n();
         procs.clear();
@@ -388,6 +452,10 @@ impl<P: Process> Engine<P> {
         let net_rng = StdRng::seed_from_u64(config.seed);
         let adv_salt = config.adversary.as_ref().map_or(0, |s| s.salt());
         let adv_rng = StdRng::seed_from_u64(config.seed ^ adv_salt ^ 0xD1B5_4A32_D192_ED03_u64);
+        let byz_salt = config.byzantine.as_ref().map_or(0, |s| s.salt());
+        let byz_rng = StdRng::seed_from_u64(config.seed ^ byz_salt ^ 0xA076_1D64_78BD_642F_u64);
+        byz_replay.clear();
+        byz_replay.resize_with(n, || None);
         queue.reset();
         for p in 0..n {
             queue.push(Time::ZERO, p as u64, Event::Start { dst: p });
@@ -406,6 +474,8 @@ impl<P: Process> Engine<P> {
             dead_from,
             net_rng,
             adv_rng,
+            byz_rng,
+            byz_replay,
             metrics: Metrics::default(),
             histories,
             decisions,
@@ -434,6 +504,7 @@ impl<P: Process> Engine<P> {
         self.scratch_actions.clear();
         self.scratch_cuts.clear();
         self.feed.recycle();
+        self.byz_replay.clear();
         EngineArena {
             queue: self.queue,
             procs: self.procs,
@@ -444,6 +515,7 @@ impl<P: Process> Engine<P> {
             scratch_actions: self.scratch_actions,
             scratch_cuts: self.scratch_cuts,
             feed: self.feed,
+            byz_replay: self.byz_replay,
         }
     }
 
@@ -931,6 +1003,31 @@ impl<P: Process> Engine<P> {
                 });
             }
         }
+        // Byzantine consultation: one plan — and at most one draw from
+        // the dedicated stream — per broadcast, resolved before routing
+        // so both hot paths and both payload representations see the
+        // same attack. The replay cache updates on every broadcast of a
+        // replay-listed sender until its last window closes (`replace`
+        // hands back the previous payload, which is what an active
+        // replay clause substitutes), so the first in-window broadcast
+        // replays the last honest one.
+        let byz = match &self.config.byzantine {
+            Some(s) if !s.is_empty() => {
+                let script = Arc::clone(s);
+                let plan = script.plan(self.now, src, &mut self.byz_rng);
+                let replayed = if script.records_replay_at(self.now, src) {
+                    self.byz_replay[src].replace(msg.clone())
+                } else {
+                    None
+                };
+                plan.map(|plan| ByzCtx {
+                    script,
+                    plan,
+                    replayed,
+                })
+            }
+            _ => None,
+        };
         // A broadcast at the sender's final step reaches an arbitrary
         // subset of the processes; its mask draws interleave with the
         // routing draws per copy, so it must take the per-copy path on
@@ -938,15 +1035,21 @@ impl<P: Process> Engine<P> {
         let dying = self.config.partial_broadcast_on_crash
             && self.dead_from[src] == self.now.next().ticks();
         if self.config.legacy_hot_path || dying {
-            self.broadcast_per_copy(src, msg, dying);
+            self.broadcast_per_copy(src, msg, dying, byz);
         } else {
-            self.broadcast_batched(src, msg);
+            self.broadcast_batched(src, msg, byz);
         }
     }
 
     /// The pre-batching broadcast: one network-model match and route per
     /// copy, interleaved with the dying-sender mask draws.
-    fn broadcast_per_copy(&mut self, src: usize, msg: P::Msg, dying: bool) {
+    fn broadcast_per_copy(
+        &mut self,
+        src: usize,
+        msg: P::Msg,
+        dying: bool,
+        byz: Option<ByzCtx<P::Msg>>,
+    ) {
         if plain_payload::<P::Msg>() {
             for dst in 0..self.n() {
                 if dying && self.net_rng.gen_bool(0.5) {
@@ -954,8 +1057,13 @@ impl<P: Process> Engine<P> {
                 }
                 self.metrics.copies_sent += 1;
                 if let Some(at) = self.route_copy(src, dst) {
-                    let msg = msg.clone();
-                    self.push(at, Event::Deliver { dst, msg });
+                    match byz_directive(&byz, dst) {
+                        ByzDirective::Original => {
+                            let msg = msg.clone();
+                            self.push(at, Event::Deliver { dst, msg });
+                        }
+                        d => self.push_byz_copy(dst, at, d, &msg, &byz, false),
+                    }
                 }
             }
         } else {
@@ -969,8 +1077,13 @@ impl<P: Process> Engine<P> {
                 }
                 self.metrics.copies_sent += 1;
                 if let Some(at) = self.route_copy(src, dst) {
-                    let msg = Arc::clone(&shared);
-                    self.push(at, Event::DeliverShared { dst, msg });
+                    match byz_directive(&byz, dst) {
+                        ByzDirective::Original => {
+                            let msg = Arc::clone(&shared);
+                            self.push(at, Event::DeliverShared { dst, msg });
+                        }
+                        d => self.push_byz_copy(dst, at, d, &*shared, &byz, false),
+                    }
                 }
             }
         }
@@ -981,7 +1094,7 @@ impl<P: Process> Engine<P> {
     /// the per-copy model match, GST compare and sampler setup are
     /// hoisted per broadcast) straight into adversary consultation and
     /// queue insertion — one fused pass, no intermediate fate buffer.
-    fn broadcast_batched(&mut self, src: usize, msg: P::Msg) {
+    fn broadcast_batched(&mut self, src: usize, msg: P::Msg, byz: Option<ByzCtx<P::Msg>>) {
         let n = self.n();
         let now = self.now;
         // The network stream is drawn inside the fused closure while the
@@ -995,11 +1108,19 @@ impl<P: Process> Engine<P> {
                 None => self.metrics.copies_lost += 1,
                 Some(base) => {
                     if let Some(at) = self.adversary_fate(src, dst, base) {
-                        if self.deliverable(dst, at) {
-                            let msg = msg.clone();
-                            self.queue
-                                .push_in_order(at, self.seq, Event::Deliver { dst, msg });
-                            self.seq += 1;
+                        match byz_directive(&byz, dst) {
+                            ByzDirective::Original => {
+                                if self.deliverable(dst, at) {
+                                    let msg = msg.clone();
+                                    self.queue.push_in_order(
+                                        at,
+                                        self.seq,
+                                        Event::Deliver { dst, msg },
+                                    );
+                                    self.seq += 1;
+                                }
+                            }
+                            d => self.push_byz_copy(dst, at, d, &msg, &byz, true),
                         }
                     }
                 }
@@ -1010,20 +1131,71 @@ impl<P: Process> Engine<P> {
                 None => self.metrics.copies_lost += 1,
                 Some(base) => {
                     if let Some(at) = self.adversary_fate(src, dst, base) {
-                        if self.deliverable(dst, at) {
-                            let msg = Arc::clone(&shared);
-                            self.queue.push_in_order(
-                                at,
-                                self.seq,
-                                Event::DeliverShared { dst, msg },
-                            );
-                            self.seq += 1;
+                        match byz_directive(&byz, dst) {
+                            ByzDirective::Original => {
+                                if self.deliverable(dst, at) {
+                                    let msg = Arc::clone(&shared);
+                                    self.queue.push_in_order(
+                                        at,
+                                        self.seq,
+                                        Event::DeliverShared { dst, msg },
+                                    );
+                                    self.seq += 1;
+                                }
+                            }
+                            d => self.push_byz_copy(dst, at, d, &*shared, &byz, true),
                         }
                     }
                 }
             });
         }
         self.net_rng = rng;
+    }
+
+    /// Applies a non-[`ByzDirective::Original`] directive to one routed
+    /// copy. Forging and suppression are **accounted at routing time**
+    /// on both hot paths (they are the corrupt sender's act, not a
+    /// delivery property), while queue insertion follows the caller's
+    /// dead-destination policy (`elide_dead`: the batched broadcast
+    /// elides copies to dead destinations, the per-copy paths queue
+    /// them — exactly the policies applied to honest copies). Forged
+    /// payloads always enqueue as owned [`Event::Deliver`] copies: they
+    /// are distinct values, so there is nothing to `Arc`-share.
+    fn push_byz_copy(
+        &mut self,
+        dst: usize,
+        at: Time,
+        directive: ByzDirective,
+        original: &P::Msg,
+        byz: &Option<ByzCtx<P::Msg>>,
+        elide_dead: bool,
+    ) {
+        let forged = match directive {
+            ByzDirective::Original => unreachable!("callers handle pass-through copies inline"),
+            ByzDirective::Suppress => {
+                self.metrics.copies_suppressed += 1;
+                return;
+            }
+            ByzDirective::Equivocate(entropy) | ByzDirective::Corrupt(entropy) => {
+                self.metrics.copies_forged += 1;
+                Some(forge::<P>(original, entropy))
+            }
+            ByzDirective::Replay => {
+                match byz.as_ref().and_then(|c| c.replayed.as_ref()) {
+                    Some(old) => {
+                        self.metrics.copies_forged += 1;
+                        Some(old.clone())
+                    }
+                    // Nothing broadcast before the clause activated: the
+                    // replayed copy degenerates to the honest one.
+                    None => None,
+                }
+            }
+        };
+        let msg = forged.unwrap_or_else(|| original.clone());
+        if !elide_dead || self.deliverable(dst, at) {
+            self.push(at, Event::Deliver { dst, msg });
+        }
     }
 
     /// The fate of one copy: the network routes it, then the adversary
@@ -1150,6 +1322,8 @@ impl<P: ForkProcess> Engine<P> {
             now: self.now,
             net_rng: self.net_rng.clone(),
             adv_rng: self.adv_rng.clone(),
+            byz_rng: self.byz_rng.clone(),
+            byz_replay: self.byz_replay.clone(),
             metrics: self.metrics.clone(),
             histories: self.histories.clone(),
             decisions: self.decisions.clone(),
@@ -1181,6 +1355,8 @@ impl<P: ForkProcess> Engine<P> {
         snap.now = self.now;
         snap.net_rng = self.net_rng.clone();
         snap.adv_rng = self.adv_rng.clone();
+        snap.byz_rng = self.byz_rng.clone();
+        snap.byz_replay.clone_from(&self.byz_replay);
         snap.metrics.clone_from(&self.metrics);
         snap.histories.clone_from(&self.histories);
         snap.decisions.clone_from(&self.decisions);
@@ -1214,6 +1390,8 @@ impl<P: ForkProcess> Engine<P> {
         self.now = snap.now;
         self.net_rng = snap.net_rng.clone();
         self.adv_rng = snap.adv_rng.clone();
+        self.byz_rng = snap.byz_rng.clone();
+        self.byz_replay.clone_from(&snap.byz_replay);
         self.metrics.clone_from(&snap.metrics);
         self.histories.clone_from(&snap.histories);
         self.decisions.clone_from(&snap.decisions);
@@ -1249,6 +1427,7 @@ impl<P: ForkProcess> Engine<P> {
             mut scratch_actions,
             mut scratch_cuts,
             mut feed,
+            mut byz_replay,
         } = arena;
         assert_eq!(
             config.assign.n(),
@@ -1267,12 +1446,15 @@ impl<P: ForkProcess> Engine<P> {
         scratch_cuts.clear();
         feed.recycle();
         decisions.clear();
+        byz_replay.clear();
         let mut engine = Engine {
             seq: 0,
             now: Time::ZERO,
             dead_from,
             net_rng: StdRng::seed_from_u64(0),
             adv_rng: StdRng::seed_from_u64(0),
+            byz_rng: StdRng::seed_from_u64(0),
+            byz_replay,
             metrics: Metrics::default(),
             histories,
             decisions,

@@ -63,7 +63,10 @@ pub mod sweep;
 pub mod sync_engine;
 pub mod trace;
 
-pub use adversary::{LinkClause, LinkEffect, LinkFaultScript, ProcSet};
+pub use adversary::{
+    ByzClause, ByzDirective, ByzEffect, ByzPlan, ByzantineScript, LinkClause, LinkEffect,
+    LinkFaultScript, ProcSet,
+};
 pub use engine::{Engine, EngineArena, Metrics, SimConfig, StopReason};
 pub use network::{LatencyDistribution, NetworkModel, PreGstBehavior};
 pub use process::{ActionSink, Message, Process, TimerTag};
@@ -78,7 +81,10 @@ pub use trace::{Trace, TraceEvent};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
-    pub use crate::adversary::{LinkClause, LinkEffect, LinkFaultScript, ProcSet};
+    pub use crate::adversary::{
+        ByzClause, ByzDirective, ByzEffect, ByzPlan, ByzantineScript, LinkClause, LinkEffect,
+        LinkFaultScript, ProcSet,
+    };
     pub use crate::engine::{Engine, EngineArena, Metrics, SimConfig, StopReason};
     pub use crate::network::{LatencyDistribution, NetworkModel, PreGstBehavior};
     pub use crate::process::{ActionSink, Message, Process, TimerTag};

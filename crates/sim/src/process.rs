@@ -73,6 +73,29 @@ pub trait Process: Send + 'static {
 
     /// Called when a timer armed through [`ActionSink::set_timer`] fires.
     fn on_timer(&mut self, timer: TimerTag, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>);
+
+    /// The **payload-mutation hook** of the Byzantine adversary (see
+    /// [`ByzantineScript`](crate::adversary::ByzantineScript)): a
+    /// plausible-but-different variant of `msg`, deterministically
+    /// derived from `entropy` — what a corrupt homonym delivers to its
+    /// victims in place of the honest copy.
+    ///
+    /// The default returns `None`, meaning the message type defines no
+    /// corruption semantics; the engine **panics** if a Byzantine clause
+    /// then matches one of this program's broadcasts (a configuration
+    /// error — the attack is meaningless without mutation semantics).
+    /// Implementations must be pure (same `(msg, entropy)` ⇒ same
+    /// result, the replayability contract) and should perturb
+    /// protocol-meaningful fields (estimates, identifiers, decision
+    /// values) rather than produce garbage the receiver would reject
+    /// structurally.
+    fn mutate_payload(msg: &Self::Msg, entropy: u64) -> Option<Self::Msg>
+    where
+        Self: Sized,
+    {
+        let _ = (msg, entropy);
+        None
+    }
 }
 
 /// Engine-side state backing one batched same-`(time, dest)` delivery:

@@ -98,6 +98,12 @@ pub struct EngineSnapshot<P: Process> {
     pub(crate) now: Time,
     pub(crate) net_rng: StdRng,
     pub(crate) adv_rng: StdRng,
+    /// The Byzantine stream and the one-deep replay cache round-trip
+    /// with the snapshot, so a restored run's attack draws — and the
+    /// stale payload an active replay clause substitutes — continue
+    /// byte-identically.
+    pub(crate) byz_rng: StdRng,
+    pub(crate) byz_replay: Vec<Option<P::Msg>>,
     pub(crate) metrics: Metrics,
     pub(crate) histories: Vec<History<P::Output>>,
     pub(crate) decisions: Vec<Option<(Time, u64)>>,
@@ -138,6 +144,8 @@ pub struct SyncSnapshot<P: SyncProcess> {
     pub(crate) step: u64,
     pub(crate) rng: StdRng,
     pub(crate) adv_rng: StdRng,
+    pub(crate) byz_rng: StdRng,
+    pub(crate) byz_replay: Vec<Option<P::Msg>>,
     pub(crate) deferred: BTreeMap<u64, Vec<(usize, P::Msg)>>,
     pub(crate) metrics: SyncMetrics,
     pub(crate) histories: Vec<History<P::Output>>,

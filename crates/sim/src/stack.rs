@@ -127,6 +127,18 @@ impl<A: Process, B: Process> Process for Stacked<A, B> {
     type Msg = Either<A::Msg, B::Msg>;
     type Output = Either<A::Output, B::Output>;
 
+    /// A corrupt stacked process forges whichever half's message it is
+    /// broadcasting: the mutation is delegated to that half's hook, so a
+    /// Byzantine Figure 8 node equivocates detector traffic *and*
+    /// consensus traffic. A half without mutation semantics propagates
+    /// its `None` (and the engine's loud failure) unchanged.
+    fn mutate_payload(msg: &Self::Msg, entropy: u64) -> Option<Self::Msg> {
+        match msg {
+            Either::L(m) => A::mutate_payload(m, entropy).map(Either::L),
+            Either::R(m) => B::mutate_payload(m, entropy).map(Either::R),
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut ActionSink<'_, Self::Msg, Self::Output>) {
         self.run_a(ctx, |a, sub| a.on_start(sub));
         self.run_b(ctx, |b, sub| b.on_start(sub));

@@ -37,7 +37,7 @@ use homonym_core::identity::Identity;
 use homonym_core::time::Time;
 use rayon::prelude::*;
 
-use crate::adversary::{LinkClause, LinkEffect, LinkFaultScript};
+use crate::adversary::{ByzClause, ByzantineScript, LinkClause, LinkEffect, LinkFaultScript};
 use crate::engine::{Engine, EngineArena, SimConfig, StopReason};
 use crate::network::NetworkModel;
 use crate::snapshot::{EngineSnapshot, ForkProcess};
@@ -107,6 +107,7 @@ pub fn config_divergence(a: &SimConfig, b: &SimConfig) -> Time {
         max_events,
         legacy_hot_path,
         adversary,
+        byzantine,
     } = a;
     if *assign != b.assign
         || *seed != b.seed
@@ -118,9 +119,13 @@ pub fn config_divergence(a: &SimConfig, b: &SimConfig) -> Time {
     }
     let d = network_divergence(network, &b.network);
     let d = d.min(sched_divergence(sched, &b.sched));
-    d.min(script_divergence(
+    let d = d.min(script_divergence(
         adversary.as_deref(),
         b.adversary.as_deref(),
+    ));
+    d.min(byz_script_divergence(
+        byzantine.as_deref(),
+        b.byzantine.as_deref(),
     ))
 }
 
@@ -210,6 +215,65 @@ fn script_divergence(a: Option<&LinkFaultScript>, b: Option<&LinkFaultScript>) -
     for i in 0..ca.len().max(cb.len()) {
         match (ca.get(i), cb.get(i)) {
             (Some(x), Some(y)) => d = d.min(clause_pair_divergence(x, y)),
+            (Some(x), None) | (None, Some(x)) => d = d.min(x.from),
+            (None, None) => unreachable!("loop bounded by max length"),
+        }
+    }
+    d
+}
+
+fn byz_clause_pair_divergence(x: &ByzClause, y: &ByzClause) -> Time {
+    if x == y {
+        return Time::MAX;
+    }
+    // Same activation, senders and effect: only the deactivation instant
+    // differs, so broadcasts before the earlier end are treated
+    // identically — the refinement that lets attack-duration variants
+    // share their whole pre-attack *and* in-attack prefix.
+    if x.from == y.from && x.src == y.src && x.effect == y.effect {
+        return x.until.min(y.until);
+    }
+    x.from.min(y.from)
+}
+
+/// The Byzantine counterpart of [`script_divergence`]. Replay caches
+/// are recorded from tick 0 for replay-listed senders; recording is
+/// unobservable until a replay clause activates, so two scripts that
+/// **agree on which senders are replay-listed** share soundly up to
+/// their earliest differing clause — but scripts whose replay-listed
+/// sender sets differ fill the cache differently from the very first
+/// broadcast, so one's snapshot carries cache state the other's flat
+/// run would not have, and sharing is forfeited entirely.
+fn byz_script_divergence(a: Option<&ByzantineScript>, b: Option<&ByzantineScript>) -> Time {
+    let ca = a.map_or(&[][..], ByzantineScript::clauses);
+    let cb = b.map_or(&[][..], ByzantineScript::clauses);
+    if ca.is_empty() && cb.is_empty() {
+        return Time::MAX;
+    }
+    // Different salts decorrelate the Byzantine streams from their very
+    // first draw; with any entropy-drawing clause (equivocation or
+    // corruption) in play, nothing is shareable.
+    let (sa, sb) = (
+        a.map_or(0, ByzantineScript::salt),
+        b.map_or(0, ByzantineScript::salt),
+    );
+    if sa != sb
+        && (a.is_some_and(ByzantineScript::draws_entropy)
+            || b.is_some_and(ByzantineScript::draws_entropy))
+    {
+        return Time::ZERO;
+    }
+    // Differing replay-listed sender sets: cache contents diverge from
+    // tick 0 (see above).
+    if a.map_or(Vec::new(), ByzantineScript::replay_source_mask)
+        != b.map_or(Vec::new(), ByzantineScript::replay_source_mask)
+    {
+        return Time::ZERO;
+    }
+    let mut d = Time::MAX;
+    for i in 0..ca.len().max(cb.len()) {
+        match (ca.get(i), cb.get(i)) {
+            (Some(x), Some(y)) => d = d.min(byz_clause_pair_divergence(x, y)),
             (Some(x), None) | (None, Some(x)) => d = d.min(x.from),
             (None, None) => unreachable!("loop bounded by max length"),
         }
@@ -711,6 +775,53 @@ mod tests {
         };
         assert_eq!(script_divergence(Some(&mk(1)), Some(&mk(2))), Time::ZERO);
         assert_eq!(script_divergence(Some(&mk(1)), Some(&mk(1))), Time::MAX);
+    }
+
+    #[test]
+    fn differing_replay_sources_forfeit_sharing() {
+        use crate::adversary::{ByzClause, ByzEffect, ByzantineScript};
+        let replay = |src: usize, from: u64| {
+            ByzantineScript::new(0).with_clause(ByzClause {
+                from: Time::from_ticks(from),
+                until: Time::MAX,
+                src: ProcSet::from_indices(4, [src]),
+                effect: ByzEffect::Replay {
+                    victims: ProcSet::all(4),
+                },
+            })
+        };
+        // Same replay-listed sender, later window: shared to the earlier
+        // activation (the engines' caches agree up to there).
+        assert_eq!(
+            byz_script_divergence(Some(&replay(1, 30)), Some(&replay(1, 50))),
+            Time::from_ticks(30)
+        );
+        // Different replay-listed senders: the caches diverge from the
+        // first broadcast — no sharing, regardless of window placement.
+        assert_eq!(
+            byz_script_divergence(Some(&replay(1, 30)), Some(&replay(2, 30))),
+            Time::ZERO
+        );
+        // A replay script against no script at all: same forfeit.
+        assert_eq!(
+            byz_script_divergence(Some(&replay(1, 30)), None),
+            Time::ZERO
+        );
+        // Non-replay scripts keep the clause-window refinement.
+        let equiv = |from: u64, until: u64| {
+            ByzantineScript::new(0).with_clause(ByzClause {
+                from: Time::from_ticks(from),
+                until: Time::from_ticks(until),
+                src: ProcSet::from_indices(4, [1]),
+                effect: ByzEffect::Equivocate {
+                    victims: ProcSet::all(4),
+                },
+            })
+        };
+        assert_eq!(
+            byz_script_divergence(Some(&equiv(20, 50)), Some(&equiv(20, 70))),
+            Time::from_ticks(50)
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ use rand::{Rng, SeedableRng};
 
 use homonym_core::fork::ForkSpace;
 
-use crate::adversary::LinkFaultScript;
+use crate::adversary::{ByzDirective, ByzantineScript, LinkFaultScript};
 use crate::process::Message;
 use crate::snapshot::{ForkSyncProcess, SyncSnapshot};
 
@@ -56,6 +56,20 @@ pub trait SyncProcess: Send + 'static {
         received: &mut Vec<Self::Msg>,
         sink: &mut SyncSink<Self::Output>,
     );
+
+    /// The lock-step counterpart of
+    /// [`Process::mutate_payload`](crate::process::Process::mutate_payload):
+    /// a plausible-but-different variant of `msg` derived from `entropy`,
+    /// delivered to victims by a corrupt sender. `None` (the default)
+    /// makes an active Byzantine clause panic — the attack is meaningless
+    /// without mutation semantics.
+    fn mutate_payload(msg: &Self::Msg, entropy: u64) -> Option<Self::Msg>
+    where
+        Self: Sized,
+    {
+        let _ = (msg, entropy);
+        None
+    }
 }
 
 /// Effects available in the receive phase of a synchronous step.
@@ -123,6 +137,12 @@ pub struct SyncConfig {
     /// fresh deliveries, as every synchronous delivery is). `None`
     /// leaves the engine byte-identical to one without the hook.
     pub adversary: Option<Arc<LinkFaultScript>>,
+    /// Byzantine payload-mutation script (times are **step numbers**),
+    /// consulted once per broadcast and per copy exactly like the
+    /// event engine's hook; see [`SimConfig::byzantine`](crate::engine::SimConfig::byzantine).
+    /// `None` — or an empty/never-matching script — leaves the engine
+    /// byte-identical to one without the hook.
+    pub byzantine: Option<Arc<ByzantineScript>>,
 }
 
 impl SyncConfig {
@@ -141,6 +161,7 @@ impl SyncConfig {
             partial_broadcast_on_crash: true,
             legacy_hot_path: false,
             adversary: None,
+            byzantine: None,
         }
     }
 
@@ -166,6 +187,14 @@ impl SyncConfig {
         self.adversary = Some(Arc::new(script));
         self
     }
+
+    /// Installs a Byzantine payload-mutation script (builder style); see
+    /// [`SyncConfig::byzantine`].
+    #[must_use]
+    pub fn with_byzantine(mut self, script: ByzantineScript) -> Self {
+        self.byzantine = Some(Arc::new(script));
+        self
+    }
 }
 
 /// Per-step message counters.
@@ -181,6 +210,10 @@ pub struct SyncMetrics {
     /// Copies dropped by an installed [`LinkFaultScript`]. Zero when no
     /// adversary is installed.
     pub copies_blocked: u64,
+    /// Copies whose payload an installed [`ByzantineScript`] rewrote.
+    pub copies_forged: u64,
+    /// Copies an installed [`ByzantineScript`] suppressed.
+    pub copies_suppressed: u64,
     /// Steps executed.
     pub steps: u64,
 }
@@ -195,6 +228,11 @@ pub struct SyncEngine<P: SyncProcess> {
     /// Dedicated stream for adversary draws so installing a script does
     /// not perturb the shuffle/crash-mask stream.
     adv_rng: StdRng,
+    /// Dedicated stream for Byzantine draws (one per attacked broadcast).
+    byz_rng: StdRng,
+    /// One-deep replay cache per replay-listed sender (see
+    /// [`ByzantineScript::records_replay`]).
+    byz_replay: Vec<Option<P::Msg>>,
     /// Copies a clause deferred, keyed by delivery step, in queue order.
     deferred: BTreeMap<u64, Vec<(usize, P::Msg)>>,
     metrics: SyncMetrics,
@@ -216,9 +254,12 @@ impl<P: SyncProcess> SyncEngine<P> {
         let n = config.assign.n();
         let procs = (0..n).map(|p| factory(p, config.assign.id_of(p))).collect();
         let adv_salt = config.adversary.as_ref().map_or(0, |s| s.salt());
+        let byz_salt = config.byzantine.as_ref().map_or(0, |s| s.salt());
         SyncEngine {
             rng: StdRng::seed_from_u64(config.seed),
             adv_rng: StdRng::seed_from_u64(config.seed ^ adv_salt ^ 0xD1B5_4A32_D192_ED03_u64),
+            byz_rng: StdRng::seed_from_u64(config.seed ^ byz_salt ^ 0xA076_1D64_78BD_642F_u64),
+            byz_replay: vec![None; n],
             deferred: BTreeMap::new(),
             procs,
             halted: vec![false; n],
@@ -340,6 +381,7 @@ impl<P: SyncProcess> SyncEngine<P> {
             }
         }
         let script = self.config.adversary.clone();
+        let byz_script = self.config.byzantine.clone().filter(|s| !s.is_empty());
 
         // Send phase: alive processes send fully; a process crashing at
         // exactly this step gets a partial final broadcast.
@@ -366,6 +408,22 @@ impl<P: SyncProcess> SyncEngine<P> {
             self.procs[p].send(s, &mut outbox);
             for m in outbox.drain(..) {
                 self.metrics.broadcasts += 1;
+                // Byzantine plan + replay-cache update, one per broadcast
+                // (mirrors the event engine's `do_broadcast`: the cache
+                // records every broadcast of a replay-listed sender, and
+                // `replace` hands back the previous payload an active
+                // replay clause substitutes).
+                let plan = byz_script
+                    .as_ref()
+                    .and_then(|b| b.plan(now, p, &mut self.byz_rng));
+                let replayed = if byz_script
+                    .as_ref()
+                    .is_some_and(|b| b.records_replay_at(now, p))
+                {
+                    self.byz_replay[p].replace(m.clone())
+                } else {
+                    None
+                };
                 recipients.clear();
                 for dst in 0..n {
                     if dying && self.config.partial_broadcast_on_crash && self.rng.gen_bool(0.5) {
@@ -376,23 +434,58 @@ impl<P: SyncProcess> SyncEngine<P> {
                     }
                     recipients.push(dst);
                 }
-                if let Some(script) = &script {
-                    // Adversary path: each copy's fate individually. A
-                    // deferred copy is held for the step the clause
-                    // names; times in the script are step numbers and
-                    // the base delivery step is the sending step itself.
+                if script.is_some() || plan.is_some() {
+                    // Adversary path: each copy's fate individually — the
+                    // link script first (a deferred copy is held for the
+                    // step the clause names; times in the scripts are
+                    // step numbers and the base delivery step is the
+                    // sending step itself), then the Byzantine directive
+                    // rewrites or suppresses the surviving copy.
                     for &dst in &recipients {
-                        match script.fate(now, p, dst, now, &mut self.adv_rng) {
-                            None => self.metrics.copies_blocked += 1,
-                            Some(at) if at <= now => {
-                                self.metrics.copies_delivered += 1;
-                                inboxes[dst].push(m.clone());
-                            }
-                            Some(at) => self
-                                .deferred
+                        let fate = match &script {
+                            Some(s) => s.fate(now, p, dst, now, &mut self.adv_rng),
+                            None => Some(now),
+                        };
+                        let Some(at) = fate else {
+                            self.metrics.copies_blocked += 1;
+                            continue;
+                        };
+                        let payload = match (&byz_script, &plan) {
+                            (Some(b), Some(plan)) => match b.directive(plan, dst) {
+                                ByzDirective::Original => m.clone(),
+                                ByzDirective::Suppress => {
+                                    self.metrics.copies_suppressed += 1;
+                                    continue;
+                                }
+                                ByzDirective::Equivocate(e) | ByzDirective::Corrupt(e) => {
+                                    self.metrics.copies_forged += 1;
+                                    P::mutate_payload(&m, e).unwrap_or_else(|| {
+                                        panic!(
+                                            "a Byzantine clause matched a broadcast of {}, but \
+                                             its process does not override \
+                                             SyncProcess::mutate_payload",
+                                            std::any::type_name::<P::Msg>()
+                                        )
+                                    })
+                                }
+                                ByzDirective::Replay => match &replayed {
+                                    Some(old) => {
+                                        self.metrics.copies_forged += 1;
+                                        old.clone()
+                                    }
+                                    None => m.clone(),
+                                },
+                            },
+                            _ => m.clone(),
+                        };
+                        if at <= now {
+                            self.metrics.copies_delivered += 1;
+                            inboxes[dst].push(payload);
+                        } else {
+                            self.deferred
                                 .entry(at.ticks())
                                 .or_default()
-                                .push((dst, m.clone())),
+                                .push((dst, payload));
                         }
                     }
                 } else if let Some((&last, rest)) = recipients.split_last() {
@@ -462,6 +555,8 @@ impl<P: ForkSyncProcess> SyncEngine<P> {
             step: self.step,
             rng: self.rng.clone(),
             adv_rng: self.adv_rng.clone(),
+            byz_rng: self.byz_rng.clone(),
+            byz_replay: self.byz_replay.clone(),
             deferred: self.deferred.clone(),
             metrics: self.metrics.clone(),
             histories: self.histories.clone(),
@@ -485,6 +580,8 @@ impl<P: ForkSyncProcess> SyncEngine<P> {
         self.step = snap.step;
         self.rng = snap.rng.clone();
         self.adv_rng = snap.adv_rng.clone();
+        self.byz_rng = snap.byz_rng.clone();
+        self.byz_replay.clone_from(&snap.byz_replay);
         self.deferred.clone_from(&snap.deferred);
         self.metrics.clone_from(&snap.metrics);
         self.histories.clone_from(&snap.histories);

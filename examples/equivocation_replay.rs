@@ -1,0 +1,103 @@
+//! The **hidden equivocator**, end to end: find a Byzantine
+//! counterexample against the crash-only Figure 6 + Figure 8 stack, then
+//! replay it **from mid-run** across attack variations.
+//!
+//! The paper's homonymous model is where equivocation gets uniquely
+//! nasty: detector outputs are multisets of *identifiers*, so a corrupt
+//! process that forges payloads toward a victim subset is
+//! indistinguishable from two honest homonyms disagreeing — no output
+//! can indict it. This example
+//!
+//! 1. sweeps Byzantine-family scenarios over the fig8 stack until the
+//!    crash-only algorithm falls (a **demonstrated counterexample** —
+//!    expected, not a bug: the algorithm never claimed `n > 3f` quorum
+//!    machinery);
+//! 2. rebuilds the counterexample from its `(family, seed)` coordinates
+//!    and expands it into attack variations (redrawn victim sets and
+//!    timings, same corrupt sources);
+//! 3. replays the family on the prefix-sharing executor: the honest
+//!    prefix runs **once**, is snapshotted just before the equivocation
+//!    window, and every variation forks from that snapshot — then
+//!    asserts the forked verdicts are identical to flat re-execution.
+//!
+//! Run with `cargo run --release --example equivocation_replay`.
+
+use homonym::chaos::sweep::{
+    falsification_sweep, replay_byzantine_counterexample, StackKind, SweepConfig,
+};
+use homonym::prelude::*;
+
+fn main() {
+    let scenarios = std::env::var("EQUIVOCATION_SCENARIOS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+
+    // 1. The Byzantine sweep: corrupt families interleaved with crash
+    // families, violations on corrupt runs collected as demonstrations.
+    let cfg = SweepConfig::byzantine(StackKind::Fig8EvtHp, scenarios);
+    let report = falsification_sweep(&cfg);
+    println!(
+        "swept {} scenarios: {} demonstrated counterexamples, {} attacks survived, \
+         {} clean runs decided, {} excused",
+        report.runs,
+        report.byzantine_demonstrated.len(),
+        report.byzantine_survived,
+        report.liveness_held,
+        report.liveness_excused,
+    );
+    assert!(
+        !report.falsified(),
+        "the implementation itself must not be falsified: {:?}",
+        report.first_counterexample()
+    );
+    let cex = report
+        .first_demonstration()
+        .expect("a crash-only stack must fall to the Byzantine families");
+    println!(
+        "\nfirst demonstration (family={}, seed={}):",
+        cex.family, cex.seed
+    );
+    println!("  script:    {}", cex.script);
+    println!("  violation: {}", cex.violation);
+
+    // 2 + 3. Mid-run replay across attack variations.
+    let replay = replay_byzantine_counterexample(&cfg, cex, 8);
+    println!(
+        "\nmid-run replay across {} attack variations:",
+        replay.scripts.len()
+    );
+    for (script, verdict) in replay.scripts.iter().zip(&replay.forked) {
+        let outcome = match verdict {
+            RunVerdict::ByzantineExpected(v) => format!("falsified: {v}"),
+            RunVerdict::Pass(()) => "survived (variation missed)".to_string(),
+            other => format!("{other:?}"),
+        };
+        println!("  - {script}\n    → {outcome}");
+    }
+    assert!(
+        replay.verdicts_match(),
+        "forked replay must equal flat re-execution:\nforked: {:?}\nflat: {:?}",
+        replay.forked,
+        replay.flat
+    );
+    assert!(
+        replay.stats.forked > 0,
+        "the honest prefix was never shared: {:?}",
+        replay.stats
+    );
+    assert!(
+        replay.forked[0].violation().is_some(),
+        "variation 0 is the original counterexample and must still falsify"
+    );
+    println!(
+        "\nforked == flat on every variation; {} of {} runs forked from {} snapshot(s), \
+         {} ticks of honest prefix never re-executed; {} variation(s) still falsify \
+         the crash-only stack.",
+        replay.stats.forked,
+        replay.stats.runs,
+        replay.stats.snapshots,
+        replay.stats.shared_ticks,
+        replay.still_falsified(),
+    );
+}

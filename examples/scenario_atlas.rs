@@ -106,6 +106,9 @@ fn main() {
             RunVerdict::LivenessExcused(_) => 1,
             RunVerdict::LivenessViolated(_) => 2,
             RunVerdict::SafetyViolated(_) => 3,
+            // The atlas sweeps crash scenarios only; a Byzantine verdict
+            // here would mean a corrupt process leaked into the grid.
+            RunVerdict::ByzantineExpected(v) => panic!("no corrupt processes in the atlas: {v}"),
         }] += 1;
     }
     println!("| heal offset | decided | excused | liveness-violated | SAFETY-violated |");

@@ -3,7 +3,8 @@
 //! determinism guarantees as fault-free runs.
 
 use homonym::chaos::sweep::{
-    falsification_sweep, falsification_sweep_forked, StackKind, SweepConfig,
+    falsification_sweep, falsification_sweep_forked, replay_byzantine_counterexample, StackKind,
+    SweepConfig,
 };
 use homonym::chaos::{
     fig8_node, hps_base, FaultClause, Fig8Node, GstPlacement, PartitionMode, Scenario,
@@ -241,4 +242,167 @@ fn single_variant_sweeps_match_on_both_executors() {
     let flat = falsification_sweep(&cfg);
     assert_eq!(flat.runs, 9);
     assert_eq!(flat, falsification_sweep_forked(&cfg));
+}
+
+/// The hot-path trace-equality guarantee extends to **Byzantine** runs:
+/// same seed + same scenario (equivocation plus a crash plus a selective
+/// suppressor) ⇒ byte-identical trace and decisions on both paths of
+/// the full Figure 6 + Figure 8 stack, with the attack demonstrably
+/// active (forged or suppressed copies in the metrics).
+#[test]
+fn byzantine_runs_dispatch_identically_on_both_hot_paths() {
+    let n = 8;
+    let scenario = Scenario::new("byz-paths", n)
+        .with_clause(FaultClause::ByzantineEquivocate {
+            sources: vec![1],
+            victims: vec![0, 3, 5],
+            start: Time::from_ticks(8),
+            until: Time::MAX,
+        })
+        .with_clause(FaultClause::ByzantineSelectiveSend {
+            sources: vec![6],
+            victims: vec![2],
+            start: Time::from_ticks(20),
+            until: Time::from_ticks(300),
+        })
+        .with_clause(FaultClause::Crash {
+            process: 7,
+            at: Time::from_ticks(40),
+        })
+        .with_gst(GstPlacement::At(Time::from_ticks(60)));
+    for seed in [2u64, 23] {
+        let deadline = Time::from_ticks(20_000);
+        let run = |legacy: bool| {
+            let cfg = SimConfig::new(
+                IdentityAssignment::round_robin(n, 3),
+                FailureSchedule::none(n),
+                hps_base(),
+            )
+            .with_seed(seed)
+            .with_legacy_hot_path(legacy);
+            let cfg = scenario.install(cfg).expect("scenario validates");
+            let mut engine: Engine<Fig8Node> =
+                Engine::new(cfg, |p, _| fig8_node(100 + p as u64, n, 3));
+            engine.set_classifier(classify);
+            engine.enable_trace(500_000);
+            engine.run_until_all_correct_decided(deadline);
+            (
+                engine.trace().expect("enabled").clone(),
+                engine.decisions().to_vec(),
+                engine.metrics().clone(),
+            )
+        };
+        let (trace, decisions, metrics) = run(false);
+        assert_eq!(
+            (trace, decisions, metrics.clone()),
+            run(true),
+            "hot paths diverged under Byzantine attack, seed {seed}"
+        );
+        assert!(
+            metrics.copies_forged > 0,
+            "the equivocator never forged a copy (seed {seed}): {metrics:?}"
+        );
+        assert!(
+            metrics.copies_suppressed > 0,
+            "the suppressor never dropped a copy (seed {seed}): {metrics:?}"
+        );
+    }
+}
+
+/// A small Byzantine-mode sweep through the meta-crate: the corrupt
+/// families must demonstrate counterexamples against the crash-only
+/// stack (never falsify the implementation), the crash families keep
+/// their clean verdicts, and the whole report is deterministic.
+#[test]
+fn byzantine_sweep_demonstrates_counterexamples_without_falsifying() {
+    let cfg = SweepConfig::byzantine(StackKind::Fig8EvtHp, 20);
+    let report = falsification_sweep(&cfg);
+    assert_eq!(report.runs, 20);
+    assert!(
+        !report.falsified(),
+        "Byzantine demonstrations must not classify as falsifications: {:?}",
+        report.first_counterexample()
+    );
+    assert!(
+        !report.byzantine_demonstrated.is_empty(),
+        "no attack landed on the crash-only stack: {report:?}"
+    );
+    assert!(
+        report.liveness_held > 0,
+        "the crash-only (clean) subset vanished: {report:?}"
+    );
+    // Demonstrations are replayable coordinates into Byzantine families.
+    for cex in &report.byzantine_demonstrated {
+        assert!(
+            cex.family == "hidden-equivocator" || cex.family == "corrupt-minority-homonyms",
+            "demonstration from a crash family: {cex:?}"
+        );
+        assert!(
+            cex.script.contains("byz["),
+            "script lost the attack: {cex:?}"
+        );
+    }
+    assert_eq!(report, falsification_sweep(&cfg), "sweep nondeterminism");
+}
+
+/// Counterexamples found under fault-window variant expansion replay
+/// the **exact falsified variant**, not the family base: the replay
+/// re-locates the scenario by its printed script, so variant 0 of the
+/// attack-variation family reproduces the original violation.
+#[test]
+fn replay_relocates_variant_counterexamples() {
+    let cfg = SweepConfig::byzantine(StackKind::Fig8EvtHp, 6).with_variants(3);
+    let report = falsification_sweep(&cfg);
+    assert_eq!(report.runs, 18);
+    let cex = report
+        .first_demonstration()
+        .expect("a corrupt family must land within 18 runs");
+    let replay = replay_byzantine_counterexample(&cfg, cex, 4);
+    assert_eq!(
+        replay.scripts[0], cex.script,
+        "replay must rebuild the falsified variant, not the base"
+    );
+    assert!(replay.verdicts_match());
+    assert!(
+        replay.forked[0].violation().is_some(),
+        "the exact falsified variant must reproduce its violation"
+    );
+}
+
+/// Mid-run counterexample replay: the first demonstrated counterexample
+/// is re-forked across attack variations from a snapshot taken just
+/// before the equivocation window, and the forked verdicts must equal
+/// flat re-execution — with the honest prefix actually shared, on both
+/// sharable stacks.
+#[test]
+fn byzantine_replay_forks_match_flat_reexecution() {
+    for stack in [StackKind::Fig8EvtHp, StackKind::EvtHpDetector] {
+        let cfg = SweepConfig::byzantine(stack, 10);
+        let report = falsification_sweep(&cfg);
+        let cex = report
+            .first_demonstration()
+            .unwrap_or_else(|| panic!("{}: no demonstration in 10 scenarios", stack.name()));
+        let replay = replay_byzantine_counterexample(&cfg, cex, 5);
+        assert_eq!(replay.scripts.len(), 5, "{}", stack.name());
+        assert!(
+            replay.verdicts_match(),
+            "{}: forked replay diverged from flat re-execution:\nforked: {:?}\nflat: {:?}",
+            stack.name(),
+            replay.forked,
+            replay.flat
+        );
+        assert!(
+            replay.stats.forked > 0,
+            "{}: honest prefix never shared: {:?}",
+            stack.name(),
+            replay.stats
+        );
+        // Variant 0 is the original counterexample: its damage must
+        // reproduce from the fork.
+        assert!(
+            replay.forked[0].violation().is_some(),
+            "{}: the original attack no longer falsifies on replay",
+            stack.name()
+        );
+    }
 }

@@ -3,9 +3,13 @@
 //! **byte-identical** to the uninterrupted run from that instant — same
 //! traces, same histories, same metrics, same decisions — on both
 //! engines, under all three network models, random crash times and
-//! random fault scripts. The nested case (a fork of a fork) must hold
-//! too: the contract is compositional, which is what lets the
-//! prefix-sharing sweep executor stack snapshots along a DFS path.
+//! random fault scripts, **including active Byzantine scripts** (the
+//! scenarios below mount a permanent equivocator and a replay attacker,
+//! so the dedicated Byzantine RNG stream and the one-deep replay cache
+//! must round-trip through every snapshot). The nested case (a fork of
+//! a fork) must hold too: the contract is compositional, which is what
+//! lets the prefix-sharing sweep executor stack snapshots along a DFS
+//! path — and what makes mid-run counterexample replay sound.
 
 use homonym::chaos::sweep::fig8_node;
 use homonym::chaos::{FaultClause, PartitionMode, Scenario};
@@ -23,6 +27,9 @@ struct Echo {
 impl Process for Echo {
     type Msg = u64;
     type Output = u64;
+    fn mutate_payload(msg: &u64, entropy: u64) -> Option<u64> {
+        Some(msg.wrapping_add(1 + entropy % 5))
+    }
     fn on_start(&mut self, ctx: &mut ActionSink<'_, u64, u64>) {
         ctx.broadcast(0);
     }
@@ -49,6 +56,9 @@ struct StepCounter {
 impl SyncProcess for StepCounter {
     type Msg = u64;
     type Output = u64;
+    fn mutate_payload(msg: &u64, entropy: u64) -> Option<u64> {
+        Some(msg.wrapping_add(1 + entropy % 5))
+    }
     fn send(&mut self, step: u64, out: &mut Vec<u64>) {
         out.push(step + self.heard);
     }
@@ -89,7 +99,10 @@ fn model(kind: u8) -> NetworkModel {
 }
 
 /// A two-group partition plus a probabilistic loss overlay — the script
-/// shapes that drive both adversary RNG draws and deferred deliveries.
+/// shapes that drive both adversary RNG draws and deferred deliveries —
+/// plus a permanent equivocator and a replay attacker, so every snapshot
+/// instant finds a live Byzantine stream (per-broadcast entropy draws)
+/// and a warm replay cache to round-trip.
 fn scenario(n: usize, split: usize, heal: u64, lose: u8) -> Scenario {
     let k = split.clamp(1, n - 1);
     Scenario::new("snapshot-props", n)
@@ -106,6 +119,18 @@ fn scenario(n: usize, split: usize, heal: u64, lose: u8) -> Scenario {
             end: Time::from_ticks(10),
             loss_percent: lose.min(60),
             extra_delay: Span::ZERO,
+        })
+        .with_clause(FaultClause::ByzantineEquivocate {
+            sources: vec![0],
+            victims: vec![n - 1],
+            start: Time::from_ticks(3),
+            until: Time::MAX,
+        })
+        .with_clause(FaultClause::ByzantineReplay {
+            sources: vec![n - 1],
+            victims: vec![0],
+            start: Time::from_ticks(5),
+            until: Time::MAX,
         })
 }
 
