@@ -1,6 +1,6 @@
 //! `BENCH_sim.json` generator: simulator hot-path throughput.
 //!
-//! Measures events dispatched per second on seven workloads, each executed
+//! Measures events dispatched per second on eight workloads, each executed
 //! twice — once on the **legacy** path (the PR 1 hot path, re-baselined:
 //! calendar event queue, `Arc`-shared payloads, per-event pops, one
 //! network-model match and RNG route per copy, per-message dispatch, plus
@@ -10,7 +10,7 @@
 //! fused per-broadcast RNG sampling with precomputed distributions,
 //! incremental `◇HP` rounds, ring-window consensus buckets, cached
 //! oracles, arena-reused runs) — and writes the events/sec figures plus
-//! the speedup ratio to `BENCH_sim.json` (`schema_version = 5`) in the
+//! the speedup ratio to `BENCH_sim.json` (`schema_version = 6`) in the
 //! working directory.
 //!
 //! Workloads:
@@ -33,6 +33,16 @@
 //!   live on the hot path (per-broadcast planning, per-copy forging),
 //!   with the same both-paths event-count equality asserted under the
 //!   active Byzantine script;
+//! * `byz_tolerant_sweep` — the **price of tolerance**: the same
+//!   hidden-equivocator sweep with the undefended crash-only stack in
+//!   the legacy column and the Byzantine-tolerant quorum-certificate
+//!   stack in the current column, both on the batched path, so the
+//!   ratio isolates certificate work (two-phase rounds, per-label
+//!   admission ledgers, echo-certified decisions) rather than engine
+//!   differences. The two columns run **different algorithms**, so this
+//!   row asserts no event-count equality and its "speedup" reads as
+//!   overhead (< 1.0×); the tolerant side's verdicts are asserted —
+//!   agreement and termination must hold under the live equivocator;
 //! * `fig8_sweep_forked` — shared-prefix variant families (late
 //!   split-brain, redrawn heal times and GST margins) of the full
 //!   Figure 6 + Figure 8 stack: the **flat** executor (legacy column)
@@ -74,7 +84,7 @@ use homonym_bench::{async_net, hps_delay_only, hps_lossy, staggered_crashes};
 use homonym_chaos::generators::{fault_window_variants, hidden_equivocator, split_brain};
 use homonym_chaos::sweep::{clean_instant, fig8_node, hps_base, Fig8Node as ChaosFig8Node};
 use homonym_chaos::{FaultClause, GstPlacement, PartitionMode, Scenario};
-use homonym_consensus::{HOmegaPolicy, MajorityConsensus};
+use homonym_consensus::{ByzQuorumConsensus, HOmegaPolicy, MajorityConsensus};
 use homonym_core::prelude::*;
 use homonym_detectors::evt_hp::{EvtHpMsg, EvtHpProcess, EvtHpSnapshot};
 use homonym_detectors::oracle::{HOmegaOracle, OracleWorld, PreStability};
@@ -810,6 +820,30 @@ fn fig8_run_current(
     events
 }
 
+/// One Byzantine-tolerant run of the `byz_tolerant_sweep` row: the
+/// quorum-certificate stack under the same hidden-equivocator shape as
+/// the `byz_sweep` current flavor (same scenario, same batched engine
+/// path, arena-recycled), with the tolerance claim asserted — agreement
+/// and termination must hold with the equivocator live (the single
+/// corrupt source every `hidden_equivocator` scenario mounts, well
+/// inside the stack's `n > 3f` envelope at these sizes).
+fn byz_tolerant_run(n: usize, seed: u64, arena: &mut EngineArena<ByzQuorumConsensus>) -> u64 {
+    let s = fig8_shape(n, seed, Fig8Workload::Byzantine, false);
+    let props = s.proposals.clone();
+    let assign = s.assign.clone();
+    let mut engine = Engine::new_in(
+        s.cfg,
+        |p, _| ByzQuorumConsensus::new(props[p], &assign).with_tick(2),
+        std::mem::take(arena),
+    );
+    engine.run_until_all_correct_decided(s.deadline);
+    check_byzantine_consensus(&engine.outcome(s.proposals), &s.sched, 1)
+        .expect("the tolerant stack survives the hidden equivocator");
+    let events = engine.metrics().events;
+    *arena = engine.into_arena();
+    events
+}
+
 /// A shared-prefix variant family for the forked rows: a split-brain
 /// partition activating at `start` (late, so the family's common prefix
 /// — detector warm-up, early consensus rounds — dominates each run),
@@ -989,12 +1023,13 @@ fn main() {
             }
         }
     }
-    const ROW_NAMES: [&str; 7] = [
+    const ROW_NAMES: [&str; 8] = [
         "hps_mesh_n64",
         "hps_detector_n64",
         "fig8_consensus_sweep",
         "chaos_sweep",
         "byz_sweep",
+        "byz_tolerant_sweep",
         "fig8_sweep_forked",
         "chaos_sweep_forked",
     ];
@@ -1107,6 +1142,31 @@ fn main() {
         );
         rows.push(("byz_sweep", legacy, new));
     }
+    if enabled("byz_tolerant_sweep") {
+        // The price-of-tolerance row: legacy column = the *undefended*
+        // crash-only stack under the hidden-equivocator attacks (the
+        // `byz_sweep` current flavor, so both columns share the batched
+        // engine path and the ratio isolates certificate work), current
+        // column = the Byzantine-tolerant stack with its claim asserted.
+        // Different algorithms dispatch different event counts, so this
+        // row asserts no count equality and its "speedup" is overhead.
+        let (legacy, new) = bench_pair(reps, side, |legacy| {
+            if legacy {
+                parallel_seed_sweep_with(seeds, EngineArena::new, |arena, seed| {
+                    fig8_run_current(n_fig8, seed, Fig8Workload::Byzantine, arena)
+                })
+                .into_iter()
+                .sum()
+            } else {
+                parallel_seed_sweep_with(seeds, EngineArena::new, |arena, seed| {
+                    byz_tolerant_run(n_fig8, seed, arena)
+                })
+                .into_iter()
+                .sum()
+            }
+        });
+        rows.push(("byz_tolerant_sweep", legacy, new));
+    }
     // The forked rows compare the flat executor (legacy column: every
     // variant re-runs its full history) against the prefix-sharing
     // executor (current column: the family's shared prefix runs once,
@@ -1197,7 +1257,7 @@ fn main() {
     // Bump `schema_version` whenever the JSON shape changes (new or
     // renamed fields/rows, or a re-baselined legacy column); see
     // BENCHMARKS.md for the version history.
-    let mut json = String::from("{\n  \"schema_version\": 5,\n");
+    let mut json = String::from("{\n  \"schema_version\": 6,\n");
     for (name, legacy, new) in &rows {
         let speedup = new.events_per_sec() / legacy.events_per_sec();
         let alloc_cols = if alloc_count::ENABLED {

@@ -17,7 +17,10 @@
 //!   subset, hiding among its honest homonyms;
 //! * [`corrupt_minority_homonyms`] — an `f < n/3` minority mounts mixed
 //!   payload-corruption / replay / selective-send / equivocation
-//!   attacks.
+//!   attacks;
+//! * [`over_threshold_byzantine`] — the same mixed attacks from an
+//!   `f ≥ ⌈n/3⌉` coalition past the tolerance bound, so the boundary is
+//!   exercised from both sides in every sweep.
 
 use homonym_core::identity::IdentityAssignment;
 use homonym_core::time::{Span, Time};
@@ -249,6 +252,79 @@ pub fn corrupt_minority_homonyms(assign: &IdentityAssignment, seed: u64) -> Scen
     procs.shuffle(&mut rng);
     let corrupt: Vec<usize> = procs[..f].to_vec();
     let mut scenario = Scenario::new(format!("corrupt-minority-homonyms#{seed}"), n);
+    for &source in &corrupt {
+        let mut others: Vec<usize> = (0..n).filter(|&p| p != source).collect();
+        others.shuffle(&mut rng);
+        let k = rng.gen_range(1..=others.len() - 1);
+        let mut victims = others[..k].to_vec();
+        victims.sort_unstable();
+        let start = Time::from_ticks(rng.gen_range(5..=30));
+        let until = if rng.gen_range(0u8..100) < 70 {
+            Time::MAX
+        } else {
+            start + Span::from_ticks(rng.gen_range(40..=160))
+        };
+        let sources = vec![source];
+        scenario = scenario.with_clause(match rng.gen_range(0u8..4) {
+            0 => FaultClause::ByzantineCorrupt {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            1 => FaultClause::ByzantineReplay {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            2 => FaultClause::ByzantineSelectiveSend {
+                sources,
+                victims,
+                start,
+                until,
+            },
+            _ => FaultClause::ByzantineEquivocate {
+                sources,
+                victims,
+                start,
+                until,
+            },
+        });
+    }
+    scenario.with_gst(adversarial_gst(&mut rng))
+}
+
+/// A corrupt coalition **past** the BFT envelope: `f ≥ ⌈n/3⌉` processes
+/// (so `n ≤ 3f` — no quorum-certificate algorithm can promise both
+/// safety and liveness) each mount one randomly drawn attack, exactly
+/// like [`corrupt_minority_homonyms`] but from the wrong side of the
+/// tolerance boundary. The sweep runs this family *unclaimed* even for
+/// the tolerant stack: violations here are the **expected demonstration**
+/// that the `n > 3f` bound is tight — a tolerant stack that sailed
+/// through it would be evidence of an implementation that is not
+/// actually consuming its fault budget.
+///
+/// The coalition stays below `n − 1` so at least two honest processes
+/// remain to disagree about (and with `f = ⌈n/3⌉` the window
+/// `⌈n/3⌉ ≤ f ≤ min(⌈n/3⌉ + 1, n − 2)` keeps the demonstration close
+/// to the boundary rather than drowning the run in noise).
+///
+/// # Panics
+///
+/// Panics if the assignment has fewer than four processes.
+#[must_use]
+pub fn over_threshold_byzantine(assign: &IdentityAssignment, seed: u64) -> Scenario {
+    let n = assign.n();
+    assert!(n >= 4, "an over-threshold coalition needs n >= 4");
+    let mut rng = rng_for("over-threshold-byzantine", seed);
+    let f_min = n.div_ceil(3);
+    let f_max = (f_min + 1).min(n - 2).max(f_min);
+    let f = rng.gen_range(f_min..=f_max);
+    let mut procs: Vec<usize> = (0..n).collect();
+    procs.shuffle(&mut rng);
+    let corrupt: Vec<usize> = procs[..f].to_vec();
+    let mut scenario = Scenario::new(format!("over-threshold-byzantine#{seed}"), n);
     for &source in &corrupt {
         let mut others: Vec<usize> = (0..n).filter(|&p| p != source).collect();
         others.shuffle(&mut rng);
@@ -629,6 +705,35 @@ mod tests {
             assert!(*until == Time::MAX, "the BFT faulty process is permanent");
             assert!(!victims.is_empty() && victims.len() < 8);
             assert!(!victims.contains(&equivocator));
+        }
+    }
+
+    #[test]
+    fn over_threshold_generator_is_deterministic_valid_and_past_the_bound() {
+        let assign = IdentityAssignment::round_robin(8, 3);
+        for seed in 0..100 {
+            let s = over_threshold_byzantine(&assign, seed);
+            s.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e} in {s}"));
+            assert!(s.is_byzantine());
+            let f = s.corrupt_count();
+            assert!(
+                3 * f >= 8 && f <= 6,
+                "seed {seed}: f={f} must sit past the n > 3f bound"
+            );
+            assert!(s.first_byzantine_activation().is_some());
+            assert_eq!(s, over_threshold_byzantine(&assign, seed));
+        }
+        assert_ne!(
+            over_threshold_byzantine(&assign, 1),
+            over_threshold_byzantine(&assign, 2)
+        );
+        // The boundary family and the in-envelope family are two sides of
+        // the same n > 3f line: their fault ranges must not overlap.
+        for seed in 0..100 {
+            let under = corrupt_minority_homonyms(&assign, seed).corrupt_count();
+            let over = over_threshold_byzantine(&assign, seed).corrupt_count();
+            assert!(3 * under < 8 && 3 * over >= 8);
         }
     }
 

@@ -86,7 +86,7 @@ pub mod sweep;
 
 pub use scenario::{FaultClause, GstPlacement, PartitionMode, Scenario, ScenarioError};
 pub use sweep::{
-    falsification_sweep, falsification_sweep_forked, fig8_node, hps_base,
-    replay_byzantine_counterexample, ByzantineReplay, Counterexample, Family, Fig8Node, StackKind,
-    SweepConfig, SweepReport,
+    byz_tolerant_node, falsification_sweep, falsification_sweep_forked, fig8_node, hps_base,
+    replay_byzantine_counterexample, ByzTolerantNode, ByzantineReplay, Counterexample, Family,
+    Fig8Node, StackKind, SweepConfig, SweepReport,
 };

@@ -47,13 +47,13 @@
 //! and the pre-heal probes double as the demonstration that liveness
 //! *correctly* fails while a partition is up and holds once it heals.
 
-use homonym_consensus::{HOmegaPolicy, MajorityConsensus, QuorumConsensus};
+use homonym_consensus::{ByzQuorumConsensus, HOmegaPolicy, MajorityConsensus, QuorumConsensus};
 use homonym_core::classes::HOmegaOutput;
 use homonym_core::failure::FailureSchedule;
 use homonym_core::identity::{Identity, IdentityAssignment};
 use homonym_core::properties::{
-    check_consensus, check_evt_hp, check_h_omega, classify_run, PropertyViolation, RunCondition,
-    RunVerdict,
+    check_byzantine_consensus, check_consensus, check_evt_hp, check_h_omega, classify_run,
+    PropertyViolation, RunCondition, RunVerdict,
 };
 use homonym_core::query::SharedCell;
 use homonym_core::time::{Span, Time};
@@ -73,7 +73,7 @@ pub use homonym_sim::sweep::{
 
 use crate::generators::{
     byzantine_attack_variants, corrupt_minority_homonyms, fault_window_variants, flapping_minority,
-    hidden_equivocator, homonym_group_isolation, split_brain,
+    hidden_equivocator, homonym_group_isolation, over_threshold_byzantine, split_brain,
 };
 use crate::scenario::{FaultClause, Scenario};
 
@@ -90,6 +90,9 @@ pub enum Family {
     HiddenEquivocator,
     /// [`corrupt_minority_homonyms`].
     CorruptMinorityHomonyms,
+    /// [`over_threshold_byzantine`] — an `f ≥ ⌈n/3⌉` coalition past the
+    /// tolerance bound of the Byzantine-tolerant stack.
+    OverThresholdByzantine,
 }
 
 impl Family {
@@ -101,17 +104,25 @@ impl Family {
     ];
 
     /// The Byzantine families.
-    pub const BYZANTINE: [Family; 2] = [Family::HiddenEquivocator, Family::CorruptMinorityHomonyms];
+    pub const BYZANTINE: [Family; 3] = [
+        Family::HiddenEquivocator,
+        Family::CorruptMinorityHomonyms,
+        Family::OverThresholdByzantine,
+    ];
 
     /// The Byzantine-mode rotation: the Byzantine families interleaved
     /// with the crash families, so one sweep asserts both halves of the
     /// contract — demonstrated counterexamples on the corrupt runs,
-    /// untouched safety on the crash-only (clean) subset.
-    pub const WITH_BYZANTINE: [Family; 5] = [
+    /// untouched safety on the crash-only (clean) subset. The
+    /// over-threshold family rides in the same rotation so the tolerant
+    /// stack's `n > 3f` bound is exercised from both sides: within it the
+    /// stack must survive, past it the stack is *expected* to fall.
+    pub const WITH_BYZANTINE: [Family; 6] = [
         Family::HiddenEquivocator,
         Family::SplitBrain,
         Family::CorruptMinorityHomonyms,
         Family::FlappingMinority,
+        Family::OverThresholdByzantine,
         Family::HomonymIsolation,
     ];
 
@@ -124,6 +135,7 @@ impl Family {
             Family::HomonymIsolation => "homonym-isolation",
             Family::HiddenEquivocator => "hidden-equivocator",
             Family::CorruptMinorityHomonyms => "corrupt-minority-homonyms",
+            Family::OverThresholdByzantine => "over-threshold-byzantine",
         }
     }
 
@@ -147,6 +159,7 @@ impl Family {
             Family::HomonymIsolation => homonym_group_isolation(assign, seed),
             Family::HiddenEquivocator => hidden_equivocator(assign, seed),
             Family::CorruptMinorityHomonyms => corrupt_minority_homonyms(assign, seed),
+            Family::OverThresholdByzantine => over_threshold_byzantine(assign, seed),
         }
     }
 }
@@ -167,6 +180,17 @@ pub enum StackKind {
     /// The Figure 6 detector alone in `HPS`: no safety properties (`◇HP`
     /// has none), liveness = `◇HP` convergence and `HΩ` election.
     EvtHpDetector,
+    /// The Byzantine-*tolerant* stack: the Figure 6 `◇HP` detector
+    /// stacked over [`ByzQuorumConsensus`] — `> (n+f)/2` quorum
+    /// certificates, per-label admission windows and echo-certified
+    /// decisions, in `HPS`. Safety = agreement + (corrupt-free runs only)
+    /// validity, **claimed even under corruption** whenever the run's
+    /// fault count satisfies `3f < n`: violations inside the envelope are
+    /// real counterexamples, never excused as
+    /// [`ByzantineExpected`](RunVerdict::ByzantineExpected). Past the
+    /// bound (`3f ≥ n`) the claim is withdrawn and violations are the
+    /// demonstrated fall the threshold theory predicts.
+    ByzTolerant,
 }
 
 impl StackKind {
@@ -177,6 +201,7 @@ impl StackKind {
             StackKind::Fig8EvtHp => "fig8-evt-hp",
             StackKind::Fig9OracleQuorum => "fig9-oracle-quorum",
             StackKind::EvtHpDetector => "evt-hp-detector",
+            StackKind::ByzTolerant => "byz-tolerant-quorum",
         }
     }
 }
@@ -345,6 +370,7 @@ struct WorkerArenas {
     fig8: EngineArena<Fig8Node>,
     fig9: EngineArena<QuorumConsensus<HOmegaOracle, HSigmaOracle>>,
     detector: EngineArena<EvtHpProcess>,
+    byz: EngineArena<ByzTolerantNode>,
 }
 
 impl WorkerArenas {
@@ -353,6 +379,7 @@ impl WorkerArenas {
             fig8: EngineArena::new(),
             fig9: EngineArena::new(),
             detector: EngineArena::new(),
+            byz: EngineArena::new(),
         }
     }
 }
@@ -363,6 +390,7 @@ impl WorkerArenas {
 struct ForkedWorkers {
     fig8: PrefixSweeper<Fig8Node>,
     detector: PrefixSweeper<EvtHpProcess>,
+    byz: PrefixSweeper<ByzTolerantNode>,
     flat: WorkerArenas,
 }
 
@@ -371,6 +399,7 @@ impl ForkedWorkers {
         ForkedWorkers {
             fig8: PrefixSweeper::new(),
             detector: PrefixSweeper::new(),
+            byz: PrefixSweeper::new(),
             flat: WorkerArenas::new(),
         }
     }
@@ -534,6 +563,14 @@ fn run_flat(
             run_detector(cfg, assign, &mut arenas.detector, &run.scenario, run.seed),
             None,
         ),
+        StackKind::ByzTolerant => run_byz(
+            cfg,
+            assign,
+            &mut arenas.byz,
+            &run.scenario,
+            run.seed,
+            run.probe.then(|| first_heal(&run.scenario)).flatten(),
+        ),
     };
     RunOutcome {
         family: run.family,
@@ -563,6 +600,7 @@ fn run_family_forked(
             .collect(),
         StackKind::Fig8EvtHp => run_fig8_family_forked(cfg, assign, workers, group),
         StackKind::EvtHpDetector => run_detector_family_forked(cfg, assign, workers, group),
+        StackKind::ByzTolerant => run_byz_family_forked(cfg, assign, workers, group),
     }
 }
 
@@ -764,6 +802,44 @@ pub fn fig8_node(proposal: u64, n: usize, t: usize) -> Fig8Node {
     Stacked::new(detector, consensus)
 }
 
+/// The Byzantine-tolerant stack: the Figure 6 `◇HP`/`HΩ` detector
+/// stacked over the `HΣ`-style quorum-certificate consensus — same
+/// two-layer shape as [`Fig8Node`], so the batched hot path, the
+/// snapshot/fork layer and the [`PrefixSweeper`] drive it unchanged.
+pub type ByzTolerantNode = Stacked<EvtHpProcess, ByzQuorumConsensus>;
+
+/// Builds one [`ByzTolerantNode`] — the exact stack the Byzantine sweep
+/// drives, exported so tests, benches and examples exercise the same
+/// shape (same consensus tick, same design tolerance `f = ⌊(n−1)/3⌋`
+/// fixed from the topology) instead of hand-rolling a drifting copy.
+#[must_use]
+pub fn byz_tolerant_node(proposal: u64, assign: &IdentityAssignment) -> ByzTolerantNode {
+    Stacked::new(
+        EvtHpProcess::new(),
+        ByzQuorumConsensus::new(proposal, assign).with_tick(2),
+    )
+}
+
+/// The run condition of a tolerant-stack run: the tolerance claim is
+/// asserted exactly when the scenario's corruption stays inside the
+/// stack's `n > 3f` envelope — within it, violations are *real*
+/// counterexamples (never `ByzantineExpected`); past it the claim is
+/// withdrawn and violations are the demonstrated fall past the bound.
+fn byz_condition(cfg: &SweepConfig, scenario: &Scenario, clean: Time) -> RunCondition {
+    let corrupt = scenario.corrupt_count();
+    let condition = if scenario.is_lossy() {
+        RunCondition::never_clean()
+    } else {
+        RunCondition::clean_from(clean)
+    };
+    let condition = condition.with_corrupt(corrupt);
+    if 3 * corrupt < cfg.n {
+        condition.claiming_byzantine_tolerance(cfg.n)
+    } else {
+        condition
+    }
+}
+
 /// Base `HPS` network for scenario runs: pre-GST copies delayed but
 /// never lost by the *network* (loss, if any, is the scenario's move),
 /// so reliability is exactly what the scenario says it is. The GST here
@@ -830,6 +906,134 @@ fn run_fig8(
         blocked
     });
     (verdict, probe_blocked)
+}
+
+fn run_byz(
+    cfg: &SweepConfig,
+    assign: &IdentityAssignment,
+    arena: &mut EngineArena<ByzTolerantNode>,
+    scenario: &Scenario,
+    seed: u64,
+    probe_at: Option<Time>,
+) -> (RunVerdict<()>, Option<bool>) {
+    let n = cfg.n;
+    let corrupt = scenario.corrupt_count();
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    let build = || {
+        let sim =
+            SimConfig::new(assign.clone(), FailureSchedule::none(n), hps_base()).with_seed(seed);
+        scenario.install(sim).expect("generated scenarios validate")
+    };
+    let sim = build();
+    let sched = sim.sched.clone();
+    let clean = clean_instant(&sim, scenario);
+    let deadline = clean + cfg.decision_margin;
+    let props = proposals.clone();
+    let mut engine = Engine::new_in(
+        sim,
+        |p, _| byz_tolerant_node(props[p], assign),
+        std::mem::take(arena),
+    );
+    engine.run_until_all_correct_decided(deadline);
+    let result =
+        check_byzantine_consensus(&engine.outcome(proposals.clone()), &sched, corrupt).map(|_| ());
+    *arena = engine.into_arena();
+    let verdict = classify_run(byz_condition(cfg, scenario, clean), result);
+
+    let probe_blocked = probe_at.map(|cut| {
+        let props = proposals.clone();
+        let mut probe = Engine::new_in(
+            build(),
+            |p, _| byz_tolerant_node(props[p], assign),
+            std::mem::take(arena),
+        );
+        probe.run_until_all_correct_decided(cut);
+        let blocked =
+            check_byzantine_consensus(&probe.outcome(proposals.clone()), &sched, corrupt).is_err();
+        *arena = probe.into_arena();
+        blocked
+    });
+    (verdict, probe_blocked)
+}
+
+fn run_byz_family_forked(
+    cfg: &SweepConfig,
+    assign: &IdentityAssignment,
+    workers: &mut ForkedWorkers,
+    group: &[PlannedRun],
+) -> Vec<RunOutcome> {
+    let n = cfg.n;
+    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+    let mut cleans = Vec::with_capacity(group.len());
+    let items: Vec<PrefixItem<()>> = group
+        .iter()
+        .map(|run| {
+            let sim = SimConfig::new(assign.clone(), FailureSchedule::none(n), hps_base())
+                .with_seed(run.seed);
+            let sim = run
+                .scenario
+                .install(sim)
+                .expect("generated scenarios validate");
+            let clean = clean_instant(&sim, &run.scenario);
+            cleans.push(clean);
+            PrefixItem {
+                goal: RunGoal::UntilAllCorrectDecided(clean + cfg.decision_margin),
+                config: sim,
+                tag: (),
+            }
+        })
+        .collect();
+    let props = proposals.clone();
+    let verdicts = workers.byz.run_family(
+        &items,
+        |_, p, _| byz_tolerant_node(props[p], assign),
+        |engine, j| {
+            let sched = engine.config().sched.clone();
+            let corrupt = group[j].scenario.corrupt_count();
+            let result =
+                check_byzantine_consensus(&engine.outcome(proposals.clone()), &sched, corrupt)
+                    .map(|_| ());
+            classify_run(byz_condition(cfg, &group[j].scenario, cleans[j]), result)
+        },
+    );
+    group
+        .iter()
+        .zip(verdicts)
+        .enumerate()
+        .map(|(j, (run, verdict))| {
+            let probe_blocked = run
+                .probe
+                .then(|| first_heal(&run.scenario))
+                .flatten()
+                .map(|cut| {
+                    let props = proposals.clone();
+                    let sched = items[j].config.sched.clone();
+                    let corrupt = run.scenario.corrupt_count();
+                    let mut probe = Engine::new_in(
+                        items[j].config.clone(),
+                        |p, _| byz_tolerant_node(props[p], assign),
+                        std::mem::take(&mut workers.flat.byz),
+                    );
+                    probe.run_until_all_correct_decided(cut);
+                    let blocked = check_byzantine_consensus(
+                        &probe.outcome(proposals.clone()),
+                        &sched,
+                        corrupt,
+                    )
+                    .is_err();
+                    workers.flat.byz = probe.into_arena();
+                    blocked
+                });
+            RunOutcome {
+                family: run.family,
+                seed: run.seed,
+                script: run.scenario.to_string(),
+                verdict,
+                corrupt: run.scenario.corrupt_count(),
+                probe_blocked,
+            }
+        })
+        .collect()
 }
 
 fn run_fig9(
@@ -1036,10 +1240,16 @@ pub fn replay_byzantine_counterexample(
         .map(|run| run_flat(cfg, &assign, &mut flat_arenas, run))
         .collect();
     let stats = ForkStats {
-        runs: workers.fig8.stats.runs + workers.detector.stats.runs,
-        forked: workers.fig8.stats.forked + workers.detector.stats.forked,
-        snapshots: workers.fig8.stats.snapshots + workers.detector.stats.snapshots,
-        shared_ticks: workers.fig8.stats.shared_ticks + workers.detector.stats.shared_ticks,
+        runs: workers.fig8.stats.runs + workers.detector.stats.runs + workers.byz.stats.runs,
+        forked: workers.fig8.stats.forked
+            + workers.detector.stats.forked
+            + workers.byz.stats.forked,
+        snapshots: workers.fig8.stats.snapshots
+            + workers.detector.stats.snapshots
+            + workers.byz.stats.snapshots,
+        shared_ticks: workers.fig8.stats.shared_ticks
+            + workers.detector.stats.shared_ticks
+            + workers.byz.stats.shared_ticks,
     };
     ByzantineReplay {
         scripts: group.iter().map(|r| r.scenario.to_string()).collect(),

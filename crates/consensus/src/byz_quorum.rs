@@ -1,0 +1,738 @@
+//! Byzantine-tolerant consensus from HΣ-style quorum certificates in
+//! `HAS[n > 3f]`.
+//!
+//! PR 5's adversary proved that every crash-model stack in this crate is
+//! felled by a *hidden equivocator*: one corrupt process hiding among
+//! honest homonyms forges estimates in its outgoing copies and the
+//! first-value-wins windows swallow them. This module is the defense
+//! half: a round-based consensus algorithm whose every step is gated on
+//! an explicit quorum certificate sized `> (n + f) / 2`, the Byzantine
+//! generalization of the paper's HΣ quorum intersection (two such quorums
+//! intersect in at least `f + 1` processes, hence in at least one that is
+//! correct — the same argument Malachite/Tendermint-style `< n/3` rules
+//! rest on).
+//!
+//! ## Design tolerance vs. scenario fault count
+//!
+//! The algorithm fixes its tolerance at construction: `f = ⌊(n−1)/3⌋`,
+//! the largest value with `n > 3f`. Thresholds derive from it:
+//!
+//! * `quorum  = (n + f)/2 + 1` — certificate size; any two intersect in
+//!   ≥ `f + 1` members, so in ≥ 1 honest copy.
+//! * `wait    = n − f`         — copies to await before giving up on a
+//!   phase (more could never arrive if `f` processes stay silent).
+//! * `affirm  = f + 1`         — copies that guarantee ≥ 1 honest source.
+//!
+//! A sweep scenario's *actual* corrupt count may be anything from `0`
+//! (the crash families, which this stack must still decide) up to past
+//! the bound; the claim the harness asserts is exactly "this stack
+//! tolerates any `f' ≤ ⌊(n−1)/3⌋`", and the over-threshold family
+//! demonstrates the bound is tight.
+//!
+//! ## The certificate structure
+//!
+//! Rounds alternate two phases. In the **vote** phase everyone broadcasts
+//! `VOTE(id, r, est, locked)`; a value backed by `quorum` admitted copies
+//! becomes the process's *commit candidate* and is **locked** (see
+//! below). In the **commit** phase everyone broadcasts its candidate
+//! (possibly `⊥`); `quorum` matching non-⊥ commits decide the value,
+//! `affirm` matching commits are an adoption certificate (≥ 1 honest
+//! process saw a vote quorum), and failing both the process falls back to
+//! the round's *coordinator label* (rotating over the distinct labels,
+//! the homonymous stand-in for a rotating proposer — a whole label class
+//! coordinates, exactly as in the paper's Leaders' Coordination phase,
+//! but without trusting any failure detector output, which a Byzantine
+//! scenario could corrupt).
+//!
+//! Every window admits payloads through the
+//! [`WindowLedger`](crate::conflict::WindowLedger) half of the crate-wide
+//! conflicting-payload policy: at most `multiplicity(label)` copies per
+//! label per phase, everything beyond the cap detected and discarded. An
+//! equivocating homonym therefore contributes at most its own carrier
+//! slot — it can lie, but it cannot *multiply*.
+//!
+//! ## Locking and lock release
+//!
+//! Observing a vote quorum for `v` locks `v`. A decision for `v` implies
+//! `quorum` commit copies, of which ≥ `quorum − f` are honest, and every
+//! honest `COMMIT(v)` sender locked `v`; since
+//! `2·quorum > n + f`, any later vote quorum for `w ≠ v` would need more
+//! honest unlocked voters than exist. Locks therefore protect decisions
+//! unconditionally. A lock is released only by `affirm`-sized evidence —
+//! a commit certificate for another value, or `affirm` *locked* votes for
+//! another value in a later round than the lock (both guarantee an honest
+//! vouching process, and the counting argument above shows such evidence
+//! can never exist against a decided value). Release by weaker evidence
+//! would let a single forged "locked" vote unseat a real lock; release by
+//! nothing at all can deadlock two minority lock camps forever.
+//!
+//! ## Echo-certified DECIDE
+//!
+//! The crash stacks' Task T2 relays and trusts a bare `DECIDE` — the
+//! single most profitable forgery target (one forged message, one victim,
+//! agreement and validity both broken). Here a `DECIDE(id, v)` is *never*
+//! acted on alone: copies accumulate in a label-capped ledger and only
+//! `affirm` matching copies — hence at least one from an honest process
+//! that genuinely decided — form a decision certificate. A process that
+//! decides (either way) broadcasts its own `DECIDE` echo, so certificates
+//! amplify Bracha-style, and then **keeps participating in rounds**
+//! instead of halting: halting would shrink the live population below
+//! `wait` and strand any straggler whose certificate copies were dropped,
+//! while the sweep's run goal already ends the simulation once every
+//! correct process has decided.
+//!
+//! ## What "tolerant" promises — and what it cannot
+//!
+//! Agreement and termination hold for every fault mix within the design
+//! tolerance, and validity holds in crash-only runs. Full paper validity
+//! ("decided ⇒ someone proposed it") is **provably unattainable** against
+//! an unsigned equivocator — see
+//! [`check_byzantine_consensus`](homonym_core::properties::check_byzantine_consensus)
+//! for the indistinguishability argument — which is exactly why the
+//! property layer checks this stack against BFT validity rather than
+//! crash validity.
+
+use homonym_core::fork::ForkSpace;
+use homonym_core::identity::{Identity, IdentityAssignment};
+use homonym_core::multiset::Multiset;
+use homonym_core::time::{Span, Time};
+use homonym_sim::process::{ActionSink, Process, TimerTag};
+use homonym_sim::snapshot::ForkProcess;
+
+use crate::conflict::WindowLedger;
+use crate::round_window::{RoundRing, ValueCounts, Window};
+
+/// The periodic guard-re-evaluation timer.
+const TICK: TimerTag = TimerTag(0);
+
+/// Protocol messages of the Byzantine-tolerant quorum stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByzMsg {
+    /// `VOTE(id, r, est, locked)` — the sender's round-`r` estimate,
+    /// flagged when the sender holds a lock on it.
+    Vote {
+        /// Sender's identifier (admission is label-capped on it).
+        id: Identity,
+        /// Sender's round.
+        round: u64,
+        /// Sender's current estimate.
+        est: u64,
+        /// Whether the sender is locked on `est` (a *claim*; only
+        /// `affirm`-sized agreement on it is ever acted on).
+        locked: bool,
+    },
+    /// `COMMIT(id, r, val)` — the sender's commit candidate; `None`
+    /// encodes `⊥` (no vote quorum observed).
+    Commit {
+        /// Sender's identifier.
+        id: Identity,
+        /// Sender's round.
+        round: u64,
+        /// The quorum-certified candidate, if any.
+        val: Option<u64>,
+    },
+    /// `DECIDE(id, v)` — one echo of a decision; `affirm` matching
+    /// copies form a decision certificate.
+    Decide {
+        /// Sender's identifier.
+        id: Identity,
+        /// The decided value.
+        value: u64,
+    },
+}
+
+/// Returns a static class name for a message, for metrics classifiers.
+#[must_use]
+pub fn classify_byz(msg: &ByzMsg) -> &'static str {
+    match msg {
+        ByzMsg::Vote { .. } => "VOTE",
+        ByzMsg::Commit { .. } => "COMMIT",
+        ByzMsg::Decide { .. } => "DECIDE",
+    }
+}
+
+/// The Byzantine payload mutation of a tolerant-stack message (the
+/// `Process::mutate_payload` hook): the same attack surface the crash
+/// stacks face. Estimates and decision values are shifted by a small
+/// entropy-derived delta while identifiers and round numbers stay intact
+/// (the forgery hides among the sender's honest homonyms); a `⊥` commit
+/// is forged into a phantom certificate claim, and the `locked` flag is
+/// re-rolled so forged votes can also claim (or disclaim) locks. The
+/// tolerant stack must shed all of this through its certificates — the
+/// mutation is deliberately *not* weakened to make its job easier.
+#[must_use]
+pub fn mutate_byz_msg(msg: &ByzMsg, entropy: u64) -> ByzMsg {
+    let delta = 1 + entropy % 7;
+    match *msg {
+        ByzMsg::Vote { id, round, est, .. } => ByzMsg::Vote {
+            id,
+            round,
+            est: est.wrapping_add(delta),
+            locked: entropy.is_multiple_of(2),
+        },
+        ByzMsg::Commit { id, round, val } => ByzMsg::Commit {
+            id,
+            round,
+            val: Some(val.map_or(delta, |v| v.wrapping_add(delta))),
+        },
+        ByzMsg::Decide { id, value } => ByzMsg::Decide {
+            id,
+            value: value.wrapping_add(delta),
+        },
+    }
+}
+
+/// One round's label-capped message windows.
+#[derive(Debug, Default, Clone)]
+struct ByzWindow {
+    /// Vote-phase admission ledger.
+    vote_ledger: WindowLedger,
+    /// Admitted vote estimates.
+    votes: ValueCounts,
+    /// Admitted vote estimates whose sender claimed a lock.
+    locked_votes: ValueCounts,
+    /// Admitted votes carried under this round's coordinator label:
+    /// `(est, locked)` in arrival order (only order-independent
+    /// aggregates are read off it).
+    coord_votes: Vec<(u64, bool)>,
+    /// Commit-phase admission ledger.
+    commit_ledger: WindowLedger,
+    /// Admitted non-⊥ commit candidates.
+    commits: ValueCounts,
+    /// Admitted ⊥ commits.
+    commit_bottoms: usize,
+}
+
+impl Window for ByzWindow {
+    fn reset(&mut self) {
+        self.vote_ledger.reset();
+        self.votes.clear();
+        self.locked_votes.clear();
+        self.coord_votes.clear();
+        self.commit_ledger.reset();
+        self.commits.clear();
+        self.commit_bottoms = 0;
+    }
+}
+
+/// The two phases of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Collecting `VOTE`s, hunting a vote quorum.
+    Vote,
+    /// Collecting `COMMIT`s, hunting a decision certificate.
+    Commit,
+}
+
+/// Byzantine-tolerant quorum consensus (see the module docs).
+///
+/// `Output` is the round number, published on every round entry, so
+/// engine histories expose the round structure exactly like the crash
+/// stacks do.
+#[derive(Debug, Clone)]
+pub struct ByzQuorumConsensus {
+    n: usize,
+    /// Design tolerance `⌊(n−1)/3⌋` (not the scenario's fault count).
+    f: usize,
+    /// The full assignment multiset — the degenerate, always-safe HΣ
+    /// realization (every quorum drawn from the whole population), used
+    /// as the per-label admission cap.
+    caps: Multiset<Identity>,
+    /// Distinct labels in ascending order; round `r`'s coordinator label
+    /// is `labels[r mod labels.len()]`.
+    labels: Vec<Identity>,
+    est: u64,
+    /// `(value, round it was locked in)`.
+    lock: Option<(u64, u64)>,
+    round: u64,
+    phase: Phase,
+    /// When the current phase was entered (for the convergence grace).
+    phase_entered: Time,
+    rounds: RoundRing<ByzWindow>,
+    /// Cumulative `DECIDE` echoes, label-capped across the whole run.
+    decide_ledger: WindowLedger,
+    decide_votes: ValueCounts,
+    decided: Option<u64>,
+    /// Total copies shed by the detect-and-discard policy.
+    discarded: u64,
+    tick: Span,
+    /// Extra dwell time per phase after the `wait` threshold, so
+    /// post-GST processes evaluate near-identical windows instead of
+    /// racing ahead on the first `wait` arrivals.
+    phase_grace: Span,
+}
+
+impl ByzQuorumConsensus {
+    /// A tolerant process proposing `proposal` under `assign`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`: Byzantine quorums need `n > 3f` with `f ≥ 1`.
+    #[must_use]
+    pub fn new(proposal: u64, assign: &IdentityAssignment) -> Self {
+        let n = assign.n();
+        assert!(
+            n >= 4,
+            "Byzantine quorums need n > 3f with f >= 1 (n = {n})"
+        );
+        let caps = assign.multiset();
+        let labels: Vec<Identity> = caps.support().copied().collect();
+        ByzQuorumConsensus {
+            n,
+            f: (n - 1) / 3,
+            caps,
+            labels,
+            est: proposal,
+            lock: None,
+            round: 0,
+            phase: Phase::Vote,
+            phase_entered: Time::ZERO,
+            rounds: RoundRing::new(),
+            decide_ledger: WindowLedger::default(),
+            decide_votes: ValueCounts::default(),
+            decided: None,
+            discarded: 0,
+            tick: Span::from_ticks(2),
+            phase_grace: Span::from_ticks(10),
+        }
+    }
+
+    /// Overrides the guard re-evaluation period.
+    #[must_use]
+    pub fn with_tick(mut self, ticks: u64) -> Self {
+        self.tick = Span::from_ticks(ticks);
+        self
+    }
+
+    /// The design tolerance `⌊(n−1)/3⌋`.
+    #[must_use]
+    pub fn tolerance(&self) -> usize {
+        self.f
+    }
+
+    /// Certificate size: `(n + f)/2 + 1`.
+    #[must_use]
+    pub fn quorum(&self) -> usize {
+        (self.n + self.f) / 2 + 1
+    }
+
+    /// Copies awaited per phase: `n − f`.
+    #[must_use]
+    pub fn wait(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// Certificate size guaranteeing ≥ 1 honest source: `f + 1`.
+    #[must_use]
+    pub fn affirm(&self) -> usize {
+        self.f + 1
+    }
+
+    /// The decided value, if any.
+    #[must_use]
+    pub fn decision(&self) -> Option<u64> {
+        self.decided
+    }
+
+    /// Copies shed so far by the detect-and-discard admission policy.
+    #[must_use]
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    fn coord_label(&self, round: u64) -> Identity {
+        self.labels[(round % self.labels.len() as u64) as usize]
+    }
+
+    /// The single value holding a quorum in `counts`, if any (two values
+    /// can never both reach `quorum`: admitted copies total ≤ n and
+    /// `2·quorum > n`).
+    fn quorum_value(&self, counts: &ValueCounts) -> Option<u64> {
+        let q = self.quorum();
+        counts
+            .counted()
+            .iter()
+            .find(|&&(_, c)| c >= q)
+            .map(|&(v, _)| v)
+    }
+
+    /// The strongest `affirm`-certified value in `counts`: highest count
+    /// wins, ties break toward the smaller value, so every honest
+    /// process ranks identically on identical windows.
+    fn affirmed_value(&self, counts: &ValueCounts) -> Option<u64> {
+        let a = self.affirm();
+        counts
+            .counted()
+            .iter()
+            .filter(|&&(_, c)| c >= a)
+            .max_by_key(|&&(v, c)| (c, core::cmp::Reverse(v)))
+            .map(|&(v, _)| v)
+    }
+
+    fn broadcast_vote(&mut self, ctx: &mut ActionSink<'_, ByzMsg, u64>) {
+        ctx.broadcast(ByzMsg::Vote {
+            id: ctx.my_id(),
+            round: self.round,
+            est: self.est,
+            locked: self.lock.is_some(),
+        });
+    }
+
+    fn enter_round(&mut self, ctx: &mut ActionSink<'_, ByzMsg, u64>) {
+        self.rounds.advance_to(self.round);
+        self.phase = Phase::Vote;
+        self.phase_entered = ctx.local_now();
+        ctx.publish(self.round);
+        self.broadcast_vote(ctx);
+    }
+
+    /// Delivers a certified decision: decide once, echo the certificate,
+    /// pin the value, and *keep participating* (see the module docs for
+    /// why halting here would strand stragglers).
+    fn deliver_decision(&mut self, v: u64, ctx: &mut ActionSink<'_, ByzMsg, u64>) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.decided = Some(v);
+        self.est = v;
+        self.lock = Some((v, self.round));
+        ctx.broadcast(ByzMsg::Decide {
+            id: ctx.my_id(),
+            value: v,
+        });
+        ctx.decide(v);
+    }
+
+    /// Phase-threshold guard: a quorum ends the dwell immediately (it is
+    /// decisive evidence no grace can improve); otherwise the phase needs
+    /// `wait` admitted copies *and* the convergence grace to elapse.
+    fn threshold_met(&self, seen: usize, decisive: bool, now: Time) -> bool {
+        decisive || (seen >= self.wait() && now >= self.phase_entered + self.phase_grace)
+    }
+
+    /// Re-evaluates the current phase guard; returns whether the process
+    /// advanced (so the caller loops until quiescent).
+    fn eval(&mut self, ctx: &mut ActionSink<'_, ByzMsg, u64>) -> bool {
+        let now = ctx.local_now();
+        // A decision certificate is acted on regardless of phase.
+        if self.decided.is_none() {
+            if let Some(v) = self.affirmed_value(&self.decide_votes) {
+                self.deliver_decision(v, ctx);
+                return true;
+            }
+        }
+        let r = self.round;
+        match self.phase {
+            Phase::Vote => {
+                let Some(w) = self.rounds.get(r) else {
+                    return false;
+                };
+                let certified = self.quorum_value(&w.votes);
+                if !self.threshold_met(w.votes.total(), certified.is_some(), now) {
+                    return false;
+                }
+                if self.decided.is_none() {
+                    if let Some(v) = certified {
+                        self.est = v;
+                        self.lock = Some((v, r));
+                    }
+                }
+                ctx.broadcast(ByzMsg::Commit {
+                    id: ctx.my_id(),
+                    round: r,
+                    val: certified,
+                });
+                self.phase = Phase::Commit;
+                self.phase_entered = now;
+                true
+            }
+            Phase::Commit => {
+                let Some(w) = self.rounds.get(r) else {
+                    return false;
+                };
+                let certified = self.quorum_value(&w.commits);
+                let seen = w.commits.total() + w.commit_bottoms;
+                if !self.threshold_met(seen, certified.is_some(), now) {
+                    return false;
+                }
+                if let Some(v) = certified {
+                    self.deliver_decision(v, ctx);
+                }
+                if self.decided.is_none() {
+                    self.adopt_for_next_round(r);
+                }
+                self.round = r + 1;
+                self.enter_round(ctx);
+                true
+            }
+        }
+    }
+
+    /// End-of-round estimate adjustment when no decision was certified,
+    /// in strictly decreasing evidence order: commit certificate, lock
+    /// release/hold, coordinator fallback.
+    fn adopt_for_next_round(&mut self, r: u64) {
+        let Some(w) = self.rounds.get(r) else {
+            return;
+        };
+        // An affirm-sized commit certificate carries ≥ 1 honest vote
+        // quorum observation: adopt it. A conflicting minority lock
+        // yields — the locking argument in the module docs shows such a
+        // certificate can never exist against a decided value.
+        if let Some(v) = self.affirmed_value(&w.commits) {
+            self.est = v;
+            if self.lock.is_none_or(|(x, _)| x != v) {
+                self.lock = None;
+            }
+            return;
+        }
+        if let Some((x, locked_in)) = self.lock {
+            // Locked with no certificate in sight: release only toward
+            // affirm-sized *locked-vote* evidence from a later round than
+            // the lock (≥ 1 honest process vouches it locked elsewhere);
+            // otherwise hold. Without this release two minority lock
+            // camps could hold split estimates forever.
+            if r > locked_in {
+                if let Some(v) = self.affirmed_value(&w.locked_votes) {
+                    if v != x {
+                        self.est = v;
+                        self.lock = None;
+                        return;
+                    }
+                }
+            }
+            self.est = x;
+            return;
+        }
+        // Unlocked: follow the round's coordinator label. Locked claims
+        // take priority (they break the standoff where a lock camp's
+        // value never surfaces as a coordinator minimum); among equals
+        // the minimum wins, as in the paper's Leaders' Coordination
+        // phase. Both aggregates are order-independent, and in a clean
+        // round every honest process computes them identically.
+        let locked_min = w
+            .coord_votes
+            .iter()
+            .filter(|&&(_, l)| l)
+            .map(|&(v, _)| v)
+            .min();
+        let any_min = w.coord_votes.iter().map(|&(v, _)| v).min();
+        if let Some(v) = locked_min.or(any_min) {
+            self.est = v;
+        }
+    }
+
+    fn try_advance(&mut self, ctx: &mut ActionSink<'_, ByzMsg, u64>) {
+        while self.eval(ctx) {}
+    }
+}
+
+/// Snapshot support: the state is self-contained (no shared detector
+/// cells), so a fork is a deep copy; the recycling ring's spare pool is
+/// dropped by its own `Clone`.
+impl ForkProcess for ByzQuorumConsensus {
+    fn fork_in(&self, _space: &mut ForkSpace) -> Self {
+        self.clone()
+    }
+}
+
+impl Process for ByzQuorumConsensus {
+    type Msg = ByzMsg;
+    type Output = u64;
+
+    fn mutate_payload(msg: &ByzMsg, entropy: u64) -> Option<ByzMsg> {
+        Some(mutate_byz_msg(msg, entropy))
+    }
+
+    fn on_start(&mut self, ctx: &mut ActionSink<'_, ByzMsg, u64>) {
+        self.enter_round(ctx);
+        ctx.set_timer(self.tick, TICK);
+        self.try_advance(ctx);
+    }
+
+    fn on_message(&mut self, msg: ByzMsg, ctx: &mut ActionSink<'_, ByzMsg, u64>) {
+        match msg {
+            ByzMsg::Vote {
+                id,
+                round,
+                est,
+                locked,
+            } => {
+                if round >= self.round {
+                    let coord = self.coord_label(round);
+                    let w = self.rounds.get_mut(round);
+                    if w.vote_ledger.admit(id, &self.caps) {
+                        w.votes.add(est);
+                        if locked {
+                            w.locked_votes.add(est);
+                        }
+                        if id == coord {
+                            w.coord_votes.push((est, locked));
+                        }
+                    } else {
+                        self.discarded += 1;
+                    }
+                }
+            }
+            ByzMsg::Commit { id, round, val } => {
+                if round >= self.round {
+                    let w = self.rounds.get_mut(round);
+                    if w.commit_ledger.admit(id, &self.caps) {
+                        match val {
+                            Some(v) => w.commits.add(v),
+                            None => w.commit_bottoms += 1,
+                        }
+                    } else {
+                        self.discarded += 1;
+                    }
+                }
+            }
+            ByzMsg::Decide { id, value } => {
+                if self.decide_ledger.admit(id, &self.caps) {
+                    self.decide_votes.add(value);
+                } else {
+                    self.discarded += 1;
+                }
+            }
+        }
+        self.try_advance(ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerTag, ctx: &mut ActionSink<'_, ByzMsg, u64>) {
+        debug_assert_eq!(timer, TICK);
+        self.try_advance(ctx);
+        ctx.set_timer(self.tick, TICK);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::prelude::*;
+    use homonym_sim::prelude::*;
+
+    fn assign8() -> IdentityAssignment {
+        IdentityAssignment::round_robin(8, 3)
+    }
+
+    fn reliable() -> NetworkModel {
+        NetworkModel::reliable(Span::from_ticks(2))
+    }
+
+    fn run(
+        assign: IdentityAssignment,
+        sched: FailureSchedule,
+        net: NetworkModel,
+        horizon: u64,
+        seed: u64,
+    ) -> Engine<ByzQuorumConsensus> {
+        let a = assign.clone();
+        let cfg = SimConfig::new(assign, sched, net).with_seed(seed);
+        let mut e = Engine::new(cfg, move |p, _| ByzQuorumConsensus::new(100 + p as u64, &a));
+        e.run_until(Time::from_ticks(horizon));
+        e
+    }
+
+    #[test]
+    fn thresholds_follow_the_design_tolerance() {
+        let c = ByzQuorumConsensus::new(0, &assign8());
+        assert_eq!(c.tolerance(), 2);
+        assert_eq!(c.quorum(), 6);
+        assert_eq!(c.wait(), 6);
+        assert_eq!(c.affirm(), 3);
+        // Two quorums intersect in ≥ f + 1 members — so in ≥ 1 honest.
+        assert!(2 * c.quorum() - c.n > c.f);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn too_small_populations_are_rejected() {
+        let _ = ByzQuorumConsensus::new(0, &IdentityAssignment::unique(3));
+    }
+
+    #[test]
+    fn clean_run_decides_a_proposed_value_everywhere() {
+        let n = 8;
+        let e = run(assign8(), FailureSchedule::none(n), reliable(), 4_000, 7);
+        let outcome = e.outcome((0..n).map(|p| 100 + p as u64).collect());
+        let report = check_consensus(&outcome, &FailureSchedule::none(n))
+            .expect("clean run satisfies full crash validity");
+        assert!(outcome.proposals.contains(&report.value));
+        assert!(outcome.decisions.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn survives_a_permanent_equivocator_within_tolerance() {
+        let n = 8;
+        let assign = assign8();
+        let a = assign.clone();
+        let mut script = ByzantineScript::new(0xB12);
+        script.push_clause(ByzClause {
+            from: Time::from_ticks(1),
+            until: Time::MAX,
+            src: ProcSet::from_indices(n, [2]),
+            effect: ByzEffect::Equivocate {
+                victims: ProcSet::from_indices(n, [0, 1, 3, 4, 5]),
+            },
+        });
+        let cfg = SimConfig::new(assign, FailureSchedule::none(n), reliable())
+            .with_seed(11)
+            .with_byzantine(script);
+        let mut e = Engine::new(cfg, move |p, _| ByzQuorumConsensus::new(100 + p as u64, &a));
+        e.run_until(Time::from_ticks(8_000));
+        let outcome = e.outcome((0..n).map(|p| 100 + p as u64).collect());
+        let report = check_byzantine_consensus(&outcome, &FailureSchedule::none(n), 1)
+            .expect("one equivocator is within the design tolerance");
+        assert!(
+            outcome.decisions.iter().all(Option::is_some),
+            "every process decides despite the attack (on {})",
+            report.value
+        );
+    }
+
+    #[test]
+    fn over_threshold_suppression_stalls_instead_of_lying() {
+        let n = 8;
+        let assign = assign8();
+        let a = assign.clone();
+        // f = 3 ≥ n/3 silent-to-everyone-else sources: every receiver
+        // tops out at n − 3 = 5 < wait copies, so no phase threshold is
+        // ever met — the stack stalls past its bound, it does not decide
+        // wrongly.
+        let mut script = ByzantineScript::new(0xB13);
+        for src in [0usize, 1, 2] {
+            script.push_clause(ByzClause {
+                from: Time::from_ticks(1),
+                until: Time::MAX,
+                src: ProcSet::from_indices(n, [src]),
+                effect: ByzEffect::SelectiveSend {
+                    victims: ProcSet::from_indices(n, (0..n).filter(|&v| v != src)),
+                },
+            });
+        }
+        let cfg = SimConfig::new(assign, FailureSchedule::none(n), reliable())
+            .with_seed(13)
+            .with_byzantine(script);
+        let mut e = Engine::new(cfg, move |p, _| ByzQuorumConsensus::new(100 + p as u64, &a));
+        e.run_until(Time::from_ticks(8_000));
+        let outcome = e.outcome((0..n).map(|p| 100 + p as u64).collect());
+        assert!(
+            outcome.decisions.iter().all(Option::is_none),
+            "no decision certificate can form past the bound"
+        );
+    }
+
+    #[test]
+    fn window_ledger_sheds_super_cap_copies() {
+        let assign = assign8();
+        let mut c = ByzQuorumConsensus::new(0, &assign);
+        let id = assign.id_of(0);
+        let cap = assign.multiplicity(id);
+        let w = c.rounds.get_mut(0);
+        for _ in 0..cap {
+            assert!(w.vote_ledger.admit(id, &c.caps));
+        }
+        assert!(!w.vote_ledger.admit(id, &c.caps));
+        assert_eq!(w.vote_ledger.discarded(), 1);
+    }
+}

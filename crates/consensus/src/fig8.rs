@@ -34,6 +34,7 @@ use homonym_core::time::{Span, Time};
 use homonym_sim::process::{ActionSink, Process, TimerTag};
 use homonym_sim::snapshot::ForkProcess;
 
+use crate::conflict::crash_model_pick;
 use crate::round_window::{RoundRing, ValueCounts, Window};
 
 /// Protocol messages of Figure 8 (and of the derived baselines, which
@@ -473,13 +474,17 @@ impl<L: LeaderPolicy> MajorityConsensus<L> {
                 // the paper's crash-stop model at most one distinct non-⊥
                 // estimate can appear here (majority quorums intersect);
                 // a Byzantine equivocator can forge a second one, which
-                // crash-only code has no machinery to detect — it takes
-                // the first value in aggregation order, deterministically,
-                // and the property layer observes the resulting agreement
-                // or validity violation post-hoc (the demonstrated
-                // counterexample of the Byzantine sweep).
+                // crash-only code has no machinery to detect — the
+                // crate-wide crash-model policy applies
+                // ([`crate::conflict::crash_model_pick`]): smallest value
+                // wins, deterministically, and the property layer
+                // observes the resulting agreement or validity violation
+                // post-hoc (the demonstrated counterexample of the
+                // Byzantine sweep). The tolerant stack closes this hole
+                // with the other half of the policy.
                 let saw_bottom = w.ph2_bottoms > 0;
-                match (w.ph2.counted().first().map(|&(v, _)| v), saw_bottom) {
+                let pick = crash_model_pick(w.ph2.counted().iter().map(|&(v, _)| v));
+                match (pick, saw_bottom) {
                     (Some(v), false) => {
                         self.decide(v, ctx);
                     }

@@ -35,6 +35,7 @@ use homonym_core::time::Span;
 use homonym_sim::process::{ActionSink, Process, TimerTag};
 use homonym_sim::snapshot::ForkProcess;
 
+use crate::conflict::crash_model_pick;
 use crate::round_window::{RoundRing, Window};
 
 /// A `PH1`/`PH2` payload: sender identifier, round, sub-round, labels,
@@ -447,9 +448,13 @@ impl<D1: HOmegaSource, D2: HSigmaSource> QuorumConsensus<D1, D2> {
                     // most one distinct non-⊥ estimate; a Byzantine
                     // sender forging quorum messages can smuggle in a
                     // second. Crash-only code cannot detect it — the
-                    // smallest value wins deterministically and the
-                    // property layer observes the damage post-hoc.
-                    match (non_bottom.first().copied(), saw_bottom) {
+                    // crate-wide crash-model policy applies
+                    // ([`crate::conflict::crash_model_pick`]): smallest
+                    // value wins deterministically and the property
+                    // layer observes the damage post-hoc. The tolerant
+                    // stack closes this hole with the other half of the
+                    // policy.
+                    match (crash_model_pick(non_bottom.iter().copied()), saw_bottom) {
                         (Some(v), false) => self.decide(v, ctx),
                         (Some(v), true) => {
                             self.est1 = v;

@@ -15,6 +15,13 @@
 //! * [`flooding`] — the "price of anonymity" baselines cited from \[5\]:
 //!   classical flooding with `P` decides in `t + 1` rounds; anonymous
 //!   flooding with `AP` needs `2t + 1`.
+//! * [`byz_quorum`] — the Byzantine-*tolerant* extension: consensus in
+//!   `HAS[n > 3f]` from explicit `> (n+f)/2` quorum certificates, the
+//!   defense against the equivocating-homonym adversary that fells the
+//!   crash-model stacks above.
+//! * [`conflict`] — the crate-wide conflicting-payload policy shared by
+//!   all of them (crash-model smallest-value-wins vs. Byzantine
+//!   detect-and-discard).
 //!
 //! # Examples
 //!
@@ -45,11 +52,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod byz_quorum;
+pub mod conflict;
 pub mod fig8;
 pub mod fig9;
 pub mod flooding;
 mod round_window;
 
+pub use byz_quorum::{classify_byz, mutate_byz_msg, ByzMsg, ByzQuorumConsensus};
+pub use conflict::{crash_model_pick, WindowLedger};
 pub use fig8::{
     classify_fig8, mutate_fig8_msg, AOmegaPolicy, Fig8Msg, HOmegaPolicy, LeaderPolicy,
     MajorityConsensus, OmegaPolicy, UncoordinatedHOmegaPolicy,

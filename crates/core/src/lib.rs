@@ -73,9 +73,9 @@ pub mod prelude {
     pub use crate::identity::{Identity, IdentityAssignment};
     pub use crate::multiset::Multiset;
     pub use crate::properties::{
-        check_a_omega, check_a_sigma, check_ap, check_consensus, check_e_list, check_evt_hp,
-        check_h_omega, check_h_sigma, check_omega, check_sigma, classify_run, ConsensusOutcome,
-        History, PropertyViolation, RunCondition, RunVerdict,
+        check_a_omega, check_a_sigma, check_ap, check_byzantine_consensus, check_consensus,
+        check_e_list, check_evt_hp, check_h_omega, check_h_sigma, check_omega, check_sigma,
+        classify_run, ConsensusOutcome, History, PropertyViolation, RunCondition, RunVerdict,
     };
     pub use crate::query::{
         AOmegaSource, APSource, ASigmaSource, EListSource, EvtHPSource, HOmegaSource, HSigmaSource,

@@ -1107,6 +1107,92 @@ pub fn check_consensus(
     })
 }
 
+/// Checks a consensus run against **BFT validity**: Agreement and
+/// Termination always, Validity only when the run had no corrupt process.
+///
+/// The paper's crash-model validity — every decided value was proposed by
+/// *some* process — is provably unattainable against an unsigned
+/// equivocator, and demanding it would mark every Byzantine-tolerant
+/// protocol broken. The argument is an indistinguishability one: let a
+/// corrupt coordinator-label carrier equivocate, delivering a forged
+/// estimate `w` (a value nobody proposed) to a majority of receivers in
+/// one consistent broadcast. Each victim's view of that broadcast is
+/// *identical* to its view of an honest run in which the sender genuinely
+/// proposed `w` — messages carry no unforgeable binding to their sender's
+/// true state, because homonymous senders share identifiers and the model
+/// has no signatures. In the honest twin run the protocol **must** be
+/// able to adopt and decide `w` (otherwise it cannot terminate at all),
+/// so in the real run the same protocol steps decide the forged `w`.
+/// Multivalued BFT definitions (PBFT's, Tendermint's) therefore promise
+/// exactly what is checked here: agreement among all deciders,
+/// termination of every correct process, and full validity in runs where
+/// no sender lies — which keeps the crash families of the chaos sweep
+/// checked at full paper strength.
+///
+/// `corrupt` is the number of Byzantine senders the failure schedule's
+/// run actually contained (a corrupt process still *runs* the honest
+/// program, so it appears in `sched` as correct and is held to
+/// termination like everyone else).
+///
+/// # Errors
+///
+/// Returns a [`PropertyViolation`] naming the violated consensus
+/// property (`"agreement"`, `"termination"`, or — in corrupt-free runs —
+/// `"validity"`).
+pub fn check_byzantine_consensus(
+    outcome: &ConsensusOutcome,
+    sched: &FailureSchedule,
+    corrupt: usize,
+) -> Result<ConsensusReport, PropertyViolation> {
+    if corrupt == 0 {
+        return check_consensus(outcome, sched);
+    }
+    if outcome.proposals.len() != sched.n() || outcome.decisions.len() != sched.n() {
+        return Err(PropertyViolation::new(
+            "consensus",
+            "input",
+            "proposals/decisions length mismatch".to_string(),
+        ));
+    }
+    let mut value: Option<u64> = None;
+    let mut first = Time::MAX;
+    let mut last = Time::ZERO;
+    for (p, d) in outcome.decisions.iter().enumerate() {
+        if let Some((t, v)) = d {
+            match value {
+                None => value = Some(*v),
+                Some(w) if w == *v => {}
+                Some(w) => {
+                    return Err(PropertyViolation::new(
+                        "consensus",
+                        "agreement",
+                        format!("process {p} decided {v} but another decided {w}"),
+                    ));
+                }
+            }
+            first = first.min(*t);
+            if sched.is_correct(p) {
+                last = last.max(*t);
+            }
+        }
+    }
+    for p in sched.correct_set() {
+        if outcome.decisions[p].is_none() {
+            return Err(PropertyViolation::new(
+                "consensus",
+                "termination",
+                format!("correct process {p} never decided"),
+            ));
+        }
+    }
+    let value = value.expect("at least one correct process exists and decided");
+    Ok(ConsensusReport {
+        value,
+        last_decision: last,
+        first_decision: first,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1457,6 +1543,43 @@ mod tests {
         let rep = check_consensus(&outcome, &sched).expect("valid");
         assert_eq!(rep.value, 4);
         assert_eq!(rep.last_decision, Time::from_ticks(7));
+    }
+
+    #[test]
+    fn byzantine_checker_waives_validity_only_under_corruption() {
+        let sched = FailureSchedule::none(2);
+        // 99 was proposed by nobody: a forged value decided unanimously.
+        let outcome = ConsensusOutcome {
+            proposals: vec![1, 2],
+            decisions: vec![
+                Some((Time::from_ticks(3), 99)),
+                Some((Time::from_ticks(5), 99)),
+            ],
+        };
+        // With a corrupt sender in the run, BFT validity accepts it...
+        let rep = check_byzantine_consensus(&outcome, &sched, 1).expect("BFT-valid");
+        assert_eq!(rep.value, 99);
+        assert_eq!(rep.last_decision, Time::from_ticks(5));
+        // ...but a corrupt-free run is held to full crash validity.
+        let err = check_byzantine_consensus(&outcome, &sched, 0).unwrap_err();
+        assert_eq!(err.property, "validity");
+    }
+
+    #[test]
+    fn byzantine_checker_still_enforces_agreement_and_termination() {
+        let sched = FailureSchedule::none(2);
+        let split = ConsensusOutcome {
+            proposals: vec![1, 2],
+            decisions: vec![Some((Time::ZERO, 1)), Some((Time::ZERO, 2))],
+        };
+        let err = check_byzantine_consensus(&split, &sched, 1).unwrap_err();
+        assert_eq!(err.property, "agreement");
+        let hung = ConsensusOutcome {
+            proposals: vec![1, 2],
+            decisions: vec![Some((Time::ZERO, 1)), None],
+        };
+        let err = check_byzantine_consensus(&hung, &sched, 1).unwrap_err();
+        assert_eq!(err.property, "termination");
     }
 
     #[test]

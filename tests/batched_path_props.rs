@@ -8,7 +8,7 @@
 //! never-activating `ByzantineScript` must additionally be byte-identical
 //! to a run with **no** script installed at all.
 
-use homonym::chaos::sweep::fig8_node;
+use homonym::chaos::sweep::{byz_tolerant_node, fig8_node};
 use homonym::chaos::{FaultClause, PartitionMode, Scenario};
 use homonym::prelude::*;
 use homonym::sim::sync_engine::{SyncConfig, SyncEngine, SyncProcess, SyncSink};
@@ -197,6 +197,45 @@ proptest! {
             let mut engine = Engine::new(cfg, |p, _| fig8_node(100 + p as u64, n, 1));
             engine.enable_trace(500_000);
             engine.run_until_all_correct_decided(Time::from_ticks(5_000));
+            (
+                engine.trace().expect("enabled").clone(),
+                engine.decisions().to_vec(),
+                engine.metrics().clone(),
+            )
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+
+    /// Event engine, Byzantine-tolerant quorum-certificate stack under
+    /// an **active** Byzantine script (all four clause kinds on top of
+    /// the link faults): batched and legacy paths agree byte for byte,
+    /// decisions included — the tolerant stack's certificate bookkeeping
+    /// (admission ledgers, echo certificates, detect-and-discard) rides
+    /// the same deterministic hot-path contract as the crash stacks.
+    /// The comparison runs to a **fixed horizon**: tolerant processes
+    /// never halt on decision (decide echoes keep flowing), and the
+    /// all-correct-decided stop condition is checked per batch on one
+    /// path and per event on the other, so only a time-based goal pins
+    /// the same final instant on both.
+    #[test]
+    fn batched_equals_legacy_tolerant_stack_under_attack(
+        seed in any::<u64>(),
+        kind in 0u8..4,
+        byz_kind in 0u8..4,
+        victims in 1usize..4,
+        heal in 1u64..20,
+    ) {
+        let n = 5;
+        let assign = IdentityAssignment::round_robin(n, 2);
+        let scenario = scenario(n, 2, heal, 0).with_clause(byz_clause(n, byz_kind, victims));
+        let run = |legacy: bool| {
+            let cfg = SimConfig::new(assign.clone(), FailureSchedule::none(n), model(kind))
+                .with_seed(seed)
+                .with_legacy_hot_path(legacy);
+            let cfg = scenario.install(cfg).expect("valid scenario");
+            let mut engine = Engine::new(cfg, |p, _| byz_tolerant_node(100 + p as u64, &assign));
+            engine.enable_trace(500_000);
+            engine.run_until(Time::from_ticks(800));
             (
                 engine.trace().expect("enabled").clone(),
                 engine.decisions().to_vec(),

@@ -216,6 +216,7 @@ fn forked_and_flat_executors_produce_identical_reports() {
         StackKind::Fig8EvtHp,
         StackKind::EvtHpDetector,
         StackKind::Fig9OracleQuorum,
+        StackKind::ByzTolerant,
     ] {
         let mut cfg = SweepConfig::new(stack, 6).with_variants(4);
         cfg.probe_every = 3;
@@ -334,7 +335,9 @@ fn byzantine_sweep_demonstrates_counterexamples_without_falsifying() {
     // Demonstrations are replayable coordinates into Byzantine families.
     for cex in &report.byzantine_demonstrated {
         assert!(
-            cex.family == "hidden-equivocator" || cex.family == "corrupt-minority-homonyms",
+            cex.family == "hidden-equivocator"
+                || cex.family == "corrupt-minority-homonyms"
+                || cex.family == "over-threshold-byzantine",
             "demonstration from a crash family: {cex:?}"
         );
         assert!(
@@ -366,6 +369,76 @@ fn replay_relocates_variant_counterexamples() {
     assert!(
         replay.forked[0].violation().is_some(),
         "the exact falsified variant must reproduce its violation"
+    );
+}
+
+/// The Byzantine-tolerant stack under the full Byzantine rotation: the
+/// tolerance claim is live on every `f < n/3` run, so the sweep must
+/// report **zero** counterexamples of any kind (within-envelope attacks
+/// are survived, never excused), while any demonstrated fall comes from
+/// the over-threshold family alone — and the whole report stays
+/// deterministic.
+#[test]
+fn tolerant_stack_byzantine_sweep_asserts_the_claim() {
+    let cfg = SweepConfig::byzantine(StackKind::ByzTolerant, 18);
+    let report = falsification_sweep(&cfg);
+    assert_eq!(report.runs, 18);
+    assert!(
+        !report.falsified(),
+        "the tolerant stack fell inside its envelope: {:?}",
+        report.first_counterexample()
+    );
+    assert!(
+        report.byzantine_survived > 0,
+        "no within-envelope attack was survived — the claim was never exercised: {report:?}"
+    );
+    for cex in &report.byzantine_demonstrated {
+        assert_eq!(
+            cex.family, "over-threshold-byzantine",
+            "demonstrated fall inside the `n > 3f` envelope: {cex:?}"
+        );
+    }
+    assert_eq!(report, falsification_sweep(&cfg), "sweep nondeterminism");
+}
+
+/// A counterexample that felled the crash-only Figure 8 stack (PR 5's
+/// demonstration shape), replayed **mid-run** against the tolerant
+/// stack: the honest prefix is snapshotted and re-forked across attack
+/// variations exactly as in the crash-stack replay, but every variation
+/// stays inside the `f < n/3` envelope — so the tolerant stack must
+/// survive all of them, with forked verdicts equal to flat re-execution.
+#[test]
+fn tolerant_stack_survives_crash_stack_counterexamples() {
+    let fig8_cfg = SweepConfig::byzantine(StackKind::Fig8EvtHp, 12);
+    let report = falsification_sweep(&fig8_cfg);
+    let cex = report
+        .byzantine_demonstrated
+        .iter()
+        .find(|c| c.family != "over-threshold-byzantine")
+        .expect("a within-envelope attack must land within 12 scenarios");
+    let cfg = SweepConfig::byzantine(StackKind::ByzTolerant, 12);
+    let replay = replay_byzantine_counterexample(&cfg, cex, 5);
+    assert_eq!(replay.scripts.len(), 5);
+    assert_eq!(
+        replay.scripts[0], cex.script,
+        "replay must rebuild the exact falsified scenario"
+    );
+    assert!(
+        replay.verdicts_match(),
+        "tolerant-stack forked replay diverged from flat re-execution:\nforked: {:?}\nflat: {:?}",
+        replay.forked,
+        replay.flat
+    );
+    assert_eq!(
+        replay.still_falsified(),
+        0,
+        "the tolerant stack fell to a within-envelope attack it must survive: {:?}",
+        replay.forked
+    );
+    assert!(
+        replay.stats.forked > 0,
+        "honest prefix never shared on the tolerant stack: {:?}",
+        replay.stats
     );
 }
 

@@ -11,7 +11,7 @@
 //! lets the prefix-sharing sweep executor stack snapshots along a DFS
 //! path — and what makes mid-run counterexample replay sound.
 
-use homonym::chaos::sweep::fig8_node;
+use homonym::chaos::sweep::{byz_tolerant_node, fig8_node};
 use homonym::chaos::{FaultClause, PartitionMode, Scenario};
 use homonym::prelude::*;
 use homonym::sim::sync_engine::{SyncConfig, SyncEngine};
@@ -257,6 +257,63 @@ proptest! {
 
         // The fork must be independent: running the restored engine
         // cannot be perturbed by (or perturb) the original's cells.
+        let mut forked = Engine::resume_in(mk().config().clone(), &snap, EngineArena::new());
+        let mut refork = {
+            forked.run_until_all_correct_decided(Time::from_ticks(cut * 2));
+            let deeper = forked.snapshot();
+            Engine::resume_in(mk().config().clone(), &deeper, EngineArena::new())
+        };
+        forked.run_until_all_correct_decided(horizon);
+        prop_assert_eq!(&state(&forked), &expected);
+        refork.run_until_all_correct_decided(horizon);
+        prop_assert_eq!(&state(&refork), &expected);
+    }
+
+    /// Event engine, Byzantine-tolerant quorum-certificate stack under
+    /// the live equivocator + replay attacker the scenario mounts:
+    /// snapshot at a random cut, restore, continue — byte-identical to
+    /// the uninterrupted run, nested fork included. The tolerant stack's
+    /// extra state (admission ledgers, locked-round certificates, the
+    /// cumulative decision-echo ledger) must round-trip through every
+    /// snapshot for mid-run survival replay to be sound.
+    #[test]
+    fn snapshot_restore_is_byte_identical_tolerant_stack(
+        seed in any::<u64>(),
+        kind in 0u8..4,
+        heal in 1u64..25,
+        lose in 0u8..50,
+        cut in 1u64..200,
+    ) {
+        let n = 5;
+        let assign = IdentityAssignment::round_robin(n, 2);
+        let scenario = scenario(n, 2, heal, lose);
+        let mk = || {
+            let cfg = SimConfig::new(assign.clone(), FailureSchedule::none(n), model(kind))
+                .with_seed(seed);
+            let cfg = scenario.install(cfg).expect("valid scenario");
+            let mut engine = Engine::new(cfg, |p, _| byz_tolerant_node(100 + p as u64, &assign));
+            engine.enable_trace(500_000);
+            engine
+        };
+        let horizon = Time::from_ticks(5_000);
+        let state = |e: &Engine<homonym::chaos::ByzTolerantNode>| {
+            (
+                e.trace().expect("enabled").clone(),
+                e.decisions().to_vec(),
+                e.metrics().clone(),
+            )
+        };
+
+        let mut baseline = mk();
+        baseline.run_until_all_correct_decided(horizon);
+        let expected = state(&baseline);
+
+        let mut engine = mk();
+        engine.run_until_all_correct_decided(Time::from_ticks(cut));
+        let snap = engine.snapshot();
+        engine.run_until_all_correct_decided(horizon);
+        prop_assert_eq!(&state(&engine), &expected);
+
         let mut forked = Engine::resume_in(mk().config().clone(), &snap, EngineArena::new());
         let mut refork = {
             forked.run_until_all_correct_decided(Time::from_ticks(cut * 2));
