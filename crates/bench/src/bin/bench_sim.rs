@@ -1,6 +1,6 @@
 //! `BENCH_sim.json` generator: simulator hot-path throughput.
 //!
-//! Measures events dispatched per second on eight workloads, each executed
+//! Measures events dispatched per second on nine workloads, each executed
 //! twice — once on the **legacy** path (the PR 1 hot path, re-baselined:
 //! calendar event queue, `Arc`-shared payloads, per-event pops, one
 //! network-model match and RNG route per copy, per-message dispatch, plus
@@ -10,7 +10,7 @@
 //! fused per-broadcast RNG sampling with precomputed distributions,
 //! incremental `◇HP` rounds, ring-window consensus buckets, cached
 //! oracles, arena-reused runs) — and writes the events/sec figures plus
-//! the speedup ratio to `BENCH_sim.json` (`schema_version = 6`) in the
+//! the speedup ratio to `BENCH_sim.json` (`schema_version = 7`) in the
 //! working directory.
 //!
 //! Workloads:
@@ -43,6 +43,16 @@
 //!   row asserts no event-count equality and its "speedup" reads as
 //!   overhead (< 1.0×); the tolerant side's verdicts are asserted —
 //!   agreement and termination must hold under the live equivocator;
+//! * `obs_overhead` — the **price of observability**: the
+//!   `byz_tolerant_sweep` current workload run twice on the batched
+//!   path, uninstrumented in the legacy column and with the
+//!   `homonym-obs` `Recorder` attached in the
+//!   current column. Both columns run the identical algorithm and
+//!   schedule (event counts asserted equal, and the instrumented side
+//!   must actually capture span/certificate events), so the ratio
+//!   prices the observe channel: ~1.0× expected, and the
+//!   recorder-absent dispatch is byte-identical to uninstrumented runs
+//!   (asserted by `tests/obs_props.rs`);
 //! * `fig8_sweep_forked` — shared-prefix variant families (late
 //!   split-brain, redrawn heal times and GST margins) of the full
 //!   Figure 6 + Figure 8 stack: the **flat** executor (legacy column)
@@ -84,7 +94,7 @@ use homonym_bench::{async_net, hps_delay_only, hps_lossy, staggered_crashes};
 use homonym_chaos::generators::{fault_window_variants, hidden_equivocator, split_brain};
 use homonym_chaos::sweep::{clean_instant, fig8_node, hps_base, Fig8Node as ChaosFig8Node};
 use homonym_chaos::{FaultClause, GstPlacement, PartitionMode, Scenario};
-use homonym_consensus::{ByzQuorumConsensus, HOmegaPolicy, MajorityConsensus};
+use homonym_consensus::{round_of_byz, ByzQuorumConsensus, HOmegaPolicy, MajorityConsensus};
 use homonym_core::prelude::*;
 use homonym_detectors::evt_hp::{EvtHpMsg, EvtHpProcess, EvtHpSnapshot};
 use homonym_detectors::oracle::{HOmegaOracle, OracleWorld, PreStability};
@@ -844,6 +854,36 @@ fn byz_tolerant_run(n: usize, seed: u64, arena: &mut EngineArena<ByzQuorumConsen
     events
 }
 
+/// The instrumented flavor of the `obs_overhead` row: exactly
+/// [`byz_tolerant_run`], plus the `homonym-obs` recorder and round
+/// extractor attached. Returns the dispatched event count (asserted
+/// equal to the uninstrumented flavor's) and the number of observation
+/// events captured (asserted nonzero — the instrumentation must
+/// actually fire to be priced).
+fn byz_tolerant_run_observed(
+    n: usize,
+    seed: u64,
+    arena: &mut EngineArena<ByzQuorumConsensus>,
+) -> (u64, usize) {
+    let s = fig8_shape(n, seed, Fig8Workload::Byzantine, false);
+    let props = s.proposals.clone();
+    let assign = s.assign.clone();
+    let mut engine = Engine::new_in(
+        s.cfg,
+        |p, _| ByzQuorumConsensus::new(props[p], &assign).with_tick(2),
+        std::mem::take(arena),
+    );
+    engine.set_round_extractor(round_of_byz);
+    engine.enable_recorder(1 << 20);
+    engine.run_until_all_correct_decided(s.deadline);
+    check_byzantine_consensus(&engine.outcome(s.proposals), &s.sched, 1)
+        .expect("the tolerant stack survives the hidden equivocator");
+    let events = engine.metrics().events;
+    let observed = engine.recorder().map_or(0, |r| r.events().len());
+    *arena = engine.into_arena();
+    (events, observed)
+}
+
 /// A shared-prefix variant family for the forked rows: a split-brain
 /// partition activating at `start` (late, so the family's common prefix
 /// — detector warm-up, early consensus rounds — dominates each run),
@@ -1023,13 +1063,14 @@ fn main() {
             }
         }
     }
-    const ROW_NAMES: [&str; 8] = [
+    const ROW_NAMES: [&str; 9] = [
         "hps_mesh_n64",
         "hps_detector_n64",
         "fig8_consensus_sweep",
         "chaos_sweep",
         "byz_sweep",
         "byz_tolerant_sweep",
+        "obs_overhead",
         "fig8_sweep_forked",
         "chaos_sweep_forked",
     ];
@@ -1167,6 +1208,44 @@ fn main() {
         });
         rows.push(("byz_tolerant_sweep", legacy, new));
     }
+    if enabled("obs_overhead") {
+        // The price of observability: the tolerant sweep run twice on
+        // the batched path, recorder absent (legacy column) vs recorder
+        // attached (current column). Same algorithm, same schedule —
+        // event counts are asserted identical, the instrumented side
+        // must capture a nonzero number of observation events, and the
+        // ratio prices the observe channel (~1.0× expected; the
+        // zero-cost-when-absent half is asserted byte-identical by
+        // `tests/obs_props.rs`).
+        let observed = std::cell::Cell::new(0usize);
+        let (legacy, new) = bench_pair(reps, side, |uninstrumented| {
+            if uninstrumented {
+                parallel_seed_sweep_with(seeds, EngineArena::new, |arena, seed| {
+                    byz_tolerant_run(n_fig8, seed, arena)
+                })
+                .into_iter()
+                .sum()
+            } else {
+                let runs = parallel_seed_sweep_with(seeds, EngineArena::new, |arena, seed| {
+                    byz_tolerant_run_observed(n_fig8, seed, arena)
+                });
+                observed.set(runs.iter().map(|&(_, o)| o).sum());
+                runs.into_iter().map(|(events, _)| events).sum()
+            }
+        });
+        assert_counts(
+            &legacy,
+            &new,
+            "attaching the recorder must not change the dispatched schedule",
+        );
+        if side.is_none_or(|s| !s) {
+            assert!(
+                observed.get() > 0,
+                "the instrumented flavor captured no observation events"
+            );
+        }
+        rows.push(("obs_overhead", legacy, new));
+    }
     // The forked rows compare the flat executor (legacy column: every
     // variant re-runs its full history) against the prefix-sharing
     // executor (current column: the family's shared prefix runs once,
@@ -1257,7 +1336,7 @@ fn main() {
     // Bump `schema_version` whenever the JSON shape changes (new or
     // renamed fields/rows, or a re-baselined legacy column); see
     // BENCHMARKS.md for the version history.
-    let mut json = String::from("{\n  \"schema_version\": 6,\n");
+    let mut json = String::from("{\n  \"schema_version\": 7,\n");
     for (name, legacy, new) in &rows {
         let speedup = new.events_per_sec() / legacy.events_per_sec();
         let alloc_cols = if alloc_count::ENABLED {

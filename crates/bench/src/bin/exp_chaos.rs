@@ -48,7 +48,8 @@
 
 use homonym_bench::maybe_dump;
 use homonym_chaos::{
-    falsification_sweep, replay_byzantine_counterexample, StackKind, SweepConfig, SweepReport,
+    byzantine_story, falsification_sweep, replay_byzantine_counterexample, StackKind, SweepConfig,
+    SweepReport,
 };
 use serde::Serialize;
 
@@ -290,6 +291,31 @@ fn main() {
                 cex.seed,
                 StackKind::ByzTolerant.name(),
                 survival.forked.len(),
+            );
+            // The counterexample as a story: the exact falsified
+            // scenario re-run with the observability recorder attached,
+            // rendered as per-process timelines — the equivocation
+            // window (attack firings) and the surviving quorum
+            // certificates become visible events.
+            let story = byzantine_story(&cfg, cex);
+            assert!(
+                !story.violated,
+                "the story replay fell where the sweep survived: {}",
+                story.script
+            );
+            println!(
+                "\n### the surviving run as a story\n\n\
+                 script: {}\n\n{}\n```mermaid\n{}```",
+                story.script, story.ascii, story.mermaid
+            );
+            println!(
+                "certificates formed: {} (sizes p50/p99: {}/{}); attacks fired: {}; \
+                 copies discarded by ledgers: {}",
+                story.stats.certificate_sizes.count(),
+                story.stats.certificate_sizes.percentile(50),
+                story.stats.certificate_sizes.percentile(99),
+                story.stats.attacks_fired,
+                story.stats.ledger_discards,
             );
         }
         println!(

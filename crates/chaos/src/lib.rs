@@ -82,11 +82,13 @@
 
 pub mod generators;
 pub mod scenario;
+pub mod story;
 pub mod sweep;
 
 pub use scenario::{FaultClause, GstPlacement, PartitionMode, Scenario, ScenarioError};
+pub use story::{byzantine_story, classify_byz_stack, round_of_byz_stack, ByzantineStory};
 pub use sweep::{
     byz_tolerant_node, falsification_sweep, falsification_sweep_forked, fig8_node, hps_base,
-    replay_byzantine_counterexample, ByzTolerantNode, ByzantineReplay, Counterexample, Family,
-    Fig8Node, StackKind, SweepConfig, SweepReport,
+    locate_counterexample_scenario, replay_byzantine_counterexample, ByzTolerantNode,
+    ByzantineReplay, Counterexample, Family, Fig8Node, StackKind, SweepConfig, SweepReport,
 };

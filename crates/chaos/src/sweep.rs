@@ -1176,6 +1176,38 @@ impl ByzantineReplay {
     }
 }
 
+/// Re-locates the **exact falsified scenario** a counterexample names: a
+/// sweep with variant expansion (`cfg.variants > 1`) may have found the
+/// counterexample in a fault-window variant of the family base, not the
+/// base itself, so the scenario is pinned by matching each variant's
+/// printed script against [`Counterexample::script`].
+///
+/// # Panics
+///
+/// Panics if the counterexample's family name is unknown or its script
+/// matches no variant of `(family, seed)` under the sweep's variant
+/// count — i.e. the counterexample did not come from a sweep with this
+/// configuration.
+#[must_use]
+pub fn locate_counterexample_scenario(cfg: &SweepConfig, cex: &Counterexample) -> Scenario {
+    let family = Family::by_name(cex.family)
+        .unwrap_or_else(|| panic!("unknown scenario family {:?}", cex.family));
+    let assign = IdentityAssignment::round_robin(cfg.n, cfg.l);
+    fault_window_variants(
+        &family.generate(&assign, cex.seed),
+        cex.seed,
+        cfg.variants.max(1),
+    )
+    .into_iter()
+    .find(|s| s.to_string() == cex.script)
+    .unwrap_or_else(|| {
+        panic!(
+            "counterexample script matches no variant of family={} seed={}: {}",
+            cex.family, cex.seed, cex.script
+        )
+    })
+}
+
 /// Replays a demonstrated Byzantine counterexample **from mid-run**: the
 /// counterexample's `(family, seed)` coordinates rebuild the base
 /// scenario, [`byzantine_attack_variants`] expands it into `variants`
@@ -1203,26 +1235,8 @@ pub fn replay_byzantine_counterexample(
     cex: &Counterexample,
     variants: usize,
 ) -> ByzantineReplay {
-    let family = Family::by_name(cex.family)
-        .unwrap_or_else(|| panic!("unknown scenario family {:?}", cex.family));
     let assign = IdentityAssignment::round_robin(cfg.n, cfg.l);
-    // A sweep with variant expansion (`cfg.variants > 1`) may have found
-    // the counterexample in a fault-window variant of the base, not the
-    // base itself; re-locate the exact falsified scenario by its printed
-    // script before expanding the attack variations.
-    let base = fault_window_variants(
-        &family.generate(&assign, cex.seed),
-        cex.seed,
-        cfg.variants.max(1),
-    )
-    .into_iter()
-    .find(|s| s.to_string() == cex.script)
-    .unwrap_or_else(|| {
-        panic!(
-            "counterexample script matches no variant of family={} seed={}: {}",
-            cex.family, cex.seed, cex.script
-        )
-    });
+    let base = locate_counterexample_scenario(cfg, cex);
     let group: Vec<PlannedRun> = byzantine_attack_variants(&base, cex.seed, variants.max(1))
         .into_iter()
         .map(|scenario| PlannedRun {

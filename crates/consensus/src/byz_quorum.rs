@@ -45,7 +45,7 @@
 //! scenario could corrupt).
 //!
 //! Every window admits payloads through the
-//! [`WindowLedger`](crate::conflict::WindowLedger) half of the crate-wide
+//! [`WindowLedger`] half of the crate-wide
 //! conflicting-payload policy: at most `multiplicity(label)` copies per
 //! label per phase, everything beyond the cap detected and discarded. An
 //! equivocating homonym therefore contributes at most its own carrier
@@ -98,6 +98,7 @@ use homonym_core::multiset::Multiset;
 use homonym_core::time::{Span, Time};
 use homonym_sim::process::{ActionSink, Process, TimerTag};
 use homonym_sim::snapshot::ForkProcess;
+use homonym_sim::ObsKind;
 
 use crate::conflict::WindowLedger;
 use crate::round_window::{RoundRing, ValueCounts, Window};
@@ -148,6 +149,16 @@ pub fn classify_byz(msg: &ByzMsg) -> &'static str {
         ByzMsg::Vote { .. } => "VOTE",
         ByzMsg::Commit { .. } => "COMMIT",
         ByzMsg::Decide { .. } => "DECIDE",
+    }
+}
+
+/// Round extractor for trace annotation: the round a vote or commit
+/// belongs to (`DECIDE` echoes are round-free certificates).
+#[must_use]
+pub fn round_of_byz(msg: &ByzMsg) -> Option<u64> {
+    match msg {
+        ByzMsg::Vote { round, .. } | ByzMsg::Commit { round, .. } => Some(*round),
+        ByzMsg::Decide { .. } => None,
     }
 }
 
@@ -213,6 +224,25 @@ impl Window for ByzWindow {
         self.commits.clear();
         self.commit_bottoms = 0;
     }
+}
+
+/// The certificate membership breakdown of a window's admission ledger,
+/// in observability-label form.
+fn cert_labels(ledger: &WindowLedger) -> Vec<(Identity, u32)> {
+    ledger
+        .occupancy()
+        .iter()
+        .map(|&(l, k)| (l, u32::try_from(k).unwrap_or(u32::MAX)))
+        .collect()
+}
+
+/// Admitted copies backing `v` in `counts` (the certificate's size).
+fn count_of(counts: &ValueCounts, v: u64) -> u32 {
+    counts
+        .counted()
+        .iter()
+        .find(|&&(x, _)| x == v)
+        .map_or(0, |&(_, c)| u32::try_from(c).unwrap_or(u32::MAX))
 }
 
 /// The two phases of a round.
@@ -382,6 +412,11 @@ impl ByzQuorumConsensus {
         self.rounds.advance_to(self.round);
         self.phase = Phase::Vote;
         self.phase_entered = ctx.local_now();
+        let r = self.round;
+        ctx.observe(|| ObsKind::PhaseEnter {
+            round: r,
+            phase: "VOTE",
+        });
         ctx.publish(self.round);
         self.broadcast_vote(ctx);
     }
@@ -396,6 +431,8 @@ impl ByzQuorumConsensus {
         self.decided = Some(v);
         self.est = v;
         self.lock = Some((v, self.round));
+        let r = self.round;
+        ctx.observe(|| ObsKind::LockAcquired { round: r, value: v });
         ctx.broadcast(ByzMsg::Decide {
             id: ctx.my_id(),
             value: v,
@@ -417,6 +454,15 @@ impl ByzQuorumConsensus {
         // A decision certificate is acted on regardless of phase.
         if self.decided.is_none() {
             if let Some(v) = self.affirmed_value(&self.decide_votes) {
+                let r = self.round;
+                let size = count_of(&self.decide_votes, v);
+                let ledger = &self.decide_ledger;
+                ctx.observe(|| ObsKind::CertificateFormed {
+                    round: r,
+                    phase: "DECIDE",
+                    size,
+                    labels: cert_labels(ledger),
+                });
                 self.deliver_decision(v, ctx);
                 return true;
             }
@@ -431,16 +477,35 @@ impl ByzQuorumConsensus {
                 if !self.threshold_met(w.votes.total(), certified.is_some(), now) {
                     return false;
                 }
+                if let Some(v) = certified {
+                    let size = count_of(&w.votes, v);
+                    let ledger = &w.vote_ledger;
+                    ctx.observe(|| ObsKind::CertificateFormed {
+                        round: r,
+                        phase: "VOTE",
+                        size,
+                        labels: cert_labels(ledger),
+                    });
+                }
                 if self.decided.is_none() {
                     if let Some(v) = certified {
                         self.est = v;
                         self.lock = Some((v, r));
+                        ctx.observe(|| ObsKind::LockAcquired { round: r, value: v });
                     }
                 }
                 ctx.broadcast(ByzMsg::Commit {
                     id: ctx.my_id(),
                     round: r,
                     val: certified,
+                });
+                ctx.observe(|| ObsKind::PhaseExit {
+                    round: r,
+                    phase: "VOTE",
+                });
+                ctx.observe(|| ObsKind::PhaseEnter {
+                    round: r,
+                    phase: "COMMIT",
                 });
                 self.phase = Phase::Commit;
                 self.phase_entered = now;
@@ -456,11 +521,23 @@ impl ByzQuorumConsensus {
                     return false;
                 }
                 if let Some(v) = certified {
+                    let size = count_of(&w.commits, v);
+                    let ledger = &w.commit_ledger;
+                    ctx.observe(|| ObsKind::CertificateFormed {
+                        round: r,
+                        phase: "COMMIT",
+                        size,
+                        labels: cert_labels(ledger),
+                    });
                     self.deliver_decision(v, ctx);
                 }
                 if self.decided.is_none() {
-                    self.adopt_for_next_round(r);
+                    self.adopt_for_next_round(r, ctx);
                 }
+                ctx.observe(|| ObsKind::PhaseExit {
+                    round: r,
+                    phase: "COMMIT",
+                });
                 self.round = r + 1;
                 self.enter_round(ctx);
                 true
@@ -471,7 +548,7 @@ impl ByzQuorumConsensus {
     /// End-of-round estimate adjustment when no decision was certified,
     /// in strictly decreasing evidence order: commit certificate, lock
     /// release/hold, coordinator fallback.
-    fn adopt_for_next_round(&mut self, r: u64) {
+    fn adopt_for_next_round(&mut self, r: u64, ctx: &mut ActionSink<'_, ByzMsg, u64>) {
         let Some(w) = self.rounds.get(r) else {
             return;
         };
@@ -482,6 +559,9 @@ impl ByzQuorumConsensus {
         if let Some(v) = self.affirmed_value(&w.commits) {
             self.est = v;
             if self.lock.is_none_or(|(x, _)| x != v) {
+                if self.lock.is_some() {
+                    ctx.observe(|| ObsKind::LockReleased { round: r });
+                }
                 self.lock = None;
             }
             return;
@@ -497,6 +577,7 @@ impl ByzQuorumConsensus {
                     if v != x {
                         self.est = v;
                         self.lock = None;
+                        ctx.observe(|| ObsKind::LockReleased { round: r });
                         return;
                     }
                 }
@@ -571,6 +652,11 @@ impl Process for ByzQuorumConsensus {
                         }
                     } else {
                         self.discarded += 1;
+                        ctx.note_discard();
+                        ctx.observe(|| ObsKind::LedgerDiscard {
+                            round,
+                            class: "VOTE",
+                        });
                     }
                 }
             }
@@ -584,6 +670,11 @@ impl Process for ByzQuorumConsensus {
                         }
                     } else {
                         self.discarded += 1;
+                        ctx.note_discard();
+                        ctx.observe(|| ObsKind::LedgerDiscard {
+                            round,
+                            class: "COMMIT",
+                        });
                     }
                 }
             }
@@ -592,6 +683,12 @@ impl Process for ByzQuorumConsensus {
                     self.decide_votes.add(value);
                 } else {
                     self.discarded += 1;
+                    ctx.note_discard();
+                    let r = self.round;
+                    ctx.observe(|| ObsKind::LedgerDiscard {
+                        round: r,
+                        class: "DECIDE",
+                    });
                 }
             }
         }

@@ -99,6 +99,20 @@ impl WindowLedger {
         self.discarded
     }
 
+    /// Current occupancy: `(label, payloads admitted under it)` pairs,
+    /// sorted by label — the membership breakdown of a certificate built
+    /// from this window, as observability renders it.
+    #[must_use]
+    pub fn occupancy(&self) -> &[(Identity, usize)] {
+        &self.used
+    }
+
+    /// Total payloads admitted across all labels.
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.used.iter().map(|&(_, k)| k).sum()
+    }
+
     /// Clears the ledger for reuse, keeping its allocation.
     pub fn reset(&mut self) {
         self.used.clear();

@@ -34,6 +34,7 @@ use homonym_core::query::SharedCell;
 use homonym_core::time::Span;
 use homonym_sim::process::{ActionSink, Process, TimerTag};
 use homonym_sim::snapshot::ForkProcess;
+use homonym_sim::ObsKind;
 
 /// Protocol messages of Figure 6.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +67,16 @@ pub fn classify_evt_hp(msg: &EvtHpMsg) -> &'static str {
     match msg {
         EvtHpMsg::Polling { .. } => "POLLING",
         EvtHpMsg::PReply { .. } => "P_REPLY",
+    }
+}
+
+/// Round extractor for trace annotation: a poll's round, or the last
+/// round a reply covers.
+#[must_use]
+pub fn round_of_evt_hp(msg: &EvtHpMsg) -> Option<u64> {
+    match msg {
+        EvtHpMsg::Polling { round, .. } => Some(*round),
+        EvtHpMsg::PReply { to, .. } => Some(*to),
     }
 }
 
@@ -285,11 +296,26 @@ impl EvtHpProcess {
             }
             // Corollary 2: HΩ extraction, no communication.
             if let Some(&leader) = self.h_trusted.min_elem() {
-                self.h_omega = HOmegaOutput::new(leader, self.h_trusted.multiplicity(&leader));
+                let next = HOmegaOutput::new(leader, self.h_trusted.multiplicity(&leader));
+                if next != self.h_omega {
+                    let mult = self.h_trusted.multiplicity(&leader);
+                    ctx.observe(|| ObsKind::LeaderFlip {
+                        round: r,
+                        leader,
+                        multiplicity: u32::try_from(mult).unwrap_or(u32::MAX),
+                    });
+                }
+                self.h_omega = next;
             }
             self.snapshot = EvtHPOutput::new(self.h_trusted.clone());
             std::mem::swap(&mut self.prev_gather, &mut gather);
         }
+        let trusted = self.h_trusted.len();
+        ctx.observe(|| ObsKind::DetectorEpoch {
+            round: r,
+            trusted: u32::try_from(trusted).unwrap_or(u32::MAX),
+            changed,
+        });
         // Mirrors are skipped only when they provably already hold the
         // current values (`mirrors_dirty` covers the start-step HΩ
         // re-initialization, which changes `h_omega` without a gather

@@ -73,20 +73,38 @@ impl SyncProcess for HSigmaSyncProcess {
     type Msg = IdentMsg;
     type Output = HSigmaOutput;
 
+    /// Corruption semantics for the Byzantine payload-mutation hook: a
+    /// corrupt homonym lies about its identifier. Forged identities are
+    /// drawn from a small range so they collide with real ones —
+    /// homonymy is the attack surface, not random garbage.
+    fn mutate_payload(msg: &IdentMsg, entropy: u64) -> Option<IdentMsg> {
+        Some(IdentMsg(Identity::new(
+            (msg.0.raw().wrapping_add(1 + entropy)) % 8,
+        )))
+    }
+
     fn send(&mut self, _step: u64, out: &mut Vec<IdentMsg>) {
         out.push(IdentMsg(self.my_id));
     }
 
     fn receive(
         &mut self,
-        _step: u64,
+        step: u64,
         received: &mut Vec<IdentMsg>,
         sink: &mut SyncSink<HSigmaOutput>,
     ) {
         let mset: Multiset<Identity> = received.drain(..).map(|m| m.0).collect();
+        let trusted = mset.len();
         let label = Label::id_multiset(mset.clone());
+        let before = self.output.h_labels.len();
         self.output.insert_quorum(label.clone(), mset);
         self.output.insert_label(label);
+        let changed = self.output.h_labels.len() != before;
+        sink.observe(|| homonym_sim::ObsKind::DetectorEpoch {
+            round: step,
+            trusted: u32::try_from(trusted).unwrap_or(u32::MAX),
+            changed,
+        });
         if let Some(cell) = &self.mirror {
             cell.set(self.output.clone());
         }

@@ -1,0 +1,228 @@
+//! Renderers: a recorded run as ASCII / Mermaid per-process timelines,
+//! and histograms as markdown percentile tables.
+//!
+//! Renderers are pure functions of recorded data — nothing here touches
+//! an engine or a clock, so the same recorder renders identically
+//! wherever it was captured (a live run, a snapshot-forked replay, a
+//! counterexample story).
+
+use std::fmt::Write as _;
+
+use crate::metrics::Histogram;
+use crate::record::{ObsEvent, ObsKind, Recorder};
+
+/// Per-process cap on rendered lines/spans; deeper histories are
+/// summarized as a trailing elision so a million-round run still renders
+/// a readable page.
+const MAX_PER_PROCESS: usize = 64;
+
+/// Renders the recorded run as a per-process ASCII timeline: one block
+/// per process, one line per event, in time order.
+#[must_use]
+pub fn render_ascii_timeline(rec: &Recorder, n: usize) -> String {
+    let mut out = String::new();
+    for p in 0..n {
+        let events: Vec<&ObsEvent> = rec.for_process(p).collect();
+        let _ = writeln!(out, "p{p} ({} events)", events.len());
+        for e in events.iter().take(MAX_PER_PROCESS) {
+            let _ = writeln!(out, "  t={:<8} {}", e.at.ticks(), e.kind);
+        }
+        if events.len() > MAX_PER_PROCESS {
+            let _ = writeln!(out, "  ... {} more", events.len() - MAX_PER_PROCESS);
+        }
+    }
+    if rec.dropped() > 0 {
+        let _ = writeln!(out, "({} events dropped at capacity)", rec.dropped());
+    }
+    out
+}
+
+/// Escapes characters Mermaid gantt task names cannot carry.
+fn mermaid_safe(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            ':' | ',' | '#' | ';' => ' ',
+            _ => c,
+        })
+        .collect()
+}
+
+/// Renders the recorded run as a Mermaid gantt chart: one section per
+/// process, phase spans as tasks, certificates / decisions / leader
+/// flips / attack firings as milestones.
+///
+/// Paste the output into any Mermaid renderer; `dateFormat X` makes the
+/// axis raw engine ticks.
+#[must_use]
+pub fn render_mermaid_timeline(rec: &Recorder, n: usize, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "gantt");
+    let _ = writeln!(out, "    title {}", mermaid_safe(title));
+    let _ = writeln!(out, "    dateFormat X");
+    let _ = writeln!(out, "    axisFormat %s");
+    let end = rec.events().iter().map(|e| e.at.ticks()).max().unwrap_or(0);
+    for p in 0..n {
+        let events: Vec<&ObsEvent> = rec.for_process(p).collect();
+        if events.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "    section p{p}");
+        // Phase spans: each entry closes at the matching exit, the next
+        // entry, or the run's end.
+        let mut spans = 0usize;
+        let mut milestones = 0usize;
+        for (i, e) in events.iter().enumerate() {
+            match &e.kind {
+                ObsKind::PhaseEnter { round, phase } => {
+                    if spans >= MAX_PER_PROCESS {
+                        continue;
+                    }
+                    let close = events[i + 1..]
+                        .iter()
+                        .find_map(|later| match &later.kind {
+                            ObsKind::PhaseExit {
+                                round: r2,
+                                phase: ph2,
+                            } if r2 == round && ph2 == phase => Some(later.at.ticks()),
+                            ObsKind::PhaseEnter { .. } => Some(later.at.ticks()),
+                            _ => None,
+                        })
+                        .unwrap_or(end)
+                        .max(e.at.ticks() + 1);
+                    let _ = writeln!(out, "    r{round} {phase} : {}, {close}", e.at.ticks());
+                    spans += 1;
+                }
+                ObsKind::CertificateFormed {
+                    round, phase, size, ..
+                } if milestones < MAX_PER_PROCESS => {
+                    let _ = writeln!(
+                        out,
+                        "    cert r{round} {phase} size {size} : milestone, {}, 0",
+                        e.at.ticks()
+                    );
+                    milestones += 1;
+                }
+                ObsKind::Decided { value } => {
+                    let _ = writeln!(out, "    decided {value} : milestone, {}, 0", e.at.ticks());
+                }
+                ObsKind::LeaderFlip { leader, .. } if milestones < MAX_PER_PROCESS => {
+                    let _ = writeln!(
+                        out,
+                        "    leader {} : milestone, {}, 0",
+                        mermaid_safe(&leader.to_string()),
+                        e.at.ticks()
+                    );
+                    milestones += 1;
+                }
+                ObsKind::AttackFired { kind, victim } if milestones < MAX_PER_PROCESS => {
+                    let _ = writeln!(
+                        out,
+                        "    attack {kind} on p{victim} : milestone, {}, 0",
+                        e.at.ticks()
+                    );
+                    milestones += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Renders named histograms as one markdown percentile table.
+#[must_use]
+pub fn percentile_table(entries: &[(&str, &Histogram)]) -> String {
+    let mut out = String::new();
+    out.push_str("| metric | count | min | p50 | p90 | p99 | max | mean |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for (name, h) in entries {
+        let _ = writeln!(
+            out,
+            "| {name} | {} | {} | {} | {} | {} | {} | {:.1} |",
+            h.count(),
+            h.min(),
+            h.percentile(50),
+            h.percentile(90),
+            h.percentile(99),
+            h.max(),
+            h.mean()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homonym_core::identity::Identity;
+    use homonym_core::time::Time;
+
+    fn sample_recorder() -> Recorder {
+        let mut rec = Recorder::new(64);
+        rec.record(
+            Time::from_ticks(0),
+            0,
+            ObsKind::PhaseEnter {
+                round: 0,
+                phase: "VOTE",
+            },
+        );
+        rec.record(
+            Time::from_ticks(4),
+            0,
+            ObsKind::PhaseExit {
+                round: 0,
+                phase: "VOTE",
+            },
+        );
+        rec.record(
+            Time::from_ticks(4),
+            0,
+            ObsKind::CertificateFormed {
+                round: 0,
+                phase: "VOTE",
+                size: 6,
+                labels: vec![(Identity::new(0), 3), (Identity::new(1), 3)],
+            },
+        );
+        rec.record(
+            Time::from_ticks(5),
+            1,
+            ObsKind::AttackFired {
+                kind: "equivocate",
+                victim: 0,
+            },
+        );
+        rec.record(Time::from_ticks(9), 0, ObsKind::Decided { value: 101 });
+        rec
+    }
+
+    #[test]
+    fn ascii_timeline_lists_every_process_block() {
+        let s = render_ascii_timeline(&sample_recorder(), 2);
+        assert!(s.contains("p0 (4 events)"), "{s}");
+        assert!(s.contains("certificate r0 VOTE size=6"), "{s}");
+        assert!(s.contains("attack equivocate -> p0"), "{s}");
+    }
+
+    #[test]
+    fn mermaid_timeline_is_a_gantt_with_spans_and_milestones() {
+        let s = render_mermaid_timeline(&sample_recorder(), 2, "test run");
+        assert!(s.starts_with("gantt\n"), "{s}");
+        assert!(s.contains("section p0"), "{s}");
+        assert!(s.contains("r0 VOTE : 0, 4"), "{s}");
+        assert!(s.contains("cert r0 VOTE size 6 : milestone, 4, 0"), "{s}");
+        assert!(s.contains("decided 101 : milestone, 9, 0"), "{s}");
+        assert!(s.contains("attack equivocate on p0"), "{s}");
+    }
+
+    #[test]
+    fn percentile_table_has_a_row_per_histogram() {
+        let mut h = Histogram::new();
+        for v in [2, 4, 6] {
+            h.add(v);
+        }
+        let t = percentile_table(&[("rounds", &h)]);
+        assert!(t.contains("| rounds | 3 | 2 | 4 |"), "{t}");
+    }
+}

@@ -172,6 +172,11 @@ impl<P: Process> Worker<P> {
                     }
                 }
                 Action::Halt => self.halted = true,
+                // The real-time runtime keeps no recorder: the sink's
+                // observe channel is off, so `Observe` never reaches the
+                // action list; `Discard` notes are dropped (the runtime
+                // reports no copy metrics).
+                Action::Observe(_) | Action::Discard => {}
             }
         }
     }

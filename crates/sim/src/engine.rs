@@ -45,6 +45,7 @@ use homonym_core::fork::ForkSpace;
 use homonym_core::identity::IdentityAssignment;
 use homonym_core::properties::{ConsensusOutcome, History};
 use homonym_core::time::{Span, Time};
+use homonym_obs::{ObsKind, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -89,11 +90,20 @@ pub struct Metrics {
     /// Copies an installed [`ByzantineScript`] suppressed (selective
     /// sending). Zero without a script.
     pub copies_suppressed: u64,
+    /// Copies a process's admission window (e.g. a consensus
+    /// `WindowLedger`) detected as over-cap and discarded, reported
+    /// through [`ActionSink::note_discard`]. Zero when the running
+    /// processes report no admission policy.
+    pub copies_discarded: u64,
     /// Timer callbacks fired.
     pub timers_fired: u64,
     /// Total callbacks dispatched.
     pub events: u64,
-    /// Broadcasts by message class, when a classifier is installed.
+    /// `broadcast` invocations per message class, counted **whenever a
+    /// classifier is installed** via [`Engine::set_classifier`] — with or
+    /// without a trace attached (the classifier alone enables this
+    /// aggregate; the same labels also annotate [`TraceEvent`]s when a
+    /// trace *is* recording). Empty when no classifier is installed.
     pub by_class: BTreeMap<&'static str, u64>,
 }
 
@@ -322,7 +332,7 @@ pub struct EngineArena<P: Process> {
     decisions: Vec<Option<(Time, u64)>>,
     tick_batch: Vec<(u64, Option<Event<P::Msg>>)>,
     scratch_actions: Vec<Action<P::Msg, P::Output>>,
-    scratch_cuts: Vec<(usize, &'static str)>,
+    scratch_cuts: Vec<(usize, &'static str, Option<u64>)>,
     feed: BatchFeed<P::Msg>,
     byz_replay: Vec<Option<P::Msg>>,
 }
@@ -351,6 +361,11 @@ impl<P: Process> Default for EngineArena<P> {
         EngineArena::new()
     }
 }
+
+/// Fn-pointer round extractor installed with
+/// [`Engine::set_round_extractor`]: maps a protocol message to its
+/// originating round, or `None` for round-less traffic.
+pub type RoundExtractor<M> = fn(&M) -> Option<u64>;
 
 /// The discrete-event engine. See the module docs for semantics.
 pub struct Engine<P: Process> {
@@ -381,12 +396,18 @@ pub struct Engine<P: Process> {
     histories: Vec<History<P::Output>>,
     decisions: Vec<Option<(Time, u64)>>,
     classifier: Option<fn(&P::Msg) -> &'static str>,
+    /// Round extractor annotating trace events with the originating
+    /// protocol round (see [`Engine::set_round_extractor`]).
+    rounder: Option<RoundExtractor<P::Msg>>,
     trace: Option<Trace>,
+    /// Structured observability recorder (see [`Engine::enable_recorder`]);
+    /// `None` keeps every `observe` hook a dead branch.
+    recorder: Option<Recorder>,
     /// Reused per-callback action buffer: one allocation per engine, not
     /// one per dispatched event.
     scratch_actions: Vec<Action<P::Msg, P::Output>>,
     /// Reused copy of a batch's action cut points (see `flush_batch`).
-    scratch_cuts: Vec<(usize, &'static str)>,
+    scratch_cuts: Vec<(usize, &'static str, Option<u64>)>,
     /// The current tick's events (batched path only): the earliest
     /// bucket's storage, swapped out of the queue wholesale and consumed
     /// front-to-back through `tick_pos`. Cleared, it becomes the
@@ -480,7 +501,9 @@ impl<P: Process> Engine<P> {
             histories,
             decisions,
             classifier: None,
+            rounder: None,
             trace: None,
+            recorder: None,
             scratch_actions,
             scratch_cuts,
             tick_batch,
@@ -526,6 +549,14 @@ impl<P: Process> Engine<P> {
         self.classifier = Some(f);
     }
 
+    /// Installs a round extractor used to annotate
+    /// [`TraceEvent::Broadcast`]/[`TraceEvent::Delivered`] with the
+    /// originating protocol round. Only consulted while a trace is
+    /// recording, so the extra call stays off the untraced hot path.
+    pub fn set_round_extractor(&mut self, f: RoundExtractor<P::Msg>) {
+        self.rounder = Some(f);
+    }
+
     /// Starts recording a [`Trace`] keeping at most `capacity` events.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(Trace::with_capacity(capacity));
@@ -537,8 +568,35 @@ impl<P: Process> Engine<P> {
         self.trace.as_ref()
     }
 
+    /// Attaches a structured-observability [`Recorder`] keeping at most
+    /// `capacity` events. While attached, process-level `observe` hooks
+    /// (certificates, locks, detector epochs, …) and engine-level events
+    /// (decisions, attack firings, blocked copies) are recorded; absent,
+    /// every hook is a dead branch and dispatch is byte-identical to an
+    /// uninstrumented run (asserted by `tests/obs_props.rs`).
+    pub fn enable_recorder(&mut self, capacity: usize) {
+        self.recorder = Some(Recorder::new(capacity));
+    }
+
+    /// The attached recorder, if observability was enabled.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detaches and returns the recorder (e.g. to feed
+    /// [`homonym_obs::RunStats`] after a run).
+    #[must_use]
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
+    }
+
     fn class_of(&self, msg: &P::Msg) -> &'static str {
         self.classifier.map_or("msg", |f| f(msg))
+    }
+
+    fn round_of(&self, msg: &P::Msg) -> Option<u64> {
+        self.rounder.and_then(|f| f(msg))
     }
 
     /// Number of processes.
@@ -743,11 +801,15 @@ impl<P: Process> Engine<P> {
                 Some(dst) if run_continues(&self.tick_batch, self.tick_pos, dst) => {
                     let headroom = (self.config.max_events - self.metrics.events).max(1);
                     if headroom > 1 {
-                        let msgs = self.feed.load(if self.trace.is_some() {
-                            Some(self.classifier.unwrap_or(|_| "msg"))
-                        } else {
-                            None
-                        });
+                        let tracing = self.trace.is_some();
+                        let msgs = self.feed.load(
+                            if tracing {
+                                Some(self.classifier.unwrap_or(|_| "msg"))
+                            } else {
+                                None
+                            },
+                            if tracing { self.rounder } else { None },
+                        );
                         msgs.push(ev.into_msg());
                         while (msgs.len() as u64) < headroom
                             && run_continues(&self.tick_batch, self.tick_pos, dst)
@@ -790,21 +852,25 @@ impl<P: Process> Engine<P> {
         self.metrics.copies_delivered += 1;
         if self.trace.is_some() {
             let class = self.class_of(&msg);
+            let round = self.round_of(&msg);
             if let Some(trace) = self.trace.as_mut() {
                 trace.record(TraceEvent::Delivered {
                     at: self.now,
                     process: dst,
                     class,
+                    round,
                 });
             }
         }
         debug_assert!(self.scratch_actions.is_empty());
+        let observing = self.recorder.is_some();
         {
             // `procs` and `scratch_actions` are disjoint fields, so the
             // callback can write straight into the engine's buffer.
             let slot = &mut self.procs[dst];
             let mut sink =
-                ActionSink::new(slot.id, self.now, &mut slot.rng, &mut self.scratch_actions);
+                ActionSink::new(slot.id, self.now, &mut slot.rng, &mut self.scratch_actions)
+                    .with_observing(observing);
             slot.proc.on_message(msg, &mut sink);
         }
         if !self.scratch_actions.is_empty() {
@@ -834,6 +900,7 @@ impl<P: Process> Engine<P> {
         }
         let mut actions = std::mem::take(&mut self.scratch_actions);
         debug_assert!(actions.is_empty());
+        let observing = self.recorder.is_some();
         {
             let slot = &mut self.procs[dst];
             let mut sink = ActionSink::with_feed(
@@ -842,7 +909,8 @@ impl<P: Process> Engine<P> {
                 &mut slot.rng,
                 &mut actions,
                 &mut self.feed,
-            );
+            )
+            .with_observing(observing);
             slot.proc.on_messages(&mut sink);
         }
         self.flush_batch(dst, &mut actions);
@@ -863,13 +931,13 @@ impl<P: Process> Engine<P> {
         // acting before consuming — a contract violation, but one whose
         // effects must not be silently dropped) apply ahead of any
         // delivery; when nothing was pulled at all, that is every action.
-        let first = cuts.first().map_or(total, |&(f, _)| f);
+        let first = cuts.first().map_or(total, |&(f, _, _)| f);
         debug_assert_eq!(first, 0, "on_messages acted before pulling a message");
         for action in drained.by_ref().take(first) {
             self.apply_one(dst, action);
         }
         for i in 0..cuts.len() {
-            let (start, class) = cuts[i];
+            let (start, class, round) = cuts[i];
             self.metrics.events += 1;
             self.metrics.copies_delivered += 1;
             if let Some(trace) = self.trace.as_mut() {
@@ -877,9 +945,10 @@ impl<P: Process> Engine<P> {
                     at: self.now,
                     process: dst,
                     class,
+                    round,
                 });
             }
-            let end = cuts.get(i + 1).map_or(total, |&(e, _)| e);
+            let end = cuts.get(i + 1).map_or(total, |&(e, _, _)| e);
             for action in drained.by_ref().take(end - start) {
                 self.apply_one(dst, action);
             }
@@ -912,11 +981,13 @@ impl<P: Process> Engine<P> {
                     at: self.now,
                     process: dst,
                     class: self.class_of(msg),
+                    round: self.round_of(msg),
                 },
                 Event::DeliverShared { msg, .. } => TraceEvent::Delivered {
                     at: self.now,
                     process: dst,
                     class: self.class_of(msg),
+                    round: self.round_of(msg),
                 },
                 Event::Timer { tag, .. } => TraceEvent::TimerFired {
                     at: self.now,
@@ -930,9 +1001,11 @@ impl<P: Process> Engine<P> {
         }
         let mut actions = std::mem::take(&mut self.scratch_actions);
         debug_assert!(actions.is_empty());
+        let observing = self.recorder.is_some();
         {
             let slot = &mut self.procs[dst];
-            let mut sink = ActionSink::new(slot.id, self.now, &mut slot.rng, &mut actions);
+            let mut sink = ActionSink::new(slot.id, self.now, &mut slot.rng, &mut actions)
+                .with_observing(observing);
             match ev {
                 Event::Start { .. } => slot.proc.on_start(&mut sink),
                 Event::Deliver { .. } | Event::DeliverShared { .. } => {
@@ -974,6 +1047,9 @@ impl<P: Process> Engine<P> {
                             value: v,
                         });
                     }
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(self.now, src, ObsKind::Decided { value: v });
+                    }
                 }
             }
             Action::Halt => {
@@ -985,6 +1061,12 @@ impl<P: Process> Engine<P> {
                     });
                 }
             }
+            Action::Observe(kind) => {
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(self.now, src, kind);
+                }
+            }
+            Action::Discard => self.metrics.copies_discarded += 1,
         }
     }
 
@@ -995,11 +1077,13 @@ impl<P: Process> Engine<P> {
         }
         if self.trace.is_some() {
             let class = self.class_of(&msg);
+            let round = self.round_of(&msg);
             if let Some(trace) = self.trace.as_mut() {
                 trace.record(TraceEvent::Broadcast {
                     at: self.now,
                     process: src,
                     class,
+                    round,
                 });
             }
         }
@@ -1174,16 +1258,24 @@ impl<P: Process> Engine<P> {
             ByzDirective::Original => unreachable!("callers handle pass-through copies inline"),
             ByzDirective::Suppress => {
                 self.metrics.copies_suppressed += 1;
+                self.record_attack("suppress", dst);
                 return;
             }
-            ByzDirective::Equivocate(entropy) | ByzDirective::Corrupt(entropy) => {
+            ByzDirective::Equivocate(entropy) => {
                 self.metrics.copies_forged += 1;
+                self.record_attack("equivocate", dst);
+                Some(forge::<P>(original, entropy))
+            }
+            ByzDirective::Corrupt(entropy) => {
+                self.metrics.copies_forged += 1;
+                self.record_attack("corrupt", dst);
                 Some(forge::<P>(original, entropy))
             }
             ByzDirective::Replay => {
                 match byz.as_ref().and_then(|c| c.replayed.as_ref()) {
                     Some(old) => {
                         self.metrics.copies_forged += 1;
+                        self.record_attack("replay", dst);
                         Some(old.clone())
                     }
                     // Nothing broadcast before the clause activated: the
@@ -1224,8 +1316,32 @@ impl<P: Process> Engine<P> {
             Some(at) => Some(at),
             None => {
                 self.metrics.copies_blocked += 1;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(
+                        self.now,
+                        dst,
+                        ObsKind::CopyBlocked {
+                            from: u32::try_from(src).unwrap_or(u32::MAX),
+                        },
+                    );
+                }
                 None
             }
+        }
+    }
+
+    /// Records a Byzantine attack firing against `victim` (no-op when no
+    /// recorder is attached).
+    fn record_attack(&mut self, kind: &'static str, victim: usize) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(
+                self.now,
+                victim,
+                ObsKind::AttackFired {
+                    kind,
+                    victim: u32::try_from(victim).unwrap_or(u32::MAX),
+                },
+            );
         }
     }
 
@@ -1328,6 +1444,7 @@ impl<P: ForkProcess> Engine<P> {
             histories: self.histories.clone(),
             decisions: self.decisions.clone(),
             trace: self.trace.clone(),
+            recorder: self.recorder.clone(),
             tick_batch: self.tick_batch.clone(),
             tick_pos: self.tick_pos,
         }
@@ -1361,6 +1478,7 @@ impl<P: ForkProcess> Engine<P> {
         snap.histories.clone_from(&self.histories);
         snap.decisions.clone_from(&self.decisions);
         snap.trace.clone_from(&self.trace);
+        snap.recorder.clone_from(&self.recorder);
         snap.tick_batch.clone_from(&self.tick_batch);
         snap.tick_pos = self.tick_pos;
     }
@@ -1396,6 +1514,7 @@ impl<P: ForkProcess> Engine<P> {
         self.histories.clone_from(&snap.histories);
         self.decisions.clone_from(&snap.decisions);
         self.trace.clone_from(&snap.trace);
+        self.recorder.clone_from(&snap.recorder);
         self.tick_batch.clone_from(&snap.tick_batch);
         self.tick_pos = snap.tick_pos;
         self.scratch_actions.clear();
@@ -1459,7 +1578,9 @@ impl<P: ForkProcess> Engine<P> {
             histories,
             decisions,
             classifier: None,
+            rounder: None,
             trace: None,
+            recorder: None,
             scratch_actions,
             scratch_cuts,
             tick_batch,

@@ -78,6 +78,8 @@ pub use sweep::{
 };
 pub use sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
 pub use trace::{Trace, TraceEvent};
+// The observability vocabulary travels with the engines that record it.
+pub use homonym_obs::{ObsEvent, ObsKind, Recorder};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -96,4 +98,5 @@ pub mod prelude {
     };
     pub use crate::sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
     pub use crate::trace::{Trace, TraceEvent};
+    pub use homonym_obs::{ObsEvent, ObsKind, Recorder};
 }

@@ -15,6 +15,7 @@ use core::fmt;
 
 use homonym_core::identity::Identity;
 use homonym_core::time::{Span, Time};
+use homonym_obs::ObsKind;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -107,11 +108,13 @@ pub(crate) struct BatchFeed<M> {
     /// Pending messages in **reverse** delivery order, so consuming the
     /// next message is an O(1) pop from the back.
     msgs: Vec<M>,
-    /// `(actions.len() at hand-out, class)` per consumed message.
-    cuts: Vec<(usize, &'static str)>,
+    /// `(actions.len() at hand-out, class, round)` per consumed message.
+    cuts: Vec<(usize, &'static str, Option<u64>)>,
     /// Classifier for trace labels; `None` skips classification (no
     /// trace is being recorded).
     classifier: Option<fn(&M) -> &'static str>,
+    /// Round extractor for trace labels; `None` skips extraction.
+    rounder: Option<fn(&M) -> Option<u64>>,
 }
 
 impl<M> BatchFeed<M> {
@@ -120,20 +123,26 @@ impl<M> BatchFeed<M> {
             msgs: Vec::new(),
             cuts: Vec::new(),
             classifier: None,
+            rounder: None,
         }
     }
 
     /// Prepares the feed for one batch: `msgs` must already be in reverse
-    /// delivery order. `classifier` is `Some` only when trace labels are
-    /// needed.
-    pub(crate) fn load(&mut self, classifier: Option<fn(&M) -> &'static str>) -> &mut Vec<M> {
+    /// delivery order. `classifier`/`rounder` are `Some` only when trace
+    /// labels are needed.
+    pub(crate) fn load(
+        &mut self,
+        classifier: Option<fn(&M) -> &'static str>,
+        rounder: Option<fn(&M) -> Option<u64>>,
+    ) -> &mut Vec<M> {
         debug_assert!(self.msgs.is_empty() && self.cuts.is_empty());
         self.classifier = classifier;
+        self.rounder = rounder;
         &mut self.msgs
     }
 
     /// The per-consumed-message cut points recorded during the callback.
-    pub(crate) fn cuts(&self) -> &[(usize, &'static str)] {
+    pub(crate) fn cuts(&self) -> &[(usize, &'static str, Option<u64>)] {
         &self.cuts
     }
 
@@ -143,6 +152,7 @@ impl<M> BatchFeed<M> {
         self.msgs.clear();
         self.cuts.clear();
         self.classifier = None;
+        self.rounder = None;
     }
 }
 
@@ -163,6 +173,13 @@ pub enum Action<M, O> {
     Decide(u64),
     /// Stop delivering callbacks to this process.
     Halt,
+    /// Record a structured observability event (emitted only while a
+    /// recorder is attached; see [`ActionSink::observe`]).
+    Observe(ObsKind),
+    /// Count one admission-window rejection into the engine's
+    /// `copies_discarded` metric (emitted unconditionally; see
+    /// [`ActionSink::note_discard`]).
+    Discard,
 }
 
 /// The process's handle to the outside world during one callback.
@@ -176,6 +193,9 @@ pub struct ActionSink<'a, M, O> {
     rng: &'a mut StdRng,
     actions: &'a mut Vec<Action<M, O>>,
     halted: bool,
+    /// Whether an observability recorder is attached to the engine: the
+    /// gate of [`ActionSink::observe`].
+    obs_on: bool,
     /// Pending batched delivery, when the engine dispatched a message
     /// batch (see [`Process::on_messages`]).
     feed: Option<&'a mut BatchFeed<M>>,
@@ -196,8 +216,18 @@ impl<'a, M, O> ActionSink<'a, M, O> {
             rng,
             actions,
             halted: false,
+            obs_on: false,
             feed: None,
         }
+    }
+
+    /// Sets whether [`ActionSink::observe`] is live (builder style). The
+    /// engines thread their recorder's presence through this; it must
+    /// never change any other effect of the sink.
+    #[must_use]
+    pub fn with_observing(mut self, on: bool) -> Self {
+        self.obs_on = on;
+        self
     }
 
     /// Creates a sink for a batched delivery, feeding messages out of
@@ -215,6 +245,7 @@ impl<'a, M, O> ActionSink<'a, M, O> {
             rng,
             actions,
             halted: false,
+            obs_on: false,
             feed: Some(feed),
         }
     }
@@ -235,7 +266,8 @@ impl<'a, M, O> ActionSink<'a, M, O> {
         let feed = self.feed.as_deref_mut()?;
         let msg = feed.msgs.pop()?;
         let class = feed.classifier.map_or("msg", |f| f(&msg));
-        feed.cuts.push((self.actions.len(), class));
+        let round = feed.rounder.and_then(|f| f(&msg));
+        feed.cuts.push((self.actions.len(), class, round));
         Some(msg)
     }
 
@@ -291,6 +323,33 @@ impl<'a, M, O> ActionSink<'a, M, O> {
         self.halted
     }
 
+    /// Whether an observability recorder is attached (the gate of
+    /// [`ActionSink::observe`]); stacking relays propagate this to their
+    /// sub-sinks.
+    #[must_use]
+    pub fn observing(&self) -> bool {
+        self.obs_on
+    }
+
+    /// Records a structured observability event — **only** while the
+    /// engine has a recorder attached. The closure is never evaluated
+    /// otherwise, so instrumentation costs one predictable branch when
+    /// off and dispatch stays byte-identical either way (the zero-cost
+    /// contract pinned by the `obs_props` proptests).
+    pub fn observe(&mut self, f: impl FnOnce() -> ObsKind) {
+        if self.obs_on {
+            self.actions.push(Action::Observe(f()));
+        }
+    }
+
+    /// Counts one admission-window rejection into the engine's
+    /// `copies_discarded` metric. Unlike [`ActionSink::observe`] this is
+    /// **unconditional** — the metric counts identically with or without
+    /// a recorder attached.
+    pub fn note_discard(&mut self) {
+        self.actions.push(Action::Discard);
+    }
+
     /// Process-local deterministic randomness (seeded per process by the
     /// engine). Algorithms in this repository only use it where the paper
     /// allows non-determinism (e.g. random proposal tie-breaks in
@@ -336,6 +395,29 @@ mod tests {
         assert!(matches!(actions[1], Action::SetTimer(d, TimerTag(1)) if d == Span::from_ticks(3)));
         assert!(matches!(actions[2], Action::Decide(9)));
         assert!(matches!(actions[3], Action::Halt));
+    }
+
+    #[test]
+    fn observe_is_gated_but_note_discard_is_not() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut actions: Vec<Action<u32, ()>> = Vec::new();
+        let mut off = ActionSink::new(Identity::new(0), Time::ZERO, &mut rng, &mut actions);
+        assert!(!off.observing());
+        off.observe(|| unreachable!("closure must not run without a recorder"));
+        off.note_discard();
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], Action::Discard));
+
+        let mut actions: Vec<Action<u32, ()>> = Vec::new();
+        let mut on = ActionSink::new(Identity::new(0), Time::ZERO, &mut rng, &mut actions)
+            .with_observing(true);
+        assert!(on.observing());
+        on.observe(|| ObsKind::LockReleased { round: 3 });
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            Action::Observe(ObsKind::LockReleased { round: 3 })
+        ));
     }
 
     #[test]

@@ -54,6 +54,8 @@ use homonym_core::properties::History;
 use homonym_core::time::Time;
 use rand::rngs::StdRng;
 
+use homonym_obs::Recorder;
+
 use crate::engine::Metrics;
 use crate::process::Process;
 use crate::sync_engine::{SyncMetrics, SyncProcess};
@@ -108,6 +110,9 @@ pub struct EngineSnapshot<P: Process> {
     pub(crate) histories: Vec<History<P::Output>>,
     pub(crate) decisions: Vec<Option<(Time, u64)>>,
     pub(crate) trace: Option<Trace>,
+    /// The observability recorder round-trips with the snapshot so a
+    /// restored run's structured event log continues where it left off.
+    pub(crate) recorder: Option<Recorder>,
     pub(crate) tick_batch: Vec<(u64, Option<crate::engine::Event<P::Msg>>)>,
     pub(crate) tick_pos: usize,
 }
@@ -150,6 +155,9 @@ pub struct SyncSnapshot<P: SyncProcess> {
     pub(crate) metrics: SyncMetrics,
     pub(crate) histories: Vec<History<P::Output>>,
     pub(crate) decisions: Vec<Option<(Time, u64)>>,
+    /// The observability recorder round-trips with the snapshot, as in
+    /// the event-driven engine's snapshot.
+    pub(crate) recorder: Option<Recorder>,
 }
 
 impl<P: SyncProcess> SyncSnapshot<P> {

@@ -77,8 +77,13 @@ impl<A: Process, B: Process> Stacked<A, B> {
     ) {
         let mut actions: Vec<Action<M0, O0>> = Vec::new();
         {
+            // The sub-sink inherits the outer sink's observing flag, so a
+            // stacked half's `observe` hooks stay dead branches exactly
+            // when the engine has no recorder attached.
+            let observing = ctx.observing();
             let mut sub =
-                ActionSink::new(ctx.my_id(), ctx.local_now(), ctx.raw_rng(), &mut actions);
+                ActionSink::new(ctx.my_id(), ctx.local_now(), ctx.raw_rng(), &mut actions)
+                    .with_observing(observing);
             run(&mut sub);
         }
         for action in actions {
@@ -88,6 +93,8 @@ impl<A: Process, B: Process> Stacked<A, B> {
                 Action::Publish(o) => ctx.publish(lift_out(o)),
                 Action::Decide(v) => ctx.decide(v),
                 Action::Halt => ctx.halt(),
+                Action::Observe(k) => ctx.observe(|| k),
+                Action::Discard => ctx.note_discard(),
             }
         }
     }

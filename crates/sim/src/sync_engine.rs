@@ -24,6 +24,7 @@ use homonym_core::failure::FailureSchedule;
 use homonym_core::identity::{Identity, IdentityAssignment};
 use homonym_core::properties::{ConsensusOutcome, History};
 use homonym_core::time::Time;
+use homonym_obs::{ObsKind, Recorder};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -78,6 +79,14 @@ pub struct SyncSink<O> {
     outputs: Vec<O>,
     decision: Option<u64>,
     halt: bool,
+    /// Structured events staged this step (drained into the engine's
+    /// recorder); only filled while `obs_on`.
+    obs: Vec<ObsKind>,
+    obs_on: bool,
+    /// Admission-window discards reported this step — counted
+    /// **unconditionally** (independent of `obs_on`) so metrics are
+    /// identical with and without a recorder.
+    discards: u64,
 }
 
 impl<O> SyncSink<O> {
@@ -86,6 +95,9 @@ impl<O> SyncSink<O> {
             outputs: Vec::new(),
             decision: None,
             halt: false,
+            obs: Vec::new(),
+            obs_on: false,
+            discards: 0,
         }
     }
 
@@ -94,6 +106,9 @@ impl<O> SyncSink<O> {
         self.outputs.clear();
         self.decision = None;
         self.halt = false;
+        self.obs.clear();
+        self.obs_on = false;
+        self.discards = 0;
     }
 
     /// Publishes a detector-output snapshot for this step.
@@ -111,6 +126,30 @@ impl<O> SyncSink<O> {
     /// Stops the process after this step.
     pub fn halt(&mut self) {
         self.halt = true;
+    }
+
+    /// Whether a recorder is attached to the running engine. Exposed so
+    /// processes can skip *computing* expensive event payloads; the
+    /// cheaper route is [`SyncSink::observe`], whose closure is never
+    /// evaluated while observability is off.
+    #[must_use]
+    pub fn observing(&self) -> bool {
+        self.obs_on
+    }
+
+    /// Stages a structured event for the engine's recorder. The closure
+    /// runs only while a recorder is attached, making the hook free in
+    /// uninstrumented runs.
+    pub fn observe(&mut self, f: impl FnOnce() -> ObsKind) {
+        if self.obs_on {
+            self.obs.push(f());
+        }
+    }
+
+    /// Reports one admission-window discard. Always counted (into
+    /// [`SyncMetrics::copies_discarded`]), recorder or not.
+    pub fn note_discard(&mut self) {
+        self.discards += 1;
     }
 }
 
@@ -214,8 +253,23 @@ pub struct SyncMetrics {
     pub copies_forged: u64,
     /// Copies an installed [`ByzantineScript`] suppressed.
     pub copies_suppressed: u64,
+    /// Copies a process's admission window detected as over-cap and
+    /// discarded, reported through [`SyncSink::note_discard`].
+    pub copies_discarded: u64,
     /// Steps executed.
     pub steps: u64,
+}
+
+/// Applies the process's payload-mutation hook, failing loudly when the
+/// program under attack defines no corruption semantics.
+fn forge_sync<P: SyncProcess>(original: &P::Msg, entropy: u64) -> P::Msg {
+    P::mutate_payload(original, entropy).unwrap_or_else(|| {
+        panic!(
+            "a Byzantine clause matched a broadcast of {}, but its process does \
+             not override SyncProcess::mutate_payload",
+            std::any::type_name::<P::Msg>()
+        )
+    })
 }
 
 /// The lock-step engine.
@@ -238,6 +292,10 @@ pub struct SyncEngine<P: SyncProcess> {
     metrics: SyncMetrics,
     histories: Vec<History<P::Output>>,
     decisions: Vec<Option<(Time, u64)>>,
+    /// Structured observability recorder (see
+    /// [`SyncEngine::enable_recorder`]); `None` keeps every `observe`
+    /// hook a dead branch.
+    recorder: Option<Recorder>,
     /// Recycled per-destination inboxes (batched path).
     inboxes: Vec<Vec<P::Msg>>,
     /// Recycled send-phase outbox (batched path).
@@ -267,6 +325,7 @@ impl<P: SyncProcess> SyncEngine<P> {
             metrics: SyncMetrics::default(),
             histories: vec![Vec::new(); n],
             decisions: vec![None; n],
+            recorder: None,
             inboxes: Vec::new(),
             outbox: Vec::new(),
             sink: SyncSink::new(),
@@ -309,6 +368,26 @@ impl<P: SyncProcess> SyncEngine<P> {
     #[must_use]
     pub fn process(&self, p: usize) -> &P {
         &self.procs[p]
+    }
+
+    /// Attaches a structured-observability [`Recorder`] keeping at most
+    /// `capacity` events; see
+    /// [`Engine::enable_recorder`](crate::engine::Engine::enable_recorder)
+    /// for the zero-cost contract (identical here).
+    pub fn enable_recorder(&mut self, capacity: usize) {
+        self.recorder = Some(Recorder::new(capacity));
+    }
+
+    /// The attached recorder, if observability was enabled.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detaches and returns the recorder.
+    #[must_use]
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
     }
 
     /// Packages decisions into a [`ConsensusOutcome`].
@@ -448,6 +527,15 @@ impl<P: SyncProcess> SyncEngine<P> {
                         };
                         let Some(at) = fate else {
                             self.metrics.copies_blocked += 1;
+                            if let Some(rec) = self.recorder.as_mut() {
+                                rec.record(
+                                    now,
+                                    dst,
+                                    ObsKind::CopyBlocked {
+                                        from: u32::try_from(p).unwrap_or(u32::MAX),
+                                    },
+                                );
+                            }
                             continue;
                         };
                         let payload = match (&byz_script, &plan) {
@@ -455,22 +543,23 @@ impl<P: SyncProcess> SyncEngine<P> {
                                 ByzDirective::Original => m.clone(),
                                 ByzDirective::Suppress => {
                                     self.metrics.copies_suppressed += 1;
+                                    self.record_attack(now, "suppress", dst);
                                     continue;
                                 }
-                                ByzDirective::Equivocate(e) | ByzDirective::Corrupt(e) => {
+                                ByzDirective::Equivocate(e) => {
                                     self.metrics.copies_forged += 1;
-                                    P::mutate_payload(&m, e).unwrap_or_else(|| {
-                                        panic!(
-                                            "a Byzantine clause matched a broadcast of {}, but \
-                                             its process does not override \
-                                             SyncProcess::mutate_payload",
-                                            std::any::type_name::<P::Msg>()
-                                        )
-                                    })
+                                    self.record_attack(now, "equivocate", dst);
+                                    forge_sync::<P>(&m, e)
+                                }
+                                ByzDirective::Corrupt(e) => {
+                                    self.metrics.copies_forged += 1;
+                                    self.record_attack(now, "corrupt", dst);
+                                    forge_sync::<P>(&m, e)
                                 }
                                 ByzDirective::Replay => match &replayed {
                                     Some(old) => {
                                         self.metrics.copies_forged += 1;
+                                        self.record_attack(now, "replay", dst);
                                         old.clone()
                                     }
                                     None => m.clone(),
@@ -501,6 +590,7 @@ impl<P: SyncProcess> SyncEngine<P> {
         self.recipients = recipients;
 
         // Receive phase: only processes alive at this step compute.
+        let observing = self.recorder.is_some();
         #[allow(clippy::needless_range_loop)] // p indexes several parallel structures
         for p in 0..n {
             if self.halted[p] || !self.config.sched.is_alive(p, now) {
@@ -512,19 +602,35 @@ impl<P: SyncProcess> SyncEngine<P> {
             let mut fresh_sink;
             let sink = if legacy {
                 fresh_sink = SyncSink::new();
+                fresh_sink.obs_on = observing;
                 &mut fresh_sink
             } else {
                 self.sink.reset();
+                self.sink.obs_on = observing;
                 &mut self.sink
             };
             self.procs[p].receive(s, &mut inboxes[p], sink);
             inboxes[p].clear();
+            // Discards count unconditionally; staged events drain into
+            // the recorder only when one is attached.
+            self.metrics.copies_discarded += sink.discards;
+            sink.discards = 0;
+            if let Some(rec) = self.recorder.as_mut() {
+                for k in sink.obs.drain(..) {
+                    rec.record(now, p, k);
+                }
+            } else {
+                sink.obs.clear();
+            }
             for o in sink.outputs.drain(..) {
                 self.histories[p].push((now, o));
             }
             if let Some(v) = sink.decision {
                 if self.decisions[p].is_none() {
                     self.decisions[p] = Some((now, v));
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(now, p, ObsKind::Decided { value: v });
+                    }
                 }
             }
             if sink.halt {
@@ -537,6 +643,21 @@ impl<P: SyncProcess> SyncEngine<P> {
 
         self.metrics.steps += 1;
         self.step += 1;
+    }
+
+    /// Records a Byzantine attack firing against `victim` (no-op when no
+    /// recorder is attached).
+    fn record_attack(&mut self, now: Time, kind: &'static str, victim: usize) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(
+                now,
+                victim,
+                ObsKind::AttackFired {
+                    kind,
+                    victim: u32::try_from(victim).unwrap_or(u32::MAX),
+                },
+            );
+        }
     }
 }
 
@@ -561,6 +682,7 @@ impl<P: ForkSyncProcess> SyncEngine<P> {
             metrics: self.metrics.clone(),
             histories: self.histories.clone(),
             decisions: self.decisions.clone(),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -586,6 +708,7 @@ impl<P: ForkSyncProcess> SyncEngine<P> {
         self.metrics.clone_from(&snap.metrics);
         self.histories.clone_from(&snap.histories);
         self.decisions.clone_from(&snap.decisions);
+        self.recorder.clone_from(&snap.recorder);
         for inbox in &mut self.inboxes {
             inbox.clear();
         }

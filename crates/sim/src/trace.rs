@@ -33,6 +33,9 @@ pub enum TraceEvent {
         process: usize,
         /// Message class (classifier output).
         class: &'static str,
+        /// Originating protocol round (round-extractor output; `None`
+        /// when no extractor is installed or the class carries no round).
+        round: Option<u64>,
     },
     /// A message copy was delivered.
     Delivered {
@@ -42,6 +45,9 @@ pub enum TraceEvent {
         process: usize,
         /// Message class (classifier output).
         class: &'static str,
+        /// Originating protocol round (round-extractor output; `None`
+        /// when no extractor is installed or the class carries no round).
+        round: Option<u64>,
     },
     /// A timer fired.
     TimerFired {
@@ -102,11 +108,29 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceEvent::Started { at, process } => write!(f, "{at} p{process} start"),
-            TraceEvent::Broadcast { at, process, class } => {
-                write!(f, "{at} p{process} bcast {class}")
+            TraceEvent::Broadcast {
+                at,
+                process,
+                class,
+                round,
+            } => {
+                write!(f, "{at} p{process} bcast {class}")?;
+                match round {
+                    Some(r) => write!(f, " r{r}"),
+                    None => Ok(()),
+                }
             }
-            TraceEvent::Delivered { at, process, class } => {
-                write!(f, "{at} p{process} recv {class}")
+            TraceEvent::Delivered {
+                at,
+                process,
+                class,
+                round,
+            } => {
+                write!(f, "{at} p{process} recv {class}")?;
+                match round {
+                    Some(r) => write!(f, " r{r}"),
+                    None => Ok(()),
+                }
             }
             TraceEvent::TimerFired { at, process, tag } => {
                 write!(f, "{at} p{process} {tag}")
@@ -206,11 +230,13 @@ mod tests {
                 at: Time::from_ticks(2),
                 process: 3,
                 class: "X",
+                round: Some(1),
             },
             TraceEvent::Delivered {
                 at: Time::from_ticks(3),
                 process: 4,
                 class: "X",
+                round: None,
             },
             TraceEvent::TimerFired {
                 at: Time::from_ticks(4),

@@ -1,5 +1,6 @@
 //! A scenario **atlas**: an exhaustive split-brain × heal-time grid swept
-//! through the prefix-sharing executor.
+//! through the prefix-sharing executor, plus a Byzantine counterexample
+//! replayed as a rendered timeline story.
 //!
 //! 250 seeded split-brain bases × 20 heal times = 5 000 scenarios of the
 //! full Figure 6 + Figure 8 stack. Every scenario in a base's column
@@ -10,15 +11,30 @@
 //! re-run every prefix from tick 0; the printed run accounting shows
 //! what the tree saved.
 //!
-//! The verdict matrix is the payoff: per heal-time column, how many runs
-//! decided (liveness held), how many were excused, and — expected to be
-//! zero everywhere — how many violated safety or required liveness.
+//! The payoff is rendered with the `homonym-obs` toolkit:
+//!
+//! * a [`VerdictMatrix`] — per heal-time column, how many runs decided
+//!   (liveness held), how many were excused, and — expected to be zero
+//!   everywhere — how many violated safety or required liveness;
+//! * a [`percentile_table`] of end-of-run tick distributions per heal
+//!   column (later heals hold decisions hostage for longer);
+//! * a **counterexample story**: a deterministic Byzantine sweep finds a
+//!   crash-only stack falling to a hidden equivocator, and the same
+//!   attack replayed on the Byzantine-tolerant stack is rendered as
+//!   per-process ASCII and Mermaid timelines — the equivocation window
+//!   and the surviving quorum certificates as visible events.
 //!
 //! Run with `cargo run --release --example scenario_atlas`; shrink with
-//! `ATLAS_BASES=/ATLAS_HEALS=` for a quick look.
+//! `ATLAS_BASES=/ATLAS_HEALS=/ATLAS_BYZ_SCENARIOS=` for a quick look
+//! (CI smoke runs a shrunken grid and asserts the Mermaid timeline is
+//! emitted).
 
 use homonym::chaos::sweep::{clean_instant, fig8_node, hps_base, Fig8Node};
-use homonym::chaos::{FaultClause, GstPlacement, PartitionMode, Scenario};
+use homonym::chaos::{
+    byzantine_story, falsification_sweep, FaultClause, GstPlacement, PartitionMode, Scenario,
+    StackKind, SweepConfig,
+};
+use homonym::obs::{percentile_table, Histogram, VerdictMatrix};
 use homonym::prelude::*;
 use homonym::sim::sweep::{PrefixItem, PrefixTree, RunGoal};
 use homonym::sim::Engine;
@@ -96,36 +112,46 @@ fn main() {
     );
     let elapsed = started.elapsed();
 
-    // The verdict matrix: one row per heal column.
-    let mut matrix = vec![[0usize; 4]; heals];
+    // The verdict matrix: one row per heal column, rendered by the obs
+    // toolkit; end-of-run tick distributions feed the percentile table.
+    let cols = ["decided", "excused", "liveness-violated", "SAFETY-violated"];
+    let mut matrix = VerdictMatrix::new(cols.iter().map(|c| (*c).to_string()).collect());
+    let mut end_ticks: Vec<Histogram> = vec![Histogram::new(); heals];
+    let mut violated = 0usize;
     let mut flat_ticks = 0u64;
     for (j, verdict, end) in &results {
         flat_ticks += end;
-        matrix[*j][match verdict {
-            RunVerdict::Pass(()) => 0,
-            RunVerdict::LivenessExcused(_) => 1,
-            RunVerdict::LivenessViolated(_) => 2,
-            RunVerdict::SafetyViolated(_) => 3,
+        end_ticks[*j].add(*end);
+        let col = match verdict {
+            RunVerdict::Pass(()) => cols[0],
+            RunVerdict::LivenessExcused(_) => cols[1],
+            RunVerdict::LivenessViolated(_) => {
+                violated += 1;
+                cols[2]
+            }
+            RunVerdict::SafetyViolated(_) => {
+                violated += 1;
+                cols[3]
+            }
             // The atlas sweeps crash scenarios only; a Byzantine verdict
             // here would mean a corrupt process leaked into the grid.
             RunVerdict::ByzantineExpected(v) => panic!("no corrupt processes in the atlas: {v}"),
-        }] += 1;
+        };
+        matrix.add(&format!("heal start+{}", 20 + 10 * j), col, 1);
     }
-    println!("| heal offset | decided | excused | liveness-violated | SAFETY-violated |");
-    println!("|-------------|---------|---------|-------------------|-----------------|");
-    for (j, row) in matrix.iter().enumerate() {
-        println!(
-            "| start+{:<4} | {:>7} | {:>7} | {:>17} | {:>15} |",
-            20 + 10 * j,
-            row[0],
-            row[1],
-            row[2],
-            row[3]
-        );
-    }
-
-    let violated: usize = matrix.iter().map(|r| r[2] + r[3]).sum();
+    println!("{}", matrix.render_markdown());
     assert_eq!(violated, 0, "the atlas found a counterexample!");
+
+    println!("\n## end-of-run ticks per heal column\n");
+    let labels: Vec<String> = (0..heals)
+        .map(|j| format!("start+{}", 20 + 10 * j))
+        .collect();
+    let entries: Vec<(&str, &Histogram)> = labels
+        .iter()
+        .map(String::as_str)
+        .zip(end_ticks.iter())
+        .collect();
+    println!("{}", percentile_table(&entries));
 
     println!("\n## tree vs flat accounting\n");
     println!("flat executor:  {total} full runs, ~{flat_ticks} ticks re-executed from tick 0");
@@ -139,5 +165,46 @@ fn main() {
         flat_ticks - stats.shared_ticks,
         flat_ticks,
         100.0 * stats.shared_ticks as f64 / flat_ticks.max(1) as f64
+    );
+
+    // ----------------------------------------------------------------
+    // The counterexample story: a deterministic Byzantine sweep fells
+    // the crash-only Figure 8 stack (hidden equivocators inside the
+    // `f < n/3` envelope), and the same attack replayed on the
+    // Byzantine-tolerant stack renders as a per-process timeline.
+    // ----------------------------------------------------------------
+    let byz_scenarios = env_or("ATLAS_BYZ_SCENARIOS", 12);
+    let fig8_cfg = SweepConfig::byzantine(StackKind::Fig8EvtHp, byz_scenarios);
+    let report = falsification_sweep(&fig8_cfg);
+    let cex = report
+        .byzantine_demonstrated
+        .iter()
+        .find(|c| c.family != "over-threshold-byzantine")
+        .expect("a within-envelope attack must fell the crash-only stack");
+    println!(
+        "\n## counterexample story: family={} seed={}\n\nviolation: {}\nscript: {}",
+        cex.family, cex.seed, cex.violation, cex.script
+    );
+    let cfg = SweepConfig::byzantine(StackKind::ByzTolerant, byz_scenarios);
+    let story = byzantine_story(&cfg, cex);
+    assert!(
+        !story.violated,
+        "the tolerant stack fell to a within-envelope attack: {}",
+        story.script
+    );
+    assert!(
+        story.mermaid.contains("gantt") && story.mermaid.lines().count() > 3,
+        "the Mermaid timeline came out empty:\n{}",
+        story.mermaid
+    );
+    println!("\n{}", story.ascii);
+    println!("```mermaid\n{}```", story.mermaid);
+    println!(
+        "the tolerant stack survived: {} certificates formed (p50 size {}), \
+         {} attack firings visible in the window, {} processes decided",
+        story.stats.certificate_sizes.count(),
+        story.stats.certificate_sizes.percentile(50),
+        story.stats.attacks_fired,
+        story.stats.decided,
     );
 }

@@ -1,0 +1,291 @@
+//! Property tests for the observability layer's **zero-cost contract**:
+//! across random seeds, network models, link-fault scripts and active
+//! `ByzantineScript`s, attaching the `homonym-obs` recorder must not
+//! change a single dispatched byte — same traces, same histories, same
+//! metrics, same decisions — on both engines and both hot paths; and the
+//! recorder's own state must round-trip through `EngineSnapshot` /
+//! `SyncSnapshot` at random cut points (a restored run re-records
+//! exactly the events the uninterrupted run recorded).
+
+use homonym::chaos::sweep::byz_tolerant_node;
+use homonym::chaos::{
+    classify_byz_stack, round_of_byz_stack, FaultClause, PartitionMode, Scenario,
+};
+use homonym::detectors::h_sigma_sync::HSigmaSyncProcess;
+use homonym::prelude::*;
+use homonym::sim::sync_engine::{SyncConfig, SyncEngine};
+use proptest::prelude::*;
+
+fn model(kind: u8) -> NetworkModel {
+    match kind % 4 {
+        0 => NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+            min: Span::TICK,
+            max: Span::from_ticks(6),
+        }),
+        1 => NetworkModel::Synchronous,
+        2 => NetworkModel::PartialSync {
+            gst: Time::from_ticks(25),
+            delta: Span::from_ticks(4),
+            pre_gst: PreGstBehavior::LossyDelay {
+                loss_percent: 30,
+                max_delay: Span::from_ticks(15),
+            },
+        },
+        _ => NetworkModel::Asynchronous(LatencyDistribution::SkewedTail {
+            base: Span::TICK,
+            tail: Span::from_ticks(8),
+            slow_percent: 25,
+        }),
+    }
+}
+
+/// A two-group partition plus a loss overlay plus one Byzantine clause
+/// of the selected kind — link faults and the payload-mutation hook
+/// both live, so the recorder sees attack firings and ledger discards.
+fn scenario(n: usize, heal: u64, lose: u8, byz_kind: u8, victims: usize) -> Scenario {
+    let sources = vec![0];
+    let victims: Vec<usize> = (0..n).rev().take(victims.clamp(1, n)).collect();
+    let start = Time::from_ticks(1);
+    let until = Time::MAX;
+    let byz = match byz_kind % 4 {
+        0 => FaultClause::ByzantineEquivocate {
+            sources,
+            victims,
+            start,
+            until,
+        },
+        1 => FaultClause::ByzantineCorrupt {
+            sources,
+            victims,
+            start,
+            until,
+        },
+        2 => FaultClause::ByzantineReplay {
+            sources,
+            victims,
+            start,
+            until,
+        },
+        _ => FaultClause::ByzantineSelectiveSend {
+            sources,
+            victims,
+            start,
+            until,
+        },
+    };
+    Scenario::new("obs-props", n)
+        .with_clause(FaultClause::Partition {
+            groups: vec![(0..n / 2).collect(), (n / 2..n).collect()],
+            start: Time::from_ticks(2),
+            heal_at: Time::from_ticks(2 + heal),
+            mode: PartitionMode::QueueUntilHeal,
+        })
+        .with_clause(FaultClause::LinkOverlay {
+            from: (0..n).collect(),
+            to: (0..n).collect(),
+            start: Time::ZERO,
+            end: Time::from_ticks(10),
+            loss_percent: lose.min(60),
+            extra_delay: Span::ZERO,
+        })
+        .with_clause(byz)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Event engine, Byzantine-tolerant detector + consensus stack under
+    /// an active attack: the run with the recorder attached dispatches
+    /// the **byte-identical** schedule of the run without — same trace,
+    /// same decisions, same metrics — on both hot paths, and the
+    /// attached recorder actually captures events (the zero-cost claim
+    /// is about dispatch, not about recording nothing).
+    #[test]
+    fn recorder_attached_is_byte_identical_event_engine(
+        seed in any::<u64>(),
+        kind in 0u8..4,
+        byz_kind in 0u8..4,
+        victims in 1usize..4,
+        heal in 1u64..20,
+        lose in 0u8..40,
+    ) {
+        let n = 5;
+        let assign = IdentityAssignment::round_robin(n, 2);
+        let scenario = scenario(n, heal, lose, byz_kind, victims);
+        let run = |legacy: bool, record: bool| {
+            let cfg = SimConfig::new(assign.clone(), FailureSchedule::none(n), model(kind))
+                .with_seed(seed)
+                .with_legacy_hot_path(legacy);
+            let cfg = scenario.install(cfg).expect("valid scenario");
+            let mut engine = Engine::new(cfg, |p, _| byz_tolerant_node(100 + p as u64, &assign));
+            engine.set_classifier(classify_byz_stack);
+            engine.set_round_extractor(round_of_byz_stack);
+            engine.enable_trace(500_000);
+            if record {
+                engine.enable_recorder(500_000);
+            }
+            engine.run_until(Time::from_ticks(500));
+            let recorded = engine.take_recorder().map(|r| r.events().len());
+            (
+                engine.trace().expect("enabled").clone(),
+                engine.decisions().to_vec(),
+                engine.metrics().clone(),
+                recorded,
+            )
+        };
+        for legacy in [false, true] {
+            let (trace, decisions, metrics, none) = run(legacy, false);
+            let (trace_r, decisions_r, metrics_r, recorded) = run(legacy, true);
+            prop_assert_eq!(none, None);
+            prop_assert_eq!(&trace, &trace_r, "trace diverged, legacy={}", legacy);
+            prop_assert_eq!(&decisions, &decisions_r);
+            prop_assert_eq!(&metrics, &metrics_r);
+            prop_assert!(
+                recorded.expect("recorder was enabled") > 0,
+                "the instrumented stack recorded nothing, legacy={}", legacy
+            );
+        }
+        // Batched vs legacy with the recorder **on**: the observe
+        // channel rides the hot-path equality contract too.
+        prop_assert_eq!(run(false, true), run(true, true));
+    }
+
+    /// Lock-step engine, Figure 7 `HΣ` process under an active attack:
+    /// histories and metrics are byte-identical with and without the
+    /// recorder, on both buffer disciplines, and the recorder captures
+    /// the per-step detector-epoch events.
+    #[test]
+    fn recorder_attached_is_byte_identical_sync_engine(
+        seed in any::<u64>(),
+        byz_kind in 0u8..4,
+        n in 3usize..6,
+        victims in 1usize..4,
+        heal in 2u64..10,
+        steps in 6u64..16,
+    ) {
+        let scenario = scenario(n, heal, 0, byz_kind, victims);
+        let run = |legacy: bool, record: bool| {
+            let cfg = SyncConfig::new(IdentityAssignment::round_robin(n, 2), FailureSchedule::none(n))
+                .with_seed(seed)
+                .with_legacy_hot_path(legacy);
+            let cfg = scenario.install_sync(cfg).expect("valid scenario");
+            let mut engine = SyncEngine::new(cfg, |_, id| HSigmaSyncProcess::new(id));
+            if record {
+                engine.enable_recorder(100_000);
+            }
+            engine.run_steps(steps);
+            let recorded = engine.take_recorder().map(|r| r.events().len());
+            (engine.histories().to_vec(), engine.metrics().clone(), recorded)
+        };
+        for legacy in [false, true] {
+            let (hist, metrics, none) = run(legacy, false);
+            let (hist_r, metrics_r, recorded) = run(legacy, true);
+            prop_assert_eq!(none, None);
+            prop_assert_eq!(&hist, &hist_r, "histories diverged, legacy={}", legacy);
+            prop_assert_eq!(&metrics, &metrics_r);
+            // Every alive process observes one DetectorEpoch per step.
+            prop_assert!(
+                recorded.expect("recorder was enabled") >= n,
+                "the sync recorder captured too little, legacy={}", legacy
+            );
+        }
+        prop_assert_eq!(run(false, true), run(true, true));
+    }
+
+    /// Recorder state round-trips through `EngineSnapshot`: a run cut at
+    /// a random instant, snapshotted and restored, re-records exactly
+    /// the suffix — final recorder contents equal the uninterrupted
+    /// run's, as do trace, decisions and metrics.
+    #[test]
+    fn recorder_roundtrips_through_engine_snapshot(
+        seed in any::<u64>(),
+        kind in 0u8..4,
+        byz_kind in 0u8..4,
+        heal in 1u64..20,
+        cut in 1u64..120,
+    ) {
+        let n = 5;
+        let assign = IdentityAssignment::round_robin(n, 2);
+        let scenario = scenario(n, heal, 0, byz_kind, 2);
+        let legacy = seed % 2 == 0;
+        let mk = || {
+            let cfg = SimConfig::new(assign.clone(), FailureSchedule::none(n), model(kind))
+                .with_seed(seed)
+                .with_legacy_hot_path(legacy);
+            let cfg = scenario.install(cfg).expect("valid scenario");
+            let mut engine = Engine::new(cfg, |p, _| byz_tolerant_node(100 + p as u64, &assign));
+            engine.set_classifier(classify_byz_stack);
+            engine.set_round_extractor(round_of_byz_stack);
+            engine.enable_trace(500_000);
+            engine.enable_recorder(500_000);
+            engine
+        };
+        let horizon = Time::from_ticks(400);
+        let state = |e: &mut Engine<_>| {
+            (
+                e.trace().expect("enabled").clone(),
+                e.decisions().to_vec(),
+                e.metrics().clone(),
+                e.take_recorder().expect("enabled").events().to_vec(),
+            )
+        };
+
+        let mut baseline = mk();
+        baseline.run_until(horizon);
+        let expected = state(&mut baseline);
+
+        let mut engine = mk();
+        engine.run_until(Time::from_ticks(cut));
+        let snap = engine.snapshot();
+        engine.run_until(horizon);
+        prop_assert_eq!(&state(&mut engine), &expected);
+        // `state` consumed the recorder; the snapshot restores it.
+        engine.restore_from(&snap);
+        engine.run_until(horizon);
+        prop_assert_eq!(&state(&mut engine), &expected);
+    }
+
+    /// Recorder state round-trips through `SyncSnapshot` at a random
+    /// step cut on the lock-step engine.
+    #[test]
+    fn recorder_roundtrips_through_sync_snapshot(
+        seed in any::<u64>(),
+        byz_kind in 0u8..4,
+        n in 3usize..6,
+        heal in 2u64..10,
+        cut in 1u64..10,
+        steps in 10u64..18,
+    ) {
+        let scenario = scenario(n, heal, 0, byz_kind, 2);
+        let legacy = seed % 2 == 0;
+        let mk = || {
+            let cfg = SyncConfig::new(IdentityAssignment::round_robin(n, 2), FailureSchedule::none(n))
+                .with_seed(seed)
+                .with_legacy_hot_path(legacy);
+            let cfg = scenario.install_sync(cfg).expect("valid scenario");
+            let mut engine = SyncEngine::new(cfg, |_, id| HSigmaSyncProcess::new(id));
+            engine.enable_recorder(100_000);
+            engine
+        };
+        let state = |e: &mut SyncEngine<HSigmaSyncProcess>| {
+            (
+                e.histories().to_vec(),
+                e.metrics().clone(),
+                e.take_recorder().expect("enabled").events().to_vec(),
+            )
+        };
+
+        let mut baseline = mk();
+        baseline.run_steps(steps);
+        let expected = state(&mut baseline);
+
+        let mut engine = mk();
+        engine.run_steps(cut.min(steps - 1));
+        let snap = engine.snapshot();
+        engine.run_steps(steps - cut.min(steps - 1));
+        prop_assert_eq!(&state(&mut engine), &expected);
+        engine.restore_from(&snap);
+        engine.run_steps(steps - cut.min(steps - 1));
+        prop_assert_eq!(&state(&mut engine), &expected);
+    }
+}
