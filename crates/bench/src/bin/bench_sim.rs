@@ -1,6 +1,6 @@
 //! `BENCH_sim.json` generator: simulator hot-path throughput.
 //!
-//! Measures events dispatched per second on nine workloads, each executed
+//! Measures events dispatched per second on ten workloads, each executed
 //! twice — once on the **legacy** path (the PR 1 hot path, re-baselined:
 //! calendar event queue, `Arc`-shared payloads, per-event pops, one
 //! network-model match and RNG route per copy, per-message dispatch, plus
@@ -10,7 +10,7 @@
 //! fused per-broadcast RNG sampling with precomputed distributions,
 //! incremental `◇HP` rounds, ring-window consensus buckets, cached
 //! oracles, arena-reused runs) — and writes the events/sec figures plus
-//! the speedup ratio to `BENCH_sim.json` (`schema_version = 7`) in the
+//! the speedup ratio to `BENCH_sim.json` (`schema_version = 8`) in the
 //! working directory.
 //!
 //! Workloads:
@@ -63,7 +63,15 @@
 //! * `chaos_sweep_forked` — the same flat-vs-forked comparison on the
 //!   `◇HP` detector stack (fixed observation horizons, so the sharing
 //!   win is purely structural), identical per-variant verdict inputs
-//!   asserted.
+//!   asserted;
+//! * `checkpointed_sweep` — the **price of durability**: the same
+//!   falsification sweep run entirely in RAM (legacy column) vs through
+//!   the kill-tolerant checkpoint driver writing one atomic, checksummed
+//!   segment file per scenario group into a fresh directory (current
+//!   column). The full sweep reports are asserted identical, the row's
+//!   "events" are scenario runs, and the ratio prices checkpoint I/O —
+//!   expected near 1.0× (segments are small relative to simulation
+//!   work).
 //!
 //! Both flavors of every row dispatch the identical event sequence
 //! (seeded runs are byte-for-byte equal; `tests/trace_determinism.rs`
@@ -93,7 +101,11 @@ use std::time::Instant;
 use homonym_bench::{async_net, hps_delay_only, hps_lossy, staggered_crashes};
 use homonym_chaos::generators::{fault_window_variants, hidden_equivocator, split_brain};
 use homonym_chaos::sweep::{clean_instant, fig8_node, hps_base, Fig8Node as ChaosFig8Node};
-use homonym_chaos::{FaultClause, GstPlacement, PartitionMode, Scenario};
+use homonym_chaos::{
+    checkpointed_falsification_sweep, falsification_sweep_forked, CheckpointConfig, FaultClause,
+    GstPlacement, PartitionMode, Scenario, StackKind as ChaosStackKind,
+    SweepConfig as ChaosSweepConfig,
+};
 use homonym_consensus::{round_of_byz, ByzQuorumConsensus, HOmegaPolicy, MajorityConsensus};
 use homonym_core::prelude::*;
 use homonym_detectors::evt_hp::{EvtHpMsg, EvtHpProcess, EvtHpSnapshot};
@@ -1063,7 +1075,7 @@ fn main() {
             }
         }
     }
-    const ROW_NAMES: [&str; 9] = [
+    const ROW_NAMES: [&str; 10] = [
         "hps_mesh_n64",
         "hps_detector_n64",
         "fig8_consensus_sweep",
@@ -1073,6 +1085,7 @@ fn main() {
         "obs_overhead",
         "fig8_sweep_forked",
         "chaos_sweep_forked",
+        "checkpointed_sweep",
     ];
     for row in &only {
         assert!(
@@ -1318,6 +1331,44 @@ fn main() {
         assert_counts(&legacy, &new, "detector forked-sweep event counts diverged");
         rows.push(("chaos_sweep_forked", legacy, new));
     }
+    if enabled("checkpointed_sweep") {
+        // The price of durability: the same falsification sweep in RAM
+        // (legacy column) vs checkpointed group by group into a fresh
+        // directory (current column). Reports must be identical — the
+        // checkpoint layer may never change a verdict — and the ratio
+        // prices the atomic segment writes. "Events" are scenario runs.
+        let ckpt_scenarios = if quick { 6 } else { 24 };
+        let cfg = ChaosSweepConfig::new(ChaosStackKind::Fig8EvtHp, ckpt_scenarios).with_variants(4);
+        let dir = std::env::temp_dir().join(format!("bench-sim-ckpt-{}", std::process::id()));
+        let baseline: std::cell::RefCell<Option<homonym_chaos::SweepReport>> =
+            std::cell::RefCell::new(None);
+        let (legacy, new) = bench_pair(reps, side, |in_ram| {
+            let report = if in_ram {
+                falsification_sweep_forked(&cfg)
+            } else {
+                let _ = std::fs::remove_dir_all(&dir);
+                let (report, stats) =
+                    checkpointed_falsification_sweep(&cfg, &CheckpointConfig::new(&dir))
+                        .expect("checkpointed sweep on a fresh temp dir");
+                assert_eq!(
+                    stats.groups_executed, ckpt_scenarios as u64,
+                    "a fresh checkpoint directory must execute every group"
+                );
+                report
+            };
+            let mut b = baseline.borrow_mut();
+            match &*b {
+                Some(prev) => assert_eq!(
+                    prev, &report,
+                    "the checkpointed sweep report diverged from the in-RAM forked sweep"
+                ),
+                None => *b = Some(report.clone()),
+            }
+            report.runs as u64
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push(("checkpointed_sweep", legacy, new));
+    }
 
     let alloc_header = if alloc_count::ENABLED {
         " legacy alloc/ev | alloc/ev |"
@@ -1336,7 +1387,7 @@ fn main() {
     // Bump `schema_version` whenever the JSON shape changes (new or
     // renamed fields/rows, or a re-baselined legacy column); see
     // BENCHMARKS.md for the version history.
-    let mut json = String::from("{\n  \"schema_version\": 7,\n");
+    let mut json = String::from("{\n  \"schema_version\": 8,\n");
     for (name, legacy, new) in &rows {
         let speedup = new.events_per_sec() / legacy.events_per_sec();
         let alloc_cols = if alloc_count::ENABLED {

@@ -38,7 +38,24 @@
 //! within-tolerance counterexample is then replayed against the
 //! tolerant stack, which must survive every variation.
 //!
-//! Usage: `cargo run --release -p homonym-bench --bin exp_chaos`
+//! Usage: `cargo run --release -p homonym-bench --bin exp_chaos -- [flags]`
+//! Flags (each with an environment equivalent for CI):
+//! * `--checkpoint-dir <dir>` / `CHAOS_CHECKPOINT_DIR=<dir>` — run the
+//!   **kill-tolerant** sweep driver: per-stack progress is checkpointed
+//!   under `<dir>/<stack>/` (atomic, checksummed segment files), so a
+//!   SIGKILL at any instant loses at most the in-flight scenario
+//!   groups;
+//! * `--resume` / `CHAOS_RESUME=1` — reuse verified segments already in
+//!   the checkpoint directory instead of starting fresh (without it the
+//!   directory is cleared first). A directory written by a different
+//!   configuration or binary fails with a clear error and exit code 2,
+//!   never a panic;
+//! * `--spill-budget <bytes>` / `CHAOS_SPILL_BUDGET=<bytes>` — also
+//!   spill cold prefix-tree snapshots to disk past this RAM budget;
+//! * `--verify-resume` / `CHAOS_VERIFY_RESUME=1` — after the
+//!   checkpointed sweep, re-run uninterrupted in RAM and assert the two
+//!   reports are identical (prints a greppable verdict).
+//!
 //! Environment:
 //! * `CHAOS_SWEEP_SCENARIOS=<k>` — scenarios **per stack** (default 400,
 //!   so the default run sweeps 1200 scenarios overall; CI smoke uses a
@@ -46,10 +63,13 @@
 //! * `CHAOS_BYZANTINE=1` — Byzantine mode (see above);
 //! * `HOMONYM_EXP_JSON=<dir>` — additionally dump the rows as JSON.
 
+use std::path::PathBuf;
+
 use homonym_bench::maybe_dump;
 use homonym_chaos::{
-    byzantine_story, falsification_sweep, replay_byzantine_counterexample, StackKind, SweepConfig,
-    SweepReport,
+    byzantine_story, checkpointed_falsification_sweep, falsification_sweep,
+    falsification_sweep_forked, replay_byzantine_counterexample, CheckpointConfig, StackKind,
+    SweepConfig, SweepReport,
 };
 use serde::Serialize;
 
@@ -84,12 +104,63 @@ fn report_row(stack: StackKind, report: &SweepReport) -> Row {
     }
 }
 
+/// Checkpointing knobs, merged from flags and their CI env equivalents
+/// (a flag wins over its variable).
+struct CheckpointArgs {
+    dir: Option<PathBuf>,
+    resume: bool,
+    spill_budget: Option<u64>,
+    verify_resume: bool,
+}
+
+fn parse_args() -> CheckpointArgs {
+    let env_flag = |name: &str| std::env::var(name).is_ok_and(|v| v != "0" && !v.is_empty());
+    let mut out = CheckpointArgs {
+        dir: std::env::var("CHAOS_CHECKPOINT_DIR")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from),
+        resume: env_flag("CHAOS_RESUME"),
+        spill_budget: std::env::var("CHAOS_SPILL_BUDGET")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+        verify_resume: env_flag("CHAOS_VERIFY_RESUME"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--checkpoint-dir" => out.dir = Some(PathBuf::from(value("--checkpoint-dir"))),
+            "--resume" => out.resume = true,
+            "--spill-budget" => {
+                let v = value("--spill-budget");
+                out.spill_budget = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--spill-budget needs a byte count, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--verify-resume" => out.verify_resume = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
 fn main() {
     let per_stack: usize = std::env::var("CHAOS_SWEEP_SCENARIOS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(400);
     let byzantine = std::env::var("CHAOS_BYZANTINE").is_ok_and(|v| v != "0");
+    let ck_args = parse_args();
 
     let mode = if byzantine { "Byzantine" } else { "crash" };
     println!("## chaos falsification sweep ({per_stack} scenarios per stack, {mode} mode)\n");
@@ -113,7 +184,53 @@ fn main() {
         } else {
             SweepConfig::new(stack, per_stack)
         };
-        let report = falsification_sweep(&cfg);
+        let report = match &ck_args.dir {
+            None => falsification_sweep(&cfg),
+            Some(dir) => {
+                let stack_dir = dir.join(stack.name());
+                if !ck_args.resume {
+                    // A fresh start was requested: previous progress in
+                    // this directory must not leak into the report.
+                    let _ = std::fs::remove_dir_all(&stack_dir);
+                }
+                let mut ck = CheckpointConfig::new(&stack_dir);
+                if let Some(budget) = ck_args.spill_budget {
+                    ck = ck.with_spill_budget(budget);
+                }
+                match checkpointed_falsification_sweep(&cfg, &ck) {
+                    Ok((report, stats)) => {
+                        eprintln!(
+                            "checkpoint[{}]: {} groups ({} resumed, {} executed, \
+                             {} corrupt segment(s) re-executed)",
+                            stack.name(),
+                            stats.groups_total,
+                            stats.groups_resumed,
+                            stats.groups_executed,
+                            stats.corrupt_segments,
+                        );
+                        if ck_args.verify_resume {
+                            let uninterrupted = falsification_sweep_forked(&cfg);
+                            assert_eq!(
+                                report, uninterrupted,
+                                "checkpointed report diverged from the uninterrupted run"
+                            );
+                            eprintln!(
+                                "resume verified[{}]: report identical to uninterrupted run",
+                                stack.name()
+                            );
+                        }
+                        report
+                    }
+                    Err(e) => {
+                        // Version/fingerprint mismatches and I/O faults
+                        // are operator problems: clear message, clean
+                        // exit — never a panic backtrace.
+                        eprintln!("checkpoint sweep failed for {}: {e}", stack.name());
+                        std::process::exit(2);
+                    }
+                }
+            }
+        };
         let row = report_row(stack, &report);
         println!(
             "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",

@@ -80,11 +80,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod generators;
 pub mod scenario;
 pub mod story;
 pub mod sweep;
 
+pub use checkpoint::{
+    checkpointed_falsification_sweep, CheckpointConfig, ResumeStats, MANIFEST_SCHEMA,
+    SEGMENT_SCHEMA,
+};
 pub use scenario::{FaultClause, GstPlacement, PartitionMode, Scenario, ScenarioError};
 pub use story::{byzantine_story, classify_byz_stack, round_of_byz_stack, ByzantineStory};
 pub use sweep::{

@@ -57,6 +57,7 @@ use homonym_core::properties::{
 };
 use homonym_core::query::SharedCell;
 use homonym_core::time::{Span, Time};
+use homonym_core::wire::Persist;
 use homonym_detectors::evt_hp::{split_snapshots, EvtHpProcess};
 use homonym_detectors::oracle::{HOmegaOracle, HSigmaOracle, OracleWorld, PreStability};
 use homonym_sim::engine::{Engine, EngineArena, SimConfig};
@@ -284,6 +285,25 @@ impl SweepConfig {
             ..SweepConfig::new(stack, scenarios)
         }
     }
+
+    /// A stable fingerprint of everything that determines the sweep's
+    /// run list and verdicts. A checkpoint directory written under one
+    /// fingerprint refuses to resume under another — segment files
+    /// would silently describe different runs.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut s = homonym_core::wire::Saver::new();
+        (self.n, self.l, self.scenarios).save(&mut s);
+        self.variants.save(&mut s);
+        self.stack.name().save(&mut s);
+        let families: Vec<&'static str> = self.families.iter().map(|f| f.name()).collect();
+        families.save(&mut s);
+        self.base_seed.save(&mut s);
+        self.decision_margin.ticks().save(&mut s);
+        self.detector_margin.ticks().save(&mut s);
+        self.probe_every.save(&mut s);
+        homonym_sim::fnv1a(&s.finish())
+    }
 }
 
 /// A falsifying (or excused) run, replayable from `seed` + the script.
@@ -387,7 +407,7 @@ impl WorkerArenas {
 /// Per-worker state of the forked executor: prefix sweepers for the
 /// stacks whose process construction is variant-invariant, plus flat
 /// arenas for probes and the oracle-backed fallback.
-struct ForkedWorkers {
+pub(crate) struct ForkedWorkers {
     fig8: PrefixSweeper<Fig8Node>,
     detector: PrefixSweeper<EvtHpProcess>,
     byz: PrefixSweeper<ByzTolerantNode>,
@@ -395,7 +415,7 @@ struct ForkedWorkers {
 }
 
 impl ForkedWorkers {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         ForkedWorkers {
             fig8: PrefixSweeper::new(),
             detector: PrefixSweeper::new(),
@@ -403,26 +423,74 @@ impl ForkedWorkers {
             flat: WorkerArenas::new(),
         }
     }
+
+    /// Enables the disk spill on every prefix sweeper this worker owns:
+    /// branch-point snapshots past `budget_bytes` of RAM move to spool
+    /// files under `dir`. Spool creation failures (read-only disk)
+    /// degrade to the all-in-RAM behaviour rather than failing the
+    /// sweep.
+    pub(crate) fn enable_spill(&mut self, dir: &std::path::Path, budget_bytes: u64) {
+        if let Ok(spool) = homonym_sim::SnapshotSpool::new(dir.join("fig8"), budget_bytes) {
+            self.fig8.enable_spill(spool);
+        }
+        if let Ok(spool) = homonym_sim::SnapshotSpool::new(dir.join("detector"), budget_bytes) {
+            self.detector.enable_spill(spool);
+        }
+        if let Ok(spool) = homonym_sim::SnapshotSpool::new(dir.join("byz"), budget_bytes) {
+            self.byz.enable_spill(spool);
+        }
+    }
+
+    /// Accumulated spill activity across this worker's sweepers.
+    pub(crate) fn spool_stats(&self) -> homonym_sim::SpoolStats {
+        let mut total = homonym_sim::SpoolStats::default();
+        for stats in [
+            self.fig8.spool_stats(),
+            self.detector.spool_stats(),
+            self.byz.spool_stats(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            total.spilled += stats.spilled;
+            total.reloaded += stats.reloaded;
+            total.corrupt += stats.corrupt;
+            total.bytes_on_disk += stats.bytes_on_disk;
+        }
+        total
+    }
 }
 
 /// One scenario run's contribution to the report.
-struct RunOutcome {
-    family: &'static str,
-    seed: u64,
-    script: String,
-    verdict: RunVerdict<()>,
+pub(crate) struct RunOutcome {
+    pub(crate) family: &'static str,
+    pub(crate) seed: u64,
+    pub(crate) script: String,
+    pub(crate) verdict: RunVerdict<()>,
     /// Number of corrupt processes in the run (splits Byzantine passes
     /// from crash-only passes in the aggregate).
-    corrupt: usize,
+    pub(crate) corrupt: usize,
     /// `Some(blocked)` when a pre-heal probe ran: `true` if the probe
     /// failed to terminate before the heal (the expected outcome).
-    probe_blocked: Option<bool>,
+    pub(crate) probe_blocked: Option<bool>,
 }
+
+// Outcomes are what sweep checkpoints persist: one segment file holds
+// the outcomes of one scenario group (`&'static str` round-trips
+// through the wire interner).
+homonym_core::persist_fields!(RunOutcome {
+    family,
+    seed,
+    script,
+    verdict,
+    corrupt,
+    probe_blocked
+});
 
 /// One planned scenario run: the expanded (family, seed, variant)
 /// coordinates both executors consume, so flat and forked sweeps run the
 /// byte-identical scenario list.
-struct PlannedRun {
+pub(crate) struct PlannedRun {
     family: &'static str,
     seed: u64,
     scenario: Scenario,
@@ -433,7 +501,7 @@ struct PlannedRun {
 /// Expands the sweep configuration into its full run list: base
 /// scenarios in rotation order, each followed by its shared-prefix
 /// variants (variant 0 *is* the base).
-fn plan_runs(cfg: &SweepConfig, assign: &IdentityAssignment) -> Vec<PlannedRun> {
+pub(crate) fn plan_runs(cfg: &SweepConfig, assign: &IdentityAssignment) -> Vec<PlannedRun> {
     let variants = cfg.variants.max(1);
     let mut runs = Vec::with_capacity(cfg.scenarios * variants);
     for i in 0..cfg.scenarios as u64 {
@@ -457,8 +525,9 @@ fn plan_runs(cfg: &SweepConfig, assign: &IdentityAssignment) -> Vec<PlannedRun> 
 }
 
 /// Folds per-run outcomes into the aggregate report (shared by both
-/// executors, so report equality reduces to outcome equality).
-fn aggregate(outcomes: Vec<RunOutcome>) -> SweepReport {
+/// executors and the checkpointed driver, so report equality reduces to
+/// outcome equality).
+pub(crate) fn aggregate(outcomes: Vec<RunOutcome>) -> SweepReport {
     let mut report = SweepReport {
         runs: outcomes.len(),
         ..SweepReport::default()
@@ -587,7 +656,7 @@ fn run_flat(
 /// truncated separate runs by definition, the latter builds per-variant
 /// oracle worlds — construction is not prefix-invariant, the documented
 /// no-sharing worst case).
-fn run_family_forked(
+pub(crate) fn run_family_forked(
     cfg: &SweepConfig,
     assign: &IdentityAssignment,
     workers: &mut ForkedWorkers,

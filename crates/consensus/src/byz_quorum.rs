@@ -96,6 +96,7 @@ use homonym_core::fork::ForkSpace;
 use homonym_core::identity::{Identity, IdentityAssignment};
 use homonym_core::multiset::Multiset;
 use homonym_core::time::{Span, Time};
+use homonym_core::wire::{Loader, Persist, Saver, WireError};
 use homonym_sim::process::{ActionSink, Process, TimerTag};
 use homonym_sim::snapshot::ForkProcess;
 use homonym_sim::ObsKind;
@@ -701,6 +702,92 @@ impl Process for ByzQuorumConsensus {
         ctx.set_timer(self.tick, TICK);
     }
 }
+
+impl Persist for ByzMsg {
+    fn save(&self, s: &mut Saver) {
+        match self {
+            ByzMsg::Vote {
+                id,
+                round,
+                est,
+                locked,
+            } => {
+                s.u8(0);
+                id.save(s);
+                round.save(s);
+                est.save(s);
+                locked.save(s);
+            }
+            ByzMsg::Commit { id, round, val } => {
+                s.u8(1);
+                id.save(s);
+                round.save(s);
+                val.save(s);
+            }
+            ByzMsg::Decide { id, value } => {
+                s.u8(2);
+                id.save(s);
+                value.save(s);
+            }
+        }
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(match l.u8()? {
+            0 => ByzMsg::Vote {
+                id: Persist::load(l)?,
+                round: Persist::load(l)?,
+                est: Persist::load(l)?,
+                locked: Persist::load(l)?,
+            },
+            1 => ByzMsg::Commit {
+                id: Persist::load(l)?,
+                round: Persist::load(l)?,
+                val: Persist::load(l)?,
+            },
+            2 => ByzMsg::Decide {
+                id: Persist::load(l)?,
+                value: Persist::load(l)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "ByzMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+homonym_core::persist_unit_enum!(Phase { Vote = 0, Commit = 1 });
+
+homonym_core::persist_fields!(ByzWindow {
+    vote_ledger,
+    votes,
+    locked_votes,
+    coord_votes,
+    commit_ledger,
+    commits,
+    commit_bottoms
+});
+
+homonym_core::persist_fields!(ByzQuorumConsensus {
+    n,
+    f,
+    caps,
+    labels,
+    est,
+    lock,
+    round,
+    phase,
+    phase_entered,
+    rounds,
+    decide_ledger,
+    decide_votes,
+    decided,
+    discarded,
+    tick,
+    phase_grace
+});
 
 #[cfg(test)]
 mod tests {

@@ -120,6 +120,8 @@ impl WindowLedger {
     }
 }
 
+homonym_core::persist_fields!(WindowLedger { used, discarded });
+
 #[cfg(test)]
 mod tests {
     use super::*;

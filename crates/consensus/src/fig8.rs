@@ -31,6 +31,7 @@ use homonym_core::fork::{ForkSpace, ForkState};
 use homonym_core::identity::Identity;
 use homonym_core::query::{AOmegaSource, HOmegaSource, OmegaSource};
 use homonym_core::time::{Span, Time};
+use homonym_core::wire::{Loader, Persist, Saver, WireError};
 use homonym_sim::process::{ActionSink, Process, TimerTag};
 use homonym_sim::snapshot::ForkProcess;
 
@@ -609,6 +610,126 @@ impl<L: LeaderPolicy> Process for MajorityConsensus<L> {
         }
         self.try_advance(ctx);
         ctx.set_timer(self.tick, TICK);
+    }
+}
+
+impl Persist for Fig8Msg {
+    fn save(&self, s: &mut Saver) {
+        match self {
+            Fig8Msg::Coord { id, round, est } => {
+                s.u8(0);
+                id.save(s);
+                round.save(s);
+                est.save(s);
+            }
+            Fig8Msg::Ph0 { round, est } => {
+                s.u8(1);
+                round.save(s);
+                est.save(s);
+            }
+            Fig8Msg::Ph1 { round, est } => {
+                s.u8(2);
+                round.save(s);
+                est.save(s);
+            }
+            Fig8Msg::Ph2 { round, est2 } => {
+                s.u8(3);
+                round.save(s);
+                est2.save(s);
+            }
+            Fig8Msg::Decide { value } => {
+                s.u8(4);
+                value.save(s);
+            }
+        }
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(match l.u8()? {
+            0 => Fig8Msg::Coord {
+                id: Persist::load(l)?,
+                round: Persist::load(l)?,
+                est: Persist::load(l)?,
+            },
+            1 => Fig8Msg::Ph0 {
+                round: Persist::load(l)?,
+                est: Persist::load(l)?,
+            },
+            2 => Fig8Msg::Ph1 {
+                round: Persist::load(l)?,
+                est: Persist::load(l)?,
+            },
+            3 => Fig8Msg::Ph2 {
+                round: Persist::load(l)?,
+                est2: Persist::load(l)?,
+            },
+            4 => Fig8Msg::Decide {
+                value: Persist::load(l)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "Fig8Msg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+homonym_core::persist_unit_enum!(Phase {
+    LeadersCoordination = 0,
+    Zero = 1,
+    One = 2,
+    Two = 3,
+});
+
+homonym_core::persist_fields!(Fig8Window {
+    coord_count,
+    coord_min,
+    ph0_first,
+    ph0_count,
+    ph1,
+    ph2,
+    ph2_bottoms
+});
+
+/// The policy (and through it any wired detector cell) encodes inside
+/// the same saver as the rest of the stack, so cross-half aliasing
+/// survives the round trip.
+impl<D: Persist> Persist for HOmegaPolicy<D> {
+    fn save(&self, s: &mut Saver) {
+        self.0.save(s);
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(HOmegaPolicy(D::load(l)?))
+    }
+}
+
+impl<L: Persist> Persist for MajorityConsensus<L> {
+    fn save(&self, s: &mut Saver) {
+        self.policy.save(s);
+        self.n.save(s);
+        self.t.save(s);
+        self.est1.save(s);
+        self.est2.save(s);
+        self.round.save(s);
+        self.phase.save(s);
+        self.rounds.save(s);
+        self.decided.save(s);
+        self.tick.save(s);
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(MajorityConsensus {
+            policy: L::load(l)?,
+            n: Persist::load(l)?,
+            t: Persist::load(l)?,
+            est1: Persist::load(l)?,
+            est2: Persist::load(l)?,
+            round: Persist::load(l)?,
+            phase: Persist::load(l)?,
+            rounds: Persist::load(l)?,
+            decided: Persist::load(l)?,
+            tick: Persist::load(l)?,
+        })
     }
 }
 

@@ -23,6 +23,8 @@
 
 use std::collections::VecDeque;
 
+use homonym_core::wire::{Loader, Persist, Saver, WireError};
+
 /// One round's reusable buffer state.
 pub(crate) trait Window: Default {
     /// Clears the window for reuse, keeping interior allocations.
@@ -140,6 +142,24 @@ impl ValueCounts {
     pub(crate) fn clear(&mut self) {
         self.counts.clear();
         self.total = 0;
+    }
+}
+
+homonym_core::persist_fields!(ValueCounts { counts, total });
+
+/// Rings persist like they clone: only `base` and the live windows are
+/// state; the spare pool is an allocation cache and decodes cold.
+impl<W: Window + Persist> Persist for RoundRing<W> {
+    fn save(&self, s: &mut Saver) {
+        self.base.save(s);
+        self.live.save(s);
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(RoundRing {
+            base: Persist::load(l)?,
+            live: Persist::load(l)?,
+            spare: Vec::new(),
+        })
     }
 }
 

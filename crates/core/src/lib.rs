@@ -51,6 +51,7 @@ pub mod multiset;
 pub mod properties;
 pub mod query;
 pub mod time;
+pub mod wire;
 
 pub use classes::{
     AOmegaOutput, APOutput, ASigmaOutput, EListOutput, EvtHPOutput, HOmegaOutput, HSigmaOutput,

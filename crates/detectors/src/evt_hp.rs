@@ -32,6 +32,7 @@ use homonym_core::identity::Identity;
 use homonym_core::multiset::Multiset;
 use homonym_core::query::SharedCell;
 use homonym_core::time::Span;
+use homonym_core::wire::{Loader, Persist, Saver, WireError};
 use homonym_sim::process::{ActionSink, Process, TimerTag};
 use homonym_sim::snapshot::ForkProcess;
 use homonym_sim::ObsKind;
@@ -445,6 +446,78 @@ impl Process for EvtHpProcess {
         self.end_round(ctx);
     }
 }
+
+impl Persist for EvtHpMsg {
+    fn save(&self, s: &mut Saver) {
+        match self {
+            EvtHpMsg::Polling { round, id } => {
+                s.u8(0);
+                round.save(s);
+                id.save(s);
+            }
+            EvtHpMsg::PReply {
+                from,
+                to,
+                target,
+                sender,
+            } => {
+                s.u8(1);
+                from.save(s);
+                to.save(s);
+                target.save(s);
+                sender.save(s);
+            }
+        }
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(match l.u8()? {
+            0 => EvtHpMsg::Polling {
+                round: Persist::load(l)?,
+                id: Persist::load(l)?,
+            },
+            1 => EvtHpMsg::PReply {
+                from: Persist::load(l)?,
+                to: Persist::load(l)?,
+                target: Persist::load(l)?,
+                sender: Persist::load(l)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "EvtHpMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+homonym_core::persist_fields!(EvtHpSnapshot {
+    evt_hp,
+    h_omega,
+    round,
+    timeout
+});
+
+// The mirror cells persist through the saver's alias table, so the
+// consensus half decoded from the same byte stream comes out re-seated
+// onto the identical rebuilt cells (see `homonym_core::wire`).
+homonym_core::persist_fields!(EvtHpProcess {
+    h_trusted,
+    h_omega,
+    round,
+    timeout,
+    mship_dense,
+    mship,
+    pending,
+    gather,
+    prev_gather,
+    snapshot,
+    evt_mirror,
+    omega_mirror,
+    mirrors_dirty,
+    adaptive,
+    started
+});
 
 #[cfg(test)]
 mod tests {

@@ -16,6 +16,7 @@ use homonym_core::classes::{HSigmaOutput, Label};
 use homonym_core::identity::Identity;
 use homonym_core::multiset::Multiset;
 use homonym_core::query::SharedCell;
+use homonym_core::wire::{Loader, Persist, Saver, WireError};
 use homonym_sim::sync_engine::{SyncProcess, SyncSink};
 
 /// Protocol message of Figure 7: `IDENT(id)`.
@@ -111,6 +112,21 @@ impl SyncProcess for HSigmaSyncProcess {
         sink.publish(self.output.clone());
     }
 }
+
+impl Persist for IdentMsg {
+    fn save(&self, s: &mut Saver) {
+        self.0.save(s);
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(IdentMsg(Persist::load(l)?))
+    }
+}
+
+homonym_core::persist_fields!(HSigmaSyncProcess {
+    my_id,
+    output,
+    mirror
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,75 @@
+//! Durable restore→continue contract on the **lock-step** engine: a
+//! [`SyncSnapshot`] of the HΣ (Figure 7) detector taken mid-run, pushed
+//! through the on-disk container (encode → atomic write → verified read
+//! → decode) and restored into a fresh engine, continues the run
+//! step-identically to an uninterrupted execution — the sync-engine
+//! half of the crash-safety contract (`homonym_sim::durable`).
+
+use homonym_core::failure::FailureSchedule;
+use homonym_core::identity::IdentityAssignment;
+use homonym_core::time::Time;
+use homonym_core::wire;
+use homonym_detectors::HSigmaSyncProcess;
+use homonym_sim::sync_engine::{SyncConfig, SyncEngine};
+use homonym_sim::{read_verified, write_atomic, SyncSnapshot};
+use proptest::prelude::*;
+
+/// Arbitrary schema tag for the test container (any value works as long
+/// as write and read agree).
+const TEST_SCHEMA: u32 = 99;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Snapshot at a random step boundary, round-trip through disk,
+    /// restore, finish: histories, metrics and step count must match the
+    /// uninterrupted run exactly, for arbitrary seeds and one crash.
+    #[test]
+    fn sync_snapshot_survives_a_disk_round_trip(
+        seed in 0u64..1_000,
+        cut in 1u64..20,
+        crash in 0usize..6,
+        crash_at in 0u64..12,
+    ) {
+        let total = 20u64;
+        let assign = IdentityAssignment::round_robin(6, 2);
+        let sched = FailureSchedule::none(6).with_crash(crash, Time::from_ticks(crash_at));
+        let mk = || {
+            let cfg = SyncConfig::new(assign.clone(), sched.clone()).with_seed(seed);
+            SyncEngine::new(cfg, |_, id| HSigmaSyncProcess::new(id))
+        };
+
+        let mut base = mk();
+        base.run_steps(total);
+        let expected_hist = base.histories().to_vec();
+        let expected_metrics = base.metrics().clone();
+
+        let mut e = mk();
+        e.run_steps(cut);
+        let snap = e.snapshot();
+
+        let dir = std::env::temp_dir().join(format!(
+            "hsnp-sync-rt-{}-{seed}-{cut}-{crash}-{crash_at}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("sync.ck");
+        write_atomic(&path, TEST_SCHEMA, &wire::to_bytes(&snap)).expect("atomic write");
+        drop(snap);
+        drop(e); // the "kill": nothing survives but the file
+
+        let payload = read_verified(&path, TEST_SCHEMA)
+            .expect("verified read")
+            .expect("file written above");
+        let restored: SyncSnapshot<HSigmaSyncProcess> =
+            wire::from_bytes(&payload).expect("decode");
+        let mut resumed = mk();
+        resumed.restore_from(&restored);
+        resumed.run_steps(total - cut);
+
+        prop_assert_eq!(resumed.histories(), expected_hist.as_slice());
+        prop_assert_eq!(resumed.metrics(), &expected_metrics);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

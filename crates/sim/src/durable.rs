@@ -1,0 +1,255 @@
+//! Durable (on-disk) codecs for engine snapshots.
+//!
+//! [`EngineSnapshot`] and [`SyncSnapshot`] already carry everything a
+//! run's future depends on (see [`crate::snapshot`]); this module makes
+//! them [`Persist`], so the in-memory restore→continue contract extends
+//! across a process boundary: encode, write (through
+//! [`crate::store`]'s atomic container), kill the process, read, decode,
+//! restore — the continued run replays the byte-identical `(time, seq)`
+//! event sequence an uninterrupted run would.
+//!
+//! # What is state and what is representation
+//!
+//! The codec persists *observable* state only:
+//!
+//! * the calendar queue round-trips as its `(tick, seq, event)` content
+//!   in dispatch order — window position and ring/overflow split are
+//!   rebuilt (only dispatch order is observable, a property the queue's
+//!   reference-model tests pin);
+//! * RNG streams round-trip as their exact xoshiro256** state words, so
+//!   every post-restore draw continues the stream mid-sequence;
+//! * recycled scratch buffers (tick batches already drained, arena
+//!   spares) are **not** state and decode empty.
+//!
+//! `Arc`-shared broadcast payloads decode into per-copy allocations:
+//! sharing is a cost optimization, not observable state.
+
+use homonym_core::wire::{Loader, Persist, Saver, WireError};
+use rand::rngs::StdRng;
+
+use crate::engine::{Event, Metrics, ProcSlot};
+use crate::process::{Process, TimerTag};
+use crate::queue::CalendarQueue;
+use crate::snapshot::{EngineSnapshot, SyncSnapshot};
+use crate::sync_engine::{SyncMetrics, SyncProcess};
+
+impl Persist for TimerTag {
+    fn save(&self, s: &mut Saver) {
+        s.u64(self.0);
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(TimerTag(l.u64()?))
+    }
+}
+
+/// RNGs persist as their exact stream position (the four xoshiro256**
+/// state words), not their seed: a restored generator continues
+/// mid-stream. (`StdRng` is a foreign type, so this is a helper pair
+/// rather than a `Persist` impl.)
+fn save_rng(rng: &StdRng, s: &mut Saver) {
+    rng.state().save(s);
+}
+
+fn load_rng(l: &mut Loader<'_>) -> Result<StdRng, WireError> {
+    Ok(StdRng::from_state(<[u64; 4]>::load(l)?))
+}
+
+impl<M: Persist> Persist for Event<M> {
+    fn save(&self, s: &mut Saver) {
+        match self {
+            Event::Start { dst } => {
+                s.u8(0);
+                dst.save(s);
+            }
+            Event::Deliver { dst, msg } => {
+                s.u8(1);
+                dst.save(s);
+                msg.save(s);
+            }
+            Event::DeliverShared { dst, msg } => {
+                s.u8(2);
+                dst.save(s);
+                msg.save(s);
+            }
+            Event::Timer { dst, tag } => {
+                s.u8(3);
+                dst.save(s);
+                tag.save(s);
+            }
+        }
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(match l.u8()? {
+            0 => Event::Start {
+                dst: Persist::load(l)?,
+            },
+            1 => Event::Deliver {
+                dst: Persist::load(l)?,
+                msg: Persist::load(l)?,
+            },
+            2 => Event::DeliverShared {
+                dst: Persist::load(l)?,
+                msg: Persist::load(l)?,
+            },
+            3 => Event::Timer {
+                dst: Persist::load(l)?,
+                tag: Persist::load(l)?,
+            },
+            tag => return Err(WireError::BadTag { what: "Event", tag }),
+        })
+    }
+}
+
+impl<P: Process + Persist> Persist for ProcSlot<P> {
+    fn save(&self, s: &mut Saver) {
+        self.proc.save(s);
+        save_rng(&self.rng, s);
+        self.id.save(s);
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(ProcSlot {
+            proc: P::load(l)?,
+            rng: load_rng(l)?,
+            id: Persist::load(l)?,
+        })
+    }
+}
+
+homonym_core::persist_fields!(Metrics {
+    broadcasts,
+    copies_sent,
+    copies_delivered,
+    copies_lost,
+    copies_blocked,
+    copies_forged,
+    copies_suppressed,
+    copies_discarded,
+    timers_fired,
+    events,
+    by_class
+});
+
+homonym_core::persist_fields!(SyncMetrics {
+    broadcasts,
+    copies_delivered,
+    copies_blocked,
+    copies_forged,
+    copies_suppressed,
+    copies_discarded,
+    steps
+});
+
+impl<E: Persist> Persist for CalendarQueue<E> {
+    fn save(&self, s: &mut Saver) {
+        let entries = self.persist_entries();
+        s.len(entries.len());
+        for (at, seq, event) in entries {
+            s.u64(at);
+            s.u64(seq);
+            event.save(s);
+        }
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        let n = l.len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let at = l.u64()?;
+            let seq = l.u64()?;
+            entries.push((at, seq, E::load(l)?));
+        }
+        Ok(CalendarQueue::from_persist_entries(entries))
+    }
+}
+
+/// The event-driven engine's full durable state. Field order is the
+/// wire layout; any change to it (or to a field's own encoding) is a
+/// schema break the checkpoint container's schema version must reflect.
+impl<P> Persist for EngineSnapshot<P>
+where
+    P: Process + Persist,
+    P::Msg: Persist,
+    P::Output: Persist,
+{
+    fn save(&self, s: &mut Saver) {
+        self.procs.save(s);
+        self.halted.save(s);
+        self.queue.save(s);
+        self.seq.save(s);
+        self.now.save(s);
+        save_rng(&self.net_rng, s);
+        save_rng(&self.adv_rng, s);
+        save_rng(&self.byz_rng, s);
+        self.byz_replay.save(s);
+        self.metrics.save(s);
+        self.histories.save(s);
+        self.decisions.save(s);
+        self.trace.save(s);
+        self.recorder.save(s);
+        // The partially consumed tick batch: live events plus the
+        // already-dispatched prefix as `None` slots, with the cursor.
+        self.tick_batch.save(s);
+        self.tick_pos.save(s);
+    }
+
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(EngineSnapshot {
+            procs: Persist::load(l)?,
+            halted: Persist::load(l)?,
+            queue: Persist::load(l)?,
+            seq: Persist::load(l)?,
+            now: Persist::load(l)?,
+            net_rng: load_rng(l)?,
+            adv_rng: load_rng(l)?,
+            byz_rng: load_rng(l)?,
+            byz_replay: Persist::load(l)?,
+            metrics: Persist::load(l)?,
+            histories: Persist::load(l)?,
+            decisions: Persist::load(l)?,
+            trace: Persist::load(l)?,
+            recorder: Persist::load(l)?,
+            tick_batch: Persist::load(l)?,
+            tick_pos: Persist::load(l)?,
+        })
+    }
+}
+
+/// The lock-step engine's full durable state; same contract as the
+/// event-driven impl above.
+impl<P> Persist for SyncSnapshot<P>
+where
+    P: SyncProcess + Persist,
+    P::Msg: Persist,
+    P::Output: Persist,
+{
+    fn save(&self, s: &mut Saver) {
+        self.procs.save(s);
+        self.halted.save(s);
+        self.step.save(s);
+        save_rng(&self.rng, s);
+        save_rng(&self.adv_rng, s);
+        save_rng(&self.byz_rng, s);
+        self.byz_replay.save(s);
+        self.deferred.save(s);
+        self.metrics.save(s);
+        self.histories.save(s);
+        self.decisions.save(s);
+        self.recorder.save(s);
+    }
+
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(SyncSnapshot {
+            procs: Persist::load(l)?,
+            halted: Persist::load(l)?,
+            step: Persist::load(l)?,
+            rng: load_rng(l)?,
+            adv_rng: load_rng(l)?,
+            byz_rng: load_rng(l)?,
+            byz_replay: Persist::load(l)?,
+            deferred: Persist::load(l)?,
+            metrics: Persist::load(l)?,
+            histories: Persist::load(l)?,
+            decisions: Persist::load(l)?,
+            recorder: Persist::load(l)?,
+        })
+    }
+}

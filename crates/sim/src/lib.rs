@@ -53,12 +53,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod adversary;
+pub mod durable;
 pub mod engine;
 pub mod network;
 pub mod process;
 mod queue;
 pub mod snapshot;
 pub mod stack;
+pub mod store;
 pub mod sweep;
 pub mod sync_engine;
 pub mod trace;
@@ -72,6 +74,10 @@ pub use network::{LatencyDistribution, NetworkModel, PreGstBehavior};
 pub use process::{ActionSink, Message, Process, TimerTag};
 pub use snapshot::{EngineSnapshot, ForkProcess, ForkSyncProcess, SyncSnapshot};
 pub use stack::{split_history, Either, Stacked};
+pub use store::{
+    decode_container, encode_container, fnv1a, read_verified, write_atomic, SnapshotSpool,
+    SpillHandle, SpoolStats, StoreError, FORMAT_VERSION,
+};
 pub use sweep::{
     config_divergence, item_divergence, parallel_seed_sweep, parallel_seed_sweep_with, ForkStats,
     PrefixItem, PrefixSweeper, PrefixTree, RunGoal,

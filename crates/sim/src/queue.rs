@@ -394,6 +394,44 @@ impl<E> CalendarQueue<E> {
         Some((Time::from_ticks(at), head))
     }
 
+    /// Every queued event as `(tick, seq, event)` in dispatch order —
+    /// the queue's representation-independent content, for the durable
+    /// snapshot codec. Window position, bucket layout and the
+    /// ring/overflow split are reconstruction details: only the
+    /// `(time, seq)` dispatch order is observable (the invariant the
+    /// reference-model tests pin), and
+    /// [`CalendarQueue::from_persist_entries`] reproduces it exactly by
+    /// replaying the entries through [`CalendarQueue::push`].
+    pub(crate) fn persist_entries(&self) -> Vec<(u64, u64, &E)> {
+        let mut out: Vec<(u64, u64, &E)> = Vec::with_capacity(self.len());
+        let base = self.window % WHEEL_TICKS;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            // A live bucket holds exactly one tick of the current
+            // window: the tick ≡ idx (mod WHEEL_TICKS) in
+            // [window, window + WHEEL_TICKS).
+            let tick = self.window + (idx as u64 + WHEEL_TICKS - base) % WHEEL_TICKS;
+            for (seq, slot) in &bucket.items[bucket.head..] {
+                let event = slot.as_ref().expect("live slot past head");
+                out.push((tick, *seq, event));
+            }
+        }
+        for Reverse(far) in &self.overflow {
+            out.push((far.at, far.seq, &far.event));
+        }
+        out.sort_by_key(|&(at, seq, _)| (at, seq));
+        out
+    }
+
+    /// Rebuilds a queue from [`CalendarQueue::persist_entries`] output
+    /// (entries must be in `(tick, seq)` order).
+    pub(crate) fn from_persist_entries(entries: impl IntoIterator<Item = (u64, u64, E)>) -> Self {
+        let mut q = CalendarQueue::new();
+        for (at, seq, event) in entries {
+            q.push(Time::from_ticks(at), seq, event);
+        }
+        q
+    }
+
     /// Returns the queue to its freshly-constructed state while keeping
     /// every bucket's allocation, so a sweep can reuse one queue across
     /// runs (see `EngineArena`).

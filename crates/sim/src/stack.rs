@@ -13,6 +13,7 @@ use core::fmt;
 
 use homonym_core::fork::ForkSpace;
 use homonym_core::time::Span;
+use homonym_core::wire::{Loader, Persist, Saver, WireError};
 
 use crate::process::{Action, ActionSink, Process, TimerTag};
 use crate::snapshot::ForkProcess;
@@ -265,6 +266,62 @@ impl Process for Ticker {
         ctx.set_timer(self.period, TimerTag(0));
     }
 }
+
+impl<L: Persist, R: Persist> Persist for Either<L, R> {
+    fn save(&self, s: &mut Saver) {
+        match self {
+            Either::L(v) => {
+                s.u8(0);
+                v.save(s);
+            }
+            Either::R(v) => {
+                s.u8(1);
+                v.save(s);
+            }
+        }
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        match l.u8()? {
+            0 => Ok(Either::L(L::load(l)?)),
+            1 => Ok(Either::R(R::load(l)?)),
+            tag => Err(WireError::BadTag {
+                what: "Either",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Both halves encode through **one** saver, so a
+/// [`SharedCell`](homonym_core::query::SharedCell) wiring the detector
+/// half to the consumer half round-trips as one rebuilt cell with both
+/// decoded halves re-seated onto it — the codec counterpart of
+/// [`Stacked`]'s `fork_in`.
+impl<A, B> Persist for Stacked<A, B>
+where
+    A: Process + Persist,
+    B: Process + Persist,
+{
+    fn save(&self, s: &mut Saver) {
+        self.a.save(s);
+        self.b.save(s);
+    }
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(Stacked {
+            a: A::load(l)?,
+            b: B::load(l)?,
+        })
+    }
+}
+
+impl Persist for Idle {
+    fn save(&self, _s: &mut Saver) {}
+    fn load(_l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(Idle)
+    }
+}
+
+homonym_core::persist_fields!(Ticker { period, ticks });
 
 #[cfg(test)]
 mod tests {

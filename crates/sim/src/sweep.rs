@@ -37,10 +37,13 @@ use homonym_core::identity::Identity;
 use homonym_core::time::Time;
 use rayon::prelude::*;
 
+use homonym_core::wire::{self, Persist, WireError};
+
 use crate::adversary::{ByzClause, ByzantineScript, LinkClause, LinkEffect, LinkFaultScript};
 use crate::engine::{Engine, EngineArena, SimConfig, StopReason};
 use crate::network::NetworkModel;
 use crate::snapshot::{EngineSnapshot, ForkProcess};
+use crate::store::{SnapshotSpool, SpoolStats};
 
 /// Runs `run(seed)` for seeds `0..seeds` across all cores, preserving
 /// result order. Each run must be independent (the engines are: a run is
@@ -373,7 +376,40 @@ struct StackSnap<P: ForkProcess> {
     /// earlier deadline must not restore from it, and restoring saves
     /// exactly this many ticks of re-execution.
     processed_to: u64,
-    snap: EngineSnapshot<P>,
+    store: SnapStore<P>,
+}
+
+/// Where a branch-point snapshot currently lives.
+// The size gap between variants is the point: `Disk` exists precisely
+// because `Ram` is big. Boxing `Ram` would add a heap hop to the common
+// (spilling-disabled) path to shrink an enum that lives in one `Vec`.
+#[allow(clippy::large_enum_variant)]
+enum SnapStore<P: ForkProcess> {
+    /// Resident in RAM. `bytes` is the snapshot's encoded size — the
+    /// budget accounting unit — when spilling is enabled, zero
+    /// otherwise (never measured, never spilled).
+    Ram { snap: EngineSnapshot<P>, bytes: u64 },
+    /// Spilled to the spool; reloaded (and verified) on first use.
+    Disk(crate::store::SpillHandle),
+}
+
+/// The monomorphized snapshot codec captured when spilling is enabled.
+///
+/// `PrefixSweeper` itself never requires `EngineSnapshot<P>: Persist` —
+/// the bound exists only on [`PrefixSweeper::enable_spill`], which
+/// captures these two instantiated fn pointers. Stacks without a wire
+/// codec keep using the sweeper exactly as before, all in RAM.
+struct SpillCodec<P: ForkProcess> {
+    enc: fn(&EngineSnapshot<P>) -> Vec<u8>,
+    dec: fn(&[u8]) -> Result<EngineSnapshot<P>, WireError>,
+}
+
+/// Spill state: the codec, the disk spool and the RAM-residency account.
+struct Spill<P: ForkProcess> {
+    codec: SpillCodec<P>,
+    spool: SnapshotSpool,
+    /// Encoded bytes of all RAM-resident stack snapshots.
+    ram_bytes: u64,
 }
 
 /// The worker-local prefix-sharing executor: a DFS over a family's
@@ -391,6 +427,8 @@ pub struct PrefixSweeper<P: ForkProcess> {
     arena: EngineArena<P>,
     stack: Vec<StackSnap<P>>,
     spare: Vec<EngineSnapshot<P>>,
+    /// Disk spill of cold branch points, when enabled.
+    spill: Option<Spill<P>>,
     /// Counters accumulated across every family this sweeper ran.
     pub stats: ForkStats,
 }
@@ -403,7 +441,144 @@ impl<P: ForkProcess> PrefixSweeper<P> {
             arena: EngineArena::new(),
             stack: Vec::new(),
             spare: Vec::new(),
+            spill: None,
             stats: ForkStats::default(),
+        }
+    }
+
+    /// Enables the disk spill: branch-point snapshots beyond the
+    /// spool's RAM budget move to disk, coldest (shallowest) first, and
+    /// are reloaded — checksum-verified — when the DFS returns to them.
+    /// A spilled snapshot that fails verification is *dropped*, not
+    /// fatal: the walk falls back to the nearest shallower resident
+    /// prefix (or a fresh run) and re-executes the difference.
+    ///
+    /// Only stacks with a wire codec can spill, hence the bound; the
+    /// sweeper without this call never touches disk.
+    pub fn enable_spill(&mut self, spool: SnapshotSpool)
+    where
+        EngineSnapshot<P>: Persist,
+    {
+        fn enc<P: ForkProcess>(snap: &EngineSnapshot<P>) -> Vec<u8>
+        where
+            EngineSnapshot<P>: Persist,
+        {
+            wire::to_bytes(snap)
+        }
+        fn dec<P: ForkProcess>(bytes: &[u8]) -> Result<EngineSnapshot<P>, WireError>
+        where
+            EngineSnapshot<P>: Persist,
+        {
+            wire::from_bytes(bytes)
+        }
+        self.spill = Some(Spill {
+            codec: SpillCodec {
+                enc: enc::<P>,
+                dec: dec::<P>,
+            },
+            spool,
+            ram_bytes: 0,
+        });
+    }
+
+    /// Spill activity so far, when spilling is enabled.
+    #[must_use]
+    pub fn spool_stats(&self) -> Option<SpoolStats> {
+        self.spill.as_ref().map(|s| s.spool.stats)
+    }
+
+    /// Recycles a popped branch point: RAM snapshots return to the
+    /// spare pool, spilled ones are deleted unread.
+    fn recycle(&mut self, s: StackSnap<P>) {
+        match s.store {
+            SnapStore::Ram { snap, bytes } => {
+                if let Some(spill) = &mut self.spill {
+                    spill.ram_bytes -= bytes;
+                }
+                self.spare.push(snap);
+            }
+            SnapStore::Disk(handle) => {
+                let spill = self.spill.as_mut().expect("disk entries imply spill");
+                spill.spool.discard(&handle);
+            }
+        }
+    }
+
+    /// Ensures the top branch point (the resume seed of the next item)
+    /// is RAM-resident. A spilled top that fails verification on
+    /// reload is dropped and the next shallower entry tried — the
+    /// graceful-degradation half of the corruption contract: the walk
+    /// re-executes from the nearest good prefix instead of aborting.
+    fn materialize_top(&mut self) {
+        loop {
+            match self.stack.last() {
+                None
+                | Some(StackSnap {
+                    store: SnapStore::Ram { .. },
+                    ..
+                }) => return,
+                Some(StackSnap {
+                    store: SnapStore::Disk(_),
+                    ..
+                }) => {
+                    let StackSnap {
+                        covers_to,
+                        processed_to,
+                        store,
+                    } = self.stack.pop().expect("guarded");
+                    let SnapStore::Disk(handle) = store else {
+                        unreachable!("matched above");
+                    };
+                    let spill = self.spill.as_mut().expect("disk entries imply spill");
+                    let decoded = spill.spool.take(&handle).and_then(|bytes| {
+                        let out = (spill.codec.dec)(&bytes).ok();
+                        if out.is_none() {
+                            // Verified container, undecodable payload:
+                            // count it with the checksum failures.
+                            spill.spool.stats.corrupt += 1;
+                        }
+                        out
+                    });
+                    if let Some(snap) = decoded {
+                        spill.ram_bytes += handle.bytes();
+                        self.stack.push(StackSnap {
+                            covers_to,
+                            processed_to,
+                            store: SnapStore::Ram {
+                                snap,
+                                bytes: handle.bytes(),
+                            },
+                        });
+                        return;
+                    }
+                    // Corrupt: fall through to the next shallower entry.
+                }
+            }
+        }
+    }
+
+    /// Spills coldest-first until RAM-resident snapshots fit the
+    /// budget again. The top entry always stays resident — it seeds
+    /// the very next item.
+    fn enforce_budget(&mut self) {
+        let Some(spill) = &mut self.spill else { return };
+        let budget = spill.spool.budget_bytes();
+        let mut i = 0;
+        while spill.ram_bytes > budget && i + 1 < self.stack.len() {
+            if let SnapStore::Ram { snap, bytes } = &self.stack[i].store {
+                let encoded = (spill.codec.enc)(snap);
+                match spill.spool.put(&encoded) {
+                    Ok(handle) => {
+                        spill.ram_bytes -= *bytes;
+                        self.stack[i].store = SnapStore::Disk(handle);
+                    }
+                    // A failed spill write (disk full, permissions) is
+                    // not worth killing the sweep over: the snapshot
+                    // just stays resident, over budget.
+                    Err(_) => break,
+                }
+            }
+            i += 1;
         }
     }
 
@@ -433,31 +608,35 @@ impl<P: ForkProcess> PrefixSweeper<P> {
     ) -> Vec<R> {
         // Branch points never carry over between families.
         while let Some(s) = self.stack.pop() {
-            self.spare.push(s.snap);
+            self.recycle(s);
         }
         let mut out = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
             if i > 0 {
                 let d = item_divergence(&items[i - 1], item).ticks();
                 while self.stack.last().is_some_and(|s| s.covers_to > d) {
-                    self.spare.push(self.stack.pop().expect("guarded").snap);
+                    let s = self.stack.pop().expect("guarded");
+                    self.recycle(s);
                 }
             }
             // A snapshot that ran past this item's own deadline cannot
             // seed it (the fresh run would have stopped earlier).
             let deadline = item.goal.deadline().ticks();
             while self.stack.last().is_some_and(|s| s.processed_to > deadline) {
-                self.spare.push(self.stack.pop().expect("guarded").snap);
+                let s = self.stack.pop().expect("guarded");
+                self.recycle(s);
             }
+            // Reload the resume seed if it was spilled (dropping it if
+            // its file went bad — the next shallower entry covers).
+            self.materialize_top();
             let mut engine = match self.stack.last() {
                 Some(top) => {
+                    let SnapStore::Ram { snap, .. } = &top.store else {
+                        unreachable!("materialize_top leaves a RAM top");
+                    };
                     self.stats.forked += 1;
                     self.stats.shared_ticks += top.processed_to;
-                    Engine::resume_in(
-                        item.config.clone(),
-                        &top.snap,
-                        std::mem::take(&mut self.arena),
-                    )
+                    Engine::resume_in(item.config.clone(), snap, std::mem::take(&mut self.arena))
                 }
                 None => Engine::new_in(
                     item.config.clone(),
@@ -481,6 +660,16 @@ impl<P: ForkProcess> PrefixSweeper<P> {
                         None => engine.snapshot(),
                     };
                     self.stats.snapshots += 1;
+                    // Under a spill budget the snapshot's encoded size
+                    // is the accounting unit; without one it is never
+                    // measured (bytes = 0 spills nothing).
+                    let bytes = match &self.spill {
+                        Some(spill) => (spill.codec.enc)(&snap).len() as u64,
+                        None => 0,
+                    };
+                    if let Some(spill) = &mut self.spill {
+                        spill.ram_bytes += bytes;
+                    }
                     self.stack.push(StackSnap {
                         covers_to: d,
                         // The clock the run actually reached, not the
@@ -489,8 +678,9 @@ impl<P: ForkProcess> PrefixSweeper<P> {
                         // and the shared-ticks accounting must see the
                         // real stopping point.
                         processed_to: engine.now().ticks().min(cap),
-                        snap,
+                        store: SnapStore::Ram { snap, bytes },
                     });
+                    self.enforce_budget();
                 }
             }
             item.goal.run(&mut engine, Time::MAX);
@@ -835,5 +1025,194 @@ mod tests {
         let tree = PrefixTree::plan(vec![item(1), item(1), item(2), item(2)]);
         assert_eq!(tree.groups(), vec![0..2, 2..4]);
         assert_eq!(tree.divergences()[2], 0);
+    }
+
+    /// Persistable chatter for the spill tests: broadcasts a counter on
+    /// a repeating timer and publishes the running sum it hears, so
+    /// engine state keeps evolving for the whole run window.
+    #[derive(Debug, Clone, Copy)]
+    struct Pulse {
+        me: u64,
+        heard: u64,
+    }
+
+    impl crate::process::Process for Pulse {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut crate::process::ActionSink<'_, u64, u64>) {
+            ctx.broadcast(self.me);
+            ctx.set_timer(
+                homonym_core::time::Span::from_ticks(7),
+                crate::process::TimerTag(0),
+            );
+        }
+        fn on_message(&mut self, m: u64, ctx: &mut crate::process::ActionSink<'_, u64, u64>) {
+            self.heard = self.heard.wrapping_add(m);
+            ctx.publish(self.heard);
+        }
+        fn on_timer(
+            &mut self,
+            _t: crate::process::TimerTag,
+            ctx: &mut crate::process::ActionSink<'_, u64, u64>,
+        ) {
+            ctx.broadcast(self.heard | 1);
+            ctx.set_timer(
+                homonym_core::time::Span::from_ticks(7),
+                crate::process::TimerTag(0),
+            );
+        }
+    }
+
+    impl ForkProcess for Pulse {
+        fn fork_in(&self, _space: &mut homonym_core::fork::ForkSpace) -> Self {
+            *self
+        }
+    }
+
+    homonym_core::persist_fields!(Pulse { me, heard });
+
+    /// A sweep item diverging from its siblings at `crash_at - 1`.
+    fn pulse_item(crash_at: u64) -> PrefixItem<()> {
+        let mut config = base_config(1);
+        config.sched = FailureSchedule::none(4).with_crash(3, Time::from_ticks(crash_at));
+        PrefixItem {
+            config,
+            goal: RunGoal::Until(Time::from_ticks(200)),
+            tag: (),
+        }
+    }
+
+    /// Crash times chosen so the DFS stacks three branch points (39, 79,
+    /// 119), then pops back to the shallowest — under a zero budget that
+    /// spills two snapshots and reloads one from disk.
+    fn pulse_family() -> Vec<PrefixItem<()>> {
+        vec![
+            pulse_item(40),
+            pulse_item(80),
+            pulse_item(120),
+            pulse_item(160),
+            pulse_item(41),
+        ]
+    }
+
+    fn pulse_factory(_item: usize, p: usize, _id: Identity) -> Pulse {
+        Pulse {
+            me: p as u64 + 1,
+            heard: 0,
+        }
+    }
+
+    fn unique_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hsnp-sweep-{}-{}", tag, std::process::id()))
+    }
+
+    #[test]
+    fn spilled_sweep_matches_resident_sweep() {
+        let extract = |e: &mut Engine<Pulse>, _i: usize| {
+            (e.now(), e.metrics().clone(), e.histories().to_vec())
+        };
+        let items = pulse_family();
+
+        let mut plain = PrefixSweeper::new();
+        let baseline = plain.run_family(&items, pulse_factory, extract);
+        assert!(plain.stats.forked >= 2, "family must share prefixes");
+
+        let dir = unique_dir("spill-eq");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spilling = PrefixSweeper::new();
+        spilling.enable_spill(SnapshotSpool::new(&dir, 0).expect("spool dir"));
+        let spilled = spilling.run_family(&items, pulse_factory, extract);
+
+        assert_eq!(spilled, baseline, "spilling must be invisible to results");
+        assert_eq!(spilling.stats, plain.stats, "…and to the fork accounting");
+        let stats = spilling.spool_stats().expect("spill enabled");
+        assert!(stats.spilled >= 2, "zero budget must spill: {stats:?}");
+        assert!(stats.reloaded >= 1, "the pop-back must reload: {stats:?}");
+        assert_eq!(stats.corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Corrupting a spilled snapshot on disk must not abort the walk:
+    /// `materialize_top` drops the bad entry (counting it) and falls
+    /// back to the next shallower resident prefix.
+    #[test]
+    fn corrupt_spilled_snapshot_falls_back_to_shallower_prefix() {
+        let dir = unique_dir("spill-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sweeper: PrefixSweeper<Pulse> = PrefixSweeper::new();
+        sweeper.enable_spill(SnapshotSpool::new(&dir, 0).expect("spool dir"));
+
+        let mut engine = Engine::new_in(
+            pulse_item(40).config,
+            |p, id| pulse_factory(0, p, id),
+            EngineArena::new(),
+        );
+        engine.run_until(Time::from_ticks(10));
+        let shallow = engine.snapshot();
+        engine.run_until(Time::from_ticks(50));
+        let deep = engine.snapshot();
+
+        sweeper.stack.push(StackSnap {
+            covers_to: 11,
+            processed_to: 10,
+            store: SnapStore::Ram {
+                snap: shallow,
+                bytes: 0,
+            },
+        });
+        let spill = sweeper.spill.as_mut().expect("enabled");
+        let handle = spill
+            .spool
+            .put(&(spill.codec.enc)(&deep))
+            .expect("spill write");
+        // Flip one payload byte of the single spool file on disk.
+        let file = std::fs::read_dir(&dir)
+            .expect("spool dir")
+            .map(|e| e.expect("entry").path())
+            .find(|p| p.extension().is_some_and(|x| x == "ck"))
+            .expect("a spilled file");
+        let mut bytes = std::fs::read(&file).expect("read spill");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&file, &bytes).expect("corrupt spill");
+        sweeper.stack.push(StackSnap {
+            covers_to: 51,
+            processed_to: 50,
+            store: SnapStore::Disk(handle),
+        });
+
+        sweeper.materialize_top();
+        assert_eq!(sweeper.stack.len(), 1, "corrupt entry must be dropped");
+        assert!(
+            matches!(
+                sweeper.stack.last(),
+                Some(StackSnap {
+                    store: SnapStore::Ram { .. },
+                    ..
+                })
+            ),
+            "the shallower RAM prefix takes over"
+        );
+        let stats = sweeper.spool_stats().expect("enabled");
+        assert_eq!(stats.corrupt, 1);
+
+        // With nothing shallower left, the fallback is a fresh run: an
+        // all-corrupt stack drains to empty instead of panicking.
+        let spill = sweeper.spill.as_mut().expect("enabled");
+        let handle = spill
+            .spool
+            .put(&[0xAB; 64]) // valid container, undecodable payload
+            .expect("spill write");
+        sweeper.stack.clear();
+        sweeper.stack.push(StackSnap {
+            covers_to: 99,
+            processed_to: 98,
+            store: SnapStore::Disk(handle),
+        });
+        sweeper.materialize_top();
+        assert!(sweeper.stack.is_empty(), "no prefix left means fresh run");
+        let stats = sweeper.spool_stats().expect("enabled");
+        assert_eq!(stats.corrupt, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

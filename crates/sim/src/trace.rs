@@ -12,6 +12,7 @@
 use core::fmt;
 
 use homonym_core::time::Time;
+use homonym_core::wire::{Loader, Persist, Saver, WireError};
 
 use crate::process::TimerTag;
 
@@ -201,6 +202,106 @@ impl fmt::Display for Trace {
         Ok(())
     }
 }
+
+impl Persist for TraceEvent {
+    fn save(&self, s: &mut Saver) {
+        match self {
+            TraceEvent::Started { at, process } => {
+                s.u8(0);
+                at.save(s);
+                process.save(s);
+            }
+            TraceEvent::Broadcast {
+                at,
+                process,
+                class,
+                round,
+            } => {
+                s.u8(1);
+                at.save(s);
+                process.save(s);
+                class.save(s);
+                round.save(s);
+            }
+            TraceEvent::Delivered {
+                at,
+                process,
+                class,
+                round,
+            } => {
+                s.u8(2);
+                at.save(s);
+                process.save(s);
+                class.save(s);
+                round.save(s);
+            }
+            TraceEvent::TimerFired { at, process, tag } => {
+                s.u8(3);
+                at.save(s);
+                process.save(s);
+                tag.save(s);
+            }
+            TraceEvent::Decided { at, process, value } => {
+                s.u8(4);
+                at.save(s);
+                process.save(s);
+                value.save(s);
+            }
+            TraceEvent::Halted { at, process } => {
+                s.u8(5);
+                at.save(s);
+                process.save(s);
+            }
+        }
+    }
+
+    fn load(l: &mut Loader<'_>) -> Result<Self, WireError> {
+        Ok(match l.u8()? {
+            0 => TraceEvent::Started {
+                at: Persist::load(l)?,
+                process: Persist::load(l)?,
+            },
+            1 => TraceEvent::Broadcast {
+                at: Persist::load(l)?,
+                process: Persist::load(l)?,
+                class: Persist::load(l)?,
+                round: Persist::load(l)?,
+            },
+            2 => TraceEvent::Delivered {
+                at: Persist::load(l)?,
+                process: Persist::load(l)?,
+                class: Persist::load(l)?,
+                round: Persist::load(l)?,
+            },
+            3 => TraceEvent::TimerFired {
+                at: Persist::load(l)?,
+                process: Persist::load(l)?,
+                tag: Persist::load(l)?,
+            },
+            4 => TraceEvent::Decided {
+                at: Persist::load(l)?,
+                process: Persist::load(l)?,
+                value: Persist::load(l)?,
+            },
+            5 => TraceEvent::Halted {
+                at: Persist::load(l)?,
+                process: Persist::load(l)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "TraceEvent",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+homonym_core::persist_fields!(Trace {
+    events,
+    capacity,
+    dropped
+});
 
 #[cfg(test)]
 mod tests {

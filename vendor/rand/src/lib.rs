@@ -249,6 +249,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The full xoshiro256** state word vector, for callers that
+        /// persist a generator mid-stream (durable snapshots). Restoring
+        /// via [`StdRng::from_state`] continues the identical stream.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position previously
+        /// captured with [`StdRng::state`].
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
