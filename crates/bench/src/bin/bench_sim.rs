@@ -10,7 +10,7 @@
 //! fused per-broadcast RNG sampling with precomputed distributions,
 //! incremental `◇HP` rounds, ring-window consensus buckets, cached
 //! oracles, arena-reused runs) — and writes the events/sec figures plus
-//! the speedup ratio to `BENCH_sim.json` (`schema_version = 8`) in the
+//! the speedup ratio to `BENCH_sim.json` (`schema_version = 9`) in the
 //! working directory.
 //!
 //! Workloads:
@@ -64,6 +64,17 @@
 //!   `◇HP` detector stack (fixed observation horizons, so the sharing
 //!   win is purely structural), identical per-variant verdict inputs
 //!   asserted;
+//! * `rsm_throughput` — the multi-height **replicated log service**
+//!   (`homonym_consensus::rsm` over the Byzantine-tolerant quorum
+//!   engine, continuously-running `◇HP` detector underneath) under a
+//!   closed-loop client workload, run through the session lifecycle
+//!   API to a fixed tick horizon on the legacy (legacy column) and
+//!   batched (current column) hot paths. Fixed-horizon runs are
+//!   condition-free, so the dispatched event counts are asserted equal
+//!   across the two paths; the row additionally reports
+//!   `decided_commands_per_sec` (committed heights on the slowest
+//!   correct replica, per wall-clock second) — the ROADMAP item 1
+//!   "production scale" figure;
 //! * `checkpointed_sweep` — the **price of durability**: the same
 //!   falsification sweep run entirely in RAM (legacy column) vs through
 //!   the kill-tolerant checkpoint driver writing one atomic, checksummed
@@ -100,6 +111,7 @@ use std::time::Instant;
 
 use homonym_bench::{async_net, hps_delay_only, hps_lossy, staggered_crashes};
 use homonym_chaos::generators::{fault_window_variants, hidden_equivocator, split_brain};
+use homonym_chaos::session::{Goal, SessionBuilder};
 use homonym_chaos::sweep::{clean_instant, fig8_node, hps_base, Fig8Node as ChaosFig8Node};
 use homonym_chaos::{
     checkpointed_falsification_sweep, falsification_sweep_forked, CheckpointConfig, FaultClause,
@@ -115,6 +127,7 @@ use homonym_sim::prelude::*;
 use homonym_sim::process::Process;
 use homonym_sim::snapshot::ForkProcess;
 use homonym_sim::sweep::{PrefixItem, PrefixSweeper, RunGoal};
+use homonym_sim::workload::WorkloadConfig;
 
 /// Counting global allocator behind the `alloc-count` feature: every
 /// `alloc`/`realloc` bumps a relaxed atomic, letting the harness report
@@ -1075,7 +1088,7 @@ fn main() {
             }
         }
     }
-    const ROW_NAMES: [&str; 10] = [
+    const ROW_NAMES: [&str; 11] = [
         "hps_mesh_n64",
         "hps_detector_n64",
         "fig8_consensus_sweep",
@@ -1083,6 +1096,7 @@ fn main() {
         "byz_sweep",
         "byz_tolerant_sweep",
         "obs_overhead",
+        "rsm_throughput",
         "fig8_sweep_forked",
         "chaos_sweep_forked",
         "checkpointed_sweep",
@@ -1104,6 +1118,9 @@ fn main() {
     // Interleave legacy/current repetitions so frequency drift on shared
     // hosts cannot systematically favor one side; keep each side's best.
     let mut rows: Vec<(&'static str, Sample, Sample)> = Vec::new();
+    // Extra figures for the `rsm_throughput` row: (decided commands,
+    // decided commands per second), from the current flavor's kept run.
+    let mut rsm_commands: Option<(u64, f64)> = None;
     let assert_counts = |a: &Sample, b: &Sample, what: &str| {
         if side.is_none() {
             assert_eq!(a.events, b.events, "{what}");
@@ -1259,6 +1276,51 @@ fn main() {
         }
         rows.push(("obs_overhead", legacy, new));
     }
+    if enabled("rsm_throughput") {
+        // The replicated log service under closed-loop client traffic,
+        // through the session lifecycle API. Both columns run the same
+        // stack to the same fixed tick horizon — the only goal whose
+        // event counts are byte-comparable across the hot paths — so
+        // the asserted equality extends the trace contract to the
+        // multi-height workload. Beyond events/sec, the row reports
+        // decided commands (committed heights on the slowest correct
+        // replica) per second from the current flavor's kept sample.
+        let (n_rsm, rsm_horizon) = if quick { (4, 2_000) } else { (8, 20_000) };
+        let workload = WorkloadConfig {
+            // Deep closed-loop queues: the clients never run dry, so
+            // every height carries a real command, never a no-op.
+            commands_per_proc: 1 << 14,
+            ..WorkloadConfig::default()
+        };
+        let committed = std::cell::Cell::new(0u64);
+        let (legacy, new) = bench_pair(reps, side, |legacy| {
+            let mut session = SessionBuilder::new(n_rsm, 4.min(n_rsm))
+                .with_seed(5)
+                .with_legacy_hot_path(legacy)
+                .with_goal(Goal::TickHorizon)
+                .with_deadline_ticks(rsm_horizon)
+                .rsm(&workload);
+            session.run();
+            let stats = session.stats();
+            if !legacy {
+                committed.set(stats.min_correct_log.unwrap_or(0));
+            }
+            stats.events
+        });
+        assert_counts(
+            &legacy,
+            &new,
+            "fixed-horizon log-service runs must dispatch identical event counts",
+        );
+        if side.is_none_or(|s| !s) {
+            assert!(
+                committed.get() > 0,
+                "the log service committed nothing within the horizon"
+            );
+            rsm_commands = Some((committed.get(), committed.get() as f64 / new.secs.max(1e-9)));
+        }
+        rows.push(("rsm_throughput", legacy, new));
+    }
     // The forked rows compare the flat executor (legacy column: every
     // variant re-runs its full history) against the prefix-sharing
     // executor (current column: the family's shared prefix runs once,
@@ -1387,9 +1449,15 @@ fn main() {
     // Bump `schema_version` whenever the JSON shape changes (new or
     // renamed fields/rows, or a re-baselined legacy column); see
     // BENCHMARKS.md for the version history.
-    let mut json = String::from("{\n  \"schema_version\": 8,\n");
+    let mut json = String::from("{\n  \"schema_version\": 9,\n");
     for (name, legacy, new) in &rows {
         let speedup = new.events_per_sec() / legacy.events_per_sec();
+        let rsm_json = match (*name, rsm_commands) {
+            ("rsm_throughput", Some((commands, per_sec))) => format!(
+                ", \"decided_commands\": {commands}, \"decided_commands_per_sec\": {per_sec:.0}"
+            ),
+            _ => String::new(),
+        };
         let alloc_cols = if alloc_count::ENABLED {
             format!(
                 " {:.2} | {:.2} |",
@@ -1418,14 +1486,21 @@ fn main() {
             ", \"legacy_allocs_per_event\": null, \"allocs_per_event\": null".to_string()
         };
         json.push_str(&format!(
-            "  \"{}\": {{\"events\": {}, \"legacy_events_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}{}}},\n",
+            "  \"{}\": {{\"events\": {}, \"legacy_events_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"speedup\": {:.3}{}{}}},\n",
             name,
             new.events,
             legacy.events_per_sec(),
             new.events_per_sec(),
             speedup,
             alloc_json,
+            rsm_json,
         ));
+    }
+    if let Some((commands, per_sec)) = rsm_commands {
+        println!(
+            "\nrsm_throughput: {commands} commands committed on the slowest correct \
+             replica ({per_sec:.0} decided commands/sec)"
+        );
     }
     json.push_str(&format!(
         "  \"legacy_baseline\": \"pr1-hot-path\",\n  \"quick_mode\": {quick},\n  \"generated_by\": \"cargo run --release -p homonym-bench --bin bench_sim\"\n}}\n"

@@ -15,7 +15,6 @@ use homonym_detectors::ap_estimator::ApEstimatorProcess;
 use homonym_detectors::e_list::EListProcess;
 use homonym_detectors::evt_hp::{classify_evt_hp, split_snapshots, EvtHpProcess};
 use homonym_detectors::h_sigma_step::HSigmaStepProcess;
-use homonym_detectors::h_sigma_sync::HSigmaSyncProcess;
 use homonym_detectors::oracle::{OracleWorld, PreStability};
 use homonym_reductions::{
     APToEvtHP, APToHSigmaProcess, ASigmaToHSigma, EvtHPToHOmega, HSigmaToSigmaProcess,
@@ -515,9 +514,13 @@ pub struct Fig7Result {
 pub fn fig7_h_sigma(n: usize, l: usize, crashes: usize, steps: u64, seed: u64) -> Fig7Result {
     let assign = IdentityAssignment::round_robin(n, l);
     let sched = staggered_crashes(n, crashes, steps.saturating_sub(2).max(1));
-    let cfg = SyncConfig::new(assign.clone(), sched.clone()).with_seed(seed);
-    let mut engine = SyncEngine::new(cfg, |_, id| HSigmaSyncProcess::new(id));
-    engine.run_steps(steps);
+    let mut session = homonym_chaos::SessionBuilder::new(n, l)
+        .with_seed(seed)
+        .with_schedule(sched.clone())
+        .with_deadline_ticks(steps)
+        .sync_hsigma();
+    session.run();
+    let engine = session.engine();
     let rep = check_h_sigma(engine.histories(), &sched, &assign).expect("HΣ class valid");
     Fig7Result {
         n,

@@ -164,6 +164,55 @@ pub fn homonym_group_isolation(assign: &IdentityAssignment, seed: u64) -> Scenar
         .with_gst(adversarial_gst(&mut rng))
 }
 
+/// Leader churn across heights: carriers of the *minimum* identifier —
+/// the perpetual `HΩ` leader candidates — are knocked out one at a time
+/// in sequential, non-overlapping churn windows spread over a long run.
+/// Built for the multi-height replicated log service: each window lands
+/// inside a *different* consensus height, so the service keeps losing
+/// its leader mid-instance, must re-elect among the surviving homonym
+/// carriers, and must carry the committed prefix across the boundary.
+/// Stresses: `HΩ` re-election under repeated leader loss, the log
+/// service's height chaining and catch-up rule (the returning process
+/// lags several heights behind), and prefix agreement across faults
+/// straddling height boundaries. Churn windows count as lossy, so
+/// sweeps assert safety universally and withhold liveness claims — the
+/// log-service smoke asserts progress separately.
+///
+/// # Panics
+///
+/// Panics if the assignment has fewer than three processes.
+#[must_use]
+pub fn leader_churn_across_heights(assign: &IdentityAssignment, seed: u64) -> Scenario {
+    let n = assign.n();
+    assert!(n >= 3, "leader churn needs at least three processes");
+    let mut rng = rng_for("leader-churn", seed);
+    let leader = (0..n)
+        .map(|p| assign.id_of(p))
+        .min()
+        .expect("non-empty assignment");
+    let mut carriers = assign.processes_with(leader);
+    if carriers.len() == n {
+        // Fully anonymous assignment: churn a strict minority instead of
+        // taking the whole system down.
+        carriers.truncate((n - 1) / 2);
+    }
+    carriers.shuffle(&mut rng);
+    let windows = rng.gen_range(3u32..=6);
+    let mut at = rng.gen_range(10..=40);
+    let mut scenario = Scenario::new(format!("leader-churn#{seed}"), n);
+    for w in 0..windows {
+        let target = carriers[w as usize % carriers.len()];
+        let down = rng.gen_range(15..=45);
+        scenario = scenario.with_clause(FaultClause::Churn {
+            process: target,
+            down: Time::from_ticks(at),
+            up: Time::from_ticks(at + down),
+        });
+        at += down + rng.gen_range(10..=40);
+    }
+    scenario.with_gst(adversarial_gst(&mut rng))
+}
+
 /// A hidden equivocator: one carrier of a multiply-assigned identifier
 /// turns **permanently** Byzantine early in the run and equivocates —
 /// every broadcast delivers a consistent alternative payload to a victim
@@ -553,6 +602,7 @@ mod tests {
                 split_brain(8, seed),
                 flapping_minority(8, seed),
                 homonym_group_isolation(&assign, seed),
+                leader_churn_across_heights(&assign, seed),
             ] {
                 s.validate()
                     .unwrap_or_else(|e| panic!("seed {seed}: {e} in {s}"));
@@ -601,6 +651,62 @@ mod tests {
             panic!()
         };
         assert_eq!(groups[0], vec![0]);
+    }
+
+    #[test]
+    fn leader_churn_windows_are_sequential_and_target_leader_carriers() {
+        let assign = IdentityAssignment::round_robin(8, 3);
+        let leader = (0..8).map(|p| assign.id_of(p)).min().unwrap();
+        let carriers = assign.processes_with(leader);
+        for seed in 0..100 {
+            let s = leader_churn_across_heights(&assign, seed);
+            s.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e} in {s}"));
+            assert_eq!(
+                s,
+                leader_churn_across_heights(&assign, seed),
+                "must be deterministic"
+            );
+            assert!(
+                s.is_lossy(),
+                "churn scenarios are lossy, liveness claims withheld"
+            );
+            let mut windows: Vec<(u64, u64)> = Vec::new();
+            for clause in s.clauses() {
+                let FaultClause::Churn { process, down, up } = clause else {
+                    panic!("seed {seed}: non-churn clause in {s}");
+                };
+                assert!(
+                    carriers.contains(process),
+                    "seed {seed}: churned {process}, not a leader carrier"
+                );
+                windows.push((down.ticks(), up.ticks()));
+            }
+            assert!(
+                windows.len() >= 3,
+                "seed {seed}: need ≥3 windows to straddle heights"
+            );
+            for pair in windows.windows(2) {
+                assert!(
+                    pair[0].1 < pair[1].0,
+                    "seed {seed}: churn windows overlap in {s}"
+                );
+            }
+        }
+        // Anonymous fallback churns a strict minority, never everyone.
+        let anon = IdentityAssignment::anonymous(5);
+        for seed in 0..20 {
+            let s = leader_churn_across_heights(&anon, seed);
+            let targets: std::collections::BTreeSet<usize> = s
+                .clauses()
+                .iter()
+                .map(|c| match c {
+                    FaultClause::Churn { process, .. } => *process,
+                    _ => panic!("only churn clauses"),
+                })
+                .collect();
+            assert!(targets.len() <= 2, "strict minority of 5");
+        }
     }
 
     #[test]

@@ -83,6 +83,7 @@
 pub mod checkpoint;
 pub mod generators;
 pub mod scenario;
+pub mod session;
 pub mod story;
 pub mod sweep;
 
@@ -91,6 +92,10 @@ pub use checkpoint::{
     SEGMENT_SCHEMA,
 };
 pub use scenario::{FaultClause, GstPlacement, PartitionMode, Scenario, ScenarioError};
+pub use session::{
+    rsm_fig8_node, rsm_node, Goal, RsmFig8Node, RsmNode, Session, SessionBuilder, SessionStats,
+    SyncSession,
+};
 pub use story::{byzantine_story, classify_byz_stack, round_of_byz_stack, ByzantineStory};
 pub use sweep::{
     byz_tolerant_node, falsification_sweep, falsification_sweep_forked, fig8_node, hps_base,

@@ -1,0 +1,723 @@
+//! The **session lifecycle API**: one builder for every stack, scenario
+//! and goal in the workspace.
+//!
+//! Historically each caller hand-rolled its own run: pick a stack type,
+//! build a `SimConfig`, install a scenario, construct the engine,
+//! remember the right `run_*` method, and extract decisions — copy-pasted
+//! with drift across benches, tests, examples and the chaos driver. The
+//! multi-height [`ReplicatedLog`] made that untenable: a log service run
+//! is not a one-shot decision, so "run until all correct decided" stops
+//! being *the* terminal condition and becomes one [`Goal`] among several.
+//!
+//! [`SessionBuilder`] is the single entry point:
+//!
+//! 1. **describe the system** — size, homonymy, seed, network, scenario,
+//!    observability caps;
+//! 2. **pick a goal** — [`Goal::FirstDecision`] (the classic one-shot),
+//!    [`Goal::HeightsCommitted`] (the log service's "k entries on every
+//!    correct replica"), or [`Goal::TickHorizon`] (fixed-horizon runs,
+//!    the only goal whose event counts are comparable across the two
+//!    engine hot paths — see [`Session::run`]);
+//! 3. **choose the stack** — a terminal constructor ([`SessionBuilder::fig8`],
+//!    [`SessionBuilder::byz_tolerant`], [`SessionBuilder::rsm`], …)
+//!    consumes the builder and returns a typed [`Session`].
+//!
+//! The same surface covers the lock-step engine
+//! ([`SessionBuilder::sync_hsigma`] → [`SyncSession`]), so the
+//! `StackKind` → constructor plumbing lives here exactly once for both
+//! engines.
+//!
+//! ```
+//! use homonym_chaos::session::{Goal, SessionBuilder};
+//! use homonym_sim::workload::WorkloadConfig;
+//!
+//! // A 4-process, 2-label replicated log run: 10 committed heights on
+//! // every correct replica, under the default partial-sync network.
+//! let mut session = SessionBuilder::new(4, 2)
+//!     .with_seed(7)
+//!     .with_goal(Goal::HeightsCommitted(10))
+//!     .with_deadline_ticks(8_000)
+//!     .rsm(&WorkloadConfig::default());
+//! session.run();
+//! assert!(session.stats().min_correct_log >= Some(10));
+//! assert!(session.prefix_violation().is_none());
+//! ```
+
+use homonym_consensus::byz_quorum::ByzQuorumConsensus;
+use homonym_consensus::fig8::{HOmegaPolicy, MajorityConsensus};
+use homonym_consensus::fig9::QuorumConsensus;
+use homonym_consensus::rsm::{ByzHeightSeed, Fig8HeightSeed, ReplicatedLog, RsmOptions};
+use homonym_core::classes::HOmegaOutput;
+use homonym_core::identity::{Identity, IdentityAssignment};
+use homonym_core::query::SharedCell;
+use homonym_core::time::{Span, Time};
+use homonym_core::FailureSchedule;
+use homonym_detectors::evt_hp::EvtHpProcess;
+use homonym_detectors::h_sigma_sync::HSigmaSyncProcess;
+use homonym_detectors::oracle::{HOmegaOracle, HSigmaOracle, OracleWorld, PreStability};
+use homonym_sim::engine::{Engine, SimConfig, StopReason};
+use homonym_sim::network::NetworkModel;
+use homonym_sim::process::Process;
+use homonym_sim::stack::Stacked;
+use homonym_sim::sync_engine::{SyncConfig, SyncEngine, SyncProcess};
+use homonym_sim::workload::{CommandQueue, WorkloadConfig};
+
+use crate::scenario::Scenario;
+use crate::sweep::{
+    byz_tolerant_node, clean_instant, fig8_node, hps_base, ByzTolerantNode, Fig8Node,
+};
+
+/// What a [`Session`] runs *toward*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Stop when every correct process has decided once — the classic
+    /// one-shot consensus terminal condition.
+    FirstDecision,
+    /// Stop when every correct process has committed at least `k` log
+    /// entries — the replicated-log service's terminal condition. On
+    /// stacks without a log this degrades to [`Goal::FirstDecision`]
+    /// (one decision *is* one committed height).
+    HeightsCommitted(u64),
+    /// Run to the deadline unconditionally. The only goal whose event
+    /// counts are comparable across the legacy and batched hot paths:
+    /// conditional goals are checked per-event on the legacy path but
+    /// per-batch on the batched path, so they may stop at slightly
+    /// different instants.
+    TickHorizon,
+}
+
+/// The multi-height replicated log over the Byzantine-tolerant quorum
+/// engine, stacked on the continuously-running `◇HP`/`HΩ` detector —
+/// the default production stack of ROADMAP item 1.
+pub type RsmNode = Stacked<EvtHpProcess, ReplicatedLog<ByzQuorumConsensus>>;
+
+/// The multi-height replicated log over Figure 8 majority consensus;
+/// each height's engine reads the *same* detector mirror cell, so
+/// detector state stays warm across instance turnover.
+pub type RsmFig8Node =
+    Stacked<EvtHpProcess, ReplicatedLog<MajorityConsensus<HOmegaPolicy<SharedCell<HOmegaOutput>>>>>;
+
+/// Builds one [`RsmNode`] — the canonical Byzantine-tolerant log-service
+/// replica (detector continuity + `f + 1` catch-up certificates).
+#[must_use]
+pub fn rsm_node(assign: &IdentityAssignment, client: CommandQueue) -> RsmNode {
+    let seed = ByzHeightSeed {
+        assign: assign.clone(),
+        tick: 2,
+    };
+    let opts = RsmOptions::byzantine(assign);
+    Stacked::new(
+        EvtHpProcess::new(),
+        ReplicatedLog::new(seed, client, assign, opts),
+    )
+}
+
+/// Builds one [`RsmFig8Node`] — the crash-model log-service replica:
+/// Figure 8 majority engines chained over one shared `HΩ` mirror.
+#[must_use]
+pub fn rsm_fig8_node(assign: &IdentityAssignment, client: CommandQueue) -> RsmFig8Node {
+    let n = assign.n();
+    let t = (n - 1) / 2;
+    let cell: SharedCell<HOmegaOutput> = SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
+    let detector = EvtHpProcess::new().with_h_omega_mirror(cell.clone());
+    let seed = Fig8HeightSeed {
+        n,
+        t,
+        source: cell,
+        tick: Span::from_ticks(2),
+    };
+    Stacked::new(
+        detector,
+        ReplicatedLog::new(seed, client, assign, RsmOptions::crash()),
+    )
+}
+
+/// One place to describe a run: system shape, environment, observability
+/// and goal. Terminal constructors consume the builder into a typed
+/// [`Session`]; see the module docs.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    n: usize,
+    l: usize,
+    seed: u64,
+    assignment: Option<IdentityAssignment>,
+    scenario: Option<Scenario>,
+    network: NetworkModel,
+    schedule: Option<FailureSchedule>,
+    legacy_hot_path: bool,
+    recorder_cap: Option<usize>,
+    trace_cap: Option<usize>,
+    proposals: Option<Vec<u64>>,
+    deadline: Time,
+    goal: Goal,
+}
+
+impl SessionBuilder {
+    /// A session over `n` processes sharing `l` identifiers
+    /// (round-robin assignment), under the sweep's canonical
+    /// partial-sync network, goal [`Goal::FirstDecision`].
+    #[must_use]
+    pub fn new(n: usize, l: usize) -> Self {
+        SessionBuilder {
+            n,
+            l,
+            seed: 1,
+            assignment: None,
+            scenario: None,
+            network: hps_base(),
+            schedule: None,
+            legacy_hot_path: false,
+            recorder_cap: None,
+            trace_cap: None,
+            proposals: None,
+            deadline: Time::from_ticks(12_000),
+            goal: Goal::FirstDecision,
+        }
+    }
+
+    /// Sets the run seed (network, adversary and per-process RNG streams
+    /// all derive from it).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Installs a fault [`Scenario`] (partitions, churn, crashes,
+    /// Byzantine clauses, GST placement).
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Overrides the network model (default: the sweep's canonical
+    /// partial-sync base, [`hps_base`]).
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Overrides the crash schedule (default: failure-free; scenarios
+    /// still apply their own crash clauses on top).
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: FailureSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Selects the legacy per-event hot path instead of the batched one
+    /// (they produce byte-identical `(time, seq)` schedules).
+    #[must_use]
+    pub fn with_legacy_hot_path(mut self, legacy: bool) -> Self {
+        self.legacy_hot_path = legacy;
+        self
+    }
+
+    /// Attaches a structured-observability recorder with the given
+    /// event capacity.
+    #[must_use]
+    pub fn with_recorder(mut self, capacity: usize) -> Self {
+        self.recorder_cap = Some(capacity);
+        self
+    }
+
+    /// Attaches a dispatch trace with the given capacity.
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_cap = Some(capacity);
+        self
+    }
+
+    /// Overrides per-process proposals (default: process `p` proposes
+    /// `100 + p`, the sweep's convention). Ignored by the RSM stacks,
+    /// whose proposals come from the client workload.
+    #[must_use]
+    pub fn with_proposals(mut self, proposals: Vec<u64>) -> Self {
+        self.proposals = Some(proposals);
+        self
+    }
+
+    /// Sets the run deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Time) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the run deadline in ticks.
+    #[must_use]
+    pub fn with_deadline_ticks(mut self, ticks: u64) -> Self {
+        self.deadline = Time::from_ticks(ticks);
+        self
+    }
+
+    /// Sets the goal the session runs toward.
+    #[must_use]
+    pub fn with_goal(mut self, goal: Goal) -> Self {
+        self.goal = goal;
+        self
+    }
+
+    /// Overrides the identity assignment (default: round-robin over the
+    /// builder's `n` and `l`). Use for anonymous systems or bespoke
+    /// homonymy topologies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment's process count disagrees with the
+    /// builder's `n`.
+    #[must_use]
+    pub fn with_assignment(mut self, assignment: IdentityAssignment) -> Self {
+        assert_eq!(assignment.n(), self.n, "assignment size must match n");
+        self.assignment = Some(assignment);
+        self
+    }
+
+    /// The identity assignment this builder describes.
+    #[must_use]
+    pub fn assignment(&self) -> IdentityAssignment {
+        self.assignment
+            .clone()
+            .unwrap_or_else(|| IdentityAssignment::round_robin(self.n, self.l))
+    }
+
+    fn proposal(&self, p: usize) -> u64 {
+        self.proposals
+            .as_ref()
+            .map_or(100 + p as u64, |props| props[p])
+    }
+
+    /// Lowers the builder into an installed event-engine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails validation against this topology.
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        let sched = self
+            .schedule
+            .clone()
+            .unwrap_or_else(|| FailureSchedule::none(self.n));
+        let cfg = SimConfig::new(self.assignment(), sched, self.network.clone())
+            .with_seed(self.seed)
+            .with_legacy_hot_path(self.legacy_hot_path);
+        match &self.scenario {
+            Some(s) => s.install(cfg).expect("scenario must validate"),
+            None => cfg,
+        }
+    }
+
+    /// The instant from which the environment is clean (last fault end
+    /// vs. GST) — the reference point liveness margins count from.
+    #[must_use]
+    pub fn stability_instant(&self) -> Time {
+        let cfg = self.sim_config();
+        match &self.scenario {
+            Some(s) => clean_instant(&cfg, s),
+            None => match cfg.network {
+                NetworkModel::PartialSync { gst, .. } => gst,
+                _ => Time::ZERO,
+            },
+        }
+    }
+
+    /// Generic terminal constructor: a session over a **custom stack**.
+    ///
+    /// The named constructors below cover the workspace's standard
+    /// stacks; bespoke compositions (oracle-backed variants, reduction
+    /// chains, experimental processes) use this instead of hand-rolling
+    /// `SimConfig` + `Engine::new` + `run_*`, so the scenario install,
+    /// observability options and goal semantics stay uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails validation against this topology.
+    #[must_use]
+    pub fn build<P: Process>(self, factory: impl FnMut(usize, Identity) -> P) -> Session<P> {
+        let cfg = self.sim_config();
+        let mut engine = Engine::new(cfg, factory);
+        if let Some(cap) = self.recorder_cap {
+            engine.enable_recorder(cap);
+        }
+        if let Some(cap) = self.trace_cap {
+            engine.enable_trace(cap);
+        }
+        Session {
+            engine,
+            goal: self.goal,
+            deadline: self.deadline,
+            log_view: None,
+        }
+    }
+
+    fn finish<P: Process>(self, factory: impl FnMut(usize, Identity) -> P) -> Session<P> {
+        self.build(factory)
+    }
+
+    // ---- terminal constructors: event engine --------------------------
+
+    /// Figure 8 stack: `◇HP`/`HΩ` detector mirrored into majority
+    /// consensus (`t = ⌊(n−1)/2⌋`).
+    #[must_use]
+    pub fn fig8(self) -> Session<Fig8Node> {
+        let n = self.n;
+        let t = (n - 1) / 2;
+        let props: Vec<u64> = (0..n).map(|p| self.proposal(p)).collect();
+        self.finish(move |p, _| fig8_node(props[p], n, t))
+    }
+
+    /// Byzantine-tolerant stack: detector over quorum-certificate
+    /// consensus (`n > 3f`).
+    #[must_use]
+    pub fn byz_tolerant(self) -> Session<ByzTolerantNode> {
+        let assign = self.assignment();
+        let props: Vec<u64> = (0..self.n).map(|p| self.proposal(p)).collect();
+        self.finish(move |p, _| byz_tolerant_node(props[p], &assign))
+    }
+
+    /// Detector-only stack (no decisions — pair with
+    /// [`Goal::TickHorizon`]).
+    #[must_use]
+    pub fn detector(self) -> Session<EvtHpProcess> {
+        self.finish(|_, _| EvtHpProcess::new())
+    }
+
+    /// Figure 9 stack over precomputed `HΩ`/`HΣ` oracles that stabilize
+    /// at the builder's [`stability instant`](SessionBuilder::stability_instant).
+    #[must_use]
+    pub fn fig9_oracle(self) -> Session<QuorumConsensus<HOmegaOracle, HSigmaOracle>> {
+        let stability = self.stability_instant();
+        let cfg = self.sim_config();
+        let world = OracleWorld::new(cfg.sched.clone(), cfg.assign.clone(), stability);
+        let props: Vec<u64> = (0..self.n).map(|p| self.proposal(p)).collect();
+        self.finish(move |p, _| {
+            QuorumConsensus::new(
+                props[p],
+                world.h_omega_for(p, PreStability::Chaotic),
+                world.h_sigma_for(p, PreStability::Truthful),
+            )
+        })
+    }
+
+    /// The replicated log service over the Byzantine-tolerant engine
+    /// ([`RsmNode`]), driven by `workload`.
+    #[must_use]
+    pub fn rsm(self, workload: &WorkloadConfig) -> Session<RsmNode> {
+        let assign = self.assignment();
+        let queues = workload.queues(self.n);
+        let mut session = self.finish(move |p, _| rsm_node(&assign, queues[p].clone()));
+        session.log_view = Some(|node: &RsmNode| node.upper().log());
+        session
+    }
+
+    /// The replicated log service over Figure 8 majority engines
+    /// ([`RsmFig8Node`]), driven by `workload`.
+    #[must_use]
+    pub fn rsm_fig8(self, workload: &WorkloadConfig) -> Session<RsmFig8Node> {
+        let assign = self.assignment();
+        let queues = workload.queues(self.n);
+        let mut session = self.finish(move |p, _| rsm_fig8_node(&assign, queues[p].clone()));
+        session.log_view = Some(|node: &RsmFig8Node| node.upper().log());
+        session
+    }
+
+    // ---- terminal constructors: lock-step engine ----------------------
+
+    /// Figure 7 `HΣ` over the lock-step engine; the session runs
+    /// `deadline` ticks as lock-step rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails validation against this topology.
+    #[must_use]
+    pub fn sync_hsigma(self) -> SyncSession<HSigmaSyncProcess> {
+        let sched = self
+            .schedule
+            .clone()
+            .unwrap_or_else(|| FailureSchedule::none(self.n));
+        let cfg = SyncConfig::new(self.assignment(), sched)
+            .with_seed(self.seed)
+            .with_legacy_hot_path(self.legacy_hot_path);
+        let cfg = match &self.scenario {
+            Some(s) => s.install_sync(cfg).expect("scenario must validate"),
+            None => cfg,
+        };
+        let mut engine = SyncEngine::new(cfg, |_, id| HSigmaSyncProcess::new(id));
+        if let Some(cap) = self.recorder_cap {
+            engine.enable_recorder(cap);
+        }
+        SyncSession {
+            engine,
+            steps: self.deadline.ticks(),
+        }
+    }
+}
+
+/// A one-run summary, cheap to compute at any point of the lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Virtual time reached.
+    pub now: Time,
+    /// Callbacks dispatched.
+    pub events: u64,
+    /// Processes with a recorded decision.
+    pub decided: usize,
+    /// Shortest committed log over the *correct* processes (`None` on
+    /// stacks without a log view).
+    pub min_correct_log: Option<u64>,
+    /// Longest committed log over all processes (`None` likewise).
+    pub max_log: Option<u64>,
+}
+
+/// A built stack bound to a goal: step it with [`Session::run`], then
+/// inspect decisions, logs and stats. Obtain one from a
+/// [`SessionBuilder`] terminal constructor.
+pub struct Session<P: Process> {
+    engine: Engine<P>,
+    goal: Goal,
+    deadline: Time,
+    /// How to read the committed log out of a process, on stacks that
+    /// have one (set by the RSM constructors).
+    log_view: Option<fn(&P) -> &[u64]>,
+}
+
+impl<P: Process> Session<P> {
+    /// Runs toward the goal; returns why the engine stopped.
+    ///
+    /// [`Goal::TickHorizon`] runs condition-free, so its event counts
+    /// are byte-comparable across the legacy and batched hot paths;
+    /// conditional goals may stop at slightly different instants per
+    /// path (per-event vs. per-batch condition checks).
+    pub fn run(&mut self) -> StopReason {
+        match self.goal {
+            Goal::TickHorizon => self.engine.run_until(self.deadline),
+            Goal::FirstDecision => self.engine.run_until_all_correct_decided(self.deadline),
+            Goal::HeightsCommitted(k) => match self.log_view {
+                Some(view) => self.engine.run_with(self.deadline, move |e| {
+                    let sched = &e.config().sched;
+                    (0..e.n())
+                        .filter(|&p| sched.is_correct(p))
+                        .all(|p| view(e.process(p)).len() as u64 >= k)
+                }),
+                None => self.engine.run_until_all_correct_decided(self.deadline),
+            },
+        }
+    }
+
+    /// The goal this session runs toward.
+    #[must_use]
+    pub fn goal(&self) -> Goal {
+        self.goal
+    }
+
+    /// The run deadline.
+    #[must_use]
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// The underlying engine (histories, metrics, snapshots …).
+    #[must_use]
+    pub fn engine(&self) -> &Engine<P> {
+        &self.engine
+    }
+
+    /// Mutable engine access (snapshotting, manual stepping).
+    pub fn engine_mut(&mut self) -> &mut Engine<P> {
+        &mut self.engine
+    }
+
+    /// Unwraps the session into its engine.
+    #[must_use]
+    pub fn into_engine(self) -> Engine<P> {
+        self.engine
+    }
+
+    /// Recorded decisions, indexed by process.
+    #[must_use]
+    pub fn decisions(&self) -> &[Option<(Time, u64)>] {
+        self.engine.decisions()
+    }
+
+    /// The committed log of process `p`, on stacks that have one.
+    #[must_use]
+    pub fn log_of(&self, p: usize) -> Option<&[u64]> {
+        self.log_view.map(|view| view(self.engine.process(p)))
+    }
+
+    /// A pair of correct processes whose committed logs disagree on a
+    /// shared prefix — `None` is the log service's safety invariant.
+    #[must_use]
+    pub fn prefix_violation(&self) -> Option<(usize, usize)> {
+        let view = self.log_view?;
+        let sched = &self.engine.config().sched;
+        let correct: Vec<usize> = (0..self.engine.n())
+            .filter(|&p| sched.is_correct(p))
+            .collect();
+        for (i, &a) in correct.iter().enumerate() {
+            for &b in &correct[i + 1..] {
+                let la = view(self.engine.process(a));
+                let lb = view(self.engine.process(b));
+                let k = la.len().min(lb.len());
+                if la[..k] != lb[..k] {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+
+    /// Summary counters for reports and smoke assertions.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        let decided = self
+            .engine
+            .decisions()
+            .iter()
+            .filter(|d| d.is_some())
+            .count();
+        let (min_correct_log, max_log) = match self.log_view {
+            None => (None, None),
+            Some(view) => {
+                let sched = &self.engine.config().sched;
+                let min = (0..self.engine.n())
+                    .filter(|&p| sched.is_correct(p))
+                    .map(|p| view(self.engine.process(p)).len() as u64)
+                    .min();
+                let max = (0..self.engine.n())
+                    .map(|p| view(self.engine.process(p)).len() as u64)
+                    .max();
+                (min, max)
+            }
+        };
+        SessionStats {
+            now: self.engine.now(),
+            events: self.engine.metrics().events,
+            decided,
+            min_correct_log,
+            max_log,
+        }
+    }
+}
+
+/// The lock-step counterpart of [`Session`], from
+/// [`SessionBuilder::sync_hsigma`].
+pub struct SyncSession<P: SyncProcess> {
+    engine: SyncEngine<P>,
+    steps: u64,
+}
+
+impl<P: SyncProcess> SyncSession<P> {
+    /// Runs the configured number of lock-step rounds.
+    pub fn run(&mut self) {
+        self.engine.run_steps(self.steps);
+    }
+
+    /// The configured number of rounds.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The underlying lock-step engine.
+    #[must_use]
+    pub fn engine(&self) -> &SyncEngine<P> {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut SyncEngine<P> {
+        &mut self.engine
+    }
+
+    /// Unwraps the session into its engine.
+    #[must_use]
+    pub fn into_engine(self) -> SyncEngine<P> {
+        self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_decision_goal_matches_direct_run() {
+        let mut session = SessionBuilder::new(4, 2)
+            .with_seed(11)
+            .with_deadline_ticks(8_000)
+            .fig8();
+        session.run();
+        let stats = session.stats();
+        assert_eq!(stats.decided, 4, "all correct processes decide");
+    }
+
+    #[test]
+    fn heights_goal_commits_k_everywhere() {
+        let mut session = SessionBuilder::new(4, 2)
+            .with_seed(5)
+            .with_goal(Goal::HeightsCommitted(12))
+            .with_deadline_ticks(20_000)
+            .rsm(&WorkloadConfig::default());
+        let reason = session.run();
+        assert_eq!(reason, StopReason::ConditionMet);
+        let stats = session.stats();
+        assert!(stats.min_correct_log >= Some(12), "stats: {stats:?}");
+        assert!(session.prefix_violation().is_none());
+    }
+
+    #[test]
+    fn rsm_fig8_variant_also_chains_heights() {
+        let mut session = SessionBuilder::new(4, 2)
+            .with_seed(9)
+            .with_goal(Goal::HeightsCommitted(5))
+            .with_deadline_ticks(20_000)
+            .rsm_fig8(&WorkloadConfig::default());
+        let reason = session.run();
+        assert_eq!(reason, StopReason::ConditionMet);
+        assert!(session.prefix_violation().is_none());
+    }
+
+    #[test]
+    fn tick_horizon_event_counts_match_across_hot_paths() {
+        let run = |legacy: bool| {
+            let mut session = SessionBuilder::new(4, 2)
+                .with_seed(3)
+                .with_legacy_hot_path(legacy)
+                .with_goal(Goal::TickHorizon)
+                .with_deadline_ticks(3_000)
+                .rsm(&WorkloadConfig::default());
+            session.run();
+            let logs: Vec<Vec<u64>> = (0..4)
+                .map(|p| session.log_of(p).unwrap_or_default().to_vec())
+                .collect();
+            (session.stats().events, logs)
+        };
+        let (batched_events, batched_logs) = run(false);
+        let (legacy_events, legacy_logs) = run(true);
+        assert_eq!(batched_events, legacy_events, "hot paths must agree");
+        assert_eq!(batched_logs, legacy_logs, "logs must be identical");
+    }
+
+    #[test]
+    fn fig9_oracle_session_decides() {
+        let mut session = SessionBuilder::new(4, 2)
+            .with_seed(2)
+            .with_deadline_ticks(8_000)
+            .fig9_oracle();
+        session.run();
+        assert_eq!(session.stats().decided, 4);
+    }
+
+    #[test]
+    fn sync_session_runs_hsigma() {
+        let mut session = SessionBuilder::new(6, 3)
+            .with_seed(4)
+            .with_deadline_ticks(30)
+            .sync_hsigma();
+        session.run();
+        assert_eq!(session.engine().metrics().steps, 30);
+    }
+}

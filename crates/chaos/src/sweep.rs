@@ -74,7 +74,8 @@ pub use homonym_sim::sweep::{
 
 use crate::generators::{
     byzantine_attack_variants, corrupt_minority_homonyms, fault_window_variants, flapping_minority,
-    hidden_equivocator, homonym_group_isolation, over_threshold_byzantine, split_brain,
+    hidden_equivocator, homonym_group_isolation, leader_churn_across_heights,
+    over_threshold_byzantine, split_brain,
 };
 use crate::scenario::{FaultClause, Scenario};
 
@@ -87,6 +88,10 @@ pub enum Family {
     FlappingMinority,
     /// [`homonym_group_isolation`].
     HomonymIsolation,
+    /// [`leader_churn_across_heights`] — sequential churn windows on
+    /// the `HΩ` leader candidates, built to straddle the replicated log
+    /// service's height boundaries.
+    LeaderChurn,
     /// [`hidden_equivocator`].
     HiddenEquivocator,
     /// [`corrupt_minority_homonyms`].
@@ -98,10 +103,11 @@ pub enum Family {
 
 impl Family {
     /// The crash/partition families, in historical rotation order.
-    pub const ALL: [Family; 3] = [
+    pub const ALL: [Family; 4] = [
         Family::SplitBrain,
         Family::FlappingMinority,
         Family::HomonymIsolation,
+        Family::LeaderChurn,
     ];
 
     /// The Byzantine families.
@@ -134,6 +140,7 @@ impl Family {
             Family::SplitBrain => "split-brain",
             Family::FlappingMinority => "flapping-minority",
             Family::HomonymIsolation => "homonym-isolation",
+            Family::LeaderChurn => "leader-churn",
             Family::HiddenEquivocator => "hidden-equivocator",
             Family::CorruptMinorityHomonyms => "corrupt-minority-homonyms",
             Family::OverThresholdByzantine => "over-threshold-byzantine",
@@ -158,6 +165,7 @@ impl Family {
             Family::SplitBrain => split_brain(assign.n(), seed),
             Family::FlappingMinority => flapping_minority(assign.n(), seed),
             Family::HomonymIsolation => homonym_group_isolation(assign, seed),
+            Family::LeaderChurn => leader_churn_across_heights(assign, seed),
             Family::HiddenEquivocator => hidden_equivocator(assign, seed),
             Family::CorruptMinorityHomonyms => corrupt_minority_homonyms(assign, seed),
             Family::OverThresholdByzantine => over_threshold_byzantine(assign, seed),

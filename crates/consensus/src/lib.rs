@@ -58,6 +58,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod flooding;
 mod round_window;
+pub mod rsm;
 
 pub use byz_quorum::{classify_byz, mutate_byz_msg, round_of_byz, ByzMsg, ByzQuorumConsensus};
 pub use conflict::{crash_model_pick, WindowLedger};
@@ -69,3 +70,7 @@ pub use fig9::{
     classify_fig9, mutate_fig9_msg, round_of_fig9, Fig9Msg, QuorumConsensus, QuorumMsg,
 };
 pub use flooding::{classify_flood, AnonFloodingConsensus, FloodMsg, PFloodingConsensus};
+pub use rsm::{
+    ByzHeightSeed, Fig8HeightSeed, Fig9HeightSeed, FloodHeightSeed, HeightEngine, LogEntry,
+    ReplicatedLog, RsmMsg, RsmOptions,
+};

@@ -64,6 +64,7 @@ pub mod store;
 pub mod sweep;
 pub mod sync_engine;
 pub mod trace;
+pub mod workload;
 
 pub use adversary::{
     ByzClause, ByzDirective, ByzEffect, ByzPlan, ByzantineScript, LinkClause, LinkEffect,
@@ -84,6 +85,7 @@ pub use sweep::{
 };
 pub use sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
 pub use trace::{Trace, TraceEvent};
+pub use workload::{ArrivalModel, CommandQueue, KeySkew, WorkloadConfig};
 // The observability vocabulary travels with the engines that record it.
 pub use homonym_obs::{ObsEvent, ObsKind, Recorder};
 
@@ -104,5 +106,6 @@ pub mod prelude {
     };
     pub use crate::sync_engine::{SyncConfig, SyncEngine, SyncMetrics, SyncProcess, SyncSink};
     pub use crate::trace::{Trace, TraceEvent};
+    pub use crate::workload::{ArrivalModel, CommandQueue, KeySkew, WorkloadConfig};
     pub use homonym_obs::{ObsEvent, ObsKind, Recorder};
 }

@@ -358,9 +358,12 @@ impl<'a, M, O> ActionSink<'a, M, O> {
         &mut *self.rng
     }
 
-    /// Crate-internal access to the concrete RNG, used by
-    /// [`crate::stack::Stacked`] to hand the same stream to a sub-sink.
-    pub(crate) fn raw_rng(&mut self) -> &mut StdRng {
+    /// Access to the concrete RNG stream, for **stacking relays** that
+    /// hand the same stream to a sub-sink built with [`ActionSink::new`]
+    /// (see [`crate::stack::Stacked`] and the multi-height replicated
+    /// log's height relay). Algorithm code should use
+    /// [`ActionSink::rng`] instead.
+    pub fn raw_rng(&mut self) -> &mut StdRng {
         self.rng
     }
 }

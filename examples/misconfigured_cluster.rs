@@ -25,7 +25,8 @@
 //!
 //! Run with: `cargo run --example misconfigured_cluster`
 
-use homonym::chaos::{fig8_node, hps_base, FaultClause, GstPlacement, PartitionMode, Scenario};
+use homonym::chaos::session::SessionBuilder;
+use homonym::chaos::{FaultClause, GstPlacement, PartitionMode, Scenario};
 use homonym::consensus::{classify_fig8, Fig8Msg};
 use homonym::detectors::evt_hp::EvtHpMsg;
 use homonym::prelude::*;
@@ -58,21 +59,20 @@ fn outage(n: usize) -> Scenario {
 }
 
 fn run_cluster(n: usize, l: usize, seed: u64) -> (u64, Time, u64) {
-    let assign = IdentityAssignment::round_robin(n, l);
-    let t = (n - 1) / 2;
     let scenario = outage(n);
     let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
-    let props = proposals.clone();
-    let cfg = SimConfig::new(assign, FailureSchedule::none(n), hps_base()).with_seed(seed);
-    let cfg = scenario
-        .install(cfg)
-        .expect("the outage scenario validates");
-    let sched = cfg.sched.clone();
+    let mut session = SessionBuilder::new(n, l)
+        .with_seed(seed)
+        .with_scenario(scenario.clone())
+        .with_proposals(proposals.clone())
+        .with_deadline_ticks(400_000)
+        .fig8();
+    let sched = session.engine().config().sched.clone();
 
     // Expected semantics, asserted so drift fails loudly.
     assert_eq!(sched.crash_time(n - 1), Some(Time::from_ticks(50)));
     assert!(sched.has_correct_majority(), "one crash keeps a majority");
-    let gst = match cfg.network {
+    let gst = match session.engine().config().network {
         NetworkModel::PartialSync { gst, .. } => gst,
         ref other => panic!("scenario must keep the HPS model, got {other:?}"),
     };
@@ -82,9 +82,9 @@ fn run_cluster(n: usize, l: usize, seed: u64) -> (u64, Time, u64) {
         "GST must land right after the last fault"
     );
 
-    let mut engine = Engine::new(cfg, |p, _| fig8_node(props[p], n, t));
-    engine.set_classifier(classify);
-    engine.run_until_all_correct_decided(Time::from_ticks(400_000));
+    session.engine_mut().set_classifier(classify);
+    session.run();
+    let engine = session.engine();
     let report = check_consensus(&engine.outcome(proposals.clone()), &sched)
         .expect("validity, agreement and termination hold");
     assert!(

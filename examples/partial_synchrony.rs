@@ -16,13 +16,12 @@
 //!
 //! Run with: `cargo run --example partial_synchrony`
 
-use homonym::consensus::{HOmegaPolicy, MajorityConsensus};
-use homonym::detectors::evt_hp::{split_snapshots, EvtHpProcess};
+use homonym::chaos::session::{Goal, SessionBuilder};
+use homonym::detectors::evt_hp::split_snapshots;
 use homonym::prelude::*;
 
 fn run_once(gst: u64, seed: u64) -> (Option<Time>, Option<Time>) {
     let n = 5;
-    let t = 2;
     let assign = IdentityAssignment::round_robin(n, 3); // A B C A B
     let sched = FailureSchedule::none(n).with_crash(2, Time::from_ticks(gst / 2));
     // Pre-GST messages are delayed arbitrarily (but finitely). This is
@@ -38,28 +37,33 @@ fn run_once(gst: u64, seed: u64) -> (Option<Time>, Option<Time>) {
         },
     };
     let proposals: Vec<u64> = (0..n as u64).collect();
-    let props = proposals.clone();
-    let cfg = SimConfig::new(assign.clone(), sched.clone(), network.clone()).with_seed(seed);
-    let mut engine = Engine::new(cfg, |p, _| {
-        let cell: SharedCell<HOmegaOutput> =
-            SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
-        let detector = EvtHpProcess::new().with_h_omega_mirror(cell.clone());
-        let consensus = MajorityConsensus::new(props[p], n, t, HOmegaPolicy(cell))
-            .with_tick(Span::from_ticks(2));
-        Stacked::new(detector, consensus)
-    });
-    engine.run_until_all_correct_decided(Time::from_ticks(500_000));
-    let decision = check_consensus(&engine.outcome(proposals), &sched)
+    // The full stack (Figure 6 ◇HP/HΩ mirrored into Figure 8 majority
+    // consensus) is the session API's `fig8` stack.
+    let mut session = SessionBuilder::new(n, 3)
+        .with_seed(seed)
+        .with_network(network.clone())
+        .with_schedule(sched.clone())
+        .with_proposals(proposals.clone())
+        .with_deadline_ticks(500_000)
+        .fig8();
+    session.run();
+    let decision = check_consensus(&session.engine().outcome(proposals), &sched)
         .ok()
         .map(|r| r.last_decision);
 
     // Detector convergence, measured on a standalone Figure 6 run over the
     // same network (the stacked run halts its detector upon deciding, so
     // its history would be truncated).
-    let cfg = SimConfig::new(assign.clone(), sched.clone(), network).with_seed(seed);
-    let mut detector_engine = Engine::new(cfg, |_, _| EvtHpProcess::new());
-    detector_engine.run_until(Time::from_ticks(4 * gst.max(100)));
-    let evt_histories: Vec<_> = detector_engine
+    let mut detector = SessionBuilder::new(n, 3)
+        .with_seed(seed)
+        .with_network(network)
+        .with_schedule(sched.clone())
+        .with_goal(Goal::TickHorizon)
+        .with_deadline_ticks(4 * gst.max(100))
+        .detector();
+    detector.run();
+    let evt_histories: Vec<_> = detector
+        .engine()
         .histories()
         .iter()
         .map(|h| split_snapshots(h).0)

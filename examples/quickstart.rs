@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use homonym::chaos::session::SessionBuilder;
 use homonym::consensus::{HOmegaPolicy, MajorityConsensus};
 use homonym::detectors::oracle::{OracleWorld, PreStability};
 use homonym::prelude::*;
@@ -34,17 +35,23 @@ fn main() {
 
     let proposals = vec![70, 10, 55, 25, 40];
     let props = proposals.clone();
-    let cfg = SimConfig::new(assign, sched.clone(), network).with_seed(2026);
-    let mut engine = Engine::new(cfg, |p, _| {
-        MajorityConsensus::new(
-            props[p],
-            5,
-            2,
-            HOmegaPolicy(world.h_omega_for(p, PreStability::Chaotic)),
-        )
-    });
-
-    engine.run_until_all_correct_decided(Time::from_ticks(100_000));
+    // The session API: describe the run once, pick a stack, run to the
+    // goal (the default goal is "every correct process decided once").
+    let mut session = SessionBuilder::new(5, 2)
+        .with_seed(2026)
+        .with_network(network)
+        .with_schedule(sched.clone())
+        .with_deadline_ticks(100_000)
+        .build(|p, _| {
+            MajorityConsensus::new(
+                props[p],
+                5,
+                2,
+                HOmegaPolicy(world.h_omega_for(p, PreStability::Chaotic)),
+            )
+        });
+    session.run();
+    let engine = session.engine();
 
     for (p, d) in engine.decisions().iter().enumerate() {
         match d {

@@ -19,6 +19,7 @@
 //!
 //! Run with: `cargo run --example sensor_network`
 
+use homonym::chaos::session::SessionBuilder;
 use homonym::consensus::QuorumConsensus;
 use homonym::detectors::oracle::APOracle;
 use homonym::detectors::oracle::OracleWorld;
@@ -69,9 +70,17 @@ fn main() {
         slow_percent: 20,
     });
     let props = readings.clone();
-    let cfg = SimConfig::new(assign, sched.clone(), network).with_seed(99);
-    let mut engine = Engine::new(cfg, |p, _| mote(&world, props[p]));
-    engine.run_until_all_correct_decided(Time::from_ticks(200_000));
+    // A bespoke reduction stack still runs through the session API: the
+    // builder owns the config and goal, `build` takes the mote factory.
+    let mut session = SessionBuilder::new(n, 1)
+        .with_assignment(assign)
+        .with_seed(99)
+        .with_network(network)
+        .with_schedule(sched.clone())
+        .with_deadline_ticks(200_000)
+        .build(|p, _| mote(&world, props[p]));
+    session.run();
+    let engine = session.engine();
 
     for (p, d) in engine.decisions().iter().enumerate() {
         match d {

@@ -2,13 +2,12 @@
 //! driving the real Figure 6 + Figure 8 pipeline, under the same
 //! determinism guarantees as fault-free runs.
 
+use homonym::chaos::session::SessionBuilder;
 use homonym::chaos::sweep::{
     falsification_sweep, falsification_sweep_forked, replay_byzantine_counterexample, StackKind,
     SweepConfig,
 };
-use homonym::chaos::{
-    fig8_node, hps_base, FaultClause, Fig8Node, GstPlacement, PartitionMode, Scenario,
-};
+use homonym::chaos::{FaultClause, GstPlacement, PartitionMode, Scenario};
 use homonym::consensus::{classify_fig8, Fig8Msg};
 use homonym::detectors::evt_hp::EvtHpMsg;
 use homonym::prelude::*;
@@ -43,25 +42,20 @@ fn run_stack(
     deadline: Time,
     legacy: bool,
 ) -> (Trace, Vec<Option<(Time, u64)>>, FailureSchedule) {
-    let t = (n - 1) / 2;
-    let proposals: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
-    let cfg = SimConfig::new(
-        IdentityAssignment::round_robin(n, 3),
-        FailureSchedule::none(n),
-        hps_base(),
-    )
-    .with_seed(seed)
-    .with_legacy_hot_path(legacy);
-    let cfg = scenario.install(cfg).expect("scenario validates");
-    let sched = cfg.sched.clone();
-    let mut engine: Engine<Fig8Node> = Engine::new(cfg, |p, _| fig8_node(proposals[p], n, t));
-    engine.set_classifier(classify);
-    engine.enable_trace(500_000);
-    engine.run_until_all_correct_decided(deadline);
+    let mut session = SessionBuilder::new(n, 3)
+        .with_seed(seed)
+        .with_scenario(scenario.clone())
+        .with_legacy_hot_path(legacy)
+        .with_trace(500_000)
+        .with_deadline(deadline)
+        .fig8();
+    session.engine_mut().set_classifier(classify);
+    session.run();
+    let engine = session.engine();
     (
         engine.trace().expect("enabled").clone(),
         engine.decisions().to_vec(),
-        sched,
+        engine.config().sched.clone(),
     )
 }
 
@@ -274,19 +268,16 @@ fn byzantine_runs_dispatch_identically_on_both_hot_paths() {
     for seed in [2u64, 23] {
         let deadline = Time::from_ticks(20_000);
         let run = |legacy: bool| {
-            let cfg = SimConfig::new(
-                IdentityAssignment::round_robin(n, 3),
-                FailureSchedule::none(n),
-                hps_base(),
-            )
-            .with_seed(seed)
-            .with_legacy_hot_path(legacy);
-            let cfg = scenario.install(cfg).expect("scenario validates");
-            let mut engine: Engine<Fig8Node> =
-                Engine::new(cfg, |p, _| fig8_node(100 + p as u64, n, 3));
-            engine.set_classifier(classify);
-            engine.enable_trace(500_000);
-            engine.run_until_all_correct_decided(deadline);
+            let mut session = SessionBuilder::new(n, 3)
+                .with_seed(seed)
+                .with_scenario(scenario.clone())
+                .with_legacy_hot_path(legacy)
+                .with_trace(500_000)
+                .with_deadline(deadline)
+                .fig8();
+            session.engine_mut().set_classifier(classify);
+            session.run();
+            let engine = session.engine();
             (
                 engine.trace().expect("enabled").clone(),
                 engine.decisions().to_vec(),

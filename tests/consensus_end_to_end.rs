@@ -1,8 +1,8 @@
 //! Cross-crate integration: full consensus pipelines with real detector
-//! implementations underneath.
+//! implementations underneath, driven through the session lifecycle API.
 
+use homonym::chaos::session::SessionBuilder;
 use homonym::consensus::{HOmegaPolicy, MajorityConsensus, QuorumConsensus};
-use homonym::detectors::evt_hp::EvtHpProcess;
 use homonym::detectors::oracle::{OracleWorld, PreStability};
 use homonym::prelude::*;
 use homonym::reductions::{APToEvtHP, APToHSigmaProcess, EvtHPToHOmega};
@@ -24,22 +24,17 @@ fn hps_delay_only(gst: u64, delta: u64) -> NetworkModel {
 fn fig6_plus_fig8_solves_consensus_in_hps() {
     for (gst, l, seed) in [(0u64, 2usize, 1u64), (60, 1, 2), (60, 3, 3), (150, 2, 4)] {
         let n = 5;
-        let t = 2;
-        let assign = IdentityAssignment::round_robin(n, l);
         let sched = FailureSchedule::none(n).with_crash(4, Time::from_ticks(gst / 2 + 5));
         let proposals: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
-        let props = proposals.clone();
-        let cfg = SimConfig::new(assign, sched.clone(), hps_delay_only(gst, 3)).with_seed(seed);
-        let mut engine = Engine::new(cfg, |p, _| {
-            let cell: SharedCell<HOmegaOutput> =
-                SharedCell::new(HOmegaOutput::new(Identity::BOTTOM, 1));
-            let detector = EvtHpProcess::new().with_h_omega_mirror(cell.clone());
-            let consensus = MajorityConsensus::new(props[p], n, t, HOmegaPolicy(cell))
-                .with_tick(Span::from_ticks(2));
-            Stacked::new(detector, consensus)
-        });
-        engine.run_until_all_correct_decided(Time::from_ticks(500_000));
-        check_consensus(&engine.outcome(proposals), &sched)
+        let mut session = SessionBuilder::new(n, l)
+            .with_seed(seed)
+            .with_network(hps_delay_only(gst, 3))
+            .with_schedule(sched.clone())
+            .with_proposals(proposals.clone())
+            .with_deadline_ticks(500_000)
+            .fig8();
+        session.run();
+        check_consensus(&session.engine().outcome(proposals), &sched)
             .unwrap_or_else(|e| panic!("gst={gst} l={l}: {e}"));
     }
 }
@@ -61,27 +56,28 @@ fn anonymous_ap_pipeline_feeds_fig9_beyond_majority() {
     let world = OracleWorld::new(sched.clone(), assign.clone(), Time::ZERO);
     let proposals: Vec<u64> = vec![60, 50, 40, 30, 20, 10];
     let props = proposals.clone();
-    let cfg = SimConfig::new(
-        assign,
-        sched.clone(),
-        NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+    let mut session = SessionBuilder::new(n, 1)
+        .with_assignment(assign)
+        .with_seed(7)
+        .with_network(NetworkModel::Asynchronous(LatencyDistribution::Uniform {
             min: Span::from_ticks(1),
             max: Span::from_ticks(4),
-        }),
-    )
-    .with_seed(7);
-    let mut engine = Engine::new(cfg, |p, _| {
-        let ap = world.ap(Span::from_ticks(5));
-        let cell: SharedCell<HSigmaOutput> = SharedCell::new(HSigmaOutput::new());
-        let h_sigma =
-            APToHSigmaProcess::new(ap.clone(), Span::from_ticks(2)).with_mirror(cell.clone());
-        let h_omega = EvtHPToHOmega::new(APToEvtHP::new(ap));
-        let consensus =
-            QuorumConsensus::new(props[p], h_omega, cell).with_tick(Span::from_ticks(2));
-        Stacked::new(h_sigma, consensus)
-    });
-    engine.run_until_all_correct_decided(Time::from_ticks(300_000));
-    let rep = check_consensus(&engine.outcome(proposals), &sched).expect("consensus holds");
+        }))
+        .with_schedule(sched.clone())
+        .with_deadline_ticks(300_000)
+        .build(|p, _| {
+            let ap = world.ap(Span::from_ticks(5));
+            let cell: SharedCell<HSigmaOutput> = SharedCell::new(HSigmaOutput::new());
+            let h_sigma =
+                APToHSigmaProcess::new(ap.clone(), Span::from_ticks(2)).with_mirror(cell.clone());
+            let h_omega = EvtHPToHOmega::new(APToEvtHP::new(ap));
+            let consensus =
+                QuorumConsensus::new(props[p], h_omega, cell).with_tick(Span::from_ticks(2));
+            Stacked::new(h_sigma, consensus)
+        });
+    session.run();
+    let rep =
+        check_consensus(&session.engine().outcome(proposals), &sched).expect("consensus holds");
     assert!(rep.value == 10 || rep.value == 20, "survivors' values win");
 }
 
@@ -94,21 +90,25 @@ fn paralyzed_then_stabilized_detector_is_safe_and_live() {
         let n = 4;
         let assign = IdentityAssignment::round_robin(n, 2);
         let sched = FailureSchedule::none(n).with_crash(1, Time::from_ticks(10));
-        let world = OracleWorld::new(sched.clone(), assign.clone(), Time::from_ticks(stab));
+        let world = OracleWorld::new(sched.clone(), assign, Time::from_ticks(stab));
         let proposals = vec![4, 3, 2, 1];
         let props = proposals.clone();
-        let cfg = SimConfig::new(assign, sched.clone(), NetworkModel::reliable(Span::TICK))
-            .with_seed(stab);
-        let mut engine = Engine::new(cfg, |p, _| {
-            MajorityConsensus::new(
-                props[p],
-                n,
-                1,
-                HOmegaPolicy(world.h_omega_for(p, PreStability::Paralyzing)),
-            )
-        });
-        engine.run_until_all_correct_decided(Time::from_ticks(100_000));
-        let rep = check_consensus(&engine.outcome(proposals), &sched).expect("consensus holds");
+        let mut session = SessionBuilder::new(n, 2)
+            .with_seed(stab)
+            .with_network(NetworkModel::reliable(Span::TICK))
+            .with_schedule(sched.clone())
+            .with_deadline_ticks(100_000)
+            .build(|p, _| {
+                MajorityConsensus::new(
+                    props[p],
+                    n,
+                    1,
+                    HOmegaPolicy(world.h_omega_for(p, PreStability::Paralyzing)),
+                )
+            });
+        session.run();
+        let rep =
+            check_consensus(&session.engine().outcome(proposals), &sched).expect("consensus holds");
         assert!(
             rep.last_decision >= Time::from_ticks(stab),
             "decided before the paralyzed detector stabilized"
@@ -124,27 +124,27 @@ fn full_pipeline_is_deterministic_per_seed() {
         let n = 5;
         let assign = IdentityAssignment::round_robin(n, 2);
         let sched = FailureSchedule::none(n).with_crash(0, Time::from_ticks(22));
-        let world = OracleWorld::new(sched.clone(), assign.clone(), Time::from_ticks(50));
+        let world = OracleWorld::new(sched.clone(), assign, Time::from_ticks(50));
         let proposals: Vec<u64> = (0..n as u64).collect();
         let props = proposals.clone();
-        let cfg = SimConfig::new(
-            assign,
-            sched,
-            NetworkModel::Asynchronous(LatencyDistribution::Uniform {
+        let mut session = SessionBuilder::new(n, 2)
+            .with_seed(seed)
+            .with_network(NetworkModel::Asynchronous(LatencyDistribution::Uniform {
                 min: Span::from_ticks(1),
                 max: Span::from_ticks(6),
-            }),
-        )
-        .with_seed(seed);
-        let mut engine = Engine::new(cfg, |p, _| {
-            MajorityConsensus::new(
-                props[p],
-                n,
-                2,
-                HOmegaPolicy(world.h_omega_for(p, PreStability::Chaotic)),
-            )
-        });
-        engine.run_until_all_correct_decided(Time::from_ticks(100_000));
+            }))
+            .with_schedule(sched)
+            .with_deadline_ticks(100_000)
+            .build(|p, _| {
+                MajorityConsensus::new(
+                    props[p],
+                    n,
+                    2,
+                    HOmegaPolicy(world.h_omega_for(p, PreStability::Chaotic)),
+                )
+            });
+        session.run();
+        let engine = session.engine();
         (engine.decisions().to_vec(), engine.histories().to_vec())
     };
     assert_eq!(run(9), run(9));

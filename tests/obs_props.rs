@@ -7,13 +7,13 @@
 //! `SyncSnapshot` at random cut points (a restored run re-records
 //! exactly the events the uninterrupted run recorded).
 
-use homonym::chaos::sweep::byz_tolerant_node;
+use homonym::chaos::session::{Goal, SessionBuilder};
 use homonym::chaos::{
     classify_byz_stack, round_of_byz_stack, FaultClause, PartitionMode, Scenario,
 };
 use homonym::detectors::h_sigma_sync::HSigmaSyncProcess;
 use homonym::prelude::*;
-use homonym::sim::sync_engine::{SyncConfig, SyncEngine};
+use homonym::sim::sync_engine::SyncEngine;
 use proptest::prelude::*;
 
 fn model(kind: u8) -> NetworkModel {
@@ -110,21 +110,24 @@ proptest! {
         lose in 0u8..40,
     ) {
         let n = 5;
-        let assign = IdentityAssignment::round_robin(n, 2);
         let scenario = scenario(n, heal, lose, byz_kind, victims);
         let run = |legacy: bool, record: bool| {
-            let cfg = SimConfig::new(assign.clone(), FailureSchedule::none(n), model(kind))
+            let mut builder = SessionBuilder::new(n, 2)
                 .with_seed(seed)
-                .with_legacy_hot_path(legacy);
-            let cfg = scenario.install(cfg).expect("valid scenario");
-            let mut engine = Engine::new(cfg, |p, _| byz_tolerant_node(100 + p as u64, &assign));
-            engine.set_classifier(classify_byz_stack);
-            engine.set_round_extractor(round_of_byz_stack);
-            engine.enable_trace(500_000);
+                .with_network(model(kind))
+                .with_scenario(scenario.clone())
+                .with_legacy_hot_path(legacy)
+                .with_trace(500_000)
+                .with_goal(Goal::TickHorizon)
+                .with_deadline_ticks(500);
             if record {
-                engine.enable_recorder(500_000);
+                builder = builder.with_recorder(500_000);
             }
-            engine.run_until(Time::from_ticks(500));
+            let mut session = builder.byz_tolerant();
+            session.engine_mut().set_classifier(classify_byz_stack);
+            session.engine_mut().set_round_extractor(round_of_byz_stack);
+            session.run();
+            let engine = session.engine_mut();
             let recorded = engine.take_recorder().map(|r| r.events().len());
             (
                 engine.trace().expect("enabled").clone(),
@@ -165,15 +168,17 @@ proptest! {
     ) {
         let scenario = scenario(n, heal, 0, byz_kind, victims);
         let run = |legacy: bool, record: bool| {
-            let cfg = SyncConfig::new(IdentityAssignment::round_robin(n, 2), FailureSchedule::none(n))
+            let mut builder = SessionBuilder::new(n, 2)
                 .with_seed(seed)
-                .with_legacy_hot_path(legacy);
-            let cfg = scenario.install_sync(cfg).expect("valid scenario");
-            let mut engine = SyncEngine::new(cfg, |_, id| HSigmaSyncProcess::new(id));
+                .with_scenario(scenario.clone())
+                .with_legacy_hot_path(legacy)
+                .with_deadline_ticks(steps);
             if record {
-                engine.enable_recorder(100_000);
+                builder = builder.with_recorder(100_000);
             }
-            engine.run_steps(steps);
+            let mut session = builder.sync_hsigma();
+            session.run();
+            let engine = session.engine_mut();
             let recorded = engine.take_recorder().map(|r| r.events().len());
             (engine.histories().to_vec(), engine.metrics().clone(), recorded)
         };
@@ -205,20 +210,20 @@ proptest! {
         cut in 1u64..120,
     ) {
         let n = 5;
-        let assign = IdentityAssignment::round_robin(n, 2);
         let scenario = scenario(n, heal, 0, byz_kind, 2);
         let legacy = seed % 2 == 0;
         let mk = || {
-            let cfg = SimConfig::new(assign.clone(), FailureSchedule::none(n), model(kind))
+            let mut session = SessionBuilder::new(n, 2)
                 .with_seed(seed)
-                .with_legacy_hot_path(legacy);
-            let cfg = scenario.install(cfg).expect("valid scenario");
-            let mut engine = Engine::new(cfg, |p, _| byz_tolerant_node(100 + p as u64, &assign));
-            engine.set_classifier(classify_byz_stack);
-            engine.set_round_extractor(round_of_byz_stack);
-            engine.enable_trace(500_000);
-            engine.enable_recorder(500_000);
-            engine
+                .with_network(model(kind))
+                .with_scenario(scenario.clone())
+                .with_legacy_hot_path(legacy)
+                .with_trace(500_000)
+                .with_recorder(500_000)
+                .byz_tolerant();
+            session.engine_mut().set_classifier(classify_byz_stack);
+            session.engine_mut().set_round_extractor(round_of_byz_stack);
+            session.into_engine()
         };
         let horizon = Time::from_ticks(400);
         let state = |e: &mut Engine<_>| {
@@ -259,13 +264,13 @@ proptest! {
         let scenario = scenario(n, heal, 0, byz_kind, 2);
         let legacy = seed % 2 == 0;
         let mk = || {
-            let cfg = SyncConfig::new(IdentityAssignment::round_robin(n, 2), FailureSchedule::none(n))
+            SessionBuilder::new(n, 2)
                 .with_seed(seed)
-                .with_legacy_hot_path(legacy);
-            let cfg = scenario.install_sync(cfg).expect("valid scenario");
-            let mut engine = SyncEngine::new(cfg, |_, id| HSigmaSyncProcess::new(id));
-            engine.enable_recorder(100_000);
-            engine
+                .with_scenario(scenario.clone())
+                .with_legacy_hot_path(legacy)
+                .with_recorder(100_000)
+                .sync_hsigma()
+                .into_engine()
         };
         let state = |e: &mut SyncEngine<HSigmaSyncProcess>| {
             (

@@ -1,0 +1,296 @@
+//! End-to-end tests for the multi-height replicated log service
+//! (`homonym_consensus::rsm`) through the session lifecycle API:
+//!
+//! * the acceptance bar — ≥100 heights committed under leader churn
+//!   with agreement on every log prefix across correct homonyms;
+//! * hot-path equivalence — fixed-horizon runs dispatch identical event
+//!   counts and produce identical logs on the batched and legacy paths;
+//! * snapshot/fork properties — forks taken mid-height **and exactly at
+//!   a height boundary** continue byte-identically, the resumed log
+//!   matches flat execution on both hot paths, and [`PrefixSweeper`]
+//!   forks over log-service items agree with their flat baselines.
+
+use homonym::chaos::generators::leader_churn_across_heights;
+use homonym::chaos::session::{Goal, RsmNode, SessionBuilder};
+use homonym::chaos::sweep::hps_base;
+use homonym::consensus::rsm::LogEntry;
+use homonym::prelude::*;
+use homonym::sim::workload::{ArrivalModel, KeySkew, WorkloadConfig};
+use homonym::sim::Engine;
+use proptest::prelude::*;
+
+fn workload() -> WorkloadConfig {
+    WorkloadConfig {
+        commands_per_proc: 512,
+        arrival: ArrivalModel::Closed,
+        keys: 256,
+        skew: KeySkew::Squared,
+        write_percent: 60,
+        seed: 11,
+    }
+}
+
+fn churn_builder(n: usize, l: usize, seed: u64) -> SessionBuilder {
+    let assign = IdentityAssignment::round_robin(n, l);
+    SessionBuilder::new(n, l)
+        .with_seed(seed)
+        .with_scenario(leader_churn_across_heights(&assign, seed))
+}
+
+/// The headline acceptance criterion: the log service commits at least
+/// 100 heights while leader-carrier churn keeps knocking the `HΩ`
+/// favourites out mid-height, and every pair of correct replicas agrees
+/// on the shared log prefix.
+#[test]
+fn commits_100_heights_under_leader_churn_with_prefix_agreement() {
+    let mut session = churn_builder(4, 2, 42)
+        .with_goal(Goal::HeightsCommitted(100))
+        .with_deadline_ticks(120_000)
+        .rsm(&workload());
+    let reason = session.run();
+    let stats = session.stats();
+    assert_eq!(
+        reason,
+        StopReason::ConditionMet,
+        "did not reach 100 heights: {stats:?}"
+    );
+    assert!(stats.min_correct_log >= Some(100), "stats: {stats:?}");
+    assert!(
+        session.prefix_violation().is_none(),
+        "correct replicas diverged: {:?}",
+        session.prefix_violation()
+    );
+}
+
+/// The Figure 8 variant of the log service chains heights across
+/// repeated queue-mode partitions (crash-model catch-up quorum of one).
+///
+/// It gets `flapping_minority` rather than the churn family on purpose:
+/// churn windows lower to message-dropping link faults, and Figure 8
+/// broadcasts each round message exactly once — its `on_timer` only
+/// re-evaluates guards, it never retransmits — so a single dropped
+/// COORD can stall the Leaders' Coordination Phase forever. That is
+/// exactly why the sweep classifies churn scenarios as lossy and
+/// withholds liveness claims there; the Byzantine-tolerant default
+/// engine (tested above) is the churn-tolerant choice.
+#[test]
+fn fig8_log_service_survives_flapping_partitions() {
+    use homonym::chaos::generators::flapping_minority;
+    let mut session = SessionBuilder::new(4, 2)
+        .with_seed(7)
+        .with_scenario(flapping_minority(4, 7))
+        .with_goal(Goal::HeightsCommitted(40))
+        .with_deadline_ticks(120_000)
+        .rsm_fig8(&workload());
+    let reason = session.run();
+    assert_eq!(
+        reason,
+        StopReason::ConditionMet,
+        "stats: {:?}",
+        session.stats()
+    );
+    assert!(session.prefix_violation().is_none());
+}
+
+/// Fixed-horizon runs are the hot-path comparison surface: identical
+/// event counts and identical logs on the batched and legacy paths,
+/// including under an active churn scenario.
+#[test]
+fn hot_paths_agree_on_events_and_logs_under_churn() {
+    let run = |legacy: bool| {
+        let mut session = churn_builder(4, 2, 3)
+            .with_legacy_hot_path(legacy)
+            .with_goal(Goal::TickHorizon)
+            .with_deadline_ticks(6_000)
+            .rsm(&workload());
+        session.run();
+        let logs: Vec<Vec<u64>> = (0..4)
+            .map(|p| session.log_of(p).unwrap_or_default().to_vec())
+            .collect();
+        (session.stats().events, logs)
+    };
+    let (batched_events, batched_logs) = run(false);
+    let (legacy_events, legacy_logs) = run(true);
+    assert_eq!(batched_events, legacy_events, "event counts diverged");
+    assert_eq!(batched_logs, legacy_logs, "logs diverged");
+    assert!(
+        batched_logs.iter().any(|log| !log.is_empty()),
+        "horizon run committed nothing"
+    );
+}
+
+type RsmState = (
+    Vec<Vec<u64>>,
+    Vec<u64>,
+    Metrics,
+    Vec<Option<(Time, u64)>>,
+    u64,
+);
+
+fn rsm_state(engine: &Engine<RsmNode>) -> RsmState {
+    let n = engine.n();
+    (
+        (0..n)
+            .map(|p| engine.process(p).upper().log().to_vec())
+            .collect(),
+        (0..n)
+            .map(|p| engine.process(p).upper().state_hash())
+            .collect(),
+        engine.metrics().clone(),
+        engine.decisions().to_vec(),
+        engine.now().ticks(),
+    )
+}
+
+fn mk_engine(seed: u64, legacy: bool, scenario_seed: u64) -> Engine<RsmNode> {
+    churn_builder(4, 2, seed)
+        .with_scenario(leader_churn_across_heights(
+            &IdentityAssignment::round_robin(4, 2),
+            scenario_seed,
+        ))
+        .with_legacy_hot_path(legacy)
+        .rsm(&workload())
+        .into_engine()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// A snapshot taken at a random mid-run instant — almost always
+    /// mid-height — restored and continued is byte-identical to the
+    /// uninterrupted run, on both hot paths: same logs, same state
+    /// hashes, same metrics, same decisions.
+    #[test]
+    fn rsm_snapshot_restore_is_byte_identical(
+        seed in any::<u64>(),
+        scenario_seed in 0u64..500,
+        cut in 20u64..2_000,
+    ) {
+        let legacy = seed % 2 == 0;
+        let horizon = Time::from_ticks(4_000);
+        let mut baseline = mk_engine(seed, legacy, scenario_seed);
+        baseline.run_until(horizon);
+        let expected = rsm_state(&baseline);
+
+        let mut engine = mk_engine(seed, legacy, scenario_seed);
+        engine.run_until(Time::from_ticks(cut));
+        let snap = engine.snapshot();
+        engine.run_until(horizon);
+        prop_assert_eq!(&rsm_state(&engine), &expected);
+
+        // Rewind and replay: the resumed log matches flat execution.
+        engine.restore_from(&snap);
+        engine.run_until(horizon);
+        prop_assert_eq!(&rsm_state(&engine), &expected);
+
+        // Fresh arena-backed resume too (the sweep executor's path).
+        let mut resumed = Engine::resume_in(engine.config().clone(), &snap, EngineArena::new());
+        resumed.run_until(horizon);
+        prop_assert_eq!(&rsm_state(&resumed), &expected);
+    }
+
+    /// A fork taken **exactly at a height boundary** — the instant some
+    /// replica's log first reaches `k` entries — continues
+    /// byte-identically on both hot paths. Height turnover (engine
+    /// replacement, buffered-future drain, timer-stride bump) is the
+    /// riskiest instant for fork soundness, so it gets its own cut
+    /// placement.
+    #[test]
+    fn rsm_fork_at_height_boundary_is_byte_identical(
+        seed in any::<u64>(),
+        scenario_seed in 0u64..500,
+        k in 1u64..12,
+    ) {
+        let legacy = seed % 2 == 0;
+        let horizon = Time::from_ticks(4_000);
+        let mut baseline = mk_engine(seed, legacy, scenario_seed);
+        baseline.run_until(horizon);
+        let expected = rsm_state(&baseline);
+
+        let mut engine = mk_engine(seed, legacy, scenario_seed);
+        // Stop at the first instant replica 0's log holds k entries: a
+        // height boundary (or the horizon, if k heights never happen).
+        engine.run_with(horizon, |e| e.process(0).upper().log().len() as u64 >= k);
+        let snap = engine.snapshot();
+        engine.run_until(horizon);
+        prop_assert_eq!(&rsm_state(&engine), &expected);
+
+        let mut resumed = Engine::resume_in(engine.config().clone(), &snap, EngineArena::new());
+        resumed.run_until(horizon);
+        prop_assert_eq!(&rsm_state(&resumed), &expected);
+    }
+
+    /// [`PrefixSweeper`] forks over log-service items: two items sharing
+    /// a configuration but stopping at different horizons share their
+    /// prefix through a fork, and both extracted logs match fresh flat
+    /// runs of the same items.
+    #[test]
+    fn prefix_sweeper_forks_match_flat_rsm_runs(
+        seed in any::<u64>(),
+        scenario_seed in 0u64..500,
+        first in 200u64..1_500,
+        extra in 100u64..2_000,
+    ) {
+        let assign = IdentityAssignment::round_robin(4, 2);
+        let scenario = leader_churn_across_heights(&assign, scenario_seed);
+        let queues = workload().queues(4);
+        let cfg = SimConfig::new(assign.clone(), FailureSchedule::none(4), hps_base())
+            .with_seed(seed);
+        let cfg = scenario.install(cfg).expect("valid scenario");
+        let items: Vec<PrefixItem<()>> = [first, first + extra]
+            .into_iter()
+            .map(|t| PrefixItem {
+                config: cfg.clone(),
+                goal: RunGoal::Until(Time::from_ticks(t)),
+                tag: (),
+            })
+            .collect();
+        let factory = {
+            let assign = assign.clone();
+            let queues = queues.clone();
+            move |_item: usize, p: usize, _id: Identity| {
+                homonym::chaos::session::rsm_node(&assign, queues[p].clone())
+            }
+        };
+        let extract = |engine: &mut Engine<RsmNode>, _i: usize| rsm_state(engine);
+
+        let mut sweeper: PrefixSweeper<RsmNode> = PrefixSweeper::new();
+        let shared = sweeper.run_family(&items, &factory, extract);
+        prop_assert!(sweeper.stats.forked > 0, "items must share a prefix");
+
+        for (item, got) in items.iter().zip(&shared) {
+            let mut flat = Engine::new(item.config.clone(), |p, id| factory(0, p, id));
+            flat.run_until(item.goal.deadline());
+            prop_assert_eq!(&rsm_state(&flat), got);
+        }
+    }
+}
+
+/// The published history is the committed log: every `LogEntry` output
+/// of a correct replica appears in height order and matches its final
+/// log verbatim.
+#[test]
+fn published_entries_reconstruct_the_log() {
+    let mut session = SessionBuilder::new(4, 2)
+        .with_seed(13)
+        .with_goal(Goal::HeightsCommitted(20))
+        .with_deadline_ticks(30_000)
+        .rsm(&workload());
+    session.run();
+    let engine = session.engine();
+    for p in 0..4 {
+        let log = engine.process(p).upper().log();
+        let published: Vec<LogEntry> = engine.histories()[p]
+            .iter()
+            .filter_map(|(_, out)| match out {
+                Either::R(entry) => Some(*entry),
+                Either::L(_) => None,
+            })
+            .collect();
+        assert_eq!(published.len(), log.len(), "replica {p}");
+        for (h, (entry, &value)) in published.iter().zip(log).enumerate() {
+            assert_eq!(entry.height, h as u64, "replica {p}");
+            assert_eq!(entry.value, value, "replica {p}");
+        }
+    }
+}
